@@ -1,0 +1,63 @@
+// bench_ablation_autoconcurrency — ablation of the self-loop modelling
+// convention: SDF semantics allow unlimited concurrent firings of one
+// actor; a self-loop with k tokens bounds an actor to k concurrent firings
+// (k = 1: non-pipelined resource).  The sweep shows throughput saturating
+// in k — the point at which the data dependencies, not the resource,
+// become the bottleneck — on the benchmark applications.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/throughput.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/regular.hpp"
+
+namespace {
+
+using namespace sdf;
+
+/// Returns `graph` with every existing self-loop re-seeded to k tokens.
+Graph with_pipelining_depth(const Graph& graph, Int k) {
+    Graph result = graph;
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        if (graph.channel(c).is_self_loop() && graph.channel(c).is_homogeneous()) {
+            result.set_initial_tokens(c, k);
+        }
+    }
+    return result;
+}
+
+void print_sweep(const char* label, const Graph& g) {
+    std::printf("%s:\n  %6s %18s\n", label, "depth", "iteration period");
+    for (const Int k : {1, 2, 3, 4, 8}) {
+        const ThroughputResult t = throughput_symbolic(with_pipelining_depth(g, k));
+        std::printf("  %6ld %18s\n", static_cast<long>(k),
+                    t.is_finite() ? t.period.to_string().c_str() : "unbounded");
+    }
+    std::printf("\n");
+}
+
+void print_tables() {
+    std::printf("Ablation: pipelining depth via self-loop tokens\n\n");
+    print_sweep("sample rate converter", samplerate_converter());
+    print_sweep("mp3 playback", mp3_playback());
+    print_sweep("satellite receiver", satellite_receiver());
+}
+
+void BM_AnalyseAtDepth(benchmark::State& state) {
+    const Graph g = with_pipelining_depth(samplerate_converter(), state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(throughput_symbolic(g));
+    }
+}
+
+BENCHMARK(BM_AnalyseAtDepth)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_tables();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,77 @@
+// bench_ablation_muxdemux — ablation of Figure 4's "(de-)multiplexing
+// actors only need to be present if there is actually more than one actor
+// that needs the token": how many of the N(N+2)-bound actors does the
+// elision save on real and random graphs?
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "analysis/throughput.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/random_sdf.hpp"
+#include "transform/hsdf_reduced.hpp"
+#include "transform/symbolic.hpp"
+
+namespace {
+
+using namespace sdf;
+
+void print_row(const char* label, const Graph& g) {
+    const SymbolicIteration it = symbolic_iteration(g);
+    const ReducedHsdfOptions keep{.elide_single_client_muxes = false};
+    const Graph elided = reduced_hsdf_from_matrix(it.matrix, "e");
+    const Graph full = reduced_hsdf_from_matrix(it.matrix, "f", keep);
+    std::printf("%-26s %10zu %10zu %9.1f%%\n", label, full.actor_count(),
+                elided.actor_count(),
+                100.0 * (1.0 - static_cast<double>(elided.actor_count()) /
+                                   static_cast<double>(full.actor_count())));
+}
+
+void print_ablation() {
+    std::printf("Ablation: mux/demux elision in the Figure 4 construction\n");
+    std::printf("%-26s %10s %10s %10s\n", "graph", "no elision", "elided", "saved");
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        print_row(bench.label.c_str(), bench.graph);
+    }
+    std::mt19937 rng(7);
+    for (int i = 0; i < 3; ++i) {
+        const Graph g = random_sdf(rng);
+        print_row(("random #" + std::to_string(i)).c_str(), g);
+    }
+    std::printf("\n(The elision never changes timing; verified by the test "
+                "suite.)\n\n");
+}
+
+void BM_ConstructElided(benchmark::State& state) {
+    const auto cases = table1_benchmarks();
+    const SymbolicIteration it =
+        symbolic_iteration(cases[static_cast<std::size_t>(state.range(0))].graph);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reduced_hsdf_from_matrix(it.matrix, "e"));
+    }
+    state.SetLabel(cases[static_cast<std::size_t>(state.range(0))].label);
+}
+
+void BM_ConstructFull(benchmark::State& state) {
+    const auto cases = table1_benchmarks();
+    const SymbolicIteration it =
+        symbolic_iteration(cases[static_cast<std::size_t>(state.range(0))].graph);
+    const ReducedHsdfOptions keep{.elide_single_client_muxes = false};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reduced_hsdf_from_matrix(it.matrix, "f", keep));
+    }
+    state.SetLabel(cases[static_cast<std::size_t>(state.range(0))].label);
+}
+
+BENCHMARK(BM_ConstructElided)->DenseRange(0, 7);
+BENCHMARK(BM_ConstructFull)->DenseRange(0, 7);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_ablation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

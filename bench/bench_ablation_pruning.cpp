@@ -1,0 +1,66 @@
+// bench_ablation_pruning — ablation of the Section 4.2 redundant-edge
+// pruning: an abstraction maps every original channel onto an abstract one,
+// so the raw abstract graph has as many channels as the original; pruning
+// keeps one minimum-delay representative per parallel group.  Measures the
+// channel reduction and the effect on analysis time.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/throughput.hpp"
+#include "gen/regular.hpp"
+#include "transform/abstraction.hpp"
+
+namespace {
+
+using namespace sdf;
+
+void print_ablation() {
+    std::printf("Ablation: Section 4.2 redundant parallel-edge pruning\n");
+    std::printf("%8s %16s %16s %16s\n", "n", "orig channels", "abs unpruned",
+                "abs pruned");
+    for (Int n = 6; n <= 1536; n *= 4) {
+        const Graph g = figure1_graph(n);
+        const AbstractionSpec spec = abstraction_by_name_suffix(g);
+        const Graph unpruned = abstract_graph(g, spec, /*prune=*/false);
+        const Graph pruned = abstract_graph(g, spec, /*prune=*/true);
+        std::printf("%8ld %16zu %16zu %16zu\n", static_cast<long>(n),
+                    g.channel_count(), unpruned.channel_count(),
+                    pruned.channel_count());
+    }
+    std::printf("\n(Pruning never changes the computed period; verified by the "
+                "test suite.)\n\n");
+}
+
+void BM_AnalyseUnprunedAbstract(benchmark::State& state) {
+    const Graph g = figure1_graph(state.range(0));
+    const Graph abstract =
+        abstract_graph(g, abstraction_by_name_suffix(g), /*prune=*/false);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(throughput_symbolic(abstract));
+    }
+}
+
+void BM_AnalysePrunedAbstract(benchmark::State& state) {
+    const Graph g = figure1_graph(state.range(0));
+    const Graph abstract =
+        abstract_graph(g, abstraction_by_name_suffix(g), /*prune=*/true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(throughput_symbolic(abstract));
+    }
+}
+
+// The unpruned abstract graph of figure1_graph(n) carries ~4n initial
+// tokens, so its iteration matrix grows quadratically — exactly the cost
+// pruning avoids.  Keep the sweep modest.
+BENCHMARK(BM_AnalyseUnprunedAbstract)->RangeMultiplier(2)->Range(24, 192);
+BENCHMARK(BM_AnalysePrunedAbstract)->RangeMultiplier(2)->Range(24, 192);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_ablation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

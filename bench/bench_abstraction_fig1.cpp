@@ -1,0 +1,72 @@
+// bench_abstraction_fig1 — reproduces the Section 4.1 example study:
+// the regular graph of Figure 1(a) with n copies of the Ai actor has
+// throughput 1/(5n-7); the abstract graph of Figure 1(b) estimates it as
+// 1/(5n).  The estimate is conservative and its relative error vanishes as
+// n grows.  Prints the sweep and times full analysis of the original graph
+// against abstraction + analysis of the reduced graph.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/throughput.hpp"
+#include "gen/regular.hpp"
+#include "transform/abstraction.hpp"
+
+namespace {
+
+using namespace sdf;
+
+void print_sweep() {
+    std::printf("Section 4.1: abstraction of the Figure 1 family\n");
+    std::printf("%8s %10s %14s %14s %12s %10s\n", "n", "actors", "throughput",
+                "estimate", "expected", "rel.err");
+    std::printf("%8s %10s %14s %14s %12s %10s\n", "", "", "1/(5n-7)", "tau(A)/N",
+                "1/(5n)", "");
+    for (Int n = 6; n <= 3072; n *= 2) {
+        const Graph g = figure1_graph(n);
+        const ThroughputResult original = throughput_symbolic(g);
+        const AbstractionSpec spec = abstraction_by_name_suffix(g);
+        const Graph abstract = abstract_graph(g, spec);
+        const ThroughputResult reduced = throughput_symbolic(abstract);
+        const Rational actual = original.per_actor[*g.find_actor("A1")];
+        const Rational estimate =
+            reduced.per_actor[*abstract.find_actor("A")] / Rational(spec.fold());
+        const double rel_err =
+            (actual.to_double() - estimate.to_double()) / actual.to_double();
+        std::printf("%8ld %10zu %14s %14s %12s %9.4f%%\n", static_cast<long>(n),
+                    g.actor_count(), actual.to_string().c_str(),
+                    estimate.to_string().c_str(),
+                    Rational(1, 5 * n).to_string().c_str(), 100.0 * rel_err);
+    }
+    std::printf("\n");
+}
+
+void BM_AnalyseOriginal(benchmark::State& state) {
+    const Graph g = figure1_graph(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(throughput_symbolic(g));
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void BM_AbstractThenAnalyse(benchmark::State& state) {
+    const Graph g = figure1_graph(state.range(0));
+    for (auto _ : state) {
+        const AbstractionSpec spec = abstraction_by_name_suffix(g);
+        const Graph abstract = abstract_graph(g, spec);
+        benchmark::DoNotOptimize(throughput_symbolic(abstract));
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+BENCHMARK(BM_AnalyseOriginal)->RangeMultiplier(4)->Range(8, 2048)->Complexity();
+BENCHMARK(BM_AbstractThenAnalyse)->RangeMultiplier(4)->Range(8, 2048)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_sweep();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

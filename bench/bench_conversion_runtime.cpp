@@ -1,0 +1,62 @@
+// bench_conversion_runtime — checks the Section 7 run-time claim: "The
+// run-time of the algorithms is a few milliseconds."  Times the traditional
+// conversion, the symbolic-execution phase and the full new conversion per
+// benchmark application and prints a wall-clock summary table.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "gen/benchmarks.hpp"
+#include "transform/hsdf_classic.hpp"
+#include "transform/hsdf_reduced.hpp"
+#include "transform/symbolic.hpp"
+
+namespace {
+
+using namespace sdf;
+
+double wall_ms(const auto& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+void print_runtimes() {
+    std::printf("Section 7 run-time claim: conversions take a few milliseconds\n");
+    std::printf("%-26s %14s %14s %14s\n", "test case", "traditional", "symbolic",
+                "new (total)");
+    std::printf("%-26s %14s %14s %14s\n", "", "ms", "ms", "ms");
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        const double traditional =
+            wall_ms([&] { benchmark::DoNotOptimize(to_hsdf_classic(bench.graph)); });
+        const double symbolic =
+            wall_ms([&] { benchmark::DoNotOptimize(symbolic_iteration(bench.graph)); });
+        const double reduced =
+            wall_ms([&] { benchmark::DoNotOptimize(to_hsdf_reduced(bench.graph)); });
+        std::printf("%-26s %14.3f %14.3f %14.3f\n", bench.label.c_str(), traditional,
+                    symbolic, reduced);
+    }
+    std::printf("\n");
+}
+
+void BM_SymbolicIteration(benchmark::State& state) {
+    const auto cases = table1_benchmarks();
+    const BenchmarkCase& bench = cases[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(symbolic_iteration(bench.graph));
+    }
+    state.SetLabel(bench.label);
+}
+
+BENCHMARK(BM_SymbolicIteration)->DenseRange(0, 7);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_runtimes();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,58 @@
+// bench_mapping — multiprocessor design exploration on the regular
+// application graphs: throughput of the bound system versus processor
+// count (LPT load balancing, PASS-projected static orders).  This is the
+// downstream flow ([13, 15, 16]) whose inner loop the paper's reductions
+// accelerate; the printed table shows the classic saturation shape —
+// speedup grows with processors until the application's own critical cycle
+// takes over.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/throughput.hpp"
+#include "gen/regular.hpp"
+#include "mapping/bind.hpp"
+
+namespace {
+
+using namespace sdf;
+
+void print_exploration(const char* label, const Graph& g) {
+    const ThroughputResult ideal = throughput_symbolic(g);
+    std::printf("%s (unmapped period %s):\n", label, ideal.period.to_string().c_str());
+    std::printf("  %10s %16s %10s\n", "processors", "period", "speedup");
+    const Rational serial =
+        throughput_symbolic(bind(g, balance_load(g, 1))).period;
+    for (const std::size_t p : {1u, 2u, 4u, 8u, 16u}) {
+        const Graph bound = bind(g, balance_load(g, p));
+        const ThroughputResult t = throughput_symbolic(bound);
+        std::printf("  %10zu %16s %10.2f\n", p, t.period.to_string().c_str(),
+                    serial.to_double() / t.period.to_double());
+    }
+    std::printf("\n");
+}
+
+void print_tables() {
+    print_exploration("figure1(24)", figure1_graph(24));
+    print_exploration("prefetch(24)", prefetch_graph(24));
+}
+
+void BM_BindAndAnalyse(benchmark::State& state) {
+    const Graph g = figure1_graph(48);
+    const auto processors = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        const Graph bound = bind(g, balance_load(g, processors));
+        benchmark::DoNotOptimize(throughput_symbolic(bound));
+    }
+}
+
+BENCHMARK(BM_BindAndAnalyse)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_tables();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,93 @@
+// bench_mcm_algorithms — ablation over the cycle-metric solvers the
+// throughput analyses can sit on (the paper cites Dasdan/Irani/Gupta [5]
+// for this design space): Karp's exact max cycle mean on the iteration
+// matrix, the exact Stern–Brocot max cycle ratio on the reduced HSDF, and
+// Howard's floating-point policy iteration.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "gen/benchmarks.hpp"
+#include "maxplus/mcm.hpp"
+#include "sdf/properties.hpp"
+#include "transform/hsdf_reduced.hpp"
+#include "transform/symbolic.hpp"
+
+namespace {
+
+using namespace sdf;
+
+struct Prepared {
+    std::string label;
+    Digraph matrix_graph;   // precedence graph of the iteration matrix
+    Digraph reduced_graph;  // dependency digraph of the reduced HSDF
+};
+
+std::vector<Prepared> prepare() {
+    std::vector<Prepared> out;
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        const SymbolicIteration it = symbolic_iteration(bench.graph);
+        out.push_back(Prepared{
+            bench.label,
+            it.matrix.precedence_graph(),
+            dependency_digraph(reduced_hsdf_from_matrix(it.matrix, "r")),
+        });
+    }
+    return out;
+}
+
+void print_agreement() {
+    std::printf("Cycle-metric solvers on the benchmark suite (must agree)\n");
+    std::printf("%-26s %14s %16s %14s\n", "test case", "Karp (exact)",
+                "SternBrocot", "Howard (f64)");
+    for (const Prepared& p : prepare()) {
+        const CycleMetric karp = max_cycle_mean_karp(p.matrix_graph);
+        const CycleMetric exact = max_cycle_ratio_exact(p.reduced_graph);
+        const CycleMetricDouble howard = max_cycle_ratio_howard(p.reduced_graph);
+        std::printf("%-26s %14s %16s %14.3f\n", p.label.c_str(),
+                    karp.is_finite() ? karp.value.to_string().c_str() : "-",
+                    exact.is_finite() ? exact.value.to_string().c_str() : "-",
+                    howard.outcome == CycleOutcome::finite ? howard.value : -1.0);
+    }
+    std::printf("\n");
+}
+
+void BM_Karp(benchmark::State& state) {
+    const auto prepared = prepare();
+    const Prepared& p = prepared[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(max_cycle_mean_karp(p.matrix_graph));
+    }
+    state.SetLabel(p.label);
+}
+
+void BM_SternBrocotExact(benchmark::State& state) {
+    const auto prepared = prepare();
+    const Prepared& p = prepared[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(max_cycle_ratio_exact(p.reduced_graph));
+    }
+    state.SetLabel(p.label);
+}
+
+void BM_HowardDouble(benchmark::State& state) {
+    const auto prepared = prepare();
+    const Prepared& p = prepared[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(max_cycle_ratio_howard(p.reduced_graph));
+    }
+    state.SetLabel(p.label);
+}
+
+BENCHMARK(BM_Karp)->DenseRange(0, 7);
+BENCHMARK(BM_SternBrocotExact)->DenseRange(0, 7);
+BENCHMARK(BM_HowardDouble)->DenseRange(0, 7);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_agreement();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

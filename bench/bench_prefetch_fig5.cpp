@@ -1,0 +1,72 @@
+// bench_prefetch_fig5 — reproduces the Section 7 case study (Figure 5):
+// the remote-memory-access model of a full-search block-matching motion
+// estimator [16].  1584 block computations per video frame are pre-fetched
+// over a network-on-chip through communication assists; the obvious
+// abstraction collapses 4752 actors into 3 and has *exactly* the same
+// throughput as the original graph.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/throughput.hpp"
+#include "gen/regular.hpp"
+#include "transform/abstraction.hpp"
+#include "transform/compare.hpp"
+
+namespace {
+
+using namespace sdf;
+
+constexpr Int kBlocks = 1584;  // "In total, 1584 of such computations ..."
+
+void print_case_study() {
+    const Graph g = prefetch_graph(kBlocks);
+    const AbstractionSpec spec = abstraction_by_name_suffix(g);
+    const Graph abstract = abstract_graph(g, spec);
+    const ThroughputResult original = throughput_symbolic(g);
+    const ThroughputResult reduced = throughput_symbolic(abstract);
+    const Rational actual = original.per_actor[*g.find_actor("C1")];
+    const Rational estimate =
+        reduced.per_actor[*abstract.find_actor("C")] / Rational(spec.fold());
+
+    std::printf("Figure 5 case study: remote memory access model, %ld blocks\n",
+                static_cast<long>(kBlocks));
+    std::printf("  original graph : %6zu actors, %6zu channels\n", g.actor_count(),
+                g.channel_count());
+    std::printf("  abstract graph : %6zu actors, %6zu channels\n",
+                abstract.actor_count(), abstract.channel_count());
+    std::printf("  block throughput, original : %s\n", actual.to_string().c_str());
+    std::printf("  block throughput, estimate : %s\n", estimate.to_string().c_str());
+    std::printf("  estimate exact?            : %s  (paper: \"exactly the same "
+                "throughput\")\n",
+                actual == estimate ? "YES" : "NO");
+    std::printf("  matches hand-built Figure 5 abstraction: %s\n\n",
+                structurally_equal(abstract, prefetch_abstract()) ? "YES" : "NO");
+}
+
+void BM_PrefetchAnalyseOriginal(benchmark::State& state) {
+    const Graph g = prefetch_graph(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(throughput_symbolic(g));
+    }
+}
+
+void BM_PrefetchAbstractAndAnalyse(benchmark::State& state) {
+    const Graph g = prefetch_graph(state.range(0));
+    for (auto _ : state) {
+        const AbstractionSpec spec = abstraction_by_name_suffix(g);
+        benchmark::DoNotOptimize(throughput_symbolic(abstract_graph(g, spec)));
+    }
+}
+
+BENCHMARK(BM_PrefetchAnalyseOriginal)->Arg(99)->Arg(396)->Arg(1584);
+BENCHMARK(BM_PrefetchAbstractAndAnalyse)->Arg(99)->Arg(396)->Arg(1584);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_case_study();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,63 @@
+// bench_scenarios — the scenario extension quantified: worst-case period
+// over arbitrary mode switching versus the standalone periods, and the cost
+// of the analysis itself as the number of scenarios grows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "gen/regular.hpp"
+#include "transform/scenarios.hpp"
+
+namespace {
+
+using namespace sdf;
+
+/// Figure-1-shaped scenario: the same structure with mode-dependent times.
+Graph mode(Int n, Int scale) {
+    Graph g = figure1_graph(n);
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        g.set_execution_time(a, g.actor(a).execution_time * scale);
+    }
+    g.set_name(g.name() + "_x" + std::to_string(scale));
+    return g;
+}
+
+void print_table() {
+    std::printf("Scenario analysis on the figure1(8) structure\n");
+    std::printf("%10s %22s %18s\n", "scenarios", "standalone periods", "worst case");
+    for (const int count : {1, 2, 3, 4}) {
+        std::vector<Scenario> scenarios;
+        std::string standalone;
+        for (int s = 1; s <= count; ++s) {
+            scenarios.push_back({"x" + std::to_string(s), mode(8, s)});
+        }
+        const ScenarioAnalysis analysis = analyse_scenarios(scenarios);
+        for (const Rational& p : analysis.periods) {
+            standalone += p.to_string() + " ";
+        }
+        std::printf("%10d %22s %18s\n", count, standalone.c_str(),
+                    analysis.worst_case_period.to_string().c_str());
+    }
+    std::printf("\n");
+}
+
+void BM_AnalyseScenarios(benchmark::State& state) {
+    std::vector<Scenario> scenarios;
+    for (Int s = 1; s <= state.range(0); ++s) {
+        scenarios.push_back({"x" + std::to_string(s), mode(16, s)});
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analyse_scenarios(scenarios));
+    }
+}
+
+BENCHMARK(BM_AnalyseScenarios)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

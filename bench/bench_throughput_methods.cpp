@@ -1,0 +1,66 @@
+// bench_throughput_methods — ablation over the three throughput routes:
+// symbolic matrix + Karp (the [8]-style method the paper builds on), the
+// classical-HSDF pipeline of [11, 15], and explicit state-space
+// simulation.  Shows why reductions matter: the classical route's cost
+// follows the iteration length, the symbolic route's the token count.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/throughput.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/regular.hpp"
+
+namespace {
+
+using namespace sdf;
+
+void print_agreement() {
+    std::printf("Throughput routes on the benchmark suite (periods must agree)\n");
+    std::printf("%-26s %16s %16s\n", "test case", "symbolic+Karp", "classic+MCR");
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        const ThroughputResult symbolic = throughput_symbolic(bench.graph);
+        // The classical route on the two biggest cases (mp3 playback,
+        // satellite) expands to thousands of actors; still fine, but the
+        // exact MCR is what dominates.
+        const ThroughputResult classic = throughput_via_classic_hsdf(bench.graph);
+        std::printf("%-26s %16s %16s\n", bench.label.c_str(),
+                    symbolic.is_finite() ? symbolic.period.to_string().c_str() : "-",
+                    classic.is_finite() ? classic.period.to_string().c_str() : "-");
+    }
+    std::printf("\n");
+}
+
+void BM_RouteSymbolic(benchmark::State& state) {
+    const Graph g = figure1_graph(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(throughput_symbolic(g));
+    }
+}
+
+void BM_RouteClassicHsdf(benchmark::State& state) {
+    const Graph g = figure1_graph(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(throughput_via_classic_hsdf(g));
+    }
+}
+
+void BM_RouteSimulation(benchmark::State& state) {
+    const Graph g = figure1_graph(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(throughput_simulation(g));
+    }
+}
+
+BENCHMARK(BM_RouteSymbolic)->RangeMultiplier(2)->Range(8, 128);
+BENCHMARK(BM_RouteClassicHsdf)->RangeMultiplier(2)->Range(8, 128);
+BENCHMARK(BM_RouteSimulation)->RangeMultiplier(2)->Range(8, 128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_agreement();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

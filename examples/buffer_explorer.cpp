@@ -1,0 +1,66 @@
+// buffer_explorer.cpp — throughput/buffer trade-off exploration on the
+// CD→DAT sample-rate converter (the paper's Table 1 case 7; buffer sizing
+// is the application domain of its citations [18, 19]).
+//
+// Channel capacities are modelled by reverse channels carrying free-space
+// tokens (analysis/buffers.hpp); the closed graph is then analysed with the
+// ordinary throughput machinery.  The example finds the minimum deadlock-
+// free capacities and sweeps a uniform capacity factor to print the
+// trade-off curve.
+#include <iostream>
+#include <vector>
+
+#include "analysis/buffers.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/throughput.hpp"
+#include "gen/benchmarks.hpp"
+#include "sdf/repetition.hpp"
+
+int main() {
+    using namespace sdf;
+
+    const Graph app = samplerate_converter();
+    std::cout << "Application: " << app.name() << " (CD 44.1kHz -> DAT 48kHz)\n";
+    const Rational unbuffered = throughput_symbolic(app).per_actor[5];
+    std::cout << "DAT-side throughput with unbounded channels: "
+              << unbuffered.to_string() << "\n\n";
+
+    // Minimum live capacity per data channel (self-loops are state, skip).
+    std::cout << "Minimum deadlock-free capacity per channel:\n";
+    std::vector<Int> min_capacity(app.channel_count(), 0);
+    for (ChannelId c = 0; c < app.channel_count(); ++c) {
+        const Channel& ch = app.channel(c);
+        if (ch.is_self_loop()) {
+            min_capacity[c] = ch.initial_tokens;
+            continue;
+        }
+        min_capacity[c] = minimum_live_capacity(app, c, 4096);
+        std::cout << "  " << app.actor(ch.src).name << " -> " << app.actor(ch.dst).name
+                  << " (" << ch.production << ":" << ch.consumption
+                  << "): " << min_capacity[c] << " tokens\n";
+    }
+
+    // Sweep: all channels at factor * minimum capacity.
+    std::cout << "\nThroughput vs uniform capacity factor:\n";
+    std::cout << "  factor   DAT throughput      of unbounded\n";
+    for (const Int factor : {1, 2, 3, 4, 6, 8, 16}) {
+        std::vector<Int> capacities;
+        capacities.reserve(app.channel_count());
+        for (ChannelId c = 0; c < app.channel_count(); ++c) {
+            capacities.push_back(min_capacity[c] * factor);
+        }
+        const Graph bounded = with_buffer_capacities(app, capacities);
+        const ThroughputResult t = throughput_symbolic(bounded);
+        if (t.outcome == ThroughputOutcome::deadlocked) {
+            std::cout << "  " << factor << "        deadlock\n";
+            continue;
+        }
+        const Rational dat = t.per_actor[5];
+        std::cout << "  " << factor << "        " << dat.to_string() << "      "
+                  << 100.0 * dat.to_double() / unbuffered.to_double() << "%\n";
+    }
+
+    std::cout << "\nAt small capacities the reverse channels throttle the "
+                 "pipeline; the curve saturates at the unbuffered rate.\n";
+    return 0;
+}

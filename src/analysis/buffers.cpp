@@ -1,0 +1,56 @@
+#include "analysis/buffers.hpp"
+
+#include "analysis/liveness.hpp"
+#include "base/errors.hpp"
+
+namespace sdf {
+
+Graph with_buffer_capacity(const Graph& graph, ChannelId channel, Int capacity) {
+    require(channel < graph.channel_count(), "channel id out of range");
+    const Channel& ch = graph.channel(channel);
+    require(capacity >= ch.initial_tokens,
+            "capacity smaller than the channel's initial token count");
+    Graph result = graph;
+    if (!ch.is_self_loop()) {
+        result.add_channel(ch.dst, ch.src, ch.consumption, ch.production,
+                           checked_sub(capacity, ch.initial_tokens));
+    }
+    return result;
+}
+
+Graph with_buffer_capacities(const Graph& graph, const std::vector<Int>& capacities) {
+    require(capacities.size() == graph.channel_count(),
+            "one capacity per channel required");
+    Graph result = graph;
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        const Channel& ch = graph.channel(c);
+        if (ch.is_self_loop()) {
+            continue;
+        }
+        require(capacities[c] >= ch.initial_tokens,
+                "capacity smaller than the channel's initial token count");
+        result.add_channel(ch.dst, ch.src, ch.consumption, ch.production,
+                           checked_sub(capacities[c], ch.initial_tokens));
+    }
+    return result;
+}
+
+Int minimum_live_capacity(const Graph& graph, ChannelId channel, Int upper) {
+    require(channel < graph.channel_count(), "channel id out of range");
+    Int lo = graph.channel(channel).initial_tokens;
+    if (!is_live(with_buffer_capacity(graph, channel, upper))) {
+        throw Error("graph is not live even at the capacity upper bound");
+    }
+    Int hi = upper;
+    while (lo < hi) {
+        const Int mid = lo + (hi - lo) / 2;
+        if (is_live(with_buffer_capacity(graph, channel, mid))) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return lo;
+}
+
+}  // namespace sdf

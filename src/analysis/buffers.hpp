@@ -1,0 +1,30 @@
+// buffers.hpp — modelling bounded channel capacities.
+//
+// SDF channels are unbounded FIFOs; real interconnects are not.  The
+// standard modelling trick (used by the buffer-sizing work the paper cites
+// [18, 19]) makes a capacity explicit: a channel (a, b, p, c, d) bounded to
+// B tokens gains a reverse channel (b, a, c, p, B − d) whose tokens
+// represent free buffer space.  Producing then requires space, and all
+// throughput/latency analyses apply unchanged to the closed graph.
+#pragma once
+
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Returns a copy of `graph` with channel `channel` bounded to `capacity`
+/// tokens (capacity must be at least the channel's initial tokens).
+Graph with_buffer_capacity(const Graph& graph, ChannelId channel, Int capacity);
+
+/// Bounds every channel; `capacities` is indexed by channel id.  Self-loop
+/// channels are left unchanged (a reverse self-loop adds nothing).
+Graph with_buffer_capacities(const Graph& graph, const std::vector<Int>& capacities);
+
+/// Smallest capacity of `channel` (searched in [initial tokens, upper])
+/// that keeps the graph live.  Liveness is monotone in capacity, so this is
+/// a binary search.  Throws Error when even `upper` deadlocks.
+Int minimum_live_capacity(const Graph& graph, ChannelId channel, Int upper);
+
+}  // namespace sdf

@@ -1,0 +1,88 @@
+#include "analysis/deadlock.hpp"
+
+#include <deque>
+
+#include "sdf/repetition.hpp"
+
+namespace sdf {
+
+DeadlockDiagnosis diagnose_deadlock(const Graph& graph) {
+    const std::vector<Int> repetition = repetition_vector(graph);
+    const std::size_t n = graph.actor_count();
+
+    std::vector<std::vector<ChannelId>> inputs(n);
+    std::vector<std::vector<ChannelId>> outputs(n);
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        inputs[graph.channel(c).dst].push_back(c);
+        outputs[graph.channel(c).src].push_back(c);
+    }
+
+    std::vector<Int> tokens;
+    tokens.reserve(graph.channel_count());
+    for (const Channel& c : graph.channels()) {
+        tokens.push_back(c.initial_tokens);
+    }
+    std::vector<Int> remaining = repetition;
+
+    // Greedy maximal execution (same fixed point regardless of order).
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (ActorId a = 0; a < n; ++a) {
+            while (remaining[a] > 0) {
+                bool enabled = true;
+                for (const ChannelId ci : inputs[a]) {
+                    if (tokens[ci] < graph.channel(ci).consumption) {
+                        enabled = false;
+                        break;
+                    }
+                }
+                if (!enabled) {
+                    break;
+                }
+                for (const ChannelId ci : inputs[a]) {
+                    tokens[ci] -= graph.channel(ci).consumption;
+                }
+                for (const ChannelId ci : outputs[a]) {
+                    tokens[ci] = checked_add(tokens[ci], graph.channel(ci).production);
+                }
+                --remaining[a];
+                progress = true;
+            }
+        }
+    }
+
+    DeadlockDiagnosis diagnosis;
+    for (ActorId a = 0; a < n; ++a) {
+        if (remaining[a] == 0) {
+            continue;
+        }
+        diagnosis.deadlocked = true;
+        for (const ChannelId ci : inputs[a]) {
+            const Channel& ch = graph.channel(ci);
+            if (tokens[ci] < ch.consumption) {
+                diagnosis.blocked.push_back(Starvation{
+                    a, ci, tokens[ci], ch.consumption, remaining[a]});
+            }
+        }
+    }
+    return diagnosis;
+}
+
+std::string DeadlockDiagnosis::describe(const Graph& graph) const {
+    if (!deadlocked) {
+        return "live: one full iteration completes\n";
+    }
+    std::string out = "deadlock: the iteration stalls\n";
+    for (const Starvation& s : blocked) {
+        const Channel& ch = graph.channel(s.channel);
+        out += "  actor " + graph.actor(s.actor).name + " blocked on channel " +
+               graph.actor(ch.src).name + " -> " + graph.actor(ch.dst).name +
+               ": has " + std::to_string(s.available) + " of " +
+               std::to_string(s.required) + " tokens, " +
+               std::to_string(s.remaining_firings) + " firing(s) remaining\n";
+    }
+    return out;
+}
+
+}  // namespace sdf

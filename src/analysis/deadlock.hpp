@@ -1,0 +1,41 @@
+// deadlock.hpp — deadlock diagnosis with a witness.
+//
+// is_live() answers yes/no; when designing a graph (or choosing buffer
+// capacities) one wants to know *why* an iteration cannot complete.  The
+// analysis runs the maximal partial execution of one iteration and, on a
+// stall, reports per blocked actor which input channel starves it and by
+// how many tokens.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// One starving dependency of a blocked actor.
+struct Starvation {
+    ActorId actor = 0;        ///< the blocked actor
+    ChannelId channel = 0;    ///< the input channel lacking tokens
+    Int available = 0;        ///< tokens present when execution stalled
+    Int required = 0;         ///< tokens one firing needs (consumption rate)
+    Int remaining_firings = 0;  ///< firings of `actor` still owed this iteration
+};
+
+/// Diagnosis of one iteration's execution.
+struct DeadlockDiagnosis {
+    bool deadlocked = false;          ///< false: the iteration completes
+    std::vector<Starvation> blocked;  ///< empty when not deadlocked
+
+    /// Human-readable multi-line report ("actor X blocked on channel
+    /// Y->X: has 1 of 3 tokens, 2 firings remaining").
+    [[nodiscard]] std::string describe(const Graph& graph) const;
+};
+
+/// Executes the maximal prefix of one iteration and reports the stall, if
+/// any.  Throws InconsistentGraphError when the graph has no repetition
+/// vector.
+DeadlockDiagnosis diagnose_deadlock(const Graph& graph);
+
+}  // namespace sdf

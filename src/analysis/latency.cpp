@@ -1,0 +1,70 @@
+#include "analysis/latency.hpp"
+
+#include <vector>
+
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "sdf/simulate.hpp"
+
+namespace sdf {
+
+Int iteration_makespan(const Graph& graph) {
+    return simulate_iterations(graph, 1).makespan;
+}
+
+Int response_latency(const Graph& graph, ActorId actor) {
+    require(actor < graph.actor_count(), "actor id out of range");
+    const FiniteRun run = simulate_iterations(graph, 1);
+    const Int t = run.first_completion_times[actor];
+    if (t < 0) {
+        throw Error("actor '" + graph.actor(actor).name +
+                    "' does not fire in one iteration");
+    }
+    return t;
+}
+
+std::optional<Rational> minimum_latency(const Graph& graph, ActorId src, ActorId dst,
+                                        const Rational& period) {
+    require(src < graph.actor_count() && dst < graph.actor_count(),
+            "actor id out of range");
+    require(graph.is_homogeneous(), "minimum_latency is defined on homogeneous graphs");
+    // Feasibility: period >= iteration period, so the reweighted graph has
+    // no positive cycle and the longest paths below are finite.
+    const ThroughputResult t = throughput_symbolic(graph);
+    if (t.outcome == ThroughputOutcome::deadlocked) {
+        throw Error("minimum_latency: graph deadlocks");
+    }
+    if (t.is_finite()) {
+        require(period >= t.period,
+                "minimum_latency: period below the iteration period is infeasible");
+    }
+    // Longest path from src in the (T(a) − period·d)-reweighted graph.
+    const std::size_t n = graph.actor_count();
+    std::vector<std::optional<Rational>> dist(n);
+    dist[src] = Rational(0);
+    bool converged = false;
+    for (std::size_t round = 0; round <= n && !converged; ++round) {
+        converged = true;
+        for (const Channel& ch : graph.channels()) {
+            if (!dist[ch.src]) {
+                continue;
+            }
+            const Rational candidate = *dist[ch.src] +
+                                       Rational(graph.actor(ch.src).execution_time) -
+                                       period * Rational(ch.initial_tokens);
+            if (!dist[ch.dst] || candidate > *dist[ch.dst]) {
+                dist[ch.dst] = candidate;
+                converged = false;
+            }
+        }
+    }
+    if (!converged) {
+        throw Error("minimum_latency: internal error, potentials diverge");
+    }
+    if (!dist[dst]) {
+        return std::nullopt;  // offsets of src and dst are independent
+    }
+    return *dist[dst] + Rational(graph.actor(dst).execution_time);
+}
+
+}  // namespace sdf

@@ -1,0 +1,46 @@
+// latency.hpp — latency measures for timed SDF graphs.
+//
+// The paper motivates its reductions with both throughput and latency
+// analysis [15, 9].  Two standard measures are provided, both under
+// self-timed execution with all initial tokens available at time 0:
+//
+//  * iteration_makespan — the completion time of the last firing of one
+//    complete iteration (Section 4.1: "a single execution of the graph of
+//    Figure 1(a) takes 23 time units");
+//  * response_latency — the completion time of the first firing of a given
+//    (output) actor.
+#pragma once
+
+#include <optional>
+
+#include "base/checked.hpp"
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Completion time of one full iteration started at time 0.  Throws
+/// DeadlockError / InconsistentGraphError when no iteration can execute.
+Int iteration_makespan(const Graph& graph);
+
+/// Completion time of the first firing of `actor` under self-timed
+/// execution of one iteration; throws Error when the actor never fires.
+Int response_latency(const Graph& graph, ActorId actor);
+
+/// Minimal steady-state latency from `src` to `dst` over ALL periodic
+/// schedules with period `period` (which must be at least the iteration
+/// period): the difference system s(b) − s(a) >= T(a) − period·d has the
+/// longest reweighted src→dst path as its tightest feasible spacing, so
+///
+///     L = (longest path src→dst of Σ T(a_i) − period·Σ d) + T(dst).
+///
+/// The latency-minimisation question of the paper's citation [9], answered
+/// exactly on homogeneous graphs.  Returns std::nullopt when dst is not
+/// reachable from src through the constraint graph (their offsets are
+/// independent).  For src == dst the empty path yields T(src).  Larger
+/// periods can only shrink the minimum (token-crossing paths relax), which
+/// the property tests check.
+std::optional<Rational> minimum_latency(const Graph& graph, ActorId src, ActorId dst,
+                                        const Rational& period);
+
+}  // namespace sdf

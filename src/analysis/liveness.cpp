@@ -1,0 +1,23 @@
+#include "analysis/liveness.hpp"
+
+#include "maxplus/mcm.hpp"
+#include "sdf/properties.hpp"
+#include "sdf/repetition.hpp"
+#include "sdf/schedule.hpp"
+#include "transform/hsdf_classic.hpp"
+
+namespace sdf {
+
+bool is_live(const Graph& graph) {
+    return is_deadlock_free(graph);
+}
+
+bool is_live_via_hsdf(const Graph& graph) {
+    if (!is_consistent(graph)) {
+        return false;
+    }
+    const ClassicHsdf hsdf = to_hsdf_classic(graph);
+    return !has_zero_token_cycle(dependency_digraph(hsdf.graph));
+}
+
+}  // namespace sdf

@@ -1,0 +1,23 @@
+// liveness.hpp — liveness (deadlock freedom) of SDF graphs.
+//
+// A consistent SDF graph is live when one full iteration can execute from
+// the initial token distribution; by periodicity it can then execute
+// forever.  Equivalently, the classical HSDF expansion has no zero-token
+// cycle; both characterisations are implemented and tested against each
+// other.
+#pragma once
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// True when the graph is consistent and deadlock-free (schedulability
+/// test on one iteration).
+bool is_live(const Graph& graph);
+
+/// Liveness via the HSDF route: the classical expansion has no cycle of
+/// zero-token channels.  Exponentially larger intermediate graph; exists
+/// for cross-validation.
+bool is_live_via_hsdf(const Graph& graph);
+
+}  // namespace sdf

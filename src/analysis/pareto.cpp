@@ -1,0 +1,134 @@
+#include "analysis/pareto.hpp"
+
+#include <optional>
+
+#include "analysis/buffers.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+
+namespace sdf {
+
+namespace {
+
+/// Period of `graph` with the given capacities; nullopt when the closed
+/// graph deadlocks.
+std::optional<Rational> period_at(const Graph& graph, const std::vector<Int>& capacities) {
+    const ThroughputResult t = throughput_symbolic(with_buffer_capacities(graph, capacities));
+    switch (t.outcome) {
+        case ThroughputOutcome::deadlocked:
+            return std::nullopt;
+        case ThroughputOutcome::unbounded:
+            return Rational(0);
+        case ThroughputOutcome::finite:
+            return t.period;
+    }
+    throw Error("unreachable");
+}
+
+Int total_buffer(const Graph& graph, const std::vector<Int>& capacities) {
+    Int total = 0;
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        if (!graph.channel(c).is_self_loop()) {
+            total = checked_add(total, capacities[c]);
+        }
+    }
+    return total;
+}
+
+}  // namespace
+
+std::vector<ParetoPoint> buffer_throughput_tradeoff(const Graph& graph,
+                                                    const ParetoOptions& options) {
+    const ThroughputResult open = throughput_symbolic(graph);
+    if (!open.is_finite()) {
+        throw Error("buffer_throughput_tradeoff: unbounded-capacity graph must have a "
+                    "finite positive period (add self-loops first)");
+    }
+    const Rational target = open.period;
+
+    // Start point: minimal live capacity per channel.
+    std::vector<Int> capacities(graph.channel_count(), 0);
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        const Channel& ch = graph.channel(c);
+        capacities[c] = ch.is_self_loop()
+                            ? ch.initial_tokens
+                            : minimum_live_capacity(graph, c, options.capacity_upper);
+    }
+    // The per-channel minima may deadlock jointly; enlarge until live.
+    for (Int guard = 0; !is_live(with_buffer_capacities(graph, capacities)); ++guard) {
+        if (guard > options.max_steps) {
+            throw Error("buffer_throughput_tradeoff: no jointly live capacity found");
+        }
+        // Enlarge the channel the deadlocked execution starves on most
+        // cheaply: bump every non-self-loop channel by one token's worth.
+        for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+            if (!graph.channel(c).is_self_loop()) {
+                capacities[c] = checked_add(capacities[c], 1);
+            }
+        }
+    }
+
+    std::vector<ParetoPoint> points;
+    std::optional<Rational> current = period_at(graph, capacities);
+    if (!current) {
+        throw Error("internal: live capacities reported deadlock");
+    }
+    points.push_back(ParetoPoint{capacities, total_buffer(graph, capacities), *current});
+
+    for (Int step = 0; *current > target && step < options.max_steps; ++step) {
+        // Greedy: the +1 enlargement with the best period improvement.
+        std::optional<ChannelId> best;
+        Rational best_period = *current;
+        for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+            if (graph.channel(c).is_self_loop()) {
+                continue;
+            }
+            std::vector<Int> candidate = capacities;
+            candidate[c] = checked_add(candidate[c], 1);
+            const std::optional<Rational> period = period_at(graph, candidate);
+            if (period && *period < best_period) {
+                best_period = *period;
+                best = c;
+            }
+        }
+        if (!best) {
+            // No single +1 helps: enlarge the currently binding channels
+            // together (plateau crossing) — bump all non-self-loops.
+            for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+                if (!graph.channel(c).is_self_loop()) {
+                    capacities[c] = checked_add(capacities[c], 1);
+                }
+            }
+        } else {
+            capacities[*best] = checked_add(capacities[*best], 1);
+        }
+        const std::optional<Rational> period = period_at(graph, capacities);
+        if (!period) {
+            continue;
+        }
+        if (*period < *current) {
+            current = period;
+            points.push_back(
+                ParetoPoint{capacities, total_buffer(graph, capacities), *current});
+        }
+    }
+    if (*current > target) {
+        throw Error("buffer_throughput_tradeoff: step budget exhausted before "
+                    "reaching the unbounded-capacity period");
+    }
+    return points;
+}
+
+ParetoPoint minimum_buffer_for_period(const Graph& graph, const Rational& target,
+                                      const ParetoOptions& options) {
+    for (const ParetoPoint& point : buffer_throughput_tradeoff(graph, options)) {
+        if (point.period <= target) {
+            return point;
+        }
+    }
+    throw Error("minimum_buffer_for_period: target period " + target.to_string() +
+                " is below the unbounded-capacity period");
+}
+
+}  // namespace sdf

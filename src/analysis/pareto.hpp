@@ -1,0 +1,53 @@
+// pareto.hpp — throughput / buffer-size trade-off exploration.
+//
+// The paper motivates its reductions with exactly this kind of expensive
+// downstream analysis (Stuijk et al., "Throughput-buffering trade-off
+// exploration", cited as [18]): find, for increasing total buffer budget,
+// the best achievable throughput.  This module implements the classical
+// greedy ascent: start from the minimal live capacities and repeatedly
+// enlarge the single channel whose increase improves the period most,
+// recording every Pareto point until the unbounded-throughput rate is
+// reached (or a step budget runs out).
+//
+// Capacities are modelled with reverse channels (buffers.hpp), analysis
+// runs on the paper's symbolic reduction — which is what makes sweeping
+// hundreds of candidate allocations cheap.
+#pragma once
+
+#include <vector>
+
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// One point of the trade-off curve.
+struct ParetoPoint {
+    std::vector<Int> capacities;  ///< per channel (self-loops: initial tokens)
+    Int total_buffer = 0;         ///< sum over non-self-loop channels
+    Rational period;              ///< iteration period at these capacities
+};
+
+/// Options for the exploration.
+struct ParetoOptions {
+    Int max_steps = 256;          ///< upper bound on greedy enlargement steps
+    Int capacity_upper = 1 << 16; ///< per-channel search ceiling for liveness
+};
+
+/// Explores the throughput/buffer trade-off of a consistent graph whose
+/// unbounded-capacity period is finite and positive.  Returns the Pareto
+/// points in order of increasing buffer budget and strictly decreasing
+/// period; the last point achieves the unbounded-capacity period.  Throws
+/// Error when no finite live capacity exists or the step budget is hit
+/// before reaching it.
+std::vector<ParetoPoint> buffer_throughput_tradeoff(const Graph& graph,
+                                                    const ParetoOptions& options = {});
+
+/// Smallest Pareto point whose period is at most `target`: the cheapest
+/// explored buffer allocation meeting a throughput constraint (heuristic:
+/// the greedy ascent is not guaranteed globally optimal).  Throws Error
+/// when even the final point misses the target.
+ParetoPoint minimum_buffer_for_period(const Graph& graph, const Rational& target,
+                                      const ParetoOptions& options = {});
+
+}  // namespace sdf

@@ -1,0 +1,61 @@
+#include "analysis/sensitivity.hpp"
+
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+
+namespace sdf {
+
+namespace {
+
+Rational period_with_time(Graph graph, ActorId actor, Int time) {
+    graph.set_execution_time(actor, time);
+    const ThroughputResult t = throughput_symbolic(graph);
+    if (!t.is_finite()) {
+        throw Error("sensitivity probe produced a non-finite period");
+    }
+    return t.period;
+}
+
+}  // namespace
+
+SensitivityReport sensitivity_analysis(const Graph& graph, Int slack_cap) {
+    const ThroughputResult base = throughput_symbolic(graph);
+    if (!base.is_finite() || base.period.is_zero()) {
+        throw Error("sensitivity_analysis requires a finite positive period");
+    }
+    SensitivityReport report;
+    report.period = base.period;
+    report.delta.reserve(graph.actor_count());
+    report.critical.reserve(graph.actor_count());
+    report.slack.reserve(graph.actor_count());
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        const Int t0 = graph.actor(a).execution_time;
+        const Rational bumped = period_with_time(graph, a, checked_add(t0, 1));
+        const Rational delta = bumped - base.period;
+        report.delta.push_back(delta);
+        report.critical.push_back(!delta.is_zero());
+        if (!delta.is_zero()) {
+            report.slack.push_back(Rational(0));
+            continue;
+        }
+        // Binary search the largest slack k <= cap with unchanged period.
+        Int lo = 1;  // known: period unchanged at +1
+        Int hi = slack_cap;
+        if (period_with_time(graph, a, checked_add(t0, hi)) == base.period) {
+            report.slack.push_back(Rational(hi));
+            continue;
+        }
+        while (lo + 1 < hi) {
+            const Int mid = lo + (hi - lo) / 2;
+            if (period_with_time(graph, a, checked_add(t0, mid)) == base.period) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        report.slack.push_back(Rational(lo));
+    }
+    return report;
+}
+
+}  // namespace sdf

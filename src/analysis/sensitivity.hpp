@@ -1,0 +1,34 @@
+// sensitivity.hpp — execution-time sensitivity of the iteration period.
+//
+// Design-space exploration wants to know where optimisation effort pays:
+// actors on a critical cycle increase the period one-for-one when they slow
+// down (and may speed the graph up when optimised); actors off every
+// critical cycle have slack.  The analysis probes each actor with a unit
+// execution-time increase and reports the exact period delta — brute force
+// but cheap on top of the paper's symbolic reduction, and exact where
+// closed-form critical-cycle extraction gets fiddly (an actor fires many
+// times per iteration, so its time can appear several times on one cycle:
+// the delta can exceed 1).
+#pragma once
+
+#include <vector>
+
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Per-actor sensitivity of the iteration period.
+struct SensitivityReport {
+    Rational period;                 ///< λ of the unmodified graph
+    std::vector<Rational> delta;     ///< λ(T(a)+1) − λ, per actor (>= 0)
+    std::vector<bool> critical;      ///< delta[a] > 0 (actor on a critical cycle)
+    std::vector<Rational> slack;     ///< largest k with λ(T(a)+k) == λ; capped
+};
+
+/// Probes every actor.  The graph must have a finite positive period.
+/// `slack_cap` bounds the per-actor slack search (the slack of an actor on
+/// no cycle is infinite; it is reported as the cap).
+SensitivityReport sensitivity_analysis(const Graph& graph, Int slack_cap = 1 << 20);
+
+}  // namespace sdf

@@ -1,0 +1,82 @@
+#include "analysis/static_schedule.hpp"
+
+#include <algorithm>
+
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "sdf/properties.hpp"
+
+namespace sdf {
+
+PeriodicSchedule periodic_schedule(const Graph& graph) {
+    require(graph.is_homogeneous(),
+            "periodic_schedule requires a homogeneous graph; convert first "
+            "(to_hsdf_reduced / to_hsdf_classic)");
+    const ThroughputResult throughput = throughput_symbolic(graph);
+    if (throughput.outcome == ThroughputOutcome::deadlocked) {
+        throw Error("periodic_schedule: graph deadlocks");
+    }
+    if (!throughput.is_finite()) {
+        throw Error("periodic_schedule: period is zero or unconstrained");
+    }
+    const Rational lambda = throughput.period;
+
+    // Longest-path potentials from an implicit super-source (all offsets
+    // start at 0) in the reweighted constraint graph: edge (a, b, d) gives
+    // s(b) >= s(a) + T(a) - lambda*d.  At lambda = MCR no cycle has
+    // positive reweighted length, so Bellman–Ford converges.
+    const std::size_t n = graph.actor_count();
+    std::vector<Rational> start(n, Rational(0));
+    bool converged = false;
+    for (std::size_t round = 0; round <= n && !converged; ++round) {
+        converged = true;
+        for (const Channel& ch : graph.channels()) {
+            const Rational candidate = start[ch.src] +
+                                       Rational(graph.actor(ch.src).execution_time) -
+                                       lambda * Rational(ch.initial_tokens);
+            if (candidate > start[ch.dst]) {
+                start[ch.dst] = candidate;
+                converged = false;
+            }
+        }
+    }
+    if (!converged) {
+        throw Error("periodic_schedule: internal error, potentials diverge");
+    }
+    // Normalise so the earliest offset is 0.
+    const Rational minimum = *std::min_element(start.begin(), start.end());
+    for (Rational& s : start) {
+        s -= minimum;
+    }
+    return PeriodicSchedule{lambda, std::move(start)};
+}
+
+Rational schedule_latency(const Graph& graph, const PeriodicSchedule& schedule,
+                          ActorId src, ActorId dst) {
+    require(src < graph.actor_count() && dst < graph.actor_count(),
+            "actor id out of range");
+    require(schedule.start.size() == graph.actor_count(), "schedule/graph mismatch");
+    return schedule.start[dst] + Rational(graph.actor(dst).execution_time) -
+           schedule.start[src];
+}
+
+bool is_admissible_schedule(const Graph& graph, const PeriodicSchedule& schedule) {
+    if (schedule.start.size() != graph.actor_count()) {
+        return false;
+    }
+    for (const Channel& ch : graph.channels()) {
+        if (!ch.is_homogeneous()) {
+            return false;
+        }
+        const Rational lhs = schedule.start[ch.src] +
+                             Rational(graph.actor(ch.src).execution_time);
+        const Rational rhs = schedule.start[ch.dst] +
+                             schedule.period * Rational(ch.initial_tokens);
+        if (lhs > rhs) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace sdf

@@ -1,0 +1,49 @@
+// static_schedule.hpp — optimal static periodic schedules for HSDF graphs.
+//
+// A static periodic schedule assigns every actor a start offset s(a) such
+// that firing k of a starts at s(a) + k·λ.  It is admissible when every
+// channel (a, b, 1, 1, d) satisfies
+//
+//     s(a) + T(a)  <=  s(b) + λ·d,
+//
+// i.e. the d-iterations-later consumer never starts before its producer
+// finished.  The smallest feasible λ is the maximum cycle ratio — the
+// iteration period the reduction techniques compute — and offsets are
+// longest-path potentials in the λ-reweighted graph (no positive cycles
+// exist at λ = MCR, so the potentials are finite).  This turns the paper's
+// analysis results into an executable rate-optimal schedule, the classical
+// use of the HSDF conversion (cf. Govindarajan & Gao, cited as [10]).
+#pragma once
+
+#include <vector>
+
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// A rate-optimal static periodic schedule.
+struct PeriodicSchedule {
+    Rational period;              ///< λ, the minimum feasible period
+    std::vector<Rational> start;  ///< per-actor start offset s(a) >= 0
+};
+
+/// Computes a rate-optimal static periodic schedule of a homogeneous,
+/// consistent graph whose period is finite and positive.  Throws Error
+/// when the graph deadlocks, is unbounded (period zero / acyclic), or is
+/// not homogeneous.
+PeriodicSchedule periodic_schedule(const Graph& graph);
+
+/// True when `schedule` is admissible for `graph` (checks every channel
+/// constraint with exact arithmetic).
+bool is_admissible_schedule(const Graph& graph, const PeriodicSchedule& schedule);
+
+/// Steady-state latency from `src` to `dst` under the schedule: the time
+/// from the start of src's k-th firing to the completion of dst's k-th,
+/// s(dst) + T(dst) − s(src).  A standard latency measure for rate-optimal
+/// periodic operation (cf. the latency analyses of [15, 9] the paper
+/// cites); may be negative when dst's pipeline stage precedes src's.
+Rational schedule_latency(const Graph& graph, const PeriodicSchedule& schedule,
+                          ActorId src, ActorId dst);
+
+}  // namespace sdf

@@ -1,0 +1,27 @@
+#include "analysis/storage.hpp"
+
+#include "base/errors.hpp"
+#include "sdf/simulate.hpp"
+
+namespace sdf {
+
+std::vector<Int> self_timed_storage(const Graph& graph) {
+    const ThroughputRun run = simulate_throughput(graph);
+    if (run.deadlocked) {
+        throw DeadlockError("self_timed_storage: graph deadlocks");
+    }
+    return run.max_space;
+}
+
+Int self_timed_storage_total(const Graph& graph) {
+    const std::vector<Int> marks = self_timed_storage(graph);
+    Int total = 0;
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        if (!graph.channel(c).is_self_loop()) {
+            total = checked_add(total, marks[c]);
+        }
+    }
+    return total;
+}
+
+}  // namespace sdf

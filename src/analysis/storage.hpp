@@ -1,0 +1,32 @@
+// storage.hpp — self-timed channel storage requirements.
+//
+// Under fully self-timed execution (as fast as possible, unbounded FIFOs)
+// each channel needs a certain amount of space; granting exactly that much
+// capacity provably changes nothing about the execution, so throughput is
+// preserved (the property tests check this through buffers.hpp).  Space is
+// accounted the way the capacity model charges it: a producer claims room
+// for its outputs when a firing STARTS, a consumer frees the room when its
+// firing COMPLETES.  The marks are taken over the transient plus one full
+// period of the self-timed execution, i.e. they are the all-time maxima.
+//
+// This is an upper bound on the minimal buffering required for maximal
+// throughput — the quantity the exact trade-off exploration (pareto.hpp)
+// refines from below.
+#pragma once
+
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Per-channel space-claim high-water marks of the self-timed execution.
+/// Requires the same preconditions as simulate_throughput (every actor on
+/// a cycle, no zero-time cycles) and throws DeadlockError when the graph
+/// deadlocks.
+std::vector<Int> self_timed_storage(const Graph& graph);
+
+/// Total over all non-self-loop channels.
+Int self_timed_storage_total(const Graph& graph);
+
+}  // namespace sdf

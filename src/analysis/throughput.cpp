@@ -1,0 +1,187 @@
+#include "analysis/throughput.hpp"
+
+#include "base/errors.hpp"
+#include "maxplus/mcm.hpp"
+#include "sdf/properties.hpp"
+#include "sdf/repetition.hpp"
+#include "sdf/schedule.hpp"
+#include "sdf/simulate.hpp"
+#include "transform/hsdf_classic.hpp"
+#include "transform/symbolic.hpp"
+
+namespace sdf {
+
+namespace {
+
+/// Turns a period λ into per-actor throughputs q(a)/λ.
+ThroughputResult finite_result(const Graph& graph, const Rational& period) {
+    ThroughputResult result;
+    if (period.is_zero()) {
+        result.outcome = ThroughputOutcome::unbounded;
+        return result;
+    }
+    result.outcome = ThroughputOutcome::finite;
+    result.period = period;
+    const std::vector<Int> repetition = repetition_vector(graph);
+    result.per_actor.reserve(repetition.size());
+    for (const Int q : repetition) {
+        result.per_actor.push_back(Rational(q) / period);
+    }
+    return result;
+}
+
+ThroughputResult deadlocked_result(const Graph& graph) {
+    ThroughputResult result;
+    result.outcome = ThroughputOutcome::deadlocked;
+    result.per_actor.assign(graph.actor_count(), Rational(0));
+    return result;
+}
+
+}  // namespace
+
+ThroughputResult throughput_symbolic(const Graph& graph) {
+    SymbolicIteration iteration;
+    try {
+        iteration = symbolic_iteration(graph);
+    } catch (const DeadlockError&) {
+        return deadlocked_result(graph);
+    }
+    const CycleMetric metric = max_cycle_mean_karp(iteration.matrix.precedence_graph());
+    if (metric.outcome == CycleOutcome::no_cycle) {
+        ThroughputResult result;
+        result.outcome = ThroughputOutcome::unbounded;
+        return result;
+    }
+    return finite_result(graph, metric.value);
+}
+
+ThroughputResult throughput_via_classic_hsdf(const Graph& graph) {
+    const ClassicHsdf hsdf = to_hsdf_classic(graph);
+    const Digraph digraph = dependency_digraph(hsdf.graph);
+    const CycleMetric metric = max_cycle_ratio_exact(digraph);
+    switch (metric.outcome) {
+        case CycleOutcome::no_cycle: {
+            ThroughputResult result;
+            result.outcome = ThroughputOutcome::unbounded;
+            return result;
+        }
+        case CycleOutcome::infinite:
+            // A zero-token cycle in the HSDF is exactly a deadlock of the
+            // original graph.
+            return deadlocked_result(graph);
+        case CycleOutcome::finite:
+            return finite_result(graph, metric.value);
+    }
+    throw Error("unreachable");
+}
+
+ThroughputResult throughput_simulation(const Graph& graph, std::size_t max_events) {
+    const ThroughputRun run = simulate_throughput(graph, max_events);
+    if (run.deadlocked) {
+        return deadlocked_result(graph);
+    }
+    // Recover λ from any actor with non-zero firings in the period:
+    // τ(a) = q(a)/λ  =>  λ = q(a) · period_time / period_firings(a).
+    const std::vector<Int> repetition = repetition_vector(graph);
+    ThroughputResult result;
+    result.outcome = ThroughputOutcome::finite;
+    result.per_actor = run.throughput;
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        if (run.period_firings[a] > 0) {
+            result.period =
+                Rational(repetition[a]) * Rational(run.period_time, run.period_firings[a]);
+            break;
+        }
+    }
+    return result;
+}
+
+Rational iteration_period(const Graph& graph) {
+    const ThroughputResult result = throughput_symbolic(graph);
+    if (!result.is_finite()) {
+        throw Error("graph '" + graph.name() + "' has no finite iteration period");
+    }
+    return result.period;
+}
+
+SelfTimedThroughput throughput_self_timed(const Graph& graph) {
+    SelfTimedThroughput result;
+    if (!is_deadlock_free(graph)) {
+        result.deadlocked = true;
+        result.per_actor.assign(graph.actor_count(), Rational(0));
+        return result;
+    }
+    result.per_actor.assign(graph.actor_count(), std::nullopt);
+
+    // Condensation of the dependency digraph; components come out of
+    // Tarjan in reverse topological order, so iterating component index
+    // DESCENDING processes sources first.
+    const Digraph deps = dependency_digraph(graph);
+    std::size_t component_count = 0;
+    const auto component = deps.strongly_connected_components(&component_count);
+
+    // Per-component actor lists.
+    std::vector<std::vector<ActorId>> members(component_count);
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        members[component[a]].push_back(a);
+    }
+
+    // x[c] is the component's cycle rate multiplier: actor a in c fires at
+    // x[c] * q_c(a) where q_c is the component-local repetition vector.
+    std::vector<std::optional<Rational>> multiplier(component_count, std::nullopt);
+    std::vector<std::vector<Int>> local_q(component_count);
+
+    for (std::size_t c = component_count; c-- > 0;) {
+        // Build the component subgraph (internal channels only).
+        Graph sub("scc");
+        std::vector<std::size_t> local_index(graph.actor_count(), 0);
+        for (const ActorId a : members[c]) {
+            local_index[a] = sub.add_actor(graph.actor(a).name,
+                                           graph.actor(a).execution_time);
+        }
+        for (const Channel& ch : graph.channels()) {
+            if (component[ch.src] == c && component[ch.dst] == c) {
+                sub.add_channel(local_index[ch.src], local_index[ch.dst],
+                                ch.production, ch.consumption, ch.initial_tokens);
+            }
+        }
+        local_q[c] = repetition_vector(sub);
+
+        // Own eigenrate: x <= 1/lambda_local (per local iteration).
+        std::optional<Rational> x;
+        const ThroughputResult own = throughput_symbolic(sub);
+        if (own.outcome == ThroughputOutcome::deadlocked) {
+            throw Error("internal: live graph has a deadlocked component");
+        }
+        if (own.is_finite()) {
+            x = own.period.reciprocal();
+        }
+        // Upstream constraints: for a channel src -> dst entering the
+        // component, rate(dst) * c <= rate(src) * p, i.e.
+        // x * q_c(dst) * c <= rate(src) * p.
+        for (const Channel& ch : graph.channels()) {
+            if (component[ch.dst] != c || component[ch.src] == c) {
+                continue;
+            }
+            const std::optional<Rational>& upstream = result.per_actor[ch.src];
+            if (!upstream) {
+                continue;  // unbounded upstream imposes nothing
+            }
+            const Rational bound =
+                *upstream * Rational(ch.production) /
+                (Rational(local_q[c][local_index[ch.dst]]) * Rational(ch.consumption));
+            if (!x || bound < *x) {
+                x = bound;
+            }
+        }
+        multiplier[c] = x;
+        for (const ActorId a : members[c]) {
+            if (x) {
+                result.per_actor[a] = *x * Rational(local_q[c][local_index[a]]);
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace sdf

@@ -1,0 +1,85 @@
+// throughput.hpp — throughput analysis of timed SDF graphs.
+//
+// The throughput of actor a under self-timed execution is the long-run
+// number of firings of a per time unit.  For a consistent, deadlock-free
+// graph it equals q(a)/λ, where q is the repetition vector and λ the
+// iteration period: the max-plus eigenvalue of the graph's iteration matrix
+// (= max cycle mean of the matrix's precedence graph; = max cycle ratio of
+// the equivalent HSDF).
+//
+// Three independent routes compute the same quantity and are cross-checked
+// against one another throughout the test suite:
+//
+//  1. throughput_symbolic        — Algorithm 1's symbolic execution gives
+//                                  the iteration matrix; Karp's algorithm
+//                                  gives its eigenvalue exactly.  This is
+//                                  the method of [8, 7] the paper builds on
+//                                  and the fastest route by far.
+//  2. throughput_via_classic_hsdf — the baseline pipeline of [11, 15]:
+//                                  classical expansion to an HSDF, then an
+//                                  exact maximum-cycle-ratio computation.
+//  3. throughput_simulation      — explicit self-timed state-space
+//                                  exploration until a recurrent state [8].
+//
+// Graphs in which some actor is on no cycle have unbounded throughput
+// (reported, not computed); deadlocked graphs have throughput zero.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// How a throughput query resolved.
+enum class ThroughputOutcome {
+    deadlocked,  ///< execution stalls; all throughputs are zero
+    unbounded,   ///< no cycle constrains the rate (or a zero-time cycle)
+    finite,      ///< well-defined positive period
+};
+
+/// Result of a throughput analysis.
+struct ThroughputResult {
+    ThroughputOutcome outcome = ThroughputOutcome::finite;
+    /// Iteration period λ (time per iteration); meaningful when finite.
+    Rational period;
+    /// Per-actor throughput q(a)/λ; zeros when deadlocked, empty when
+    /// unbounded.
+    std::vector<Rational> per_actor;
+
+    [[nodiscard]] bool is_finite() const { return outcome == ThroughputOutcome::finite; }
+};
+
+/// Route 1: symbolic iteration matrix + Karp (exact, recommended).
+ThroughputResult throughput_symbolic(const Graph& graph);
+
+/// Route 2: classical HSDF conversion + exact maximum cycle ratio.
+ThroughputResult throughput_via_classic_hsdf(const Graph& graph);
+
+/// Route 3: self-timed state-space simulation (exact; exponential state
+/// space in the worst case — intended for validation on small graphs).
+ThroughputResult throughput_simulation(const Graph& graph,
+                                       std::size_t max_events = 1u << 22);
+
+/// Convenience: the iteration period λ via route 1; throws Error unless the
+/// outcome is finite.
+Rational iteration_period(const Graph& graph);
+
+/// Exact per-actor self-timed firing rates for general (not necessarily
+/// strongly connected) graphs.  The q(a)/λ convention of the routes above
+/// uses the GLOBAL period — exact for strongly connected graphs but merely
+/// conservative when a slow component cannot actually throttle a fast one.
+/// This analysis decomposes the graph into strongly connected components,
+/// computes each component's own eigenrate, and propagates rate constraints
+/// along the condensation: a component runs at the minimum of its own rate
+/// and what its upstream components deliver.  nullopt marks an unbounded
+/// rate (actor not on and not downstream of any constraining cycle).
+struct SelfTimedThroughput {
+    bool deadlocked = false;
+    std::vector<std::optional<Rational>> per_actor;  ///< firings per time unit
+};
+SelfTimedThroughput throughput_self_timed(const Graph& graph);
+
+}  // namespace sdf

@@ -1,0 +1,85 @@
+// checked.hpp — overflow-checked 64-bit integer arithmetic.
+//
+// All quantities in the library (execution times, token counts, symbolic
+// time stamps, repetition-vector entries) are exact 64-bit integers.  The
+// classical SDF->HSDF conversion can blow a graph up exponentially, so every
+// arithmetic step that combines user-controlled quantities goes through the
+// checked helpers below and fails loudly instead of wrapping around.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <string>
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+using Int = std::int64_t;
+
+/// Returns a + b, throwing ArithmeticError on signed overflow.
+inline Int checked_add(Int a, Int b) {
+    Int result = 0;
+    if (__builtin_add_overflow(a, b, &result)) {
+        throw ArithmeticError("integer overflow in addition: " + std::to_string(a) +
+                              " + " + std::to_string(b));
+    }
+    return result;
+}
+
+/// Returns a - b, throwing ArithmeticError on signed overflow.
+inline Int checked_sub(Int a, Int b) {
+    Int result = 0;
+    if (__builtin_sub_overflow(a, b, &result)) {
+        throw ArithmeticError("integer overflow in subtraction: " + std::to_string(a) +
+                              " - " + std::to_string(b));
+    }
+    return result;
+}
+
+/// Returns a * b, throwing ArithmeticError on signed overflow.
+inline Int checked_mul(Int a, Int b) {
+    Int result = 0;
+    if (__builtin_mul_overflow(a, b, &result)) {
+        throw ArithmeticError("integer overflow in multiplication: " + std::to_string(a) +
+                              " * " + std::to_string(b));
+    }
+    return result;
+}
+
+/// Greatest common divisor of the absolute values; gcd(0, 0) == 0.
+inline Int gcd(Int a, Int b) { return std::gcd(a, b); }
+
+/// Least common multiple with overflow checking; lcm(0, x) == 0.
+inline Int checked_lcm(Int a, Int b) {
+    if (a == 0 || b == 0) {
+        return 0;
+    }
+    const Int g = gcd(a, b);
+    return checked_mul(a / g, b);
+}
+
+/// Floored integer division (rounds towards negative infinity).
+inline Int floor_div(Int a, Int b) {
+    if (b == 0) {
+        throw ArithmeticError("division by zero in floor_div");
+    }
+    Int q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) {
+        --q;
+    }
+    return q;
+}
+
+/// Mathematical modulus: result always in [0, |b|).
+inline Int floor_mod(Int a, Int b) {
+    return checked_sub(a, checked_mul(floor_div(a, b), b));
+}
+
+/// Ceiling integer division (rounds towards positive infinity).
+inline Int ceil_div(Int a, Int b) {
+    return -floor_div(-a, b);
+}
+
+}  // namespace sdf

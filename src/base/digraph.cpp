@@ -1,0 +1,138 @@
+#include "base/digraph.hpp"
+
+#include <algorithm>
+#include <stack>
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+std::size_t Digraph::add_edge(std::size_t from, std::size_t to, Int weight, Int tokens) {
+    require(from < node_count_ && to < node_count_, "digraph edge endpoint out of range");
+    edges_.push_back(DigraphEdge{from, to, weight, tokens});
+    return edges_.size() - 1;
+}
+
+std::vector<std::vector<std::size_t>> Digraph::out_edges() const {
+    std::vector<std::vector<std::size_t>> out(node_count_);
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        out[edges_[i].from].push_back(i);
+    }
+    return out;
+}
+
+std::vector<std::size_t> Digraph::strongly_connected_components(
+    std::size_t* component_count) const {
+    // Iterative Tarjan to stay safe on deep graphs (the classical HSDF
+    // conversion can produce chains tens of thousands of nodes long).
+    constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+    const auto out = out_edges();
+    std::vector<std::size_t> index(node_count_, kUnvisited);
+    std::vector<std::size_t> lowlink(node_count_, 0);
+    std::vector<bool> on_stack(node_count_, false);
+    std::vector<std::size_t> component(node_count_, 0);
+    std::vector<std::size_t> scc_stack;
+    std::size_t next_index = 0;
+    std::size_t next_component = 0;
+
+    struct Frame {
+        std::size_t node;
+        std::size_t edge_pos;  // position in out[node] to resume at
+    };
+    std::vector<Frame> call_stack;
+
+    for (std::size_t root = 0; root < node_count_; ++root) {
+        if (index[root] != kUnvisited) {
+            continue;
+        }
+        call_stack.push_back(Frame{root, 0});
+        index[root] = lowlink[root] = next_index++;
+        scc_stack.push_back(root);
+        on_stack[root] = true;
+
+        while (!call_stack.empty()) {
+            Frame& frame = call_stack.back();
+            const std::size_t v = frame.node;
+            if (frame.edge_pos < out[v].size()) {
+                const std::size_t w = edges_[out[v][frame.edge_pos++]].to;
+                if (index[w] == kUnvisited) {
+                    index[w] = lowlink[w] = next_index++;
+                    scc_stack.push_back(w);
+                    on_stack[w] = true;
+                    call_stack.push_back(Frame{w, 0});
+                } else if (on_stack[w]) {
+                    lowlink[v] = std::min(lowlink[v], index[w]);
+                }
+            } else {
+                if (lowlink[v] == index[v]) {
+                    while (true) {
+                        const std::size_t w = scc_stack.back();
+                        scc_stack.pop_back();
+                        on_stack[w] = false;
+                        component[w] = next_component;
+                        if (w == v) {
+                            break;
+                        }
+                    }
+                    ++next_component;
+                }
+                call_stack.pop_back();
+                if (!call_stack.empty()) {
+                    const std::size_t parent = call_stack.back().node;
+                    lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+                }
+            }
+        }
+    }
+    if (component_count != nullptr) {
+        *component_count = next_component;
+    }
+    return component;
+}
+
+bool Digraph::has_cycle() const {
+    std::size_t component_count = 0;
+    const auto component = strongly_connected_components(&component_count);
+    // A cycle exists iff some SCC has more than one node, or a self-loop
+    // exists.
+    std::vector<std::size_t> size(component_count, 0);
+    for (std::size_t v = 0; v < node_count_; ++v) {
+        ++size[component[v]];
+    }
+    for (const auto& e : edges_) {
+        if (e.from == e.to) {
+            return true;
+        }
+    }
+    return std::any_of(size.begin(), size.end(), [](std::size_t s) { return s > 1; });
+}
+
+std::vector<std::size_t> Digraph::topological_order() const {
+    std::vector<std::size_t> in_degree(node_count_, 0);
+    for (const auto& e : edges_) {
+        ++in_degree[e.to];
+    }
+    const auto out = out_edges();
+    std::vector<std::size_t> order;
+    order.reserve(node_count_);
+    std::vector<std::size_t> ready;
+    for (std::size_t v = 0; v < node_count_; ++v) {
+        if (in_degree[v] == 0) {
+            ready.push_back(v);
+        }
+    }
+    while (!ready.empty()) {
+        const std::size_t v = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        for (const std::size_t ei : out[v]) {
+            if (--in_degree[edges_[ei].to] == 0) {
+                ready.push_back(edges_[ei].to);
+            }
+        }
+    }
+    require(order.size() == node_count_, "topological_order called on a cyclic graph");
+    return order;
+}
+
+}  // namespace sdf

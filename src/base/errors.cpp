@@ -1,0 +1,11 @@
+#include "base/errors.hpp"
+
+namespace sdf {
+
+void require(bool condition, const std::string& message) {
+    if (!condition) {
+        throw InvalidGraphError(message);
+    }
+}
+
+}  // namespace sdf

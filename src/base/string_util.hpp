@@ -1,0 +1,39 @@
+// string_util.hpp — small string helpers shared by the I/O layer and the
+// name-based abstraction heuristics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/checked.hpp"
+
+namespace sdf {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits `text` on `separator`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Splits `text` on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Parses a decimal integer; std::nullopt when `text` is not exactly one
+/// well-formed int64.
+std::optional<Int> parse_int(std::string_view text);
+
+/// Splits an actor name into a non-numeric stem and a numeric suffix:
+/// "A12" -> {"A", 12}; names without a trailing number yield no suffix.
+/// Used by the automatic abstraction discovery ("group all Ai into A").
+struct NameParts {
+    std::string stem;
+    std::optional<Int> index;
+};
+NameParts split_name_suffix(std::string_view name);
+
+/// True when `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace sdf

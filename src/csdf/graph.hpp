@@ -1,0 +1,90 @@
+// graph.hpp (csdf) — cyclo-static dataflow graphs.
+//
+// CSDF (Bilsen et al.) generalises SDF: an actor cycles through a fixed
+// sequence of phases, and rates and execution times vary per phase.  The
+// buffer-sizing work the paper builds towards ([18, 19] in its reference
+// list) is formulated on CSDF, and the paper's symbolic reduction machinery
+// extends to it naturally: a firing is simply a phase execution, so the
+// max-plus iteration matrix — and with it throughput analysis and the
+// Figure 4 reduced-HSDF construction — carries over unchanged (see
+// csdf/analysis.hpp).
+//
+// Conventions: phase vectors are indexed 0..P(a)-1; a channel's production
+// vector has one entry per phase of its source actor, its consumption
+// vector one per phase of its destination; entries may be zero (a phase
+// that does not touch the channel), but each vector must have at least one
+// positive entry.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/checked.hpp"
+
+namespace sdf {
+
+using CsdfActorId = std::size_t;
+using CsdfChannelId = std::size_t;
+
+/// One cyclo-static actor: a cyclic sequence of phases with per-phase
+/// execution times.
+struct CsdfActor {
+    std::string name;
+    std::vector<Int> phase_times;  ///< execution time of each phase
+
+    [[nodiscard]] std::size_t phase_count() const { return phase_times.size(); }
+};
+
+/// One cyclo-static channel.
+struct CsdfChannel {
+    CsdfActorId src = 0;
+    CsdfActorId dst = 0;
+    std::vector<Int> production;   ///< per phase of src
+    std::vector<Int> consumption;  ///< per phase of dst
+    Int initial_tokens = 0;
+
+    [[nodiscard]] Int production_per_cycle() const;
+    [[nodiscard]] Int consumption_per_cycle() const;
+};
+
+/// A cyclo-static dataflow graph.
+class CsdfGraph {
+public:
+    CsdfGraph() = default;
+    explicit CsdfGraph(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    /// Adds an actor with the given per-phase execution times (at least one
+    /// phase, all non-negative).
+    CsdfActorId add_actor(const std::string& name, std::vector<Int> phase_times);
+
+    /// Adds a channel; vector lengths must match the endpoint phase counts,
+    /// entries must be non-negative with a positive sum.
+    CsdfChannelId add_channel(CsdfActorId src, CsdfActorId dst,
+                              std::vector<Int> production, std::vector<Int> consumption,
+                              Int initial_tokens);
+
+    [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
+    [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+    [[nodiscard]] const CsdfActor& actor(CsdfActorId id) const { return actors_.at(id); }
+    [[nodiscard]] const CsdfChannel& channel(CsdfChannelId id) const {
+        return channels_.at(id);
+    }
+    [[nodiscard]] const std::vector<CsdfActor>& actors() const { return actors_; }
+    [[nodiscard]] const std::vector<CsdfChannel>& channels() const { return channels_; }
+
+    [[nodiscard]] std::optional<CsdfActorId> find_actor(const std::string& name) const;
+
+    [[nodiscard]] Int total_initial_tokens() const;
+
+private:
+    std::string name_;
+    std::vector<CsdfActor> actors_;
+    std::vector<CsdfChannel> channels_;
+    std::unordered_map<std::string, CsdfActorId> actor_by_name_;
+};
+
+}  // namespace sdf

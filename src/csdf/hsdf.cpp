@@ -1,0 +1,133 @@
+#include "csdf/hsdf.hpp"
+
+#include <map>
+#include <utility>
+
+#include "base/errors.hpp"
+#include "csdf/analysis.hpp"
+
+namespace sdf {
+
+namespace {
+
+/// Cumulative per-firing profile of a rate vector: how many tokens the
+/// first k phase firings move, for k within one cycle, plus the cycle
+/// total.
+struct RateProfile {
+    std::vector<Int> cumulative;  ///< cumulative[k] = tokens after k firings (k <= P)
+    Int per_cycle = 0;
+
+    explicit RateProfile(const std::vector<Int>& rates) {
+        cumulative.reserve(rates.size() + 1);
+        cumulative.push_back(0);
+        for (const Int r : rates) {
+            cumulative.push_back(checked_add(cumulative.back(), r));
+        }
+        per_cycle = cumulative.back();
+    }
+
+    /// Tokens moved by the first `firings` phase firings (firings >= 0).
+    [[nodiscard]] Int tokens_after(Int firings, Int phases) const {
+        const Int cycles = floor_div(firings, phases);
+        const Int rem = floor_mod(firings, phases);
+        return checked_add(checked_mul(cycles, per_cycle),
+                           cumulative[static_cast<std::size_t>(rem)]);
+    }
+
+    /// The 1-based firing that moves token index `i` (i >= 1): smallest f
+    /// with tokens_after(f) >= i.
+    [[nodiscard]] Int firing_of_token(Int i, Int phases) const {
+        // Locate the cycle, then scan the profile within it.
+        require(per_cycle > 0, "rate profile with zero total");
+        const Int cycles = floor_div(checked_sub(i, 1), per_cycle);
+        const Int rem = checked_sub(i, checked_mul(cycles, per_cycle));  // 1..per_cycle
+        Int firing_in_cycle = 1;
+        while (cumulative[static_cast<std::size_t>(firing_in_cycle)] < rem) {
+            ++firing_in_cycle;
+        }
+        return checked_add(checked_mul(cycles, phases), firing_in_cycle);
+    }
+};
+
+}  // namespace
+
+Int csdf_iteration_length(const CsdfGraph& graph) {
+    const std::vector<Int> cycles = csdf_repetition(graph);
+    Int total = 0;
+    for (CsdfActorId a = 0; a < graph.actor_count(); ++a) {
+        total = checked_add(
+            total, checked_mul(cycles[a], static_cast<Int>(graph.actor(a).phase_count())));
+    }
+    return total;
+}
+
+CsdfClassicHsdf csdf_to_hsdf_classic(const CsdfGraph& graph) {
+    const std::vector<Int> cycles = csdf_repetition(graph);
+
+    CsdfClassicHsdf result;
+    result.graph.set_name(graph.name() + "_hsdf");
+    result.copy_of.resize(graph.actor_count());
+    std::vector<Int> firings_per_iteration(graph.actor_count());
+    for (CsdfActorId a = 0; a < graph.actor_count(); ++a) {
+        const CsdfActor& actor = graph.actor(a);
+        const auto phases = static_cast<Int>(actor.phase_count());
+        firings_per_iteration[a] = checked_mul(cycles[a], phases);
+        for (Int f = 0; f < firings_per_iteration[a]; ++f) {
+            const Int phase = floor_mod(f, phases);
+            result.copy_of[a].push_back(result.graph.add_actor(
+                actor.name + "#" + std::to_string(f) + "." + std::to_string(phase),
+                actor.phase_times[static_cast<std::size_t>(phase)]));
+        }
+    }
+
+    for (const CsdfChannel& ch : graph.channels()) {
+        const RateProfile produce(ch.production);
+        // Initial tokens map to firings of PAST iterations, which are
+        // located by walking the producer's phase cycle backwards.
+        const RateProfile produce_reversed(
+            std::vector<Int>(ch.production.rbegin(), ch.production.rend()));
+        const RateProfile consume(ch.consumption);
+        const auto src_phases = static_cast<Int>(graph.actor(ch.src).phase_count());
+        const auto dst_phases = static_cast<Int>(graph.actor(ch.dst).phase_count());
+        const Int q_src = firings_per_iteration[ch.src];
+        const Int q_dst = firings_per_iteration[ch.dst];
+
+        std::map<std::pair<ActorId, ActorId>, Int> min_delay;
+        for (Int k = 1; k <= q_dst; ++k) {
+            const ActorId dst_copy = result.copy_of[ch.dst][static_cast<std::size_t>(k - 1)];
+            const Int first = checked_add(consume.tokens_after(k - 1, dst_phases), 1);
+            const Int last = consume.tokens_after(k, dst_phases);
+            for (Int token = first; token <= last; ++token) {
+                const Int produced_index = checked_sub(token, ch.initial_tokens);
+                Int f;  // 1-based producing firing; <= 0 means prior iterations
+                if (produced_index >= 1) {
+                    f = produce.firing_of_token(produced_index, src_phases);
+                } else {
+                    // Initial token: the (1 - produced_index)-th most recent
+                    // production before the iteration started.  Firing b of
+                    // the reversed profile is global firing 1 - b (firing 0
+                    // executes the last phase of the previous cycle).
+                    const Int behind = checked_sub(1, produced_index);  // >= 1
+                    const Int b = produce_reversed.firing_of_token(behind, src_phases);
+                    f = checked_sub(1, b);  // f <= 0
+                }
+                const Int f0 = checked_sub(f, 1);
+                const Int copy = floor_mod(f0, q_src);
+                const Int delay = checked_sub(0, floor_div(f0, q_src));
+                const ActorId src_copy =
+                    result.copy_of[ch.src][static_cast<std::size_t>(copy)];
+                const auto key = std::make_pair(src_copy, dst_copy);
+                const auto it = min_delay.find(key);
+                if (it == min_delay.end() || delay < it->second) {
+                    min_delay[key] = delay;
+                }
+            }
+        }
+        for (const auto& [key, delay] : min_delay) {
+            result.graph.add_channel(key.first, key.second, 1, 1, delay);
+        }
+    }
+    return result;
+}
+
+}  // namespace sdf

@@ -1,0 +1,37 @@
+// hsdf.hpp (csdf) — classical firing-level expansion of CSDF graphs.
+//
+// The CSDF analogue of the traditional SDF→HSDF conversion [11, 15]: every
+// phase firing of an iteration becomes one homogeneous actor, and token-
+// level dependencies become channels with iteration-crossing dependencies
+// as initial tokens.  Because per-phase rates vary, the producing firing of
+// a token is located through the cumulative rate profile of the producer's
+// phase cycle instead of a single division.
+//
+// This is the expensive baseline that csdf_to_reduced_hsdf (the paper's
+// Section 6 construction lifted to CSDF) improves on, and an independent
+// route for cross-validating the CSDF throughput analysis.
+#pragma once
+
+#include <vector>
+
+#include "csdf/graph.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Result of the expansion.
+struct CsdfClassicHsdf {
+    Graph graph;
+    /// copy_of[a][f] is the HSDF actor for the f-th phase firing of CSDF
+    /// actor a within one iteration (0 <= f < q'(a)·P(a)).
+    std::vector<std::vector<ActorId>> copy_of;
+};
+
+/// Expands a consistent CSDF graph; copy f of actor "X" executing phase p
+/// is named "X#f.p".
+CsdfClassicHsdf csdf_to_hsdf_classic(const CsdfGraph& graph);
+
+/// Number of phase firings in one iteration (the expansion's actor count).
+Int csdf_iteration_length(const CsdfGraph& graph);
+
+}  // namespace sdf

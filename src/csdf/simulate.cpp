@@ -1,0 +1,99 @@
+#include "csdf/simulate.hpp"
+
+#include <queue>
+#include <tuple>
+
+#include "base/errors.hpp"
+#include "csdf/analysis.hpp"
+
+namespace sdf {
+
+CsdfFiniteRun csdf_simulate_iterations(const CsdfGraph& graph, Int iterations) {
+    require(iterations >= 0, "negative iteration count");
+    const std::vector<Int> cycles = csdf_repetition(graph);
+    const std::size_t n = graph.actor_count();
+
+    std::vector<std::vector<CsdfChannelId>> inputs(n);
+    std::vector<std::vector<CsdfChannelId>> outputs(n);
+    for (CsdfChannelId c = 0; c < graph.channel_count(); ++c) {
+        inputs[graph.channel(c).dst].push_back(c);
+        outputs[graph.channel(c).src].push_back(c);
+    }
+    std::vector<Int> tokens;
+    tokens.reserve(graph.channel_count());
+    for (const CsdfChannel& ch : graph.channels()) {
+        tokens.push_back(ch.initial_tokens);
+    }
+    std::vector<Int> next_phase(n, 0);
+    std::vector<Int> remaining(n);
+    for (CsdfActorId a = 0; a < n; ++a) {
+        remaining[a] = checked_mul(
+            checked_mul(cycles[a], static_cast<Int>(graph.actor(a).phase_count())),
+            iterations);
+    }
+
+    // Min-heap of (finish time, actor, phase).
+    using Event = std::tuple<Int, CsdfActorId, Int>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> in_flight;
+    Int now = 0;
+    Int makespan = 0;
+    CsdfFiniteRun run;
+    run.phase_firings.assign(n, 0);
+
+    const auto enabled = [&](CsdfActorId a) {
+        const auto p = static_cast<std::size_t>(next_phase[a]);
+        for (const CsdfChannelId ci : inputs[a]) {
+            if (tokens[ci] < graph.channel(ci).consumption[p]) {
+                return false;
+            }
+        }
+        return true;
+    };
+    const auto start_enabled = [&] {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (CsdfActorId a = 0; a < n; ++a) {
+                while (remaining[a] > 0 && enabled(a)) {
+                    const auto p = static_cast<std::size_t>(next_phase[a]);
+                    for (const CsdfChannelId ci : inputs[a]) {
+                        tokens[ci] -= graph.channel(ci).consumption[p];
+                    }
+                    in_flight.emplace(
+                        checked_add(now, graph.actor(a).phase_times[p]), a,
+                        next_phase[a]);
+                    next_phase[a] = (next_phase[a] + 1) %
+                                    static_cast<Int>(graph.actor(a).phase_count());
+                    --remaining[a];
+                    progress = true;
+                }
+            }
+        }
+    };
+
+    start_enabled();
+    while (!in_flight.empty()) {
+        now = std::get<0>(in_flight.top());
+        while (!in_flight.empty() && std::get<0>(in_flight.top()) == now) {
+            const auto [finish, actor, phase] = in_flight.top();
+            in_flight.pop();
+            const auto p = static_cast<std::size_t>(phase);
+            for (const CsdfChannelId ci : outputs[actor]) {
+                tokens[ci] = checked_add(tokens[ci], graph.channel(ci).production[p]);
+            }
+            ++run.phase_firings[actor];
+            makespan = std::max(makespan, now);
+        }
+        start_enabled();
+    }
+    for (CsdfActorId a = 0; a < n; ++a) {
+        if (remaining[a] != 0) {
+            throw DeadlockError("CSDF graph '" + graph.name() +
+                                "' deadlocked during finite run");
+        }
+    }
+    run.makespan = makespan;
+    return run;
+}
+
+}  // namespace sdf

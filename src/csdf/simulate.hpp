@@ -1,0 +1,30 @@
+// simulate.hpp (csdf) — concrete self-timed execution of CSDF graphs.
+//
+// The phase-aware twin of sdf/simulate.hpp: an actor's phases start in
+// cyclic order as soon as their per-phase consumption is available (phase
+// k+1 may overlap phase k in time — the same auto-concurrency the symbolic
+// execution assumes); a phase occupies its own execution time between
+// consuming and producing.  Used to cross-validate the CSDF symbolic
+// machinery: the makespan of k iterations equals the largest entry of the
+// k-th matrix power when every actor's last completion lands in a final
+// token (e.g. all-ones self-loops).
+#pragma once
+
+#include <vector>
+
+#include "csdf/graph.hpp"
+
+namespace sdf {
+
+/// Outcome of a finite CSDF run.
+struct CsdfFiniteRun {
+    Int makespan = 0;
+    std::vector<Int> phase_firings;  ///< per-actor completed phase firings
+};
+
+/// Executes exactly `iterations` iterations (q'(a)·P(a)·iterations phase
+/// firings per actor) self-timed from time 0.  Throws DeadlockError when
+/// execution stalls.
+CsdfFiniteRun csdf_simulate_iterations(const CsdfGraph& graph, Int iterations);
+
+}  // namespace sdf

@@ -1,0 +1,259 @@
+#include "gen/benchmarks.hpp"
+
+namespace sdf {
+
+Graph h263_decoder() {
+    // Stuijk et al.: QCIF frames of 594 blocks; q = [1, 594, 594, 1].
+    Graph g("h263decoder");
+    const ActorId vld = g.add_actor("VLD", 26018);
+    const ActorId iq = g.add_actor("IQ", 559);
+    const ActorId idct = g.add_actor("IDCT", 486);
+    const ActorId mc = g.add_actor("MC", 10958);
+    g.add_channel(vld, iq, 594, 1, 0);
+    g.add_channel(iq, idct, 1, 1, 0);
+    g.add_channel(idct, mc, 1, 594, 0);
+    g.add_channel(mc, vld, 1, 1, 1);   // next frame depends on reconstruction
+    g.add_channel(vld, vld, 1, 1, 1);  // stateful bitstream parsing
+    g.add_channel(mc, mc, 1, 1, 1);    // stateful frame memory
+    return g;
+}
+
+Graph h263_encoder() {
+    // q = [1, 99, 99, 1, 1] (one frame, 99 macroblocks).
+    Graph g("h263encoder");
+    const ActorId cc = g.add_actor("CC", 500);      // capture/control
+    const ActorId me = g.add_actor("ME", 4000);     // motion estimation
+    const ActorId dctq = g.add_actor("DCTQ", 3000);
+    const ActorId vlc = g.add_actor("VLC", 10000);
+    const ActorId rec = g.add_actor("REC", 2000);   // reconstruction
+    g.add_channel(cc, me, 99, 1, 0);
+    g.add_channel(me, dctq, 1, 1, 0);
+    g.add_channel(dctq, vlc, 1, 99, 0);
+    g.add_channel(dctq, rec, 1, 99, 0);
+    g.add_channel(rec, cc, 1, 1, 1);   // reference frame feedback
+    g.add_channel(cc, cc, 1, 1, 1);    // stateful rate control
+    g.add_channel(me, me, 1, 1, 1);    // stateful search window
+    return g;
+}
+
+Graph modem() {
+    // Lee & Messerschmitt's 16-actor modem: almost homogeneous (one 1:16
+    // and one 16:1 rate change plus a 2:1 stage), rich in initial tokens
+    // (filter taps, equaliser feedback).  q sums to 48.
+    Graph g("modem");
+    const ActorId a1 = g.add_actor("in", 1);
+    const ActorId a2 = g.add_actor("filt1", 6);
+    const ActorId a3 = g.add_actor("upsmp", 2);    // q = 16
+    const ActorId a4 = g.add_actor("mod", 2);      // q = 16
+    const ActorId a5 = g.add_actor("dnsmp", 6);
+    const ActorId a6 = g.add_actor("hil", 8);
+    const ActorId a7 = g.add_actor("agc", 4);
+    const ActorId a8 = g.add_actor("eq", 12);
+    const ActorId a9 = g.add_actor("deci", 3);
+    const ActorId a10 = g.add_actor("sync", 5);
+    const ActorId a11 = g.add_actor("bclk", 2);    // q = 2
+    const ActorId a12 = g.add_actor("brec", 2);    // q = 2
+    const ActorId a13 = g.add_actor("desc", 4);
+    const ActorId a14 = g.add_actor("dec", 7);
+    const ActorId a15 = g.add_actor("err", 2);
+    const ActorId a16 = g.add_actor("out", 1);
+    g.add_channel(a1, a2, 1, 1, 0);
+    g.add_channel(a2, a3, 16, 1, 0);
+    g.add_channel(a3, a4, 1, 1, 1);    // modulator pipeline register
+    g.add_channel(a4, a5, 1, 16, 0);
+    g.add_channel(a5, a6, 1, 1, 1);    // Hilbert filter delay line
+    g.add_channel(a6, a7, 1, 1, 1);
+    g.add_channel(a7, a8, 1, 1, 0);
+    g.add_channel(a8, a9, 1, 1, 1);
+    g.add_channel(a9, a10, 1, 1, 0);
+    g.add_channel(a10, a11, 2, 1, 0);
+    g.add_channel(a11, a12, 1, 1, 1);
+    g.add_channel(a12, a13, 1, 2, 0);
+    g.add_channel(a13, a14, 1, 1, 2);  // descrambler shift register
+    g.add_channel(a14, a15, 1, 1, 0);
+    g.add_channel(a15, a16, 1, 1, 0);
+    g.add_channel(a16, a1, 1, 1, 2);   // closed-loop timing recovery
+    g.add_channel(a10, a7, 1, 1, 1);   // AGC feedback
+    g.add_channel(a14, a8, 1, 1, 1);   // decision-directed equaliser feedback
+    g.add_channel(a8, a8, 1, 1, 1);    // equaliser state
+    g.add_channel(a10, a10, 1, 1, 1);  // PLL state
+    g.add_channel(a7, a2, 1, 1, 1);    // AGC gain to front-end filter
+    g.add_channel(a12, a10, 1, 2, 2);  // baud-rate estimate to PLL
+    g.add_channel(a15, a13, 1, 1, 1);  // error feedback to descrambler
+    g.add_channel(a14, a14, 1, 1, 1);  // decision state
+    g.add_channel(a16, a9, 1, 1, 2);   // output timing to decimator
+    g.add_channel(a14, a7, 1, 1, 1);   // decision-directed carrier recovery
+    g.add_channel(a10, a2, 1, 1, 1);   // symbol timing to front-end filter
+    g.add_channel(a8, a6, 1, 1, 1);    // equaliser pre-cursor feedback
+    return g;
+}
+
+Graph mp3_decoder_block() {
+    // Block-level parallel decomposition; q = [1, 2, 2, 18, 576, 288, 18,
+    // 2, 2, 2], Σ = 911.
+    Graph g("mp3dec_block");
+    const ActorId huff = g.add_actor("Huffman", 12000);
+    const ActorId req1 = g.add_actor("Requant1", 800);
+    const ActorId req2 = g.add_actor("Requant2", 800);
+    const ActorId reord = g.add_actor("Reorder", 120);
+    const ActorId alias = g.add_actor("Alias", 40);
+    const ActorId imdct = g.add_actor("IMDCT", 90);
+    const ActorId freq = g.add_actor("FreqInv", 150);
+    const ActorId synth1 = g.add_actor("Synth1", 1800);
+    const ActorId synth2 = g.add_actor("Synth2", 1800);
+    const ActorId pcm = g.add_actor("PCM", 500);
+    g.add_channel(huff, req1, 2, 1, 0);
+    g.add_channel(req1, req2, 1, 1, 0);
+    g.add_channel(req2, reord, 9, 1, 0);
+    g.add_channel(reord, alias, 32, 1, 0);
+    g.add_channel(alias, imdct, 1, 2, 0);
+    g.add_channel(imdct, freq, 1, 16, 0);
+    g.add_channel(freq, synth1, 1, 9, 0);
+    g.add_channel(synth1, synth2, 1, 1, 0);
+    g.add_channel(synth2, pcm, 1, 1, 0);
+    g.add_channel(pcm, huff, 1, 2, 2);  // frame buffer feedback
+    return g;
+}
+
+Graph mp3_decoder_granule() {
+    // Granule-level decomposition; q = [1, 2, 2, 4, 4, 2, 2, 4, 4, 2],
+    // Σ = 27.
+    Graph g("mp3dec_granule");
+    const ActorId huff = g.add_actor("Huffman", 12000);
+    const ActorId req = g.add_actor("Requant", 9000);
+    const ActorId reord = g.add_actor("Reorder", 1100);
+    const ActorId alias = g.add_actor("Alias", 400);
+    const ActorId imdct = g.add_actor("IMDCT", 2600);
+    const ActorId freq = g.add_actor("FreqInv", 1400);
+    const ActorId poly = g.add_actor("Poly", 3200);
+    const ActorId synth = g.add_actor("Synth", 4100);
+    const ActorId filt = g.add_actor("Filter", 2800);
+    const ActorId pcm = g.add_actor("PCM", 900);
+    g.add_channel(huff, req, 2, 1, 0);
+    g.add_channel(req, reord, 1, 1, 0);
+    g.add_channel(reord, alias, 2, 1, 0);
+    g.add_channel(alias, imdct, 1, 1, 0);
+    g.add_channel(imdct, freq, 1, 2, 0);
+    g.add_channel(freq, poly, 1, 1, 0);
+    g.add_channel(poly, synth, 2, 1, 0);
+    g.add_channel(synth, filt, 1, 1, 0);
+    g.add_channel(filt, pcm, 1, 2, 0);
+    g.add_channel(pcm, huff, 1, 2, 2);  // frame buffer feedback
+    return g;
+}
+
+Graph mp3_playback() {
+    // MP3 decoding + sample-rate conversion + DAC output; q = [1, 2, 4,
+    // 1152, 9216, 128, 96, 2], Σ = 10601.
+    Graph g("mp3playback");
+    const ActorId mp3 = g.add_actor("MP3", 670000);
+    const ActorId gran = g.add_actor("Granule", 280000);
+    const ActorId sub = g.add_actor("Subband", 110000);
+    const ActorId samp = g.add_actor("Sample", 880);
+    const ActorId src = g.add_actor("SRC", 120);
+    const ActorId blk = g.add_actor("Block", 9200);
+    const ActorId app = g.add_actor("APP", 12000);
+    const ActorId dac = g.add_actor("DAC", 640000);
+    g.add_channel(mp3, gran, 2, 1, 0);
+    g.add_channel(gran, sub, 2, 1, 0);
+    g.add_channel(sub, samp, 288, 1, 0);
+    g.add_channel(samp, src, 8, 1, 0);
+    g.add_channel(src, blk, 1, 72, 0);
+    g.add_channel(blk, app, 3, 4, 0);
+    g.add_channel(app, dac, 1, 48, 0);
+    g.add_channel(dac, mp3, 1, 2, 2);   // playout buffer feedback
+    g.add_channel(mp3, mp3, 1, 1, 1);   // bitstream state
+    g.add_channel(src, src, 1, 1, 1);   // resampler state
+    g.add_channel(app, app, 1, 1, 1);   // audio post-processing state
+    g.add_channel(dac, dac, 1, 1, 1);   // output clock
+    return g;
+}
+
+Graph samplerate_converter() {
+    // The classical CD (44.1 kHz) to DAT (48 kHz) converter; stage ratios
+    // 1:1, 2:3, 2:7, 8:7, 5:1 give q = [147, 147, 98, 28, 32, 160].
+    // Every stage is a stateful filter (one-token self-loop).
+    Graph g("samplerate");
+    const ActorId a = g.add_actor("cd", 10);
+    const ActorId b = g.add_actor("fir1", 40);
+    const ActorId c = g.add_actor("fir2", 40);
+    const ActorId d = g.add_actor("fir3", 60);
+    const ActorId e = g.add_actor("fir4", 60);
+    const ActorId f = g.add_actor("dat", 10);
+    g.add_channel(a, b, 1, 1, 0);
+    g.add_channel(b, c, 2, 3, 0);
+    g.add_channel(c, d, 2, 7, 0);
+    g.add_channel(d, e, 8, 7, 0);
+    g.add_channel(e, f, 5, 1, 0);
+    for (const ActorId actor : {a, b, c, d, e, f}) {
+        g.add_channel(actor, actor, 1, 1, 1);
+    }
+    return g;
+}
+
+Graph satellite_receiver() {
+    // Ritz et al.'s satellite receiver: two symmetric filter branches (I/Q)
+    // into a merge chain; 22 actors, Σq = 4515
+    // (2 × [1,1,12,12,60,60,480,480,480] + [640,640,60,3]).
+    Graph g("satellite");
+    const auto branch = [&g](const std::string& suffix) {
+        std::vector<ActorId> ids;
+        ids.push_back(g.add_actor("vco" + suffix, 120));
+        ids.push_back(g.add_actor("mix" + suffix, 100));
+        ids.push_back(g.add_actor("chp" + suffix, 16));
+        ids.push_back(g.add_actor("fil1" + suffix, 18));
+        ids.push_back(g.add_actor("fil2" + suffix, 4));
+        ids.push_back(g.add_actor("fil3" + suffix, 4));
+        ids.push_back(g.add_actor("mf1" + suffix, 3));
+        ids.push_back(g.add_actor("mf2" + suffix, 3));
+        ids.push_back(g.add_actor("mf3" + suffix, 3));
+        // Rates along the branch: q = 1,1,12,12,60,60,480,480,480.
+        g.add_channel(ids[0], ids[1], 1, 1, 0);
+        g.add_channel(ids[1], ids[2], 12, 1, 0);
+        g.add_channel(ids[2], ids[3], 1, 1, 0);
+        g.add_channel(ids[3], ids[4], 5, 1, 0);
+        g.add_channel(ids[4], ids[5], 1, 1, 0);
+        g.add_channel(ids[5], ids[6], 8, 1, 0);
+        g.add_channel(ids[6], ids[7], 1, 1, 0);
+        g.add_channel(ids[7], ids[8], 1, 1, 0);
+        // Stateful filters.
+        g.add_channel(ids[3], ids[3], 1, 1, 1);
+        g.add_channel(ids[5], ids[5], 1, 1, 1);
+        g.add_channel(ids[6], ids[6], 1, 1, 1);
+        return ids;
+    };
+    const std::vector<ActorId> bi = branch("_i");
+    const std::vector<ActorId> bq = branch("_q");
+    const ActorId cmb = g.add_actor("combine", 5);   // q = 640
+    const ActorId dem = g.add_actor("demod", 9);     // q = 640
+    const ActorId dec = g.add_actor("decode", 30);   // q = 60
+    const ActorId out = g.add_actor("output", 40);   // q = 3
+    g.add_channel(bi.back(), cmb, 4, 3, 0);
+    g.add_channel(bq.back(), cmb, 4, 3, 0);
+    g.add_channel(cmb, dem, 1, 1, 0);
+    g.add_channel(dem, dec, 3, 32, 0);
+    g.add_channel(dec, out, 1, 20, 0);
+    // Carrier/timing recovery feedback to both branch heads: each vco
+    // firing needs three timing updates, pre-seeded for the first frame.
+    g.add_channel(out, bi[0], 1, 3, 3);
+    g.add_channel(out, bq[0], 1, 3, 3);
+    // Stateful merge-chain actors.
+    g.add_channel(dem, dem, 1, 1, 1);
+    g.add_channel(dec, dec, 1, 1, 1);
+    return g;
+}
+
+std::vector<BenchmarkCase> table1_benchmarks() {
+    std::vector<BenchmarkCase> cases;
+    cases.push_back({"1. h.263 decoder", h263_decoder(), 1190, 10});
+    cases.push_back({"2. h.263 encoder", h263_encoder(), 201, 11});
+    cases.push_back({"3. modem", modem(), 48, 210});
+    cases.push_back({"4. mp3 dec. block par.", mp3_decoder_block(), 911, 8});
+    cases.push_back({"5. mp3 dec. granule par.", mp3_decoder_granule(), 27, 8});
+    cases.push_back({"6. mp3 playback", mp3_playback(), 10601, 38});
+    cases.push_back({"7. sample rate conv.", samplerate_converter(), 612, 31});
+    cases.push_back({"8. satellite", satellite_receiver(), 4515, 217});
+    return cases;
+}
+
+}  // namespace sdf

@@ -1,0 +1,104 @@
+#include "gen/random_sdf.hpp"
+
+#include "base/checked.hpp"
+
+namespace sdf {
+
+namespace {
+
+Int uniform(std::mt19937& rng, Int lo, Int hi) {
+    return std::uniform_int_distribution<Int>(lo, hi)(rng);
+}
+
+bool flip(std::mt19937& rng, double probability) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < probability;
+}
+
+/// Adds a channel between actors with repetition entries q_src and q_dst,
+/// rates derived from the balance equation (scaled by a random factor) and
+/// `full_iteration` tokens when backward (enough for q_dst firings).
+void add_balanced_channel(Graph& graph, std::mt19937& rng, ActorId src, ActorId dst,
+                          Int q_src, Int q_dst, Int max_scale, bool backward) {
+    const Int g = gcd(q_src, q_dst);
+    const Int scale = uniform(rng, 1, max_scale);
+    const Int production = checked_mul(q_dst / g, scale);
+    const Int consumption = checked_mul(q_src / g, scale);
+    Int tokens = 0;
+    if (backward) {
+        // One full iteration of consumption: dst can complete an iteration
+        // before src ever fires, so a forward-order schedule always exists.
+        tokens = checked_mul(consumption, q_dst);
+    } else if (flip(rng, 0.25)) {
+        tokens = uniform(rng, 1, checked_mul(consumption, 2));
+    }
+    graph.add_channel(src, dst, production, consumption, tokens);
+}
+
+Graph generate(std::mt19937& rng, const RandomSdfOptions& options, bool homogeneous) {
+    const Int n = uniform(rng, options.min_actors, options.max_actors);
+    Graph graph(homogeneous ? "random_hsdf" : "random_sdf");
+
+    std::vector<Int> repetition(static_cast<std::size_t>(n));
+    std::vector<ActorId> actors(static_cast<std::size_t>(n));
+    for (Int i = 0; i < n; ++i) {
+        repetition[static_cast<std::size_t>(i)] =
+            homogeneous ? 1 : uniform(rng, 1, options.max_repetition);
+        actors[static_cast<std::size_t>(i)] =
+            graph.add_actor("a" + std::to_string(i),
+                            uniform(rng, 0, options.max_execution_time));
+    }
+    const Int rate_scale = homogeneous ? 1 : options.max_rate_scale;
+
+    // Forward spine in actor order keeps the graph weakly connected.
+    for (Int i = 0; i + 1 < n; ++i) {
+        add_balanced_channel(graph, rng, actors[static_cast<std::size_t>(i)],
+                             actors[static_cast<std::size_t>(i + 1)],
+                             repetition[static_cast<std::size_t>(i)],
+                             repetition[static_cast<std::size_t>(i + 1)], rate_scale,
+                             /*backward=*/false);
+    }
+    // Extra forward and backward chords.
+    for (Int i = 0; i < n; ++i) {
+        for (Int j = 0; j < n; ++j) {
+            if (i == j) {
+                continue;
+            }
+            const bool backward = j < i;
+            const double p = backward ? options.backward_edge_probability
+                                      : options.extra_edge_probability;
+            if ((backward || j > i + 1) && flip(rng, p)) {
+                add_balanced_channel(graph, rng, actors[static_cast<std::size_t>(i)],
+                                     actors[static_cast<std::size_t>(j)],
+                                     repetition[static_cast<std::size_t>(i)],
+                                     repetition[static_cast<std::size_t>(j)], rate_scale,
+                                     backward);
+            }
+        }
+    }
+    // Close the ring for strong connectivity.
+    if (options.strongly_connect && n > 1) {
+        add_balanced_channel(graph, rng, actors[static_cast<std::size_t>(n - 1)], actors[0],
+                             repetition[static_cast<std::size_t>(n - 1)], repetition[0],
+                             rate_scale, /*backward=*/true);
+    }
+    if (options.self_loops) {
+        for (Int i = 0; i < n; ++i) {
+            graph.add_channel(actors[static_cast<std::size_t>(i)],
+                              actors[static_cast<std::size_t>(i)], 1, 1,
+                              uniform(rng, 1, 2));
+        }
+    }
+    return graph;
+}
+
+}  // namespace
+
+Graph random_sdf(std::mt19937& rng, const RandomSdfOptions& options) {
+    return generate(rng, options, /*homogeneous=*/false);
+}
+
+Graph random_hsdf(std::mt19937& rng, const RandomSdfOptions& options) {
+    return generate(rng, options, /*homogeneous=*/true);
+}
+
+}  // namespace sdf

@@ -1,0 +1,44 @@
+// random_sdf.hpp — random consistent, live SDF graphs for property tests.
+//
+// Construction guarantees the properties the analyses need, so the test
+// suites can sweep hundreds of cases without filtering:
+//
+//  * consistency by construction — repetition entries are drawn first and
+//    channel rates are derived from the balance equations;
+//  * liveness by construction — channels along a random actor order are
+//    token-free ("forward"), while backward channels carry one full
+//    iteration of tokens so the forward order is always admissible;
+//  * boundedness — every actor receives a self-loop, and a closing backward
+//    channel makes the graph strongly connected on request.
+//
+// random_hsdf() is the homogeneous variant used by the abstraction property
+// tests (Definition 4 is stated for HSDF inputs).
+#pragma once
+
+#include <random>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Knobs for the generator; defaults give small graphs suitable for the
+/// exponential cross-validation routes.
+struct RandomSdfOptions {
+    Int min_actors = 3;
+    Int max_actors = 7;
+    Int max_repetition = 4;      ///< repetition entries drawn from [1, max]
+    Int max_rate_scale = 2;      ///< rates scaled by a factor from [1, max]
+    Int max_execution_time = 9;  ///< execution times drawn from [0, max]
+    double extra_edge_probability = 0.35;
+    double backward_edge_probability = 0.3;
+    bool self_loops = true;
+    bool strongly_connect = true;
+};
+
+/// A random consistent, live, (optionally) strongly connected SDF graph.
+Graph random_sdf(std::mt19937& rng, const RandomSdfOptions& options = {});
+
+/// A random live homogeneous SDF graph (all rates 1).
+Graph random_hsdf(std::mt19937& rng, const RandomSdfOptions& options = {});
+
+}  // namespace sdf

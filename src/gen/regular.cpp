@@ -1,0 +1,117 @@
+#include "gen/regular.hpp"
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+Graph figure1_graph(Int n) {
+    require(n >= 4, "figure1_graph needs at least 4 A actors");
+    Graph g("figure1_n" + std::to_string(n));
+
+    const auto a_time = [n](Int i) -> Int {  // i is 1-based
+        if (i <= 2) {
+            return 2;
+        }
+        if (i >= n - 1) {
+            return 3;
+        }
+        return 5;
+    };
+
+    std::vector<ActorId> a(static_cast<std::size_t>(n));
+    for (Int i = 1; i <= n; ++i) {
+        a[static_cast<std::size_t>(i - 1)] =
+            g.add_actor("A" + std::to_string(i), a_time(i));
+    }
+    std::vector<ActorId> b(static_cast<std::size_t>(n - 2));
+    for (Int i = 1; i <= n - 2; ++i) {
+        b[static_cast<std::size_t>(i - 1)] = g.add_actor("B" + std::to_string(i), 4);
+    }
+
+    // A cycle.
+    for (Int i = 0; i + 1 < n; ++i) {
+        g.add_channel(a[static_cast<std::size_t>(i)], a[static_cast<std::size_t>(i + 1)], 0);
+    }
+    g.add_channel(a[static_cast<std::size_t>(n - 1)], a[0], 1);
+    // B chain (open).
+    for (Int i = 0; i + 1 < n - 2; ++i) {
+        g.add_channel(b[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i + 1)], 0);
+    }
+    // Ai -> Bi and Bi -> A(i+2).
+    for (Int i = 0; i < n - 2; ++i) {
+        g.add_channel(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 0);
+        g.add_channel(b[static_cast<std::size_t>(i)], a[static_cast<std::size_t>(i + 2)], 0);
+    }
+    return g;
+}
+
+Graph figure1_abstract() {
+    Graph g("figure1_abstract");
+    const ActorId a = g.add_actor("A", 5);
+    const ActorId b = g.add_actor("B", 4);
+    g.add_channel(a, a, 1);
+    g.add_channel(b, b, 1);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 2);
+    return g;
+}
+
+Graph prefetch_graph(Int n) {
+    require(n >= 3, "prefetch_graph needs at least 3 blocks");
+    Graph g("prefetch_n" + std::to_string(n));
+
+    std::vector<ActorId> r(static_cast<std::size_t>(n));
+    std::vector<ActorId> m(static_cast<std::size_t>(n));
+    std::vector<ActorId> c(static_cast<std::size_t>(n));
+    for (Int i = 1; i <= n; ++i) {
+        r[static_cast<std::size_t>(i - 1)] = g.add_actor("R" + std::to_string(i), 2);
+        m[static_cast<std::size_t>(i - 1)] = g.add_actor("M" + std::to_string(i), 8);
+        c[static_cast<std::size_t>(i - 1)] = g.add_actor("C" + std::to_string(i), 10);
+    }
+    // Sequential chains per group, closed with one token.
+    const auto chain = [&g, n](const std::vector<ActorId>& nodes) {
+        for (Int i = 0; i + 1 < n; ++i) {
+            g.add_channel(nodes[static_cast<std::size_t>(i)],
+                          nodes[static_cast<std::size_t>(i + 1)], 0);
+        }
+        g.add_channel(nodes[static_cast<std::size_t>(n - 1)], nodes[0], 1);
+    };
+    chain(r);
+    chain(m);
+    chain(c);
+    // Per-block pipeline: request -> transfer -> compute.
+    for (Int i = 0; i < n; ++i) {
+        g.add_channel(r[static_cast<std::size_t>(i)], m[static_cast<std::size_t>(i)], 0);
+        g.add_channel(m[static_cast<std::size_t>(i)], c[static_cast<std::size_t>(i)], 0);
+    }
+    // Pre-fetch window of two: computing block i releases the request for
+    // block i+2; the two wrap-around dependencies carry the two pre-fetches
+    // in flight at frame start.
+    for (Int i = 0; i < n; ++i) {
+        const Int target = i + 2;
+        if (target < n) {
+            g.add_channel(c[static_cast<std::size_t>(i)],
+                          r[static_cast<std::size_t>(target)], 0);
+        } else {
+            g.add_channel(c[static_cast<std::size_t>(i)],
+                          r[static_cast<std::size_t>(target - n)], 1);
+        }
+    }
+    return g;
+}
+
+Graph prefetch_abstract() {
+    Graph g("prefetch_abstract");
+    const ActorId r = g.add_actor("R", 2);
+    const ActorId m = g.add_actor("M", 8);
+    const ActorId c = g.add_actor("C", 10);
+    g.add_channel(r, r, 1);
+    g.add_channel(m, m, 1);
+    g.add_channel(c, c, 1);
+    g.add_channel(r, m, 0);
+    g.add_channel(m, c, 0);
+    g.add_channel(c, r, 2);
+    return g;
+}
+
+}  // namespace sdf

@@ -1,0 +1,46 @@
+// regular.hpp — the paper's regular example graphs.
+//
+// figure1_graph(n) generalises the homogeneous graph of Figure 1(a) — "the
+// prefetching of data from a remote memory for some block based image
+// processing application":
+//
+//   * actors A1..An in a cycle (Ai → A(i+1), An → A1 with one token),
+//   * actors B1..B(n−2) in a chain (no closing edge),
+//   * Ai → Bi and Bi → A(i+2) for i = 1..n−2,
+//   * execution times T(A1)=T(A2)=2, T(A3..A(n−2))=5,
+//     T(A(n−1))=T(An)=3, T(Bi)=4.
+//
+// For n = 6 this is exactly the paper's example: one iteration takes 23
+// time units; in general the throughput is 1/(5n−7) while the abstract
+// graph of Figure 1(b) estimates it as 1/(5n) (Section 4.1).
+//
+// prefetch_graph(n) reconstructs the Figure 5 remote-memory-access model of
+// the Section 7 case study [16]: n = 1584 identical block computations per
+// video frame, each preceded by a pre-fetch through the communication
+// assists and the network-on-chip, with a pre-fetch window of two blocks.
+// Three perfectly regular groups (request R, transfer M, compute C) make
+// the obvious abstraction exact: the abstract graph has *the same*
+// throughput as the original.
+#pragma once
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// The Figure 1(a) family; n >= 4 copies of the A actor.
+Graph figure1_graph(Int n);
+
+/// The hand-built abstract graph of Figure 1(b): actors A (time 5) and B
+/// (time 4), self-edges with one token each, A → B with none and B → A with
+/// two.  abstract_graph() reproduces it automatically (tested).
+Graph figure1_abstract();
+
+/// The Figure 5 remote-memory-access model with n block computations
+/// (paper: n = 1584).  Groups R (time 2), M (time 8), C (time 10); n >= 3.
+Graph prefetch_graph(Int n);
+
+/// The abstraction target of prefetch_graph: R, M, C with self-edges (one
+/// token), R→M, M→C (no tokens) and C→R (two tokens).
+Graph prefetch_abstract();
+
+}  // namespace sdf

@@ -1,0 +1,59 @@
+#include "gen/structured.hpp"
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+Graph chain_graph(const std::vector<Int>& stage_times, Int credits) {
+    require(!stage_times.empty(), "chain_graph needs at least one stage");
+    require(credits > 0, "chain_graph needs positive credits");
+    Graph g("chain" + std::to_string(stage_times.size()));
+    std::vector<ActorId> stages;
+    stages.reserve(stage_times.size());
+    for (std::size_t i = 0; i < stage_times.size(); ++i) {
+        stages.push_back(g.add_actor("s" + std::to_string(i), stage_times[i]));
+        g.add_channel(stages[i], stages[i], 1);
+    }
+    for (std::size_t i = 0; i + 1 < stages.size(); ++i) {
+        g.add_channel(stages[i], stages[i + 1], 0);
+    }
+    g.add_channel(stages.back(), stages.front(), credits);
+    return g;
+}
+
+Graph fork_join_graph(Int width, Int worker_time, Int credits) {
+    require(width > 0, "fork_join_graph needs positive width");
+    require(credits > 0, "fork_join_graph needs positive credits");
+    Graph g("forkjoin" + std::to_string(width));
+    const ActorId fork = g.add_actor("fork", 1);
+    const ActorId join = g.add_actor("join", 1);
+    g.add_channel(fork, fork, 1);
+    g.add_channel(join, join, 1);
+    for (Int w = 0; w < width; ++w) {
+        const ActorId worker = g.add_actor("w" + std::to_string(w), worker_time);
+        g.add_channel(worker, worker, 1);
+        g.add_channel(fork, worker, 0);
+        g.add_channel(worker, join, 0);
+    }
+    g.add_channel(join, fork, credits);
+    return g;
+}
+
+Graph ring_graph(Int n, Int actor_time, Int tokens) {
+    require(n > 0, "ring_graph needs at least one actor");
+    require(tokens > 0, "ring_graph needs at least one token");
+    Graph g("ring" + std::to_string(n));
+    std::vector<ActorId> actors;
+    actors.reserve(static_cast<std::size_t>(n));
+    for (Int i = 0; i < n; ++i) {
+        actors.push_back(g.add_actor("r" + std::to_string(i), actor_time));
+    }
+    for (Int i = 0; i + 1 < n; ++i) {
+        g.add_channel(actors[static_cast<std::size_t>(i)],
+                      actors[static_cast<std::size_t>(i + 1)], 0);
+    }
+    g.add_channel(actors.back(), actors.front(), tokens);
+    return g;
+}
+
+}  // namespace sdf

@@ -1,0 +1,31 @@
+// structured.hpp — parametric structured workload generators.
+//
+// The regular families of regular.hpp reproduce the paper's figures; these
+// generators produce the other shapes streaming applications commonly take
+// (pipelines, fork/join parallelism, token rings), parameterised for the
+// scaling studies in bench/ and as further fixtures for the property
+// suites.  All outputs are consistent, live and bounded by construction.
+#pragma once
+
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// A linear pipeline "s0 -> s1 -> ... -> s{n-1}" of self-looped stages with
+/// the given execution times, closed by a credit channel from the last
+/// stage back to the first carrying `credits` tokens (the number of frames
+/// in flight).
+Graph chain_graph(const std::vector<Int>& stage_times, Int credits = 1);
+
+/// Fork/join: a source forks one token to each of `width` parallel workers
+/// (execution time `worker_time`), a sink joins them; `credits` frames may
+/// be in flight.  All actors carry one-token self-loops.
+Graph fork_join_graph(Int width, Int worker_time, Int credits = 1);
+
+/// A unidirectional token ring of `n` identical actors with `tokens`
+/// initial tokens on the closing channel.
+Graph ring_graph(Int n, Int actor_time, Int tokens = 1);
+
+}  // namespace sdf

@@ -1,0 +1,197 @@
+#include "io/csdf_xml.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "base/errors.hpp"
+#include "base/string_util.hpp"
+#include "io/xml_node.hpp"
+
+namespace sdf {
+
+namespace {
+
+std::vector<Int> parse_int_list(const std::string& text, const std::string& what) {
+    std::vector<Int> values;
+    for (const std::string& field : split(text, ',')) {
+        const auto value = parse_int(field);
+        if (!value) {
+            throw ParseError(what + " list entry '" + field + "' is not an integer");
+        }
+        values.push_back(*value);
+    }
+    return values;
+}
+
+std::string format_int_list(const std::vector<Int>& values) {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) {
+            out += ",";
+        }
+        out += std::to_string(values[i]);
+    }
+    return out;
+}
+
+}  // namespace
+
+CsdfGraph read_csdf_xml_string(const std::string& text) {
+    const XmlNode root = parse_xml(text);
+    if (root.name != "sdf3") {
+        throw ParseError("root element must be <sdf3>, got <" + root.name + ">");
+    }
+    const XmlNode* app = root.child("applicationGraph");
+    if (app == nullptr) {
+        throw ParseError("<sdf3> misses <applicationGraph>");
+    }
+    const XmlNode* csdf_node = app->child("csdf");
+    if (csdf_node == nullptr) {
+        throw ParseError("<applicationGraph> misses <csdf>");
+    }
+
+    CsdfGraph graph(app->attribute("name").value_or(""));
+
+    // Execution times per actor from <csdfProperties>.
+    std::map<std::string, std::vector<Int>> phase_times;
+    if (const XmlNode* properties = app->child("csdfProperties")) {
+        for (const XmlNode* actor_props : properties->children_named("actorProperties")) {
+            const std::string& actor = actor_props->required_attribute("actor");
+            for (const XmlNode* processor : actor_props->children_named("processor")) {
+                if (const XmlNode* et = processor->child("executionTime")) {
+                    phase_times[actor] =
+                        parse_int_list(et->required_attribute("time"), "executionTime");
+                }
+            }
+        }
+    }
+
+    std::map<std::pair<std::string, std::string>, std::vector<Int>> port_rate;
+    for (const XmlNode* actor : csdf_node->children_named("actor")) {
+        const std::string& name = actor->required_attribute("name");
+        const auto et = phase_times.find(name);
+        if (et == phase_times.end()) {
+            throw ParseError("actor '" + name + "' has no executionTime (phase count "
+                             "is taken from it)");
+        }
+        graph.add_actor(name, et->second);
+        for (const XmlNode* port : actor->children_named("port")) {
+            port_rate[{name, port->required_attribute("name")}] =
+                parse_int_list(port->attribute("rate").value_or("1"), "rate");
+        }
+    }
+
+    for (const XmlNode* channel : csdf_node->children_named("channel")) {
+        const std::string& src = channel->required_attribute("srcActor");
+        const std::string& dst = channel->required_attribute("dstActor");
+        const auto src_id = graph.find_actor(src);
+        const auto dst_id = graph.find_actor(dst);
+        if (!src_id || !dst_id) {
+            throw ParseError("channel references unknown actor '" + (src_id ? dst : src) +
+                             "'");
+        }
+        const auto rates_of = [&](const std::string& actor, const std::string& port_attr,
+                                  std::size_t phases) -> std::vector<Int> {
+            const auto port = channel->attribute(port_attr);
+            if (!port) {
+                return std::vector<Int>(phases, 1);
+            }
+            const auto it = port_rate.find({actor, *port});
+            if (it == port_rate.end()) {
+                throw ParseError("channel references unknown port '" + *port +
+                                 "' of actor '" + actor + "'");
+            }
+            return it->second;
+        };
+        Int tokens = 0;
+        if (const auto text = channel->attribute("initialTokens")) {
+            const auto value = parse_int(*text);
+            if (!value) {
+                throw ParseError("initialTokens is not an integer");
+            }
+            tokens = *value;
+        }
+        try {
+            graph.add_channel(*src_id, *dst_id,
+                              rates_of(src, "srcPort", graph.actor(*src_id).phase_count()),
+                              rates_of(dst, "dstPort", graph.actor(*dst_id).phase_count()),
+                              tokens);
+        } catch (const InvalidGraphError& e) {
+            throw ParseError(e.what());
+        }
+    }
+    return graph;
+}
+
+CsdfGraph read_csdf_xml_file(const std::string& path) {
+    std::ifstream stream(path);
+    if (!stream) {
+        throw ParseError("cannot open '" + path + "'");
+    }
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    return read_csdf_xml_string(buffer.str());
+}
+
+std::string write_csdf_xml_string(const CsdfGraph& graph) {
+    std::ostringstream out;
+    const std::string name = graph.name().empty() ? "graph" : graph.name();
+    out << "<?xml version=\"1.0\"?>\n";
+    out << "<sdf3 type=\"csdf\" version=\"1.0\">\n";
+    out << "  <applicationGraph name=\"" << xml_escape(name) << "\">\n";
+    out << "    <csdf name=\"" << xml_escape(name) << "\" type=\"" << xml_escape(name)
+        << "\">\n";
+    for (CsdfActorId a = 0; a < graph.actor_count(); ++a) {
+        const CsdfActor& actor = graph.actor(a);
+        out << "      <actor name=\"" << xml_escape(actor.name) << "\" type=\""
+            << xml_escape(actor.name) << "\">\n";
+        for (CsdfChannelId c = 0; c < graph.channel_count(); ++c) {
+            const CsdfChannel& ch = graph.channel(c);
+            if (ch.src == a) {
+                out << "        <port name=\"out" << c << "\" type=\"out\" rate=\""
+                    << format_int_list(ch.production) << "\"/>\n";
+            }
+            if (ch.dst == a) {
+                out << "        <port name=\"in" << c << "\" type=\"in\" rate=\""
+                    << format_int_list(ch.consumption) << "\"/>\n";
+            }
+        }
+        out << "      </actor>\n";
+    }
+    for (CsdfChannelId c = 0; c < graph.channel_count(); ++c) {
+        const CsdfChannel& ch = graph.channel(c);
+        out << "      <channel name=\"ch" << c << "\" srcActor=\""
+            << xml_escape(graph.actor(ch.src).name) << "\" srcPort=\"out" << c
+            << "\" dstActor=\"" << xml_escape(graph.actor(ch.dst).name)
+            << "\" dstPort=\"in" << c << "\"";
+        if (ch.initial_tokens > 0) {
+            out << " initialTokens=\"" << ch.initial_tokens << "\"";
+        }
+        out << "/>\n";
+    }
+    out << "    </csdf>\n";
+    out << "    <csdfProperties>\n";
+    for (const CsdfActor& actor : graph.actors()) {
+        out << "      <actorProperties actor=\"" << xml_escape(actor.name) << "\">\n";
+        out << "        <processor type=\"proc_0\" default=\"true\">\n";
+        out << "          <executionTime time=\"" << format_int_list(actor.phase_times)
+            << "\"/>\n";
+        out << "        </processor>\n";
+        out << "      </actorProperties>\n";
+    }
+    out << "    </csdfProperties>\n";
+    out << "  </applicationGraph>\n";
+    out << "</sdf3>\n";
+    return out.str();
+}
+
+void write_csdf_xml_file(const std::string& path, const CsdfGraph& graph) {
+    std::ofstream stream(path);
+    if (!stream) {
+        throw ParseError("cannot open '" + path + "' for writing");
+    }
+    stream << write_csdf_xml_string(graph);
+}
+
+}  // namespace sdf

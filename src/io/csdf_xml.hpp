@@ -1,0 +1,29 @@
+// csdf_xml.hpp — SDF3-style XML for cyclo-static graphs.
+//
+// Same document layout as xml.hpp but with type="csdf", a <csdf> element
+// and comma-separated per-phase lists on port rates and execution times,
+// matching the SDF3 csdf schema:
+//
+//   <actor name="scaler" type="scaler">
+//     <port name="in0" type="in" rate="1,1,2"/>
+//   </actor>
+//   ...
+//   <executionTime time="10,10,16"/>
+#pragma once
+
+#include <string>
+
+#include "csdf/graph.hpp"
+
+namespace sdf {
+
+/// Parses a csdf-typed SDF3-style document; throws ParseError on malformed
+/// input.
+CsdfGraph read_csdf_xml_string(const std::string& text);
+CsdfGraph read_csdf_xml_file(const std::string& path);
+
+/// Serialises the graph.
+std::string write_csdf_xml_string(const CsdfGraph& graph);
+void write_csdf_xml_file(const std::string& path, const CsdfGraph& graph);
+
+}  // namespace sdf

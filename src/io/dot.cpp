@@ -1,0 +1,46 @@
+#include "io/dot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+std::string write_dot_string(const Graph& graph) {
+    std::ostringstream out;
+    out << "digraph \"" << (graph.name().empty() ? "sdf" : graph.name()) << "\" {\n";
+    out << "  rankdir=LR;\n  node [shape=circle];\n";
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        const Actor& actor = graph.actor(a);
+        out << "  a" << a << " [label=\"" << actor.name << "\\n(" << actor.execution_time
+            << ")\"];\n";
+    }
+    for (const Channel& ch : graph.channels()) {
+        out << "  a" << ch.src << " -> a" << ch.dst << " [label=\"";
+        bool first = true;
+        if (!ch.is_homogeneous()) {
+            out << ch.production << ":" << ch.consumption;
+            first = false;
+        }
+        if (ch.initial_tokens > 0) {
+            if (!first) {
+                out << " ";
+            }
+            out << "d=" << ch.initial_tokens;
+        }
+        out << "\"];\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+void write_dot_file(const std::string& path, const Graph& graph) {
+    std::ofstream stream(path);
+    if (!stream) {
+        throw ParseError("cannot open '" + path + "' for writing");
+    }
+    stream << write_dot_string(graph);
+}
+
+}  // namespace sdf

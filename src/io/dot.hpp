@@ -1,0 +1,18 @@
+// dot.hpp — Graphviz export for visual inspection of graphs and of the
+// reduction results (the abstract graphs and Figure 4 structures in the
+// examples are best checked by eye).
+#pragma once
+
+#include <string>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Renders the graph in Graphviz DOT.  Actors become circles labelled
+/// "name (T)"; channels become arrows labelled with rates (omitted when
+/// homogeneous) and token dots rendered as "d=<count>".
+std::string write_dot_string(const Graph& graph);
+void write_dot_file(const std::string& path, const Graph& graph);
+
+}  // namespace sdf

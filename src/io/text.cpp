@@ -1,0 +1,126 @@
+#include "io/text.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/errors.hpp"
+#include "base/string_util.hpp"
+
+namespace sdf {
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line, const std::string& message) {
+    throw ParseError("line " + std::to_string(line) + ": " + message);
+}
+
+Int parse_int_or_fail(const std::string& field, std::size_t line, const std::string& what) {
+    const auto value = parse_int(field);
+    if (!value) {
+        parse_fail(line, "expected integer for " + what + ", got '" + field + "'");
+    }
+    return *value;
+}
+
+}  // namespace
+
+Graph read_text(std::istream& input) {
+    Graph graph;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(input, line)) {
+        ++line_number;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.erase(hash);
+        }
+        const auto fields = split_whitespace(line);
+        if (fields.empty()) {
+            continue;
+        }
+        const std::string& keyword = fields[0];
+        if (keyword == "graph") {
+            if (fields.size() != 2) {
+                parse_fail(line_number, "graph takes exactly one name");
+            }
+            graph.set_name(fields[1]);
+        } else if (keyword == "actor") {
+            if (fields.size() != 3) {
+                parse_fail(line_number, "actor takes a name and an execution time");
+            }
+            try {
+                graph.add_actor(fields[1],
+                                parse_int_or_fail(fields[2], line_number, "execution time"));
+            } catch (const InvalidGraphError& e) {
+                parse_fail(line_number, e.what());
+            }
+        } else if (keyword == "channel") {
+            if (fields.size() != 6) {
+                parse_fail(line_number,
+                           "channel takes src dst production consumption tokens");
+            }
+            const auto src = graph.find_actor(fields[1]);
+            const auto dst = graph.find_actor(fields[2]);
+            if (!src) {
+                parse_fail(line_number, "unknown source actor '" + fields[1] + "'");
+            }
+            if (!dst) {
+                parse_fail(line_number, "unknown destination actor '" + fields[2] + "'");
+            }
+            try {
+                graph.add_channel(*src, *dst,
+                                  parse_int_or_fail(fields[3], line_number, "production"),
+                                  parse_int_or_fail(fields[4], line_number, "consumption"),
+                                  parse_int_or_fail(fields[5], line_number, "tokens"));
+            } catch (const InvalidGraphError& e) {
+                parse_fail(line_number, e.what());
+            }
+        } else {
+            parse_fail(line_number, "unknown keyword '" + keyword + "'");
+        }
+    }
+    return graph;
+}
+
+Graph read_text_string(const std::string& text) {
+    std::istringstream stream(text);
+    return read_text(stream);
+}
+
+Graph read_text_file(const std::string& path) {
+    std::ifstream stream(path);
+    if (!stream) {
+        throw ParseError("cannot open '" + path + "'");
+    }
+    return read_text(stream);
+}
+
+void write_text(std::ostream& output, const Graph& graph) {
+    if (!graph.name().empty()) {
+        output << "graph " << graph.name() << "\n";
+    }
+    for (const Actor& a : graph.actors()) {
+        output << "actor " << a.name << " " << a.execution_time << "\n";
+    }
+    for (const Channel& c : graph.channels()) {
+        output << "channel " << graph.actor(c.src).name << " " << graph.actor(c.dst).name
+               << " " << c.production << " " << c.consumption << " " << c.initial_tokens
+               << "\n";
+    }
+}
+
+std::string write_text_string(const Graph& graph) {
+    std::ostringstream stream;
+    write_text(stream, graph);
+    return stream.str();
+}
+
+void write_text_file(const std::string& path, const Graph& graph) {
+    std::ofstream stream(path);
+    if (!stream) {
+        throw ParseError("cannot open '" + path + "' for writing");
+    }
+    write_text(stream, graph);
+}
+
+}  // namespace sdf

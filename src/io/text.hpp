@@ -1,0 +1,33 @@
+// text.hpp — a plain-text SDF graph format.
+//
+// Line-oriented, whitespace-separated, '#' starts a comment:
+//
+//     graph h263decoder
+//     actor VLD 26018
+//     actor IQ  559
+//     channel VLD IQ 594 1 0     # src dst production consumption tokens
+//
+// Actors must be declared before the channels that use them.  The format
+// round-trips exactly (tested) and exists so experiments and examples can
+// be driven from files without the XML machinery.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Parses a graph from the text format; throws ParseError with a
+/// line-numbered message on malformed input.
+Graph read_text(std::istream& input);
+Graph read_text_string(const std::string& text);
+Graph read_text_file(const std::string& path);
+
+/// Writes the text format.
+void write_text(std::ostream& output, const Graph& graph);
+std::string write_text_string(const Graph& graph);
+void write_text_file(const std::string& path, const Graph& graph);
+
+}  // namespace sdf

@@ -1,0 +1,169 @@
+#include "io/xml.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "base/errors.hpp"
+#include "base/string_util.hpp"
+#include "io/xml_node.hpp"
+
+namespace sdf {
+
+namespace {
+
+Int parse_int_attr(const XmlNode& node, const std::string& key, Int fallback) {
+    const auto text = node.attribute(key);
+    if (!text) {
+        return fallback;
+    }
+    const auto value = parse_int(*text);
+    if (!value) {
+        throw ParseError("attribute " + key + "=\"" + *text + "\" is not an integer");
+    }
+    return *value;
+}
+
+}  // namespace
+
+Graph read_xml_string(const std::string& text) {
+    const XmlNode root = parse_xml(text);
+    if (root.name != "sdf3") {
+        throw ParseError("root element must be <sdf3>, got <" + root.name + ">");
+    }
+    const XmlNode* app = root.child("applicationGraph");
+    if (app == nullptr) {
+        throw ParseError("<sdf3> misses <applicationGraph>");
+    }
+    const XmlNode* sdf_node = app->child("sdf");
+    if (sdf_node == nullptr) {
+        throw ParseError("<applicationGraph> misses <sdf>");
+    }
+
+    Graph graph(app->attribute("name").value_or(sdf_node->attribute("name").value_or("")));
+
+    // Execution times from <sdfProperties>, keyed by actor name.
+    std::map<std::string, Int> execution_time;
+    if (const XmlNode* properties = app->child("sdfProperties")) {
+        for (const XmlNode* actor_props : properties->children_named("actorProperties")) {
+            const std::string& actor = actor_props->required_attribute("actor");
+            for (const XmlNode* processor : actor_props->children_named("processor")) {
+                if (const XmlNode* et = processor->child("executionTime")) {
+                    execution_time[actor] = parse_int_attr(*et, "time", 0);
+                }
+            }
+        }
+    }
+
+    // Actors and their port rates.
+    std::map<std::pair<std::string, std::string>, Int> port_rate;
+    for (const XmlNode* actor : sdf_node->children_named("actor")) {
+        const std::string& name = actor->required_attribute("name");
+        const auto et = execution_time.find(name);
+        graph.add_actor(name, et == execution_time.end() ? 0 : et->second);
+        for (const XmlNode* port : actor->children_named("port")) {
+            port_rate[{name, port->required_attribute("name")}] =
+                parse_int_attr(*port, "rate", 1);
+        }
+    }
+
+    // Channels: rates resolve through the named ports.
+    for (const XmlNode* channel : sdf_node->children_named("channel")) {
+        const std::string& src = channel->required_attribute("srcActor");
+        const std::string& dst = channel->required_attribute("dstActor");
+        const auto src_id = graph.find_actor(src);
+        const auto dst_id = graph.find_actor(dst);
+        if (!src_id || !dst_id) {
+            throw ParseError("channel references unknown actor '" + (src_id ? dst : src) +
+                             "'");
+        }
+        const auto rate_of = [&](const std::string& actor,
+                                 const std::string& port_attr) -> Int {
+            const auto port = channel->attribute(port_attr);
+            if (!port) {
+                return 1;
+            }
+            const auto it = port_rate.find({actor, *port});
+            if (it == port_rate.end()) {
+                throw ParseError("channel references unknown port '" + *port +
+                                 "' of actor '" + actor + "'");
+            }
+            return it->second;
+        };
+        graph.add_channel(*src_id, *dst_id, rate_of(src, "srcPort"), rate_of(dst, "dstPort"),
+                          parse_int_attr(*channel, "initialTokens", 0));
+    }
+    return graph;
+}
+
+Graph read_xml_file(const std::string& path) {
+    std::ifstream stream(path);
+    if (!stream) {
+        throw ParseError("cannot open '" + path + "'");
+    }
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    return read_xml_string(buffer.str());
+}
+
+std::string write_xml_string(const Graph& graph) {
+    std::ostringstream out;
+    const std::string name = graph.name().empty() ? "graph" : graph.name();
+    out << "<?xml version=\"1.0\"?>\n";
+    out << "<sdf3 type=\"sdf\" version=\"1.0\">\n";
+    out << "  <applicationGraph name=\"" << xml_escape(name) << "\">\n";
+    out << "    <sdf name=\"" << xml_escape(name) << "\" type=\"" << xml_escape(name)
+        << "\">\n";
+    // One output port per outgoing channel, one input port per incoming.
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        const Actor& actor = graph.actor(a);
+        out << "      <actor name=\"" << xml_escape(actor.name) << "\" type=\""
+            << xml_escape(actor.name) << "\">\n";
+        for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+            const Channel& ch = graph.channel(c);
+            if (ch.src == a) {
+                out << "        <port name=\"out" << c << "\" type=\"out\" rate=\""
+                    << ch.production << "\"/>\n";
+            }
+            if (ch.dst == a) {
+                out << "        <port name=\"in" << c << "\" type=\"in\" rate=\""
+                    << ch.consumption << "\"/>\n";
+            }
+        }
+        out << "      </actor>\n";
+    }
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        const Channel& ch = graph.channel(c);
+        out << "      <channel name=\"ch" << c << "\" srcActor=\""
+            << xml_escape(graph.actor(ch.src).name) << "\" srcPort=\"out" << c
+            << "\" dstActor=\"" << xml_escape(graph.actor(ch.dst).name)
+            << "\" dstPort=\"in" << c << "\"";
+        if (ch.initial_tokens > 0) {
+            out << " initialTokens=\"" << ch.initial_tokens << "\"";
+        }
+        out << "/>\n";
+    }
+    out << "    </sdf>\n";
+    out << "    <sdfProperties>\n";
+    for (const Actor& actor : graph.actors()) {
+        out << "      <actorProperties actor=\"" << xml_escape(actor.name) << "\">\n";
+        out << "        <processor type=\"proc_0\" default=\"true\">\n";
+        out << "          <executionTime time=\"" << actor.execution_time << "\"/>\n";
+        out << "        </processor>\n";
+        out << "      </actorProperties>\n";
+    }
+    out << "    </sdfProperties>\n";
+    out << "  </applicationGraph>\n";
+    out << "</sdf3>\n";
+    return out.str();
+}
+
+void write_xml_file(const std::string& path, const Graph& graph) {
+    std::ofstream stream(path);
+    if (!stream) {
+        throw ParseError("cannot open '" + path + "' for writing");
+    }
+    stream << write_xml_string(graph);
+}
+
+}  // namespace sdf

@@ -1,0 +1,242 @@
+#include "io/xml_node.hpp"
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+std::optional<std::string> XmlNode::attribute(const std::string& key) const {
+    const auto it = attributes.find(key);
+    if (it == attributes.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+const std::string& XmlNode::required_attribute(const std::string& key) const {
+    const auto it = attributes.find(key);
+    if (it == attributes.end()) {
+        throw ParseError("element <" + name + "> misses attribute '" + key + "'");
+    }
+    return it->second;
+}
+
+const XmlNode* XmlNode::child(const std::string& tag) const {
+    for (const XmlNode& c : children) {
+        if (c.name == tag) {
+            return &c;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(const std::string& tag) const {
+    std::vector<const XmlNode*> result;
+    for (const XmlNode& c : children) {
+        if (c.name == tag) {
+            result.push_back(&c);
+        }
+    }
+    return result;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    XmlNode parse_document() {
+        skip_misc();
+        XmlNode root = parse_element();
+        skip_misc();
+        if (pos_ != text_.size()) {
+            fail("trailing content after root element");
+        }
+        return root;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message) const {
+        throw ParseError("xml: " + message + " (at offset " + std::to_string(pos_) + ")");
+    }
+
+    [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+    [[nodiscard]] char peek() const { return text_[pos_]; }
+
+    void skip_whitespace() {
+        while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) {
+            ++pos_;
+        }
+    }
+
+    /// Skips whitespace, comments, XML declarations and processing
+    /// instructions between elements.
+    void skip_misc() {
+        while (true) {
+            skip_whitespace();
+            if (starts_with("<!--")) {
+                const std::size_t end = text_.find("-->", pos_ + 4);
+                if (end == std::string::npos) {
+                    fail("unterminated comment");
+                }
+                pos_ = end + 3;
+            } else if (starts_with("<?")) {
+                const std::size_t end = text_.find("?>", pos_ + 2);
+                if (end == std::string::npos) {
+                    fail("unterminated processing instruction");
+                }
+                pos_ = end + 2;
+            } else {
+                return;
+            }
+        }
+    }
+
+    [[nodiscard]] bool starts_with(const std::string& prefix) const {
+        return text_.compare(pos_, prefix.size(), prefix) == 0;
+    }
+
+    [[nodiscard]] static bool is_name_char(char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+               c == '_' || c == '-' || c == '.' || c == ':';
+    }
+
+    std::string parse_name() {
+        const std::size_t start = pos_;
+        while (!eof() && is_name_char(peek())) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            fail("expected a name");
+        }
+        return text_.substr(start, pos_ - start);
+    }
+
+    std::string parse_attribute_value() {
+        if (eof() || peek() != '"') {
+            fail("expected '\"' starting an attribute value");
+        }
+        ++pos_;
+        std::string value;
+        while (!eof() && peek() != '"') {
+            if (peek() == '&') {
+                value += parse_entity();
+            } else {
+                value += peek();
+                ++pos_;
+            }
+        }
+        if (eof()) {
+            fail("unterminated attribute value");
+        }
+        ++pos_;  // closing quote
+        return value;
+    }
+
+    char parse_entity() {
+        const std::size_t end = text_.find(';', pos_);
+        if (end == std::string::npos) {
+            fail("unterminated entity");
+        }
+        const std::string entity = text_.substr(pos_, end - pos_ + 1);
+        pos_ = end + 1;
+        if (entity == "&amp;") return '&';
+        if (entity == "&lt;") return '<';
+        if (entity == "&gt;") return '>';
+        if (entity == "&quot;") return '"';
+        if (entity == "&apos;") return '\'';
+        fail("unsupported entity '" + entity + "'");
+    }
+
+    XmlNode parse_element() {
+        if (eof() || peek() != '<') {
+            fail("expected '<'");
+        }
+        ++pos_;
+        XmlNode node;
+        node.name = parse_name();
+        while (true) {
+            skip_whitespace();
+            if (eof()) {
+                fail("unterminated start tag <" + node.name + ">");
+            }
+            if (peek() == '>') {
+                ++pos_;
+                break;
+            }
+            if (starts_with("/>")) {
+                pos_ += 2;
+                return node;  // self-closing
+            }
+            const std::string key = parse_name();
+            skip_whitespace();
+            if (eof() || peek() != '=') {
+                fail("expected '=' after attribute '" + key + "'");
+            }
+            ++pos_;
+            skip_whitespace();
+            node.attributes[key] = parse_attribute_value();
+        }
+        // Content: child elements until the matching end tag; text is
+        // skipped.
+        while (true) {
+            // Skip character data.
+            while (!eof() && peek() != '<') {
+                ++pos_;
+            }
+            if (eof()) {
+                fail("missing end tag </" + node.name + ">");
+            }
+            if (starts_with("</")) {
+                pos_ += 2;
+                const std::string closing = parse_name();
+                if (closing != node.name) {
+                    fail("mismatched end tag </" + closing + "> for <" + node.name + ">");
+                }
+                skip_whitespace();
+                if (eof() || peek() != '>') {
+                    fail("malformed end tag </" + closing + ">");
+                }
+                ++pos_;
+                return node;
+            }
+            if (starts_with("<!--")) {
+                const std::size_t end = text_.find("-->", pos_ + 4);
+                if (end == std::string::npos) {
+                    fail("unterminated comment");
+                }
+                pos_ = end + 3;
+                continue;
+            }
+            node.children.push_back(parse_element());
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+XmlNode parse_xml(const std::string& text) {
+    Parser parser(text);
+    return parser.parse_document();
+}
+
+std::string xml_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            case '\'': out += "&apos;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace sdf

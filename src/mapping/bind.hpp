@@ -1,0 +1,67 @@
+// bind.hpp — multiprocessor binding of HSDF graphs.
+//
+// The paper's reduction techniques come from MPSoC design flows ([3, 13,
+// 15, 16] in its reference list) in which an application graph is mapped
+// onto processors and each processor executes its actors in a fixed static
+// order.  The standard model (Sriram & Bhattacharyya [15]) makes the
+// resource constraint explicit in the graph itself: the actors bound to one
+// processor are chained by zero-delay channels in schedule order, and a
+// single-token channel from the last back to the first models the
+// processor becoming available again.  All ordinary analyses then apply to
+// the bound graph, and because binding only ADDS channels, Proposition 1 of
+// the paper immediately gives that the mapped system is never faster than
+// the unmapped one — a fact the property tests check.
+//
+// Binding is defined on homogeneous graphs (one firing per actor per
+// iteration, so "order of actors" is well defined); convert multi-rate
+// graphs first (to_hsdf_classic / to_hsdf_reduced).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Assignment of every actor to a processor 0..processor_count-1.
+struct Mapping {
+    std::size_t processor_count = 0;
+    std::vector<std::size_t> processor_of;  ///< indexed by ActorId
+};
+
+/// Per-processor static execution order (each inner vector lists the
+/// actors of one processor in firing order; every actor appears exactly
+/// once across all processors).
+struct StaticOrder {
+    std::vector<std::vector<ActorId>> order;  ///< indexed by processor
+};
+
+/// Validates that `mapping` covers every actor of `graph` with a processor
+/// in range; throws InvalidGraphError otherwise.
+void validate_mapping(const Graph& graph, const Mapping& mapping);
+
+/// A deadlock-free static order: project an admissible sequential schedule
+/// (PASS) of the graph onto the processors — actors appear on their
+/// processor in data-dependency-compatible order, so the bound graph is
+/// live whenever the original is.
+StaticOrder default_static_order(const Graph& graph, const Mapping& mapping);
+
+/// The resource-constrained graph: `graph` plus, per processor, zero-delay
+/// channels chaining its actors in static order and a one-token channel
+/// from the last back to the first (non-pipelined processors).  Processors
+/// with fewer than two actors only gain the self-availability loop when
+/// they hold exactly one actor.
+Graph bind(const Graph& graph, const Mapping& mapping, const StaticOrder& order);
+
+/// Convenience: bind with the default static order.
+Graph bind(const Graph& graph, const Mapping& mapping);
+
+/// A simple load-balancing mapping heuristic: actors sorted by decreasing
+/// execution time, each assigned to the currently least-loaded processor
+/// (LPT).  `processor_count` must be positive.
+Mapping balance_load(const Graph& graph, std::size_t processor_count);
+
+}  // namespace sdf

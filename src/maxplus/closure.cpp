@@ -1,0 +1,45 @@
+#include "maxplus/closure.hpp"
+
+#include "base/errors.hpp"
+#include "maxplus/mcm.hpp"
+
+namespace sdf {
+
+bool has_positive_weight_cycle(const MpMatrix& matrix) {
+    const CycleMetric metric = max_cycle_mean_karp(matrix.precedence_graph());
+    return metric.is_finite() && metric.value > Rational(0);
+}
+
+std::optional<MpMatrix> mp_closure(const MpMatrix& matrix) {
+    if (matrix.rows() != matrix.cols()) {
+        throw ArithmeticError("mp_closure requires a square matrix");
+    }
+    if (has_positive_weight_cycle(matrix)) {
+        return std::nullopt;
+    }
+    const std::size_t n = matrix.rows();
+    // Start from I ⊕ A, then relax through every intermediate node k:
+    // result(i,j) = max(result(i,j), result(i,k) + result(k,j)).
+    MpMatrix result = matrix;
+    for (std::size_t i = 0; i < n; ++i) {
+        result.set(i, i, mp_max(result.at(i, i), MpValue(0)));
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const MpValue ik = result.at(i, k);
+            if (!ik.is_finite()) {
+                continue;
+            }
+            for (std::size_t j = 0; j < n; ++j) {
+                const MpValue kj = result.at(k, j);
+                if (!kj.is_finite()) {
+                    continue;
+                }
+                result.set(i, j, mp_max(result.at(i, j), mp_plus(ik, kj)));
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace sdf

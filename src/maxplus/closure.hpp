@@ -1,0 +1,27 @@
+// closure.hpp — the max-plus Kleene star (metric closure).
+//
+// A*(i,j) = max over all walks i→j (including the empty walk when i = j)
+// of their weight — defined exactly when the matrix has no positive cycle
+// (otherwise entries diverge).  For a (G − λ)-reweighted iteration matrix
+// the closure collects the tightest cumulative distances between initial
+// tokens; its columns at critical nodes are the eigenvectors (eigen.hpp),
+// and A* is the algebraic form of the "minimum distances" the reduced
+// HSDF's matrix actors enforce pair-wise.
+#pragma once
+
+#include <optional>
+
+#include "maxplus/matrix.hpp"
+
+namespace sdf {
+
+/// Computes A* = I ⊕ A ⊕ A² ⊕ … for a square matrix.  Returns std::nullopt
+/// when A has a cycle of positive weight (the series diverges).  Uses the
+/// Floyd–Warshall-style max-plus recursion, O(n³).
+std::optional<MpMatrix> mp_closure(const MpMatrix& matrix);
+
+/// True when the matrix's precedence graph has a cycle of strictly
+/// positive total weight.
+bool has_positive_weight_cycle(const MpMatrix& matrix);
+
+}  // namespace sdf

@@ -1,0 +1,40 @@
+// eigen.hpp — max-plus eigenvalue and eigenvector.
+//
+// For an irreducible max-plus matrix G (strongly connected precedence
+// graph) the eigenvalue λ is the maximum cycle mean (mcm.hpp) and an
+// eigenvector v satisfies G ⊗ v = λ ⊗ v.  The eigenvector is the steady
+// slope of repeated iteration — for an SDF iteration matrix it gives the
+// asymptotic token production offsets within a period, the algebraic twin
+// of the static schedule in analysis/static_schedule.hpp (cf. Baccelli et
+// al. [1]).
+//
+// Construction: reweight edge (j,k) of the precedence graph to
+// G(j,k) − λ (no positive cycles remain, the critical cycles become zero)
+// and take longest-path distances *to* a critical node.  Entries are exact
+// Rationals because λ is rational while matrix entries are integers.
+#pragma once
+
+#include <vector>
+
+#include "base/rational.hpp"
+#include "maxplus/matrix.hpp"
+
+namespace sdf {
+
+/// Eigenvalue/eigenvector pair of an irreducible max-plus matrix.
+struct MpEigen {
+    Rational eigenvalue;
+    std::vector<Rational> eigenvector;  ///< one finite entry per index
+};
+
+/// Computes λ and an eigenvector of a square matrix whose precedence graph
+/// is strongly connected with at least one edge; throws ArithmeticError
+/// otherwise.
+MpEigen mp_eigen(const MpMatrix& matrix);
+
+/// Verifies G ⊗ v = λ ⊗ v exactly, reading the matrix with the library's
+/// column convention (new index k depends on old j): for every k,
+/// max_j (v[j] + G(j,k)) == λ + v[k].
+bool is_eigenpair(const MpMatrix& matrix, const MpEigen& eigen);
+
+}  // namespace sdf

@@ -1,0 +1,131 @@
+#include "maxplus/matrix.hpp"
+
+#include <ostream>
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+MpMatrix MpMatrix::identity(std::size_t size) {
+    MpMatrix m(size, size);
+    for (std::size_t i = 0; i < size; ++i) {
+        m.set(i, i, MpValue(0));
+    }
+    return m;
+}
+
+void MpMatrix::set_column(std::size_t col, const MpVector& stamp) {
+    if (stamp.size() != rows_) {
+        throw ArithmeticError("column stamp length does not match matrix rows");
+    }
+    for (std::size_t row = 0; row < rows_; ++row) {
+        set(row, col, stamp[row]);
+    }
+}
+
+MpVector MpMatrix::column(std::size_t col) const {
+    MpVector stamp(rows_);
+    for (std::size_t row = 0; row < rows_; ++row) {
+        stamp[row] = at(row, col);
+    }
+    return stamp;
+}
+
+std::size_t MpMatrix::finite_entry_count() const {
+    std::size_t count = 0;
+    for (const MpValue v : entries_) {
+        if (v.is_finite()) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+MpMatrix MpMatrix::multiply(const MpMatrix& other) const {
+    if (cols_ != other.rows_) {
+        throw ArithmeticError("max-plus matrix dimension mismatch in multiply");
+    }
+    MpMatrix result(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            const MpValue a = at(i, j);
+            if (!a.is_finite()) {
+                continue;
+            }
+            for (std::size_t k = 0; k < other.cols_; ++k) {
+                const MpValue b = other.at(j, k);
+                if (!b.is_finite()) {
+                    continue;
+                }
+                result.set(i, k, mp_max(result.at(i, k), mp_plus(a, b)));
+            }
+        }
+    }
+    return result;
+}
+
+MpMatrix MpMatrix::power(Int exponent) const {
+    if (rows_ != cols_) {
+        throw ArithmeticError("max-plus power of a non-square matrix");
+    }
+    if (exponent < 0) {
+        throw ArithmeticError("negative max-plus matrix power");
+    }
+    MpMatrix result = identity(rows_);
+    MpMatrix base = *this;
+    while (exponent > 0) {
+        if ((exponent & 1) != 0) {
+            result = result.multiply(base);
+        }
+        exponent >>= 1;
+        if (exponent > 0) {
+            base = base.multiply(base);
+        }
+    }
+    return result;
+}
+
+MpValue MpMatrix::max_entry() const {
+    MpValue best = MpValue::minus_infinity();
+    for (const MpValue v : entries_) {
+        best = mp_max(best, v);
+    }
+    return best;
+}
+
+Digraph MpMatrix::precedence_graph() const {
+    if (rows_ != cols_) {
+        throw ArithmeticError("precedence graph of a non-square matrix");
+    }
+    Digraph g(rows_);
+    for (std::size_t j = 0; j < rows_; ++j) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const MpValue v = at(j, k);
+            if (v.is_finite()) {
+                g.add_edge(j, k, v.value(), /*tokens=*/1);
+            }
+        }
+    }
+    return g;
+}
+
+std::string MpMatrix::to_string() const {
+    std::string out;
+    for (std::size_t i = 0; i < rows_; ++i) {
+        out += "[";
+        for (std::size_t j = 0; j < cols_; ++j) {
+            if (j > 0) {
+                out += ", ";
+            }
+            out += at(i, j).to_string();
+        }
+        out += "]\n";
+    }
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const MpMatrix& m) {
+    return os << m.to_string();
+}
+
+}  // namespace sdf

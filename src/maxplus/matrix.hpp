@@ -1,0 +1,83 @@
+// matrix.hpp — max-plus matrices.
+//
+// The symbolic execution of one SDF iteration (Algorithm 1) produces a
+// square matrix G over the initial tokens: the stamp of new token k is
+// t'_k = max_j (t_j + G(j,k)).  In max-plus algebra one iteration is the
+// linear map t' = Gᵀ ⊗ t, and the iteration period of the graph — hence its
+// throughput — is the max-plus eigenvalue of G, i.e. the maximum cycle mean
+// of G's precedence graph (see mcm.hpp).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "base/digraph.hpp"
+#include "maxplus/vector.hpp"
+
+namespace sdf {
+
+/// A square or rectangular matrix over the max-plus semiring, stored dense
+/// row-major.  Row index j, column index k; entry (j,k) is read throughout
+/// the library as "new token k keeps distance G(j,k) to old token j".
+class MpMatrix {
+public:
+    MpMatrix() = default;
+
+    /// rows×cols matrix of −∞ entries.
+    MpMatrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), entries_(rows * cols) {}
+
+    /// The max-plus identity: 0 on the diagonal, −∞ elsewhere.
+    static MpMatrix identity(std::size_t size);
+
+    [[nodiscard]] std::size_t rows() const { return rows_; }
+    [[nodiscard]] std::size_t cols() const { return cols_; }
+
+    [[nodiscard]] MpValue at(std::size_t row, std::size_t col) const {
+        return entries_[row * cols_ + col];
+    }
+    void set(std::size_t row, std::size_t col, MpValue value) {
+        entries_[row * cols_ + col] = value;
+    }
+
+    /// Installs max-plus vector `stamp` as column `col` (the stamp of the
+    /// col-th new token).
+    void set_column(std::size_t col, const MpVector& stamp);
+
+    /// Extracts column `col` as a vector.
+    [[nodiscard]] MpVector column(std::size_t col) const;
+
+    /// Number of finite entries.
+    [[nodiscard]] std::size_t finite_entry_count() const;
+
+    /// Max-plus matrix product (A ⊗ B)(i,k) = max_j A(i,j) + B(j,k);
+    /// composing two iterations of the graph.
+    [[nodiscard]] MpMatrix multiply(const MpMatrix& other) const;
+
+    /// Max-plus matrix power by repeated squaring; `exponent` >= 0; the
+    /// matrix must be square.  Power 0 is the identity.
+    [[nodiscard]] MpMatrix power(Int exponent) const;
+
+    /// Largest finite entry (−∞ when there is none).
+    [[nodiscard]] MpValue max_entry() const;
+
+    /// The precedence graph of a square matrix: one node per index, one edge
+    /// j -> k with weight G(j,k) and one token per finite entry.  Its maximum
+    /// cycle mean is the max-plus eigenvalue of the matrix.
+    [[nodiscard]] Digraph precedence_graph() const;
+
+    friend bool operator==(const MpMatrix& a, const MpMatrix& b) = default;
+
+    /// Multi-line rendering for debugging and the experiment logs.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<MpValue> entries_;
+};
+
+std::ostream& operator<<(std::ostream& os, const MpMatrix& m);
+
+}  // namespace sdf

@@ -1,0 +1,425 @@
+#include "maxplus/mcm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Longest-walk table for Karp's algorithm on one strongly connected
+/// component, identified by a node list and the edges inside it.
+struct SccView {
+    std::vector<std::size_t> nodes;               // global indices
+    std::vector<DigraphEdge> edges;               // endpoints remapped to local indices
+};
+
+std::vector<SccView> split_into_sccs(const Digraph& graph) {
+    std::size_t component_count = 0;
+    const auto component = graph.strongly_connected_components(&component_count);
+    std::vector<SccView> views(component_count);
+    std::vector<std::size_t> local_index(graph.node_count(), kNone);
+    for (std::size_t v = 0; v < graph.node_count(); ++v) {
+        local_index[v] = views[component[v]].nodes.size();
+        views[component[v]].nodes.push_back(v);
+    }
+    for (const auto& e : graph.edges()) {
+        if (component[e.from] == component[e.to]) {
+            views[component[e.from]].edges.push_back(
+                DigraphEdge{local_index[e.from], local_index[e.to], e.weight, e.tokens});
+        }
+    }
+    return views;
+}
+
+/// Karp's algorithm on one SCC that is known to contain at least one edge.
+Rational karp_on_scc(const SccView& scc) {
+    const std::size_t n = scc.nodes.size();
+    // D[k][v] = maximum weight of a walk with exactly k edges from the
+    // source (local node 0) to v; -inf encoded via a separate validity flag.
+    const Int kMinusInf = std::numeric_limits<Int>::min();
+    std::vector<std::vector<Int>> dist(n + 1, std::vector<Int>(n, kMinusInf));
+    dist[0][0] = 0;
+    for (std::size_t k = 1; k <= n; ++k) {
+        for (const auto& e : scc.edges) {
+            if (dist[k - 1][e.from] == kMinusInf) {
+                continue;
+            }
+            const Int candidate = checked_add(dist[k - 1][e.from], e.weight);
+            dist[k][e.to] = std::max(dist[k][e.to], candidate);
+        }
+    }
+    // lambda = max_v min_{k < n} (D[n][v] - D[k][v]) / (n - k); the SCC is
+    // strongly connected with >= 1 edge, so some D[n][v] is finite.
+    std::optional<Rational> best;
+    for (std::size_t v = 0; v < n; ++v) {
+        if (dist[n][v] == kMinusInf) {
+            continue;
+        }
+        std::optional<Rational> inner;
+        for (std::size_t k = 0; k < n; ++k) {
+            if (dist[k][v] == kMinusInf) {
+                continue;
+            }
+            const Rational candidate(checked_sub(dist[n][v], dist[k][v]),
+                                     static_cast<Int>(n - k));
+            if (!inner || candidate < *inner) {
+                inner = candidate;
+            }
+        }
+        if (inner && (!best || *inner > *best)) {
+            best = inner;
+        }
+    }
+    if (!best) {
+        throw ArithmeticError("Karp: no finite walk of full length in an SCC with edges");
+    }
+    return *best;
+}
+
+bool scc_has_cycle(const SccView& scc) {
+    if (scc.nodes.size() > 1) {
+        return !scc.edges.empty();
+    }
+    return std::any_of(scc.edges.begin(), scc.edges.end(),
+                       [](const DigraphEdge& e) { return e.from == e.to; });
+}
+
+}  // namespace
+
+CycleMetric max_cycle_mean_karp(const Digraph& graph) {
+    CycleMetric result;
+    for (const auto& scc : split_into_sccs(graph)) {
+        if (!scc_has_cycle(scc)) {
+            continue;
+        }
+        const Rational lambda = karp_on_scc(scc);
+        if (result.outcome == CycleOutcome::no_cycle || lambda > result.value) {
+            result.value = lambda;
+        }
+        result.outcome = CycleOutcome::finite;
+    }
+    return result;
+}
+
+bool has_zero_token_cycle(const Digraph& graph) {
+    Digraph zero_token(graph.node_count());
+    for (const auto& e : graph.edges()) {
+        if (e.tokens == 0) {
+            zero_token.add_edge(e.from, e.to, e.weight, 0);
+        }
+    }
+    return zero_token.has_cycle();
+}
+
+bool has_positive_cycle(const Digraph& graph, Int num, Int den) {
+    // Longest-path Bellman–Ford from an implicit super-source (all dist 0):
+    // a relaxation still possible after node_count rounds witnesses a
+    // strictly positive cycle under the reweighting den*w - num*d.
+    const std::size_t n = graph.node_count();
+    std::vector<Int> dist(n, 0);
+    for (std::size_t round = 0; round <= n; ++round) {
+        bool changed = false;
+        for (const auto& e : graph.edges()) {
+            const Int w = checked_sub(checked_mul(den, e.weight), checked_mul(num, e.tokens));
+            const Int candidate = checked_add(dist[e.from], w);
+            if (candidate > dist[e.to]) {
+                dist[e.to] = candidate;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool has_zero_cycle(const Digraph& graph, Int num, Int den) {
+    // First compute converged longest-path potentials (no positive cycle may
+    // exist, otherwise the potentials do not converge and we throw).
+    const std::size_t n = graph.node_count();
+    std::vector<Int> dist(n, 0);
+    bool converged = false;
+    for (std::size_t round = 0; round <= n && !converged; ++round) {
+        converged = true;
+        for (const auto& e : graph.edges()) {
+            const Int w = checked_sub(checked_mul(den, e.weight), checked_mul(num, e.tokens));
+            const Int candidate = checked_add(dist[e.from], w);
+            if (candidate > dist[e.to]) {
+                dist[e.to] = candidate;
+                converged = false;
+            }
+        }
+    }
+    if (!converged) {
+        throw ArithmeticError("has_zero_cycle called with a positive cycle present");
+    }
+    // Every edge now satisfies dist[u] + w <= dist[v]; a cycle sums its
+    // slacks to a non-positive value and is zero exactly when all of its
+    // edges are tight, so look for a cycle among tight edges only.
+    Digraph tight(n);
+    for (const auto& e : graph.edges()) {
+        const Int w = checked_sub(checked_mul(den, e.weight), checked_mul(num, e.tokens));
+        if (checked_add(dist[e.from], w) == dist[e.to]) {
+            tight.add_edge(e.from, e.to);
+        }
+    }
+    return tight.has_cycle();
+}
+
+namespace {
+
+/// An exact fraction num/den with den > 0, *not* reduced: the Stern–Brocot
+/// walk relies on the raw mediant components.
+struct Fraction {
+    Int num;
+    Int den;
+};
+
+Fraction mediant_k(const Fraction& l, const Fraction& r, Int k) {
+    return Fraction{checked_add(l.num, checked_mul(k, r.num)),
+                    checked_add(l.den, checked_mul(k, r.den))};
+}
+
+}  // namespace
+
+CycleMetric max_cycle_ratio_exact(const Digraph& graph) {
+    for (const auto& e : graph.edges()) {
+        if (e.weight < 0 || e.tokens < 0) {
+            throw ArithmeticError("max_cycle_ratio_exact requires non-negative weights/tokens");
+        }
+    }
+    CycleMetric result;
+    if (!graph.has_cycle()) {
+        return result;  // no_cycle
+    }
+    // A cycle through zero-token edges only: infinite ratio when any such
+    // cycle carries weight.  Zero-weight zero-token cycles are degenerate
+    // (0/0); they impose no timing constraint, so drop their edges... they
+    // cannot exist in graphs coming from SDF (a zero-token cycle in an HSDF
+    // deadlocks regardless of weights), so treat every zero-token cycle as
+    // infinite to stay conservative.
+    if (has_zero_token_cycle(graph)) {
+        result.outcome = CycleOutcome::infinite;
+        return result;
+    }
+
+    Int total_weight = 0;
+    for (const auto& e : graph.edges()) {
+        total_weight = checked_add(total_weight, e.weight);
+    }
+
+    // Invariant: lambda* in (l, r] as real numbers, with is_above(l) true
+    // and is_above(r) false, where is_above(x) <=> exists cycle ratio > x.
+    Fraction l{-1, 1};
+    Fraction r{checked_add(total_weight, 1), 1};
+
+    while (true) {
+        // lambda* == r exactly when the reweighted graph at r has a zero
+        // cycle (it cannot have a positive one by the invariant).
+        if (has_zero_cycle(graph, r.num, r.den)) {
+            result.outcome = CycleOutcome::finite;
+            result.value = Rational(r.num, r.den);
+            return result;
+        }
+        // Descend the Stern–Brocot tree with galloping: find the largest k
+        // such that the k-fold mediant towards r is still strictly below
+        // lambda*, i.e. is_above(mediant_k) holds.
+        const Fraction m1 = mediant_k(l, r, 1);
+        if (has_positive_cycle(graph, m1.num, m1.den)) {
+            // Gallop left-to-right: l_k = l + k*r while still below lambda*.
+            Int lo = 1;  // known: is_above(mediant_lo)
+            Int hi = 2;
+            while (has_positive_cycle(graph, mediant_k(l, r, hi).num, mediant_k(l, r, hi).den)) {
+                lo = hi;
+                hi = checked_mul(hi, 2);
+            }
+            // Binary search the boundary in (lo, hi).
+            while (lo + 1 < hi) {
+                const Int mid = lo + (hi - lo) / 2;
+                const Fraction m = mediant_k(l, r, mid);
+                if (has_positive_cycle(graph, m.num, m.den)) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            const Fraction new_l = mediant_k(l, r, lo);
+            const Fraction new_r = mediant_k(l, r, hi);
+            l = new_l;
+            r = new_r;
+        } else {
+            // Gallop right-to-left: r_k = r + k*l while is_above stays false.
+            Int lo = 1;  // known: !is_above(mediant_lo towards l)
+            Int hi = 2;
+            while (!has_positive_cycle(graph, mediant_k(r, l, hi).num, mediant_k(r, l, hi).den)) {
+                lo = hi;
+                hi = checked_mul(hi, 2);
+            }
+            while (lo + 1 < hi) {
+                const Int mid = lo + (hi - lo) / 2;
+                const Fraction m = mediant_k(r, l, mid);
+                if (!has_positive_cycle(graph, m.num, m.den)) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            const Fraction new_r = mediant_k(r, l, lo);
+            const Fraction new_l = mediant_k(r, l, hi);
+            l = new_l;
+            r = new_r;
+        }
+    }
+}
+
+namespace {
+
+/// Howard policy iteration on a strongly connected graph in which every
+/// node has at least one outgoing edge (guaranteed inside an SCC with a
+/// cycle) — so every policy walk ends on a cycle and all lambdas stay
+/// finite.
+double howard_on_scc(const Digraph& graph) {
+    constexpr double kEps = 1e-9;
+    const std::size_t n = graph.node_count();
+    const auto out = graph.out_edges();
+
+    // Policy: one chosen out-edge per node.
+    std::vector<std::size_t> policy(n, kNone);
+    for (std::size_t v = 0; v < n; ++v) {
+        policy[v] = out[v][0];
+    }
+
+    std::vector<double> lambda(n, -std::numeric_limits<double>::infinity());
+    std::vector<double> value(n, 0.0);
+
+    bool improved = true;
+    std::size_t guard = 0;
+    while (improved) {
+        if (++guard > 10000) {
+            throw ArithmeticError("Howard policy iteration failed to converge");
+        }
+        // --- Value determination on the policy graph. -------------------
+        // Each node with a policy edge has exactly one successor; walking
+        // the successor chain finds the unique cycle the node feeds into.
+        std::fill(lambda.begin(), lambda.end(), -std::numeric_limits<double>::infinity());
+        std::vector<int> state(n, 0);  // 0 unvisited, 1 in progress, 2 done
+        for (std::size_t start = 0; start < n; ++start) {
+            if (state[start] != 0 || policy[start] == kNone) {
+                continue;
+            }
+            // Walk until a visited node or a node without policy edge.
+            std::vector<std::size_t> path;
+            std::size_t v = start;
+            while (v != kNone && state[v] == 0 && policy[v] != kNone) {
+                state[v] = 1;
+                path.push_back(v);
+                v = graph.edge(policy[v]).to;
+            }
+            if (v != kNone && state[v] == 1) {
+                // Found a new cycle starting at v: evaluate its ratio.
+                double cycle_weight = 0;
+                double cycle_tokens = 0;
+                std::size_t u = v;
+                do {
+                    const auto& e = graph.edge(policy[u]);
+                    cycle_weight += static_cast<double>(e.weight);
+                    cycle_tokens += static_cast<double>(e.tokens);
+                    u = e.to;
+                } while (u != v);
+                const double ratio = cycle_weight / cycle_tokens;
+                // Fix values around the cycle: anchor value(v) = 0 and unroll
+                // value(u) = w(u) - ratio*t(u) + value(succ(u)) backwards.
+                std::vector<std::size_t> cycle_nodes;
+                u = v;
+                do {
+                    lambda[u] = ratio;
+                    cycle_nodes.push_back(u);
+                    u = graph.edge(policy[u]).to;
+                } while (u != v);
+                value[v] = 0.0;
+                for (std::size_t i = cycle_nodes.size(); i-- > 1;) {
+                    const std::size_t node = cycle_nodes[i];
+                    const auto& e = graph.edge(policy[node]);
+                    value[node] = static_cast<double>(e.weight) -
+                                  ratio * static_cast<double>(e.tokens) + value[e.to];
+                }
+            }
+            // Pop the path, assigning values for the tail nodes feeding the
+            // cycle (or dangling nodes without policy continuation).
+            for (std::size_t i = path.size(); i-- > 0;) {
+                const std::size_t node = path[i];
+                if (lambda[node] > -std::numeric_limits<double>::infinity()) {
+                    state[node] = 2;
+                    continue;  // on the cycle, already valued
+                }
+                const auto& e = graph.edge(policy[node]);
+                const std::size_t succ = e.to;
+                lambda[node] = lambda[succ];
+                value[node] = static_cast<double>(e.weight) -
+                              lambda[succ] * static_cast<double>(e.tokens) + value[succ];
+                state[node] = 2;
+            }
+        }
+        // --- Policy improvement. ----------------------------------------
+        improved = false;
+        for (const auto& e : graph.edges()) {
+            if (lambda[e.to] == -std::numeric_limits<double>::infinity()) {
+                continue;  // successor leads nowhere
+            }
+            const double cand_lambda = lambda[e.to];
+            const double cand_value = static_cast<double>(e.weight) -
+                                      cand_lambda * static_cast<double>(e.tokens) + value[e.to];
+            const bool better_lambda = cand_lambda > lambda[e.from] + kEps;
+            const bool equal_lambda = std::abs(cand_lambda - lambda[e.from]) <= kEps;
+            if (better_lambda || (equal_lambda && cand_value > value[e.from] + kEps)) {
+                // Locate this edge's index to update the policy.
+                for (const std::size_t ei : out[e.from]) {
+                    const auto& edge = graph.edge(ei);
+                    if (edge.to == e.to && edge.weight == e.weight && edge.tokens == e.tokens) {
+                        policy[e.from] = ei;
+                        break;
+                    }
+                }
+                lambda[e.from] = cand_lambda;
+                value[e.from] = cand_value;
+                improved = true;
+            }
+        }
+    }
+    return *std::max_element(lambda.begin(), lambda.end());
+}
+
+}  // namespace
+
+CycleMetricDouble max_cycle_ratio_howard(const Digraph& graph) {
+    CycleMetricDouble result;
+    if (!graph.has_cycle()) {
+        return result;  // no_cycle
+    }
+    if (has_zero_token_cycle(graph)) {
+        result.outcome = CycleOutcome::infinite;
+        return result;
+    }
+    result.outcome = CycleOutcome::finite;
+    result.value = -std::numeric_limits<double>::infinity();
+    for (const auto& scc : split_into_sccs(graph)) {
+        if (!scc_has_cycle(scc)) {
+            continue;
+        }
+        Digraph local(scc.nodes.size());
+        for (const auto& e : scc.edges) {
+            local.add_edge(e.from, e.to, e.weight, e.tokens);
+        }
+        result.value = std::max(result.value, howard_on_scc(local));
+    }
+    return result;
+}
+
+}  // namespace sdf

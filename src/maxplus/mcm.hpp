@@ -1,0 +1,75 @@
+// mcm.hpp — maximum cycle mean / maximum cycle ratio solvers.
+//
+// Throughput of a strongly dependent SDF graph is 1/λ per iteration, where
+// λ is:
+//   * the max-plus eigenvalue of the iteration's symbolic matrix, i.e. the
+//     maximum cycle MEAN (sum of weights / number of edges) of the matrix's
+//     precedence graph — computed exactly with Karp's algorithm; or
+//   * the maximum cycle RATIO (sum of execution times / sum of initial
+//     tokens) of an HSDF graph — computed exactly with a Lawler-style
+//     parametric search that walks the Stern–Brocot tree, each step deciding
+//     "is there a cycle with ratio > p/q?" by integer Bellman–Ford on the
+//     reweighted graph q·w − p·d.  A floating-point Howard policy-iteration
+//     solver is provided as an ablation baseline (cf. Dasdan/Irani/Gupta,
+//     DAC'99, cited as [5] in the paper).
+#pragma once
+
+#include <optional>
+
+#include "base/digraph.hpp"
+#include "base/rational.hpp"
+
+namespace sdf {
+
+/// Classification of a cycle-metric query.
+enum class CycleOutcome {
+    no_cycle,  ///< the graph is acyclic: no constraint, period −∞
+    infinite,  ///< a cycle with positive weight and zero tokens: deadlock
+    finite,    ///< a well-defined maximum exists
+};
+
+/// Result of an exact cycle-metric computation; `value` is meaningful only
+/// when `outcome == finite`.
+struct CycleMetric {
+    CycleOutcome outcome = CycleOutcome::no_cycle;
+    Rational value;
+
+    [[nodiscard]] bool is_finite() const { return outcome == CycleOutcome::finite; }
+};
+
+/// Result of the floating-point Howard solver.
+struct CycleMetricDouble {
+    CycleOutcome outcome = CycleOutcome::no_cycle;
+    double value = 0.0;
+};
+
+/// Maximum cycle mean max_C (Σ weight) / |C| over all directed cycles C,
+/// by Karp's theorem applied per strongly connected component.  Edge token
+/// counts are ignored (every edge counts as one step).  Exact.
+CycleMetric max_cycle_mean_karp(const Digraph& graph);
+
+/// Maximum cycle ratio max_C (Σ weight) / (Σ tokens) over directed cycles.
+/// Requires non-negative weights and non-negative token counts.  Cycles with
+/// zero tokens and positive weight make the ratio infinite; zero-weight
+/// zero-token cycles are ignored.  Exact (Stern–Brocot parametric search).
+CycleMetric max_cycle_ratio_exact(const Digraph& graph);
+
+/// Same metric as max_cycle_ratio_exact but with Howard's policy iteration
+/// on doubles; used only as an ablation/performance baseline.
+CycleMetricDouble max_cycle_ratio_howard(const Digraph& graph);
+
+/// True when the subgraph of zero-token edges contains a directed cycle
+/// (an HSDF deadlock / infinite cycle ratio witness).
+bool has_zero_token_cycle(const Digraph& graph);
+
+/// Decision procedure used by the parametric search, exposed for tests:
+/// true iff the graph has a directed cycle whose reweighted length
+/// Σ (den·weight − num·tokens) is strictly positive.
+bool has_positive_cycle(const Digraph& graph, Int num, Int den);
+
+/// True iff after reweighting with q·w − p·d (which must admit no strictly
+/// positive cycle) some cycle has reweighted length exactly zero, i.e. the
+/// maximum cycle ratio equals p/q.
+bool has_zero_cycle(const Digraph& graph, Int num, Int den);
+
+}  // namespace sdf

@@ -1,0 +1,37 @@
+// transient.hpp — transient length and cyclicity of max-plus matrix powers.
+//
+// For a matrix G with eigenvalue λ, the powers eventually become periodic
+// up to the linear growth λ (the max-plus cyclicity theorem):
+//
+//     G^(k+c)  =  λ·c ⊗ G^k        for all k >= k0,
+//
+// with c the cyclicity and k0 the transient.  For an SDF iteration matrix
+// this says: after k0 warm-up iterations the self-timed execution is
+// exactly periodic, repeating every c iterations with λ time units per
+// iteration — the quantity the state-space method of [8] discovers by
+// explicit simulation, computed here algebraically.
+#pragma once
+
+#include <optional>
+
+#include "base/rational.hpp"
+#include "maxplus/matrix.hpp"
+
+namespace sdf {
+
+/// Result of the transient search.
+struct TransientAnalysis {
+    Int transient = 0;   ///< k0: first power from which periodicity holds
+    Int cyclicity = 0;   ///< c: period of the power sequence
+    Rational rate;       ///< λ: growth per power (the eigenvalue)
+};
+
+/// Searches for (k0, c) with G^(k0+c) = λ·c ⊗ G^(k0), trying powers up to
+/// `max_power`.  Returns std::nullopt when no periodicity shows within the
+/// budget (e.g. reducible matrices with incommensurate SCC rates can have
+/// very long transients).  Requires a square matrix whose precedence graph
+/// has a cycle (so λ exists).
+std::optional<TransientAnalysis> transient_analysis(const MpMatrix& matrix,
+                                                    Int max_power = 256);
+
+}  // namespace sdf

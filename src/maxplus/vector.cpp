@@ -1,0 +1,74 @@
+#include "maxplus/vector.hpp"
+
+#include <ostream>
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+MpVector MpVector::unit(std::size_t size, std::size_t index) {
+    MpVector v(size);
+    if (index >= size) {
+        throw ArithmeticError("unit vector index out of range");
+    }
+    v.entries_[index] = MpValue(0);
+    return v;
+}
+
+MpVector MpVector::max_with(const MpVector& other) const {
+    if (entries_.size() != other.entries_.size()) {
+        throw ArithmeticError("max of max-plus vectors of different lengths");
+    }
+    MpVector result(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        result.entries_[i] = mp_max(entries_[i], other.entries_[i]);
+    }
+    return result;
+}
+
+MpVector MpVector::plus(Int scalar) const {
+    MpVector result(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        result.entries_[i] = mp_plus(entries_[i], MpValue(scalar));
+    }
+    return result;
+}
+
+MpValue MpVector::max_entry() const {
+    MpValue best = MpValue::minus_infinity();
+    for (const MpValue v : entries_) {
+        best = mp_max(best, v);
+    }
+    return best;
+}
+
+bool MpVector::is_bottom() const {
+    for (const MpValue v : entries_) {
+        if (v.is_finite()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string MpVector::to_string() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (i > 0) {
+            out += ", ";
+        }
+        out += entries_[i].to_string();
+    }
+    out += "]";
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const MpVector& v) {
+    return os << v.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, MpValue v) {
+    return os << v.to_string();
+}
+
+}  // namespace sdf

@@ -1,0 +1,60 @@
+// vector.hpp — max-plus vectors: the symbolic time stamps of Algorithm 1.
+//
+// A token produced during the symbolic execution of one graph iteration
+// carries the vector g with t = max_i (t_i + g_i) over the production times
+// t_i of the initial tokens.  Firing an actor takes the element-wise max of
+// the consumed stamps (synchronisation) and adds the execution time
+// (computation), which are exactly the two operations below.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "maxplus/value.hpp"
+
+namespace sdf {
+
+/// A fixed-length vector over the max-plus semiring.
+class MpVector {
+public:
+    MpVector() = default;
+
+    /// A vector of `size` entries, all −∞.
+    explicit MpVector(std::size_t size) : entries_(size) {}
+
+    /// The i-th max-plus unit vector of length `size`: 0 at `index`, −∞
+    /// elsewhere.  This is the initial stamp of the `index`-th initial token
+    /// (t_index depends on itself with distance 0).
+    static MpVector unit(std::size_t size, std::size_t index);
+
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] MpValue operator[](std::size_t i) const { return entries_[i]; }
+    MpValue& operator[](std::size_t i) { return entries_[i]; }
+
+    /// Element-wise max (synchronisation of two symbolic stamps).
+    [[nodiscard]] MpVector max_with(const MpVector& other) const;
+
+    /// Adds a finite scalar to every finite entry (elapsing execution time).
+    [[nodiscard]] MpVector plus(Int scalar) const;
+
+    /// The largest entry (−∞ for the all-−∞ vector): the completion time of
+    /// this stamp when all initial tokens are available at time 0.
+    [[nodiscard]] MpValue max_entry() const;
+
+    /// True when every entry is −∞.
+    [[nodiscard]] bool is_bottom() const;
+
+    friend bool operator==(const MpVector& a, const MpVector& b) = default;
+
+    /// "[0, -inf, 3]"
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::vector<MpValue> entries_;
+};
+
+std::ostream& operator<<(std::ostream& os, const MpVector& v);
+
+}  // namespace sdf

@@ -1,0 +1,86 @@
+#include "sdf/graph.hpp"
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+ActorId Graph::add_actor(const std::string& name, Int execution_time) {
+    require(!name.empty(), "actor name must be non-empty");
+    require(execution_time >= 0, "actor '" + name + "' has negative execution time");
+    require(actor_by_name_.find(name) == actor_by_name_.end(),
+            "duplicate actor name '" + name + "'");
+    const ActorId id = actors_.size();
+    actors_.push_back(Actor{name, execution_time});
+    actor_by_name_.emplace(name, id);
+    return id;
+}
+
+ChannelId Graph::add_channel(ActorId src, ActorId dst, Int production, Int consumption,
+                             Int initial_tokens) {
+    require(src < actors_.size() && dst < actors_.size(), "channel endpoint out of range");
+    require(production > 0, "channel production rate must be positive");
+    require(consumption > 0, "channel consumption rate must be positive");
+    require(initial_tokens >= 0, "channel initial tokens must be non-negative");
+    const ChannelId id = channels_.size();
+    channels_.push_back(Channel{src, dst, production, consumption, initial_tokens});
+    return id;
+}
+
+void Graph::set_execution_time(ActorId id, Int execution_time) {
+    require(id < actors_.size(), "actor id out of range");
+    require(execution_time >= 0, "negative execution time");
+    actors_[id].execution_time = execution_time;
+}
+
+void Graph::set_initial_tokens(ChannelId id, Int initial_tokens) {
+    require(id < channels_.size(), "channel id out of range");
+    require(initial_tokens >= 0, "negative initial tokens");
+    channels_[id].initial_tokens = initial_tokens;
+}
+
+std::optional<ActorId> Graph::find_actor(const std::string& name) const {
+    const auto it = actor_by_name_.find(name);
+    if (it == actor_by_name_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+std::vector<ChannelId> Graph::in_channels(ActorId id) const {
+    std::vector<ChannelId> result;
+    for (ChannelId c = 0; c < channels_.size(); ++c) {
+        if (channels_[c].dst == id) {
+            result.push_back(c);
+        }
+    }
+    return result;
+}
+
+std::vector<ChannelId> Graph::out_channels(ActorId id) const {
+    std::vector<ChannelId> result;
+    for (ChannelId c = 0; c < channels_.size(); ++c) {
+        if (channels_[c].src == id) {
+            result.push_back(c);
+        }
+    }
+    return result;
+}
+
+Int Graph::total_initial_tokens() const {
+    Int total = 0;
+    for (const Channel& c : channels_) {
+        total = checked_add(total, c.initial_tokens);
+    }
+    return total;
+}
+
+bool Graph::is_homogeneous() const {
+    for (const Channel& c : channels_) {
+        if (!c.is_homogeneous()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace sdf

@@ -1,0 +1,56 @@
+#include "sdf/properties.hpp"
+
+namespace sdf {
+
+std::vector<TokenRef> initial_tokens(const Graph& graph) {
+    std::vector<TokenRef> tokens;
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        for (Int i = 0; i < graph.channel(c).initial_tokens; ++i) {
+            tokens.push_back(TokenRef{c, i});
+        }
+    }
+    return tokens;
+}
+
+Digraph dependency_digraph(const Graph& graph) {
+    Digraph g(graph.actor_count());
+    for (const Channel& ch : graph.channels()) {
+        g.add_edge(ch.src, ch.dst, graph.actor(ch.src).execution_time, ch.initial_tokens);
+    }
+    return g;
+}
+
+bool is_strongly_connected(const Graph& graph) {
+    if (graph.actor_count() == 0) {
+        return false;
+    }
+    std::size_t component_count = 0;
+    dependency_digraph(graph).strongly_connected_components(&component_count);
+    return component_count == 1;
+}
+
+bool every_actor_on_cycle(const Graph& graph) {
+    const Digraph g = dependency_digraph(graph);
+    std::size_t component_count = 0;
+    const auto component = g.strongly_connected_components(&component_count);
+    // An actor is on a cycle iff its SCC has more than one node or it has a
+    // self-loop channel.
+    std::vector<std::size_t> scc_size(component_count, 0);
+    for (std::size_t v = 0; v < g.node_count(); ++v) {
+        ++scc_size[component[v]];
+    }
+    std::vector<bool> has_self_loop(g.node_count(), false);
+    for (const auto& e : g.edges()) {
+        if (e.from == e.to) {
+            has_self_loop[e.from] = true;
+        }
+    }
+    for (std::size_t v = 0; v < g.node_count(); ++v) {
+        if (scc_size[component[v]] == 1 && !has_self_loop[v]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace sdf

@@ -1,0 +1,46 @@
+// properties.hpp — structural queries on SDF graphs: token enumeration,
+// connectivity, and the dependency digraph used by graph algorithms.
+//
+// The global initial-token order defined here (by channel id, then FIFO
+// position) is load-bearing: the symbolic conversion (Algorithm 1) indexes
+// the rows/columns of its max-plus matrix by exactly this order, and the
+// reduced HSDF construction names its actors after it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/digraph.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// One initial token: the `position`-th token (0-based, FIFO head first) of
+/// channel `channel`.
+struct TokenRef {
+    ChannelId channel = 0;
+    Int position = 0;
+
+    friend bool operator==(const TokenRef&, const TokenRef&) = default;
+};
+
+/// All initial tokens of the graph in the canonical global order.
+std::vector<TokenRef> initial_tokens(const Graph& graph);
+
+/// The dependency digraph of the graph: one node per actor, one edge per
+/// channel carrying (weight = execution time of the source actor,
+/// tokens = initial tokens of the channel).  For HSDF graphs the maximum
+/// cycle ratio of this digraph is the iteration period.
+Digraph dependency_digraph(const Graph& graph);
+
+/// True when the graph is strongly connected (every actor reaches every
+/// other along channels).  Single-actor graphs are strongly connected.
+bool is_strongly_connected(const Graph& graph);
+
+/// True when every actor of the graph lies on at least one directed cycle.
+/// Actors not on any cycle have unbounded self-timed throughput, which most
+/// analyses reject; `add_self_loops` (transform/selfloops.hpp) is the usual
+/// fix.
+bool every_actor_on_cycle(const Graph& graph);
+
+}  // namespace sdf

@@ -1,0 +1,102 @@
+#include "sdf/schedule.hpp"
+
+#include <deque>
+
+#include "base/errors.hpp"
+#include "sdf/repetition.hpp"
+
+namespace sdf {
+
+namespace {
+
+/// True when `actor` currently has enough tokens on every input channel.
+bool enabled(const Graph& graph, const std::vector<std::vector<ChannelId>>& inputs,
+             const std::vector<Int>& tokens, ActorId actor) {
+    for (const ChannelId ci : inputs[actor]) {
+        if (tokens[ci] < graph.channel(ci).consumption) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+std::vector<ActorId> sequential_schedule(const Graph& graph) {
+    const std::vector<Int> repetition = repetition_vector(graph);
+    const std::size_t n = graph.actor_count();
+
+    std::vector<std::vector<ChannelId>> inputs(n);
+    std::vector<std::vector<ChannelId>> outputs(n);
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        inputs[graph.channel(c).dst].push_back(c);
+        outputs[graph.channel(c).src].push_back(c);
+    }
+
+    std::vector<Int> tokens;
+    tokens.reserve(graph.channel_count());
+    for (const Channel& c : graph.channels()) {
+        tokens.push_back(c.initial_tokens);
+    }
+    std::vector<Int> remaining = repetition;
+
+    Int total_remaining = 0;
+    for (const Int r : remaining) {
+        total_remaining = checked_add(total_remaining, r);
+    }
+
+    std::vector<ActorId> schedule;
+    schedule.reserve(static_cast<std::size_t>(total_remaining));
+
+    // Worklist of actors to re-examine; an actor can only become enabled
+    // when one of its input channels gained tokens.
+    std::deque<ActorId> worklist;
+    std::vector<bool> queued(n, false);
+    for (ActorId a = 0; a < n; ++a) {
+        worklist.push_back(a);
+        queued[a] = true;
+    }
+
+    while (!worklist.empty()) {
+        const ActorId a = worklist.front();
+        worklist.pop_front();
+        queued[a] = false;
+        while (remaining[a] > 0 && enabled(graph, inputs, tokens, a)) {
+            for (const ChannelId ci : inputs[a]) {
+                tokens[ci] -= graph.channel(ci).consumption;
+            }
+            for (const ChannelId ci : outputs[a]) {
+                tokens[ci] = checked_add(tokens[ci], graph.channel(ci).production);
+            }
+            --remaining[a];
+            --total_remaining;
+            schedule.push_back(a);
+            for (const ChannelId ci : outputs[a]) {
+                const ActorId consumer = graph.channel(ci).dst;
+                if (!queued[consumer] && remaining[consumer] > 0) {
+                    worklist.push_back(consumer);
+                    queued[consumer] = true;
+                }
+            }
+        }
+    }
+
+    if (total_remaining != 0) {
+        throw DeadlockError("graph '" + graph.name() +
+                            "' deadlocks: no admissible sequential schedule");
+    }
+    return schedule;
+}
+
+bool is_deadlock_free(const Graph& graph) {
+    try {
+        sequential_schedule(graph);
+        return true;
+    } catch (const DeadlockError&) {
+        return false;
+    } catch (const InconsistentGraphError&) {
+        return false;
+    }
+}
+
+}  // namespace sdf

@@ -1,0 +1,26 @@
+// schedule.hpp — periodic admissible sequential schedules (PASS).
+//
+// Algorithm 1 of the paper executes "an arbitrary sequential schedule for
+// one iteration of the graph, using well-known methods [11, 15]".  SDF is
+// determinate, so every admissible schedule yields the same symbolic end-of-
+// iteration time stamps; we construct one greedily and use schedulability as
+// the deadlock-freedom test.
+#pragma once
+
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// A sequential schedule for one iteration: actor ids in firing order; the
+/// length equals the iteration length (sum of the repetition vector).
+/// Throws InconsistentGraphError when the graph has no repetition vector
+/// and DeadlockError when no admissible schedule exists.
+std::vector<ActorId> sequential_schedule(const Graph& graph);
+
+/// True when the graph is consistent and one full iteration can execute
+/// from the initial token distribution (no deadlock).
+bool is_deadlock_free(const Graph& graph);
+
+}  // namespace sdf

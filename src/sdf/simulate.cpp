@@ -1,0 +1,306 @@
+#include "sdf/simulate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <string>
+#include <unordered_map>
+
+#include "base/errors.hpp"
+#include "sdf/properties.hpp"
+#include "sdf/repetition.hpp"
+
+namespace sdf {
+
+namespace {
+
+/// Shared self-timed engine.  `quota[a]` limits the number of firings of
+/// actor a (negative = unlimited).  Runs until either all quotas are
+/// exhausted, execution deadlocks, or — in throughput mode — the state
+/// recurs.
+class Engine {
+public:
+    Engine(const Graph& graph, std::vector<Int> quota, std::size_t max_events)
+        : graph_(graph), quota_(std::move(quota)), max_events_(max_events) {
+        const std::size_t n = graph.actor_count();
+        inputs_.resize(n);
+        outputs_.resize(n);
+        for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+            inputs_[graph.channel(c).dst].push_back(c);
+            outputs_[graph.channel(c).src].push_back(c);
+        }
+        tokens_.reserve(graph.channel_count());
+        for (const Channel& ch : graph.channels()) {
+            tokens_.push_back(ch.initial_tokens);
+        }
+        max_tokens_ = tokens_;
+        space_claims_ = tokens_;
+        max_space_ = tokens_;
+        firings_.assign(n, 0);
+        completion_times_.assign(n, 0);
+        first_completion_times_.assign(n, -1);
+    }
+
+    [[nodiscard]] Int now() const { return now_; }
+    [[nodiscard]] Int makespan() const { return makespan_; }
+    [[nodiscard]] const std::vector<Int>& firings() const { return firings_; }
+    [[nodiscard]] const std::vector<Int>& completion_times() const { return completion_times_; }
+    [[nodiscard]] const std::vector<Int>& first_completion_times() const {
+        return first_completion_times_;
+    }
+    [[nodiscard]] const std::vector<Int>& max_tokens() const { return max_tokens_; }
+    [[nodiscard]] const std::vector<Int>& max_space() const { return max_space_; }
+
+    /// Forbids new firings from starting at or after `deadline` (the
+    /// horizon mode of simulate_until).
+    void set_start_deadline(Int deadline) { start_deadline_ = deadline; }
+
+    /// Completion time of the earliest in-flight firing; only valid when
+    /// not idle.
+    [[nodiscard]] Int next_event_time() const { return in_flight_.top().first; }
+
+    /// Starts every firing currently possible (respecting quotas).
+    void start_enabled() {
+        if (start_deadline_ >= 0 && now_ >= start_deadline_) {
+            return;
+        }
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (ActorId a = 0; a < graph_.actor_count(); ++a) {
+                while ((quota_[a] != 0) && enabled(a)) {
+                    consume(a);
+                    in_flight_.emplace(checked_add(now_, graph_.actor(a).execution_time), a);
+                    if (quota_[a] > 0) {
+                        --quota_[a];
+                    }
+                    if (++started_ > max_events_) {
+                        throw Error("self-timed simulation exceeded event budget; "
+                                    "is every actor on a cycle?");
+                    }
+                    progress = true;
+                }
+            }
+        }
+    }
+
+    /// Advances to the earliest completion and processes all completions at
+    /// that time.  Returns false when nothing is in flight.
+    bool advance() {
+        if (in_flight_.empty()) {
+            return false;
+        }
+        now_ = in_flight_.top().first;
+        while (!in_flight_.empty() && in_flight_.top().first == now_) {
+            const ActorId a = in_flight_.top().second;
+            in_flight_.pop();
+            produce(a);
+            if (firings_[a] == 0) {
+                first_completion_times_[a] = now_;
+            }
+            ++firings_[a];
+            completion_times_[a] = now_;
+            makespan_ = std::max(makespan_, now_);
+        }
+        return true;
+    }
+
+    /// True when some quota is still open.
+    [[nodiscard]] bool work_remaining() const {
+        return std::any_of(quota_.begin(), quota_.end(), [](Int q) { return q != 0; });
+    }
+
+    [[nodiscard]] bool idle() const { return in_flight_.empty(); }
+
+    /// Canonical encoding of the timing state relative to `now_`: channel
+    /// token counts plus the sorted multiset of (remaining time, actor) of
+    /// firings in flight.  Equal encodings resume identically (self-timed
+    /// execution is deterministic), so a repeat witnesses periodicity.
+    [[nodiscard]] std::string state_key() const {
+        std::string key;
+        key.reserve(tokens_.size() * 4 + in_flight_.size() * 8);
+        for (const Int t : tokens_) {
+            key += std::to_string(t);
+            key += ',';
+        }
+        key += '|';
+        auto copy = in_flight_;
+        std::vector<std::pair<Int, ActorId>> pending;
+        while (!copy.empty()) {
+            pending.push_back(copy.top());
+            copy.pop();
+        }
+        std::sort(pending.begin(), pending.end());
+        for (const auto& [finish, actor] : pending) {
+            key += std::to_string(checked_sub(finish, now_));
+            key += ':';
+            key += std::to_string(actor);
+            key += ',';
+        }
+        return key;
+    }
+
+private:
+    [[nodiscard]] bool enabled(ActorId a) const {
+        for (const ChannelId ci : inputs_[a]) {
+            if (tokens_[ci] < graph_.channel(ci).consumption) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    void consume(ActorId a) {
+        for (const ChannelId ci : inputs_[a]) {
+            tokens_[ci] -= graph_.channel(ci).consumption;
+        }
+        // Space accounting: a starting firing CLAIMS room for its outputs
+        // immediately (the reverse-channel model consumes free-space tokens
+        // at firing start); the space high-water mark is therefore the
+        // capacity that reproduces this execution unchanged.
+        for (const ChannelId ci : outputs_[a]) {
+            space_claims_[ci] = checked_add(space_claims_[ci],
+                                            graph_.channel(ci).production);
+            max_space_[ci] = std::max(max_space_[ci], space_claims_[ci]);
+        }
+    }
+
+    void produce(ActorId a) {
+        for (const ChannelId ci : outputs_[a]) {
+            tokens_[ci] = checked_add(tokens_[ci], graph_.channel(ci).production);
+            max_tokens_[ci] = std::max(max_tokens_[ci], tokens_[ci]);
+        }
+        // Space is released when the CONSUMER finishes (reverse-channel
+        // tokens appear at the consumer's completion).
+        for (const ChannelId ci : inputs_[a]) {
+            space_claims_[ci] -= graph_.channel(ci).consumption;
+        }
+    }
+
+    const Graph& graph_;
+    std::vector<std::vector<ChannelId>> inputs_;
+    std::vector<std::vector<ChannelId>> outputs_;
+    std::vector<Int> tokens_;
+    std::vector<Int> max_tokens_;
+    std::vector<Int> space_claims_;
+    std::vector<Int> max_space_;
+    std::vector<Int> quota_;
+    std::vector<Int> firings_;
+    std::vector<Int> completion_times_;
+    std::vector<Int> first_completion_times_;
+    // Min-heap of (finish time, actor).
+    std::priority_queue<std::pair<Int, ActorId>, std::vector<std::pair<Int, ActorId>>,
+                        std::greater<>> in_flight_;
+    Int now_ = 0;
+    Int makespan_ = 0;
+    Int start_deadline_ = -1;  ///< negative: no deadline
+    std::size_t started_ = 0;
+    std::size_t max_events_;
+};
+
+}  // namespace
+
+FiniteRun simulate_iterations(const Graph& graph, Int iterations) {
+    require(iterations >= 0, "negative iteration count");
+    const std::vector<Int> repetition = repetition_vector(graph);
+    std::vector<Int> quota;
+    quota.reserve(repetition.size());
+    for (const Int q : repetition) {
+        quota.push_back(checked_mul(q, iterations));
+    }
+    Engine engine(graph, quota, 1u << 26);
+    engine.start_enabled();
+    while (engine.advance()) {
+        engine.start_enabled();
+    }
+    if (engine.work_remaining()) {
+        throw DeadlockError("graph '" + graph.name() + "' deadlocked during finite run");
+    }
+    FiniteRun run;
+    run.makespan = engine.makespan();
+    run.firings = engine.firings();
+    run.completion_times = engine.completion_times();
+    run.first_completion_times = engine.first_completion_times();
+    run.max_tokens = engine.max_tokens();
+    run.max_space = engine.max_space();
+    return run;
+}
+
+FiniteRun simulate_until(const Graph& graph, Int horizon, std::size_t max_events) {
+    require(horizon >= 0, "negative horizon");
+    repetition_vector(graph);  // reject inconsistent graphs up front
+    Engine engine(graph, std::vector<Int>(graph.actor_count(), -1), max_events);
+    engine.set_start_deadline(horizon);
+    engine.start_enabled();
+    // Process completions while they fall within the horizon; later ones
+    // belong to firings that would still be in flight at the cut.
+    while (!engine.idle() && engine.next_event_time() <= horizon) {
+        engine.advance();
+        engine.start_enabled();
+    }
+    FiniteRun run;
+    run.makespan = engine.makespan();
+    run.firings = engine.firings();
+    run.completion_times = engine.completion_times();
+    run.first_completion_times = engine.first_completion_times();
+    run.max_tokens = engine.max_tokens();
+    run.max_space = engine.max_space();
+    return run;
+}
+
+ThroughputRun simulate_throughput(const Graph& graph, std::size_t max_events) {
+    // Unlimited quotas; boundedness requires every actor on a cycle.
+    if (!every_actor_on_cycle(graph)) {
+        throw Error("simulate_throughput: some actor is not on a cycle; "
+                    "its self-timed throughput is unbounded (see add_self_loops)");
+    }
+    repetition_vector(graph);  // reject inconsistent graphs up front
+
+    const std::size_t n = graph.actor_count();
+    Engine engine(graph, std::vector<Int>(n, -1), max_events);
+
+    struct Snapshot {
+        Int time;
+        std::vector<Int> firings;
+    };
+    std::unordered_map<std::string, Snapshot> seen;
+
+    ThroughputRun run;
+    run.throughput.assign(n, Rational(0));
+
+    engine.start_enabled();
+    while (true) {
+        const std::string key = engine.state_key();
+        const auto it = seen.find(key);
+        if (it != seen.end()) {
+            const Int period = checked_sub(engine.now(), it->second.time);
+            if (period <= 0) {
+                throw Error("self-timed execution recurred without time progress "
+                            "(zero-time cycle); throughput is unbounded");
+            }
+            run.transient_time = it->second.time;
+            run.period_time = period;
+            run.period_firings.resize(n);
+            for (ActorId a = 0; a < n; ++a) {
+                run.period_firings[a] = checked_sub(engine.firings()[a], it->second.firings[a]);
+                run.throughput[a] = Rational(run.period_firings[a], period);
+            }
+            // The explored prefix covers the transient plus a full period;
+            // from here the execution repeats exactly, so these are the
+            // all-time space requirements.
+            run.max_space = engine.max_space();
+            return run;
+        }
+        seen.emplace(key, Snapshot{engine.now(), engine.firings()});
+        if (!engine.advance()) {
+            // Nothing in flight and nothing enabled: deadlock.
+            run.deadlocked = true;
+            run.period_firings.assign(n, 0);
+            run.max_space = engine.max_space();
+            return run;
+        }
+        engine.start_enabled();
+    }
+}
+
+}  // namespace sdf

@@ -1,0 +1,77 @@
+// simulate.hpp — concrete self-timed execution of timed SDF graphs.
+//
+// Self-timed execution (the standard semantics assumed by the paper, after
+// [1, 4]): every actor starts a firing as soon as sufficient input tokens
+// are available, with unlimited auto-concurrency; a firing occupies
+// execution-time units between consuming its inputs and producing its
+// outputs.  Two entry points:
+//
+//  * `simulate_iterations` runs a fixed number of complete iterations and
+//    reports the makespan — e.g. "a single execution of the graph of
+//    Figure 1(a) takes 23 time units" (Section 4.1).
+//  * `simulate_throughput` runs until the execution state recurs (the
+//    state-space method of Ghamarian et al. [8]) and returns the exact
+//    periodic-phase throughput of every actor.
+//
+// Both require the usual boundedness precondition: every actor must lie on
+// a directed cycle, otherwise self-timed throughput is unbounded and the
+// functions throw (apply transform/selfloops.hpp first if that is intended).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Outcome of a finite self-timed run.
+struct FiniteRun {
+    Int makespan = 0;                         ///< completion time of the last firing
+    std::vector<Int> firings;                 ///< per-actor completed firing counts
+    std::vector<Int> completion_times;        ///< per-actor completion time of its last firing
+    std::vector<Int> first_completion_times;  ///< per-actor completion time of its first
+                                              ///< firing (-1 when it never fired)
+    std::vector<Int> max_tokens;              ///< per-channel occupancy high-water mark
+    std::vector<Int> max_space;               ///< per-channel SPACE-CLAIM high-water
+                                              ///< mark: producers claim room at firing
+                                              ///< start, consumers free it at completion
+                                              ///< — the capacity that reproduces this
+                                              ///< execution unchanged
+};
+
+/// Executes exactly `iterations` full iterations (q(a)·iterations firings of
+/// every actor a) self-timed from time 0 and reports the makespan.  Throws
+/// DeadlockError when execution gets stuck.
+FiniteRun simulate_iterations(const Graph& graph, Int iterations);
+
+/// Outcome of the recurrent-state throughput exploration.
+struct ThroughputRun {
+    std::vector<Rational> throughput;    ///< per-actor firings per time unit (exact)
+    Int transient_time = 0;              ///< time at which the periodic phase was entered
+    Int period_time = 0;                 ///< duration of one period of the periodic phase
+    std::vector<Int> period_firings;     ///< per-actor firings within one period
+    bool deadlocked = false;             ///< true when execution stops; throughput all 0
+    std::vector<Int> max_space;          ///< per-channel space-claim high-water marks
+                                         ///< over transient + one full period — the
+                                         ///< all-time self-timed storage requirement
+};
+
+/// Self-timed execution with recurrent-state detection.  `max_events` bounds
+/// the exploration (throws Error when exceeded, e.g. for zero-time cycles).
+/// Requires a globally recurrent state, which only exists when token
+/// accumulation is bounded — use simulate_until for graphs whose components
+/// run at different rates.
+ThroughputRun simulate_throughput(const Graph& graph, std::size_t max_events = 1u << 22);
+
+/// Self-timed execution up to (at least) time `horizon`: firings keep
+/// starting while the clock is below the horizon; the run then drains.
+/// Reports the firing counts at the moment the clock passed the horizon —
+/// long-run rates are firings/horizon up to O(1/horizon) transient error.
+/// Unlike simulate_throughput this needs no recurrent state, so it works on
+/// graphs whose components drift apart (unbounded token accumulation).
+FiniteRun simulate_until(const Graph& graph, Int horizon,
+                         std::size_t max_events = 1u << 24);
+
+}  // namespace sdf

@@ -1,0 +1,205 @@
+#include "transform/abstraction.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "base/digraph.hpp"
+#include "base/errors.hpp"
+#include "base/string_util.hpp"
+#include "sdf/repetition.hpp"
+#include "transform/prune.hpp"
+#include "transform/unfold.hpp"
+
+namespace sdf {
+
+Int AbstractionSpec::fold() const {
+    Int n = 0;
+    for (const Int i : index) {
+        n = std::max(n, i);
+    }
+    return n;
+}
+
+void validate_abstraction(const Graph& graph, const AbstractionSpec& spec) {
+    const std::size_t n = graph.actor_count();
+    if (spec.group.size() != n || spec.index.size() != n) {
+        throw InvalidAbstractionError("abstraction spec size does not match actor count");
+    }
+    for (ActorId a = 0; a < n; ++a) {
+        if (spec.group[a].empty()) {
+            throw InvalidAbstractionError("actor '" + graph.actor(a).name +
+                                          "' has an empty group name");
+        }
+        if (spec.index[a] < 1) {
+            throw InvalidAbstractionError("actor '" + graph.actor(a).name +
+                                          "' has index < 1");
+        }
+    }
+    // Same group: distinct indices, equal repetition entries.
+    const std::vector<Int> repetition = repetition_vector(graph);
+    std::map<std::pair<std::string, Int>, ActorId> index_in_group;
+    std::unordered_map<std::string, ActorId> representative;
+    for (ActorId a = 0; a < n; ++a) {
+        const auto key = std::make_pair(spec.group[a], spec.index[a]);
+        const auto [it, inserted] = index_in_group.emplace(key, a);
+        if (!inserted) {
+            throw InvalidAbstractionError(
+                "actors '" + graph.actor(it->second).name + "' and '" +
+                graph.actor(a).name + "' share group '" + spec.group[a] +
+                "' and index " + std::to_string(spec.index[a]));
+        }
+        const auto [rep, fresh] = representative.emplace(spec.group[a], a);
+        if (!fresh && repetition[rep->second] != repetition[a]) {
+            throw InvalidAbstractionError(
+                "group '" + spec.group[a] + "' mixes repetition entries " +
+                std::to_string(repetition[rep->second]) + " ('" +
+                graph.actor(rep->second).name + "') and " +
+                std::to_string(repetition[a]) + " ('" + graph.actor(a).name + "')");
+        }
+    }
+    // Every channel: I(src) <= I(dst) or d > 0.
+    for (const Channel& ch : graph.channels()) {
+        if (ch.initial_tokens == 0 && spec.index[ch.src] > spec.index[ch.dst]) {
+            throw InvalidAbstractionError(
+                "zero-delay channel " + graph.actor(ch.src).name + " -> " +
+                graph.actor(ch.dst).name + " goes from index " +
+                std::to_string(spec.index[ch.src]) + " down to " +
+                std::to_string(spec.index[ch.dst]));
+        }
+    }
+}
+
+bool is_valid_abstraction(const Graph& graph, const AbstractionSpec& spec) {
+    try {
+        validate_abstraction(graph, spec);
+        return true;
+    } catch (const InvalidAbstractionError&) {
+        return false;
+    }
+}
+
+Graph abstract_graph(const Graph& graph, const AbstractionSpec& spec, bool prune) {
+    validate_abstraction(graph, spec);
+    require(graph.is_homogeneous(),
+            "abstract_graph implements Definition 4, which is stated for "
+            "homogeneous SDF graphs; convert or reformulate the input first");
+    const Int fold = spec.fold();
+
+    Graph result(graph.name() + "_abs");
+    // One abstract actor per group, execution time = max over the group.
+    std::unordered_map<std::string, ActorId> abstract_id;
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        const auto it = abstract_id.find(spec.group[a]);
+        if (it == abstract_id.end()) {
+            abstract_id.emplace(spec.group[a],
+                                result.add_actor(spec.group[a],
+                                                 graph.actor(a).execution_time));
+        } else {
+            const Int current = result.actor(it->second).execution_time;
+            result.set_execution_time(
+                it->second, std::max(current, graph.actor(a).execution_time));
+        }
+    }
+    // One abstract channel per original channel:
+    // (α(a1), α(a2), p, c, I(a2) − I(a1) + N·d).
+    for (const Channel& ch : graph.channels()) {
+        const Int delay = checked_add(
+            checked_sub(spec.index[ch.dst], spec.index[ch.src]),
+            checked_mul(fold, ch.initial_tokens));
+        result.add_channel(abstract_id.at(spec.group[ch.src]),
+                           abstract_id.at(spec.group[ch.dst]), ch.production,
+                           ch.consumption, delay);
+    }
+    return prune ? prune_redundant_channels(result) : result;
+}
+
+AbstractionSpec assign_indices(const Graph& graph, std::vector<std::string> group) {
+    require(group.size() == graph.actor_count(), "grouping size mismatch");
+    // Topological order of the zero-delay sub-digraph.
+    Digraph zero_delay(graph.actor_count());
+    for (const Channel& ch : graph.channels()) {
+        if (ch.initial_tokens == 0) {
+            zero_delay.add_edge(ch.src, ch.dst);
+        }
+    }
+    if (zero_delay.has_cycle()) {
+        throw InvalidAbstractionError(
+            "no valid index assignment: the zero-delay channels form a cycle "
+            "(the graph deadlocks)");
+    }
+    AbstractionSpec spec;
+    spec.group = std::move(group);
+    spec.index.assign(graph.actor_count(), 0);
+
+    std::unordered_map<std::string, std::set<Int>> used;
+    for (const std::size_t a : zero_delay.topological_order()) {
+        // Lower bound: indices must be monotone along zero-delay channels.
+        Int bound = 1;
+        for (const auto& e : zero_delay.edges()) {
+            if (e.to == a) {
+                bound = std::max(bound, spec.index[e.from]);
+            }
+        }
+        // Bump to the smallest index >= bound unused within the group.
+        std::set<Int>& taken = used[spec.group[a]];
+        Int candidate = bound;
+        while (taken.count(candidate) != 0) {
+            ++candidate;
+        }
+        taken.insert(candidate);
+        spec.index[a] = candidate;
+    }
+    return spec;
+}
+
+AbstractionSpec abstraction_by_name_suffix(const Graph& graph) {
+    std::vector<std::string> group(graph.actor_count());
+    std::vector<Int> suffix(graph.actor_count(), 0);
+    bool all_suffixed_consistent = true;
+    Int min_suffix = std::numeric_limits<Int>::max();
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        const NameParts parts = split_name_suffix(graph.actor(a).name);
+        if (parts.index.has_value() && !parts.stem.empty()) {
+            group[a] = parts.stem;
+            suffix[a] = *parts.index;
+            min_suffix = std::min(min_suffix, suffix[a]);
+        } else {
+            group[a] = graph.actor(a).name;  // singleton group
+            suffix[a] = std::numeric_limits<Int>::min();
+        }
+    }
+    if (min_suffix == std::numeric_limits<Int>::max()) {
+        min_suffix = 1;  // no suffixed actor at all
+    }
+    // First attempt: indices straight from the suffixes (shifted so the
+    // smallest becomes 1); singletons get index 1.
+    AbstractionSpec spec;
+    spec.group = group;
+    spec.index.resize(graph.actor_count());
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        spec.index[a] = (suffix[a] == std::numeric_limits<Int>::min())
+                            ? 1
+                            : checked_add(checked_sub(suffix[a], min_suffix), 1);
+        all_suffixed_consistent = all_suffixed_consistent && spec.index[a] >= 1;
+    }
+    if (all_suffixed_consistent && is_valid_abstraction(graph, spec)) {
+        return spec;
+    }
+    // Fallback: keep the grouping, synthesise indices from the zero-delay
+    // layering, and insist the result is valid.
+    AbstractionSpec layered = assign_indices(graph, std::move(group));
+    validate_abstraction(graph, layered);
+    return layered;
+}
+
+std::string sigma_image_name(const AbstractionSpec& spec, ActorId actor) {
+    // σ(a) = α(a)_{I(a)} with 1-based indices; unfold() names copies 0-based,
+    // and abstract firing k stands in for the member with index (k mod N)+1,
+    // so index i maps to copy i−1.
+    return unfolded_actor_name(spec.group.at(actor), spec.index.at(actor) - 1);
+}
+
+}  // namespace sdf

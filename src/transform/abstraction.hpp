@@ -1,0 +1,78 @@
+// abstraction.hpp — the paper's abstraction method (Sections 4 and 5).
+//
+// An abstraction (α, I) of a consistent graph maps every actor a to an
+// abstract actor α(a) and an index I(a) ∈ {1..N} (Definition 3) such that
+//   * actors mapped to the same abstract actor have distinct indices and
+//     equal repetition-vector entries, and
+//   * every zero-delay channel goes from a lower-or-equal index to a
+//     higher-or-equal one (I(a) ≤ I(b) or d > 0).
+//
+// The abstract graph (Definition 4) has one actor per group with execution
+// time max over the group, and for every original channel (a1, a2, p, c, d)
+// a channel (α(a1), α(a2), p, c, I(a2) − I(a1) + N·d).  Firing k of the
+// abstract actor conservatively stands in for the firing of the group
+// member with index (k mod N) + 1 — Theorem 1:
+//
+//      τ(a)  ≥  τ(α(a)) / N            (per-actor throughput)
+//
+// The construction is defined in the paper for homogeneous graphs
+// ("the method can be extended to non-homogeneous graphs as well", without
+// giving the extension); abstract_graph() therefore requires an HSDF input.
+//
+// Abstractions can be specified manually, recovered from actor-name
+// suffixes ("A1", "A2", ... → group "A"), or synthesised from a grouping
+// alone by an index-assignment heuristic that layers the zero-delay DAG.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// An abstraction (α, I): per original actor its abstract group name and
+/// its index (1-based).
+struct AbstractionSpec {
+    std::vector<std::string> group;  ///< α, indexed by ActorId
+    std::vector<Int> index;          ///< I, indexed by ActorId
+
+    /// N = max index.
+    [[nodiscard]] Int fold() const;
+};
+
+/// Checks Definition 3 (plus basic well-formedness); throws
+/// InvalidAbstractionError describing the first violation.
+void validate_abstraction(const Graph& graph, const AbstractionSpec& spec);
+
+/// True when `spec` satisfies Definition 3 for `graph`.
+bool is_valid_abstraction(const Graph& graph, const AbstractionSpec& spec);
+
+/// Builds the abstract timed graph of Definition 4.  `graph` must be
+/// homogeneous; the spec is validated first.  When `prune` is set, parallel
+/// abstract channels are reduced to the minimum-delay representative
+/// (Section 4.2's redundant-edge pruning); this never changes timing.
+Graph abstract_graph(const Graph& graph, const AbstractionSpec& spec, bool prune = true);
+
+/// Derives a grouping from actor names: "A1", "A2" share group "A"; actors
+/// without a numeric suffix form singleton groups.  Indices are taken from
+/// the suffixes (shifted so the global minimum is 1; singletons get index 1)
+/// when that satisfies Definition 3, otherwise they are re-assigned with
+/// assign_indices().  Throws InvalidAbstractionError when no valid index
+/// assignment exists for the grouping (i.e. when validate rejects the
+/// layered assignment, e.g. due to unequal repetition entries in a group).
+AbstractionSpec abstraction_by_name_suffix(const Graph& graph);
+
+/// Given only the grouping (spec.group filled, spec.index ignored), assigns
+/// indices by processing the zero-delay DAG in topological order: each
+/// actor's lower bound is the maximum index of its zero-delay predecessors,
+/// bumped to the next index unused within its group.  Zero-delay cycles
+/// (which deadlock the graph anyway) are rejected.
+AbstractionSpec assign_indices(const Graph& graph, std::vector<std::string> group);
+
+/// The image actor σ(a) = α(a)_{I(a)−1} of the conservativity proof: maps
+/// each original actor to the name of its copy in the N-fold unfolding of
+/// the abstract graph (unfold.hpp naming).
+std::string sigma_image_name(const AbstractionSpec& spec, ActorId actor);
+
+}  // namespace sdf

@@ -1,0 +1,78 @@
+#include "transform/compare.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+namespace sdf {
+
+bool covers_conservatively(const Graph& fast, const Graph& slow,
+                           const std::vector<ActorId>& image, std::string* why) {
+    const auto fail = [why](const std::string& message) {
+        if (why != nullptr) {
+            *why = message;
+        }
+        return false;
+    };
+    if (image.size() != fast.actor_count()) {
+        return fail("image size does not match actor count");
+    }
+    std::set<ActorId> seen;
+    for (ActorId a = 0; a < fast.actor_count(); ++a) {
+        if (image[a] >= slow.actor_count()) {
+            return fail("image of '" + fast.actor(a).name + "' out of range");
+        }
+        if (!seen.insert(image[a]).second) {
+            return fail("image mapping is not injective at '" + fast.actor(a).name + "'");
+        }
+        if (fast.actor(a).execution_time > slow.actor(image[a]).execution_time) {
+            return fail("execution time of '" + fast.actor(a).name +
+                        "' exceeds its image's");
+        }
+    }
+    for (const Channel& ch : fast.channels()) {
+        const ActorId src = image[ch.src];
+        const ActorId dst = image[ch.dst];
+        bool matched = false;
+        for (const Channel& other : slow.channels()) {
+            if (other.src == src && other.dst == dst &&
+                other.production == ch.production &&
+                other.consumption == ch.consumption &&
+                other.initial_tokens <= ch.initial_tokens) {
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            return fail("channel " + fast.actor(ch.src).name + " -> " +
+                        fast.actor(ch.dst).name +
+                        " has no matching channel with at most " +
+                        std::to_string(ch.initial_tokens) + " tokens");
+        }
+    }
+    return true;
+}
+
+bool structurally_equal(const Graph& a, const Graph& b) {
+    if (a.actor_count() != b.actor_count() || a.channel_count() != b.channel_count()) {
+        return false;
+    }
+    for (const Actor& actor : a.actors()) {
+        const auto id = b.find_actor(actor.name);
+        if (!id || b.actor(*id).execution_time != actor.execution_time) {
+            return false;
+        }
+    }
+    using Key = std::tuple<std::string, std::string, Int, Int, Int>;
+    const auto channel_multiset = [](const Graph& g) {
+        std::multiset<Key> keys;
+        for (const Channel& ch : g.channels()) {
+            keys.emplace(g.actor(ch.src).name, g.actor(ch.dst).name, ch.production,
+                         ch.consumption, ch.initial_tokens);
+        }
+        return keys;
+    };
+    return channel_multiset(a) == channel_multiset(b);
+}
+
+}  // namespace sdf

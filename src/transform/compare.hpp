@@ -1,0 +1,35 @@
+// compare.hpp — graph comparison utilities.
+//
+// covers_conservatively() checks the premises of Proposition 1 of the paper
+// for an explicit actor mapping: if graph `slow` embeds `fast` with
+// execution times at least as long and for every channel of `fast` a
+// matching channel with at most as many initial tokens, then the throughput
+// of `fast` is at least that of `slow`.  The conservativity proof
+// (Propositions 3 and 4) instantiates this with σ mapping the original
+// graph into the N-fold unfolding of the abstract graph — and the property
+// tests verify exactly that, case by case.
+//
+// structurally_equal() is a strict name-based equality used by the I/O
+// round-trip tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Checks the premises of Proposition 1.  `image[a]` is the actor of `slow`
+/// standing in for actor a of `fast`; the mapping must be injective.  When
+/// the premises fail and `why` is non-null, it receives a description of
+/// the first violation.
+bool covers_conservatively(const Graph& fast, const Graph& slow,
+                           const std::vector<ActorId>& image, std::string* why = nullptr);
+
+/// Name-based structural equality: same graph name policy is NOT enforced,
+/// but both graphs must have identical actor names with identical execution
+/// times and identical channel multisets (by endpoint names, rates, delay).
+bool structurally_equal(const Graph& a, const Graph& b);
+
+}  // namespace sdf

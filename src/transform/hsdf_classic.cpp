@@ -1,0 +1,61 @@
+#include "transform/hsdf_classic.hpp"
+
+#include <map>
+#include <utility>
+
+#include "base/errors.hpp"
+#include "sdf/repetition.hpp"
+
+namespace sdf {
+
+std::string classic_copy_name(const std::string& name, Int k) {
+    return name + "#" + std::to_string(k);
+}
+
+ClassicHsdf to_hsdf_classic(const Graph& graph) {
+    const std::vector<Int> repetition = repetition_vector(graph);
+
+    ClassicHsdf result;
+    result.graph.set_name(graph.name() + "_hsdf");
+    result.copy_of.resize(graph.actor_count());
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        const Actor& actor = graph.actor(a);
+        for (Int k = 0; k < repetition[a]; ++k) {
+            result.copy_of[a].push_back(
+                result.graph.add_actor(classic_copy_name(actor.name, k),
+                                       actor.execution_time));
+        }
+    }
+
+    for (const Channel& ch : graph.channels()) {
+        const Int qa = repetition[ch.src];
+        const Int qb = repetition[ch.dst];
+        // Minimum delay per (source copy, destination copy) pair: a parallel
+        // channel with a larger delay is a weaker constraint and is dropped.
+        std::map<std::pair<ActorId, ActorId>, Int> min_delay;
+        for (Int k = 1; k <= qb; ++k) {
+            const ActorId dst_copy = result.copy_of[ch.dst][static_cast<std::size_t>(k - 1)];
+            for (Int t = checked_add(checked_mul(k - 1, ch.consumption), 1);
+                 t <= checked_mul(k, ch.consumption); ++t) {
+                // Token t of the channel; initial tokens occupy 1..d.
+                const Int f = ceil_div(checked_sub(t, ch.initial_tokens), ch.production);
+                const Int f0 = checked_sub(f, 1);
+                const Int copy = floor_mod(f0, qa);
+                const Int iterations_back = checked_sub(0, floor_div(f0, qa));
+                const ActorId src_copy =
+                    result.copy_of[ch.src][static_cast<std::size_t>(copy)];
+                const auto key = std::make_pair(src_copy, dst_copy);
+                const auto it = min_delay.find(key);
+                if (it == min_delay.end() || iterations_back < it->second) {
+                    min_delay[key] = iterations_back;
+                }
+            }
+        }
+        for (const auto& [key, delay] : min_delay) {
+            result.graph.add_channel(key.first, key.second, 1, 1, delay);
+        }
+    }
+    return result;
+}
+
+}  // namespace sdf

@@ -1,0 +1,44 @@
+// hsdf_classic.hpp — the traditional SDF→HSDF conversion [11, 15].
+//
+// Every actor a is duplicated q(a) times (one copy per firing in an
+// iteration); dependencies between individual firings become homogeneous
+// channels with iteration-crossing dependencies encoded as initial tokens.
+// The resulting graph has exactly iteration-length many actors — the size
+// the paper's novel conversion (hsdf_reduced.hpp) improves on — and mimics
+// the original firing-for-firing.
+//
+// Derivation of the edges for channel (a, b, p, c, d): number the tokens
+// that ever travel over the channel 1, 2, ... with the d initial tokens
+// first.  Firing k of b (1-based) consumes tokens (k-1)·c+1 .. k·c; token i
+// with i > d is produced by firing ceil((i-d)/p) of a; producer firings
+// outside 1..q(a) wrap into neighbouring iterations, which adds initial
+// tokens (delay) on the copy-to-copy channel.  Dominated parallel channels
+// (same endpoints, larger delay) are dropped: a dependency on an older
+// firing is implied by the dependency on a newer one only when delays
+// coincide, so only exact-duplicate and higher-delay parallels go.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Result of the classical conversion: the homogeneous graph plus the
+/// mapping from (original actor, firing index) to the id of its copy.
+struct ClassicHsdf {
+    Graph graph;
+    /// copy_of[a][k] is the id (in `graph`) of the k-th firing copy of
+    /// original actor a (0 <= k < q(a)).
+    std::vector<std::vector<ActorId>> copy_of;
+};
+
+/// Converts a consistent SDF graph to its classical HSDF equivalent.
+/// Copy k of actor "X" is named "X#k".
+ClassicHsdf to_hsdf_classic(const Graph& graph);
+
+/// Name of firing copy `k` of actor `name` in the classical HSDF.
+std::string classic_copy_name(const std::string& name, Int k);
+
+}  // namespace sdf

@@ -1,0 +1,108 @@
+#include "transform/hsdf_reduced.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "base/errors.hpp"
+#include "transform/symbolic.hpp"
+
+namespace sdf {
+
+Graph reduced_hsdf_from_matrix(const MpMatrix& matrix, const std::string& name,
+                               const ReducedHsdfOptions& options) {
+    require(matrix.rows() == matrix.cols(), "iteration matrix must be square");
+    const std::size_t n = matrix.rows();
+    Graph graph(name);
+
+    constexpr ActorId kNone = static_cast<ActorId>(-1);
+
+    // Finite entries per row (fan-out of old token j) and per column
+    // (fan-in of new token k).
+    std::vector<std::vector<std::size_t>> row_clients(n);  // k's with G(j,k) finite
+    std::vector<std::vector<std::size_t>> col_sources(n);  // j's with G(j,k) finite
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+            if (matrix.at(j, k).is_finite()) {
+                row_clients[j].push_back(k);
+                col_sources[k].push_back(j);
+            }
+        }
+    }
+
+    // Matrix actors.
+    std::vector<std::vector<ActorId>> cell(n, std::vector<ActorId>(n, kNone));
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k : row_clients[j]) {
+            cell[j][k] = graph.add_actor(
+                "g_" + std::to_string(j) + "_" + std::to_string(k),
+                matrix.at(j, k).value());
+        }
+    }
+
+    // Demux actor of row j: needed when more than one matrix actor reads
+    // token j (or unconditionally when elision is off and the row is used).
+    std::vector<ActorId> demux(n, kNone);
+    for (std::size_t j = 0; j < n; ++j) {
+        const bool needed = options.elide_single_client_muxes
+                                ? row_clients[j].size() > 1
+                                : !row_clients[j].empty();
+        if (needed) {
+            demux[j] = graph.add_actor("dmx_" + std::to_string(j), 0);
+            for (const std::size_t k : row_clients[j]) {
+                graph.add_channel(demux[j], cell[j][k], 0);
+            }
+        }
+    }
+
+    // Mux actor of column k: needed when more than one matrix actor must
+    // synchronise to produce token k.
+    std::vector<ActorId> mux(n, kNone);
+    std::vector<ActorId> producer(n, kNone);  // node that emits new token k
+    for (std::size_t k = 0; k < n; ++k) {
+        const bool needed = options.elide_single_client_muxes
+                                ? col_sources[k].size() > 1
+                                : !col_sources[k].empty();
+        if (needed) {
+            mux[k] = graph.add_actor("mux_" + std::to_string(k), 0);
+            for (const std::size_t j : col_sources[k]) {
+                graph.add_channel(cell[j][k], mux[k], 0);
+            }
+            producer[k] = mux[k];
+        } else if (col_sources[k].size() == 1) {
+            producer[k] = cell[col_sources[k][0]][k];
+        } else {
+            // Column k is all −∞: the new token depends on no initial token
+            // and is available immediately each iteration.  A zero-time
+            // actor recycling its own token models the unconstrained source
+            // (only required when somebody consumes token k).
+            if (!row_clients[k].empty()) {
+                producer[k] = graph.add_actor("src_" + std::to_string(k), 0);
+                graph.add_channel(producer[k], producer[k], 1);
+            }
+        }
+    }
+
+    // Token edges: one initial token per (used) initial token k, from the
+    // producer of the new token k to the consumer side of the old token k.
+    for (std::size_t k = 0; k < n; ++k) {
+        if (producer[k] == kNone) {
+            continue;
+        }
+        if (demux[k] != kNone) {
+            graph.add_channel(producer[k], demux[k], 1);
+        } else if (row_clients[k].size() == 1) {
+            graph.add_channel(producer[k], cell[k][row_clients[k][0]], 1);
+        }
+        // Row k all −∞ and not a src_ self-loop: the token is reproduced
+        // every iteration but constrains nothing; it can be dropped without
+        // affecting any cycle.
+    }
+    return graph;
+}
+
+Graph to_hsdf_reduced(const Graph& graph, const ReducedHsdfOptions& options) {
+    const SymbolicIteration iteration = symbolic_iteration(graph);
+    return reduced_hsdf_from_matrix(iteration.matrix, graph.name() + "_rhsdf", options);
+}
+
+}  // namespace sdf

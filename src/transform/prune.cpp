@@ -1,0 +1,62 @@
+#include "transform/prune.hpp"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace sdf {
+
+namespace {
+
+using ChannelKey = std::tuple<ActorId, ActorId, Int, Int>;
+
+/// Marks, per parallel-channel group, every channel except one minimum-delay
+/// representative.
+std::vector<bool> redundant_flags(const Graph& graph) {
+    std::map<ChannelKey, ChannelId> best;
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        const Channel& ch = graph.channel(c);
+        const ChannelKey key{ch.src, ch.dst, ch.production, ch.consumption};
+        const auto it = best.find(key);
+        if (it == best.end() ||
+            ch.initial_tokens < graph.channel(it->second).initial_tokens) {
+            best[key] = c;
+        }
+    }
+    std::vector<bool> redundant(graph.channel_count(), true);
+    for (const auto& [key, id] : best) {
+        redundant[id] = false;
+    }
+    return redundant;
+}
+
+}  // namespace
+
+Graph prune_redundant_channels(const Graph& graph) {
+    const std::vector<bool> redundant = redundant_flags(graph);
+    Graph result(graph.name());
+    for (const Actor& a : graph.actors()) {
+        result.add_actor(a.name, a.execution_time);
+    }
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        if (!redundant[c]) {
+            const Channel& ch = graph.channel(c);
+            result.add_channel(ch.src, ch.dst, ch.production, ch.consumption,
+                               ch.initial_tokens);
+        }
+    }
+    return result;
+}
+
+std::size_t count_redundant_channels(const Graph& graph) {
+    const std::vector<bool> redundant = redundant_flags(graph);
+    std::size_t count = 0;
+    for (const bool r : redundant) {
+        if (r) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+}  // namespace sdf

@@ -1,0 +1,23 @@
+// prune.hpp — redundant parallel-edge pruning.
+//
+// Section 4.2 of the paper: when an abstraction maps many original edges
+// onto the same abstract edge, the abstract graph can end up with several
+// parallel channels between two actors; "such a set of edges can always be
+// pruned to only the one with the smallest number of initial tokens" — the
+// channel with fewer initial tokens is the strictly tighter dependency, so
+// removing the others never changes any firing time.
+#pragma once
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Returns a copy of `graph` where, among parallel channels with identical
+/// (src, dst, production, consumption), only one with the minimum number of
+/// initial tokens remains.  Channel order of the survivors is preserved.
+Graph prune_redundant_channels(const Graph& graph);
+
+/// Number of channels prune_redundant_channels would remove.
+std::size_t count_redundant_channels(const Graph& graph);
+
+}  // namespace sdf

@@ -1,0 +1,50 @@
+// retiming.hpp — retiming of homogeneous SDF graphs.
+//
+// A retiming assigns every actor a lag r(a) ∈ ℤ; channel (a, b, 1, 1, d)
+// becomes d' = d + r(b) − r(a) (actor b is "shifted" r(b) iterations into
+// the past).  Legal retimings (all d' ≥ 0) preserve every cycle's token
+// count, hence liveness and the iteration period — the graph is merely
+// re-pipelined.  This is Leiserson–Saxe retiming with initial tokens as
+// registers and execution times as combinational delay, and it composes
+// naturally with the paper's reductions: retiming the reduced HSDF
+// re-balances the pipeline without touching the throughput (tested).
+//
+// minimize_token_free_path() implements the classical period-minimisation:
+// find a legal retiming minimising the longest token-free path weight
+// (the "clock period" analogue — here, the longest chain of dependent
+// firings within one iteration, a latency measure).  Uses the FEAS
+// iteration of Leiserson & Saxe with a binary search over the candidate
+// periods.
+#pragma once
+
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// True when `lag` keeps every channel's token count non-negative.
+bool is_legal_retiming(const Graph& graph, const std::vector<Int>& lag);
+
+/// Applies a legal retiming; throws InvalidGraphError when the graph is
+/// not homogeneous or the retiming is illegal.
+Graph retime(const Graph& graph, const std::vector<Int>& lag);
+
+/// The maximum total execution time along any directed path that crosses
+/// no initial token (single actors count; a zero-token cycle makes the
+/// value undefined and throws).  This bounds how much work of one
+/// iteration is forced sequential.
+Int max_token_free_path(const Graph& graph);
+
+/// Result of the period minimisation.
+struct RetimingResult {
+    std::vector<Int> lag;  ///< the legal retiming found
+    Graph graph;           ///< the retimed graph
+    Int period = 0;        ///< its max_token_free_path (minimal over retimings)
+};
+
+/// Finds a legal retiming minimising max_token_free_path.  The graph must
+/// be homogeneous and free of zero-token cycles.
+RetimingResult minimize_token_free_path(const Graph& graph);
+
+}  // namespace sdf

@@ -1,0 +1,51 @@
+// sdf_abstraction.hpp — abstraction of non-homogeneous SDF graphs.
+//
+// Definition 4 of the paper is stated for homogeneous inputs; the paper
+// notes "the method can be extended to non-homogeneous graphs as well"
+// without giving the construction.  This module provides one sound
+// extension by composing two exact/conservative steps that are already
+// proven:
+//
+//   SDF graph ──(classical expansion, exact [11,15])──► HSDF
+//            ──(Definition 4 abstraction, conservative [Thm. 1])──► small HSDF
+//
+// Grouping all q(a) firing copies "a#0".."a#q(a)-1" of an original actor a
+// back into a single abstract actor "a" yields a small HSDF of the *same
+// shape* as the original SDF graph whose throughput conservatively bounds
+// it: with N = max index of the abstraction,
+//
+//     tau(a) = q(a)/lambda  >=  q(a) * tau_abs(a) / N.
+//
+// The index heuristic first tries the firing indices themselves (I(a#k) =
+// k+1), which is valid whenever zero-delay dependencies never point from a
+// later firing to an earlier one across actors; otherwise it falls back to
+// the zero-delay layering of abstraction.hpp.
+#pragma once
+
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+#include "transform/abstraction.hpp"
+#include "transform/hsdf_classic.hpp"
+
+namespace sdf {
+
+/// Result of abstracting a (possibly multi-rate) SDF graph.
+struct SdfAbstraction {
+    Graph abstract;        ///< small HSDF, one actor per original actor
+    AbstractionSpec spec;  ///< the abstraction applied to the expansion
+    Graph hsdf;            ///< the intermediate classical expansion
+    Int fold = 0;          ///< N = max index of the abstraction
+};
+
+/// Expands `graph` classically and re-groups the firing copies of each
+/// actor into one abstract actor.  The input must be consistent; the
+/// result's actor names equal the original actor names.
+SdfAbstraction abstract_sdf(const Graph& graph);
+
+/// Conservative per-actor throughput bounds derived from an SdfAbstraction:
+/// bound[a] = q(a) * tau_abs(alpha(a)) / N <= tau(a).  Deadlocked or
+/// unbounded abstract graphs yield all-zero bounds (trivially sound).
+std::vector<Rational> conservative_throughput_bound(const Graph& graph,
+                                                    const SdfAbstraction& abstraction);
+
+}  // namespace sdf

@@ -1,0 +1,24 @@
+#include "transform/selfloops.hpp"
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+Graph add_self_loops(const Graph& graph, Int tokens) {
+    require(tokens > 0, "self-loop token count must be positive");
+    Graph result = graph;
+    std::vector<bool> has_self_loop(graph.actor_count(), false);
+    for (const Channel& c : graph.channels()) {
+        if (c.is_self_loop()) {
+            has_self_loop[c.src] = true;
+        }
+    }
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        if (!has_self_loop[a]) {
+            result.add_channel(a, a, 1, 1, tokens);
+        }
+    }
+    return result;
+}
+
+}  // namespace sdf

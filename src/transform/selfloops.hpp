@@ -1,0 +1,19 @@
+// selfloops.hpp — bounding auto-concurrency with self-loop channels.
+//
+// Self-timed SDF semantics allow unlimited concurrent firings of one actor.
+// Adding a self-loop channel with k initial tokens limits an actor to k
+// concurrent firings (k = 1 models a non-pipelined resource); it also puts
+// every actor on a cycle, which the throughput analyses require.  This is
+// the conventional closing step applied to the SDF3 benchmark graphs.
+#pragma once
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Returns a copy of `graph` with a homogeneous self-loop channel carrying
+/// `tokens` initial tokens added to every actor that has no self-loop yet.
+/// `tokens` must be positive (zero would deadlock the actor).
+Graph add_self_loops(const Graph& graph, Int tokens = 1);
+
+}  // namespace sdf

@@ -1,0 +1,85 @@
+#include "transform/symbolic.hpp"
+
+#include <deque>
+
+#include "base/errors.hpp"
+#include "sdf/schedule.hpp"
+
+namespace sdf {
+
+SymbolicIteration symbolic_iteration(const Graph& graph) {
+    const std::vector<ActorId> schedule = sequential_schedule(graph);
+
+    SymbolicIteration result;
+    result.tokens = initial_tokens(graph);
+    const std::size_t n = result.tokens.size();
+
+    // FIFO of symbolic stamps per channel, seeded with unit vectors in the
+    // canonical global token order.
+    std::vector<std::deque<MpVector>> fifo(graph.channel_count());
+    {
+        std::size_t global = 0;
+        for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+            for (Int i = 0; i < graph.channel(c).initial_tokens; ++i) {
+                fifo[c].push_back(MpVector::unit(n, global++));
+            }
+        }
+    }
+
+    std::vector<std::vector<ChannelId>> inputs(graph.actor_count());
+    std::vector<std::vector<ChannelId>> outputs(graph.actor_count());
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        inputs[graph.channel(c).dst].push_back(c);
+        outputs[graph.channel(c).src].push_back(c);
+    }
+
+    for (const ActorId a : schedule) {
+        // Start time: element-wise max over all consumed stamps.  A firing
+        // that consumes nothing starts unconstrained (all −∞).
+        MpVector start(n);
+        for (const ChannelId ci : inputs[a]) {
+            const Int need = graph.channel(ci).consumption;
+            for (Int i = 0; i < need; ++i) {
+                if (fifo[ci].empty()) {
+                    throw Error("internal: admissible schedule underflowed a channel");
+                }
+                start = start.max_with(fifo[ci].front());
+                fifo[ci].pop_front();
+            }
+        }
+        const MpVector finish = start.plus(graph.actor(a).execution_time);
+        for (const ChannelId ci : outputs[a]) {
+            for (Int i = 0; i < graph.channel(ci).production; ++i) {
+                fifo[ci].push_back(finish);
+            }
+        }
+    }
+
+    // The token distribution is back to the initial one; read the stamps in
+    // the same canonical order as matrix columns.
+    result.matrix = MpMatrix(n, n);
+    {
+        std::size_t global = 0;
+        for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+            const Int expected = graph.channel(c).initial_tokens;
+            if (static_cast<Int>(fifo[c].size()) != expected) {
+                throw Error("internal: channel token count changed over an iteration");
+            }
+            for (Int i = 0; i < expected; ++i) {
+                result.matrix.set_column(global++, fifo[c][static_cast<std::size_t>(i)]);
+            }
+        }
+    }
+    return result;
+}
+
+MpMatrix symbolic_iteration_power(const Graph& graph, Int iterations) {
+    require(iterations >= 0, "negative iteration count");
+    const SymbolicIteration one = symbolic_iteration(graph);
+    // With columns-as-new-tokens, composing iterations means
+    // G_n(j,k) = max_m ( G_1(j,m) + G_{n-1}(m,k) ), i.e. G_1 ⊗ G_{n-1} in
+    // row-major max-plus product order.
+    return one.matrix.power(iterations);
+}
+
+}  // namespace sdf

@@ -1,0 +1,52 @@
+// symbolic.hpp — symbolic (max-plus) execution of one iteration
+// (the analysis core of Algorithm 1 in the paper).
+//
+// Every initial token j starts with the symbolic time stamp t_j, encoded as
+// the max-plus unit vector ī_j.  Executing a sequential schedule for one
+// iteration, a firing that consumes tokens with stamps ḡ_1..ḡ_m starts at
+// max_i(ḡ_i) (element-wise) and stamps its output tokens with
+// max_i(ḡ_i) + T(a).  After the iteration the token distribution is back to
+// the initial one and the stamp of new token k reads
+//
+//      t'_k = max_j ( t_j + G(j,k) ),
+//
+// i.e. the iteration is the max-plus linear map given by the N×N matrix G
+// over the N initial tokens (in the canonical token order of
+// sdf/properties.hpp).  SDF graphs are determinate, so G does not depend on
+// which admissible schedule is executed.
+//
+// G is the basis of both reduction results in this library:
+//  * its max-plus eigenvalue (max cycle mean of its precedence graph) is the
+//    iteration period, hence the throughput (analysis/throughput.hpp);
+//  * the reduced HSDF of Figure 4 is read directly off its finite entries
+//    (hsdf_reduced.hpp).
+#pragma once
+
+#include <vector>
+
+#include "maxplus/matrix.hpp"
+#include "sdf/graph.hpp"
+#include "sdf/properties.hpp"
+
+namespace sdf {
+
+/// The symbolic result of one iteration.
+struct SymbolicIteration {
+    /// Row j / column k: the minimum distance G(j,k) that new token k must
+    /// keep to the previous production time of token j (−∞: no dependency).
+    MpMatrix matrix;
+    /// The initial tokens, in matrix row/column order.
+    std::vector<TokenRef> tokens;
+};
+
+/// Symbolically executes one iteration of a consistent, deadlock-free SDF
+/// graph and returns its max-plus iteration matrix.  Throws
+/// InconsistentGraphError / DeadlockError accordingly.
+SymbolicIteration symbolic_iteration(const Graph& graph);
+
+/// Symbolically executes `iterations` iterations (the matrix power G^n with
+/// the row/column convention above, computed by direct execution order
+/// composition).  Mostly used for tests of linearity.
+MpMatrix symbolic_iteration_power(const Graph& graph, Int iterations);
+
+}  // namespace sdf

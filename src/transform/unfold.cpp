@@ -1,0 +1,35 @@
+#include "transform/unfold.hpp"
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+std::string unfolded_actor_name(const std::string& name, Int i) {
+    return name + "@" + std::to_string(i);
+}
+
+Graph unfold(const Graph& graph, Int n) {
+    require(n > 0, "unfolding factor must be positive");
+    Graph result(graph.name() + "_unf" + std::to_string(n));
+    // Copy i of actor a gets id a*n + i.
+    for (const Actor& a : graph.actors()) {
+        for (Int i = 0; i < n; ++i) {
+            result.add_actor(unfolded_actor_name(a.name, i), a.execution_time);
+        }
+    }
+    const auto copy_id = [n](ActorId a, Int i) {
+        return static_cast<ActorId>(checked_add(checked_mul(static_cast<Int>(a), n), i));
+    };
+    for (const Channel& ch : graph.channels()) {
+        for (Int i = 0; i < n; ++i) {
+            const Int j = floor_mod(checked_add(i, ch.initial_tokens), n);
+            const Int wrap = (j < i) ? 1 : 0;
+            const Int delay = checked_add(ch.initial_tokens / n, wrap);
+            result.add_channel(copy_id(ch.src, i), copy_id(ch.dst, j), ch.production,
+                               ch.consumption, delay);
+        }
+    }
+    return result;
+}
+
+}  // namespace sdf

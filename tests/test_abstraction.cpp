@@ -1,0 +1,219 @@
+// Unit tests for transform/abstraction.hpp — Definitions 3 and 4, the
+// name-suffix and layering heuristics, and the paper's Section 4.1 numbers.
+#include "transform/abstraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "gen/regular.hpp"
+#include "sdf/repetition.hpp"
+#include "transform/compare.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Abstraction, Figure1SpecFromNames) {
+    const Graph g = figure1_graph(6);
+    const AbstractionSpec spec = abstraction_by_name_suffix(g);
+    validate_abstraction(g, spec);
+    EXPECT_EQ(spec.fold(), 6);
+    EXPECT_EQ(spec.group[*g.find_actor("A3")], "A");
+    EXPECT_EQ(spec.index[*g.find_actor("A3")], 3);
+    EXPECT_EQ(spec.group[*g.find_actor("B4")], "B");
+    EXPECT_EQ(spec.index[*g.find_actor("B4")], 4);
+}
+
+TEST(Abstraction, Figure1AbstractGraphMatchesPaper) {
+    const Graph g = figure1_graph(6);
+    const Graph abstract = abstract_graph(g, abstraction_by_name_suffix(g));
+    // Figure 1(b): A (time 5) and B (time 4); self-edges with one token,
+    // A->B with none, B->A with two.
+    EXPECT_TRUE(structurally_equal(abstract, figure1_abstract()));
+}
+
+TEST(Abstraction, Figure1ThroughputBoundIsOneOverFiveN) {
+    for (const Int n : {5, 6, 8, 12, 31}) {
+        const Graph g = figure1_graph(n);
+        const AbstractionSpec spec = abstraction_by_name_suffix(g);
+        const Graph abstract = abstract_graph(g, spec);
+        const ThroughputResult original = throughput_symbolic(g);
+        const ThroughputResult reduced = throughput_symbolic(abstract);
+        ASSERT_TRUE(original.is_finite());
+        ASSERT_TRUE(reduced.is_finite());
+        // Section 4.1: actual 1/(5n-7), abstract estimate 1/(5n).
+        EXPECT_EQ(original.period, Rational(5 * n - 7)) << "n=" << n;
+        EXPECT_EQ(reduced.period, Rational(5)) << "n=" << n;
+        const Rational estimate =
+            reduced.per_actor[*abstract.find_actor("A")] / Rational(spec.fold());
+        EXPECT_EQ(estimate, Rational(1, 5 * n)) << "n=" << n;
+        // Theorem 1: conservative.
+        EXPECT_GE(original.per_actor[*g.find_actor("A1")], estimate) << "n=" << n;
+    }
+}
+
+TEST(Abstraction, ValidationRejectsDuplicateIndexInGroup) {
+    Graph g;
+    g.add_actor("A1", 1);
+    g.add_actor("A2", 1);
+    AbstractionSpec spec;
+    spec.group = {"A", "A"};
+    spec.index = {1, 1};
+    EXPECT_THROW(validate_abstraction(g, spec), InvalidAbstractionError);
+    spec.index = {1, 2};
+    EXPECT_NO_THROW(validate_abstraction(g, spec));
+}
+
+TEST(Abstraction, ValidationRejectsMixedRepetitionEntries) {
+    Graph g;
+    const ActorId a = g.add_actor("A1", 1);
+    const ActorId b = g.add_actor("A2", 1);
+    g.add_channel(a, b, 2, 1, 0);  // q = (1, 2): different entries
+    AbstractionSpec spec;
+    spec.group = {"A", "A"};
+    spec.index = {1, 2};
+    EXPECT_THROW(validate_abstraction(g, spec), InvalidAbstractionError);
+}
+
+TEST(Abstraction, ValidationRejectsBackwardZeroDelayEdge) {
+    Graph g;
+    const ActorId a = g.add_actor("x", 1);
+    const ActorId b = g.add_actor("y", 1);
+    g.add_channel(a, b, 0);
+    AbstractionSpec spec;
+    spec.group = {"x", "y"};
+    spec.index = {2, 1};  // I(src) > I(dst) on a zero-delay edge
+    EXPECT_THROW(validate_abstraction(g, spec), InvalidAbstractionError);
+    spec.index = {1, 1};
+    EXPECT_NO_THROW(validate_abstraction(g, spec));
+}
+
+TEST(Abstraction, TokensLiftTheIndexConstraint) {
+    Graph g;
+    const ActorId a = g.add_actor("x", 1);
+    const ActorId b = g.add_actor("y", 1);
+    g.add_channel(a, b, 1);  // d > 0: indices may decrease
+    AbstractionSpec spec;
+    spec.group = {"x", "y"};
+    spec.index = {2, 1};
+    EXPECT_NO_THROW(validate_abstraction(g, spec));
+}
+
+TEST(Abstraction, ValidationRejectsMalformedSpecs) {
+    Graph g;
+    g.add_actor("a", 1);
+    AbstractionSpec spec;
+    spec.group = {"a"};
+    spec.index = {0};  // indices are 1-based
+    EXPECT_THROW(validate_abstraction(g, spec), InvalidAbstractionError);
+    spec.index = {1, 2};  // wrong length
+    EXPECT_THROW(validate_abstraction(g, spec), InvalidAbstractionError);
+    spec.group = {""};
+    spec.index = {1};
+    EXPECT_THROW(validate_abstraction(g, spec), InvalidAbstractionError);
+    EXPECT_FALSE(is_valid_abstraction(g, spec));
+}
+
+TEST(Abstraction, AbstractGraphRequiresHomogeneousInput) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 2, 2, 2);  // consistent but not homogeneous
+    AbstractionSpec spec;
+    spec.group = {"a", "b"};
+    spec.index = {1, 1};
+    EXPECT_THROW(abstract_graph(g, spec), InvalidGraphError);
+}
+
+TEST(Abstraction, DelayFormulaMatchesDefinition4) {
+    // Two-actor group with indices 1 and 3 (N = 3): edge with d tokens maps
+    // to I(dst) - I(src) + N*d.
+    Graph g;
+    const ActorId a = g.add_actor("p", 1);
+    const ActorId b = g.add_actor("q", 2);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 2);
+    AbstractionSpec spec;
+    spec.group = {"G", "G"};
+    spec.index = {1, 3};
+    const Graph abstract = abstract_graph(g, spec, /*prune=*/false);
+    ASSERT_EQ(abstract.actor_count(), 1u);
+    EXPECT_EQ(abstract.actor(0).execution_time, 2);  // max of the group
+    ASSERT_EQ(abstract.channel_count(), 2u);
+    EXPECT_EQ(abstract.channel(0).initial_tokens, 2);  // 3-1+3*0
+    EXPECT_EQ(abstract.channel(1).initial_tokens, 4);  // 1-3+3*2
+}
+
+TEST(Abstraction, PruningCollapsesParallelAbstractChannels) {
+    const Graph g = figure1_graph(6);
+    const AbstractionSpec spec = abstraction_by_name_suffix(g);
+    const Graph pruned = abstract_graph(g, spec, /*prune=*/true);
+    const Graph unpruned = abstract_graph(g, spec, /*prune=*/false);
+    EXPECT_EQ(pruned.channel_count(), 4u);
+    EXPECT_EQ(unpruned.channel_count(), g.channel_count());
+    // Pruning never changes the timing.
+    EXPECT_EQ(throughput_symbolic(pruned).period, throughput_symbolic(unpruned).period);
+}
+
+TEST(Abstraction, AssignIndicesSatisfiesDefinition3) {
+    // A1 -> B1 -> A2 -> B2 chain (all zero delay) plus a closing token edge;
+    // group by stems and let the layering pick indices.
+    Graph g;
+    const ActorId a1 = g.add_actor("u", 1);
+    const ActorId b1 = g.add_actor("v", 1);
+    const ActorId a2 = g.add_actor("w", 1);
+    const ActorId b2 = g.add_actor("x", 1);
+    g.add_channel(a1, b1, 0);
+    g.add_channel(b1, a2, 0);
+    g.add_channel(a2, b2, 0);
+    g.add_channel(b2, a1, 1);
+    const AbstractionSpec spec = assign_indices(g, {"A", "B", "A", "B"});
+    validate_abstraction(g, spec);
+    EXPECT_LT(spec.index[a1], spec.index[a2]);
+    EXPECT_LT(spec.index[b1], spec.index[b2]);
+}
+
+TEST(Abstraction, AssignIndicesRejectsZeroDelayCycle) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 0);
+    EXPECT_THROW(assign_indices(g, {"A", "A"}), InvalidAbstractionError);
+}
+
+TEST(Abstraction, NameSuffixFallsBackToLayering) {
+    // Suffixes violate Definition 3 (zero-delay edge from A2 to A1), so the
+    // heuristic must re-assign indices.
+    Graph g;
+    const ActorId a2 = g.add_actor("A2", 1);
+    const ActorId a1 = g.add_actor("A1", 1);
+    g.add_channel(a2, a1, 0);
+    g.add_channel(a1, a2, 1);
+    const AbstractionSpec spec = abstraction_by_name_suffix(g);
+    validate_abstraction(g, spec);
+    EXPECT_LE(spec.index[a2], spec.index[a1]);
+}
+
+TEST(Abstraction, SigmaImageNameUsesZeroBasedCopies) {
+    AbstractionSpec spec;
+    spec.group = {"A", "B"};
+    spec.index = {3, 1};
+    EXPECT_EQ(sigma_image_name(spec, 0), "A@2");
+    EXPECT_EQ(sigma_image_name(spec, 1), "B@0");
+}
+
+TEST(Abstraction, PrefetchModelAbstractionIsExact) {
+    // Section 7: "in this case, [the abstract graph] has exactly the same
+    // throughput as the original graph".
+    const Graph g = prefetch_graph(24);
+    const AbstractionSpec spec = abstraction_by_name_suffix(g);
+    const Graph abstract = abstract_graph(g, spec);
+    EXPECT_TRUE(structurally_equal(abstract, prefetch_abstract()));
+    const Rational original = iteration_period(g);
+    const Rational estimate = Rational(spec.fold()) * iteration_period(abstract);
+    EXPECT_EQ(original, estimate);
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,192 @@
+// Unit tests for analysis/latency.hpp, liveness.hpp and buffers.hpp.
+#include <gtest/gtest.h>
+
+#include "analysis/buffers.hpp"
+#include "analysis/latency.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/static_schedule.hpp"
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "gen/regular.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Latency, Figure1IterationMakespanIs23) {
+    EXPECT_EQ(iteration_makespan(figure1_graph(6)), 23);
+}
+
+TEST(Latency, PipelineResponse) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 3);
+    const ActorId b = g.add_actor("b", 4);
+    const ActorId c = g.add_actor("c", 5);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, c, 0);
+    g.add_channel(c, a, 1);
+    EXPECT_EQ(response_latency(g, a), 3);
+    EXPECT_EQ(response_latency(g, b), 7);
+    EXPECT_EQ(response_latency(g, c), 12);
+    EXPECT_EQ(iteration_makespan(g), 12);
+    EXPECT_THROW(response_latency(g, 99), InvalidGraphError);
+}
+
+TEST(Latency, MultiRateResponse) {
+    Graph g;
+    const ActorId src = g.add_actor("src", 2);
+    const ActorId dst = g.add_actor("dst", 1);
+    g.add_channel(src, dst, 1, 3, 0);   // dst needs three src firings
+    g.add_channel(dst, src, 3, 1, 3);
+    g.add_channel(src, src, 1);         // serialise src
+    EXPECT_EQ(response_latency(g, dst), 7);  // 3 * 2 + 1
+}
+
+TEST(Latency, MinimumLatencyAlongPipeline) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 3);
+    const ActorId b = g.add_actor("b", 4);
+    const ActorId c = g.add_actor("c", 5);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, c, 0);
+    g.add_channel(c, a, 1);
+    const Rational period = iteration_period(g);  // 12
+    // Token-free path a -> b -> c: latency independent of the period.
+    EXPECT_EQ(minimum_latency(g, a, c, period), Rational(12));
+    EXPECT_EQ(minimum_latency(g, a, c, period * Rational(2)), Rational(12));
+    // src == dst: the empty path, just the execution time.
+    EXPECT_EQ(minimum_latency(g, a, a, period), Rational(3));
+    // The token-crossing direction relaxes with the period: c -> a carries
+    // one token, so L(c,a) = T(c) - period + T(a).
+    EXPECT_EQ(minimum_latency(g, c, a, period), Rational(5 - 12 + 3));
+    EXPECT_EQ(minimum_latency(g, c, a, Rational(20)), Rational(5 - 20 + 3));
+    // Below the iteration period: infeasible.
+    EXPECT_THROW(minimum_latency(g, a, c, Rational(11)), Error);
+}
+
+TEST(Latency, MinimumLatencyUnreachablePair) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 2);
+    g.add_channel(a, a, 1);
+    g.add_channel(b, b, 1);
+    EXPECT_FALSE(minimum_latency(g, a, b, Rational(5)).has_value());
+    Graph rated;
+    const ActorId x = rated.add_actor("x", 1);
+    const ActorId y = rated.add_actor("y", 1);
+    rated.add_channel(x, y, 2, 1, 0);
+    EXPECT_THROW(minimum_latency(rated, x, y, Rational(5)), InvalidGraphError);
+}
+
+TEST(Latency, ScheduleLatencyDominatesTheMinimum) {
+    // Any concrete rate-optimal schedule realises at least the optimum.
+    const Graph g = figure1_graph(6);
+    const Rational period = iteration_period(g);
+    const PeriodicSchedule schedule = periodic_schedule(g);
+    const ActorId a1 = *g.find_actor("A1");
+    for (const char* name : {"A3", "B4", "A6"}) {
+        const ActorId dst = *g.find_actor(name);
+        const auto optimum = minimum_latency(g, a1, dst, period);
+        ASSERT_TRUE(optimum.has_value()) << name;
+        EXPECT_GE(schedule_latency(g, schedule, a1, dst), *optimum) << name;
+    }
+}
+
+TEST(Liveness, AgreeOnLiveGraph) {
+    const Graph g = figure1_graph(6);
+    EXPECT_TRUE(is_live(g));
+    EXPECT_TRUE(is_live_via_hsdf(g));
+}
+
+TEST(Liveness, AgreeOnDeadlockedGraph) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 0);
+    EXPECT_FALSE(is_live(g));
+    EXPECT_FALSE(is_live_via_hsdf(g));
+}
+
+TEST(Liveness, AgreeOnRatedDeadlock) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 1, 2, 0);
+    g.add_channel(b, a, 2, 1, 1);
+    EXPECT_FALSE(is_live(g));
+    EXPECT_FALSE(is_live_via_hsdf(g));
+    g.set_initial_tokens(1, 2);
+    EXPECT_TRUE(is_live(g));
+    EXPECT_TRUE(is_live_via_hsdf(g));
+}
+
+TEST(Liveness, InconsistentGraphIsNotLive) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    g.add_channel(a, a, 2, 1, 4);
+    EXPECT_FALSE(is_live(g));
+    EXPECT_FALSE(is_live_via_hsdf(g));
+}
+
+TEST(Buffers, ReverseChannelModelsCapacity) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 2);
+    const ChannelId ab = g.add_channel(a, b, 2, 3, 1);
+    const Graph bounded = with_buffer_capacity(g, ab, 7);
+    ASSERT_EQ(bounded.channel_count(), 2u);
+    const Channel& back = bounded.channel(1);
+    EXPECT_EQ(back.src, b);
+    EXPECT_EQ(back.dst, a);
+    EXPECT_EQ(back.production, 3);
+    EXPECT_EQ(back.consumption, 2);
+    EXPECT_EQ(back.initial_tokens, 6);  // capacity - initial tokens
+    EXPECT_THROW(with_buffer_capacity(g, ab, 0), InvalidGraphError);
+}
+
+TEST(Buffers, CapacityThrottlesThroughput) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 4);
+    const ChannelId ab = g.add_channel(a, b, 0);
+    g.add_channel(b, a, 4);  // enough return tokens for pipelining
+    const Rational open = throughput_symbolic(g).per_actor[a];
+    const Rational tight = throughput_symbolic(with_buffer_capacity(g, ab, 1)).per_actor[a];
+    EXPECT_LT(tight, open);
+    EXPECT_EQ(tight, Rational(1, 5));  // a and b alternate: 1 + 4
+}
+
+TEST(Buffers, MinimumLiveCapacityBinarySearch) {
+    // b consumes 3 per firing: the channel needs room for 3 tokens.
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    const ChannelId ab = g.add_channel(a, b, 1, 3, 0);
+    g.add_channel(b, a, 3, 1, 3);
+    EXPECT_EQ(minimum_live_capacity(g, ab, 100), 3);
+}
+
+TEST(Buffers, MinimumLiveCapacityThrowsWhenUpperDeadlocks) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    const ChannelId ab = g.add_channel(a, b, 0);
+    g.add_channel(b, a, 0);  // dead regardless of capacity
+    EXPECT_THROW(minimum_live_capacity(g, ab, 10), Error);
+}
+
+TEST(Buffers, AllChannelCapacities) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 1);
+    g.add_channel(a, a, 1);  // self-loop: skipped
+    const Graph bounded = with_buffer_capacities(g, {2, 2, 1});
+    EXPECT_EQ(bounded.channel_count(), 5u);  // two reverse channels added
+    EXPECT_TRUE(is_live(bounded));
+    EXPECT_THROW(with_buffer_capacities(g, {2}), InvalidGraphError);
+}
+
+}  // namespace
+}  // namespace sdf

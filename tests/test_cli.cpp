@@ -1,0 +1,188 @@
+// End-to-end tests for tools/sdfred_cli.cpp: drive the installed binary on
+// real files and check outputs and exit codes.  The binary path comes from
+// the build system (SDFRED_CLI_PATH).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "csdf/graph.hpp"
+#include "gen/benchmarks.hpp"
+#include "io/csdf_xml.hpp"
+#include "io/text.hpp"
+#include "io/xml.hpp"
+#include "transform/compare.hpp"
+
+namespace sdf {
+namespace {
+
+struct CliResult {
+    int exit_code = -1;
+    std::string output;  // stdout + stderr
+};
+
+CliResult run_cli(const std::string& arguments) {
+    const std::string log = ::testing::TempDir() + "/cli_out.txt";
+    const std::string command =
+        std::string(SDFRED_CLI_PATH) + " " + arguments + " > " + log + " 2>&1";
+    const int status = std::system(command.c_str());
+    CliResult result;
+    result.exit_code = WEXITSTATUS(status);
+    std::ifstream in(log);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    result.output = buffer.str();
+    return result;
+}
+
+class CliTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = ::testing::TempDir();
+        write_text_file(dir_ + "/h263.sdf", h263_decoder());
+        write_xml_file(dir_ + "/h263.xml", h263_decoder());
+    }
+    std::string dir_;
+};
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+    const CliResult r = run_cli("");
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoOnTextFile) {
+    const CliResult r = run_cli("info " + dir_ + "/h263.sdf");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("actors     : 4"), std::string::npos);
+    EXPECT_NE(r.output.find("iteration  : 1190 firings"), std::string::npos);
+    EXPECT_NE(r.output.find("live       : yes"), std::string::npos);
+}
+
+TEST_F(CliTest, InfoOnXmlFileMatchesTextFile) {
+    const CliResult text = run_cli("info " + dir_ + "/h263.sdf");
+    const CliResult xml = run_cli("info " + dir_ + "/h263.xml");
+    EXPECT_EQ(xml.exit_code, 0);
+    EXPECT_EQ(text.output, xml.output);
+}
+
+TEST_F(CliTest, AnalyzeReportsPeriodAndThroughput) {
+    const CliResult r = run_cli("analyze " + dir_ + "/h263.sdf");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("iteration period:"), std::string::npos);
+    EXPECT_NE(r.output.find("VLD:"), std::string::npos);
+    EXPECT_NE(r.output.find("iteration makespan:"), std::string::npos);
+}
+
+TEST_F(CliTest, ConvertToReducedHsdfRoundTrips) {
+    const std::string out = dir_ + "/reduced.sdf";
+    const CliResult r =
+        run_cli("convert --to reduced-hsdf " + dir_ + "/h263.sdf -o " + out);
+    EXPECT_EQ(r.exit_code, 0);
+    const Graph reduced = read_text_file(out);
+    EXPECT_TRUE(reduced.is_homogeneous());
+    EXPECT_LE(reduced.actor_count(), 15u);  // N(N+2) with N = 3
+}
+
+TEST_F(CliTest, ConvertToDotAndXml) {
+    const std::string dot = dir_ + "/g.dot";
+    EXPECT_EQ(run_cli("convert --to dot " + dir_ + "/h263.sdf -o " + dot).exit_code, 0);
+    std::ifstream in(dot);
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_NE(first_line.find("digraph"), std::string::npos);
+
+    const std::string xml = dir_ + "/g2.xml";
+    EXPECT_EQ(run_cli("convert --to xml " + dir_ + "/h263.sdf -o " + xml).exit_code, 0);
+    EXPECT_TRUE(structurally_equal(read_xml_file(xml), h263_decoder()));
+}
+
+TEST_F(CliTest, UnfoldWritesLargerGraph) {
+    const std::string out = dir_ + "/unfolded.sdf";
+    const CliResult r = run_cli("unfold 3 " + dir_ + "/h263.sdf -o " + out);
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_EQ(read_text_file(out).actor_count(), 12u);
+}
+
+TEST_F(CliTest, DeadlockDiagnosisViaCli) {
+    Graph dead;
+    const ActorId a = dead.add_actor("a", 1);
+    const ActorId b = dead.add_actor("b", 1);
+    dead.add_channel(a, b, 0);
+    dead.add_channel(b, a, 0);
+    write_text_file(dir_ + "/dead.sdf", dead);
+    const CliResult r = run_cli("deadlock " + dir_ + "/dead.sdf");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("deadlock"), std::string::npos);
+    EXPECT_NE(r.output.find("blocked on channel"), std::string::npos);
+}
+
+TEST_F(CliTest, ScheduleOnHomogeneousGraph) {
+    Graph ring;
+    const ActorId a = ring.add_actor("a", 3);
+    const ActorId b = ring.add_actor("b", 4);
+    ring.add_channel(a, b, 0);
+    ring.add_channel(b, a, 1);
+    write_text_file(dir_ + "/ring.sdf", ring);
+    const CliResult r = run_cli("schedule " + dir_ + "/ring.sdf");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("period: 7"), std::string::npos);
+}
+
+TEST_F(CliTest, SensitivityAndStorage) {
+    Graph ring;
+    const ActorId a = ring.add_actor("a", 3);
+    const ActorId b = ring.add_actor("b", 4);
+    ring.add_channel(a, b, 0);
+    ring.add_channel(b, a, 1);
+    write_text_file(dir_ + "/ring.sdf", ring);
+
+    const CliResult sens = run_cli("sensitivity " + dir_ + "/ring.sdf");
+    EXPECT_EQ(sens.exit_code, 0);
+    EXPECT_NE(sens.output.find("a: +1  [critical]"), std::string::npos);
+
+    const CliResult storage = run_cli("storage " + dir_ + "/ring.sdf");
+    EXPECT_EQ(storage.exit_code, 0);
+    EXPECT_NE(storage.output.find("a -> b: 1 tokens"), std::string::npos);
+    EXPECT_NE(storage.output.find("total (excluding self-loops): 2"),
+              std::string::npos);
+
+    const CliResult pareto = run_cli("pareto " + dir_ + "/ring.sdf");
+    EXPECT_EQ(pareto.exit_code, 0);
+    EXPECT_NE(pareto.output.find("total buffer"), std::string::npos);
+}
+
+TEST_F(CliTest, CsdfAnalyzeAndReduce) {
+    CsdfGraph g("cs");
+    const CsdfActorId a = g.add_actor("stage", {3, 1, 2});
+    g.add_channel(a, a, {1, 1, 1}, {1, 1, 1}, 1);
+    write_csdf_xml_file(dir_ + "/cs.xml", g);
+
+    const CliResult analyze = run_cli("csdf-analyze " + dir_ + "/cs.xml");
+    EXPECT_EQ(analyze.exit_code, 0);
+    EXPECT_NE(analyze.output.find("iteration period: 6"), std::string::npos);
+    EXPECT_NE(analyze.output.find("stage: 1 (3 phases)"), std::string::npos);
+
+    const std::string out = dir_ + "/cs_reduced.sdf";
+    const CliResult reduce = run_cli("csdf-reduce " + dir_ + "/cs.xml -o " + out);
+    EXPECT_EQ(reduce.exit_code, 0);
+    const Graph reduced = read_text_file(out);
+    EXPECT_TRUE(reduced.is_homogeneous());
+    EXPECT_EQ(reduced.total_initial_tokens(), 1);
+}
+
+TEST_F(CliTest, ErrorsAreReportedWithExitCodeOne) {
+    const CliResult missing = run_cli("info /nonexistent/file.sdf");
+    EXPECT_EQ(missing.exit_code, 1);
+    EXPECT_NE(missing.output.find("error:"), std::string::npos);
+
+    const CliResult bad_format =
+        run_cli("convert --to bogus " + dir_ + "/h263.sdf");
+    EXPECT_EQ(bad_format.exit_code, 2);
+}
+
+}  // namespace
+}  // namespace sdf

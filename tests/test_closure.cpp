@@ -1,0 +1,96 @@
+// Unit + property tests for maxplus/closure.hpp.
+#include "maxplus/closure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "base/errors.hpp"
+#include "maxplus/eigen.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Closure, DiagonalGetsTheEmptyWalk) {
+    MpMatrix m(2, 2);
+    m.set(0, 1, MpValue(-3));
+    const auto star = mp_closure(m);
+    ASSERT_TRUE(star.has_value());
+    EXPECT_EQ(star->at(0, 0), MpValue(0));
+    EXPECT_EQ(star->at(1, 1), MpValue(0));
+    EXPECT_EQ(star->at(0, 1), MpValue(-3));
+    EXPECT_TRUE(star->at(1, 0).is_minus_infinity());
+}
+
+TEST(Closure, PicksTheLongestWalk) {
+    // 0 -> 1 -> 2 with a worse direct edge 0 -> 2.
+    MpMatrix m(3, 3);
+    m.set(0, 1, MpValue(-1));
+    m.set(1, 2, MpValue(-1));
+    m.set(0, 2, MpValue(-5));
+    const auto star = mp_closure(m);
+    ASSERT_TRUE(star.has_value());
+    EXPECT_EQ(star->at(0, 2), MpValue(-2));
+}
+
+TEST(Closure, ZeroCyclesAreFine) {
+    MpMatrix m(2, 2);
+    m.set(0, 1, MpValue(4));
+    m.set(1, 0, MpValue(-4));
+    const auto star = mp_closure(m);
+    ASSERT_TRUE(star.has_value());
+    EXPECT_EQ(star->at(0, 1), MpValue(4));
+    EXPECT_EQ(star->at(0, 0), MpValue(0));
+}
+
+TEST(Closure, DivergesOnPositiveCycle) {
+    MpMatrix m(2, 2);
+    m.set(0, 1, MpValue(3));
+    m.set(1, 0, MpValue(-2));  // cycle weight +1
+    EXPECT_TRUE(has_positive_weight_cycle(m));
+    EXPECT_FALSE(mp_closure(m).has_value());
+    EXPECT_THROW(mp_closure(MpMatrix(2, 3)), ArithmeticError);
+}
+
+TEST(Closure, StarIsIdempotent) {
+    std::mt19937 rng(3);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 2 + rng() % 4;
+        MpMatrix m(n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                if (rng() % 2 == 0) {
+                    m.set(i, j, MpValue(-static_cast<Int>(rng() % 8)));
+                }
+            }
+        }
+        const auto star = mp_closure(m);
+        ASSERT_TRUE(star.has_value());  // all weights <= 0: no positive cycle
+        const auto star_star = mp_closure(*star);
+        ASSERT_TRUE(star_star.has_value());
+        EXPECT_EQ(*star_star, *star);
+        // A* absorbs A: A* ⊗ A* == A*.
+        EXPECT_EQ(star->multiply(*star), *star);
+    }
+}
+
+TEST(Closure, CriticalColumnsOfReweightedMatrixAreEigenvectors) {
+    // For an irreducible matrix G with eigenvalue λ, (G − λ)* has the
+    // eigenvectors of G as its critical columns; verify the connection for
+    // a hand case by checking that the eigen pair validates.
+    MpMatrix g(2, 2);
+    g.set(0, 1, MpValue(3));
+    g.set(1, 0, MpValue(5));
+    const MpEigen e = mp_eigen(g);
+    EXPECT_TRUE(is_eigenpair(g, e));
+    // λ = 4; reweighting by −λ makes the critical cycle zero, so the
+    // closure exists (integer matrix entries shifted by a rational λ are
+    // handled by scaling: use 2G − 2λ to stay integral).
+    MpMatrix scaled(2, 2);
+    scaled.set(0, 1, MpValue(2 * 3 - 8));
+    scaled.set(1, 0, MpValue(2 * 5 - 8));
+    EXPECT_TRUE(mp_closure(scaled).has_value());
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,125 @@
+// Unit tests for io/csdf_xml.hpp.
+#include "io/csdf_xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/errors.hpp"
+#include "csdf/analysis.hpp"
+
+namespace sdf {
+namespace {
+
+CsdfGraph scaler() {
+    CsdfGraph g("scaler");
+    const CsdfActorId reader = g.add_actor("reader", {4});
+    const CsdfActorId scale = g.add_actor("scale", {10, 10, 16});
+    g.add_channel(reader, scale, {1}, {1, 1, 2}, 0);
+    g.add_channel(scale, reader, {1, 1, 2}, {1}, 4);
+    g.add_channel(scale, scale, {1, 1, 1}, {1, 1, 1}, 1);
+    return g;
+}
+
+bool csdf_equal(const CsdfGraph& a, const CsdfGraph& b) {
+    if (a.actor_count() != b.actor_count() || a.channel_count() != b.channel_count()) {
+        return false;
+    }
+    for (const CsdfActor& actor : a.actors()) {
+        const auto id = b.find_actor(actor.name);
+        if (!id || b.actor(*id).phase_times != actor.phase_times) {
+            return false;
+        }
+    }
+    for (std::size_t c = 0; c < a.channel_count(); ++c) {
+        const CsdfChannel& ca = a.channel(c);
+        const CsdfChannel& cb = b.channel(c);
+        if (a.actor(ca.src).name != b.actor(cb.src).name ||
+            a.actor(ca.dst).name != b.actor(cb.dst).name ||
+            ca.production != cb.production || ca.consumption != cb.consumption ||
+            ca.initial_tokens != cb.initial_tokens) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(CsdfXml, RoundTripPreservesStructure) {
+    const CsdfGraph g = scaler();
+    const CsdfGraph parsed = read_csdf_xml_string(write_csdf_xml_string(g));
+    EXPECT_TRUE(csdf_equal(g, parsed));
+    EXPECT_EQ(parsed.name(), "scaler");
+}
+
+TEST(CsdfXml, RoundTripPreservesAnalyses) {
+    const CsdfGraph g = scaler();
+    const CsdfGraph parsed = read_csdf_xml_string(write_csdf_xml_string(g));
+    EXPECT_EQ(csdf_repetition(parsed), csdf_repetition(g));
+    const CsdfThroughput a = csdf_throughput(g);
+    const CsdfThroughput b = csdf_throughput(parsed);
+    ASSERT_FALSE(a.deadlocked);
+    EXPECT_EQ(a.period, b.period);
+}
+
+TEST(CsdfXml, ParsesHandWrittenDocument) {
+    const CsdfGraph g = read_csdf_xml_string(
+        "<sdf3 type=\"csdf\" version=\"1.0\">"
+        " <applicationGraph name=\"tiny\">"
+        "  <csdf name=\"tiny\" type=\"tiny\">"
+        "   <actor name=\"a\" type=\"a\"><port name=\"p\" type=\"out\" rate=\"1,2\"/></actor>"
+        "   <actor name=\"b\" type=\"b\"><port name=\"q\" type=\"in\" rate=\"3\"/></actor>"
+        "   <channel name=\"ch\" srcActor=\"a\" srcPort=\"p\" dstActor=\"b\" dstPort=\"q\""
+        "            initialTokens=\"2\"/>"
+        "  </csdf>"
+        "  <csdfProperties>"
+        "   <actorProperties actor=\"a\">"
+        "    <processor type=\"p0\" default=\"true\"><executionTime time=\"5,7\"/></processor>"
+        "   </actorProperties>"
+        "   <actorProperties actor=\"b\">"
+        "    <processor type=\"p0\" default=\"true\"><executionTime time=\"9\"/></processor>"
+        "   </actorProperties>"
+        "  </csdfProperties>"
+        " </applicationGraph>"
+        "</sdf3>");
+    ASSERT_EQ(g.actor_count(), 2u);
+    EXPECT_EQ(g.actor(0).phase_times, (std::vector<Int>{5, 7}));
+    EXPECT_EQ(g.actor(1).phase_times, (std::vector<Int>{9}));
+    ASSERT_EQ(g.channel_count(), 1u);
+    EXPECT_EQ(g.channel(0).production, (std::vector<Int>{1, 2}));
+    EXPECT_EQ(g.channel(0).consumption, (std::vector<Int>{3}));
+    EXPECT_EQ(g.channel(0).initial_tokens, 2);
+}
+
+TEST(CsdfXml, RejectsStructurallyWrongDocuments) {
+    EXPECT_THROW(read_csdf_xml_string("<sdf3></sdf3>"), ParseError);
+    EXPECT_THROW(read_csdf_xml_string(
+                     "<sdf3><applicationGraph name=\"g\"/></sdf3>"),
+                 ParseError);
+    // Actor without executionTime: phase count unknown.
+    EXPECT_THROW(read_csdf_xml_string(
+                     "<sdf3><applicationGraph name=\"g\"><csdf name=\"g\" type=\"g\">"
+                     "<actor name=\"a\" type=\"a\"/></csdf>"
+                     "</applicationGraph></sdf3>"),
+                 ParseError);
+    // Rate list length mismatching the phase count.
+    EXPECT_THROW(read_csdf_xml_string(
+                     "<sdf3><applicationGraph name=\"g\"><csdf name=\"g\" type=\"g\">"
+                     "<actor name=\"a\" type=\"a\">"
+                     "<port name=\"p\" type=\"out\" rate=\"1,2,3\"/></actor>"
+                     "<channel name=\"c\" srcActor=\"a\" srcPort=\"p\" dstActor=\"a\""
+                     " dstPort=\"p\"/>"
+                     "</csdf><csdfProperties><actorProperties actor=\"a\">"
+                     "<processor type=\"p\" default=\"true\">"
+                     "<executionTime time=\"1,2\"/></processor></actorProperties>"
+                     "</csdfProperties></applicationGraph></sdf3>"),
+                 ParseError);
+}
+
+TEST(CsdfXml, FileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/scaler.xml";
+    write_csdf_xml_file(path, scaler());
+    EXPECT_TRUE(csdf_equal(read_csdf_xml_file(path), scaler()));
+    EXPECT_THROW(read_csdf_xml_file("/nonexistent/x.xml"), ParseError);
+    EXPECT_THROW(write_csdf_xml_file("/nonexistent/dir/x.xml", scaler()), ParseError);
+}
+
+}  // namespace
+}  // namespace sdf

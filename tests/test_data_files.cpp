@@ -1,0 +1,46 @@
+// Tests for the shipped benchmark files in data/: they must load, match
+// the in-code generators exactly, and survive the full analysis pipeline.
+// SDFRED_DATA_DIR is injected by the build system.
+#include <gtest/gtest.h>
+
+#include "analysis/throughput.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/regular.hpp"
+#include "io/text.hpp"
+#include "io/xml.hpp"
+#include "sdf/repetition.hpp"
+#include "transform/compare.hpp"
+
+namespace sdf {
+namespace {
+
+const std::string kDataDir = SDFRED_DATA_DIR;
+
+TEST(DataFiles, BenchmarksMatchGenerators) {
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        const Graph loaded = read_xml_file(kDataDir + "/" + bench.graph.name() + ".xml");
+        EXPECT_TRUE(structurally_equal(loaded, bench.graph)) << bench.label;
+        EXPECT_EQ(iteration_length(loaded), bench.paper_traditional) << bench.label;
+    }
+}
+
+TEST(DataFiles, RegularExamplesMatchGenerators) {
+    const Graph fig1 = read_text_file(kDataDir + "/figure1_n6.sdf");
+    EXPECT_TRUE(structurally_equal(fig1, figure1_graph(6)));
+    EXPECT_EQ(iteration_period(fig1), Rational(23));
+
+    const Graph prefetch = read_text_file(kDataDir + "/prefetch_n8.sdf");
+    EXPECT_TRUE(structurally_equal(prefetch, prefetch_graph(8)));
+}
+
+TEST(DataFiles, LoadedGraphsAnalyseCleanly) {
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        const Graph loaded = read_xml_file(kDataDir + "/" + bench.graph.name() + ".xml");
+        const ThroughputResult t = throughput_symbolic(loaded);
+        EXPECT_TRUE(t.is_finite()) << bench.label;
+        EXPECT_EQ(t.period, throughput_symbolic(bench.graph).period) << bench.label;
+    }
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,130 @@
+// Unit tests for base/digraph.hpp.
+#include "base/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "base/errors.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Digraph, AddNodesAndEdges) {
+    Digraph g(3);
+    EXPECT_EQ(g.node_count(), 3u);
+    EXPECT_EQ(g.add_node(), 3u);
+    g.add_edge(0, 1, 5, 2);
+    EXPECT_EQ(g.edge_count(), 1u);
+    EXPECT_EQ(g.edge(0).weight, 5);
+    EXPECT_EQ(g.edge(0).tokens, 2);
+    EXPECT_THROW(g.add_edge(0, 9), InvalidGraphError);
+}
+
+TEST(Digraph, OutEdgesGroupsByingSource) {
+    Digraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(2, 1);
+    const auto out = g.out_edges();
+    EXPECT_EQ(out[0].size(), 2u);
+    EXPECT_EQ(out[1].size(), 0u);
+    EXPECT_EQ(out[2].size(), 1u);
+}
+
+TEST(Digraph, SccOfDag) {
+    Digraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    std::size_t count = 0;
+    const auto comp = g.strongly_connected_components(&count);
+    EXPECT_EQ(count, 4u);
+    // Components are in reverse topological order: edges go from higher
+    // component index to lower.
+    for (const auto& e : g.edges()) {
+        EXPECT_GT(comp[e.from], comp[e.to]);
+    }
+}
+
+TEST(Digraph, SccOfCycleAndTail) {
+    Digraph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 0);
+    g.add_edge(2, 3);
+    g.add_edge(3, 4);
+    std::size_t count = 0;
+    const auto comp = g.strongly_connected_components(&count);
+    EXPECT_EQ(count, 3u);
+    EXPECT_EQ(comp[0], comp[1]);
+    EXPECT_EQ(comp[1], comp[2]);
+    EXPECT_NE(comp[2], comp[3]);
+    EXPECT_NE(comp[3], comp[4]);
+}
+
+TEST(Digraph, SccHandlesDeepChainIteratively) {
+    // A 100k-node cycle would overflow the stack with recursive Tarjan.
+    const std::size_t n = 100000;
+    Digraph g(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        g.add_edge(i, (i + 1) % n);
+    }
+    std::size_t count = 0;
+    g.strongly_connected_components(&count);
+    EXPECT_EQ(count, 1u);
+}
+
+TEST(Digraph, HasCycleDetectsSelfLoop) {
+    Digraph g(2);
+    g.add_edge(0, 1);
+    EXPECT_FALSE(g.has_cycle());
+    g.add_edge(1, 1);
+    EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(Digraph, HasCycleDetectsLongCycle) {
+    Digraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    EXPECT_FALSE(g.has_cycle());
+    g.add_edge(2, 0);
+    EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(Digraph, TopologicalOrderRespectsEdges) {
+    Digraph g(4);
+    g.add_edge(3, 1);
+    g.add_edge(1, 0);
+    g.add_edge(3, 2);
+    g.add_edge(2, 0);
+    const auto order = g.topological_order();
+    ASSERT_EQ(order.size(), 4u);
+    std::vector<std::size_t> position(4);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        position[order[i]] = i;
+    }
+    for (const auto& e : g.edges()) {
+        EXPECT_LT(position[e.from], position[e.to]);
+    }
+}
+
+TEST(Digraph, TopologicalOrderRejectsCycle) {
+    Digraph g(2);
+    g.add_edge(0, 1);
+    g.add_edge(1, 0);
+    EXPECT_THROW(g.topological_order(), InvalidGraphError);
+}
+
+TEST(Digraph, EmptyGraph) {
+    Digraph g;
+    EXPECT_FALSE(g.has_cycle());
+    EXPECT_TRUE(g.topological_order().empty());
+    std::size_t count = 99;
+    g.strongly_connected_components(&count);
+    EXPECT_EQ(count, 0u);
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,146 @@
+// Unit tests for the workload generators: the Figure 1 / Figure 5 families,
+// the Table 1 benchmark reconstructions and the random-graph generator.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/liveness.hpp"
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/random_sdf.hpp"
+#include "gen/regular.hpp"
+#include "io/dot.hpp"
+#include "sdf/properties.hpp"
+#include "sdf/repetition.hpp"
+#include "sdf/schedule.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Regular, Figure1Structure) {
+    const Graph g = figure1_graph(6);
+    EXPECT_EQ(g.actor_count(), 10u);  // A1..A6, B1..B4
+    EXPECT_TRUE(g.is_homogeneous());
+    EXPECT_EQ(g.total_initial_tokens(), 1);
+    EXPECT_TRUE(is_live(g));
+    EXPECT_EQ(g.actor(*g.find_actor("A1")).execution_time, 2);
+    EXPECT_EQ(g.actor(*g.find_actor("A3")).execution_time, 5);
+    EXPECT_EQ(g.actor(*g.find_actor("A6")).execution_time, 3);
+    EXPECT_EQ(g.actor(*g.find_actor("B2")).execution_time, 4);
+    EXPECT_THROW(figure1_graph(3), InvalidGraphError);
+}
+
+TEST(Regular, Figure1SizesScaleLinearly) {
+    for (const Int n : {4, 8, 100}) {
+        const Graph g = figure1_graph(n);
+        EXPECT_EQ(static_cast<Int>(g.actor_count()), 2 * n - 2);
+        EXPECT_TRUE(is_live(g));
+    }
+}
+
+TEST(Regular, PrefetchStructure) {
+    const Graph g = prefetch_graph(10);
+    EXPECT_EQ(g.actor_count(), 30u);
+    EXPECT_TRUE(g.is_homogeneous());
+    EXPECT_TRUE(is_live(g));
+    EXPECT_TRUE(is_strongly_connected(g));
+    // 3 chain-closing tokens + 2 pre-fetch wrap tokens.
+    EXPECT_EQ(g.total_initial_tokens(), 5);
+    EXPECT_THROW(prefetch_graph(2), InvalidGraphError);
+}
+
+TEST(Regular, PrefetchPeriodIsComputeBound) {
+    // The compute chain (time 10 per block) is the critical cycle.
+    for (const Int n : {3, 8, 24}) {
+        EXPECT_EQ(iteration_period(prefetch_graph(n)), Rational(10 * n)) << "n=" << n;
+    }
+}
+
+TEST(Regular, AbstractCompanionsAreLive) {
+    EXPECT_TRUE(is_live(figure1_abstract()));
+    EXPECT_TRUE(is_live(prefetch_abstract()));
+    EXPECT_EQ(iteration_period(figure1_abstract()), Rational(5));
+    EXPECT_EQ(iteration_period(prefetch_abstract()), Rational(10));
+}
+
+TEST(Benchmarks, AllConsistentLiveAndBounded) {
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        EXPECT_TRUE(is_consistent(bench.graph)) << bench.label;
+        EXPECT_TRUE(is_live(bench.graph)) << bench.label;
+        const ThroughputResult t = throughput_symbolic(bench.graph);
+        EXPECT_TRUE(t.is_finite()) << bench.label;
+    }
+}
+
+TEST(Benchmarks, LabelsAndExpectationsPresent) {
+    const auto cases = table1_benchmarks();
+    ASSERT_EQ(cases.size(), 8u);
+    for (const BenchmarkCase& bench : cases) {
+        EXPECT_FALSE(bench.label.empty());
+        EXPECT_GT(bench.paper_traditional, 0);
+        EXPECT_GT(bench.paper_new, 0);
+    }
+}
+
+TEST(Benchmarks, ActorCountsMatchApplications) {
+    EXPECT_EQ(h263_decoder().actor_count(), 4u);
+    EXPECT_EQ(h263_encoder().actor_count(), 5u);
+    EXPECT_EQ(modem().actor_count(), 16u);
+    EXPECT_EQ(mp3_decoder_block().actor_count(), 10u);
+    EXPECT_EQ(mp3_decoder_granule().actor_count(), 10u);
+    EXPECT_EQ(mp3_playback().actor_count(), 8u);
+    EXPECT_EQ(samplerate_converter().actor_count(), 6u);
+    EXPECT_EQ(satellite_receiver().actor_count(), 22u);
+}
+
+TEST(RandomSdf, GeneratedGraphsSatisfyTheirContract) {
+    std::mt19937 rng(42);
+    for (int trial = 0; trial < 100; ++trial) {
+        const Graph g = random_sdf(rng);
+        EXPECT_TRUE(is_consistent(g));
+        EXPECT_TRUE(is_live(g));
+        EXPECT_TRUE(every_actor_on_cycle(g));
+        EXPECT_TRUE(is_strongly_connected(g));
+    }
+}
+
+TEST(RandomSdf, HomogeneousVariant) {
+    std::mt19937 rng(43);
+    for (int trial = 0; trial < 100; ++trial) {
+        const Graph g = random_hsdf(rng);
+        EXPECT_TRUE(g.is_homogeneous());
+        EXPECT_TRUE(is_live(g));
+        for (const Int q : repetition_vector(g)) {
+            EXPECT_EQ(q, 1);
+        }
+    }
+}
+
+TEST(RandomSdf, OptionsAreRespected) {
+    std::mt19937 rng(44);
+    RandomSdfOptions options;
+    options.min_actors = 5;
+    options.max_actors = 5;
+    options.self_loops = false;
+    options.strongly_connect = false;
+    const Graph g = random_sdf(rng, options);
+    EXPECT_EQ(g.actor_count(), 5u);
+    for (const Channel& ch : g.channels()) {
+        EXPECT_FALSE(ch.is_self_loop());
+    }
+}
+
+TEST(RandomSdf, DifferentSeedsGiveDifferentGraphs) {
+    std::mt19937 rng1(1);
+    std::mt19937 rng2(2);
+    const Graph a = random_sdf(rng1);
+    const Graph b = random_sdf(rng2);
+    // Extremely unlikely to coincide in both size and channels.
+    EXPECT_TRUE(a.actor_count() != b.actor_count() ||
+                a.channel_count() != b.channel_count() ||
+                write_dot_string(a) != write_dot_string(b));
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,92 @@
+// Unit tests for sdf/graph.hpp (the Definition 1/2 model).
+#include "sdf/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/errors.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Graph, AddActorsAndChannels) {
+    Graph g("demo");
+    const ActorId a = g.add_actor("a", 3);
+    const ActorId b = g.add_actor("b", 0);
+    const ChannelId c = g.add_channel(a, b, 2, 3, 1);
+    EXPECT_EQ(g.actor_count(), 2u);
+    EXPECT_EQ(g.channel_count(), 1u);
+    EXPECT_EQ(g.actor(a).name, "a");
+    EXPECT_EQ(g.actor(a).execution_time, 3);
+    EXPECT_EQ(g.channel(c).production, 2);
+    EXPECT_EQ(g.channel(c).consumption, 3);
+    EXPECT_EQ(g.channel(c).initial_tokens, 1);
+    EXPECT_EQ(g.name(), "demo");
+}
+
+TEST(Graph, RejectsInvalidInput) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    EXPECT_THROW(g.add_actor("a"), InvalidGraphError);      // duplicate
+    EXPECT_THROW(g.add_actor(""), InvalidGraphError);       // empty name
+    EXPECT_THROW(g.add_actor("b", -1), InvalidGraphError);  // negative time
+    EXPECT_THROW(g.add_channel(a, 5, 1, 1, 0), InvalidGraphError);
+    EXPECT_THROW(g.add_channel(a, a, 0, 1, 0), InvalidGraphError);
+    EXPECT_THROW(g.add_channel(a, a, 1, 0, 0), InvalidGraphError);
+    EXPECT_THROW(g.add_channel(a, a, 1, 1, -1), InvalidGraphError);
+}
+
+TEST(Graph, FindActorByName) {
+    Graph g;
+    const ActorId a = g.add_actor("alpha");
+    EXPECT_EQ(g.find_actor("alpha"), a);
+    EXPECT_FALSE(g.find_actor("beta").has_value());
+}
+
+TEST(Graph, InAndOutChannels) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    const ActorId b = g.add_actor("b");
+    const ChannelId ab = g.add_channel(a, b, 0);
+    const ChannelId ba = g.add_channel(b, a, 1);
+    const ChannelId self = g.add_channel(a, a, 1);
+    EXPECT_EQ(g.out_channels(a), (std::vector<ChannelId>{ab, self}));
+    EXPECT_EQ(g.in_channels(a), (std::vector<ChannelId>{ba, self}));
+    EXPECT_EQ(g.in_channels(b), (std::vector<ChannelId>{ab}));
+}
+
+TEST(Graph, HomogeneityAndTokenTotals) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    const ActorId b = g.add_actor("b");
+    g.add_channel(a, b, 2);
+    EXPECT_TRUE(g.is_homogeneous());
+    EXPECT_EQ(g.total_initial_tokens(), 2);
+    g.add_channel(b, a, 3, 2, 1);
+    EXPECT_FALSE(g.is_homogeneous());
+    EXPECT_EQ(g.total_initial_tokens(), 3);
+}
+
+TEST(Graph, Setters) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ChannelId c = g.add_channel(a, a, 1);
+    g.set_execution_time(a, 9);
+    g.set_initial_tokens(c, 4);
+    EXPECT_EQ(g.actor(a).execution_time, 9);
+    EXPECT_EQ(g.channel(c).initial_tokens, 4);
+    EXPECT_THROW(g.set_execution_time(a, -2), InvalidGraphError);
+    EXPECT_THROW(g.set_initial_tokens(c, -1), InvalidGraphError);
+    EXPECT_THROW(g.set_execution_time(7, 1), InvalidGraphError);
+}
+
+TEST(Channel, Predicates) {
+    Channel self{0, 0, 1, 1, 2};
+    EXPECT_TRUE(self.is_self_loop());
+    EXPECT_TRUE(self.is_homogeneous());
+    Channel rated{0, 1, 3, 2, 0};
+    EXPECT_FALSE(rated.is_self_loop());
+    EXPECT_FALSE(rated.is_homogeneous());
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,133 @@
+// Unit tests for transform/hsdf_classic.hpp — the traditional conversion
+// [11, 15] that Table 1 uses as the baseline.
+#include "transform/hsdf_classic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/benchmarks.hpp"
+#include "sdf/repetition.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(HsdfClassic, HomogeneousGraphIsUnchangedStructurally) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 2);
+    const ActorId b = g.add_actor("b", 3);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 1);
+    const ClassicHsdf h = to_hsdf_classic(g);
+    EXPECT_EQ(h.graph.actor_count(), 2u);
+    EXPECT_EQ(h.graph.channel_count(), 2u);
+    EXPECT_TRUE(h.graph.is_homogeneous());
+    EXPECT_EQ(h.graph.actor(h.copy_of[a][0]).name, "a#0");
+    EXPECT_EQ(h.graph.actor(h.copy_of[a][0]).execution_time, 2);
+}
+
+TEST(HsdfClassic, ActorCountEqualsIterationLength) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 2, 3, 0);
+    const ClassicHsdf h = to_hsdf_classic(g);
+    EXPECT_EQ(static_cast<Int>(h.graph.actor_count()), iteration_length(g));  // 5
+}
+
+TEST(HsdfClassic, RateTwoChannelDependencies) {
+    // a produces 2, b consumes 1: q = (1, 2); both b copies depend on a#0.
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 2, 1, 0);
+    const ClassicHsdf h = to_hsdf_classic(g);
+    ASSERT_EQ(h.graph.actor_count(), 3u);
+    ASSERT_EQ(h.graph.channel_count(), 2u);
+    for (const Channel& ch : h.graph.channels()) {
+        EXPECT_EQ(ch.src, h.copy_of[a][0]);
+        EXPECT_EQ(ch.initial_tokens, 0);
+    }
+}
+
+TEST(HsdfClassic, InitialTokensBecomeIterationDelays) {
+    // Self-loop with 1 token on a single-firing actor: copy depends on its
+    // own previous iteration.
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    g.add_channel(a, a, 1);
+    const ClassicHsdf h = to_hsdf_classic(g);
+    ASSERT_EQ(h.graph.channel_count(), 1u);
+    EXPECT_EQ(h.graph.channel(0).initial_tokens, 1);
+    EXPECT_TRUE(h.graph.channel(0).is_self_loop());
+}
+
+TEST(HsdfClassic, SelfLoopSerialisesMultipleFirings) {
+    // q(a) = 2 with one self-loop token: a#1 depends on a#0 (same
+    // iteration), a#0 on a#1 of the previous iteration.
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 1, 2, 0);
+    g.add_channel(a, a, 1, 1, 1);
+    const ClassicHsdf h = to_hsdf_classic(g);
+    bool found_forward = false;
+    bool found_wrap = false;
+    for (const Channel& ch : h.graph.channels()) {
+        if (ch.src == h.copy_of[a][0] && ch.dst == h.copy_of[a][1]) {
+            EXPECT_EQ(ch.initial_tokens, 0);
+            found_forward = true;
+        }
+        if (ch.src == h.copy_of[a][1] && ch.dst == h.copy_of[a][0]) {
+            EXPECT_EQ(ch.initial_tokens, 1);
+            found_wrap = true;
+        }
+    }
+    EXPECT_TRUE(found_forward);
+    EXPECT_TRUE(found_wrap);
+}
+
+TEST(HsdfClassic, MultiTokenChannelSplitsDependencies) {
+    // Paper Figure 3 shape: left (q=2) -> right (q=1) with feedback.
+    Graph g;
+    const ActorId left = g.add_actor("left", 3);
+    const ActorId right = g.add_actor("right", 1);
+    g.add_channel(left, right, 1, 2, 0);
+    g.add_channel(right, left, 2, 1, 2);
+    const ClassicHsdf h = to_hsdf_classic(g);
+    EXPECT_EQ(h.graph.actor_count(), 3u);
+    // right#0 consumes both left results of the same iteration.
+    Int into_right = 0;
+    for (const Channel& ch : h.graph.channels()) {
+        if (ch.dst == h.copy_of[right][0]) {
+            EXPECT_EQ(ch.initial_tokens, 0);
+            ++into_right;
+        }
+    }
+    EXPECT_EQ(into_right, 2);
+}
+
+TEST(HsdfClassic, DominatedParallelEdgesDropped) {
+    // Channel with d = 3 on q = (1,1): single dependency with delay 3; a
+    // second channel with d = 0 gives the tight edge; conversion emits one
+    // channel per (src,dst) pair with the minimal delay per channel.
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 1, 1, 3);
+    g.add_channel(a, b, 1, 1, 0);
+    const ClassicHsdf h = to_hsdf_classic(g);
+    // Two original channels -> two converted channels (dedup is per
+    // original channel).
+    ASSERT_EQ(h.graph.channel_count(), 2u);
+}
+
+TEST(HsdfClassic, Table1TraditionalSizes) {
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        const ClassicHsdf h = to_hsdf_classic(bench.graph);
+        EXPECT_EQ(static_cast<Int>(h.graph.actor_count()), bench.paper_traditional)
+            << bench.label;
+        EXPECT_TRUE(h.graph.is_homogeneous()) << bench.label;
+    }
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,119 @@
+// Unit tests for transform/hsdf_reduced.hpp — the Figure 4 construction.
+#include "transform/hsdf_reduced.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/throughput.hpp"
+#include "gen/regular.hpp"
+#include "maxplus/mcm.hpp"
+#include "sdf/properties.hpp"
+#include "transform/symbolic.hpp"
+
+namespace sdf {
+namespace {
+
+MpMatrix dense2() {
+    MpMatrix m(2, 2);
+    m.set(0, 0, MpValue(3));
+    m.set(0, 1, MpValue(4));
+    m.set(1, 0, MpValue(5));
+    m.set(1, 1, MpValue(6));
+    return m;
+}
+
+TEST(HsdfReduced, DenseMatrixStructure) {
+    const Graph g = reduced_hsdf_from_matrix(dense2(), "dense");
+    // 4 matrix actors + 2 muxes + 2 demuxes.
+    EXPECT_EQ(g.actor_count(), 8u);
+    EXPECT_TRUE(g.is_homogeneous());
+    EXPECT_EQ(g.total_initial_tokens(), 2);
+    // Respects the paper's bounds: N(N+2) actors, N(2N+1) edges, N tokens.
+    EXPECT_LE(g.actor_count(), 2u * 4u);
+    EXPECT_LE(g.channel_count(), 2u * 5u);
+}
+
+TEST(HsdfReduced, PeriodEqualsMatrixEigenvalue) {
+    const Graph g = reduced_hsdf_from_matrix(dense2(), "dense");
+    const CycleMetric matrix_lambda = max_cycle_mean_karp(dense2().precedence_graph());
+    const ThroughputResult reduced = throughput_symbolic(g);
+    ASSERT_TRUE(matrix_lambda.is_finite());
+    ASSERT_TRUE(reduced.is_finite());
+    EXPECT_EQ(reduced.period, matrix_lambda.value);  // 6
+}
+
+TEST(HsdfReduced, SingleEntryMatrixCollapsesToSelfLoop) {
+    MpMatrix m(1, 1);
+    m.set(0, 0, MpValue(23));
+    const Graph g = reduced_hsdf_from_matrix(m, "single");
+    EXPECT_EQ(g.actor_count(), 1u);
+    EXPECT_EQ(g.channel_count(), 1u);
+    EXPECT_TRUE(g.channel(0).is_self_loop());
+    EXPECT_EQ(g.channel(0).initial_tokens, 1);
+    EXPECT_EQ(g.actor(0).execution_time, 23);
+}
+
+TEST(HsdfReduced, ElisionToggleReachesWorstCaseBound) {
+    const ReducedHsdfOptions no_elide{.elide_single_client_muxes = false};
+    const Graph g = reduced_hsdf_from_matrix(dense2(), "dense", no_elide);
+    EXPECT_EQ(g.actor_count(), 8u);  // dense: elision changes nothing
+    MpMatrix diag(2, 2);
+    diag.set(0, 0, MpValue(1));
+    diag.set(1, 1, MpValue(2));
+    const Graph elided = reduced_hsdf_from_matrix(diag, "diag");
+    const Graph full = reduced_hsdf_from_matrix(diag, "diag", no_elide);
+    EXPECT_EQ(elided.actor_count(), 2u);  // two self-loop cells
+    EXPECT_EQ(full.actor_count(), 6u);    // plus per-token mux and demux
+    // Same timing either way.
+    EXPECT_EQ(throughput_symbolic(elided).period, Rational(2));
+    EXPECT_EQ(throughput_symbolic(full).period, Rational(2));
+}
+
+TEST(HsdfReduced, SparseMatrixSkipsAbsentCells) {
+    MpMatrix m(3, 3);
+    m.set(0, 1, MpValue(2));
+    m.set(1, 2, MpValue(3));
+    m.set(2, 0, MpValue(4));
+    const Graph g = reduced_hsdf_from_matrix(m, "ring3");
+    // One cell per finite entry, no muxes/demuxes needed.
+    EXPECT_EQ(g.actor_count(), 3u);
+    EXPECT_EQ(g.total_initial_tokens(), 3);
+    EXPECT_EQ(throughput_symbolic(g).period, Rational(3));  // (2+3+4)/3
+}
+
+TEST(HsdfReduced, EmptyColumnGetsFreeSource) {
+    // Token 0 depends on nothing (all -inf column) but token 1 depends on
+    // token 0: a src_ actor must supply it.
+    MpMatrix m(2, 2);
+    m.set(0, 1, MpValue(5));
+    m.set(1, 1, MpValue(1));
+    const Graph g = reduced_hsdf_from_matrix(m, "free");
+    ASSERT_TRUE(g.find_actor("src_0").has_value());
+    const ThroughputResult t = throughput_symbolic(g);
+    ASSERT_TRUE(t.is_finite());
+    EXPECT_EQ(t.period, Rational(1));  // only the 1-cycle on g_1_1 constrains
+}
+
+TEST(HsdfReduced, EndToEndOnFigure1) {
+    const Graph original = figure1_graph(6);
+    const Graph reduced = to_hsdf_reduced(original);
+    EXPECT_EQ(reduced.actor_count(), 1u);  // one initial token
+    EXPECT_EQ(throughput_symbolic(reduced).period, iteration_period(original));
+}
+
+TEST(HsdfReduced, SizeBoundsHoldOnPrefetchModel) {
+    const Graph original = prefetch_graph(24);
+    const SymbolicIteration it = symbolic_iteration(original);
+    const Int n = static_cast<Int>(it.tokens.size());
+    const Graph reduced = to_hsdf_reduced(original);
+    EXPECT_LE(static_cast<Int>(reduced.actor_count()), n * (n + 2));
+    EXPECT_LE(static_cast<Int>(reduced.channel_count()), n * (2 * n + 1));
+    EXPECT_LE(reduced.total_initial_tokens(), n);
+    EXPECT_EQ(throughput_symbolic(reduced).period, iteration_period(original));
+}
+
+TEST(HsdfReduced, RejectsNonSquareMatrix) {
+    EXPECT_THROW(reduced_hsdf_from_matrix(MpMatrix(2, 3), "bad"), InvalidGraphError);
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,145 @@
+// Integration tests: full pipelines across modules on the reconstructed
+// benchmark applications and the paper's case-study graphs.
+#include <gtest/gtest.h>
+
+#include "analysis/latency.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/throughput.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/regular.hpp"
+#include "io/text.hpp"
+#include "io/xml.hpp"
+#include "maxplus/mcm.hpp"
+#include "sdf/properties.hpp"
+#include "sdf/repetition.hpp"
+#include "transform/abstraction.hpp"
+#include "transform/compare.hpp"
+#include "transform/hsdf_classic.hpp"
+#include "transform/hsdf_reduced.hpp"
+#include "transform/symbolic.hpp"
+#include "transform/unfold.hpp"
+
+namespace sdf {
+namespace {
+
+// ---- Benchmark-wide invariants, parameterised over the Table 1 rows. ----
+
+class BenchmarkPipeline : public ::testing::TestWithParam<int> {
+protected:
+    BenchmarkCase bench_ = table1_benchmarks()[static_cast<std::size_t>(GetParam())];
+};
+
+TEST_P(BenchmarkPipeline, ReducedConversionPreservesPeriod) {
+    const Rational period = iteration_period(bench_.graph);
+    const Graph reduced = to_hsdf_reduced(bench_.graph);
+    EXPECT_EQ(iteration_period(reduced), period) << bench_.label;
+}
+
+TEST_P(BenchmarkPipeline, ClassicConversionPreservesPeriod) {
+    const Rational period = iteration_period(bench_.graph);
+    const ClassicHsdf classic = to_hsdf_classic(bench_.graph);
+    EXPECT_EQ(iteration_period(classic.graph), period) << bench_.label;
+}
+
+TEST_P(BenchmarkPipeline, ReducedSizeBoundsHold) {
+    const SymbolicIteration it = symbolic_iteration(bench_.graph);
+    const Int n = static_cast<Int>(it.tokens.size());
+    const Graph reduced = to_hsdf_reduced(bench_.graph);
+    EXPECT_LE(static_cast<Int>(reduced.actor_count()), n * (n + 2)) << bench_.label;
+    EXPECT_LE(static_cast<Int>(reduced.channel_count()), n * (2 * n + 1)) << bench_.label;
+    EXPECT_LE(reduced.total_initial_tokens(), n) << bench_.label;
+}
+
+TEST_P(BenchmarkPipeline, ExactMcrOnReducedGraphMatchesKarpOnMatrix) {
+    const SymbolicIteration it = symbolic_iteration(bench_.graph);
+    const CycleMetric karp = max_cycle_mean_karp(it.matrix.precedence_graph());
+    const Graph reduced = to_hsdf_reduced(bench_.graph);
+    const CycleMetric mcr = max_cycle_ratio_exact(dependency_digraph(reduced));
+    ASSERT_TRUE(karp.is_finite()) << bench_.label;
+    ASSERT_TRUE(mcr.is_finite()) << bench_.label;
+    EXPECT_EQ(karp.value, mcr.value) << bench_.label;
+}
+
+TEST_P(BenchmarkPipeline, SerialisationRoundTripsKeepAnalysesInvariant) {
+    const Graph via_text = read_text_string(write_text_string(bench_.graph));
+    const Graph via_xml = read_xml_string(write_xml_string(bench_.graph));
+    EXPECT_TRUE(structurally_equal(via_text, bench_.graph)) << bench_.label;
+    EXPECT_TRUE(structurally_equal(via_xml, bench_.graph)) << bench_.label;
+    EXPECT_EQ(iteration_period(via_text), iteration_period(bench_.graph)) << bench_.label;
+    EXPECT_EQ(repetition_vector(via_xml), repetition_vector(bench_.graph)) << bench_.label;
+}
+
+TEST_P(BenchmarkPipeline, MakespanDominatesEveryExecutionTime) {
+    const Int makespan = iteration_makespan(bench_.graph);
+    for (const Actor& a : bench_.graph.actors()) {
+        EXPECT_GE(makespan, a.execution_time) << bench_.label << " / " << a.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1Rows, BenchmarkPipeline, ::testing::Range(0, 8));
+
+// ---- The paper's end-to-end stories. ----
+
+TEST(PaperStory, Section41FullPipeline) {
+    // Figure 1(a) -> abstraction -> Figure 1(b) -> conservative bound.
+    const Graph g = figure1_graph(6);
+    EXPECT_EQ(iteration_makespan(g), 23);
+    EXPECT_EQ(iteration_period(g), Rational(23));
+
+    const AbstractionSpec spec = abstraction_by_name_suffix(g);
+    const Graph abstract = abstract_graph(g, spec);
+    EXPECT_TRUE(structurally_equal(abstract, figure1_abstract()));
+    EXPECT_EQ(iteration_period(abstract), Rational(5));
+
+    // Unfolding the abstract graph and comparing per Proposition 1.
+    const Graph unfolded = unfold(abstract_graph(g, spec, /*prune=*/false), spec.fold());
+    std::vector<ActorId> image;
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        image.push_back(*unfolded.find_actor(sigma_image_name(spec, a)));
+    }
+    std::string why;
+    EXPECT_TRUE(covers_conservatively(g, unfolded, image, &why)) << why;
+    // The unfolding's period is N * 5 = 30 >= 23.
+    EXPECT_EQ(iteration_period(unfolded), Rational(30));
+}
+
+TEST(PaperStory, Section7PrefetchCaseStudy) {
+    // The full 1584-computation remote-memory model of Figure 5; the
+    // abstraction is exact.
+    const Graph g = prefetch_graph(1584);
+    EXPECT_EQ(g.actor_count(), 3u * 1584u);
+    const AbstractionSpec spec = abstraction_by_name_suffix(g);
+    const Graph abstract = abstract_graph(g, spec);
+    EXPECT_EQ(abstract.actor_count(), 3u);
+    const Rational original = iteration_period(g);
+    const Rational estimated = Rational(spec.fold()) * iteration_period(abstract);
+    EXPECT_EQ(original, estimated);
+    EXPECT_EQ(original, Rational(15840));
+}
+
+TEST(PaperStory, Section6ReducedConversionOnFigure1) {
+    // Figure 1(a) has a single initial token: the novel conversion
+    // collapses 10 actors into one self-loop actor with the full period.
+    const Graph g = figure1_graph(6);
+    const Graph reduced = to_hsdf_reduced(g);
+    EXPECT_EQ(reduced.actor_count(), 1u);
+    EXPECT_EQ(reduced.actor(0).execution_time, 23);
+}
+
+TEST(PaperStory, AbstractionChainsWithConversion) {
+    // Reductions compose: abstract first, then convert the small graph.
+    const Graph g = figure1_graph(12);
+    const AbstractionSpec spec = abstraction_by_name_suffix(g);
+    const Graph abstract = abstract_graph(g, spec);
+    const Graph reduced = to_hsdf_reduced(abstract);
+    // The abstract graph has 4 tokens (two self-loops, two on B->A).
+    EXPECT_EQ(abstract.total_initial_tokens(), 4);
+    EXPECT_EQ(iteration_period(reduced), iteration_period(abstract));
+    // Bound survives the composition: 1/(5*12) <= 1/(5*12-7).
+    const Rational bound = Rational(1) / (Rational(spec.fold()) * iteration_period(reduced));
+    EXPECT_LE(bound, Rational(1, 5 * 12 - 7));
+    EXPECT_EQ(bound, Rational(1, 60));
+}
+
+}  // namespace
+}  // namespace sdf

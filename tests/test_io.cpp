@@ -1,0 +1,165 @@
+// Unit tests for the I/O layer: text format, SDF3-style XML, DOT export.
+#include <gtest/gtest.h>
+
+#include "base/errors.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/regular.hpp"
+#include "io/dot.hpp"
+#include "io/text.hpp"
+#include "io/xml.hpp"
+#include "io/xml_node.hpp"
+#include "transform/compare.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(TextIo, ParsesWellFormedInput) {
+    const Graph g = read_text_string(
+        "# a comment\n"
+        "graph demo\n"
+        "actor a 3\n"
+        "actor b 0   # trailing comment\n"
+        "channel a b 2 3 1\n");
+    EXPECT_EQ(g.name(), "demo");
+    EXPECT_EQ(g.actor_count(), 2u);
+    ASSERT_EQ(g.channel_count(), 1u);
+    EXPECT_EQ(g.channel(0).production, 2);
+    EXPECT_EQ(g.channel(0).consumption, 3);
+    EXPECT_EQ(g.channel(0).initial_tokens, 1);
+    EXPECT_EQ(g.actor(0).execution_time, 3);
+}
+
+TEST(TextIo, ErrorsCarryLineNumbers) {
+    try {
+        read_text_string("actor a 3\nchannel a nosuch 1 1 0\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(TextIo, RejectsMalformedLines) {
+    EXPECT_THROW(read_text_string("bogus x\n"), ParseError);
+    EXPECT_THROW(read_text_string("actor a\n"), ParseError);
+    EXPECT_THROW(read_text_string("actor a twelve\n"), ParseError);
+    EXPECT_THROW(read_text_string("graph a b\n"), ParseError);
+    EXPECT_THROW(read_text_string("actor a 1\nchannel a a 1 1\n"), ParseError);
+    EXPECT_THROW(read_text_string("actor a 1\nactor a 2\n"), ParseError);
+    EXPECT_THROW(read_text_file("/nonexistent/path.sdf"), ParseError);
+}
+
+TEST(TextIo, RoundTripsAllBenchmarks) {
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        const Graph parsed = read_text_string(write_text_string(bench.graph));
+        EXPECT_TRUE(structurally_equal(parsed, bench.graph)) << bench.label;
+        EXPECT_EQ(parsed.name(), bench.graph.name()) << bench.label;
+    }
+}
+
+TEST(XmlNode, ParsesElementsAttributesAndComments) {
+    const XmlNode root = parse_xml(
+        "<?xml version=\"1.0\"?>\n"
+        "<!-- header comment -->\n"
+        "<top a=\"1\" b=\"x &amp; y\">\n"
+        "  <child/>\n"
+        "  <!-- inner comment -->\n"
+        "  <child name=\"two\">text is skipped</child>\n"
+        "</top>\n");
+    EXPECT_EQ(root.name, "top");
+    EXPECT_EQ(root.required_attribute("a"), "1");
+    EXPECT_EQ(root.required_attribute("b"), "x & y");
+    EXPECT_EQ(root.children.size(), 2u);
+    EXPECT_EQ(root.children_named("child").size(), 2u);
+    EXPECT_EQ(root.children[1].attribute("name"), "two");
+    EXPECT_EQ(root.attribute("missing"), std::nullopt);
+    EXPECT_THROW(root.required_attribute("missing"), ParseError);
+}
+
+TEST(XmlNode, RejectsMalformedDocuments) {
+    EXPECT_THROW(parse_xml("<a><b></a>"), ParseError);
+    EXPECT_THROW(parse_xml("<a attr=1></a>"), ParseError);
+    EXPECT_THROW(parse_xml("<a>"), ParseError);
+    EXPECT_THROW(parse_xml("<a/><b/>"), ParseError);
+    EXPECT_THROW(parse_xml("<a x=\"&bogus;\"/>"), ParseError);
+}
+
+TEST(XmlNode, EscapeRoundTrip) {
+    EXPECT_EQ(xml_escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(XmlIo, RoundTripsAllBenchmarks) {
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        const Graph parsed = read_xml_string(write_xml_string(bench.graph));
+        EXPECT_TRUE(structurally_equal(parsed, bench.graph)) << bench.label;
+    }
+}
+
+TEST(XmlIo, ParsesHandWrittenSdf3Document) {
+    const Graph g = read_xml_string(
+        "<sdf3 type=\"sdf\" version=\"1.0\">"
+        " <applicationGraph name=\"tiny\">"
+        "  <sdf name=\"tiny\" type=\"tiny\">"
+        "   <actor name=\"a\" type=\"a\"><port name=\"p\" type=\"out\" rate=\"2\"/></actor>"
+        "   <actor name=\"b\" type=\"b\"><port name=\"q\" type=\"in\" rate=\"3\"/></actor>"
+        "   <channel name=\"ch\" srcActor=\"a\" srcPort=\"p\" dstActor=\"b\" dstPort=\"q\""
+        "            initialTokens=\"4\"/>"
+        "  </sdf>"
+        "  <sdfProperties>"
+        "   <actorProperties actor=\"a\">"
+        "    <processor type=\"p0\" default=\"true\"><executionTime time=\"11\"/></processor>"
+        "   </actorProperties>"
+        "  </sdfProperties>"
+        " </applicationGraph>"
+        "</sdf3>");
+    EXPECT_EQ(g.name(), "tiny");
+    ASSERT_EQ(g.channel_count(), 1u);
+    EXPECT_EQ(g.channel(0).production, 2);
+    EXPECT_EQ(g.channel(0).consumption, 3);
+    EXPECT_EQ(g.channel(0).initial_tokens, 4);
+    EXPECT_EQ(g.actor(*g.find_actor("a")).execution_time, 11);
+    EXPECT_EQ(g.actor(*g.find_actor("b")).execution_time, 0);  // defaulted
+}
+
+TEST(XmlIo, RejectsStructurallyWrongDocuments) {
+    EXPECT_THROW(read_xml_string("<nope/>"), ParseError);
+    EXPECT_THROW(read_xml_string("<sdf3></sdf3>"), ParseError);
+    EXPECT_THROW(read_xml_string("<sdf3><applicationGraph name=\"g\"/></sdf3>"),
+                 ParseError);
+    EXPECT_THROW(read_xml_string(
+                     "<sdf3><applicationGraph name=\"g\"><sdf name=\"g\" type=\"g\">"
+                     "<channel srcActor=\"x\" dstActor=\"y\"/>"
+                     "</sdf></applicationGraph></sdf3>"),
+                 ParseError);
+}
+
+TEST(DotIo, ContainsActorsAndLabels) {
+    const std::string dot = write_dot_string(figure1_abstract());
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("A\\n(5)"), std::string::npos);
+    EXPECT_NE(dot.find("d=2"), std::string::npos);
+    // Homogeneous channels omit the rate label.
+    EXPECT_EQ(dot.find("1:1"), std::string::npos);
+}
+
+TEST(DotIo, RatedChannelsAreLabelled) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 2, 3, 1);
+    const std::string dot = write_dot_string(g);
+    EXPECT_NE(dot.find("2:3 d=1"), std::string::npos);
+}
+
+TEST(FileIo, TextAndXmlAndDotFilesRoundTrip) {
+    const Graph g = samplerate_converter();
+    const std::string dir = ::testing::TempDir();
+    write_text_file(dir + "/g.sdf", g);
+    EXPECT_TRUE(structurally_equal(read_text_file(dir + "/g.sdf"), g));
+    write_xml_file(dir + "/g.xml", g);
+    EXPECT_TRUE(structurally_equal(read_xml_file(dir + "/g.xml"), g));
+    write_dot_file(dir + "/g.dot", g);
+    EXPECT_THROW(write_text_file("/nonexistent/dir/g.sdf", g), ParseError);
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,217 @@
+// Unit + property tests for mapping/bind.hpp — multiprocessor binding.
+#include "mapping/bind.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/liveness.hpp"
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "gen/random_sdf.hpp"
+#include "gen/regular.hpp"
+#include "transform/compare.hpp"
+
+namespace sdf {
+namespace {
+
+Graph pipeline3() {
+    Graph g("p3");
+    const ActorId a = g.add_actor("a", 2);
+    const ActorId b = g.add_actor("b", 3);
+    const ActorId c = g.add_actor("c", 4);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, c, 0);
+    g.add_channel(c, a, 3);  // three frames in flight
+    return g;
+}
+
+Mapping uniform_mapping(const Graph& g, std::size_t processors,
+                        const std::vector<std::size_t>& assignment) {
+    Mapping m;
+    m.processor_count = processors;
+    m.processor_of = assignment;
+    (void)g;
+    return m;
+}
+
+TEST(Mapping, ValidationCatchesBadMappings) {
+    const Graph g = pipeline3();
+    Mapping m;
+    m.processor_count = 0;
+    EXPECT_THROW(validate_mapping(g, m), InvalidGraphError);
+    m.processor_count = 2;
+    m.processor_of = {0, 1};  // too short
+    EXPECT_THROW(validate_mapping(g, m), InvalidGraphError);
+    m.processor_of = {0, 1, 2};  // out of range
+    EXPECT_THROW(validate_mapping(g, m), InvalidGraphError);
+    m.processor_of = {0, 1, 1};
+    EXPECT_NO_THROW(validate_mapping(g, m));
+}
+
+TEST(Mapping, SingleProcessorSerialisesEverything) {
+    const Graph g = pipeline3();
+    const Graph bound = bind(g, uniform_mapping(g, 1, {0, 0, 0}));
+    EXPECT_TRUE(is_live(bound));
+    const ThroughputResult t = throughput_symbolic(bound);
+    ASSERT_TRUE(t.is_finite());
+    EXPECT_EQ(t.period, Rational(9));  // 2+3+4 on one processor
+}
+
+TEST(Mapping, DedicatedProcessorsKeepThePipelineRate) {
+    const Graph g = pipeline3();
+    const Graph bound = bind(g, uniform_mapping(g, 3, {0, 1, 2}));
+    const ThroughputResult t = throughput_symbolic(bound);
+    ASSERT_TRUE(t.is_finite());
+    // Each actor on its own (non-pipelined) processor: the bottleneck actor
+    // sets the rate.
+    EXPECT_EQ(t.period, Rational(4));
+}
+
+TEST(Mapping, TwoProcessorSplit) {
+    const Graph g = pipeline3();
+    // {a, c} share processor 0, b alone.  The availability token of
+    // processor 0 (c -> a) closes a cycle through the data path a -> b ->
+    // c: iteration i+1's a waits for c_i, which waits for b_i, which waits
+    // for a_i — the split is fully serialised at 2+3+4 = 9 because b sits
+    // between the two co-located actors.
+    const Graph bound = bind(g, uniform_mapping(g, 2, {0, 1, 0}));
+    EXPECT_EQ(throughput_symbolic(bound).period, Rational(9));
+    // Co-locating the *adjacent* actors a and b instead pipelines: cycles
+    // are the processor ring (2+3) and c's own loop (4), plus the data
+    // ring at (2+3+4)/3; period max(5, 4) = 5.
+    const Graph adjacent = bind(g, uniform_mapping(g, 2, {0, 0, 1}));
+    EXPECT_EQ(throughput_symbolic(adjacent).period, Rational(5));
+}
+
+TEST(Mapping, BindAddsTheExpectedChannels) {
+    const Graph g = pipeline3();
+    const Graph bound = bind(g, uniform_mapping(g, 2, {0, 1, 0}));
+    // Processor 0 holds two actors: one chain channel + one availability
+    // token; processor 1 holds one actor: a self availability loop.
+    EXPECT_EQ(bound.channel_count(), g.channel_count() + 3);
+    // Binding never removes anything: the identity mapping satisfies
+    // Proposition 1 with the original as the fast graph.
+    std::vector<ActorId> identity{0, 1, 2};
+    std::string why;
+    EXPECT_TRUE(covers_conservatively(g, bound, identity, &why)) << why;
+}
+
+TEST(Mapping, ExplicitOrderValidation) {
+    const Graph g = pipeline3();
+    const Mapping m = uniform_mapping(g, 2, {0, 1, 0});
+    StaticOrder order;
+    order.order = {{0}, {1}};  // actor 2 missing
+    EXPECT_THROW(bind(g, m, order), InvalidGraphError);
+    order.order = {{0, 2}, {1}, {}};  // processor count mismatch
+    EXPECT_THROW(bind(g, m, order), InvalidGraphError);
+    order.order = {{0, 1}, {2}};  // actor 1 on the wrong processor
+    EXPECT_THROW(bind(g, m, order), InvalidGraphError);
+    order.order = {{0, 0, 2}, {1}};  // duplicated
+    EXPECT_THROW(bind(g, m, order), InvalidGraphError);
+    order.order = {{2, 0}, {1}};  // valid (c before a)
+    EXPECT_NO_THROW(bind(g, m, order));
+}
+
+TEST(Mapping, BadStaticOrderCanDeadlockGoodDefaultCannot) {
+    // a -> b with no tokens, both on one processor: order (b, a) deadlocks.
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 1);
+    const Mapping m = uniform_mapping(g, 1, {0, 0});
+    StaticOrder bad;
+    bad.order = {{b, a}};
+    EXPECT_FALSE(is_live(bind(g, m, bad)));
+    EXPECT_TRUE(is_live(bind(g, m)));  // default order from a PASS
+}
+
+TEST(Mapping, RequiresHomogeneousGraph) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 2, 1, 0);
+    EXPECT_THROW(bind(g, uniform_mapping(g, 1, {0, 0})), InvalidGraphError);
+}
+
+TEST(Mapping, BalanceLoadDistributesByTime) {
+    const Graph g = figure1_graph(6);
+    const Mapping m = balance_load(g, 3);
+    EXPECT_EQ(m.processor_count, 3u);
+    std::vector<Int> load(3, 0);
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        load[m.processor_of[a]] += g.actor(a).execution_time;
+    }
+    const Int total = load[0] + load[1] + load[2];
+    for (const Int l : load) {
+        // LPT keeps every processor within [avg - max_task, avg + max_task].
+        EXPECT_GE(l, total / 3 - 5);
+        EXPECT_LE(l, total / 3 + 5);
+    }
+    EXPECT_THROW(balance_load(g, 0), InvalidGraphError);
+}
+
+class MappingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MappingProperty, BindingIsConservativeAndLive) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    const Graph g = random_hsdf(rng);
+    const ThroughputResult unmapped = throughput_symbolic(g);
+    std::uniform_int_distribution<std::size_t> pick(1, 3);
+    const std::size_t processors = pick(rng);
+    const Graph bound = bind(g, balance_load(g, processors));
+    // Liveness is preserved by PASS-projected orders.
+    EXPECT_TRUE(is_live(bound));
+    const ThroughputResult mapped = throughput_symbolic(bound);
+    // Proposition 1: more channels, never faster.
+    if (unmapped.is_finite() && mapped.is_finite()) {
+        EXPECT_GE(mapped.period, unmapped.period);
+    }
+    // With every actor chained onto a processor ring, the period is at
+    // least the heaviest processor load.
+    if (mapped.is_finite()) {
+        std::vector<Int> load(processors, 0);
+        const Mapping m = balance_load(g, processors);
+        for (ActorId a = 0; a < g.actor_count(); ++a) {
+            load[m.processor_of[a]] += g.actor(a).execution_time;
+        }
+        const Int heaviest = *std::max_element(load.begin(), load.end());
+        EXPECT_GE(mapped.period, Rational(heaviest));
+    }
+}
+
+TEST_P(MappingProperty, MoreProcessorsNeverHurtWithSameOrders) {
+    // Splitting one processor's suffix onto a fresh processor relaxes
+    // constraints: period must not increase when the order prefixes stay.
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) + 300);
+    const Graph g = random_hsdf(rng);
+    const Mapping everything_on_one = balance_load(g, 1);
+    const StaticOrder order1 = default_static_order(g, everything_on_one);
+    if (order1.order[0].size() < 2) {
+        return;
+    }
+    const ThroughputResult one = throughput_symbolic(bind(g, everything_on_one, order1));
+    // Split: first half stays on 0, second half moves to 1, keeping order.
+    Mapping two;
+    two.processor_count = 2;
+    two.processor_of.assign(g.actor_count(), 0);
+    StaticOrder order2;
+    order2.order.resize(2);
+    const std::size_t half = order1.order[0].size() / 2;
+    for (std::size_t i = 0; i < order1.order[0].size(); ++i) {
+        const ActorId a = order1.order[0][i];
+        const std::size_t p = i < half ? 0 : 1;
+        two.processor_of[a] = p;
+        order2.order[p].push_back(a);
+    }
+    const ThroughputResult split = throughput_symbolic(bind(g, two, order2));
+    if (one.is_finite() && split.is_finite()) {
+        EXPECT_LE(split.period, one.period);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingProperty, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace sdf

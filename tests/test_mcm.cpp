@@ -1,0 +1,200 @@
+// Unit tests for maxplus/mcm.hpp: Karp's max cycle mean, the exact
+// Stern–Brocot max cycle ratio, and Howard's floating-point solver —
+// including cross-validation on random graphs.
+#include "maxplus/mcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace sdf {
+namespace {
+
+Digraph triangle(Int w01, Int w12, Int w20) {
+    Digraph g(3);
+    g.add_edge(0, 1, w01, 1);
+    g.add_edge(1, 2, w12, 1);
+    g.add_edge(2, 0, w20, 1);
+    return g;
+}
+
+TEST(Karp, SimpleCycle) {
+    const CycleMetric m = max_cycle_mean_karp(triangle(1, 2, 3));
+    ASSERT_TRUE(m.is_finite());
+    EXPECT_EQ(m.value, Rational(2));  // (1+2+3)/3
+}
+
+TEST(Karp, PicksMaximumCycle) {
+    Digraph g = triangle(1, 2, 3);
+    g.add_edge(0, 0, 5, 1);  // self-loop mean 5 > 2
+    const CycleMetric m = max_cycle_mean_karp(g);
+    ASSERT_TRUE(m.is_finite());
+    EXPECT_EQ(m.value, Rational(5));
+}
+
+TEST(Karp, AcyclicHasNoCycle) {
+    Digraph g(3);
+    g.add_edge(0, 1, 10, 0);
+    g.add_edge(1, 2, 10, 0);
+    EXPECT_EQ(max_cycle_mean_karp(g).outcome, CycleOutcome::no_cycle);
+}
+
+TEST(Karp, MultipleSccs) {
+    Digraph g(5);
+    // SCC {0,1} with mean 3/2; SCC {2,3} with mean 7/2; node 4 acyclic.
+    g.add_edge(0, 1, 1, 1);
+    g.add_edge(1, 0, 2, 1);
+    g.add_edge(2, 3, 3, 1);
+    g.add_edge(3, 2, 4, 1);
+    g.add_edge(1, 2, 100, 1);  // cross edge, on no cycle
+    g.add_edge(3, 4, 100, 1);
+    const CycleMetric m = max_cycle_mean_karp(g);
+    ASSERT_TRUE(m.is_finite());
+    EXPECT_EQ(m.value, Rational(7, 2));
+}
+
+TEST(Karp, ParallelEdgesAndNegativeWeights) {
+    Digraph g(2);
+    g.add_edge(0, 1, -3, 1);
+    g.add_edge(0, 1, -1, 1);
+    g.add_edge(1, 0, -2, 1);
+    const CycleMetric m = max_cycle_mean_karp(g);
+    ASSERT_TRUE(m.is_finite());
+    EXPECT_EQ(m.value, Rational(-3, 2));  // (-1 + -2)/2
+}
+
+TEST(ZeroTokenCycle, Detection) {
+    Digraph g(2);
+    g.add_edge(0, 1, 1, 0);
+    EXPECT_FALSE(has_zero_token_cycle(g));
+    g.add_edge(1, 0, 1, 1);
+    EXPECT_FALSE(has_zero_token_cycle(g));
+    g.add_edge(1, 0, 1, 0);
+    EXPECT_TRUE(has_zero_token_cycle(g));
+}
+
+TEST(PositiveCycleOracle, MatchesHandComputation) {
+    // Cycle weight 6, tokens 3: ratio 2.  Reweight q*w - p*d positive
+    // exactly when p/q < 2.
+    const Digraph g = triangle(1, 2, 3);
+    EXPECT_TRUE(has_positive_cycle(g, 1, 1));    // 1 < 2
+    EXPECT_TRUE(has_positive_cycle(g, 19, 10));  // 1.9 < 2
+    EXPECT_FALSE(has_positive_cycle(g, 2, 1));   // at the ratio: zero, not positive
+    EXPECT_FALSE(has_positive_cycle(g, 21, 10));
+    EXPECT_TRUE(has_zero_cycle(g, 2, 1));
+    EXPECT_FALSE(has_zero_cycle(g, 21, 10));
+    EXPECT_THROW(has_zero_cycle(g, 1, 1), ArithmeticError);
+}
+
+TEST(CycleRatio, SimpleRatios) {
+    Digraph g(2);
+    g.add_edge(0, 1, 5, 1);
+    g.add_edge(1, 0, 2, 2);
+    const CycleMetric m = max_cycle_ratio_exact(g);
+    ASSERT_TRUE(m.is_finite());
+    EXPECT_EQ(m.value, Rational(7, 3));
+}
+
+TEST(CycleRatio, ChoosesMaximumAmongCycles) {
+    Digraph g(3);
+    g.add_edge(0, 1, 10, 1);
+    g.add_edge(1, 0, 0, 1);    // ratio 5
+    g.add_edge(1, 2, 7, 1);
+    g.add_edge(2, 1, 7, 2);    // ratio 14/3
+    g.add_edge(2, 2, 9, 2);    // ratio 9/2
+    const CycleMetric m = max_cycle_ratio_exact(g);
+    ASSERT_TRUE(m.is_finite());
+    EXPECT_EQ(m.value, Rational(5));
+}
+
+TEST(CycleRatio, ZeroWeightCycle) {
+    Digraph g(2);
+    g.add_edge(0, 1, 0, 1);
+    g.add_edge(1, 0, 0, 1);
+    const CycleMetric m = max_cycle_ratio_exact(g);
+    ASSERT_TRUE(m.is_finite());
+    EXPECT_EQ(m.value, Rational(0));
+}
+
+TEST(CycleRatio, InfiniteOnZeroTokenCycle) {
+    Digraph g(2);
+    g.add_edge(0, 1, 1, 0);
+    g.add_edge(1, 0, 1, 0);
+    EXPECT_EQ(max_cycle_ratio_exact(g).outcome, CycleOutcome::infinite);
+}
+
+TEST(CycleRatio, NoCycle) {
+    Digraph g(2);
+    g.add_edge(0, 1, 1, 1);
+    EXPECT_EQ(max_cycle_ratio_exact(g).outcome, CycleOutcome::no_cycle);
+}
+
+TEST(CycleRatio, RejectsNegativeWeights) {
+    Digraph g(1);
+    g.add_edge(0, 0, -1, 1);
+    EXPECT_THROW(max_cycle_ratio_exact(g), ArithmeticError);
+}
+
+TEST(CycleRatio, AwkwardFraction) {
+    // Ratio 97/89 forces a deep Stern–Brocot descent.
+    Digraph g(1);
+    g.add_edge(0, 0, 97, 89);
+    const CycleMetric m = max_cycle_ratio_exact(g);
+    ASSERT_TRUE(m.is_finite());
+    EXPECT_EQ(m.value, Rational(97, 89));
+}
+
+TEST(CycleRatio, AgreesWithKarpOnUnitTokenGraphs) {
+    std::mt19937 rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 2 + rng() % 5;
+        Digraph g(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            g.add_edge(i, (i + 1) % n, static_cast<Int>(rng() % 20), 1);
+        }
+        for (int extra = 0; extra < 4; ++extra) {
+            g.add_edge(rng() % n, rng() % n, static_cast<Int>(rng() % 20), 1);
+        }
+        const CycleMetric karp = max_cycle_mean_karp(g);
+        const CycleMetric ratio = max_cycle_ratio_exact(g);
+        ASSERT_TRUE(karp.is_finite());
+        ASSERT_TRUE(ratio.is_finite());
+        EXPECT_EQ(karp.value, ratio.value);
+    }
+}
+
+TEST(Howard, MatchesExactSolverOnRandomGraphs) {
+    std::mt19937 rng(11);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 2 + rng() % 6;
+        Digraph g(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            g.add_edge(i, (i + 1) % n, static_cast<Int>(rng() % 30),
+                       static_cast<Int>(1 + rng() % 3));
+        }
+        for (int extra = 0; extra < 5; ++extra) {
+            g.add_edge(rng() % n, rng() % n, static_cast<Int>(rng() % 30),
+                       static_cast<Int>(1 + rng() % 3));
+        }
+        const CycleMetric exact = max_cycle_ratio_exact(g);
+        const CycleMetricDouble howard = max_cycle_ratio_howard(g);
+        ASSERT_TRUE(exact.is_finite());
+        ASSERT_EQ(howard.outcome, CycleOutcome::finite);
+        EXPECT_NEAR(howard.value, exact.value.to_double(), 1e-6);
+    }
+}
+
+TEST(Howard, OutcomesMatchExactSolver) {
+    Digraph acyclic(2);
+    acyclic.add_edge(0, 1, 1, 1);
+    EXPECT_EQ(max_cycle_ratio_howard(acyclic).outcome, CycleOutcome::no_cycle);
+
+    Digraph dead(2);
+    dead.add_edge(0, 1, 1, 0);
+    dead.add_edge(1, 0, 1, 0);
+    EXPECT_EQ(max_cycle_ratio_howard(dead).outcome, CycleOutcome::infinite);
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,107 @@
+// Unit + property tests for analysis/pareto.hpp — the throughput/buffer
+// trade-off exploration.
+#include "analysis/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/buffers.hpp"
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "gen/random_sdf.hpp"
+
+namespace sdf {
+namespace {
+
+Graph pipeline() {
+    // a -> b -> c ring of self-looped actors: classic buffer-sizing demo.
+    Graph g("pipeline");
+    const ActorId a = g.add_actor("a", 2);
+    const ActorId b = g.add_actor("b", 3);
+    const ActorId c = g.add_actor("c", 1);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, c, 0);
+    g.add_channel(a, a, 2);
+    g.add_channel(b, b, 2);
+    g.add_channel(c, c, 2);
+    g.add_channel(c, a, 4);  // return credits keep the ring bounded
+    return g;
+}
+
+TEST(Pareto, CurveIsMonotoneAndReachesUnboundedRate) {
+    const Graph g = pipeline();
+    const std::vector<ParetoPoint> curve = buffer_throughput_tradeoff(g);
+    ASSERT_FALSE(curve.empty());
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GT(curve[i].total_buffer, curve[i - 1].total_buffer);
+        EXPECT_LT(curve[i].period, curve[i - 1].period);
+    }
+    EXPECT_EQ(curve.back().period, throughput_symbolic(g).period);
+}
+
+TEST(Pareto, EveryPointIsRealisable) {
+    const Graph g = pipeline();
+    for (const ParetoPoint& point : buffer_throughput_tradeoff(g)) {
+        const ThroughputResult t =
+            throughput_symbolic(with_buffer_capacities(g, point.capacities));
+        ASSERT_TRUE(t.is_finite());
+        EXPECT_EQ(t.period, point.period);
+    }
+}
+
+TEST(Pareto, SingleChannelRing) {
+    // One bounded channel: capacity k allows k in-flight tokens; period
+    // drops from (2+3) serialised to the self-loop-bound rate.
+    Graph g;
+    const ActorId a = g.add_actor("a", 2);
+    const ActorId b = g.add_actor("b", 3);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 4);
+    g.add_channel(a, a, 1);
+    g.add_channel(b, b, 1);
+    const std::vector<ParetoPoint> curve = buffer_throughput_tradeoff(g);
+    ASSERT_GE(curve.size(), 2u);
+    EXPECT_EQ(curve.front().period, Rational(5));  // capacity 1: a then b
+    EXPECT_EQ(curve.back().period, Rational(3));   // b is the bottleneck
+}
+
+TEST(Pareto, RejectsUnboundedGraphs) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 0);  // no cycles: unbounded open-capacity rate
+    EXPECT_THROW(buffer_throughput_tradeoff(g), Error);
+}
+
+class ParetoProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParetoProperty, CurvesAreValidOnRandomGraphs) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    RandomSdfOptions options;
+    options.min_actors = 3;
+    options.max_actors = 5;
+    options.max_repetition = 3;
+    const Graph g = random_sdf(rng, options);
+    const ThroughputResult open = throughput_symbolic(g);
+    if (!open.is_finite() || open.period.is_zero()) {
+        return;
+    }
+    std::vector<ParetoPoint> curve;
+    try {
+        curve = buffer_throughput_tradeoff(g);
+    } catch (const Error&) {
+        return;  // step budget exhausted on adversarial cases is acceptable
+    }
+    ASSERT_FALSE(curve.empty());
+    EXPECT_EQ(curve.back().period, open.period);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_LT(curve[i].period, curve[i - 1].period);
+        EXPECT_GT(curve[i].total_buffer, curve[i - 1].total_buffer);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace sdf

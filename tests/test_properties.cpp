@@ -1,0 +1,77 @@
+// Unit tests for sdf/properties.hpp: token enumeration, dependency digraph,
+// connectivity predicates.
+#include "sdf/properties.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdf {
+namespace {
+
+TEST(Properties, InitialTokensEnumeratedInCanonicalOrder) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    const ActorId b = g.add_actor("b");
+    const ChannelId c0 = g.add_channel(a, b, 2);
+    const ChannelId c1 = g.add_channel(b, a, 0);
+    const ChannelId c2 = g.add_channel(a, a, 1);
+    (void)c1;
+    const auto tokens = initial_tokens(g);
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0], (TokenRef{c0, 0}));
+    EXPECT_EQ(tokens[1], (TokenRef{c0, 1}));
+    EXPECT_EQ(tokens[2], (TokenRef{c2, 0}));
+}
+
+TEST(Properties, DependencyDigraphCarriesTimesAndTokens) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 7);
+    const ActorId b = g.add_actor("b", 3);
+    g.add_channel(a, b, 1, 1, 4);
+    const Digraph d = dependency_digraph(g);
+    ASSERT_EQ(d.edge_count(), 1u);
+    EXPECT_EQ(d.edge(0).from, a);
+    EXPECT_EQ(d.edge(0).to, b);
+    EXPECT_EQ(d.edge(0).weight, 7);  // execution time of the source
+    EXPECT_EQ(d.edge(0).tokens, 4);
+}
+
+TEST(Properties, StrongConnectivity) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    const ActorId b = g.add_actor("b");
+    g.add_channel(a, b, 0);
+    EXPECT_FALSE(is_strongly_connected(g));
+    g.add_channel(b, a, 1);
+    EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Properties, SingleActorIsStronglyConnected) {
+    Graph g;
+    g.add_actor("a");
+    EXPECT_TRUE(is_strongly_connected(g));
+    EXPECT_FALSE(is_strongly_connected(Graph{}));
+}
+
+TEST(Properties, EveryActorOnCycle) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    const ActorId b = g.add_actor("b");
+    const ActorId c = g.add_actor("c");
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 1);
+    EXPECT_FALSE(every_actor_on_cycle(g));  // c is isolated
+    g.add_channel(c, c, 1);
+    EXPECT_TRUE(every_actor_on_cycle(g));
+}
+
+TEST(Properties, EveryActorOnCycleRejectsDanglingTail) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    const ActorId b = g.add_actor("b");
+    g.add_channel(a, a, 1);
+    g.add_channel(a, b, 0);
+    EXPECT_FALSE(every_actor_on_cycle(g));  // b only receives
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,127 @@
+// Property tests for the abstraction method (Sections 4-5): on random live
+// HSDF graphs with random groupings,
+//   * the synthesised abstraction satisfies Definition 3,
+//   * Theorem 1 holds: tau(a) >= tau(alpha(a)) / N for every actor,
+//   * Propositions 3 and 4 hold constructively: sigma embeds the original
+//     graph into the N-fold unfolding of the abstract graph with longer
+//     execution times and at-most-equal token counts (the premises of
+//     Proposition 1, checked by covers_conservatively), and
+//   * Proposition 2 holds: unfolding scales the period by N.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/throughput.hpp"
+#include "gen/random_sdf.hpp"
+#include "transform/abstraction.hpp"
+#include "transform/compare.hpp"
+#include "transform/unfold.hpp"
+
+namespace sdf {
+namespace {
+
+/// Random grouping of the actors of `g` into at most `max_groups` groups.
+std::vector<std::string> random_grouping(const Graph& g, std::mt19937& rng,
+                                         std::size_t max_groups) {
+    std::uniform_int_distribution<std::size_t> pick(0, max_groups - 1);
+    std::vector<std::string> group(g.actor_count());
+    for (std::size_t a = 0; a < g.actor_count(); ++a) {
+        group[a] = "G" + std::to_string(pick(rng));
+    }
+    return group;
+}
+
+class AbstractionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AbstractionProperty, AssignIndicesProducesValidAbstractions) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    const Graph g = random_hsdf(rng);
+    const AbstractionSpec spec = assign_indices(g, random_grouping(g, rng, 3));
+    EXPECT_TRUE(is_valid_abstraction(g, spec));
+}
+
+TEST_P(AbstractionProperty, Theorem1ConservativeThroughput) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) + 1000);
+    const Graph g = random_hsdf(rng);
+    const AbstractionSpec spec = assign_indices(g, random_grouping(g, rng, 3));
+    const Graph abstract = abstract_graph(g, spec);
+    const ThroughputResult original = throughput_symbolic(g);
+    const ThroughputResult reduced = throughput_symbolic(abstract);
+    if (!original.is_finite()) {
+        return;  // zero-time critical cycle: throughput unbounded, no claim
+    }
+    // An ill-fitting abstraction may deadlock (its extra dependencies can
+    // be unsatisfiable): the estimate degrades to throughput 0, which is
+    // trivially conservative.  What may NOT happen with a finite original
+    // period is an unbounded estimate — that would be anti-conservative.
+    if (reduced.outcome == ThroughputOutcome::deadlocked) {
+        return;
+    }
+    ASSERT_TRUE(reduced.is_finite());
+    const Rational fold(spec.fold());
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        const ActorId image = *abstract.find_actor(spec.group[a]);
+        const Rational estimate = reduced.per_actor[image] / fold;
+        EXPECT_GE(original.per_actor[a], estimate)
+            << "actor " << g.actor(a).name << " violates Theorem 1";
+    }
+}
+
+TEST_P(AbstractionProperty, Propositions3And4ViaUnfolding) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) + 2000);
+    const Graph g = random_hsdf(rng);
+    const AbstractionSpec spec = assign_indices(g, random_grouping(g, rng, 3));
+    // Pruning only removes dominated parallel channels; keep them so every
+    // original channel has its Proposition 4 witness untouched.
+    const Graph abstract = abstract_graph(g, spec, /*prune=*/false);
+    const Graph unfolded = unfold(abstract, spec.fold());
+    std::vector<ActorId> image;
+    image.reserve(g.actor_count());
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        const auto id = unfolded.find_actor(sigma_image_name(spec, a));
+        ASSERT_TRUE(id.has_value()) << sigma_image_name(spec, a);
+        image.push_back(*id);
+    }
+    std::string why;
+    EXPECT_TRUE(covers_conservatively(g, unfolded, image, &why)) << why;
+}
+
+TEST_P(AbstractionProperty, PruningDoesNotChangeTheBound) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) + 3000);
+    const Graph g = random_hsdf(rng);
+    const AbstractionSpec spec = assign_indices(g, random_grouping(g, rng, 4));
+    const ThroughputResult pruned = throughput_symbolic(abstract_graph(g, spec, true));
+    const ThroughputResult unpruned = throughput_symbolic(abstract_graph(g, spec, false));
+    ASSERT_EQ(pruned.outcome, unpruned.outcome);
+    if (pruned.is_finite()) {
+        EXPECT_EQ(pruned.period, unpruned.period);
+    }
+}
+
+TEST_P(AbstractionProperty, Proposition2UnfoldingScalesPeriods) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) + 4000);
+    const Graph g = random_hsdf(rng);
+    const ThroughputResult original = throughput_symbolic(g);
+    if (!original.is_finite()) {
+        return;
+    }
+    std::uniform_int_distribution<Int> pick_n(2, 5);
+    const Int n = pick_n(rng);
+    const Graph unf = unfold(g, n);
+    const ThroughputResult unfolded = throughput_symbolic(unf);
+    ASSERT_TRUE(unfolded.is_finite());
+    EXPECT_EQ(unfolded.period, Rational(n) * original.period);
+    // tau'(a_i) = tau(a)/N for every copy (Proposition 2).
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        for (Int i = 0; i < n; ++i) {
+            const auto copy = unf.find_actor(unfolded_actor_name(g.actor(a).name, i));
+            ASSERT_TRUE(copy.has_value());
+            EXPECT_EQ(unfolded.per_actor[*copy], original.per_actor[a] / Rational(n));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbstractionProperty, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,122 @@
+// Unit tests for sdf/repetition.hpp: balance equations, consistency,
+// iteration length.
+#include "sdf/repetition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/errors.hpp"
+#include "gen/benchmarks.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Repetition, HomogeneousGraphIsAllOnes) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    const ActorId b = g.add_actor("b");
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 1);
+    EXPECT_EQ(repetition_vector(g), (std::vector<Int>{1, 1}));
+    EXPECT_EQ(iteration_length(g), 2);
+}
+
+TEST(Repetition, SimpleRateChange) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    const ActorId b = g.add_actor("b");
+    g.add_channel(a, b, 2, 3, 0);
+    EXPECT_EQ(repetition_vector(g), (std::vector<Int>{3, 2}));
+}
+
+TEST(Repetition, PaperFigure3StyleGraph) {
+    // Two firings of the left actor feed one of the right (p=1, c=2).
+    Graph g;
+    const ActorId left = g.add_actor("left", 3);
+    const ActorId right = g.add_actor("right", 1);
+    g.add_channel(left, right, 1, 2, 0);
+    g.add_channel(right, left, 2, 1, 2);
+    EXPECT_EQ(repetition_vector(g), (std::vector<Int>{2, 1}));
+    EXPECT_EQ(iteration_length(g), 3);  // "An iteration consists of three firings"
+}
+
+TEST(Repetition, ScalesToSmallestIntegerSolution) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    const ActorId b = g.add_actor("b");
+    const ActorId c = g.add_actor("c");
+    g.add_channel(a, b, 4, 6, 0);   // 2 q(a) = 3 q(b)
+    g.add_channel(b, c, 10, 4, 0);  // 5 q(b) = 2 q(c)
+    EXPECT_EQ(repetition_vector(g), (std::vector<Int>{3, 2, 5}));
+}
+
+TEST(Repetition, InconsistentGraphThrows) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    const ActorId b = g.add_actor("b");
+    g.add_channel(a, b, 1, 1, 0);
+    g.add_channel(a, b, 1, 2, 0);  // contradicts the first channel
+    EXPECT_THROW(repetition_vector(g), InconsistentGraphError);
+    EXPECT_FALSE(is_consistent(g));
+}
+
+TEST(Repetition, InconsistentSelfLoopDetected) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    g.add_channel(a, a, 2, 1, 5);  // q(a)*2 == q(a)*1 has no positive solution
+    EXPECT_THROW(repetition_vector(g), InconsistentGraphError);
+}
+
+TEST(Repetition, InconsistentCycleDetected) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    const ActorId b = g.add_actor("b");
+    const ActorId c = g.add_actor("c");
+    g.add_channel(a, b, 2, 1, 0);
+    g.add_channel(b, c, 2, 1, 0);
+    g.add_channel(c, a, 2, 1, 0);  // rates multiply to 8 != 1 around the cycle
+    EXPECT_FALSE(is_consistent(g));
+}
+
+TEST(Repetition, ComponentsNormalisedIndependently) {
+    Graph g;
+    const ActorId a = g.add_actor("a");
+    const ActorId b = g.add_actor("b");
+    const ActorId c = g.add_actor("c");
+    const ActorId d = g.add_actor("d");
+    g.add_channel(a, b, 2, 3, 0);  // component 1: q = (3, 2)
+    g.add_channel(c, d, 1, 1, 0);  // component 2: q = (1, 1)
+    EXPECT_EQ(repetition_vector(g), (std::vector<Int>{3, 2, 1, 1}));
+}
+
+TEST(Repetition, EmptyGraphRejected) {
+    Graph g;
+    EXPECT_THROW(repetition_vector(g), InvalidGraphError);
+}
+
+TEST(Repetition, ActorWithoutChannelsHasEntryOne) {
+    Graph g;
+    g.add_actor("lonely");
+    EXPECT_EQ(repetition_vector(g), (std::vector<Int>{1}));
+}
+
+// The reconstructed Table 1 benchmarks must reproduce the paper's
+// traditional-conversion sizes exactly (they equal the iteration length).
+TEST(Repetition, Table1IterationLengths) {
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        EXPECT_EQ(iteration_length(bench.graph), bench.paper_traditional)
+            << bench.label;
+    }
+}
+
+TEST(Repetition, H263DecoderVector) {
+    const Graph g = h263_decoder();
+    EXPECT_EQ(repetition_vector(g), (std::vector<Int>{1, 594, 594, 1}));
+}
+
+TEST(Repetition, SamplerateVector) {
+    const Graph g = samplerate_converter();
+    EXPECT_EQ(repetition_vector(g), (std::vector<Int>{147, 147, 98, 28, 32, 160}));
+}
+
+}  // namespace
+}  // namespace sdf

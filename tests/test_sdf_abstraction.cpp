@@ -1,0 +1,105 @@
+// Unit + property tests for transform/sdf_abstraction.hpp — the extension
+// of the abstraction method to non-homogeneous graphs the paper alludes to.
+#include "transform/sdf_abstraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/throughput.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/random_sdf.hpp"
+#include "sdf/repetition.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(SdfAbstraction, ShrinksToOneActorPerOriginal) {
+    const Graph g = samplerate_converter();
+    const SdfAbstraction result = abstract_sdf(g);
+    EXPECT_EQ(result.abstract.actor_count(), g.actor_count());
+    EXPECT_TRUE(result.abstract.is_homogeneous());
+    EXPECT_EQ(result.hsdf.actor_count(), 612u);
+    // Every original actor has its abstract image by name.
+    for (const Actor& a : g.actors()) {
+        EXPECT_TRUE(result.abstract.find_actor(a.name).has_value()) << a.name;
+    }
+}
+
+TEST(SdfAbstraction, FoldEqualsMaxRepetitionWhenFiringIndicesAreValid) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 2);
+    g.add_channel(a, b, 2, 1, 0);   // q = (1, 2)
+    g.add_channel(b, a, 1, 2, 2);
+    const SdfAbstraction result = abstract_sdf(g);
+    EXPECT_EQ(result.fold, 2);
+}
+
+TEST(SdfAbstraction, BoundIsConservativeOnRing) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 2);
+    const ActorId b = g.add_actor("b", 3);
+    g.add_channel(a, b, 1, 2, 0);
+    g.add_channel(b, a, 2, 1, 2);
+    g.add_channel(a, a, 1);
+    g.add_channel(b, b, 1);
+    const ThroughputResult actual = throughput_symbolic(g);
+    ASSERT_TRUE(actual.is_finite());
+    const SdfAbstraction abstraction = abstract_sdf(g);
+    const std::vector<Rational> bound = conservative_throughput_bound(g, abstraction);
+    for (ActorId x = 0; x < g.actor_count(); ++x) {
+        EXPECT_LE(bound[x], actual.per_actor[x]);
+    }
+}
+
+TEST(SdfAbstraction, BoundsAreAlwaysNonNegative) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 3, 1, 0);
+    g.add_channel(b, a, 1, 3, 3);
+    const SdfAbstraction abstraction = abstract_sdf(g);
+    const std::vector<Rational> bound = conservative_throughput_bound(g, abstraction);
+    for (const Rational& r : bound) {
+        EXPECT_GE(r, Rational(0));
+    }
+}
+
+class SdfAbstractionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SdfAbstractionProperty, BoundNeverExceedsTrueThroughput) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    const Graph g = random_sdf(rng);
+    const ThroughputResult actual = throughput_symbolic(g);
+    if (!actual.is_finite()) {
+        return;  // unbounded originals make no claim
+    }
+    const SdfAbstraction abstraction = abstract_sdf(g);
+    const std::vector<Rational> bound = conservative_throughput_bound(g, abstraction);
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        EXPECT_LE(bound[a], actual.per_actor[a])
+            << "actor " << g.actor(a).name << " bound not conservative";
+    }
+}
+
+TEST_P(SdfAbstractionProperty, AbstractionOfHomogeneousGraphKeepsShape) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) + 500);
+    const Graph g = random_hsdf(rng);
+    const SdfAbstraction result = abstract_sdf(g);
+    // HSDF input: expansion is 1:1, so the abstraction is essentially the
+    // pruned graph itself (fold 1, delays unchanged modulo pruning).
+    EXPECT_EQ(result.fold, 1);
+    EXPECT_EQ(result.abstract.actor_count(), g.actor_count());
+    const ThroughputResult original = throughput_symbolic(g);
+    const ThroughputResult abstracted = throughput_symbolic(result.abstract);
+    ASSERT_EQ(original.outcome, abstracted.outcome);
+    if (original.is_finite()) {
+        EXPECT_EQ(original.period, abstracted.period);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdfAbstractionProperty, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,121 @@
+// Unit + property tests for analysis/sensitivity.hpp.
+#include "analysis/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "gen/random_sdf.hpp"
+#include "gen/regular.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Sensitivity, RingIsFullyCritical) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 3);
+    const ActorId b = g.add_actor("b", 4);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 1);
+    const SensitivityReport report = sensitivity_analysis(g);
+    EXPECT_EQ(report.period, Rational(7));
+    EXPECT_TRUE(report.critical[a]);
+    EXPECT_TRUE(report.critical[b]);
+    EXPECT_EQ(report.delta[a], Rational(1));
+    EXPECT_EQ(report.slack[a], Rational(0));
+}
+
+TEST(Sensitivity, SideBranchHasSlack) {
+    // Ring a<->b (period 7) with a light parallel path a -> c -> a carrying
+    // two tokens: c can grow until the (3 + T(c))/2 cycle catches 7, i.e.
+    // T(c) may reach 11; it starts at 1 so the slack is 10.
+    Graph g;
+    const ActorId a = g.add_actor("a", 3);
+    const ActorId b = g.add_actor("b", 4);
+    const ActorId c = g.add_actor("c", 1);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 1);
+    g.add_channel(a, c, 0);
+    g.add_channel(c, a, 2);
+    const SensitivityReport report = sensitivity_analysis(g);
+    EXPECT_EQ(report.period, Rational(7));
+    EXPECT_TRUE(report.critical[a]);
+    EXPECT_TRUE(report.critical[b]);
+    EXPECT_FALSE(report.critical[c]);
+    EXPECT_EQ(report.slack[c], Rational(10));
+    EXPECT_EQ(report.slack[a], Rational(0));
+}
+
+TEST(Sensitivity, MultipleFiringsAmplifyTheDelta) {
+    // q(a) = 2 with a serialising self-loop: both firings sit on the
+    // critical cycle, so +1 on T(a) adds 2 to the period.
+    Graph g;
+    const ActorId a = g.add_actor("a", 2);
+    const ActorId b = g.add_actor("b", 3);
+    g.add_channel(a, b, 1, 2, 0);
+    g.add_channel(b, a, 2, 1, 2);
+    g.add_channel(a, a, 1);
+    g.add_channel(b, b, 1);
+    const SensitivityReport report = sensitivity_analysis(g);
+    EXPECT_EQ(report.period, Rational(7));
+    EXPECT_EQ(report.delta[a], Rational(2));
+    EXPECT_EQ(report.delta[b], Rational(1));
+}
+
+TEST(Sensitivity, Figure1CriticalCycle) {
+    // Section 4.1: the 23-cycle is A1 -> B1 -> A3 -> A4 -> B4 -> A6; those
+    // actors are critical, the others have slack.
+    const Graph g = figure1_graph(6);
+    const SensitivityReport report = sensitivity_analysis(g);
+    EXPECT_EQ(report.period, Rational(23));
+    for (const char* name : {"A1", "B1", "A3", "A4", "B4", "A6"}) {
+        EXPECT_TRUE(report.critical[*g.find_actor(name)]) << name;
+    }
+    for (const char* name : {"A2", "B2", "B3", "A5"}) {
+        EXPECT_FALSE(report.critical[*g.find_actor(name)]) << name;
+    }
+}
+
+TEST(Sensitivity, RejectsNonFinitePeriods) {
+    Graph g;
+    g.add_actor("a", 1);
+    EXPECT_THROW(sensitivity_analysis(g), Error);  // no cycle: unbounded
+}
+
+class SensitivityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SensitivityProperty, DeltasAreNonNegativeAndSomeActorIsCritical) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    RandomSdfOptions options;
+    options.min_actors = 3;
+    options.max_actors = 5;
+    const Graph g = random_sdf(rng, options);
+    const ThroughputResult t = throughput_symbolic(g);
+    if (!t.is_finite() || t.period.is_zero()) {
+        return;
+    }
+    const SensitivityReport report = sensitivity_analysis(g, 1 << 12);
+    bool any_critical = false;
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        EXPECT_GE(report.delta[a], Rational(0));
+        EXPECT_EQ(report.critical[a], !report.delta[a].is_zero());
+        if (report.critical[a]) {
+            EXPECT_EQ(report.slack[a], Rational(0));
+            any_critical = true;
+        } else {
+            // Slack is tight: one past it, the period moves.
+            Graph bumped = g;
+            bumped.set_execution_time(
+                a, g.actor(a).execution_time + report.slack[a].num() + 1);
+            EXPECT_GT(throughput_symbolic(bumped).period, report.period);
+        }
+    }
+    EXPECT_TRUE(any_critical) << "a finite positive period needs a critical cycle";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SensitivityProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace sdf

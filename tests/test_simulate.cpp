@@ -1,0 +1,170 @@
+// Unit tests for sdf/simulate.hpp: self-timed execution, makespans,
+// recurrent-state throughput.
+#include "sdf/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/errors.hpp"
+#include "gen/regular.hpp"
+
+namespace sdf {
+namespace {
+
+/// a --0--> b --1 token--> a ring with times 3 and 4.
+Graph two_ring() {
+    Graph g;
+    const ActorId a = g.add_actor("a", 3);
+    const ActorId b = g.add_actor("b", 4);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 1);
+    return g;
+}
+
+TEST(Simulate, SingleIterationMakespan) {
+    const FiniteRun run = simulate_iterations(two_ring(), 1);
+    // a at [0,3), b at [3,7).
+    EXPECT_EQ(run.makespan, 7);
+    EXPECT_EQ(run.firings, (std::vector<Int>{1, 1}));
+    EXPECT_EQ(run.completion_times, (std::vector<Int>{3, 7}));
+    EXPECT_EQ(run.first_completion_times, (std::vector<Int>{3, 7}));
+}
+
+TEST(Simulate, ZeroIterationsIsEmptyRun) {
+    const FiniteRun run = simulate_iterations(two_ring(), 0);
+    EXPECT_EQ(run.makespan, 0);
+    EXPECT_EQ(run.firings, (std::vector<Int>{0, 0}));
+    EXPECT_EQ(run.first_completion_times, (std::vector<Int>{-1, -1}));
+}
+
+TEST(Simulate, IterationsAccumulateLinearlyOnARing) {
+    // One ring lap takes 7; k iterations take 7k (no pipelining possible).
+    for (Int k = 1; k <= 4; ++k) {
+        EXPECT_EQ(simulate_iterations(two_ring(), k).makespan, 7 * k);
+    }
+}
+
+TEST(Simulate, Figure1TakesTwentyThreeTimeUnits) {
+    // Section 4.1: "a single execution of the graph of Figure 1(a) takes
+    // 23 time units".
+    EXPECT_EQ(simulate_iterations(figure1_graph(6), 1).makespan, 23);
+}
+
+TEST(Simulate, AutoConcurrencyAllowsOverlappedFirings) {
+    // Two tokens on the ring: two firings of a can overlap.
+    Graph g;
+    const ActorId a = g.add_actor("a", 3);
+    const ActorId b = g.add_actor("b", 4);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 2);
+    const FiniteRun run = simulate_iterations(g, 2);
+    // Both a firings start at 0; both b firings start at 3.
+    EXPECT_EQ(run.makespan, 7);
+}
+
+TEST(Simulate, RatedGraphMakespan) {
+    // left fires twice (3 each, sequential via data), right once (1).
+    Graph g;
+    const ActorId left = g.add_actor("left", 3);
+    const ActorId right = g.add_actor("right", 1);
+    g.add_channel(left, right, 1, 2, 0);
+    g.add_channel(right, left, 2, 1, 2);
+    const FiniteRun run = simulate_iterations(g, 1);
+    // Both left firings can start at 0 (two tokens available): done at 3;
+    // right consumes both results: done at 4.
+    EXPECT_EQ(run.makespan, 4);
+    EXPECT_EQ(run.firings, (std::vector<Int>{2, 1}));
+}
+
+TEST(Simulate, DeadlockedGraphThrows) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 0);
+    EXPECT_THROW(simulate_iterations(g, 1), DeadlockError);
+}
+
+TEST(SimulateThroughput, RingPeriod) {
+    const ThroughputRun run = simulate_throughput(two_ring());
+    EXPECT_FALSE(run.deadlocked);
+    EXPECT_EQ(run.throughput[0], Rational(1, 7));
+    EXPECT_EQ(run.throughput[1], Rational(1, 7));
+}
+
+TEST(SimulateThroughput, PipelinedRingDoublesRate) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 3);
+    const ActorId b = g.add_actor("b", 4);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 2);
+    const ThroughputRun run = simulate_throughput(g);
+    // Two tokens in a 7-cycle: rate limited by the slower actor?  No self
+    // loops, so firings overlap; cycle mean is 7/2.
+    EXPECT_EQ(run.throughput[0], Rational(2, 7));
+}
+
+TEST(SimulateThroughput, SelfLoopLimitsRate) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 5);
+    g.add_channel(a, a, 1);
+    const ThroughputRun run = simulate_throughput(g);
+    EXPECT_EQ(run.throughput[0], Rational(1, 5));
+}
+
+TEST(SimulateThroughput, RejectsActorsOffAnyCycle) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 0);  // no cycle: unbounded
+    EXPECT_THROW(simulate_throughput(g), Error);
+}
+
+TEST(SimulateThroughput, DeadlockReported) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 0);
+    const ThroughputRun run = simulate_throughput(g);
+    EXPECT_TRUE(run.deadlocked);
+    EXPECT_EQ(run.throughput[0], Rational(0));
+}
+
+TEST(SimulateThroughput, ZeroTimeCycleRejected) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 0);
+    g.add_channel(a, a, 1);
+    EXPECT_THROW(simulate_throughput(g), Error);
+}
+
+TEST(SimulateThroughput, TransientThenPeriodic) {
+    // Unbalanced double ring: a slow stage upstream of a fast one shows a
+    // transient before the periodic phase.
+    Graph g;
+    const ActorId a = g.add_actor("a", 10);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 1);
+    g.add_channel(b, b, 1);
+    const ThroughputRun run = simulate_throughput(g);
+    EXPECT_EQ(run.throughput[0], Rational(1, 11));
+    EXPECT_EQ(run.throughput[1], Rational(1, 11));
+}
+
+TEST(SimulateThroughput, MultiRateRing) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 2);
+    const ActorId b = g.add_actor("b", 3);
+    g.add_channel(a, b, 1, 2, 0);
+    g.add_channel(b, a, 2, 1, 2);
+    g.add_channel(a, a, 1, 1, 1);
+    g.add_channel(b, b, 1, 1, 1);
+    const ThroughputRun run = simulate_throughput(g);
+    EXPECT_FALSE(run.deadlocked);
+    // q = (2, 1); the a self-loop serialises a: lambda = 2*2+3 = 7.
+    EXPECT_EQ(run.throughput[0], Rational(2, 7));
+    EXPECT_EQ(run.throughput[1], Rational(1, 7));
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,120 @@
+// Unit tests for analysis/throughput.hpp — the three routes and their
+// outcome handling.
+#include "analysis/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/errors.hpp"
+#include "gen/regular.hpp"
+#include "transform/selfloops.hpp"
+
+namespace sdf {
+namespace {
+
+Graph ring(Int ta, Int tb, Int tokens) {
+    Graph g;
+    const ActorId a = g.add_actor("a", ta);
+    const ActorId b = g.add_actor("b", tb);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, tokens);
+    return g;
+}
+
+TEST(Throughput, SymbolicRingPeriod) {
+    const ThroughputResult r = throughput_symbolic(ring(3, 4, 1));
+    ASSERT_TRUE(r.is_finite());
+    EXPECT_EQ(r.period, Rational(7));
+    EXPECT_EQ(r.per_actor[0], Rational(1, 7));
+}
+
+TEST(Throughput, ThreeRoutesAgreeOnRing) {
+    const Graph g = ring(3, 4, 2);
+    const ThroughputResult a = throughput_symbolic(g);
+    const ThroughputResult b = throughput_via_classic_hsdf(g);
+    const ThroughputResult c = throughput_simulation(g);
+    ASSERT_TRUE(a.is_finite());
+    EXPECT_EQ(a.period, Rational(7, 2));
+    EXPECT_EQ(b.period, a.period);
+    EXPECT_EQ(c.period, a.period);
+    EXPECT_EQ(a.per_actor, b.per_actor);
+    EXPECT_EQ(a.per_actor, c.per_actor);
+}
+
+TEST(Throughput, MultiRateGraphAllRoutes) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 2);
+    const ActorId b = g.add_actor("b", 3);
+    g.add_channel(a, b, 1, 2, 0);
+    g.add_channel(b, a, 2, 1, 2);
+    g.add_channel(a, a, 1);
+    g.add_channel(b, b, 1);
+    const ThroughputResult s = throughput_symbolic(g);
+    ASSERT_TRUE(s.is_finite());
+    EXPECT_EQ(s.period, Rational(7));  // two serialised a firings + b
+    EXPECT_EQ(throughput_via_classic_hsdf(g).period, s.period);
+    EXPECT_EQ(throughput_simulation(g).period, s.period);
+    EXPECT_EQ(s.per_actor[0], Rational(2, 7));
+    EXPECT_EQ(s.per_actor[1], Rational(1, 7));
+}
+
+TEST(Throughput, DeadlockedGraphIsZero) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 0);
+    for (const auto& result :
+         {throughput_symbolic(g), throughput_via_classic_hsdf(g), throughput_simulation(g)}) {
+        EXPECT_EQ(result.outcome, ThroughputOutcome::deadlocked);
+        EXPECT_EQ(result.per_actor, (std::vector<Rational>{Rational(0), Rational(0)}));
+    }
+}
+
+TEST(Throughput, AcyclicGraphIsUnbounded) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 0);
+    EXPECT_EQ(throughput_symbolic(g).outcome, ThroughputOutcome::unbounded);
+    EXPECT_EQ(throughput_via_classic_hsdf(g).outcome, ThroughputOutcome::unbounded);
+}
+
+TEST(Throughput, ZeroTimeCycleIsUnbounded) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 0);
+    g.add_channel(a, a, 1);
+    EXPECT_EQ(throughput_symbolic(g).outcome, ThroughputOutcome::unbounded);
+    EXPECT_EQ(throughput_via_classic_hsdf(g).outcome, ThroughputOutcome::unbounded);
+}
+
+TEST(Throughput, IterationPeriodConvenience) {
+    EXPECT_EQ(iteration_period(ring(3, 4, 1)), Rational(7));
+    Graph acyclic;
+    const ActorId a = acyclic.add_actor("a", 1);
+    const ActorId b = acyclic.add_actor("b", 1);
+    acyclic.add_channel(a, b, 0);
+    EXPECT_THROW(iteration_period(acyclic), Error);
+}
+
+TEST(Throughput, Figure1FamilyFormula) {
+    // Section 4.1: throughput 1/(5n-7).
+    for (const Int n : {5, 6, 7, 10, 20}) {
+        const ThroughputResult r = throughput_symbolic(figure1_graph(n));
+        ASSERT_TRUE(r.is_finite());
+        EXPECT_EQ(r.period, Rational(5 * n - 7)) << "n=" << n;
+    }
+}
+
+TEST(Throughput, SelfLoopTokensActAsPipelineDepth) {
+    // k tokens on the self-loop allow k concurrent firings: period T/k.
+    Graph g;
+    const ActorId a = g.add_actor("a", 12);
+    g.add_channel(a, a, 3);
+    const ThroughputResult r = throughput_symbolic(g);
+    ASSERT_TRUE(r.is_finite());
+    EXPECT_EQ(r.per_actor[a], Rational(3, 12));
+    EXPECT_EQ(throughput_simulation(g).per_actor[a], Rational(1, 4));
+}
+
+}  // namespace
+}  // namespace sdf

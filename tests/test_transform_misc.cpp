@@ -1,0 +1,169 @@
+// Unit tests for transform/prune.hpp, transform/selfloops.hpp and
+// transform/compare.hpp.
+#include <gtest/gtest.h>
+
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "gen/regular.hpp"
+#include "transform/compare.hpp"
+#include "transform/prune.hpp"
+#include "transform/selfloops.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Prune, KeepsMinimumDelayRepresentative) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 1, 1, 5);
+    g.add_channel(a, b, 1, 1, 2);
+    g.add_channel(a, b, 1, 1, 7);
+    EXPECT_EQ(count_redundant_channels(g), 2u);
+    const Graph p = prune_redundant_channels(g);
+    ASSERT_EQ(p.channel_count(), 1u);
+    EXPECT_EQ(p.channel(0).initial_tokens, 2);
+}
+
+TEST(Prune, DifferentRatesAreNotParallel) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 1, 1, 5);
+    g.add_channel(a, b, 2, 2, 1);  // different rates: kept
+    EXPECT_EQ(count_redundant_channels(g), 0u);
+    EXPECT_EQ(prune_redundant_channels(g).channel_count(), 2u);
+}
+
+TEST(Prune, PreservesTiming) {
+    Graph g = figure1_abstract();
+    // Add redundant copies of every channel with extra tokens.
+    const std::vector<Channel> channels = g.channels();
+    for (const Channel& ch : channels) {
+        g.add_channel(ch.src, ch.dst, ch.production, ch.consumption,
+                      ch.initial_tokens + 3);
+    }
+    const Graph p = prune_redundant_channels(g);
+    EXPECT_EQ(p.channel_count(), channels.size());
+    EXPECT_EQ(iteration_period(p), iteration_period(g));
+}
+
+TEST(Prune, SelfEdgeExampleFromSection42) {
+    // "the self-edge on actor A with three initial tokens is redundant
+    // because there is another one with only one token".
+    Graph g;
+    const ActorId a = g.add_actor("A", 2);
+    g.add_channel(a, a, 3);
+    g.add_channel(a, a, 1);
+    const Graph p = prune_redundant_channels(g);
+    ASSERT_EQ(p.channel_count(), 1u);
+    EXPECT_EQ(p.channel(0).initial_tokens, 1);
+}
+
+TEST(SelfLoops, AddsOnlyWhereMissing) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, a, 2);
+    g.add_channel(a, b, 0);
+    const Graph s = add_self_loops(g);
+    EXPECT_EQ(s.channel_count(), 3u);
+    // a keeps its 2-token loop; b gains a 1-token loop.
+    Int b_loops = 0;
+    for (const Channel& ch : s.channels()) {
+        if (ch.is_self_loop() && ch.src == b) {
+            EXPECT_EQ(ch.initial_tokens, 1);
+            ++b_loops;
+        }
+    }
+    EXPECT_EQ(b_loops, 1);
+}
+
+TEST(SelfLoops, RejectsZeroTokens) {
+    Graph g;
+    g.add_actor("a", 1);
+    EXPECT_THROW(add_self_loops(g, 0), InvalidGraphError);
+}
+
+TEST(SelfLoops, BoundsThroughputOfSourceActor) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 4);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 0);
+    // Unbounded without loops (no cycles at all).
+    EXPECT_EQ(throughput_symbolic(g).outcome, ThroughputOutcome::unbounded);
+    const ThroughputResult bounded = throughput_symbolic(add_self_loops(g));
+    ASSERT_TRUE(bounded.is_finite());
+    EXPECT_EQ(bounded.period, Rational(4));
+}
+
+TEST(Compare, CoversConservativelyAcceptsIdentity) {
+    const Graph g = figure1_abstract();
+    std::vector<ActorId> image{0, 1};
+    std::string why;
+    EXPECT_TRUE(covers_conservatively(g, g, image, &why)) << why;
+}
+
+TEST(Compare, CoversDetectsFasterImage) {
+    Graph fast;
+    const ActorId a = fast.add_actor("a", 5);
+    fast.add_channel(a, a, 1);
+    Graph slow;
+    slow.add_actor("a", 4);  // image is FASTER: premise violated
+    slow.add_channel(0, 0, 1);
+    std::string why;
+    EXPECT_FALSE(covers_conservatively(fast, slow, {0}, &why));
+    EXPECT_NE(why.find("execution time"), std::string::npos);
+}
+
+TEST(Compare, CoversDetectsMissingChannel) {
+    Graph fast;
+    const ActorId a = fast.add_actor("a", 1);
+    const ActorId b = fast.add_actor("b", 1);
+    fast.add_channel(a, b, 0);
+    Graph slow;
+    slow.add_actor("a", 1);
+    slow.add_actor("b", 1);
+    std::string why;
+    EXPECT_FALSE(covers_conservatively(fast, slow, {0, 1}, &why));
+}
+
+TEST(Compare, CoversRequiresAtMostAsManyTokens) {
+    Graph fast;
+    const ActorId a = fast.add_actor("a", 1);
+    fast.add_channel(a, a, 1);
+    Graph slow;
+    slow.add_actor("a", 1);
+    slow.add_channel(0, 0, 2);  // MORE tokens: weaker dependency, rejected
+    EXPECT_FALSE(covers_conservatively(fast, slow, {0}));
+    Graph tight;
+    tight.add_actor("a", 1);
+    tight.add_channel(0, 0, 1);
+    EXPECT_TRUE(covers_conservatively(fast, tight, {0}));
+}
+
+TEST(Compare, CoversRejectsNonInjectiveImage) {
+    Graph fast;
+    fast.add_actor("a", 1);
+    fast.add_actor("b", 1);
+    Graph slow;
+    slow.add_actor("x", 5);
+    EXPECT_FALSE(covers_conservatively(fast, slow, {0, 0}));
+}
+
+TEST(Compare, StructurallyEqualIsNameBased) {
+    Graph g1;
+    g1.add_actor("a", 1);
+    g1.add_actor("b", 2);
+    g1.add_channel(0, 1, 1, 1, 3);
+    Graph g2;
+    g2.add_actor("b", 2);  // declaration order differs
+    g2.add_actor("a", 1);
+    g2.add_channel(1, 0, 1, 1, 3);
+    EXPECT_TRUE(structurally_equal(g1, g2));
+    g2.set_initial_tokens(0, 4);
+    EXPECT_FALSE(structurally_equal(g1, g2));
+}
+
+}  // namespace
+}  // namespace sdf

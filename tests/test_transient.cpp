@@ -1,0 +1,125 @@
+// Unit + property tests for maxplus/transient.hpp.
+#include "maxplus/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "base/errors.hpp"
+#include "gen/random_sdf.hpp"
+#include "sdf/simulate.hpp"
+#include "transform/symbolic.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Transient, ScalarMatrixIsImmediatelyPeriodic) {
+    MpMatrix m(1, 1);
+    m.set(0, 0, MpValue(7));
+    const auto t = transient_analysis(m);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->transient, 0);
+    EXPECT_EQ(t->cyclicity, 1);
+    EXPECT_EQ(t->rate, Rational(7));
+}
+
+TEST(Transient, TwoCycleHasCyclicityTwo) {
+    // Pure swap with weights 3 and 5: powers alternate between the two
+    // off-diagonal patterns; period 2, rate 4 (but 4 per step is only
+    // realised over two steps: shift 8).
+    MpMatrix m(2, 2);
+    m.set(0, 1, MpValue(3));
+    m.set(1, 0, MpValue(5));
+    const auto t = transient_analysis(m);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->rate, Rational(4));
+    EXPECT_EQ(t->cyclicity % 2, 0);  // den(λ)=1 but the pattern needs c=2
+    EXPECT_EQ(t->cyclicity, 2);
+}
+
+TEST(Transient, SlowSideCycleCreatesTransient) {
+    // Irreducible: heavy self-loop (10) at node 0, lighter one (9) at node
+    // 1, connected both ways with weight 0.  Entry (1,1) follows its own
+    // loop (9k) until the detour through node 0 (10k - 20) overtakes at
+    // k = 20 — a genuine transient.
+    MpMatrix m(2, 2);
+    m.set(0, 0, MpValue(10));
+    m.set(1, 1, MpValue(9));
+    m.set(0, 1, MpValue(0));
+    m.set(1, 0, MpValue(0));
+    const auto t = transient_analysis(m);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->rate, Rational(10));
+    EXPECT_EQ(t->cyclicity, 1);
+    EXPECT_GT(t->transient, 10);
+    EXPECT_LE(t->transient, 20);
+}
+
+TEST(Transient, FractionalRateUsesDenominatorCycles) {
+    // One cycle of length 2 and total weight 7: λ = 7/2, so periodicity
+    // needs even c.
+    MpMatrix m(2, 2);
+    m.set(0, 1, MpValue(3));
+    m.set(1, 0, MpValue(4));
+    const auto t = transient_analysis(m);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->rate, Rational(7, 2));
+    EXPECT_EQ(t->cyclicity % 2, 0);
+}
+
+TEST(Transient, RejectsBadInput) {
+    EXPECT_THROW(transient_analysis(MpMatrix(2, 3)), ArithmeticError);
+    MpMatrix acyclic(2, 2);
+    acyclic.set(0, 1, MpValue(1));
+    EXPECT_THROW(transient_analysis(acyclic), ArithmeticError);
+}
+
+TEST(Transient, BudgetExhaustionReturnsNullopt) {
+    // Two disconnected self-loops with rates 100 and 99: the matrix is
+    // reducible and never becomes globally periodic (the slower SCC's
+    // entries keep falling behind), so the search must give up cleanly.
+    MpMatrix m(2, 2);
+    m.set(0, 0, MpValue(100));
+    m.set(1, 1, MpValue(99));
+    m.set(1, 0, MpValue(0));
+    // (1,0) entry grows like 99k while (0,0) grows like 100k — relative
+    // shift never stabilises?  It does stabilise: (1,0) = max over paths
+    // 1->1...->0...->0 = 99a + 100b; dominated by b: for large k it tracks
+    // 100. So this IS eventually periodic.  Use genuinely incommensurate
+    // growth instead: two SCCs with NO connection.
+    MpMatrix disconnected(2, 2);
+    disconnected.set(0, 0, MpValue(100));
+    disconnected.set(1, 1, MpValue(99));
+    const auto t = transient_analysis(disconnected, 32);
+    EXPECT_FALSE(t.has_value());  // (1,1) falls behind (0,0) forever
+}
+
+class TransientProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransientProperty, PeriodicPhaseMatchesSimulatedMakespans) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    RandomSdfOptions options;
+    options.min_actors = 3;
+    options.max_actors = 5;
+    options.max_execution_time = 6;
+    const Graph g = random_sdf(rng, options);
+    const SymbolicIteration it = symbolic_iteration(g);
+    const auto t = transient_analysis(it.matrix, 64);
+    if (!t || t->rate.is_zero()) {
+        return;
+    }
+    // Makespan(k) = max entry of G^k; once periodic, makespans advance by
+    // exactly rate*cyclicity per cyclicity iterations.
+    const Int k0 = t->transient;
+    const Int c = t->cyclicity;
+    const Int m1 = simulate_iterations(g, k0 + c).makespan;
+    const Int m2 = simulate_iterations(g, k0 + 2 * c).makespan;
+    const Rational step = t->rate * Rational(c);
+    ASSERT_TRUE(step.is_integer());
+    EXPECT_EQ(m2 - m1, step.num());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransientProperty, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace sdf

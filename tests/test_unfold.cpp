@@ -1,0 +1,133 @@
+// Unit tests for transform/unfold.hpp — Definition 5 and Proposition 2.
+#include "transform/unfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "gen/random_sdf.hpp"
+#include "gen/regular.hpp"
+#include "sdf/repetition.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Unfold, CopiesActorsAndTimes) {
+    Graph g;
+    g.add_actor("a", 7);
+    const Graph u = unfold(g, 3);
+    ASSERT_EQ(u.actor_count(), 3u);
+    for (Int i = 0; i < 3; ++i) {
+        const auto id = u.find_actor(unfolded_actor_name("a", i));
+        ASSERT_TRUE(id.has_value());
+        EXPECT_EQ(u.actor(*id).execution_time, 7);
+    }
+}
+
+TEST(Unfold, EdgeRuleMatchesDefinition5) {
+    // Channel with d = 1 unfolded 3-fold: copy i feeds copy (i+1) mod 3;
+    // only the wrapping copy keeps a token (1 div 3 = 0, +1 on wrap).
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    g.add_channel(a, a, 1);
+    const Graph u = unfold(g, 3);
+    ASSERT_EQ(u.channel_count(), 3u);
+    Int wraps = 0;
+    for (const Channel& ch : u.channels()) {
+        const Int i = static_cast<Int>(ch.src);  // ids follow copy order
+        const Int j = static_cast<Int>(ch.dst);
+        EXPECT_EQ(j, (i + 1) % 3);
+        if (j < i) {
+            EXPECT_EQ(ch.initial_tokens, 1);
+            ++wraps;
+        } else {
+            EXPECT_EQ(ch.initial_tokens, 0);
+        }
+    }
+    EXPECT_EQ(wraps, 1);
+}
+
+TEST(Unfold, LargeDelaysSplitAcrossCopies) {
+    // d = 5, N = 2: copy i feeds copy (i+5) mod 2 = (i+1) mod 2; delays are
+    // 5 div 2 = 2, +1 for the wrapping copy.
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    g.add_channel(a, a, 5);
+    const Graph u = unfold(g, 2);
+    ASSERT_EQ(u.channel_count(), 2u);
+    std::vector<Int> delays;
+    for (const Channel& ch : u.channels()) {
+        delays.push_back(ch.initial_tokens);
+    }
+    std::sort(delays.begin(), delays.end());
+    EXPECT_EQ(delays, (std::vector<Int>{2, 3}));
+    // Token count is preserved by Definition 5.
+    EXPECT_EQ(u.total_initial_tokens(), 5);
+}
+
+TEST(Unfold, TokenCountPreservedInGeneral) {
+    const Graph g = figure1_abstract();
+    for (const Int n : {1, 2, 3, 6, 10}) {
+        EXPECT_EQ(unfold(g, n).total_initial_tokens(), g.total_initial_tokens())
+            << "n=" << n;
+    }
+}
+
+TEST(Unfold, FactorOneIsIsomorphicCopy) {
+    const Graph g = figure1_abstract();
+    const Graph u = unfold(g, 1);
+    EXPECT_EQ(u.actor_count(), g.actor_count());
+    EXPECT_EQ(u.channel_count(), g.channel_count());
+    EXPECT_EQ(iteration_period(u), iteration_period(g));
+}
+
+TEST(Unfold, RejectsNonPositiveFactor) {
+    Graph g;
+    g.add_actor("a", 1);
+    EXPECT_THROW(unfold(g, 0), InvalidGraphError);
+    EXPECT_THROW(unfold(g, -2), InvalidGraphError);
+}
+
+// Proposition 2's exact mimicry is a statement about homogeneous graphs
+// (the case the paper's conservativity proof uses — see unfold.hpp): for
+// every random HSDF, period(unf(g, N)) == N * period(g).
+TEST(Unfold, Proposition2HoldsOnRandomHomogeneousGraphs) {
+    std::mt19937 rng(2009);
+    for (int trial = 0; trial < 40; ++trial) {
+        const Graph g = random_hsdf(rng);
+        const ThroughputResult original = throughput_symbolic(g);
+        if (!original.is_finite()) {
+            continue;
+        }
+        for (const Int n : {2, 3, 5}) {
+            const Graph u = unfold(g, n);
+            const ThroughputResult unfolded = throughput_symbolic(u);
+            ASSERT_TRUE(unfolded.is_finite());
+            EXPECT_EQ(unfolded.period, Rational(n) * original.period)
+                << "trial " << trial << " n=" << n;
+        }
+    }
+}
+
+// Proposition 2: the N-fold unfolding has throughput tau(a)/N per copy —
+// equivalently, its iteration period is N times larger... the unfolded
+// graph fires each copy once where the original fires the actor N times,
+// so period(unf) == N * period(original) for HSDF inputs.
+TEST(Unfold, Proposition2PeriodScaling) {
+    const Graph g = figure1_abstract();
+    const Rational period = iteration_period(g);
+    for (const Int n : {2, 3, 6, 12}) {
+        const Graph u = unfold(g, n);
+        EXPECT_EQ(iteration_period(u), Rational(n) * period) << "n=" << n;
+        // Per-actor throughput scales by 1/N.
+        const ThroughputResult to = throughput_symbolic(g);
+        const ThroughputResult tu = throughput_symbolic(u);
+        const ActorId a0 = *u.find_actor(unfolded_actor_name("A", 0));
+        EXPECT_EQ(tu.per_actor[a0], to.per_actor[*g.find_actor("A")] / Rational(n));
+    }
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,307 @@
+// sdfred_cli — command-line front end to the sdfred library.
+//
+//   sdfred_cli info       FILE            structure, consistency, liveness
+//   sdfred_cli analyze    FILE            repetition vector, period, throughput,
+//                                         makespan, response latencies
+//   sdfred_cli deadlock   FILE            deadlock diagnosis with witness
+//   sdfred_cli schedule   FILE            rate-optimal static periodic schedule
+//   sdfred_cli convert --to FMT FILE [-o OUT]
+//                                         FMT: hsdf | reduced-hsdf | abstract |
+//                                              abstract-sdf | text | xml | dot
+//   sdfred_cli unfold N   FILE [-o OUT]   Definition 5 unfolding
+//   sdfred_cli sensitivity FILE           critical actors and slack
+//   sdfred_cli storage     FILE           self-timed channel storage marks
+//   sdfred_cli pareto      FILE           throughput/buffer trade-off curve
+//   sdfred_cli csdf-analyze FILE.xml      cyclo-static analysis
+//   sdfred_cli csdf-reduce  FILE.xml [-o OUT]
+//                                         reduced HSDF of a CSDF graph
+//
+// Graphs load from SDF3-style XML (*.xml) or the plain-text format
+// (anything else); CSDF commands take csdf-typed XML.  -o picks the output
+// format by extension (.xml, .dot, anything else: text), stdout gets the
+// text format.
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/deadlock.hpp"
+#include "analysis/latency.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/pareto.hpp"
+#include "analysis/sensitivity.hpp"
+#include "analysis/static_schedule.hpp"
+#include "analysis/storage.hpp"
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "base/string_util.hpp"
+#include "csdf/analysis.hpp"
+#include "io/csdf_xml.hpp"
+#include "io/dot.hpp"
+#include "io/text.hpp"
+#include "io/xml.hpp"
+#include "sdf/properties.hpp"
+#include "sdf/repetition.hpp"
+#include "transform/abstraction.hpp"
+#include "transform/hsdf_classic.hpp"
+#include "transform/hsdf_reduced.hpp"
+#include "transform/sdf_abstraction.hpp"
+#include "transform/unfold.hpp"
+
+namespace {
+
+using namespace sdf;
+
+bool has_suffix(const std::string& text, const std::string& suffix) {
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Graph load(const std::string& path) {
+    return has_suffix(path, ".xml") ? read_xml_file(path) : read_text_file(path);
+}
+
+void save(const Graph& graph, const std::optional<std::string>& out) {
+    if (!out) {
+        write_text(std::cout, graph);
+        return;
+    }
+    if (has_suffix(*out, ".xml")) {
+        write_xml_file(*out, graph);
+    } else if (has_suffix(*out, ".dot")) {
+        write_dot_file(*out, graph);
+    } else {
+        write_text_file(*out, graph);
+    }
+    std::cout << "wrote " << *out << "\n";
+}
+
+int usage() {
+    std::cerr << "usage: sdfred_cli {info|analyze|deadlock|schedule} FILE\n"
+                 "       sdfred_cli convert --to FMT FILE [-o OUT]\n"
+                 "       sdfred_cli unfold N FILE [-o OUT]\n"
+                 "       sdfred_cli csdf-analyze FILE.xml\n"
+                 "       sdfred_cli csdf-reduce FILE.xml [-o OUT]\n"
+                 "FMT: hsdf | reduced-hsdf | abstract | abstract-sdf | text | xml | dot\n";
+    return 2;
+}
+
+int cmd_sensitivity(const Graph& g) {
+    const SensitivityReport report = sensitivity_analysis(g);
+    std::cout << "iteration period: " << report.period.to_string() << "\n";
+    std::cout << "per-actor sensitivity (+1 execution time => period delta):\n";
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        std::cout << "  " << g.actor(a).name << ": +" << report.delta[a].to_string();
+        if (report.critical[a]) {
+            std::cout << "  [critical]";
+        } else {
+            std::cout << "  (slack " << report.slack[a].to_string() << ")";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int cmd_storage(const Graph& g) {
+    const std::vector<Int> marks = self_timed_storage(g);
+    std::cout << "self-timed storage requirement per channel:\n";
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        const Channel& ch = g.channel(c);
+        std::cout << "  " << g.actor(ch.src).name << " -> " << g.actor(ch.dst).name
+                  << ": " << marks[c] << " tokens"
+                  << (ch.is_self_loop() ? "  (self-loop)" : "") << "\n";
+    }
+    std::cout << "total (excluding self-loops): " << self_timed_storage_total(g)
+              << "\n";
+    return 0;
+}
+
+int cmd_pareto(const Graph& g) {
+    std::cout << "throughput/buffer trade-off (greedy Pareto ascent):\n";
+    std::cout << "  total buffer   period\n";
+    for (const ParetoPoint& point : buffer_throughput_tradeoff(g)) {
+        std::cout << "  " << point.total_buffer << "\t\t"
+                  << point.period.to_string() << "\n";
+    }
+    return 0;
+}
+
+int cmd_csdf_analyze(const CsdfGraph& g) {
+    const std::vector<Int> cycles = csdf_repetition(g);
+    std::cout << "cycle repetition vector:\n";
+    for (CsdfActorId a = 0; a < g.actor_count(); ++a) {
+        std::cout << "  " << g.actor(a).name << ": " << cycles[a] << " ("
+                  << g.actor(a).phase_count() << " phases)\n";
+    }
+    const CsdfThroughput t = csdf_throughput(g);
+    if (t.deadlocked) {
+        std::cout << "throughput: graph deadlocks (0)\n";
+        return 0;
+    }
+    if (t.unbounded) {
+        std::cout << "throughput: unbounded (no constraining cycle)\n";
+        return 0;
+    }
+    std::cout << "iteration period: " << t.period.to_string() << "\n";
+    std::cout << "cycles per time unit per actor:\n";
+    for (CsdfActorId a = 0; a < g.actor_count(); ++a) {
+        std::cout << "  " << g.actor(a).name << ": " << t.per_actor[a].to_string()
+                  << "\n";
+    }
+    return 0;
+}
+
+int cmd_info(const Graph& g) {
+    std::cout << "graph      : " << (g.name().empty() ? "(unnamed)" : g.name()) << "\n";
+    std::cout << "actors     : " << g.actor_count() << "\n";
+    std::cout << "channels   : " << g.channel_count() << "\n";
+    std::cout << "tokens     : " << g.total_initial_tokens() << "\n";
+    std::cout << "homogeneous: " << (g.is_homogeneous() ? "yes" : "no") << "\n";
+    std::cout << "consistent : " << (is_consistent(g) ? "yes" : "no") << "\n";
+    if (is_consistent(g)) {
+        std::cout << "iteration  : " << iteration_length(g) << " firings\n";
+        std::cout << "live       : " << (is_live(g) ? "yes" : "no") << "\n";
+    }
+    std::cout << "strongly connected: " << (is_strongly_connected(g) ? "yes" : "no")
+              << "\n";
+    return 0;
+}
+
+int cmd_analyze(const Graph& g) {
+    const std::vector<Int> q = repetition_vector(g);
+    std::cout << "repetition vector:\n";
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        std::cout << "  " << g.actor(a).name << ": " << q[a] << "\n";
+    }
+    const ThroughputResult t = throughput_symbolic(g);
+    switch (t.outcome) {
+        case ThroughputOutcome::deadlocked:
+            std::cout << "throughput: graph deadlocks (0)\n";
+            return 0;
+        case ThroughputOutcome::unbounded:
+            std::cout << "throughput: unbounded (no constraining cycle)\n";
+            return 0;
+        case ThroughputOutcome::finite:
+            break;
+    }
+    std::cout << "iteration period: " << t.period.to_string() << "\n";
+    std::cout << "throughput per actor (firings/time):\n";
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        std::cout << "  " << g.actor(a).name << ": " << t.per_actor[a].to_string()
+                  << "\n";
+    }
+    std::cout << "iteration makespan: " << iteration_makespan(g) << "\n";
+    return 0;
+}
+
+int cmd_deadlock(const Graph& g) {
+    std::cout << diagnose_deadlock(g).describe(g);
+    return 0;
+}
+
+int cmd_schedule(const Graph& g) {
+    const PeriodicSchedule schedule = periodic_schedule(g);
+    std::cout << "period: " << schedule.period.to_string() << "\n";
+    std::cout << "start offsets (firing k of actor starts at offset + k*period):\n";
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        std::cout << "  " << g.actor(a).name << ": " << schedule.start[a].to_string()
+                  << "\n";
+    }
+    return 0;
+}
+
+int cmd_convert(const Graph& g, const std::string& format,
+                const std::optional<std::string>& out) {
+    if (format == "hsdf") {
+        save(to_hsdf_classic(g).graph, out);
+    } else if (format == "reduced-hsdf") {
+        save(to_hsdf_reduced(g), out);
+    } else if (format == "abstract") {
+        save(abstract_graph(g, abstraction_by_name_suffix(g)), out);
+    } else if (format == "abstract-sdf") {
+        save(abstract_sdf(g).abstract, out);
+    } else if (format == "text" || format == "xml" || format == "dot") {
+        if (!out) {
+            if (format == "xml") {
+                std::cout << write_xml_string(g);
+            } else if (format == "dot") {
+                std::cout << write_dot_string(g);
+            } else {
+                write_text(std::cout, g);
+            }
+        } else {
+            save(g, out);
+        }
+    } else {
+        return usage();
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        return usage();
+    }
+    try {
+        const std::string& command = args[0];
+        // Gather positional arguments and options.
+        std::optional<std::string> out;
+        std::optional<std::string> format;
+        std::vector<std::string> positional;
+        for (std::size_t i = 1; i < args.size(); ++i) {
+            if (args[i] == "-o" && i + 1 < args.size()) {
+                out = args[++i];
+            } else if (args[i] == "--to" && i + 1 < args.size()) {
+                format = args[++i];
+            } else {
+                positional.push_back(args[i]);
+            }
+        }
+        if (command == "info" && positional.size() == 1) {
+            return cmd_info(load(positional[0]));
+        }
+        if (command == "analyze" && positional.size() == 1) {
+            return cmd_analyze(load(positional[0]));
+        }
+        if (command == "deadlock" && positional.size() == 1) {
+            return cmd_deadlock(load(positional[0]));
+        }
+        if (command == "schedule" && positional.size() == 1) {
+            return cmd_schedule(load(positional[0]));
+        }
+        if (command == "convert" && positional.size() == 1 && format) {
+            return cmd_convert(load(positional[0]), *format, out);
+        }
+        if (command == "pareto" && positional.size() == 1) {
+            return cmd_pareto(load(positional[0]));
+        }
+        if (command == "sensitivity" && positional.size() == 1) {
+            return cmd_sensitivity(load(positional[0]));
+        }
+        if (command == "storage" && positional.size() == 1) {
+            return cmd_storage(load(positional[0]));
+        }
+        if (command == "csdf-analyze" && positional.size() == 1) {
+            return cmd_csdf_analyze(read_csdf_xml_file(positional[0]));
+        }
+        if (command == "csdf-reduce" && positional.size() == 1) {
+            save(csdf_to_reduced_hsdf(read_csdf_xml_file(positional[0])), out);
+            return 0;
+        }
+        if (command == "unfold" && positional.size() == 2) {
+            const auto n = parse_int(positional[0]);
+            if (!n || *n <= 0) {
+                return usage();
+            }
+            save(unfold(load(positional[1]), *n), out);
+            return 0;
+        }
+        return usage();
+    } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
