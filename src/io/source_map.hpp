@@ -1,0 +1,42 @@
+// source_map.hpp — source locations of parsed graph elements.
+//
+// The file readers (io/text.hpp, io/xml.hpp) can record where in the input
+// every actor and channel was declared.  The lint subsystem uses this to
+// anchor diagnostics to the offending line of the model file; error
+// messages elsewhere reuse it for the same purpose.  Locations are
+// 1-based; line 0 means "unknown" (e.g. a graph built programmatically).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// One position in a model file.  line == 0 means the location is unknown.
+struct SourceLoc {
+    std::size_t line = 0;
+    std::size_t column = 0;
+
+    [[nodiscard]] bool known() const { return line != 0; }
+
+    friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Where every actor and channel of a parsed graph was declared.
+struct SourceMap {
+    std::string file;                 ///< path as given to the reader ("" for strings)
+    std::vector<SourceLoc> actors;    ///< indexed by ActorId
+    std::vector<SourceLoc> channels;  ///< indexed by ChannelId
+
+    [[nodiscard]] SourceLoc actor(ActorId id) const {
+        return id < actors.size() ? actors[id] : SourceLoc{};
+    }
+    [[nodiscard]] SourceLoc channel(ChannelId id) const {
+        return id < channels.size() ? channels[id] : SourceLoc{};
+    }
+};
+
+}  // namespace sdf

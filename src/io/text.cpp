@@ -24,7 +24,7 @@ Int parse_int_or_fail(const std::string& field, std::size_t line, const std::str
 
 }  // namespace
 
-Graph read_text(std::istream& input) {
+Graph read_text(std::istream& input, SourceMap* locations) {
     Graph graph;
     std::string line;
     std::size_t line_number = 0;
@@ -54,6 +54,9 @@ Graph read_text(std::istream& input) {
             } catch (const InvalidGraphError& e) {
                 parse_fail(line_number, e.what());
             }
+            if (locations != nullptr) {
+                locations->actors.push_back(SourceLoc{line_number, 1});
+            }
         } else if (keyword == "channel") {
             if (fields.size() != 6) {
                 parse_fail(line_number,
@@ -75,6 +78,9 @@ Graph read_text(std::istream& input) {
             } catch (const InvalidGraphError& e) {
                 parse_fail(line_number, e.what());
             }
+            if (locations != nullptr) {
+                locations->channels.push_back(SourceLoc{line_number, 1});
+            }
         } else {
             parse_fail(line_number, "unknown keyword '" + keyword + "'");
         }
@@ -82,17 +88,21 @@ Graph read_text(std::istream& input) {
     return graph;
 }
 
-Graph read_text_string(const std::string& text) {
+Graph read_text_string(const std::string& text, SourceMap* locations) {
     std::istringstream stream(text);
-    return read_text(stream);
+    return read_text(stream, locations);
 }
 
-Graph read_text_file(const std::string& path) {
+Graph read_text_file(const std::string& path, SourceMap* locations) {
     std::ifstream stream(path);
     if (!stream) {
         throw ParseError("cannot open '" + path + "'");
     }
-    return read_text(stream);
+    Graph graph = read_text(stream, locations);
+    if (locations != nullptr) {
+        locations->file = path;
+    }
+    return graph;
 }
 
 void write_text(std::ostream& output, const Graph& graph) {

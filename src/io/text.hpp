@@ -15,15 +15,18 @@
 #include <iosfwd>
 #include <string>
 
+#include "io/source_map.hpp"
 #include "sdf/graph.hpp"
 
 namespace sdf {
 
 /// Parses a graph from the text format; throws ParseError with a
-/// line-numbered message on malformed input.
-Graph read_text(std::istream& input);
-Graph read_text_string(const std::string& text);
-Graph read_text_file(const std::string& path);
+/// line-numbered message on malformed input.  When `locations` is non-null
+/// it receives the line of every actor and channel declaration (and the
+/// file path, for the file reader).
+Graph read_text(std::istream& input, SourceMap* locations = nullptr);
+Graph read_text_string(const std::string& text, SourceMap* locations = nullptr);
+Graph read_text_file(const std::string& path, SourceMap* locations = nullptr);
 
 /// Writes the text format.
 void write_text(std::ostream& output, const Graph& graph);

@@ -26,7 +26,7 @@ Int parse_int_attr(const XmlNode& node, const std::string& key, Int fallback) {
 
 }  // namespace
 
-Graph read_xml_string(const std::string& text) {
+Graph read_xml_string(const std::string& text, SourceMap* locations) {
     const XmlNode root = parse_xml(text);
     if (root.name != "sdf3") {
         throw ParseError("root element must be <sdf3>, got <" + root.name + ">");
@@ -61,6 +61,9 @@ Graph read_xml_string(const std::string& text) {
         const std::string& name = actor->required_attribute("name");
         const auto et = execution_time.find(name);
         graph.add_actor(name, et == execution_time.end() ? 0 : et->second);
+        if (locations != nullptr) {
+            locations->actors.push_back(SourceLoc{actor->line, actor->column});
+        }
         for (const XmlNode* port : actor->children_named("port")) {
             port_rate[{name, port->required_attribute("name")}] =
                 parse_int_attr(*port, "rate", 1);
@@ -92,18 +95,25 @@ Graph read_xml_string(const std::string& text) {
         };
         graph.add_channel(*src_id, *dst_id, rate_of(src, "srcPort"), rate_of(dst, "dstPort"),
                           parse_int_attr(*channel, "initialTokens", 0));
+        if (locations != nullptr) {
+            locations->channels.push_back(SourceLoc{channel->line, channel->column});
+        }
     }
     return graph;
 }
 
-Graph read_xml_file(const std::string& path) {
+Graph read_xml_file(const std::string& path, SourceMap* locations) {
     std::ifstream stream(path);
     if (!stream) {
         throw ParseError("cannot open '" + path + "'");
     }
     std::ostringstream buffer;
     buffer << stream.rdbuf();
-    return read_xml_string(buffer.str());
+    Graph graph = read_xml_string(buffer.str(), locations);
+    if (locations != nullptr) {
+        locations->file = path;
+    }
+    return graph;
 }
 
 std::string write_xml_string(const Graph& graph) {

@@ -27,13 +27,16 @@
 
 #include <string>
 
+#include "io/source_map.hpp"
 #include "sdf/graph.hpp"
 
 namespace sdf {
 
 /// Parses an SDF3-style document; throws ParseError on malformed input.
-Graph read_xml_string(const std::string& text);
-Graph read_xml_file(const std::string& path);
+/// When `locations` is non-null it receives the line/column of every
+/// <actor> and <channel> element (and the file path, for the file reader).
+Graph read_xml_string(const std::string& text, SourceMap* locations = nullptr);
+Graph read_xml_file(const std::string& path, SourceMap* locations = nullptr);
 
 /// Serialises the graph in the layout above.
 std::string write_xml_string(const Graph& graph);

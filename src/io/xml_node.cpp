@@ -1,5 +1,8 @@
 #include "io/xml_node.hpp"
 
+#include <tuple>
+#include <utility>
+
 #include "base/errors.hpp"
 
 namespace sdf {
@@ -56,8 +59,29 @@ public:
     }
 
 private:
-    [[noreturn]] void fail(const std::string& message) const {
-        throw ParseError("xml: " + message + " (at offset " + std::to_string(pos_) + ")");
+    /// Line and column (1-based) of `offset`.  Queries arrive in roughly
+    /// increasing offset order, so the scan memoises its last position and
+    /// only walks forward — amortised linear over a whole parse.
+    std::pair<std::size_t, std::size_t> location_at(std::size_t offset) {
+        if (offset < scanned_to_) {
+            scanned_to_ = 0;
+            scanned_line_ = 1;
+            scanned_line_start_ = 0;
+        }
+        while (scanned_to_ < offset && scanned_to_ < text_.size()) {
+            if (text_[scanned_to_] == '\n') {
+                ++scanned_line_;
+                scanned_line_start_ = scanned_to_ + 1;
+            }
+            ++scanned_to_;
+        }
+        return {scanned_line_, offset - scanned_line_start_ + 1};
+    }
+
+    [[noreturn]] void fail(const std::string& message) {
+        const auto [line, column] = location_at(pos_);
+        throw ParseError("xml: " + message + " (line " + std::to_string(line) +
+                         ", column " + std::to_string(column) + ")");
     }
 
     [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
@@ -152,8 +176,9 @@ private:
         if (eof() || peek() != '<') {
             fail("expected '<'");
         }
-        ++pos_;
         XmlNode node;
+        std::tie(node.line, node.column) = location_at(pos_);
+        ++pos_;
         node.name = parse_name();
         while (true) {
             skip_whitespace();
@@ -214,6 +239,10 @@ private:
 
     const std::string& text_;
     std::size_t pos_ = 0;
+    // Memoised newline scan for location_at().
+    std::size_t scanned_to_ = 0;
+    std::size_t scanned_line_ = 1;
+    std::size_t scanned_line_start_ = 0;
 };
 
 }  // namespace

@@ -7,6 +7,7 @@
 // attributes).
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <optional>
@@ -19,6 +20,8 @@ namespace sdf {
 class XmlNode {
 public:
     std::string name;
+    std::size_t line = 0;    ///< 1-based line of the opening '<'; 0 = unknown
+    std::size_t column = 0;  ///< 1-based column of the opening '<'
     std::map<std::string, std::string> attributes;
     std::vector<XmlNode> children;
 

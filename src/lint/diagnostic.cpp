@@ -1,0 +1,44 @@
+#include "lint/diagnostic.hpp"
+
+#include <algorithm>
+
+namespace sdf {
+
+std::string severity_name(Severity severity) {
+    switch (severity) {
+        case Severity::note: return "note";
+        case Severity::warning: return "warning";
+        case Severity::error: return "error";
+    }
+    return "unknown";
+}
+
+std::optional<Severity> parse_severity(const std::string& text) {
+    if (text == "note") return Severity::note;
+    if (text == "warning") return Severity::warning;
+    if (text == "error") return Severity::error;
+    return std::nullopt;
+}
+
+std::size_t LintReport::count(Severity severity) const {
+    return static_cast<std::size_t>(
+        std::count_if(diagnostics.begin(), diagnostics.end(),
+                      [severity](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+bool LintReport::has_at_least(Severity severity) const {
+    return std::any_of(diagnostics.begin(), diagnostics.end(),
+                       [severity](const Diagnostic& d) { return d.severity >= severity; });
+}
+
+std::optional<Severity> LintReport::worst() const {
+    std::optional<Severity> result;
+    for (const Diagnostic& d : diagnostics) {
+        if (!result || d.severity > *result) {
+            result = d.severity;
+        }
+    }
+    return result;
+}
+
+}  // namespace sdf

@@ -1,0 +1,56 @@
+// diagnostic.hpp — the diagnostic model of the lint subsystem.
+//
+// A Diagnostic is one finding of one rule: a stable rule id ("SDF003"), a
+// severity, a message, optionally a source location (mapped back to the
+// model file via io/source_map.hpp) and a fix-it hint.  A LintReport is
+// the ordered collection of findings for one graph.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/source_map.hpp"
+
+namespace sdf {
+
+/// Severity of a diagnostic, ordered from least to most severe.
+enum class Severity {
+    note,     ///< stylistic or informational; the model is sound
+    warning,  ///< likely mistake or scalability hazard; analyses still run
+    error,    ///< the model violates a precondition of the paper's analyses
+};
+
+/// "note" / "warning" / "error".
+std::string severity_name(Severity severity);
+
+/// Inverse of severity_name(); std::nullopt for unknown text.
+std::optional<Severity> parse_severity(const std::string& text);
+
+/// One finding of one lint rule.
+struct Diagnostic {
+    std::string rule;      ///< stable rule id, e.g. "SDF003"
+    Severity severity = Severity::note;
+    std::string message;   ///< what is wrong, naming actors/channels
+    SourceLoc location;    ///< where in the model file (line 0 = unknown)
+    std::string hint;      ///< optional fix-it suggestion ("" = none)
+};
+
+/// All findings for one graph, sorted by (line, rule id).
+struct LintReport {
+    std::vector<Diagnostic> diagnostics;
+
+    [[nodiscard]] bool empty() const { return diagnostics.empty(); }
+
+    /// Number of findings with exactly this severity.
+    [[nodiscard]] std::size_t count(Severity severity) const;
+
+    /// True when some finding is at least this severe.
+    [[nodiscard]] bool has_at_least(Severity severity) const;
+
+    /// The most severe finding's severity; std::nullopt when empty.
+    [[nodiscard]] std::optional<Severity> worst() const;
+};
+
+}  // namespace sdf

@@ -1,0 +1,71 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/errors.hpp"
+#include "lint/rules.hpp"
+#include "sdf/repetition.hpp"
+
+namespace sdf {
+
+namespace {
+
+bool rule_selected(const LintOptions& options, const std::string& id) {
+    if (options.rules.empty()) {
+        return true;
+    }
+    return std::find(options.rules.begin(), options.rules.end(), id) !=
+           options.rules.end();
+}
+
+}  // namespace
+
+LintReport lint_graph(const Graph& graph, const SourceMap* locations,
+                      const LintOptions& options) {
+    using lint_internal::LintContext;
+    using lint_internal::RuleEntry;
+
+    // Consistency is a shared precondition: compute the repetition vector
+    // once; rules that need it skip themselves when it does not exist.
+    std::optional<std::vector<Int>> repetition;
+    std::string inconsistency_reason;
+    if (graph.actor_count() > 0) {
+        try {
+            repetition = repetition_vector(graph);
+        } catch (const Error& e) {
+            inconsistency_reason = e.what();
+        }
+    }
+    const LintContext ctx{graph, locations, options,
+                          repetition ? &*repetition : nullptr, inconsistency_reason};
+
+    LintReport report;
+    for (const RuleEntry& entry : lint_internal::rule_entries()) {
+        if (!rule_selected(options, entry.meta.id)) {
+            continue;
+        }
+        try {
+            entry.check(ctx, report.diagnostics);
+        } catch (const Error& e) {
+            // A linter must not throw on lintable input: degrade the failed
+            // rule to a finding about itself.
+            report.diagnostics.push_back(Diagnostic{
+                entry.meta.id, Severity::warning,
+                "rule " + entry.meta.id + " (" + entry.meta.title +
+                    ") could not run: " + e.what(),
+                SourceLoc{}, ""});
+        }
+    }
+    // File order; graph-level findings (unknown location, line 0) first.
+    // Stable, so rules keep registry order within one line.
+    std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                         return a.location.line < b.location.line;
+                     });
+    return report;
+}
+
+}  // namespace sdf

@@ -1,0 +1,48 @@
+// lint.hpp — static diagnostics for SDF models.
+//
+// lint_graph() runs a battery of cheap structural checks over a graph
+// *before* any expensive analysis: the validity preconditions of the
+// paper's reductions (consistency and liveness for Theorem 1, Definition 3
+// for abstractions), overflow hazards in the checked<int64> arithmetic of
+// the symbolic conversion, and common modelling smells.  Every finding
+// carries a stable rule id (see registry.hpp and docs/LINT_RULES.md) so
+// scripts, golden tests and CI can match on them.
+//
+// The engine is deliberately exception-free towards callers: a graph that
+// would make an analysis throw produces diagnostics instead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/source_map.hpp"
+#include "lint/diagnostic.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// Tunable knobs of the linter.
+struct LintOptions {
+    /// Rule ids to run; empty means every registered rule.  Unknown ids
+    /// are ignored (validate against lint_rules() first if needed).
+    std::vector<std::string> rules;
+
+    /// SDF008/SDF009: warn when a conversion to HSDF would create more
+    /// than this many actors (classical: iteration length; reduced:
+    /// the paper's N(N+2) bound of Section 6).
+    Int max_hsdf_actors = 1'000'000;
+
+    /// SDF010: warn when a per-iteration quantity (token traffic of one
+    /// channel, total work) exceeds this, putting checked<int64> products
+    /// in the symbolic conversion at risk of overflow.
+    Int overflow_limit = Int{1} << 32;
+};
+
+/// Runs every selected rule over `graph` and returns the findings sorted
+/// by source line (graph-level findings, line 0, first).  `locations` may
+/// be null for programmatically built graphs.  Never throws on lintable
+/// input; a rule that fails internally reports itself as a warning.
+LintReport lint_graph(const Graph& graph, const SourceMap* locations = nullptr,
+                      const LintOptions& options = {});
+
+}  // namespace sdf

@@ -1,0 +1,31 @@
+// registry.hpp — the table of lint rules.
+//
+// Rule ids are stable across releases: scripts and golden tests match on
+// them, so an id is never reused for a different check.  New rules get the
+// next free SDFxxx number.  docs/LINT_RULES.md is the human-readable
+// mirror of this table (with paper citations) and is kept in sync by the
+// RuleTableMatchesDocs test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+
+namespace sdf {
+
+/// Metadata of one lint rule.
+struct Rule {
+    std::string id;       ///< stable id, e.g. "SDF003"
+    std::string title;    ///< short kebab-case name, e.g. "deadlock"
+    Severity severity = Severity::note;  ///< severity of its findings
+    std::string summary;  ///< one-line rationale
+};
+
+/// Every registered rule, in id order.
+const std::vector<Rule>& lint_rules();
+
+/// Rule with this id; nullptr when unknown.
+const Rule* find_rule(const std::string& id);
+
+}  // namespace sdf

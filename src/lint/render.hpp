@@ -1,0 +1,25 @@
+// render.hpp — turning a LintReport into text for humans or JSON for tools.
+//
+// The text form follows the compiler convention "file:line:col: severity:
+// message [RULE]" so editors and CI annotate model files directly.  The
+// JSON form is stable and golden-tested (tests/test_lint.cpp); field order
+// and formatting are part of the contract.
+#pragma once
+
+#include <string>
+
+#include "lint/diagnostic.hpp"
+
+namespace sdf {
+
+/// Compiler-style rendering, one finding per line, hints indented below.
+/// `file` prefixes every line ("(graph)" when empty).
+std::string render_text(const LintReport& report, const std::string& file);
+
+/// Pretty-printed JSON document: file, graph name, diagnostics array
+/// (rule, severity, message, line/column when known, hint when present)
+/// and per-severity counts.
+std::string render_json(const LintReport& report, const std::string& file,
+                        const std::string& graph_name);
+
+}  // namespace sdf

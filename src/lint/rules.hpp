@@ -1,0 +1,72 @@
+// rules.hpp — internal plumbing between the lint driver and the rule
+// implementations.  Not part of the public lint API; include lint.hpp and
+// registry.hpp from outside the subsystem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/source_map.hpp"
+#include "lint/diagnostic.hpp"
+#include "lint/lint.hpp"
+#include "lint/registry.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf::lint_internal {
+
+/// Shared, precomputed state every rule check receives.  The repetition
+/// vector is computed once by the driver; rules that need consistency
+/// simply skip when `repetition` is null.
+struct LintContext {
+    const Graph& graph;
+    const SourceMap* map;  ///< may be null
+    const LintOptions& options;
+    const std::vector<Int>* repetition;  ///< null: empty or inconsistent graph
+    std::string inconsistency_reason;    ///< why repetition is null ("" if not)
+
+    [[nodiscard]] SourceLoc actor_loc(ActorId id) const {
+        return map != nullptr ? map->actor(id) : SourceLoc{};
+    }
+    [[nodiscard]] SourceLoc channel_loc(ChannelId id) const {
+        return map != nullptr ? map->channel(id) : SourceLoc{};
+    }
+};
+
+/// Appends a finding for rule `id`, taking the severity from the registry.
+void emit(std::vector<Diagnostic>& out, const std::string& id, std::string message,
+          SourceLoc location = {}, std::string hint = {});
+
+using RuleCheck = void (*)(const LintContext&, std::vector<Diagnostic>&);
+
+/// One registry row: public metadata plus the check implementation.
+struct RuleEntry {
+    Rule meta;
+    RuleCheck check;
+};
+
+/// The full registry, in id order (backs lint_rules()).
+const std::vector<RuleEntry>& rule_entries();
+
+// Rule implementations, grouped by concern (one translation unit each).
+// rules_structure.cpp:
+void check_empty_graph(const LintContext&, std::vector<Diagnostic>&);        // SDF001
+void check_actor_off_cycle(const LintContext&, std::vector<Diagnostic>&);    // SDF004
+void check_disconnected(const LintContext&, std::vector<Diagnostic>&);       // SDF005
+void check_isolated_actor(const LintContext&, std::vector<Diagnostic>&);     // SDF006
+void check_zero_execution_time(const LintContext&, std::vector<Diagnostic>&);  // SDF007
+// rules_rates.cpp:
+void check_inconsistent_rates(const LintContext&, std::vector<Diagnostic>&);  // SDF002
+void check_hsdf_blowup(const LintContext&, std::vector<Diagnostic>&);         // SDF008
+void check_reduced_hsdf_bound(const LintContext&, std::vector<Diagnostic>&);  // SDF009
+void check_overflow_risk(const LintContext&, std::vector<Diagnostic>&);       // SDF010
+void check_dead_tokens(const LintContext&, std::vector<Diagnostic>&);         // SDF012
+// rules_liveness.cpp:
+void check_deadlock(const LintContext&, std::vector<Diagnostic>&);           // SDF003
+void check_starved_self_loop(const LintContext&, std::vector<Diagnostic>&);  // SDF013
+void check_zero_delay_cycle(const LintContext&, std::vector<Diagnostic>&);   // SDF016
+// rules_abstraction.cpp:
+void check_auto_concurrency(const LintContext&, std::vector<Diagnostic>&);     // SDF011
+void check_invalid_abstraction(const LintContext&, std::vector<Diagnostic>&);  // SDF014
+void check_redundant_channel(const LintContext&, std::vector<Diagnostic>&);    // SDF015
+
+}  // namespace sdf::lint_internal

@@ -1,0 +1,119 @@
+// rules_abstraction.cpp — reduction-readiness rules: SDF011
+// unbounded-auto-concurrency, SDF014 invalid-abstraction (Definition 3),
+// SDF015 redundant-channel (Section 4.2 pruning).
+#include <cstddef>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "base/errors.hpp"
+#include "base/string_util.hpp"
+#include "lint/rules.hpp"
+#include "transform/abstraction.hpp"
+
+namespace sdf::lint_internal {
+
+void check_auto_concurrency(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    if (g.actor_count() == 0) {
+        return;
+    }
+    std::vector<bool> has_self_loop(g.actor_count(), false);
+    for (const Channel& ch : g.channels()) {
+        if (ch.is_self_loop()) {
+            has_self_loop[ch.src] = true;
+        }
+    }
+    std::size_t unbounded = 0;
+    std::string names;
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        if (!has_self_loop[a]) {
+            ++unbounded;
+            if (unbounded <= 4) {
+                names += (names.empty() ? "" : ", ") + g.actor(a).name;
+            }
+        }
+    }
+    if (unbounded == 0) {
+        return;
+    }
+    if (unbounded > 4) {
+        names += ", and " + std::to_string(unbounded - 4) + " more";
+    }
+    // One summary note per graph; a per-actor finding would drown real
+    // diagnostics on conventional models, which rarely carry self-loops.
+    emit(out, "SDF011",
+         std::to_string(unbounded) + " of " + std::to_string(g.actor_count()) +
+             " actors (" + names + ") have no self-loop, so self-timed execution "
+             "may fire them unboundedly often in parallel",
+         SourceLoc{},
+         "add_self_loops (transform/selfloops.hpp) bounds auto-concurrency and "
+         "puts every actor on a cycle, as conventional for the SDF3 benchmarks");
+}
+
+void check_invalid_abstraction(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    if (ctx.repetition == nullptr) {
+        return;  // Definition 3 presumes a repetition vector (SDF002 reports)
+    }
+    const Graph& g = ctx.graph;
+    // Only meaningful when the names actually suggest a grouping ("A1",
+    // "A2" -> group "A" with >= 2 members).
+    std::map<std::string, std::size_t> group_size;
+    for (const Actor& actor : g.actors()) {
+        const NameParts parts = split_name_suffix(actor.name);
+        if (parts.index.has_value() && !parts.stem.empty()) {
+            ++group_size[parts.stem];
+        }
+    }
+    bool grouped = false;
+    for (const auto& [stem, size] : group_size) {
+        grouped = grouped || size >= 2;
+    }
+    if (!grouped) {
+        return;
+    }
+    try {
+        (void)abstraction_by_name_suffix(g);
+    } catch (const InvalidAbstractionError& e) {
+        emit(out, "SDF014",
+             "actor names suggest an abstraction grouping, but no index "
+             "assignment satisfies Definition 3: " + std::string(e.what()),
+             SourceLoc{},
+             "rename the actors, or pass an explicit valid (alpha, I) spec to "
+             "abstract_graph instead of relying on name suffixes");
+    }
+}
+
+void check_redundant_channel(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    // Among parallel channels with identical (src, dst, p, c) only the one
+    // with the fewest initial tokens constrains timing (Section 4.2).
+    std::map<std::tuple<ActorId, ActorId, Int, Int>, ChannelId> tightest;
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        const Channel& ch = g.channel(c);
+        const auto key = std::make_tuple(ch.src, ch.dst, ch.production, ch.consumption);
+        const auto [it, inserted] = tightest.emplace(key, c);
+        if (!inserted && g.channel(it->second).initial_tokens > ch.initial_tokens) {
+            it->second = c;
+        }
+    }
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        const Channel& ch = g.channel(c);
+        const auto key = std::make_tuple(ch.src, ch.dst, ch.production, ch.consumption);
+        const ChannelId keeper = tightest.at(key);
+        if (keeper != c) {
+            emit(out, "SDF015",
+                 "channel " + g.actor(ch.src).name + " -> " + g.actor(ch.dst).name +
+                     " (tokens " + std::to_string(ch.initial_tokens) +
+                     ") parallels an equal-rate channel with " +
+                     std::to_string(g.channel(keeper).initial_tokens) +
+                     " tokens and never constrains timing",
+                 ctx.channel_loc(c),
+                 "prune_redundant_channels (transform/prune.hpp) removes it "
+                 "without changing any firing time");
+        }
+    }
+}
+
+}  // namespace sdf::lint_internal

@@ -1,0 +1,97 @@
+// rules_liveness.cpp — liveness preconditions: SDF003 deadlock, SDF013
+// starved-self-loop, SDF016 zero-delay-cycle.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/deadlock.hpp"
+#include "base/digraph.hpp"
+#include "lint/rules.hpp"
+
+namespace sdf::lint_internal {
+
+void check_deadlock(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    if (ctx.repetition == nullptr) {
+        return;  // consistency is SDF002's report
+    }
+    const Graph& g = ctx.graph;
+    const DeadlockDiagnosis diagnosis = diagnose_deadlock(g);
+    if (!diagnosis.deadlocked) {
+        return;
+    }
+    for (const Starvation& starve : diagnosis.blocked) {
+        const Channel& ch = g.channel(starve.channel);
+        emit(out, "SDF003",
+             "actor '" + g.actor(starve.actor).name + "' starves on channel " +
+                 g.actor(ch.src).name + " -> " + g.actor(ch.dst).name + ": has " +
+                 std::to_string(starve.available) + " of " +
+                 std::to_string(starve.required) + " tokens, " +
+                 std::to_string(starve.remaining_firings) +
+                 " firings still owed this iteration",
+             ctx.channel_loc(starve.channel),
+             "add initial tokens to the starving channel (each token is one unit "
+             "of pipelining) or fix the rates feeding it");
+    }
+}
+
+void check_starved_self_loop(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        const Channel& ch = g.channel(c);
+        if (ch.is_self_loop() && ch.initial_tokens < ch.consumption) {
+            emit(out, "SDF013",
+                 "self-loop on actor '" + g.actor(ch.src).name + "' holds " +
+                     std::to_string(ch.initial_tokens) + " tokens but each firing "
+                     "needs " + std::to_string(ch.consumption) +
+                     "; the actor can never fire",
+                 ctx.channel_loc(c),
+                 "a self-loop bounding auto-concurrency to k needs k*consumption "
+                 "initial tokens (k = 1 models a non-pipelined resource)");
+        }
+    }
+}
+
+void check_zero_delay_cycle(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    if (g.actor_count() == 0) {
+        return;
+    }
+    // Cycles in the sub-digraph of token-free channels deadlock regardless
+    // of rates, so this fires even on inconsistent graphs.  Token-free
+    // self-loops are SDF013's report.
+    Digraph zero_delay(g.actor_count());
+    for (const Channel& ch : g.channels()) {
+        if (ch.initial_tokens == 0 && !ch.is_self_loop()) {
+            zero_delay.add_edge(ch.src, ch.dst);
+        }
+    }
+    std::size_t component_count = 0;
+    const std::vector<std::size_t> component =
+        zero_delay.strongly_connected_components(&component_count);
+    std::vector<std::size_t> component_size(component_count, 0);
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        ++component_size[component[a]];
+    }
+    std::vector<bool> reported(component_count, false);
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        const std::size_t scc = component[a];
+        if (component_size[scc] < 2 || reported[scc]) {
+            continue;
+        }
+        reported[scc] = true;
+        std::string members;
+        for (ActorId b = a; b < g.actor_count(); ++b) {
+            if (component[b] == scc) {
+                members += (members.empty() ? "" : ", ") + g.actor(b).name;
+            }
+        }
+        emit(out, "SDF016",
+             "actors {" + members + "} form a cycle of channels without initial "
+             "tokens; none of them can ever fire",
+             ctx.actor_loc(a),
+             "every directed cycle needs at least one initial token to break the "
+             "circular wait");
+    }
+}
+
+}  // namespace sdf::lint_internal

@@ -1,0 +1,159 @@
+// rules_rates.cpp — rate and magnitude rules: SDF002 inconsistent-rates,
+// SDF008 hsdf-blowup, SDF009 reduced-hsdf-bound, SDF010 overflow-risk,
+// SDF012 dead-tokens.
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/checked.hpp"
+#include "base/errors.hpp"
+#include "lint/rules.hpp"
+
+namespace sdf::lint_internal {
+
+namespace {
+
+/// a * b, or std::nullopt when the product overflows int64 — overflow
+/// means "certainly past any threshold" to the callers below.
+std::optional<Int> try_mul(Int a, Int b) {
+    try {
+        return checked_mul(a, b);
+    } catch (const ArithmeticError&) {
+        return std::nullopt;
+    }
+}
+
+std::optional<Int> try_add(std::optional<Int> a, std::optional<Int> b) {
+    if (!a || !b) {
+        return std::nullopt;
+    }
+    try {
+        return checked_add(*a, *b);
+    } catch (const ArithmeticError&) {
+        return std::nullopt;
+    }
+}
+
+/// Renders "overflows int64" or the value, for threshold messages.
+std::string magnitude(std::optional<Int> value) {
+    return value ? std::to_string(*value) : "more than int64 can hold";
+}
+
+bool exceeds(std::optional<Int> value, Int limit) {
+    return !value || *value > limit;
+}
+
+}  // namespace
+
+void check_inconsistent_rates(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    if (ctx.graph.actor_count() == 0 || ctx.repetition != nullptr) {
+        return;
+    }
+    emit(out, "SDF002",
+         "rates are inconsistent, the graph has no repetition vector: " +
+             ctx.inconsistency_reason,
+         SourceLoc{},
+         "rebalance the port rates so every cycle's production/consumption "
+         "ratios multiply to 1 (Lee & Messerschmitt balance equations)");
+}
+
+void check_hsdf_blowup(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    if (ctx.repetition == nullptr) {
+        return;
+    }
+    std::optional<Int> firings = 0;
+    for (const Int q : *ctx.repetition) {
+        firings = try_add(firings, q);
+    }
+    if (exceeds(firings, ctx.options.max_hsdf_actors)) {
+        emit(out, "SDF008",
+             "one iteration has " + magnitude(firings) +
+                 " firings; the classical SDF-to-HSDF conversion creates that many "
+                 "actors (limit " + std::to_string(ctx.options.max_hsdf_actors) + ")",
+             SourceLoc{},
+             "reduce the rate granularity, or use the reduced conversion "
+             "(transform/hsdf_reduced.hpp) whose size depends on tokens, not rates");
+    }
+}
+
+void check_reduced_hsdf_bound(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    std::optional<Int> tokens;
+    try {
+        tokens = ctx.graph.total_initial_tokens();
+    } catch (const ArithmeticError&) {
+        tokens = std::nullopt;
+    }
+    // Section 6 bound: the reduced HSDF graph has at most N(N+2) actors for
+    // N initial tokens.
+    const std::optional<Int> bound =
+        tokens ? try_add(try_mul(*tokens, *tokens), try_mul(*tokens, 2)) : std::nullopt;
+    if (exceeds(bound, ctx.options.max_hsdf_actors)) {
+        emit(out, "SDF009",
+             "the graph carries " + magnitude(tokens) +
+                 " initial tokens, so even the reduced HSDF conversion is bounded "
+                 "only by N(N+2) = " + magnitude(bound) + " actors (limit " +
+                 std::to_string(ctx.options.max_hsdf_actors) + ")",
+             SourceLoc{},
+             "model large token counts as scaled rates where possible; the "
+             "conversion cost grows with tokens, not with rates");
+    }
+}
+
+void check_overflow_risk(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    if (ctx.repetition == nullptr) {
+        return;
+    }
+    const Graph& g = ctx.graph;
+    const std::vector<Int>& q = *ctx.repetition;
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        const Channel& ch = g.channel(c);
+        const std::optional<Int> traffic = try_mul(q[ch.src], ch.production);
+        if (exceeds(traffic, ctx.options.overflow_limit)) {
+            emit(out, "SDF010",
+                 "channel " + g.actor(ch.src).name + " -> " + g.actor(ch.dst).name +
+                     " moves " + magnitude(traffic) +
+                     " tokens per iteration; checked int64 token arithmetic in the "
+                     "symbolic conversion risks overflow (limit " +
+                     std::to_string(ctx.options.overflow_limit) + ")",
+                 ctx.channel_loc(c),
+                 "divide the rates by their common factor or split the iteration; "
+                 "the analyses abort with ArithmeticError past int64");
+        }
+    }
+    std::optional<Int> work = 0;
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        work = try_add(work, try_mul(q[a], g.actor(a).execution_time));
+    }
+    if (exceeds(work, ctx.options.overflow_limit)) {
+        emit(out, "SDF010",
+             "one iteration performs " + magnitude(work) +
+                 " time units of work; symbolic time stamps risk int64 overflow "
+                 "(limit " + std::to_string(ctx.options.overflow_limit) + ")",
+             SourceLoc{},
+             "rescale execution times to a coarser time unit");
+    }
+}
+
+void check_dead_tokens(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        const Channel& ch = g.channel(c);
+        const Int g_rate = gcd(ch.production, ch.consumption);
+        const Int remainder = ch.initial_tokens % g_rate;
+        if (remainder != 0) {
+            emit(out, "SDF012",
+                 "channel " + g.actor(ch.src).name + " -> " + g.actor(ch.dst).name +
+                     ": " + std::to_string(remainder) + " of the " +
+                     std::to_string(ch.initial_tokens) +
+                     " initial tokens can never be consumed (the token count stays "
+                     "congruent to " + std::to_string(remainder) + " mod gcd(" +
+                     std::to_string(ch.production) + ", " +
+                     std::to_string(ch.consumption) + "))",
+                 ctx.channel_loc(c),
+                 "drop the dead remainder from initialTokens; it only inflates "
+                 "buffer bounds");
+        }
+    }
+}
+
+}  // namespace sdf::lint_internal

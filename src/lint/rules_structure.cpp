@@ -1,0 +1,148 @@
+// rules_structure.cpp — structural rules: SDF001 empty-graph, SDF004
+// actor-off-cycle, SDF005 disconnected-graph, SDF006 isolated-actor,
+// SDF007 zero-execution-time.
+#include <cstddef>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "base/digraph.hpp"
+#include "lint/rules.hpp"
+#include "sdf/properties.hpp"
+
+namespace sdf::lint_internal {
+
+namespace {
+
+/// Per-actor channel presence, computed in one pass.
+struct Degrees {
+    std::vector<bool> has_in;
+    std::vector<bool> has_out;
+
+    explicit Degrees(const Graph& graph)
+        : has_in(graph.actor_count(), false), has_out(graph.actor_count(), false) {
+        for (const Channel& ch : graph.channels()) {
+            has_out[ch.src] = true;
+            has_in[ch.dst] = true;
+        }
+    }
+
+    [[nodiscard]] bool isolated(ActorId a) const { return !has_in[a] && !has_out[a]; }
+};
+
+}  // namespace
+
+void check_empty_graph(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    if (ctx.graph.actor_count() == 0) {
+        emit(out, "SDF001", "graph has no actors",
+             SourceLoc{}, "declare at least one actor before analysing the graph");
+    }
+}
+
+void check_actor_off_cycle(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    if (g.actor_count() == 0) {
+        return;
+    }
+    const Degrees degrees(g);
+    // An actor lies on a cycle iff its SCC has >= 2 members or it has a
+    // self-loop channel.  Isolated actors are reported by SDF006 instead.
+    const Digraph digraph = dependency_digraph(g);
+    const std::vector<std::size_t> component = digraph.strongly_connected_components();
+    std::vector<std::size_t> component_size(g.actor_count(), 0);
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        ++component_size[component[a]];
+    }
+    std::vector<bool> self_loop(g.actor_count(), false);
+    for (const Channel& ch : g.channels()) {
+        if (ch.is_self_loop()) {
+            self_loop[ch.src] = true;
+        }
+    }
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        if (component_size[component[a]] < 2 && !self_loop[a] && !degrees.isolated(a)) {
+            emit(out, "SDF004",
+                 "actor '" + g.actor(a).name + "' lies on no directed cycle, so its "
+                 "self-timed throughput is unbounded",
+                 ctx.actor_loc(a),
+                 "bound its concurrency with a self-loop channel "
+                 "(transform/selfloops.hpp) or close the missing feedback path");
+        }
+    }
+}
+
+void check_disconnected(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    if (g.actor_count() < 2) {
+        return;
+    }
+    // Union-find over the undirected channel structure.
+    std::vector<ActorId> parent(g.actor_count());
+    std::iota(parent.begin(), parent.end(), 0);
+    const auto find = [&parent](ActorId a) {
+        while (parent[a] != a) {
+            parent[a] = parent[parent[a]];
+            a = parent[a];
+        }
+        return a;
+    };
+    for (const Channel& ch : g.channels()) {
+        parent[find(ch.src)] = find(ch.dst);
+    }
+    std::size_t components = 0;
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        if (find(a) == a) {
+            ++components;
+        }
+    }
+    if (components > 1) {
+        emit(out, "SDF005",
+             "graph splits into " + std::to_string(components) +
+                 " weakly connected components with unrelated timing",
+             SourceLoc{},
+             "analyse the components as separate graphs, or connect them if the "
+             "split is a modelling mistake");
+    }
+}
+
+void check_isolated_actor(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    if (g.actor_count() < 2) {
+        return;  // a single actor without channels is just a trivial graph
+    }
+    const Degrees degrees(g);
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        if (degrees.isolated(a)) {
+            emit(out, "SDF006",
+                 "actor '" + g.actor(a).name + "' has no channels at all",
+                 ctx.actor_loc(a),
+                 "connect the actor or delete it; isolated actors contribute "
+                 "nothing to the analyses");
+        }
+    }
+}
+
+void check_zero_execution_time(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    // Only flag when the graph is otherwise timed: an entirely untimed
+    // graph (all zeros) is a legitimate purely-functional model.
+    bool any_timed = false;
+    for (const Actor& actor : g.actors()) {
+        any_timed = any_timed || actor.execution_time > 0;
+    }
+    if (!any_timed) {
+        return;
+    }
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        if (g.actor(a).execution_time == 0) {
+            emit(out, "SDF007",
+                 "actor '" + g.actor(a).name + "' has execution time 0 in an "
+                 "otherwise timed graph",
+                 ctx.actor_loc(a),
+                 "give the actor its real execution time (a missing "
+                 "<executionTime> entry defaults to 0)");
+        }
+    }
+}
+
+}  // namespace sdf::lint_internal

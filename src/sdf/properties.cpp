@@ -25,7 +25,7 @@ bool is_strongly_connected(const Graph& graph) {
         return false;
     }
     std::size_t component_count = 0;
-    dependency_digraph(graph).strongly_connected_components(&component_count);
+    (void)dependency_digraph(graph).strongly_connected_components(&component_count);
     return component_count == 1;
 }
 

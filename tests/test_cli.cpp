@@ -174,14 +174,96 @@ TEST_F(CliTest, CsdfAnalyzeAndReduce) {
     EXPECT_EQ(reduced.total_initial_tokens(), 1);
 }
 
-TEST_F(CliTest, ErrorsAreReportedWithExitCodeOne) {
+TEST_F(CliTest, ExitCodesDistinguishFailureKinds) {
+    // 3: the input could not be parsed at all (missing or malformed file).
     const CliResult missing = run_cli("info /nonexistent/file.sdf");
-    EXPECT_EQ(missing.exit_code, 1);
-    EXPECT_NE(missing.output.find("error:"), std::string::npos);
+    EXPECT_EQ(missing.exit_code, 3);
+    EXPECT_NE(missing.output.find("parse error:"), std::string::npos);
 
+    std::ofstream(dir_ + "/garbage.sdf") << "graph g\nactor a 1\nchannel a ?\n";
+    const CliResult garbage = run_cli("info " + dir_ + "/garbage.sdf");
+    EXPECT_EQ(garbage.exit_code, 3);
+    EXPECT_NE(garbage.output.find("parse error:"), std::string::npos);
+    EXPECT_NE(garbage.output.find("line 3"), std::string::npos);
+
+    // 1: the input parsed but an analysis failed.
+    Graph inconsistent;
+    const ActorId a = inconsistent.add_actor("a", 1);
+    const ActorId b = inconsistent.add_actor("b", 1);
+    inconsistent.add_channel(a, b, 2, 3, 0);
+    inconsistent.add_channel(b, a, 1, 1, 0);
+    write_text_file(dir_ + "/bad.sdf", inconsistent);
+    const CliResult analysis = run_cli("analyze " + dir_ + "/bad.sdf");
+    EXPECT_EQ(analysis.exit_code, 1);
+    EXPECT_NE(analysis.output.find("error:"), std::string::npos);
+
+    // 2: the invocation itself was malformed.
     const CliResult bad_format =
         run_cli("convert --to bogus " + dir_ + "/h263.sdf");
     EXPECT_EQ(bad_format.exit_code, 2);
+}
+
+TEST_F(CliTest, VersionFlagPrintsToolVersion) {
+    const CliResult r = run_cli("--version");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("sdfred_cli "), std::string::npos);
+    EXPECT_EQ(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, LintCleanModelExitsZero) {
+    const CliResult r = run_cli("lint " + dir_ + "/h263.sdf");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("0 errors"), std::string::npos);
+}
+
+TEST_F(CliTest, LintBrokenModelReportsRuleWithLocation) {
+    const std::string path = std::string(SDFRED_DATA_DIR) + "/bad/deadlocked.sdf";
+    const CliResult r = run_cli("lint " + path);
+    EXPECT_EQ(r.exit_code, 1);  // errors at the default --fail-on
+    EXPECT_NE(r.output.find("deadlocked.sdf:6:1: error:"), std::string::npos);
+    EXPECT_NE(r.output.find("[SDF003]"), std::string::npos);
+}
+
+TEST_F(CliTest, LintJsonFormatIsStable) {
+    const std::string path = std::string(SDFRED_DATA_DIR) + "/bad/inconsistent.xml";
+    const CliResult r = run_cli("lint " + path + " --format json");
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.output.find("\"rule\": \"SDF002\""), std::string::npos);
+    EXPECT_NE(r.output.find("\"graph\": \"inconsistent\""), std::string::npos);
+    EXPECT_NE(r.output.find("\"counts\": "), std::string::npos);
+}
+
+TEST_F(CliTest, LintRuleSelectionAndFailOn) {
+    const std::string path = std::string(SDFRED_DATA_DIR) + "/bad/overflow.sdf";
+    // overflow.sdf has only warnings and notes: clean at the default gate...
+    EXPECT_EQ(run_cli("lint " + path).exit_code, 0);
+    // ...but fails when the gate is lowered to warnings.
+    EXPECT_EQ(run_cli("lint " + path + " --fail-on warning").exit_code, 1);
+    // Restricting to a note-severity rule passes even the warning gate.
+    const CliResult filtered =
+        run_cli("lint " + path + " --rules SDF012 --fail-on warning");
+    EXPECT_EQ(filtered.exit_code, 0);
+    // Unknown rule ids are an invocation error.
+    EXPECT_EQ(run_cli("lint " + path + " --rules SDF999").exit_code, 2);
+}
+
+TEST_F(CliTest, LintListEnumeratesRules) {
+    const CliResult r = run_cli("lint --list");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("SDF001"), std::string::npos);
+    EXPECT_NE(r.output.find("SDF012"), std::string::npos);
+}
+
+TEST_F(CliTest, LintGuardBlocksBrokenInputs) {
+    const std::string path = std::string(SDFRED_DATA_DIR) + "/bad/deadlocked.sdf";
+    const CliResult guarded = run_cli("analyze --lint " + path);
+    EXPECT_EQ(guarded.exit_code, 1);
+    EXPECT_NE(guarded.output.find("[SDF003]"), std::string::npos);
+    // The guard is silent on clean inputs and the command runs normally.
+    const CliResult clean = run_cli("analyze --lint " + dir_ + "/h263.sdf");
+    EXPECT_EQ(clean.exit_code, 0);
+    EXPECT_NE(clean.output.find("iteration period:"), std::string::npos);
+    EXPECT_EQ(clean.output.find("[SDF"), std::string::npos);
 }
 
 }  // namespace

@@ -15,15 +15,27 @@
 //   sdfred_cli csdf-analyze FILE.xml      cyclo-static analysis
 //   sdfred_cli csdf-reduce  FILE.xml [-o OUT]
 //                                         reduced HSDF of a CSDF graph
+//   sdfred_cli lint FILE [--format text|json] [--rules ID,ID,...]
+//                        [--fail-on note|warning|error]
+//                                         static diagnostics (docs/LINT_RULES.md)
+//   sdfred_cli lint --list                rule reference table
 //
 // Graphs load from SDF3-style XML (*.xml) or the plain-text format
 // (anything else); CSDF commands take csdf-typed XML.  -o picks the output
 // format by extension (.xml, .dot, anything else: text), stdout gets the
-// text format.
+// text format.  --lint runs the linter as a guard before any other
+// command and aborts on errors; --version prints the build id.
+//
+// Exit codes: 0 success (for lint: nothing at/above --fail-on), 1 analysis
+// failure or lint findings, 2 bad invocation, 3 unparseable input file.
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
+
+#ifndef SDFRED_VERSION
+#define SDFRED_VERSION "unknown"
+#endif
 
 #include "analysis/deadlock.hpp"
 #include "analysis/latency.hpp"
@@ -38,8 +50,12 @@
 #include "csdf/analysis.hpp"
 #include "io/csdf_xml.hpp"
 #include "io/dot.hpp"
+#include "io/source_map.hpp"
 #include "io/text.hpp"
 #include "io/xml.hpp"
+#include "lint/lint.hpp"
+#include "lint/registry.hpp"
+#include "lint/render.hpp"
 #include "sdf/properties.hpp"
 #include "sdf/repetition.hpp"
 #include "transform/abstraction.hpp"
@@ -57,8 +73,9 @@ bool has_suffix(const std::string& text, const std::string& suffix) {
            text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-Graph load(const std::string& path) {
-    return has_suffix(path, ".xml") ? read_xml_file(path) : read_text_file(path);
+Graph load(const std::string& path, SourceMap* locations = nullptr) {
+    return has_suffix(path, ".xml") ? read_xml_file(path, locations)
+                                    : read_text_file(path, locations);
 }
 
 void save(const Graph& graph, const std::optional<std::string>& out) {
@@ -82,7 +99,12 @@ int usage() {
                  "       sdfred_cli unfold N FILE [-o OUT]\n"
                  "       sdfred_cli csdf-analyze FILE.xml\n"
                  "       sdfred_cli csdf-reduce FILE.xml [-o OUT]\n"
-                 "FMT: hsdf | reduced-hsdf | abstract | abstract-sdf | text | xml | dot\n";
+                 "       sdfred_cli lint FILE [--format text|json] [--rules ID,...]\n"
+                 "                        [--fail-on note|warning|error]\n"
+                 "       sdfred_cli lint --list\n"
+                 "       sdfred_cli --version\n"
+                 "FMT: hsdf | reduced-hsdf | abstract | abstract-sdf | text | xml | dot\n"
+                 "--lint before any command aborts it when the model has lint errors\n";
     return 2;
 }
 
@@ -238,6 +260,59 @@ int cmd_convert(const Graph& g, const std::string& format,
     return 0;
 }
 
+int cmd_lint_list() {
+    std::cout << "id      severity  title                        summary\n";
+    for (const Rule& rule : lint_rules()) {
+        std::string severity = severity_name(rule.severity);
+        severity.resize(8, ' ');
+        std::string title = rule.title;
+        title.resize(27, ' ');
+        std::cout << rule.id << "  " << severity << "  " << title << "  "
+                  << rule.summary << "\n";
+    }
+    return 0;
+}
+
+int cmd_lint(const std::string& path, const std::string& format,
+             const std::vector<std::string>& rules, Severity fail_on) {
+    SourceMap locations;
+    const Graph graph = load(path, &locations);
+    LintOptions options;
+    for (const std::string& id : rules) {
+        if (find_rule(id) == nullptr) {
+            std::cerr << "error: unknown lint rule '" << id
+                      << "' (see: sdfred_cli lint --list)\n";
+            return 2;
+        }
+        options.rules.push_back(id);
+    }
+    const LintReport report = lint_graph(graph, &locations, options);
+    if (format == "json") {
+        std::cout << render_json(report, path, graph.name());
+    } else {
+        std::cout << render_text(report, path);
+        std::cout << path << ": " << report.count(Severity::error) << " errors, "
+                  << report.count(Severity::warning) << " warnings, "
+                  << report.count(Severity::note) << " notes\n";
+    }
+    return report.has_at_least(fail_on) ? 1 : 0;
+}
+
+/// The --lint guard: lints `path` before an analysis command runs and
+/// reports whether errors block it.
+bool lint_guard_passes(const std::string& path) {
+    SourceMap locations;
+    const Graph graph = load(path, &locations);
+    const LintReport report = lint_graph(graph, &locations);
+    if (!report.has_at_least(Severity::error)) {
+        return true;
+    }
+    std::cerr << render_text(report, path);
+    std::cerr << "error: model has lint errors; aborting (rerun without --lint "
+                 "to force, or fix the model)\n";
+    return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,20 +320,63 @@ int main(int argc, char** argv) {
     if (args.empty()) {
         return usage();
     }
+    if (args[0] == "--version" || args[0] == "version") {
+        std::cout << "sdfred_cli " << SDFRED_VERSION << "\n";
+        return 0;
+    }
     try {
         const std::string& command = args[0];
         // Gather positional arguments and options.
         std::optional<std::string> out;
         std::optional<std::string> format;
+        std::optional<std::string> lint_format;
+        std::vector<std::string> lint_rule_ids;
+        Severity fail_on = Severity::error;
+        bool guard = false;
+        bool list_rules = false;
         std::vector<std::string> positional;
         for (std::size_t i = 1; i < args.size(); ++i) {
             if (args[i] == "-o" && i + 1 < args.size()) {
                 out = args[++i];
             } else if (args[i] == "--to" && i + 1 < args.size()) {
                 format = args[++i];
+            } else if (args[i] == "--format" && i + 1 < args.size()) {
+                lint_format = args[++i];
+                if (*lint_format != "text" && *lint_format != "json") {
+                    return usage();
+                }
+            } else if (args[i] == "--rules" && i + 1 < args.size()) {
+                for (const std::string& id : split(args[++i], ',')) {
+                    if (!id.empty()) {
+                        lint_rule_ids.push_back(id);
+                    }
+                }
+            } else if (args[i] == "--fail-on" && i + 1 < args.size()) {
+                const auto severity = parse_severity(args[++i]);
+                if (!severity) {
+                    return usage();
+                }
+                fail_on = *severity;
+            } else if (args[i] == "--lint") {
+                guard = true;
+            } else if (args[i] == "--list") {
+                list_rules = true;
             } else {
                 positional.push_back(args[i]);
             }
+        }
+        if (command == "lint" && list_rules && positional.empty()) {
+            return cmd_lint_list();
+        }
+        if (command == "lint" && positional.size() == 1) {
+            return cmd_lint(positional[0], lint_format.value_or("text"),
+                            lint_rule_ids, fail_on);
+        }
+        // The --lint guard: validate the model before the requested
+        // analysis touches it.
+        if (guard && positional.size() == 1 && command != "csdf-analyze" &&
+            command != "csdf-reduce" && !lint_guard_passes(positional[0])) {
+            return 1;
         }
         if (command == "info" && positional.size() == 1) {
             return cmd_info(load(positional[0]));
@@ -296,10 +414,18 @@ int main(int argc, char** argv) {
             if (!n || *n <= 0) {
                 return usage();
             }
+            if (guard && !lint_guard_passes(positional[1])) {
+                return 1;
+            }
             save(unfold(load(positional[1]), *n), out);
             return 0;
         }
         return usage();
+    } catch (const ParseError& e) {
+        // Bad input file: distinct from bad invocation (2) and failed
+        // analysis (1) so scripts and CI can triage without text matching.
+        std::cerr << "parse error: " << e.what() << "\n";
+        return 3;
     } catch (const Error& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
