@@ -22,6 +22,7 @@
 
 #include "analysis/buffers.hpp"
 #include "analysis/throughput.hpp"
+#include "base/thread_pool.hpp"
 #include "gen/benchmarks.hpp"
 
 namespace {
@@ -36,11 +37,14 @@ std::vector<BenchmarkCase> dse_cases() {
     return {all[1], all[2], all[4], all[6]};  // encoder, modem, granule, samplerate
 }
 
-/// One DSE sweep: evaluate `steps` uniform capacity scalings.
+/// One DSE sweep: evaluate `steps` uniform capacity scalings.  The
+/// candidate evaluations are independent, so they are dispatched on the
+/// global thread pool (one capacity point per index) and reduced after.
 template <typename Evaluate>
 Rational sweep(const Graph& app, Int steps, const Evaluate& evaluate) {
-    Rational best(0);
-    for (Int s = 1; s <= steps; ++s) {
+    std::vector<Rational> rates(static_cast<std::size_t>(steps), Rational(0));
+    parallel_for(0, static_cast<std::size_t>(steps), 1, [&](std::size_t point) {
+        const Int s = static_cast<Int>(point) + 1;
         std::vector<Int> capacities;
         capacities.reserve(app.channel_count());
         for (ChannelId c = 0; c < app.channel_count(); ++c) {
@@ -50,9 +54,14 @@ Rational sweep(const Graph& app, Int steps, const Evaluate& evaluate) {
             capacities.push_back(ch.is_self_loop() ? ch.initial_tokens : base * s);
         }
         const ThroughputResult t = evaluate(with_buffer_capacities(app, capacities));
-        if (t.is_finite() && !t.period.is_zero() &&
-            t.period.reciprocal() > best) {
-            best = t.period.reciprocal();
+        if (t.is_finite() && !t.period.is_zero()) {
+            rates[point] = t.period.reciprocal();
+        }
+    });
+    Rational best(0);
+    for (const Rational& rate : rates) {
+        if (rate > best) {
+            best = rate;
         }
     }
     return best;

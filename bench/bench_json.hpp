@@ -1,0 +1,123 @@
+// bench_json.hpp — machine-readable reporting for the bench harness.
+//
+// Every bench that participates in the perf trajectory accepts
+//
+//     --json <file>    write a BENCH_*.json report and exit
+//     --reps <n>       wall-time repetitions per measurement (default 5)
+//
+// and records, per model: name, graph sizes, matrix density, the wall-time
+// distribution over the repetitions, and the pool's thread count.  Reports
+// always carry a baseline (dense/serial) and an optimized measurement taken
+// in the same run, so a single file documents the speedup without needing a
+// second checkout to compare against.  docs/PERFORMANCE.md describes the
+// schema and how the CI bench-smoke job archives the files.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sdfbench {
+
+/// Wall-time distribution of repeated runs, all in milliseconds.
+struct Stats {
+    int reps = 0;
+    std::vector<double> samples_ms;
+    double min_ms = 0;
+    double max_ms = 0;
+    double mean_ms = 0;
+    double median_ms = 0;
+    double stddev_ms = 0;
+};
+
+/// Runs `fn` `reps` times under a steady_clock and summarises.
+template <typename Fn>
+Stats measure_ms(int reps, Fn&& fn) {
+    Stats s;
+    s.reps = reps;
+    s.samples_ms.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const auto end = std::chrono::steady_clock::now();
+        s.samples_ms.push_back(std::chrono::duration<double, std::milli>(end - start).count());
+    }
+    std::vector<double> sorted = s.samples_ms;
+    std::sort(sorted.begin(), sorted.end());
+    s.min_ms = sorted.front();
+    s.max_ms = sorted.back();
+    const std::size_t n = sorted.size();
+    s.median_ms = (n % 2 == 1) ? sorted[n / 2] : (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
+    double sum = 0;
+    for (const double v : sorted) {
+        sum += v;
+    }
+    s.mean_ms = sum / static_cast<double>(n);
+    double var = 0;
+    for (const double v : sorted) {
+        var += (v - s.mean_ms) * (v - s.mean_ms);
+    }
+    s.stddev_ms = n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+    return s;
+}
+
+inline std::string json_escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+inline std::string json_num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/// '{"reps": 5, "min_ms": ..., ..., "samples_ms": [...]}'.
+inline std::string stats_json(const Stats& s) {
+    std::string out = "{";
+    out += "\"reps\": " + std::to_string(s.reps);
+    out += ", \"min_ms\": " + json_num(s.min_ms);
+    out += ", \"median_ms\": " + json_num(s.median_ms);
+    out += ", \"mean_ms\": " + json_num(s.mean_ms);
+    out += ", \"max_ms\": " + json_num(s.max_ms);
+    out += ", \"stddev_ms\": " + json_num(s.stddev_ms);
+    out += ", \"samples_ms\": [";
+    for (std::size_t i = 0; i < s.samples_ms.size(); ++i) {
+        if (i > 0) {
+            out += ", ";
+        }
+        out += json_num(s.samples_ms[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+/// Removes "--flag value" from argv; returns value or `fallback`.
+inline std::string consume_flag(int& argc, char** argv, const std::string& flag,
+                                const std::string& fallback) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag) {
+            const std::string value = argv[i + 1];
+            for (int j = i; j + 2 < argc; ++j) {
+                argv[j] = argv[j + 2];
+            }
+            argc -= 2;
+            return value;
+        }
+    }
+    return fallback;
+}
+
+}  // namespace sdfbench

@@ -1,13 +1,27 @@
 // bench_mcm_algorithms — ablation over the cycle-metric solvers the
 // throughput analyses can sit on (the paper cites Dasdan/Irani/Gupta [5]
 // for this design space): Karp's exact max cycle mean on the iteration
-// matrix, the exact Stern–Brocot max cycle ratio on the reduced HSDF, and
-// Howard's floating-point policy iteration.
+// matrix (serial and pooled per-SCC variants), the exact Stern–Brocot max
+// cycle ratio on the reduced HSDF, and Howard's floating-point policy
+// iteration.
+//
+// Flags (see docs/PERFORMANCE.md):
+//   --json FILE   write BENCH_mcm.json-style report and skip the
+//                 google-benchmark run
+//   --reps N      repetitions per measurement (default 5)
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
+#include "base/thread_pool.hpp"
 #include "gen/benchmarks.hpp"
+#include "gen/structured.hpp"
 #include "maxplus/mcm.hpp"
 #include "sdf/properties.hpp"
 #include "transform/hsdf_reduced.hpp"
@@ -25,7 +39,11 @@ struct Prepared {
 
 std::vector<Prepared> prepare() {
     std::vector<Prepared> out;
-    for (const BenchmarkCase& bench : table1_benchmarks()) {
+    std::vector<BenchmarkCase> cases = table1_benchmarks();
+    // A large scaling case: the per-SCC Karp dispatch and the serial
+    // baseline diverge only when there is real work per component.
+    cases.push_back(BenchmarkCase{"fork_join(1024)", fork_join_graph(1024, 5, 4)});
+    for (const BenchmarkCase& bench : cases) {
         const SymbolicIteration it = symbolic_iteration(bench.graph);
         out.push_back(Prepared{
             bench.label,
@@ -36,12 +54,19 @@ std::vector<Prepared> prepare() {
     return out;
 }
 
-void print_agreement() {
+void print_agreement(const std::vector<Prepared>& prepared) {
     std::printf("Cycle-metric solvers on the benchmark suite (must agree)\n");
     std::printf("%-26s %14s %16s %14s\n", "test case", "Karp (exact)",
                 "SternBrocot", "Howard (f64)");
-    for (const Prepared& p : prepare()) {
+    for (const Prepared& p : prepared) {
         const CycleMetric karp = max_cycle_mean_karp(p.matrix_graph);
+        const CycleMetric serial = max_cycle_mean_karp_serial(p.matrix_graph);
+        if (karp.outcome != serial.outcome ||
+            (karp.is_finite() && !(karp.value == serial.value))) {
+            std::printf("ERROR: pooled and serial Karp disagree on %s\n",
+                        p.label.c_str());
+            std::exit(1);
+        }
         const CycleMetric exact = max_cycle_ratio_exact(p.reduced_graph);
         const CycleMetricDouble howard = max_cycle_ratio_howard(p.reduced_graph);
         std::printf("%-26s %14s %16s %14.3f\n", p.label.c_str(),
@@ -52,11 +77,84 @@ void print_agreement() {
     std::printf("\n");
 }
 
-void BM_Karp(benchmark::State& state) {
+struct McmReport {
+    std::string name;
+    std::size_t nodes = 0;
+    std::size_t edges = 0;
+    sdfbench::Stats baseline_serial;   // max_cycle_mean_karp_serial
+    sdfbench::Stats optimized_pooled;  // max_cycle_mean_karp (thread pool)
+    sdfbench::Stats stern_brocot;
+    sdfbench::Stats howard;
+    double speedup = 0;  // serial median / pooled median
+};
+
+McmReport measure(const Prepared& p, int reps) {
+    McmReport r;
+    r.name = p.label;
+    r.nodes = p.matrix_graph.node_count();
+    r.edges = p.matrix_graph.edge_count();
+    r.baseline_serial = sdfbench::measure_ms(reps, [&] {
+        benchmark::DoNotOptimize(max_cycle_mean_karp_serial(p.matrix_graph));
+    });
+    r.optimized_pooled = sdfbench::measure_ms(reps, [&] {
+        benchmark::DoNotOptimize(max_cycle_mean_karp(p.matrix_graph));
+    });
+    r.stern_brocot = sdfbench::measure_ms(reps, [&] {
+        benchmark::DoNotOptimize(max_cycle_ratio_exact(p.reduced_graph));
+    });
+    r.howard = sdfbench::measure_ms(reps, [&] {
+        benchmark::DoNotOptimize(max_cycle_ratio_howard(p.reduced_graph));
+    });
+    r.speedup = r.optimized_pooled.median_ms > 0
+                    ? r.baseline_serial.median_ms / r.optimized_pooled.median_ms
+                    : 0;
+    return r;
+}
+
+void write_json(const std::string& path, const std::vector<McmReport>& reports,
+                int reps) {
+    std::ofstream out(path);
+    out << "{\n";
+    out << "  \"bench\": \"bench_mcm_algorithms\",\n";
+    out << "  \"threads\": " << global_thread_pool().size() << ",\n";
+    out << "  \"reps\": " << reps << ",\n";
+    out << "  \"models\": [\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const McmReport& r = reports[i];
+        out << "    {\n";
+        out << "      \"name\": \"" << sdfbench::json_escape(r.name) << "\",\n";
+        out << "      \"precedence_nodes\": " << r.nodes << ",\n";
+        out << "      \"precedence_edges\": " << r.edges << ",\n";
+        out << "      \"baseline_karp_serial\": " << sdfbench::stats_json(r.baseline_serial)
+            << ",\n";
+        out << "      \"optimized_karp_pooled\": "
+            << sdfbench::stats_json(r.optimized_pooled) << ",\n";
+        out << "      \"stern_brocot_exact\": " << sdfbench::stats_json(r.stern_brocot)
+            << ",\n";
+        out << "      \"howard_double\": " << sdfbench::stats_json(r.howard) << ",\n";
+        out << "      \"speedup_pooled_vs_serial\": " << sdfbench::json_num(r.speedup)
+            << "\n";
+        out << "    }" << (i + 1 < reports.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n";
+    out << "}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+void BM_KarpPooled(benchmark::State& state) {
     const auto prepared = prepare();
     const Prepared& p = prepared[static_cast<std::size_t>(state.range(0))];
     for (auto _ : state) {
         benchmark::DoNotOptimize(max_cycle_mean_karp(p.matrix_graph));
+    }
+    state.SetLabel(p.label);
+}
+
+void BM_KarpSerial(benchmark::State& state) {
+    const auto prepared = prepare();
+    const Prepared& p = prepared[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(max_cycle_mean_karp_serial(p.matrix_graph));
     }
     state.SetLabel(p.label);
 }
@@ -79,14 +177,29 @@ void BM_HowardDouble(benchmark::State& state) {
     state.SetLabel(p.label);
 }
 
-BENCHMARK(BM_Karp)->DenseRange(0, 7);
-BENCHMARK(BM_SternBrocotExact)->DenseRange(0, 7);
-BENCHMARK(BM_HowardDouble)->DenseRange(0, 7);
+BENCHMARK(BM_KarpPooled)->DenseRange(0, 8);
+BENCHMARK(BM_KarpSerial)->DenseRange(0, 8);
+BENCHMARK(BM_SternBrocotExact)->DenseRange(0, 8);
+BENCHMARK(BM_HowardDouble)->DenseRange(0, 8);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    print_agreement();
+    const std::string json_path = sdfbench::consume_flag(argc, argv, "--json", "");
+    const int reps = std::max(1, std::atoi(
+        sdfbench::consume_flag(argc, argv, "--reps", "5").c_str()));
+
+    const std::vector<Prepared> prepared = prepare();
+    print_agreement(prepared);
+
+    if (!json_path.empty()) {
+        std::vector<McmReport> reports;
+        for (const Prepared& p : prepared) {
+            reports.push_back(measure(p, reps));
+        }
+        write_json(json_path, reports, reps);
+        return 0;
+    }
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

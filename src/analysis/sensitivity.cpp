@@ -2,6 +2,7 @@
 
 #include "analysis/throughput.hpp"
 #include "base/errors.hpp"
+#include "base/thread_pool.hpp"
 
 namespace sdf {
 
@@ -25,25 +26,30 @@ SensitivityReport sensitivity_analysis(const Graph& graph, Int slack_cap) {
     }
     SensitivityReport report;
     report.period = base.period;
-    report.delta.reserve(graph.actor_count());
-    report.critical.reserve(graph.actor_count());
-    report.slack.reserve(graph.actor_count());
-    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+    report.delta.assign(graph.actor_count(), Rational(0));
+    report.slack.assign(graph.actor_count(), Rational(0));
+    // Staged as bytes: vector<bool> packs bits, so parallel writes to
+    // adjacent actors would race on the shared word.
+    std::vector<unsigned char> critical(graph.actor_count(), 0);
+    // The per-actor probes are independent (each works on its own retimed
+    // copy; the copies share the graph's schedule memo, which is what makes
+    // the repeated throughput queries cheap), so they run on the pool.
+    parallel_for(0, graph.actor_count(), 1, [&](std::size_t index) {
+        const ActorId a = static_cast<ActorId>(index);
         const Int t0 = graph.actor(a).execution_time;
         const Rational bumped = period_with_time(graph, a, checked_add(t0, 1));
         const Rational delta = bumped - base.period;
-        report.delta.push_back(delta);
-        report.critical.push_back(!delta.is_zero());
+        report.delta[a] = delta;
+        critical[a] = delta.is_zero() ? 0 : 1;
         if (!delta.is_zero()) {
-            report.slack.push_back(Rational(0));
-            continue;
+            return;
         }
         // Binary search the largest slack k <= cap with unchanged period.
         Int lo = 1;  // known: period unchanged at +1
         Int hi = slack_cap;
         if (period_with_time(graph, a, checked_add(t0, hi)) == base.period) {
-            report.slack.push_back(Rational(hi));
-            continue;
+            report.slack[a] = Rational(hi);
+            return;
         }
         while (lo + 1 < hi) {
             const Int mid = lo + (hi - lo) / 2;
@@ -53,8 +59,9 @@ SensitivityReport sensitivity_analysis(const Graph& graph, Int slack_cap) {
                 hi = mid;
             }
         }
-        report.slack.push_back(Rational(lo));
-    }
+        report.slack[a] = Rational(lo);
+    });
+    report.critical.assign(critical.begin(), critical.end());
     return report;
 }
 

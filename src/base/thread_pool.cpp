@@ -1,0 +1,192 @@
+#include "base/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace sdf {
+
+namespace {
+
+/// True while this thread is executing chunks of some loop; nested
+/// parallel_for calls run inline instead of waiting on the busy pool.
+thread_local bool t_inside_loop = false;
+
+std::size_t pool_size_from_env() {
+    if (const char* env = std::getenv("SDFRED_THREADS")) {
+        char* end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0) {
+            return static_cast<std::size_t>(parsed);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+/// One parallel_for invocation: a shared chunk cursor plus completion and
+/// error state.  `active` counts threads currently inside run_chunks.
+struct ThreadPool::Loop {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t active = 0;  // guarded by the pool mutex
+    std::exception_ptr error;  // first failure, guarded by the pool mutex
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : size_(threads == 0 ? 1 : threads) {
+    workers_.reserve(size_ - 1);
+    for (std::size_t i = 0; i + 1 < size_; ++i) {
+        workers_.emplace_back([this] { worker_main(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) {
+        w.join();
+    }
+}
+
+void ThreadPool::run_chunks(Loop& loop) {
+    const bool was_inside = t_inside_loop;
+    t_inside_loop = true;
+    for (;;) {
+        const std::size_t start = loop.next.fetch_add(loop.grain);
+        if (start >= loop.end) {
+            break;
+        }
+        const std::size_t stop = std::min(start + loop.grain, loop.end);
+        try {
+            for (std::size_t i = start; i < stop; ++i) {
+                (*loop.body)(i);
+            }
+        } catch (...) {
+            // Drain the remaining chunks so every participant exits
+            // promptly, then let the caller record the failure.
+            loop.next.store(loop.end);
+            t_inside_loop = was_inside;
+            throw;
+        }
+    }
+    t_inside_loop = was_inside;
+}
+
+void ThreadPool::worker_main() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [this] { return shutdown_ || current_ != nullptr; });
+        if (shutdown_) {
+            return;
+        }
+        const std::shared_ptr<Loop> loop = current_;
+        if (loop->next.load() >= loop->end) {
+            // Drained but not yet retired by its caller; sleep until the
+            // caller clears current_ (notified below) or a new loop starts.
+            wake_.wait(lock, [this, &loop] { return shutdown_ || current_ != loop; });
+            continue;
+        }
+        ++loop->active;
+        lock.unlock();
+        std::exception_ptr error;
+        try {
+            run_chunks(*loop);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        lock.lock();
+        if (error && !loop->error) {
+            loop->error = error;
+        }
+        --loop->active;
+        if (loop->active == 0) {
+            finished_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                              const std::function<void(std::size_t)>& body) {
+    if (begin >= end) {
+        return;
+    }
+    if (grain == 0) {
+        grain = 1;
+    }
+    // Inline fast path: nothing to parallelise, a single-lane pool, a nested
+    // call from inside another loop, or a range that fits one chunk.
+    if (size_ == 1 || t_inside_loop || end - begin <= grain) {
+        const bool was_inside = t_inside_loop;
+        t_inside_loop = true;
+        try {
+            for (std::size_t i = begin; i < end; ++i) {
+                body(i);
+            }
+        } catch (...) {
+            t_inside_loop = was_inside;
+            throw;
+        }
+        t_inside_loop = was_inside;
+        return;
+    }
+
+    const auto loop = std::make_shared<Loop>();
+    loop->next.store(begin);
+    loop->end = end;
+    loop->grain = grain;
+    loop->body = &body;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    // One loop at a time; concurrent callers queue here.
+    finished_.wait(lock, [this] { return current_ == nullptr; });
+    current_ = loop;
+    ++loop->active;  // the caller participates
+    lock.unlock();
+    wake_.notify_all();
+
+    std::exception_ptr error;
+    try {
+        run_chunks(*loop);
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    lock.lock();
+    if (error && !loop->error) {
+        loop->error = error;
+    }
+    --loop->active;
+    finished_.wait(lock, [&loop] { return loop->active == 0; });
+    current_.reset();
+    const std::exception_ptr first = loop->error;
+    lock.unlock();
+    // Wake queued callers (waiting on finished_) and idle workers parked on
+    // the drained loop (waiting on wake_).
+    finished_.notify_all();
+    wake_.notify_all();
+    if (first) {
+        std::rethrow_exception(first);
+    }
+}
+
+ThreadPool& global_thread_pool() {
+    static ThreadPool pool(pool_size_from_env());
+    return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& body) {
+    global_thread_pool().parallel_for(begin, end, grain, body);
+}
+
+}  // namespace sdf

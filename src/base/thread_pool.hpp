@@ -1,0 +1,75 @@
+// thread_pool.hpp — a small fixed-size thread pool for data-parallel loops.
+//
+// The performance-critical kernels in this library (blocked max-plus matrix
+// products, per-SCC Karp runs, per-model benchmark sweeps) are all
+// embarrassingly parallel loops over independent chunks, so the pool is
+// deliberately work-stealing-free: parallel_for hands out contiguous index
+// chunks from one shared atomic cursor and every participant (workers and
+// the calling thread) pulls chunks until the range is exhausted.
+//
+// Sizing: the global pool reads SDFRED_THREADS once at first use; unset,
+// empty, zero or unparsable values fall back to hardware_concurrency().
+// A pool of size 1 never spawns threads and runs every loop inline on the
+// caller, so single-core machines and SDFRED_THREADS=1 runs stay free of
+// synchronisation overhead (and of false TSan positives in client code).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdf {
+
+/// A fixed-size pool executing chunked parallel-for loops.  All methods are
+/// safe to call from multiple threads; nested parallel_for calls (from
+/// inside a loop body) degrade to inline execution instead of deadlocking.
+class ThreadPool {
+public:
+    /// `threads` is the total parallelism including the calling thread, so
+    /// size() == 1 means "no worker threads, run inline".  0 is clamped to 1.
+    explicit ThreadPool(std::size_t threads);
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+    ~ThreadPool();
+
+    /// Total parallelism (worker threads + the calling thread).
+    [[nodiscard]] std::size_t size() const { return size_; }
+
+    /// Calls body(i) for every i in [begin, end), distributing contiguous
+    /// chunks of at least `grain` indices over the pool.  Blocks until every
+    /// index is done.  The first exception thrown by any body is rethrown on
+    /// the caller after the loop has drained.
+    void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                      const std::function<void(std::size_t)>& body);
+
+private:
+    struct Loop;
+
+    void worker_main();
+    static void run_chunks(Loop& loop);
+
+    std::size_t size_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;      // workers wait for a loop or shutdown
+    std::condition_variable finished_;  // callers wait for their loop to drain
+    std::shared_ptr<Loop> current_;     // loop being executed, if any
+    bool shutdown_ = false;
+};
+
+/// The process-wide pool, sized from SDFRED_THREADS (default:
+/// hardware_concurrency).  Constructed on first use.
+ThreadPool& global_thread_pool();
+
+/// Chunked parallel loop on the global pool.  `grain` is the minimum number
+/// of indices per chunk; pass the per-index cost's inverse order of
+/// magnitude (large grain for cheap bodies).
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace sdf

@@ -1,8 +1,11 @@
 #include "maxplus/matrix.hpp"
 
+#include <cstdint>
 #include <ostream>
+#include <utility>
 
 #include "base/errors.hpp"
+#include "base/thread_pool.hpp"
 
 namespace sdf {
 
@@ -41,7 +44,126 @@ std::size_t MpMatrix::finite_entry_count() const {
     return count;
 }
 
+double MpMatrix::density() const {
+    if (entries_.empty()) {
+        return 0.0;
+    }
+    return static_cast<double>(finite_entry_count()) / static_cast<double>(entries_.size());
+}
+
+namespace {
+
+/// Per-row finite supports of a matrix, split into column blocks: block b
+/// holds, row by row, the finite entries with column in
+/// [b·block_cols, (b+1)·block_cols).  Iterating one block across all the
+/// rows an output row depends on keeps the touched output segment inside
+/// L1 no matter how wide the matrix is.
+struct BlockedSupport {
+    std::size_t block_cols = 0;
+    std::size_t num_blocks = 0;
+    // Per block: CSR arrays over rows (start has rows+1 entries).
+    std::vector<std::vector<std::size_t>> start;
+    std::vector<std::vector<std::uint32_t>> col;
+    std::vector<std::vector<Int>> val;
+};
+
+// 512 columns × 16 bytes per MpValue = 8 KiB of output per block, well
+// inside L1 alongside the block's own entries.
+constexpr std::size_t kBlockCols = 512;
+
+BlockedSupport build_blocked_support(const MpMatrix& m) {
+    BlockedSupport s;
+    s.block_cols = kBlockCols;
+    s.num_blocks = (m.cols() + kBlockCols - 1) / kBlockCols;
+    if (s.num_blocks == 0) {
+        s.num_blocks = 1;
+    }
+    s.start.assign(s.num_blocks, std::vector<std::size_t>(m.rows() + 1, 0));
+    // Counting pass, then prefix sums, then the fill pass: two linear scans
+    // instead of per-row push_back reallocation churn.
+    for (std::size_t j = 0; j < m.rows(); ++j) {
+        for (std::size_t k = 0; k < m.cols(); ++k) {
+            if (m.at(j, k).is_finite()) {
+                ++s.start[k / kBlockCols][j + 1];
+            }
+        }
+    }
+    s.col.resize(s.num_blocks);
+    s.val.resize(s.num_blocks);
+    for (std::size_t b = 0; b < s.num_blocks; ++b) {
+        for (std::size_t j = 0; j < m.rows(); ++j) {
+            s.start[b][j + 1] += s.start[b][j];
+        }
+        s.col[b].resize(s.start[b][m.rows()]);
+        s.val[b].resize(s.start[b][m.rows()]);
+    }
+    std::vector<std::size_t> cursor(s.num_blocks);
+    for (std::size_t j = 0; j < m.rows(); ++j) {
+        for (std::size_t b = 0; b < s.num_blocks; ++b) {
+            cursor[b] = s.start[b][j];
+        }
+        for (std::size_t k = 0; k < m.cols(); ++k) {
+            const MpValue v = m.at(j, k);
+            if (v.is_finite()) {
+                const std::size_t b = k / kBlockCols;
+                s.col[b][cursor[b]] = static_cast<std::uint32_t>(k);
+                s.val[b][cursor[b]] = v.value();
+                ++cursor[b];
+            }
+        }
+    }
+    return s;
+}
+
+}  // namespace
+
 MpMatrix MpMatrix::multiply(const MpMatrix& other) const {
+    if (cols_ != other.rows_) {
+        throw ArithmeticError("max-plus matrix dimension mismatch in multiply");
+    }
+    MpMatrix result(rows_, other.cols_);
+    if (rows_ == 0 || cols_ == 0 || other.cols_ == 0) {
+        return result;
+    }
+    const BlockedSupport b = build_blocked_support(other);
+
+    const auto compute_row = [&](std::size_t i) {
+        // Gather row i's finite support once; every block pass replays it.
+        const MpValue* arow = &entries_[i * cols_];
+        std::vector<std::pair<std::uint32_t, Int>> asup;
+        for (std::size_t j = 0; j < cols_; ++j) {
+            if (arow[j].is_finite()) {
+                asup.emplace_back(static_cast<std::uint32_t>(j), arow[j].value());
+            }
+        }
+        if (asup.empty()) {
+            return;
+        }
+        MpValue* out = &result.entries_[i * other.cols_];
+        for (std::size_t blk = 0; blk < b.num_blocks; ++blk) {
+            const std::size_t* start = b.start[blk].data();
+            const std::uint32_t* cols = b.col[blk].data();
+            const Int* vals = b.val[blk].data();
+            for (const auto& [j, a] : asup) {
+                for (std::size_t t = start[j]; t < start[j + 1]; ++t) {
+                    const Int candidate = checked_add(a, vals[t]);
+                    MpValue& slot = out[cols[t]];
+                    if (!slot.is_finite() || slot.value() < candidate) {
+                        slot = MpValue(candidate);
+                    }
+                }
+            }
+        }
+    };
+
+    // Row blocks are independent; dispatch them on the pool once the matrix
+    // is big enough for the fan-out to pay for itself.
+    const std::size_t grain = rows_ >= 128 ? 16 : rows_;
+    parallel_for(0, rows_, grain, compute_row);
+    return result;
+}
+
+MpMatrix MpMatrix::multiply_naive(const MpMatrix& other) const {
     if (cols_ != other.rows_) {
         throw ArithmeticError("max-plus matrix dimension mismatch in multiply");
     }
@@ -70,6 +192,12 @@ MpMatrix MpMatrix::power(Int exponent) const {
     }
     if (exponent < 0) {
         throw ArithmeticError("negative max-plus matrix power");
+    }
+    if (exponent == 0) {
+        return identity(rows_);
+    }
+    if (exponent == 1) {
+        return *this;
     }
     MpMatrix result = identity(rows_);
     MpMatrix base = *this;

@@ -51,12 +51,24 @@ public:
     /// Number of finite entries.
     [[nodiscard]] std::size_t finite_entry_count() const;
 
+    /// Fraction of entries that are finite (0 for an empty matrix).
+    [[nodiscard]] double density() const;
+
     /// Max-plus matrix product (A ⊗ B)(i,k) = max_j A(i,j) + B(j,k);
-    /// composing two iterations of the graph.
+    /// composing two iterations of the graph.  Sparsity-aware: B is indexed
+    /// by per-row finite supports (−∞ rows and columns cost nothing), the
+    /// inner loops run over raw entry pointers in column blocks sized for
+    /// L1, and independent row blocks are dispatched on the global thread
+    /// pool.  Produces exactly the same matrix as multiply_naive.
     [[nodiscard]] MpMatrix multiply(const MpMatrix& other) const;
 
+    /// The reference O(rows·cols·cols) triple loop the optimized kernel is
+    /// differentially tested against.
+    [[nodiscard]] MpMatrix multiply_naive(const MpMatrix& other) const;
+
     /// Max-plus matrix power by repeated squaring; `exponent` >= 0; the
-    /// matrix must be square.  Power 0 is the identity.
+    /// matrix must be square.  Power 0 is the identity, power 1 a copy —
+    /// both short-circuit without any multiply.
     [[nodiscard]] MpMatrix power(Int exponent) const;
 
     /// Largest finite entry (−∞ when there is none).

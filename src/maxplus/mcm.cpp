@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/errors.hpp"
+#include "base/thread_pool.hpp"
 
 namespace sdf {
 
@@ -90,21 +91,47 @@ bool scc_has_cycle(const SccView& scc) {
                        [](const DigraphEdge& e) { return e.from == e.to; });
 }
 
+/// Karp over every cyclic SCC; `parallel` dispatches the per-SCC runs (which
+/// are independent — each owns its local Bellman table) on the global pool.
+CycleMetric karp_over_sccs(const Digraph& graph, bool parallel) {
+    const std::vector<SccView> views = split_into_sccs(graph);
+    std::vector<const SccView*> cyclic;
+    for (const SccView& scc : views) {
+        if (scc_has_cycle(scc)) {
+            cyclic.push_back(&scc);
+        }
+    }
+    CycleMetric result;
+    if (cyclic.empty()) {
+        return result;  // no_cycle
+    }
+    std::vector<Rational> lambda(cyclic.size());
+    const auto run_one = [&](std::size_t i) { lambda[i] = karp_on_scc(*cyclic[i]); };
+    if (parallel) {
+        parallel_for(0, cyclic.size(), 1, run_one);
+    } else {
+        for (std::size_t i = 0; i < cyclic.size(); ++i) {
+            run_one(i);
+        }
+    }
+    result.outcome = CycleOutcome::finite;
+    result.value = lambda[0];
+    for (const Rational& l : lambda) {
+        if (l > result.value) {
+            result.value = l;
+        }
+    }
+    return result;
+}
+
 }  // namespace
 
 CycleMetric max_cycle_mean_karp(const Digraph& graph) {
-    CycleMetric result;
-    for (const auto& scc : split_into_sccs(graph)) {
-        if (!scc_has_cycle(scc)) {
-            continue;
-        }
-        const Rational lambda = karp_on_scc(scc);
-        if (result.outcome == CycleOutcome::no_cycle || lambda > result.value) {
-            result.value = lambda;
-        }
-        result.outcome = CycleOutcome::finite;
-    }
-    return result;
+    return karp_over_sccs(graph, /*parallel=*/true);
+}
+
+CycleMetric max_cycle_mean_karp_serial(const Digraph& graph) {
+    return karp_over_sccs(graph, /*parallel=*/false);
 }
 
 bool has_zero_token_cycle(const Digraph& graph) {

@@ -45,8 +45,14 @@ struct CycleMetricDouble {
 
 /// Maximum cycle mean max_C (Σ weight) / |C| over all directed cycles C,
 /// by Karp's theorem applied per strongly connected component.  Edge token
-/// counts are ignored (every edge counts as one step).  Exact.
+/// counts are ignored (every edge counts as one step).  Exact.  The
+/// independent per-SCC runs are dispatched on the global thread pool
+/// (base/thread_pool.hpp; sized by SDFRED_THREADS).
 CycleMetric max_cycle_mean_karp(const Digraph& graph);
+
+/// Single-threaded max_cycle_mean_karp: the serial baseline the benchmarks
+/// record next to the pooled version.  Identical results.
+CycleMetric max_cycle_mean_karp_serial(const Digraph& graph);
 
 /// Maximum cycle ratio max_C (Σ weight) / (Σ tokens) over directed cycles.
 /// Requires non-negative weights and non-negative token counts.  Cycles with

@@ -1,0 +1,245 @@
+#include "maxplus/stamp.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+MpStamp MpStamp::unit(std::size_t index) {
+    auto data = std::make_shared<Data>();
+    data->index.push_back(static_cast<std::uint32_t>(index));
+    data->value.push_back(0);
+    MpStamp s;
+    s.data_ = std::move(data);
+    return s;
+}
+
+MpStamp MpStamp::from_entries(std::vector<std::pair<std::uint32_t, Int>> entries) {
+    if (entries.empty()) {
+        return MpStamp{};
+    }
+    auto data = std::make_shared<Data>();
+    data->index.reserve(entries.size());
+    data->value.reserve(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (i > 0 && entries[i].first <= entries[i - 1].first) {
+            throw ArithmeticError("stamp entries must be sorted and unique");
+        }
+        data->index.push_back(entries[i].first);
+        data->value.push_back(entries[i].second);
+    }
+    MpStamp s;
+    s.data_ = std::move(data);
+    return s;
+}
+
+MpStamp MpStamp::from_vector(const MpVector& dense) {
+    auto data = std::make_shared<Data>();
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+        if (dense[i].is_finite()) {
+            data->index.push_back(static_cast<std::uint32_t>(i));
+            data->value.push_back(dense[i].value());
+        }
+    }
+    MpStamp s;
+    if (!data->index.empty()) {
+        s.data_ = std::move(data);
+    }
+    return s;
+}
+
+MpValue MpStamp::at(std::size_t index) const {
+    if (!data_) {
+        return MpValue::minus_infinity();
+    }
+    const auto it = std::lower_bound(data_->index.begin(), data_->index.end(),
+                                     static_cast<std::uint32_t>(index));
+    if (it == data_->index.end() || *it != index) {
+        return MpValue::minus_infinity();
+    }
+    const std::size_t pos = static_cast<std::size_t>(it - data_->index.begin());
+    return MpValue(checked_add(data_->value[pos], offset_));
+}
+
+MpStamp MpStamp::max_with(const MpStamp& other) const {
+    if (!data_) {
+        return other;
+    }
+    if (!other.data_) {
+        return *this;
+    }
+    // Same storage: max(v + o1, v + o2) = v + max(o1, o2), so the handle
+    // with the larger offset IS the result — no merge, no allocation.  This
+    // is the hot case when an actor consumes several tokens produced by the
+    // same upstream firing.
+    if (data_ == other.data_) {
+        return offset_ >= other.offset_ ? *this : other;
+    }
+
+    const Data& a = *data_;
+    const Data& b = *other.data_;
+    auto merged = std::make_shared<Data>();
+    merged->index.reserve(a.index.size() + b.index.size());
+    merged->value.reserve(a.index.size() + b.index.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.index.size() && j < b.index.size()) {
+        if (a.index[i] < b.index[j]) {
+            merged->index.push_back(a.index[i]);
+            merged->value.push_back(checked_add(a.value[i], offset_));
+            ++i;
+        } else if (b.index[j] < a.index[i]) {
+            merged->index.push_back(b.index[j]);
+            merged->value.push_back(checked_add(b.value[j], other.offset_));
+            ++j;
+        } else {
+            merged->index.push_back(a.index[i]);
+            merged->value.push_back(std::max(checked_add(a.value[i], offset_),
+                                             checked_add(b.value[j], other.offset_)));
+            ++i;
+            ++j;
+        }
+    }
+    for (; i < a.index.size(); ++i) {
+        merged->index.push_back(a.index[i]);
+        merged->value.push_back(checked_add(a.value[i], offset_));
+    }
+    for (; j < b.index.size(); ++j) {
+        merged->index.push_back(b.index[j]);
+        merged->value.push_back(checked_add(b.value[j], other.offset_));
+    }
+    MpStamp s;
+    s.data_ = std::move(merged);
+    return s;
+}
+
+MpStamp MpStamp::max_of(const std::vector<MpStamp>& stamps) {
+    // Cheap exits first: empty batches, a single non-bottom stamp, and the
+    // all-same-storage case (one refcounted handle wins outright).
+    const MpStamp* single = nullptr;
+    std::size_t non_bottom = 0;
+    std::size_t total = 0;
+    for (const MpStamp& s : stamps) {
+        if (s.is_bottom()) {
+            continue;
+        }
+        ++non_bottom;
+        total += s.support();
+        if (!single || (single->data_ == s.data_ && s.offset_ > single->offset_)) {
+            single = &s;
+        }
+    }
+    if (non_bottom == 0) {
+        return MpStamp{};
+    }
+    if (non_bottom == 1) {
+        return *single;
+    }
+    bool all_shared = true;
+    for (const MpStamp& s : stamps) {
+        if (!s.is_bottom() && s.data_ != single->data_) {
+            all_shared = false;
+            break;
+        }
+    }
+    if (all_shared) {
+        return *single;
+    }
+    // Gather every finite entry with its offset applied, sort by index, and
+    // keep the maximum per index.
+    std::vector<std::pair<std::uint32_t, Int>> gathered;
+    gathered.reserve(total);
+    for (const MpStamp& s : stamps) {
+        if (s.is_bottom()) {
+            continue;
+        }
+        for (std::size_t i = 0; i < s.data_->index.size(); ++i) {
+            gathered.emplace_back(s.data_->index[i], checked_add(s.data_->value[i], s.offset_));
+        }
+    }
+    std::sort(gathered.begin(), gathered.end());
+    auto data = std::make_shared<Data>();
+    data->index.reserve(gathered.size());
+    data->value.reserve(gathered.size());
+    for (const auto& [index, value] : gathered) {
+        if (!data->index.empty() && data->index.back() == index) {
+            data->value.back() = std::max(data->value.back(), value);
+        } else {
+            data->index.push_back(index);
+            data->value.push_back(value);
+        }
+    }
+    MpStamp result;
+    result.data_ = std::move(data);
+    return result;
+}
+
+MpStamp MpStamp::plus(Int scalar) const {
+    if (!data_) {
+        return MpStamp{};  // −∞ absorbs the addition
+    }
+    MpStamp s = *this;
+    s.offset_ = checked_add(s.offset_, scalar);
+    return s;
+}
+
+MpValue MpStamp::max_entry() const {
+    if (!data_) {
+        return MpValue::minus_infinity();
+    }
+    Int best = data_->value[0];
+    for (const Int v : data_->value) {
+        best = std::max(best, v);
+    }
+    return MpValue(checked_add(best, offset_));
+}
+
+MpVector MpStamp::to_vector(std::size_t size) const {
+    MpVector dense(size);
+    for_each([&](std::size_t index, Int value) {
+        if (index >= size) {
+            throw ArithmeticError("stamp support index out of densify range");
+        }
+        dense[index] = MpValue(value);
+    });
+    return dense;
+}
+
+bool operator==(const MpStamp& a, const MpStamp& b) {
+    if (a.support() != b.support()) {
+        return false;
+    }
+    if (!a.data_) {
+        return true;
+    }
+    for (std::size_t i = 0; i < a.data_->index.size(); ++i) {
+        if (a.data_->index[i] != b.data_->index[i] ||
+            checked_add(a.data_->value[i], a.offset_) !=
+                checked_add(b.data_->value[i], b.offset_)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string MpStamp::to_string() const {
+    std::string out = "{";
+    bool first = true;
+    for_each([&](std::size_t index, Int value) {
+        if (!first) {
+            out += ", ";
+        }
+        first = false;
+        out += std::to_string(index) + ": " + std::to_string(value);
+    });
+    out += "}";
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const MpStamp& s) {
+    return os << s.to_string();
+}
+
+}  // namespace sdf

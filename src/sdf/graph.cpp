@@ -12,6 +12,7 @@ ActorId Graph::add_actor(const std::string& name, Int execution_time) {
     const ActorId id = actors_.size();
     actors_.push_back(Actor{name, execution_time});
     actor_by_name_.emplace(name, id);
+    invalidate_memo();
     return id;
 }
 
@@ -23,6 +24,7 @@ ChannelId Graph::add_channel(ActorId src, ActorId dst, Int production, Int consu
     require(initial_tokens >= 0, "channel initial tokens must be non-negative");
     const ChannelId id = channels_.size();
     channels_.push_back(Channel{src, dst, production, consumption, initial_tokens});
+    invalidate_memo();
     return id;
 }
 
@@ -36,6 +38,9 @@ void Graph::set_initial_tokens(ChannelId id, Int initial_tokens) {
     require(id < channels_.size(), "channel id out of range");
     require(initial_tokens >= 0, "negative initial tokens");
     channels_[id].initial_tokens = initial_tokens;
+    // The repetition vector only depends on rates, but the schedule (and
+    // its existence — deadlock) depends on the token distribution.
+    invalidate_memo();
 }
 
 std::optional<ActorId> Graph::find_actor(const std::string& name) const {

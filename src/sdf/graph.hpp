@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -23,6 +25,22 @@ namespace sdf {
 
 using ActorId = std::size_t;
 using ChannelId = std::size_t;
+
+/// Lazily filled, mutation-invalidated cache of the untimed structural
+/// analyses that nearly every query recomputes on the same graph: the
+/// repetition vector and one admissible sequential schedule.  throughput,
+/// deadlock, lint and the symbolic conversion all funnel through
+/// repetition_vector() / sequential_schedule(), which consult this memo.
+///
+/// Both cached results depend only on rates and (for the schedule) initial
+/// tokens — never on execution times — so set_execution_time keeps the
+/// memo, while structural mutations and set_initial_tokens replace it.
+/// Slots are filled under the mutex; concurrent const readers are safe.
+struct GraphMemo {
+    std::mutex mutex;
+    std::optional<std::vector<Int>> repetition;
+    std::optional<std::vector<ActorId>> schedule;
+};
 
 /// One actor of a timed SDF graph.
 struct Actor {
@@ -46,8 +64,9 @@ struct Channel {
 /// positive, delays non-negative, names unique and endpoints valid.
 class Graph {
 public:
-    Graph() = default;
-    explicit Graph(std::string name) : name_(std::move(name)) {}
+    Graph() : memo_(std::make_shared<GraphMemo>()) {}
+    explicit Graph(std::string name)
+        : name_(std::move(name)), memo_(std::make_shared<GraphMemo>()) {}
 
     [[nodiscard]] const std::string& name() const { return name_; }
     void set_name(std::string name) { name_ = std::move(name); }
@@ -94,11 +113,20 @@ public:
     /// (the graph is a homogeneous SDF graph).
     [[nodiscard]] bool is_homogeneous() const;
 
+    /// The structural-analysis memo (see GraphMemo).  Copies of a graph
+    /// share the memo until either copy mutates; mutation swaps in a fresh
+    /// one so results cached for the old structure stay with the old graph.
+    [[nodiscard]] const std::shared_ptr<GraphMemo>& analysis_memo() const { return memo_; }
+
 private:
+    /// Called by mutators that change what the memoised analyses see.
+    void invalidate_memo() { memo_ = std::make_shared<GraphMemo>(); }
+
     std::string name_;
     std::vector<Actor> actors_;
     std::vector<Channel> channels_;
     std::unordered_map<std::string, ActorId> actor_by_name_;
+    std::shared_ptr<GraphMemo> memo_ = std::make_shared<GraphMemo>();
 };
 
 }  // namespace sdf

@@ -6,7 +6,9 @@
 
 namespace sdf {
 
-std::vector<Int> repetition_vector(const Graph& graph) {
+namespace {
+
+std::vector<Int> compute_repetition_vector(const Graph& graph) {
     require(graph.actor_count() > 0, "repetition vector of an empty graph");
     const std::size_t n = graph.actor_count();
 
@@ -83,6 +85,27 @@ std::vector<Int> repetition_vector(const Graph& graph) {
                 "balance equation violated at channel " + graph.actor(ch.src).name +
                 " -> " + graph.actor(ch.dst).name);
         }
+    }
+    return result;
+}
+
+}  // namespace
+
+std::vector<Int> repetition_vector(const Graph& graph) {
+    // Memoised per graph: throughput, deadlock, lint and the conversions
+    // all ask for this vector, often several times on the same structure.
+    // Failures (inconsistency) are not cached and re-throw each call.
+    const std::shared_ptr<GraphMemo> memo = graph.analysis_memo();
+    {
+        const std::lock_guard<std::mutex> lock(memo->mutex);
+        if (memo->repetition) {
+            return *memo->repetition;
+        }
+    }
+    std::vector<Int> result = compute_repetition_vector(graph);
+    const std::lock_guard<std::mutex> lock(memo->mutex);
+    if (!memo->repetition) {
+        memo->repetition = result;
     }
     return result;
 }

@@ -22,7 +22,9 @@ bool enabled(const Graph& graph, const std::vector<std::vector<ChannelId>>& inpu
 
 }  // namespace
 
-std::vector<ActorId> sequential_schedule(const Graph& graph) {
+namespace {
+
+std::vector<ActorId> compute_sequential_schedule(const Graph& graph) {
     const std::vector<Int> repetition = repetition_vector(graph);
     const std::size_t n = graph.actor_count();
 
@@ -84,6 +86,27 @@ std::vector<ActorId> sequential_schedule(const Graph& graph) {
     if (total_remaining != 0) {
         throw DeadlockError("graph '" + graph.name() +
                             "' deadlocks: no admissible sequential schedule");
+    }
+    return schedule;
+}
+
+}  // namespace
+
+std::vector<ActorId> sequential_schedule(const Graph& graph) {
+    // Memoised per graph: the symbolic conversion, deadlock checks and the
+    // mapping heuristics each need one admissible order for the same
+    // structure.  Failures (deadlock, inconsistency) re-throw each call.
+    const std::shared_ptr<GraphMemo> memo = graph.analysis_memo();
+    {
+        const std::lock_guard<std::mutex> lock(memo->mutex);
+        if (memo->schedule) {
+            return *memo->schedule;
+        }
+    }
+    std::vector<ActorId> schedule = compute_sequential_schedule(graph);
+    const std::lock_guard<std::mutex> lock(memo->mutex);
+    if (!memo->schedule) {
+        memo->schedule = schedule;
     }
     return schedule;
 }

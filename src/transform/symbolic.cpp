@@ -3,19 +3,88 @@
 #include <deque>
 
 #include "base/errors.hpp"
+#include "maxplus/stamp.hpp"
 #include "sdf/schedule.hpp"
 
 namespace sdf {
 
-SymbolicIteration symbolic_iteration(const Graph& graph) {
-    const std::vector<ActorId> schedule = sequential_schedule(graph);
+namespace {
 
-    SymbolicIteration result;
-    result.tokens = initial_tokens(graph);
-    const std::size_t n = result.tokens.size();
+/// Input/output channel lists indexed by actor, shared by both engines.
+struct Adjacency {
+    std::vector<std::vector<ChannelId>> inputs;
+    std::vector<std::vector<ChannelId>> outputs;
+};
 
-    // FIFO of symbolic stamps per channel, seeded with unit vectors in the
-    // canonical global token order.
+Adjacency build_adjacency(const Graph& graph) {
+    Adjacency adj;
+    adj.inputs.resize(graph.actor_count());
+    adj.outputs.resize(graph.actor_count());
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        adj.inputs[graph.channel(c).dst].push_back(c);
+        adj.outputs[graph.channel(c).src].push_back(c);
+    }
+    return adj;
+}
+
+/// The sparse engine: stamps are shared immutable (index, value) supports.
+/// Consuming merges supports in O(support), producing pushes refcounted
+/// handles, and the final matrix install walks only the finite entries.
+MpMatrix run_sparse(const Graph& graph, const std::vector<ActorId>& schedule,
+                    std::size_t n) {
+    std::vector<std::deque<MpStamp>> fifo(graph.channel_count());
+    {
+        std::size_t global = 0;
+        for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+            for (Int i = 0; i < graph.channel(c).initial_tokens; ++i) {
+                fifo[c].push_back(MpStamp::unit(global++));
+            }
+        }
+    }
+    const Adjacency adj = build_adjacency(graph);
+    std::vector<MpStamp> consumed;  // reused across firings
+    for (const ActorId a : schedule) {
+        consumed.clear();
+        for (const ChannelId ci : adj.inputs[a]) {
+            const Int need = graph.channel(ci).consumption;
+            for (Int i = 0; i < need; ++i) {
+                if (fifo[ci].empty()) {
+                    throw Error("internal: admissible schedule underflowed a channel");
+                }
+                consumed.push_back(std::move(fifo[ci].front()));
+                fifo[ci].pop_front();
+            }
+        }
+        // One batched k-way merge per firing instead of k pairwise merges.
+        const MpStamp finish = MpStamp::max_of(consumed).plus(graph.actor(a).execution_time);
+        for (const ChannelId ci : adj.outputs[a]) {
+            for (Int i = 0; i < graph.channel(ci).production; ++i) {
+                fifo[ci].push_back(finish);
+            }
+        }
+    }
+    MpMatrix matrix(n, n);
+    {
+        std::size_t global = 0;
+        for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+            const Int expected = graph.channel(c).initial_tokens;
+            if (static_cast<Int>(fifo[c].size()) != expected) {
+                throw Error("internal: channel token count changed over an iteration");
+            }
+            for (Int i = 0; i < expected; ++i) {
+                const std::size_t col = global++;
+                fifo[c][static_cast<std::size_t>(i)].for_each(
+                    [&](std::size_t row, Int value) { matrix.set(row, col, MpValue(value)); });
+            }
+        }
+    }
+    return matrix;
+}
+
+/// The dense reference engine: one full N-length MpVector per token, kept
+/// as the differential-testing baseline for the sparse path above.
+MpMatrix run_dense(const Graph& graph, const std::vector<ActorId>& schedule,
+                   std::size_t n) {
     std::vector<std::deque<MpVector>> fifo(graph.channel_count());
     {
         std::size_t global = 0;
@@ -25,19 +94,12 @@ SymbolicIteration symbolic_iteration(const Graph& graph) {
             }
         }
     }
-
-    std::vector<std::vector<ChannelId>> inputs(graph.actor_count());
-    std::vector<std::vector<ChannelId>> outputs(graph.actor_count());
-    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
-        inputs[graph.channel(c).dst].push_back(c);
-        outputs[graph.channel(c).src].push_back(c);
-    }
-
+    const Adjacency adj = build_adjacency(graph);
     for (const ActorId a : schedule) {
         // Start time: element-wise max over all consumed stamps.  A firing
         // that consumes nothing starts unconstrained (all −∞).
         MpVector start(n);
-        for (const ChannelId ci : inputs[a]) {
+        for (const ChannelId ci : adj.inputs[a]) {
             const Int need = graph.channel(ci).consumption;
             for (Int i = 0; i < need; ++i) {
                 if (fifo[ci].empty()) {
@@ -48,16 +110,13 @@ SymbolicIteration symbolic_iteration(const Graph& graph) {
             }
         }
         const MpVector finish = start.plus(graph.actor(a).execution_time);
-        for (const ChannelId ci : outputs[a]) {
+        for (const ChannelId ci : adj.outputs[a]) {
             for (Int i = 0; i < graph.channel(ci).production; ++i) {
                 fifo[ci].push_back(finish);
             }
         }
     }
-
-    // The token distribution is back to the initial one; read the stamps in
-    // the same canonical order as matrix columns.
-    result.matrix = MpMatrix(n, n);
+    MpMatrix matrix(n, n);
     {
         std::size_t global = 0;
         for (ChannelId c = 0; c < graph.channel_count(); ++c) {
@@ -66,16 +125,39 @@ SymbolicIteration symbolic_iteration(const Graph& graph) {
                 throw Error("internal: channel token count changed over an iteration");
             }
             for (Int i = 0; i < expected; ++i) {
-                result.matrix.set_column(global++, fifo[c][static_cast<std::size_t>(i)]);
+                matrix.set_column(global++, fifo[c][static_cast<std::size_t>(i)]);
             }
         }
     }
+    return matrix;
+}
+
+}  // namespace
+
+SymbolicIteration symbolic_iteration(const Graph& graph, SymbolicEngine engine) {
+    const std::vector<ActorId> schedule = sequential_schedule(graph);
+
+    SymbolicIteration result;
+    result.tokens = initial_tokens(graph);
+    const std::size_t n = result.tokens.size();
+    result.matrix = engine == SymbolicEngine::sparse ? run_sparse(graph, schedule, n)
+                                                     : run_dense(graph, schedule, n);
     return result;
 }
 
 MpMatrix symbolic_iteration_power(const Graph& graph, Int iterations) {
     require(iterations >= 0, "negative iteration count");
+    if (iterations == 0) {
+        // G^0 = I by definition; still validate the graph the way a real
+        // execution would (consistency and deadlock-freedom), which hits
+        // the memoised schedule instead of re-deriving it.
+        sequential_schedule(graph);
+        return MpMatrix::identity(initial_tokens(graph).size());
+    }
     const SymbolicIteration one = symbolic_iteration(graph);
+    if (iterations == 1) {
+        return one.matrix;
+    }
     // With columns-as-new-tokens, composing iterations means
     // G_n(j,k) = max_m ( G_1(j,m) + G_{n-1}(m,k) ), i.e. G_1 ⊗ G_{n-1} in
     // row-major max-plus product order.

@@ -39,14 +39,28 @@ struct SymbolicIteration {
     std::vector<TokenRef> tokens;
 };
 
+/// Which stamp representation drives the symbolic execution.  Both engines
+/// produce bit-identical matrices (enforced by the differential property
+/// tests); `sparse` is the default and the fast path — a firing costs
+/// O(support of the consumed stamps) and multi-rate production pushes
+/// refcounted handles, while `dense` copies a full N-length vector per
+/// produced token and exists as the reference baseline.
+enum class SymbolicEngine {
+    sparse,  ///< MpStamp: shared immutable (index, value) storage
+    dense,   ///< MpVector: one MpValue per initial token, copied eagerly
+};
+
 /// Symbolically executes one iteration of a consistent, deadlock-free SDF
 /// graph and returns its max-plus iteration matrix.  Throws
 /// InconsistentGraphError / DeadlockError accordingly.
-SymbolicIteration symbolic_iteration(const Graph& graph);
+SymbolicIteration symbolic_iteration(const Graph& graph,
+                                     SymbolicEngine engine = SymbolicEngine::sparse);
 
 /// Symbolically executes `iterations` iterations (the matrix power G^n with
 /// the row/column convention above, computed by direct execution order
-/// composition).  Mostly used for tests of linearity.
+/// composition).  Mostly used for tests of linearity.  `iterations` 0 and 1
+/// short-circuit to the identity (after validating schedulability) and to
+/// the plain iteration matrix, without entering power().
 MpMatrix symbolic_iteration_power(const Graph& graph, Int iterations);
 
 }  // namespace sdf

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "base/errors.hpp"
+#include "sdf/repetition.hpp"
+#include "sdf/schedule.hpp"
 
 namespace sdf {
 namespace {
@@ -77,6 +79,76 @@ TEST(Graph, Setters) {
     EXPECT_THROW(g.set_execution_time(a, -2), InvalidGraphError);
     EXPECT_THROW(g.set_initial_tokens(c, -1), InvalidGraphError);
     EXPECT_THROW(g.set_execution_time(7, 1), InvalidGraphError);
+}
+
+TEST(GraphMemo, RepetitionAndScheduleAreCachedPerGraph) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 1, 2, 0);  // a fires twice per b firing
+    g.add_channel(b, a, 2, 1, 2);
+    const std::vector<Int> reps = repetition_vector(g);
+    const std::vector<ActorId> sched = sequential_schedule(g);
+    {
+        const std::lock_guard<std::mutex> lock(g.analysis_memo()->mutex);
+        ASSERT_TRUE(g.analysis_memo()->repetition.has_value());
+        ASSERT_TRUE(g.analysis_memo()->schedule.has_value());
+        EXPECT_EQ(*g.analysis_memo()->repetition, reps);
+        EXPECT_EQ(*g.analysis_memo()->schedule, sched);
+    }
+    // Repeated queries serve the cached values.
+    EXPECT_EQ(repetition_vector(g), reps);
+    EXPECT_EQ(sequential_schedule(g), sched);
+}
+
+TEST(GraphMemo, StructuralMutationInvalidatesTheCache) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    g.add_channel(a, a, 1);
+    EXPECT_EQ(repetition_vector(g), (std::vector<Int>{1}));
+
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 2, 1, 0);   // a produces 2, b consumes 1 => b fires twice
+    g.add_channel(b, b, 1);
+    EXPECT_EQ(repetition_vector(g), (std::vector<Int>{1, 2}));
+
+    // Retuning a token count invalidates too (the schedule depends on it).
+    sequential_schedule(g);
+    g.set_initial_tokens(1, 2);
+    {
+        const std::lock_guard<std::mutex> lock(g.analysis_memo()->mutex);
+        EXPECT_FALSE(g.analysis_memo()->schedule.has_value());
+    }
+}
+
+TEST(GraphMemo, ExecutionTimeRetuningKeepsTheCache) {
+    // Repetition vector and admissible schedule are untimed properties, so
+    // the DSE-style loop "retime, reanalyse" keeps its memo.
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    g.add_channel(a, a, 1);
+    repetition_vector(g);
+    g.set_execution_time(a, 99);
+    const std::lock_guard<std::mutex> lock(g.analysis_memo()->mutex);
+    EXPECT_TRUE(g.analysis_memo()->repetition.has_value());
+}
+
+TEST(GraphMemo, CopiesShareUntilEitherSideMutates) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 1);
+    g.add_channel(a, a, 1);
+    repetition_vector(g);
+
+    Graph copy = g;  // shares the memo snapshot
+    const ActorId b = copy.add_actor("b", 1);
+    copy.add_channel(b, b, 1);
+    // The copy recomputes under its own (fresh) memo...
+    EXPECT_EQ(repetition_vector(copy), (std::vector<Int>{1, 1}));
+    // ...and the original still serves its cached single-actor answer.
+    EXPECT_EQ(repetition_vector(g), (std::vector<Int>{1}));
+    const std::lock_guard<std::mutex> lock(g.analysis_memo()->mutex);
+    ASSERT_TRUE(g.analysis_memo()->repetition.has_value());
+    EXPECT_EQ(g.analysis_memo()->repetition->size(), 1u);
 }
 
 TEST(Channel, Predicates) {

@@ -1,0 +1,145 @@
+// test_stamp — the sparse symbolic stamp (maxplus/stamp.hpp).
+//
+// MpStamp is the data structure the sparse symbolic engine pushes through
+// the channel FIFOs, so the semantics checked here — bottom handling, the
+// lazy offset, shared-storage max, batch max_of, densification — are
+// exactly the operations Algorithm 1 performs per firing.
+#include "maxplus/stamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/errors.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(Stamp, DefaultIsBottom) {
+    const MpStamp bottom;
+    EXPECT_TRUE(bottom.is_bottom());
+    EXPECT_EQ(bottom.support(), 0u);
+    EXPECT_FALSE(bottom.at(0).is_finite());
+    EXPECT_FALSE(bottom.max_entry().is_finite());
+    EXPECT_EQ(bottom.to_string(), "{}");
+}
+
+TEST(Stamp, UnitHasSingleZeroEntry) {
+    const MpStamp u = MpStamp::unit(3);
+    EXPECT_EQ(u.support(), 1u);
+    EXPECT_EQ(u.at(3), MpValue(0));
+    EXPECT_FALSE(u.at(2).is_finite());
+    EXPECT_EQ(u.max_entry(), MpValue(0));
+}
+
+TEST(Stamp, PlusMovesOnlyTheOffset) {
+    const MpStamp u = MpStamp::unit(1).plus(5).plus(-2);
+    EXPECT_EQ(u.at(1), MpValue(3));
+    EXPECT_EQ(u.max_entry(), MpValue(3));
+    // Bottom absorbs addition.
+    EXPECT_TRUE(MpStamp{}.plus(100).is_bottom());
+}
+
+TEST(Stamp, FromEntriesRejectsUnsortedOrDuplicate) {
+    EXPECT_THROW(MpStamp::from_entries({{3, 1}, {2, 1}}), ArithmeticError);
+    EXPECT_THROW(MpStamp::from_entries({{2, 1}, {2, 5}}), ArithmeticError);
+    EXPECT_TRUE(MpStamp::from_entries({}).is_bottom());
+}
+
+TEST(Stamp, MaxWithMergesDisjointSupports) {
+    const MpStamp a = MpStamp::from_entries({{0, 4}, {5, 1}});
+    const MpStamp b = MpStamp::from_entries({{2, 7}});
+    const MpStamp m = a.max_with(b);
+    EXPECT_EQ(m.support(), 3u);
+    EXPECT_EQ(m.at(0), MpValue(4));
+    EXPECT_EQ(m.at(2), MpValue(7));
+    EXPECT_EQ(m.at(5), MpValue(1));
+}
+
+TEST(Stamp, MaxWithTakesElementwiseMaxOnOverlap) {
+    const MpStamp a = MpStamp::from_entries({{1, 10}, {2, 0}});
+    const MpStamp b = MpStamp::from_entries({{1, 3}, {2, 8}});
+    const MpStamp m = a.max_with(b);
+    EXPECT_EQ(m.at(1), MpValue(10));
+    EXPECT_EQ(m.at(2), MpValue(8));
+}
+
+TEST(Stamp, MaxWithBottomIsIdentity) {
+    const MpStamp a = MpStamp::from_entries({{4, 2}});
+    EXPECT_EQ(a.max_with(MpStamp{}), a);
+    EXPECT_EQ(MpStamp{}.max_with(a), a);
+}
+
+TEST(Stamp, MaxWithSharedStoragePicksLargerOffset) {
+    const MpStamp a = MpStamp::from_entries({{0, 1}, {9, 5}});
+    const MpStamp later = a.plus(7);  // same storage, larger offset
+    const MpStamp m = a.max_with(later);
+    EXPECT_EQ(m, later);
+    EXPECT_EQ(m.at(9), MpValue(12));
+    // Symmetric order gives the same vector.
+    EXPECT_EQ(later.max_with(a), m);
+}
+
+TEST(Stamp, MaxOfMatchesPairwiseFold) {
+    const std::vector<MpStamp> batch = {
+        MpStamp::from_entries({{0, 1}, {3, 2}}).plus(4),
+        MpStamp{},
+        MpStamp::from_entries({{3, 9}, {7, 0}}),
+        MpStamp::unit(5),
+        MpStamp::from_entries({{0, 8}}),
+    };
+    MpStamp folded;
+    for (const MpStamp& s : batch) {
+        folded = folded.max_with(s);
+    }
+    EXPECT_EQ(MpStamp::max_of(batch), folded);
+}
+
+TEST(Stamp, MaxOfEdgeCases) {
+    EXPECT_TRUE(MpStamp::max_of({}).is_bottom());
+    EXPECT_TRUE(MpStamp::max_of({MpStamp{}, MpStamp{}}).is_bottom());
+    const MpStamp only = MpStamp::unit(2).plus(3);
+    EXPECT_EQ(MpStamp::max_of({MpStamp{}, only, MpStamp{}}), only);
+    // All handles sharing one storage: the largest offset wins outright.
+    const MpStamp base = MpStamp::from_entries({{1, 1}});
+    EXPECT_EQ(MpStamp::max_of({base, base.plus(5), base.plus(2)}), base.plus(5));
+}
+
+TEST(Stamp, DensifyRoundTripsThroughVectors) {
+    MpVector dense(6);
+    dense[1] = MpValue(4);
+    dense[5] = MpValue(-2);
+    const MpStamp sparse = MpStamp::from_vector(dense);
+    EXPECT_EQ(sparse.support(), 2u);
+    EXPECT_EQ(sparse.to_vector(6), dense);
+    EXPECT_TRUE(MpStamp::from_vector(MpVector(4)).is_bottom());
+}
+
+TEST(Stamp, DensifyRejectsOutOfRangeSupport) {
+    const MpStamp s = MpStamp::unit(9);
+    EXPECT_THROW(s.to_vector(5), ArithmeticError);
+}
+
+TEST(Stamp, EqualityNormalisesOffsets) {
+    const MpStamp a = MpStamp::from_entries({{2, 5}});
+    const MpStamp b = MpStamp::from_entries({{2, 3}}).plus(2);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == b.plus(1));
+    EXPECT_FALSE(a == MpStamp::from_entries({{3, 5}}));
+    EXPECT_TRUE(MpStamp{} == MpStamp{});
+}
+
+TEST(Stamp, ForEachVisitsInIndexOrderWithOffsetApplied) {
+    const MpStamp s = MpStamp::from_entries({{1, 10}, {4, -3}, {8, 0}}).plus(2);
+    std::vector<std::pair<std::size_t, Int>> seen;
+    s.for_each([&](std::size_t index, Int value) { seen.emplace_back(index, value); });
+    const std::vector<std::pair<std::size_t, Int>> expected = {{1, 12}, {4, -1}, {8, 2}};
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(Stamp, ToStringListsFiniteEntries) {
+    EXPECT_EQ(MpStamp::from_entries({{2, 5}, {7, 0}}).to_string(), "{2: 5, 7: 0}");
+}
+
+}  // namespace
+}  // namespace sdf

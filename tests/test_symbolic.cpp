@@ -141,6 +141,48 @@ TEST(Symbolic, EigenvalueIsIterationPeriod) {
     EXPECT_EQ(m.value, Rational(7, 2));
 }
 
+TEST(Symbolic, DenseEngineMatchesSparseOnWorkedExample) {
+    Graph g;
+    const ActorId left = g.add_actor("left", 3);
+    const ActorId right = g.add_actor("right", 1);
+    g.add_channel(right, left, 2, 1, 2);
+    g.add_channel(left, left, 1, 1, 1);
+    g.add_channel(left, right, 1, 2, 0);
+    g.add_channel(right, right, 1, 1, 1);
+    const SymbolicIteration sparse = symbolic_iteration(g, SymbolicEngine::sparse);
+    const SymbolicIteration dense = symbolic_iteration(g, SymbolicEngine::dense);
+    EXPECT_EQ(sparse.matrix, dense.matrix);
+    EXPECT_EQ(sparse.tokens.size(), dense.tokens.size());
+}
+
+TEST(Symbolic, PowerShortCircuitsStillValidateTheGraph) {
+    // Powers 0 and 1 skip the matrix exponentiation but must reject the
+    // same graphs a real execution would.
+    Graph dead;
+    const ActorId a = dead.add_actor("a", 1);
+    const ActorId b = dead.add_actor("b", 1);
+    dead.add_channel(a, b, 0);
+    dead.add_channel(b, a, 0);
+    EXPECT_THROW(symbolic_iteration_power(dead, 0), DeadlockError);
+    EXPECT_THROW(symbolic_iteration_power(dead, 1), DeadlockError);
+
+    Graph inconsistent;
+    const ActorId c = inconsistent.add_actor("c", 1);
+    inconsistent.add_channel(c, c, 2, 1, 4);
+    EXPECT_THROW(symbolic_iteration_power(inconsistent, 0), InconsistentGraphError);
+    EXPECT_THROW(symbolic_iteration_power(inconsistent, 1), InconsistentGraphError);
+}
+
+TEST(Symbolic, PowerOneEqualsSingleIteration) {
+    Graph g;
+    const ActorId a = g.add_actor("a", 3);
+    const ActorId b = g.add_actor("b", 4);
+    g.add_channel(a, b, 0);
+    g.add_channel(b, a, 2);
+    EXPECT_EQ(symbolic_iteration_power(g, 1), symbolic_iteration(g).matrix);
+    EXPECT_THROW(symbolic_iteration_power(g, -1), Error);
+}
+
 TEST(Symbolic, ScheduleIndependence) {
     // SDF determinacy: the matrix must not depend on schedule order.  Build
     // the same graph with actors declared in different orders (which flips
