@@ -1,5 +1,7 @@
 #include "analysis/throughput.hpp"
 
+#include <algorithm>
+
 #include "base/errors.hpp"
 #include "maxplus/mcm.hpp"
 #include "sdf/properties.hpp"
@@ -80,20 +82,29 @@ ThroughputResult throughput_simulation(const Graph& graph, std::size_t max_event
     if (run.deadlocked) {
         return deadlocked_result(graph);
     }
-    // Recover λ from any actor with non-zero firings in the period:
-    // τ(a) = q(a)/λ  =>  λ = q(a) · period_time / period_firings(a).
     const std::vector<Int> repetition = repetition_vector(graph);
-    ThroughputResult result;
-    result.outcome = ThroughputOutcome::finite;
-    result.per_actor = run.throughput;
+    // An actor with zero firings in the recurrent window is permanently
+    // starved: self-timed execution is deterministic, so whatever did not
+    // happen within one period never happens.  Other components may keep
+    // spinning, but no complete iteration ever finishes — a deadlock in
+    // the iteration semantics that routes 1 and 2 report.
     for (ActorId a = 0; a < graph.actor_count(); ++a) {
-        if (run.period_firings[a] > 0) {
-            result.period =
-                Rational(repetition[a]) * Rational(run.period_time, run.period_firings[a]);
-            break;
+        if (run.period_firings[a] == 0) {
+            return deadlocked_result(graph);
         }
     }
-    return result;
+    // Recover λ per actor as q(a) · period_time / period_firings(a) and
+    // take the maximum: components that are not rate-coupled to the
+    // critical cycle fire faster than q(a)/λ under self-timed execution,
+    // so only the slowest (= critical) component witnesses the global
+    // iteration period.
+    Rational period(0);
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        const Rational candidate =
+            Rational(repetition[a]) * Rational(run.period_time, run.period_firings[a]);
+        period = std::max(period, candidate);
+    }
+    return finite_result(graph, period);
 }
 
 Rational iteration_period(const Graph& graph) {

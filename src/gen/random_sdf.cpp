@@ -1,17 +1,21 @@
 #include "gen/random_sdf.hpp"
 
 #include "base/checked.hpp"
+#include "base/portable_rng.hpp"
 
 namespace sdf {
 
 namespace {
 
+// std::uniform_*_distribution sequences are implementation-defined; the
+// portable draws keep a fuzz seed reproducing the same graph on libstdc++
+// and libc++ alike.
 Int uniform(std::mt19937& rng, Int lo, Int hi) {
-    return std::uniform_int_distribution<Int>(lo, hi)(rng);
+    return draw_int(rng, lo, hi);
 }
 
 bool flip(std::mt19937& rng, double probability) {
-    return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < probability;
+    return draw_chance(rng, probability);
 }
 
 /// Adds a channel between actors with repetition entries q_src and q_dst,

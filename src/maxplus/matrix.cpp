@@ -1,6 +1,7 @@
 #include "maxplus/matrix.hpp"
 
 #include <cstdint>
+#include <limits>
 #include <ostream>
 #include <utility>
 
@@ -8,6 +9,14 @@
 #include "base/thread_pool.hpp"
 
 namespace sdf {
+
+std::size_t MpMatrix::checked_entry_count(std::size_t rows, std::size_t cols) {
+    if (rows != 0 && cols > std::numeric_limits<std::size_t>::max() / rows) {
+        throw ArithmeticError("matrix size overflow: " + std::to_string(rows) + " x " +
+                              std::to_string(cols) + " entries");
+    }
+    return rows * cols;
+}
 
 MpMatrix MpMatrix::identity(std::size_t size) {
     MpMatrix m(size, size);

@@ -24,9 +24,11 @@ class MpMatrix {
 public:
     MpMatrix() = default;
 
-    /// rows×cols matrix of −∞ entries.
+    /// rows×cols matrix of −∞ entries.  Throws ArithmeticError when the
+    /// entry count overflows size_t (an unchecked rows*cols would wrap and
+    /// allocate a too-small buffer, turning every set() into UB).
     MpMatrix(std::size_t rows, std::size_t cols)
-        : rows_(rows), cols_(cols), entries_(rows * cols) {}
+        : rows_(rows), cols_(cols), entries_(checked_entry_count(rows, cols)) {}
 
     /// The max-plus identity: 0 on the diagonal, −∞ elsewhere.
     static MpMatrix identity(std::size_t size);
@@ -85,6 +87,8 @@ public:
     [[nodiscard]] std::string to_string() const;
 
 private:
+    static std::size_t checked_entry_count(std::size_t rows, std::size_t cols);
+
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     std::vector<MpValue> entries_;

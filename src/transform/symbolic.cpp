@@ -138,6 +138,20 @@ SymbolicIteration symbolic_iteration(const Graph& graph, SymbolicEngine engine) 
     const std::vector<ActorId> schedule = sequential_schedule(graph);
 
     SymbolicIteration result;
+    // The iteration matrix is dense n×n over the n initial tokens.  Refuse
+    // up front when it could not possibly be materialised — e.g. the
+    // bundled overflow stress model carries ~1e12 tokens, which would churn
+    // through per-token fifo allocations for minutes before dying on a
+    // multi-terabyte matrix.  16384² entries is a 4 GiB matrix, already far
+    // past every practical model (lint rule SDF009 warns much earlier).
+    constexpr Int kMaxSymbolicTokens = 16384;
+    const Int token_count = graph.total_initial_tokens();
+    if (token_count > kMaxSymbolicTokens) {
+        throw Error("symbolic iteration needs a dense " + std::to_string(token_count) +
+                    "^2 max-plus matrix over the initial tokens; refusing above " +
+                    std::to_string(kMaxSymbolicTokens) +
+                    " tokens (model large token counts as scaled rates instead)");
+    }
     result.tokens = initial_tokens(graph);
     const std::size_t n = result.tokens.size();
     result.matrix = engine == SymbolicEngine::sparse ? run_sparse(graph, schedule, n)

@@ -52,7 +52,9 @@ enum class SymbolicEngine {
 
 /// Symbolically executes one iteration of a consistent, deadlock-free SDF
 /// graph and returns its max-plus iteration matrix.  Throws
-/// InconsistentGraphError / DeadlockError accordingly.
+/// InconsistentGraphError / DeadlockError accordingly, and plain Error when
+/// the graph carries more initial tokens than the dense n×n matrix could
+/// ever hold in memory (the guard fires before any allocation happens).
 SymbolicIteration symbolic_iteration(const Graph& graph,
                                      SymbolicEngine engine = SymbolicEngine::sparse);
 

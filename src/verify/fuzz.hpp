@@ -1,0 +1,100 @@
+// fuzz.hpp — the differential fuzzing harness (`sdfred fuzz`).
+//
+// One iteration = one seed: draw a base graph (random generators,
+// structured families, bundled benchmarks, or a saved corpus entry), apply
+// a few semantic mutations (mutate.hpp), then run every selected oracle
+// (oracles.hpp).  Verdicts are tallied; a FAIL triggers the shrinker
+// (shrink.hpp) and the failure is persisted as a loadable model file plus a
+// ready-to-paste regression test.  Everything is deterministic in the seed
+// (portable_rng.hpp), so `sdfred fuzz --seed S --iterations 1` reproduces
+// any corpus failure bit-for-bit on any platform.
+//
+// Corpus persistence: with a corpus directory configured, *.sdf files in it
+// join the seed pool, and the harness writes back any graph that produces a
+// (oracle, status) combination not seen before in the run — a cheap
+// coverage signal that accumulates rejection- and skip-path exercisers
+// across runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sdf/graph.hpp"
+#include "verify/oracles.hpp"
+#include "verify/shrink.hpp"
+
+namespace sdf {
+
+struct FuzzOptions {
+    std::uint64_t seed = 1;           ///< first seed; iteration i uses seed + i
+    std::uint64_t iterations = 1000;
+    std::vector<std::string> oracles; ///< oracle ids to run; empty = whole registry
+    int max_mutations = 4;            ///< mutations per iteration drawn from [0, max]
+    std::string corpus_dir;           ///< "" disables corpus load/store
+    std::string failures_dir = "fuzz-failures";
+    bool write_failures = true;       ///< persist model + regression test per failure
+    bool shrink = true;               ///< delta-debug failures to minimal repros
+    std::size_t max_failures = 10;    ///< stop the run after this many failures
+    OracleLimits limits;
+    ShrinkOptions shrink_options;
+    std::ostream* log = nullptr;      ///< progress/failure stream (optional)
+};
+
+/// One found-and-processed failure.
+struct FuzzFailure {
+    std::uint64_t seed = 0;
+    std::string oracle;
+    Verdict verdict;                 ///< the original failing verdict
+    Graph original;                  ///< graph as generated+mutated
+    Graph shrunk;                    ///< minimal repro (== original when shrinking off)
+    std::vector<std::string> mutation_trace;
+    std::string model_path;          ///< written .sdf file ("" when not persisted)
+    std::string test_path;           ///< written regression test ("" when not persisted)
+};
+
+/// Aggregate statistics of a run.
+struct FuzzReport {
+    std::uint64_t iterations = 0;
+    std::uint64_t checks = 0;  ///< oracle executions (iterations × oracles)
+    std::uint64_t passes = 0;
+    std::uint64_t skips = 0;
+    std::uint64_t rejects = 0;
+    /// Per-oracle verdict tally: id -> {pass, skip, reject, fail} counts.
+    std::map<std::string, std::array<std::uint64_t, 4>> by_oracle;
+    std::vector<FuzzFailure> failures;
+
+    [[nodiscard]] bool clean() const { return failures.empty(); }
+};
+
+/// Runs the harness.  Throws Error on unknown oracle ids or unwritable
+/// artifact directories; never throws on any graph the fuzzer produces.
+FuzzReport run_fuzz(const FuzzOptions& options);
+
+/// Outcome of the harness self-test (`sdfred fuzz --self-test`).
+struct SelfTestReport {
+    bool bug_found = false;        ///< the injected off-by-one produced a failure
+    bool shrunk_minimal = false;   ///< the shrunk repro has <= 4 actors and still fails
+    std::size_t shrunk_actors = 0;
+    FuzzReport report;             ///< the underlying run
+
+    [[nodiscard]] bool ok() const { return bug_found && shrunk_minimal; }
+};
+
+/// Fault injection for the harness itself: runs the fuzzer against the
+/// deliberately broken self_test_oracle() and checks that the harness (a)
+/// finds the injected bug and (b) shrinks the repro to a minimal graph.
+/// A harness that cannot find a planted off-by-one cannot be trusted to
+/// find real ones.
+SelfTestReport run_fuzz_self_test(FuzzOptions options);
+
+/// The C++ source of a ready-to-paste GoogleTest regression test that
+/// rebuilds `graph` inline and asserts that oracle `oracle_id` does not
+/// fail on it.  `tag` individualises the test name (e.g. the seed).
+std::string regression_test_source(const Graph& graph, const std::string& oracle_id,
+                                   const std::string& tag);
+
+}  // namespace sdf

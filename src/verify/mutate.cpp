@@ -1,0 +1,239 @@
+#include "verify/mutate.hpp"
+
+#include <algorithm>
+
+#include "base/portable_rng.hpp"
+
+namespace sdf {
+
+namespace {
+
+/// A plain editable mirror of a Graph.  Graph itself is validate-on-build
+/// and has no structural mutators (by design); mutations edit this mirror
+/// and rebuild, so every mutated graph re-passes construction validation.
+struct EditableGraph {
+    struct EditChannel {
+        std::size_t src = 0;
+        std::size_t dst = 0;
+        Int production = 1;
+        Int consumption = 1;
+        Int tokens = 0;
+    };
+
+    std::string name;
+    std::vector<Actor> actors;
+    std::vector<EditChannel> channels;
+
+    static EditableGraph from(const Graph& graph) {
+        EditableGraph e;
+        e.name = graph.name();
+        e.actors = graph.actors();
+        e.channels.reserve(graph.channel_count());
+        for (const Channel& ch : graph.channels()) {
+            e.channels.push_back({ch.src, ch.dst, ch.production, ch.consumption,
+                                  ch.initial_tokens});
+        }
+        return e;
+    }
+
+    [[nodiscard]] Graph build() const {
+        Graph graph(name);
+        for (const Actor& actor : actors) {
+            graph.add_actor(actor.name, actor.execution_time);
+        }
+        for (const EditChannel& ch : channels) {
+            graph.add_channel(ch.src, ch.dst, ch.production, ch.consumption, ch.tokens);
+        }
+        return graph;
+    }
+
+    [[nodiscard]] bool has_name(const std::string& candidate) const {
+        return std::any_of(actors.begin(), actors.end(),
+                           [&](const Actor& a) { return a.name == candidate; });
+    }
+
+    [[nodiscard]] std::string fresh_name(const std::string& base) const {
+        for (Int i = 0;; ++i) {
+            const std::string candidate = base + "+s" + std::to_string(i);
+            if (!has_name(candidate)) {
+                return candidate;
+            }
+        }
+    }
+};
+
+void note(std::vector<std::string>* trace, std::string entry) {
+    if (trace != nullptr) {
+        trace->push_back(std::move(entry));
+    }
+}
+
+/// Applies one mutation of `kind`; returns false when the kind does not
+/// apply to the current shape (caller re-draws).
+bool apply(EditableGraph& g, MutationKind kind, std::mt19937& rng,
+           std::vector<std::string>* trace) {
+    switch (kind) {
+        case MutationKind::rate_perturb: {
+            if (g.channels.empty()) {
+                return false;
+            }
+            auto& ch = g.channels[draw_index(rng, g.channels.size())];
+            Int& rate = draw_chance(rng, 0.5) ? ch.production : ch.consumption;
+            const Int before = rate;
+            rate = std::max<Int>(1, rate + (draw_chance(rng, 0.5) ? 1 : -1));
+            if (rate == before) {
+                rate = before + 1;
+            }
+            note(trace, std::string("rate_perturb: ") + g.actors[ch.src].name + "->" +
+                            g.actors[ch.dst].name + " rate " + std::to_string(before) +
+                            " -> " + std::to_string(rate));
+            return true;
+        }
+        case MutationKind::token_add: {
+            if (g.channels.empty()) {
+                return false;
+            }
+            auto& ch = g.channels[draw_index(rng, g.channels.size())];
+            const Int extra = draw_int(rng, 1, 3);
+            ch.tokens += extra;
+            note(trace, std::string("token_add: ") + g.actors[ch.src].name + "->" +
+                            g.actors[ch.dst].name + " +" + std::to_string(extra));
+            return true;
+        }
+        case MutationKind::token_remove: {
+            std::vector<std::size_t> marked;
+            for (std::size_t c = 0; c < g.channels.size(); ++c) {
+                if (g.channels[c].tokens > 0) {
+                    marked.push_back(c);
+                }
+            }
+            if (marked.empty()) {
+                return false;
+            }
+            auto& ch = g.channels[marked[draw_index(rng, marked.size())]];
+            const Int removed = draw_int(rng, 1, ch.tokens);
+            ch.tokens -= removed;
+            note(trace, std::string("token_remove: ") + g.actors[ch.src].name + "->" +
+                            g.actors[ch.dst].name + " -" + std::to_string(removed));
+            return true;
+        }
+        case MutationKind::edge_rewire: {
+            if (g.channels.empty() || g.actors.empty()) {
+                return false;
+            }
+            auto& ch = g.channels[draw_index(rng, g.channels.size())];
+            const std::size_t target = draw_index(rng, g.actors.size());
+            std::size_t& endpoint = draw_chance(rng, 0.5) ? ch.src : ch.dst;
+            const std::size_t before = endpoint;
+            endpoint = target;
+            note(trace, "edge_rewire: endpoint " + g.actors[before].name + " -> " +
+                            g.actors[target].name);
+            return true;
+        }
+        case MutationKind::actor_split: {
+            if (g.actors.empty()) {
+                return false;
+            }
+            const std::size_t original = draw_index(rng, g.actors.size());
+            Actor clone;
+            clone.name = g.fresh_name(g.actors[original].name);
+            clone.execution_time = g.actors[original].execution_time;
+            g.actors.push_back(clone);
+            const std::size_t added = g.actors.size() - 1;
+            for (auto& ch : g.channels) {
+                if (ch.src == original && draw_chance(rng, 0.5)) {
+                    ch.src = added;
+                }
+            }
+            // Keep the halves adjacent so the split stays a local reshaping
+            // rather than a guaranteed disconnect.
+            g.channels.push_back({original, added, 1, 1, 0});
+            note(trace, "actor_split: " + g.actors[original].name + " -> +" + clone.name);
+            return true;
+        }
+        case MutationKind::actor_merge: {
+            if (g.actors.size() < 2) {
+                return false;
+            }
+            const std::size_t keep = draw_index(rng, g.actors.size());
+            std::size_t gone = draw_index(rng, g.actors.size() - 1);
+            if (gone >= keep) {
+                ++gone;
+            }
+            note(trace,
+                 "actor_merge: " + g.actors[gone].name + " into " + g.actors[keep].name);
+            for (auto& ch : g.channels) {
+                if (ch.src == gone) {
+                    ch.src = keep;
+                }
+                if (ch.dst == gone) {
+                    ch.dst = keep;
+                }
+                if (ch.src > gone) {
+                    --ch.src;
+                }
+                if (ch.dst > gone) {
+                    --ch.dst;
+                }
+            }
+            g.actors.erase(g.actors.begin() + static_cast<std::ptrdiff_t>(gone));
+            return true;
+        }
+        case MutationKind::time_jitter: {
+            if (g.actors.empty()) {
+                return false;
+            }
+            Actor& actor = g.actors[draw_index(rng, g.actors.size())];
+            const Int before = actor.execution_time;
+            const Int delta = draw_int(rng, 1, 3);
+            actor.execution_time =
+                std::max<Int>(0, actor.execution_time + (draw_chance(rng, 0.5) ? delta
+                                                                               : -delta));
+            note(trace, "time_jitter: " + actor.name + " " + std::to_string(before) +
+                            " -> " + std::to_string(actor.execution_time));
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+const char* mutation_kind_name(MutationKind kind) {
+    switch (kind) {
+        case MutationKind::rate_perturb: return "rate_perturb";
+        case MutationKind::token_add: return "token_add";
+        case MutationKind::token_remove: return "token_remove";
+        case MutationKind::edge_rewire: return "edge_rewire";
+        case MutationKind::actor_split: return "actor_split";
+        case MutationKind::actor_merge: return "actor_merge";
+        case MutationKind::time_jitter: return "time_jitter";
+    }
+    return "unknown";
+}
+
+Graph mutate_graph(const Graph& graph, std::mt19937& rng, int count,
+                   std::vector<std::string>* trace) {
+    if (graph.actor_count() == 0) {
+        return graph;
+    }
+    EditableGraph editable = EditableGraph::from(graph);
+    constexpr int kKinds = 7;
+    for (int applied = 0; applied < count;) {
+        bool progressed = false;
+        // A drawn kind may not apply (no channels, no tokens); re-draw a
+        // bounded number of times, then give up on this slot.
+        for (int attempt = 0; attempt < 8 && !progressed; ++attempt) {
+            const auto kind =
+                static_cast<MutationKind>(draw_index(rng, static_cast<std::size_t>(kKinds)));
+            progressed = apply(editable, kind, rng, trace);
+        }
+        if (!progressed) {
+            break;
+        }
+        ++applied;
+    }
+    return editable.build();
+}
+
+}  // namespace sdf

@@ -1,0 +1,44 @@
+// mutate.hpp — semantic graph mutations for the differential fuzzer.
+//
+// gen::random_sdf is consistent, live and bounded BY CONSTRUCTION — exactly
+// the graphs on which nothing interesting can go wrong in the rejection
+// paths.  The mutations below deliberately step outside that set: a single
+// rate perturbation makes a graph inconsistent, removing tokens deadlocks
+// it, rewiring edges disconnects it or takes actors off every cycle,
+// splitting and merging actors reshapes repetition vectors.  Mutated graphs
+// remain STRUCTURALLY valid (positive rates, non-negative delays, unique
+// names — Graph's constructor invariants), so every analysis entry point
+// must either answer or refuse with a typed error; the oracles check that
+// contract.
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+/// The available mutation kinds, applied with equal probability.
+enum class MutationKind {
+    rate_perturb,   ///< bump a channel's production or consumption by ±1
+    token_add,      ///< add 1..3 initial tokens to a channel
+    token_remove,   ///< remove initial tokens from a marked channel
+    edge_rewire,    ///< re-point one endpoint of a channel
+    actor_split,    ///< split an actor in two, moving some outputs
+    actor_merge,    ///< merge two actors, redirecting all channels
+    time_jitter,    ///< perturb an execution time by ±1..3
+};
+
+const char* mutation_kind_name(MutationKind kind);
+
+/// Applies `count` random mutations to a copy of `graph`; deterministic in
+/// `rng` (portable draws only).  Appends a human-readable description of
+/// every applied mutation to `trace` when non-null.  Mutations that do not
+/// apply to the current shape (e.g. token_remove with no tokens anywhere)
+/// are re-drawn; graphs with no actors are returned unchanged.
+Graph mutate_graph(const Graph& graph, std::mt19937& rng, int count,
+                   std::vector<std::string>* trace = nullptr);
+
+}  // namespace sdf

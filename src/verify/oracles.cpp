@@ -1,0 +1,648 @@
+#include "verify/oracles.hpp"
+
+#include <typeinfo>
+
+#include "analysis/deadlock.hpp"
+#include "analysis/liveness.hpp"
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "csdf/analysis.hpp"
+#include "csdf/simulate.hpp"
+#include "maxplus/mcm.hpp"
+#include "sdf/properties.hpp"
+#include "sdf/repetition.hpp"
+#include "sdf/simulate.hpp"
+#include "transform/hsdf_classic.hpp"
+#include "transform/hsdf_reduced.hpp"
+#include "transform/sdf_abstraction.hpp"
+#include "transform/symbolic.hpp"
+#include "transform/unfold.hpp"
+
+namespace sdf {
+
+namespace {
+
+const char* outcome_name(ThroughputOutcome outcome) {
+    switch (outcome) {
+        case ThroughputOutcome::deadlocked: return "deadlocked";
+        case ThroughputOutcome::unbounded: return "unbounded";
+        case ThroughputOutcome::finite: return "finite";
+    }
+    return "unknown";
+}
+
+Disagreement disagree(std::string quantity, std::string left_route, std::string left,
+                      std::string right_route, std::string right) {
+    Disagreement d;
+    d.quantity = std::move(quantity);
+    d.left_route = std::move(left_route);
+    d.left_value = std::move(left);
+    d.right_route = std::move(right_route);
+    d.right_value = std::move(right);
+    return d;
+}
+
+/// Compares two full ThroughputResults route-against-route; appends any
+/// disagreements (outcome, period, per-actor values).
+void compare_throughput(const std::string& left_route, const ThroughputResult& left,
+                        const std::string& right_route, const ThroughputResult& right,
+                        const Graph& graph, std::vector<Disagreement>& out) {
+    if (left.outcome != right.outcome) {
+        out.push_back(disagree("throughput outcome", left_route,
+                               outcome_name(left.outcome), right_route,
+                               outcome_name(right.outcome)));
+        return;
+    }
+    if (left.outcome != ThroughputOutcome::finite) {
+        return;
+    }
+    if (left.period != right.period) {
+        out.push_back(disagree("iteration period", left_route, left.period.to_string(),
+                               right_route, right.period.to_string()));
+    }
+    for (ActorId a = 0; a < graph.actor_count() && a < left.per_actor.size() &&
+                        a < right.per_actor.size();
+         ++a) {
+        if (left.per_actor[a] != right.per_actor[a]) {
+            out.push_back(disagree("throughput of actor '" + graph.actor(a).name + "'",
+                                   left_route, left.per_actor[a].to_string(), right_route,
+                                   right.per_actor[a].to_string()));
+        }
+    }
+}
+
+Verdict settle(const char* id, std::vector<Disagreement> disagreements) {
+    if (disagreements.empty()) {
+        return Verdict::pass(id);
+    }
+    return Verdict::fail(id, "independent routes disagree", std::move(disagreements));
+}
+
+// ---- throughput-routes ------------------------------------------------
+
+Verdict run_throughput_routes(const Graph& graph, const OracleLimits& limits) {
+    constexpr const char* kId = "throughput-routes";
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    if (graph.actor_count() > limits.max_actors) {
+        return Verdict::skip(kId, "actor count above limit");
+    }
+    // iteration_length throws the typed inconsistency error for graphs with
+    // no repetition vector — run_oracle turns that into a reject.
+    const Int firings = iteration_length(graph);
+    if (firings > limits.max_iteration_length) {
+        return Verdict::skip(kId, "iteration length above expansion limit");
+    }
+    const ThroughputResult symbolic = throughput_symbolic(graph);
+    const ThroughputResult classic = throughput_via_classic_hsdf(graph);
+    std::vector<Disagreement> disagreements;
+    compare_throughput("symbolic+karp", symbolic, "classic-hsdf+mcr", classic, graph,
+                       disagreements);
+    // Simulation needs a recurrent state: only meaningful for graphs whose
+    // every actor sits on a cycle, and either deadlocked or with a positive
+    // period (zero-time cycles never reach a recurrent state).
+    const bool period_positive = symbolic.is_finite() && !symbolic.period.is_zero();
+    const bool expect_deadlock = symbolic.outcome == ThroughputOutcome::deadlocked;
+    if ((period_positive || expect_deadlock) && every_actor_on_cycle(graph)) {
+        const ThroughputResult simulated =
+            throughput_simulation(graph, limits.sim_max_events);
+        compare_throughput("symbolic+karp", symbolic, "self-timed simulation", simulated,
+                           graph, disagreements);
+    }
+    return settle(kId, disagreements);
+}
+
+// ---- reduced-hsdf -----------------------------------------------------
+
+Verdict run_reduced_hsdf(const Graph& graph, const OracleLimits& limits) {
+    constexpr const char* kId = "reduced-hsdf";
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    if (graph.total_initial_tokens() > limits.max_tokens) {
+        return Verdict::skip(kId, "token count above matrix limit");
+    }
+    const ThroughputResult original = throughput_symbolic(graph);
+    if (original.outcome == ThroughputOutcome::deadlocked) {
+        return Verdict::skip(kId, "deadlocked graph has no iteration matrix");
+    }
+    std::vector<Disagreement> disagreements;
+    for (const bool elide : {true, false}) {
+        ReducedHsdfOptions options;
+        options.elide_single_client_muxes = elide;
+        const Graph reduced = to_hsdf_reduced(graph, options);
+        const std::string route =
+            elide ? "reduced-hsdf (elided muxes)" : "reduced-hsdf (full muxes)";
+        if (!reduced.is_homogeneous()) {
+            disagreements.push_back(disagree("homogeneity", route, "multi-rate channels",
+                                             "Section 6", "HSDF output"));
+            continue;
+        }
+        const ThroughputResult converted = throughput_symbolic(reduced);
+        if (original.is_finite() && !original.period.is_zero()) {
+            if (!converted.is_finite() || converted.period != original.period) {
+                disagreements.push_back(disagree(
+                    "iteration period", "symbolic+karp on original",
+                    original.period.to_string(), route,
+                    converted.is_finite() ? converted.period.to_string()
+                                          : outcome_name(converted.outcome)));
+            }
+        } else {
+            // Unbounded original (no cycle, or only zero-time cycles): the
+            // reduced graph must not deadlock and must not invent a
+            // positive period.
+            if (converted.outcome == ThroughputOutcome::deadlocked) {
+                disagreements.push_back(disagree("liveness", "original",
+                                                 outcome_name(original.outcome), route,
+                                                 "deadlocked"));
+            } else if (converted.is_finite() && !converted.period.is_zero()) {
+                disagreements.push_back(disagree("iteration period", "original",
+                                                 outcome_name(original.outcome), route,
+                                                 converted.period.to_string()));
+            }
+        }
+    }
+    return settle(kId, disagreements);
+}
+
+// ---- abstraction (Theorem 1) ------------------------------------------
+
+Verdict run_abstraction(const Graph& graph, const OracleLimits& limits) {
+    constexpr const char* kId = "abstraction";
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    if (graph.actor_count() > limits.max_actors) {
+        return Verdict::skip(kId, "actor count above limit");
+    }
+    const Int firings = iteration_length(graph);
+    if (firings > limits.max_iteration_length) {
+        return Verdict::skip(kId, "iteration length above expansion limit");
+    }
+    const SdfAbstraction abstraction = abstract_sdf(graph);
+    std::vector<Disagreement> disagreements;
+    if (abstraction.abstract.actor_count() != graph.actor_count()) {
+        disagreements.push_back(
+            disagree("abstract actor count", "abstract_sdf",
+                     std::to_string(abstraction.abstract.actor_count()), "original",
+                     std::to_string(graph.actor_count())));
+    }
+    const std::vector<Rational> bound = conservative_throughput_bound(graph, abstraction);
+    const ThroughputResult actual = throughput_symbolic(graph);
+    if (actual.is_finite()) {
+        for (ActorId a = 0; a < graph.actor_count(); ++a) {
+            if (bound[a] > actual.per_actor[a]) {
+                disagreements.push_back(disagree(
+                    "Theorem 1 bound for actor '" + graph.actor(a).name + "'",
+                    "abstraction bound", bound[a].to_string(), "concrete throughput",
+                    actual.per_actor[a].to_string()));
+            }
+        }
+    } else if (actual.outcome == ThroughputOutcome::deadlocked) {
+        // A deadlocked graph has throughput zero; conservativity demands
+        // the abstract bound collapse to zero as well.
+        for (ActorId a = 0; a < graph.actor_count(); ++a) {
+            if (!bound[a].is_zero()) {
+                disagreements.push_back(
+                    disagree("Theorem 1 bound for actor '" + graph.actor(a).name + "'",
+                             "abstraction bound", bound[a].to_string(),
+                             "concrete throughput", "0 (deadlocked)"));
+            }
+        }
+    }
+    return settle(kId, disagreements);
+}
+
+// ---- unfold (Proposition 2) -------------------------------------------
+
+Verdict run_unfold(const Graph& graph, const OracleLimits& limits) {
+    constexpr const char* kId = "unfold";
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    if (!graph.is_homogeneous()) {
+        return Verdict::skip(kId, "Proposition 2's exact mimicry is stated for HSDF");
+    }
+    if (graph.total_initial_tokens() > limits.max_tokens / 2) {
+        return Verdict::skip(kId, "token count above matrix limit");
+    }
+    const ThroughputResult base = throughput_symbolic(graph);
+    std::vector<Disagreement> disagreements;
+    for (const Int n : {Int{2}, Int{3}}) {
+        const Graph unfolded = unfold(graph, n);
+        const std::string route = "unfold(" + std::to_string(n) + ")";
+        if (unfolded.total_initial_tokens() != graph.total_initial_tokens()) {
+            disagreements.push_back(
+                disagree("initial token count", "original",
+                         std::to_string(graph.total_initial_tokens()), route,
+                         std::to_string(unfolded.total_initial_tokens())));
+        }
+        const ThroughputResult scaled = throughput_symbolic(unfolded);
+        if (scaled.outcome != base.outcome) {
+            disagreements.push_back(disagree("throughput outcome", "original",
+                                             outcome_name(base.outcome), route,
+                                             outcome_name(scaled.outcome)));
+            continue;
+        }
+        if (base.is_finite() && scaled.period != base.period * Rational(n)) {
+            disagreements.push_back(disagree(
+                "iteration period (Proposition 2: scales by N)",
+                "original × " + std::to_string(n), (base.period * Rational(n)).to_string(),
+                route, scaled.period.to_string()));
+        }
+    }
+    return settle(kId, disagreements);
+}
+
+// ---- repetition / consistency -----------------------------------------
+
+Verdict run_repetition(const Graph& graph, const OracleLimits&) {
+    constexpr const char* kId = "repetition";
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    std::vector<Disagreement> disagreements;
+    if (!is_consistent(graph)) {
+        // The negative side of the agreement: the solver must throw the
+        // typed inconsistency error, not return a vector.
+        try {
+            repetition_vector(graph);
+            disagreements.push_back(disagree("consistency", "is_consistent", "false",
+                                             "repetition_vector", "returned a vector"));
+        } catch (const InconsistentGraphError&) {
+            // agreement
+        }
+        return settle(kId, disagreements);
+    }
+    const std::vector<Int> q = repetition_vector(graph);
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        if (q[a] < 1) {
+            disagreements.push_back(disagree("repetition entry of '" +
+                                                 graph.actor(a).name + "'",
+                                             "repetition_vector", std::to_string(q[a]),
+                                             "Lee & Messerschmitt", ">= 1"));
+        }
+    }
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        const Channel& ch = graph.channel(c);
+        if (checked_mul(q[ch.src], ch.production) != checked_mul(q[ch.dst], ch.consumption)) {
+            disagreements.push_back(disagree(
+                "balance equation of channel " + graph.actor(ch.src).name + " -> " +
+                    graph.actor(ch.dst).name,
+                "q(src)*p", std::to_string(checked_mul(q[ch.src], ch.production)),
+                "q(dst)*c", std::to_string(checked_mul(q[ch.dst], ch.consumption))));
+        }
+    }
+    Int total = 0;
+    for (const Int entry : q) {
+        total = checked_add(total, entry);
+    }
+    if (total != iteration_length(graph)) {
+        disagreements.push_back(disagree("iteration length", "sum of q",
+                                         std::to_string(total), "iteration_length",
+                                         std::to_string(iteration_length(graph))));
+    }
+    return settle(kId, disagreements);
+}
+
+// ---- liveness / deadlock agreement ------------------------------------
+
+Verdict run_liveness(const Graph& graph, const OracleLimits& limits) {
+    constexpr const char* kId = "liveness";
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    std::vector<Disagreement> disagreements;
+    if (!is_consistent(graph)) {
+        // Inconsistent graphs: the HSDF characterisation answers "not
+        // live"; the schedulability test must refuse with a typed error.
+        if (is_live_via_hsdf(graph)) {
+            disagreements.push_back(disagree("liveness", "is_live_via_hsdf", "true",
+                                             "consistency", "graph is inconsistent"));
+        }
+        try {
+            diagnose_deadlock(graph);
+            disagreements.push_back(disagree("deadlock diagnosis", "diagnose_deadlock",
+                                             "returned", "consistency",
+                                             "graph is inconsistent"));
+        } catch (const InconsistentGraphError&) {
+            // agreement
+        }
+        return settle(kId, disagreements);
+    }
+    const bool live = is_live(graph);
+    const DeadlockDiagnosis diagnosis = diagnose_deadlock(graph);
+    if (live == diagnosis.deadlocked) {
+        disagreements.push_back(disagree("liveness", "is_live", live ? "true" : "false",
+                                         "diagnose_deadlock",
+                                         diagnosis.deadlocked ? "deadlocked" : "completes"));
+    }
+    if (diagnosis.deadlocked) {
+        if (diagnosis.blocked.empty()) {
+            disagreements.push_back(disagree("deadlock witness", "diagnose_deadlock",
+                                             "no starving actor reported", "contract",
+                                             "at least one"));
+        }
+        for (const Starvation& s : diagnosis.blocked) {
+            const bool valid = s.channel < graph.channel_count() &&
+                               graph.channel(s.channel).dst == s.actor &&
+                               s.available < s.required && s.remaining_firings > 0;
+            if (!valid) {
+                disagreements.push_back(disagree("deadlock witness", "diagnose_deadlock",
+                                                 "inconsistent starvation record",
+                                                 "contract",
+                                                 "starving input of the blocked actor"));
+            }
+        }
+    }
+    if (iteration_length(graph) <= limits.max_iteration_length &&
+        is_live_via_hsdf(graph) != live) {
+        disagreements.push_back(disagree("liveness", "is_live (schedulability)",
+                                         live ? "true" : "false",
+                                         "is_live_via_hsdf (zero-token cycle)",
+                                         live ? "false" : "true"));
+    }
+    const ThroughputResult throughput = throughput_symbolic(graph);
+    const bool reported_deadlock = throughput.outcome == ThroughputOutcome::deadlocked;
+    if (reported_deadlock == live) {
+        disagreements.push_back(disagree("deadlock", "throughput_symbolic",
+                                         outcome_name(throughput.outcome), "is_live",
+                                         live ? "live" : "deadlocked"));
+    }
+    return settle(kId, disagreements);
+}
+
+// ---- csdf lift --------------------------------------------------------
+
+Verdict run_csdf_lift(const Graph& graph, const OracleLimits& limits) {
+    constexpr const char* kId = "csdf-lift";
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    const CsdfGraph lifted = csdf_from_sdf(graph);
+    std::vector<Disagreement> disagreements;
+    const bool consistent = is_consistent(graph);
+    if (csdf_is_consistent(lifted) != consistent) {
+        disagreements.push_back(disagree("consistency", "sdf",
+                                         consistent ? "consistent" : "inconsistent",
+                                         "csdf lift",
+                                         csdf_is_consistent(lifted) ? "consistent"
+                                                                    : "inconsistent"));
+    }
+    if (!consistent) {
+        return settle(kId, disagreements);
+    }
+    if (csdf_is_live(lifted) != is_live(graph)) {
+        disagreements.push_back(disagree("liveness", "sdf",
+                                         is_live(graph) ? "live" : "deadlocked",
+                                         "csdf lift",
+                                         csdf_is_live(lifted) ? "live" : "deadlocked"));
+    }
+    if (graph.total_initial_tokens() <= limits.max_tokens) {
+        const CsdfThroughput lifted_throughput = csdf_throughput(lifted);
+        const ThroughputResult base = throughput_symbolic(graph);
+        const char* base_outcome = outcome_name(base.outcome);
+        const char* lifted_outcome = lifted_throughput.deadlocked  ? "deadlocked"
+                                     : lifted_throughput.unbounded ? "unbounded"
+                                                                   : "finite";
+        if (std::string(base_outcome) != lifted_outcome) {
+            disagreements.push_back(disagree("throughput outcome", "sdf symbolic",
+                                             base_outcome, "csdf symbolic",
+                                             lifted_outcome));
+        } else if (base.is_finite()) {
+            if (lifted_throughput.period != base.period) {
+                disagreements.push_back(disagree("iteration period", "sdf symbolic",
+                                                 base.period.to_string(), "csdf symbolic",
+                                                 lifted_throughput.period.to_string()));
+            }
+            for (ActorId a = 0; a < graph.actor_count(); ++a) {
+                if (lifted_throughput.per_actor[a] != base.per_actor[a]) {
+                    disagreements.push_back(
+                        disagree("throughput of actor '" + graph.actor(a).name + "'",
+                                 "sdf symbolic", base.per_actor[a].to_string(),
+                                 "csdf symbolic",
+                                 lifted_throughput.per_actor[a].to_string()));
+                }
+            }
+        }
+    }
+    if (is_live(graph) && every_actor_on_cycle(graph) &&
+        iteration_length(graph) <= limits.max_iteration_length) {
+        const Int sdf_makespan = simulate_iterations(graph, 2).makespan;
+        const Int csdf_makespan = csdf_simulate_iterations(lifted, 2).makespan;
+        if (sdf_makespan != csdf_makespan) {
+            disagreements.push_back(disagree("makespan of 2 iterations", "sdf simulate",
+                                             std::to_string(sdf_makespan),
+                                             "csdf simulate",
+                                             std::to_string(csdf_makespan)));
+        }
+    }
+    return settle(kId, disagreements);
+}
+
+// ---- makespan vs matrix power -----------------------------------------
+
+bool every_actor_has_unit_self_loop(const Graph& graph) {
+    std::vector<bool> covered(graph.actor_count(), false);
+    for (const Channel& ch : graph.channels()) {
+        if (ch.is_self_loop() && ch.is_homogeneous() && ch.initial_tokens > 0) {
+            covered[ch.src] = true;
+        }
+    }
+    for (const bool c : covered) {
+        if (!c) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Verdict run_makespan(const Graph& graph, const OracleLimits& limits) {
+    constexpr const char* kId = "makespan";
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    // The equality "makespan of k iterations == max entry of G^k" needs
+    // every actor's final completion recorded in a surviving token, which a
+    // marked homogeneous self-loop guarantees.
+    if (!every_actor_has_unit_self_loop(graph)) {
+        return Verdict::skip(kId, "needs a marked unit self-loop on every actor");
+    }
+    if (graph.total_initial_tokens() > limits.max_tokens ||
+        iteration_length(graph) > limits.max_iteration_length) {
+        return Verdict::skip(kId, "size above limit");
+    }
+    std::vector<Disagreement> disagreements;
+    for (const Int k : {Int{1}, Int{2}}) {
+        const MpMatrix power = symbolic_iteration_power(graph, k);
+        const FiniteRun run = simulate_iterations(graph, k);
+        if (!power.max_entry().is_finite() ||
+            run.makespan != power.max_entry().value()) {
+            disagreements.push_back(disagree(
+                "makespan of " + std::to_string(k) + " iteration(s)", "simulation",
+                std::to_string(run.makespan), "max entry of G^k",
+                power.max_entry().is_finite() ? std::to_string(power.max_entry().value())
+                                              : "-inf"));
+        }
+    }
+    return settle(kId, disagreements);
+}
+
+// ---- symbolic engines and max-plus kernels ----------------------------
+
+Verdict run_symbolic_engines(const Graph& graph, const OracleLimits& limits) {
+    constexpr const char* kId = "symbolic-engines";
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    if (graph.total_initial_tokens() > limits.max_tokens) {
+        return Verdict::skip(kId, "token count above matrix limit");
+    }
+    const SymbolicIteration sparse = symbolic_iteration(graph, SymbolicEngine::sparse);
+    const SymbolicIteration dense = symbolic_iteration(graph, SymbolicEngine::dense);
+    std::vector<Disagreement> disagreements;
+    if (!(sparse.matrix == dense.matrix)) {
+        disagreements.push_back(disagree("iteration matrix", "sparse stamps",
+                                         "matrix differs", "dense vectors",
+                                         "matrix differs"));
+    }
+    const MpMatrix blocked = sparse.matrix.multiply(sparse.matrix);
+    const MpMatrix naive = sparse.matrix.multiply_naive(sparse.matrix);
+    if (!(blocked == naive)) {
+        disagreements.push_back(disagree("G*G", "blocked multiply", "matrix differs",
+                                         "naive multiply", "matrix differs"));
+    }
+    const Digraph precedence = sparse.matrix.precedence_graph();
+    const CycleMetric pooled = max_cycle_mean_karp(precedence);
+    const CycleMetric serial = max_cycle_mean_karp_serial(precedence);
+    if (pooled.outcome != serial.outcome ||
+        (pooled.is_finite() && pooled.value != serial.value)) {
+        disagreements.push_back(
+            disagree("max cycle mean", "pooled karp",
+                     pooled.is_finite() ? pooled.value.to_string() : "no finite cycle",
+                     "serial karp",
+                     serial.is_finite() ? serial.value.to_string() : "no finite cycle"));
+    }
+    return settle(kId, disagreements);
+}
+
+// ---- self-test oracle (injected off-by-one) ---------------------------
+
+Verdict run_self_test(const Graph& graph, const OracleLimits& limits) {
+    constexpr const char* kId = "selftest-offbyone";
+    if (graph.actor_count() == 0 || graph.actor_count() > limits.max_actors) {
+        return Verdict::skip(kId, "outside domain");
+    }
+    const ThroughputResult symbolic = throughput_symbolic(graph);
+    if (!symbolic.is_finite() || symbolic.period.is_zero()) {
+        return Verdict::skip(kId, "needs a positive finite period");
+    }
+    // The deliberate bug: this copied route believes every period is one
+    // time unit longer than it is.
+    const Rational buggy_period = symbolic.period + Rational(1);
+    std::vector<Disagreement> disagreements;
+    if (buggy_period != symbolic.period) {
+        disagreements.push_back(disagree("iteration period", "symbolic+karp",
+                                         symbolic.period.to_string(),
+                                         "copied oracle (injected off-by-one)",
+                                         buggy_period.to_string()));
+    }
+    return settle(kId, disagreements);
+}
+
+}  // namespace
+
+const std::vector<Oracle>& oracle_registry() {
+    static const std::vector<Oracle> registry = {
+        {"throughput-routes",
+         "self-timed simulation == MCM of symbolic matrix == classic HSDF",
+         "all independent throughput routes report the same outcome, period and "
+         "per-actor rates",
+         &run_throughput_routes},
+        {"reduced-hsdf", "Section 6 conversion preserves the iteration period",
+         "the reduced HSDF (with and without mux elision) is homogeneous and has the "
+         "original graph's period",
+         &run_reduced_hsdf},
+        {"abstraction", "Theorem 1: abstract throughput never over-estimates",
+         "conservative_throughput_bound <= concrete throughput per actor; zero for "
+         "deadlocked graphs",
+         &run_abstraction},
+        {"unfold", "Proposition 2: N-fold unfolding scales the period by N",
+         "unfold(g, N) preserves tokens, outcome, and multiplies a finite period by N "
+         "(homogeneous graphs)",
+         &run_unfold},
+        {"repetition", "repetition vector solves the balance equations minimally",
+         "q >= 1, q(src)*p == q(dst)*c per channel, sum q == iteration length; "
+         "inconsistent graphs raise the typed error",
+         &run_repetition},
+        {"liveness", "deadlock and liveness characterisations agree",
+         "is_live == !diagnose_deadlock().deadlocked == is_live_via_hsdf; "
+         "throughput reports deadlock exactly for non-live graphs; witnesses are valid",
+         &run_liveness},
+        {"csdf-lift", "single-phase CSDF embedding mirrors the SDF analyses",
+         "consistency, liveness, throughput and simulated makespan survive "
+         "csdf_from_sdf unchanged",
+         &run_csdf_lift},
+        {"makespan", "simulated makespan equals the symbolic matrix power",
+         "makespan of k iterations == max entry of G^k when every actor's completion "
+         "lands in a token",
+         &run_makespan},
+        {"symbolic-engines", "sparse == dense stamps; blocked == naive kernels",
+         "both stamp engines produce bit-identical matrices; blocked multiply and "
+         "pooled Karp match their serial baselines",
+         &run_symbolic_engines},
+    };
+    return registry;
+}
+
+const Oracle* find_oracle(const std::string& id) {
+    for (const Oracle& oracle : oracle_registry()) {
+        if (oracle.id == id) {
+            return &oracle;
+        }
+    }
+    if (self_test_oracle().id == id) {
+        return &self_test_oracle();
+    }
+    return nullptr;
+}
+
+Verdict run_oracle(const Oracle& oracle, const Graph& graph, const OracleLimits& limits) {
+    try {
+        Verdict verdict = oracle.run(graph, limits);
+        verdict.oracle = oracle.id;
+        return verdict;
+    } catch (const InconsistentGraphError& e) {
+        return Verdict::reject(oracle.id, std::string("InconsistentGraphError: ") + e.what());
+    } catch (const DeadlockError& e) {
+        return Verdict::reject(oracle.id, std::string("DeadlockError: ") + e.what());
+    } catch (const InvalidGraphError& e) {
+        return Verdict::reject(oracle.id, std::string("InvalidGraphError: ") + e.what());
+    } catch (const InvalidAbstractionError& e) {
+        return Verdict::reject(oracle.id,
+                               std::string("InvalidAbstractionError: ") + e.what());
+    } catch (const ArithmeticError& e) {
+        return Verdict::reject(oracle.id, std::string("ArithmeticError: ") + e.what());
+    } catch (const Error& e) {
+        return Verdict::reject(oracle.id, std::string("Error: ") + e.what());
+    } catch (const std::exception& e) {
+        // Untyped escape — the graceful-degradation contract is broken.
+        return Verdict::fail(oracle.id, std::string("crash: untyped exception ") +
+                                            typeid(e).name() + ": " + e.what());
+    } catch (...) {
+        return Verdict::fail(oracle.id, "crash: unknown exception");
+    }
+}
+
+const Oracle& self_test_oracle() {
+    static const Oracle oracle = {
+        "selftest-offbyone",
+        "copied throughput oracle with an injected off-by-one period",
+        "intentionally broken: believes every finite period is one unit longer; the "
+        "harness must find and shrink this",
+        &run_self_test};
+    return oracle;
+}
+
+}  // namespace sdf

@@ -1,0 +1,70 @@
+// oracles.hpp — the differential oracle registry.
+//
+// The library deliberately carries redundant engines for its central
+// quantities: throughput has a symbolic route, a classical-expansion route
+// and a state-space simulation; symbolic execution has a sparse and a dense
+// stamp engine; max-plus multiplication has a blocked and a naive kernel;
+// conversion has the reduced and the classic construction; CSDF embeds SDF.
+// Each oracle below pits those independent paths against each other on one
+// graph and also checks the paper's ordering invariants (Theorem 1
+// conservativity, Proposition 2 unfolding).  Agreement is strong evidence of
+// correctness precisely because the routes share no code beyond the graph
+// itself.
+//
+// Oracles accept ARBITRARY graphs — inconsistent, deadlocked, degenerate —
+// and must resolve every one to a Verdict: out-of-domain graphs are
+// rejected via the library's typed errors or skipped by size policy, never
+// crashed on.  run_oracle() enforces that contract: an untyped exception
+// escaping an oracle is itself a failing verdict.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sdf/graph.hpp"
+#include "verify/verdict.hpp"
+
+namespace sdf {
+
+/// Size guards that keep the exponential routes (classical expansion,
+/// state-space simulation) and the O(tokens²) matrix routes affordable on
+/// fuzzing volume.  Oracles skip (not reject) above these.
+struct OracleLimits {
+    Int max_iteration_length = 128;     ///< firings/iteration for expansion & simulation
+    Int max_tokens = 128;               ///< symbolic matrix dimension
+    std::size_t max_actors = 64;        ///< blanket actor-count guard
+    std::size_t sim_max_events = 1u << 20;  ///< event budget per simulation
+};
+
+/// One differential oracle: an independent way to compute and cross-check
+/// one quantity of the paper.
+struct Oracle {
+    std::string id;         ///< stable kebab-case identifier
+    std::string summary;    ///< one-line description
+    std::string invariant;  ///< the invariant checked, in paper terms
+    Verdict (*run)(const Graph&, const OracleLimits&) = nullptr;
+};
+
+/// All production oracles, in registry order.
+const std::vector<Oracle>& oracle_registry();
+
+/// The oracle with this id (registry or self-test), or nullptr.
+const Oracle* find_oracle(const std::string& id);
+
+/// Runs an oracle under the graceful-degradation contract: typed library
+/// errors (Error subclasses) become `reject` verdicts labelled with the
+/// error class; anything else escaping (std::exception, ...) becomes a
+/// `fail` verdict with a "crash" detail — exactly the bug class the fuzzer
+/// hunts beside route disagreements.
+Verdict run_oracle(const Oracle& oracle, const Graph& graph,
+                   const OracleLimits& limits = {});
+
+/// The self-test oracle: a copy of the throughput comparison with a
+/// deliberately injected off-by-one in the expected iteration period.  It
+/// fails on every finite-period graph.  Not part of oracle_registry();
+/// `sdfred fuzz --self-test` runs the harness against it and asserts that
+/// the bug is found and shrunk to a minimal repro.
+const Oracle& self_test_oracle();
+
+}  // namespace sdf

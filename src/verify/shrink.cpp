@@ -1,0 +1,221 @@
+#include "verify/shrink.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace sdf {
+
+namespace {
+
+/// Editable mirror (same idea as mutate.cpp's): shrink candidates are
+/// edits of this plain structure, rebuilt and re-validated per attempt.
+struct Candidate {
+    struct EditChannel {
+        std::size_t src = 0;
+        std::size_t dst = 0;
+        Int production = 1;
+        Int consumption = 1;
+        Int tokens = 0;
+    };
+
+    std::string name;
+    std::vector<Actor> actors;
+    std::vector<EditChannel> channels;
+
+    static Candidate from(const Graph& graph) {
+        Candidate c;
+        c.name = graph.name();
+        c.actors = graph.actors();
+        c.channels.reserve(graph.channel_count());
+        for (const Channel& ch : graph.channels()) {
+            c.channels.push_back({ch.src, ch.dst, ch.production, ch.consumption,
+                                  ch.initial_tokens});
+        }
+        return c;
+    }
+
+    [[nodiscard]] Graph build() const {
+        Graph graph(name);
+        for (const Actor& actor : actors) {
+            graph.add_actor(actor.name, actor.execution_time);
+        }
+        for (const EditChannel& ch : channels) {
+            graph.add_channel(ch.src, ch.dst, ch.production, ch.consumption, ch.tokens);
+        }
+        return graph;
+    }
+
+    [[nodiscard]] Candidate without_actor(std::size_t actor) const {
+        Candidate next;
+        next.name = name;
+        next.actors = actors;
+        next.actors.erase(next.actors.begin() + static_cast<std::ptrdiff_t>(actor));
+        for (const EditChannel& ch : channels) {
+            if (ch.src == actor || ch.dst == actor) {
+                continue;
+            }
+            EditChannel moved = ch;
+            if (moved.src > actor) {
+                --moved.src;
+            }
+            if (moved.dst > actor) {
+                --moved.dst;
+            }
+            next.channels.push_back(moved);
+        }
+        return next;
+    }
+
+    [[nodiscard]] Candidate without_channel(std::size_t channel) const {
+        Candidate next = *this;
+        next.channels.erase(next.channels.begin() +
+                            static_cast<std::ptrdiff_t>(channel));
+        return next;
+    }
+};
+
+class Shrinker {
+public:
+    Shrinker(Candidate best, std::function<bool(const Graph&)> still_fails,
+             const ShrinkOptions& options)
+        : best_(std::move(best)), still_fails_(std::move(still_fails)),
+          options_(options) {}
+
+    ShrinkOutcome run() {
+        bool progressed = true;
+        while (progressed && attempts_ < options_.max_attempts) {
+            progressed = false;
+            progressed |= drop_actors();
+            progressed |= drop_channels();
+            progressed |= simplify_attributes();
+            ++rounds_;
+        }
+        ShrinkOutcome outcome;
+        outcome.graph = best_.build();
+        outcome.attempts = attempts_;
+        outcome.rounds = rounds_;
+        return outcome;
+    }
+
+private:
+    /// Adopts `candidate` when it still fails; false otherwise.
+    bool adopt_if_failing(const Candidate& candidate) {
+        if (attempts_ >= options_.max_attempts) {
+            return false;
+        }
+        ++attempts_;
+        try {
+            if (still_fails_(candidate.build())) {
+                best_ = candidate;
+                return true;
+            }
+        } catch (...) {
+            // An unbuildable candidate (or a predicate that threw) is
+            // simply not a smaller counterexample.
+        }
+        return false;
+    }
+
+    bool drop_actors() {
+        bool progressed = false;
+        // Descending so indices stay stable across failed attempts.
+        for (std::size_t a = best_.actors.size(); a-- > 0;) {
+            if (best_.actors.size() <= 1) {
+                break;
+            }
+            progressed |= adopt_if_failing(best_.without_actor(a));
+        }
+        return progressed;
+    }
+
+    bool drop_channels() {
+        bool progressed = false;
+        for (std::size_t c = best_.channels.size(); c-- > 0;) {
+            progressed |= adopt_if_failing(best_.without_channel(c));
+        }
+        return progressed;
+    }
+
+    bool simplify_attributes() {
+        bool progressed = false;
+        for (std::size_t c = 0; c < best_.channels.size(); ++c) {
+            progressed |= pull_towards(c, &Candidate::EditChannel::production, 1);
+            progressed |= pull_towards(c, &Candidate::EditChannel::consumption, 1);
+            progressed |= pull_towards(c, &Candidate::EditChannel::tokens, 0);
+        }
+        for (std::size_t a = 0; a < best_.actors.size(); ++a) {
+            progressed |= pull_time_towards_zero(a);
+        }
+        return progressed;
+    }
+
+    /// Tries `field = target`, then repeated halving towards it.
+    bool pull_towards(std::size_t channel, Int Candidate::EditChannel::* field,
+                      Int target) {
+        bool progressed = false;
+        for (;;) {
+            const Int current = best_.channels[channel].*field;
+            if (current == target) {
+                return progressed;
+            }
+            Candidate direct = best_;
+            direct.channels[channel].*field = target;
+            if (adopt_if_failing(direct)) {
+                progressed = true;
+                continue;
+            }
+            const Int halved = target + (current - target) / 2;
+            if (halved == current) {
+                return progressed;
+            }
+            Candidate half = best_;
+            half.channels[channel].*field = halved;
+            if (!adopt_if_failing(half)) {
+                return progressed;
+            }
+            progressed = true;
+        }
+    }
+
+    bool pull_time_towards_zero(std::size_t actor) {
+        bool progressed = false;
+        for (;;) {
+            const Int current = best_.actors[actor].execution_time;
+            if (current == 0) {
+                return progressed;
+            }
+            Candidate direct = best_;
+            direct.actors[actor].execution_time = 0;
+            if (adopt_if_failing(direct)) {
+                progressed = true;
+                continue;
+            }
+            const Int halved = current / 2;
+            if (halved == current) {
+                return progressed;
+            }
+            Candidate half = best_;
+            half.actors[actor].execution_time = halved;
+            if (!adopt_if_failing(half)) {
+                return progressed;
+            }
+            progressed = true;
+        }
+    }
+
+    Candidate best_;
+    std::function<bool(const Graph&)> still_fails_;
+    ShrinkOptions options_;
+    std::size_t attempts_ = 0;
+    std::size_t rounds_ = 0;
+};
+
+}  // namespace
+
+ShrinkOutcome shrink_failure(const Graph& failing,
+                             const std::function<bool(const Graph&)>& still_fails,
+                             const ShrinkOptions& options) {
+    return Shrinker(Candidate::from(failing), still_fails, options).run();
+}
+
+}  // namespace sdf

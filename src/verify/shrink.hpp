@@ -1,0 +1,40 @@
+// shrink.hpp — delta-debugging shrinker for failing graphs.
+//
+// A fuzzer-found counterexample is typically a 7-actor, 20-channel graph in
+// which almost nothing is relevant.  shrink_failure() greedily minimises it
+// while preserving the failure predicate: whole actors (with their incident
+// channels) are dropped first, then individual channels, then every numeric
+// attribute is pulled towards its neutral value (rates towards 1, tokens
+// and execution times towards 0, via halving so large values shrink in
+// O(log) steps).  Passes repeat until a fixpoint, so the result is
+// 1-minimal with respect to these operations: removing any single actor or
+// channel, or simplifying any single attribute further, makes the failure
+// disappear.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+
+struct ShrinkOptions {
+    std::size_t max_attempts = 5000;  ///< predicate-evaluation budget
+};
+
+struct ShrinkOutcome {
+    Graph graph;                ///< the minimised counterexample
+    std::size_t attempts = 0;   ///< predicate evaluations spent
+    std::size_t rounds = 0;     ///< full passes until fixpoint
+};
+
+/// Minimises `failing` while `still_fails` stays true.  The predicate must
+/// be true for `failing` itself (callers pass the graph that just produced
+/// a failing verdict); candidates that throw inside the predicate count as
+/// not failing.  Deterministic: candidates are tried in a fixed order.
+ShrinkOutcome shrink_failure(const Graph& failing,
+                             const std::function<bool(const Graph&)>& still_fails,
+                             const ShrinkOptions& options = {});
+
+}  // namespace sdf

@@ -1,0 +1,64 @@
+#include "verify/verdict.hpp"
+
+namespace sdf {
+
+const char* verdict_status_name(VerdictStatus status) {
+    switch (status) {
+        case VerdictStatus::pass: return "pass";
+        case VerdictStatus::skip: return "skip";
+        case VerdictStatus::reject: return "reject";
+        case VerdictStatus::fail: return "fail";
+    }
+    return "unknown";
+}
+
+std::string Disagreement::describe() const {
+    return quantity + ": " + left_route + " says " + left_value + ", " + right_route +
+           " says " + right_value;
+}
+
+std::string Verdict::describe() const {
+    std::string text = "[" + std::string(verdict_status_name(status)) + "] " + oracle;
+    if (!detail.empty()) {
+        text += ": " + detail;
+    }
+    for (const Disagreement& d : disagreements) {
+        text += "\n  " + d.describe();
+    }
+    return text;
+}
+
+Verdict Verdict::pass(std::string oracle) {
+    Verdict v;
+    v.status = VerdictStatus::pass;
+    v.oracle = std::move(oracle);
+    return v;
+}
+
+Verdict Verdict::skip(std::string oracle, std::string reason) {
+    Verdict v;
+    v.status = VerdictStatus::skip;
+    v.oracle = std::move(oracle);
+    v.detail = std::move(reason);
+    return v;
+}
+
+Verdict Verdict::reject(std::string oracle, std::string reason) {
+    Verdict v;
+    v.status = VerdictStatus::reject;
+    v.oracle = std::move(oracle);
+    v.detail = std::move(reason);
+    return v;
+}
+
+Verdict Verdict::fail(std::string oracle, std::string detail,
+                      std::vector<Disagreement> disagreements) {
+    Verdict v;
+    v.status = VerdictStatus::fail;
+    v.oracle = std::move(oracle);
+    v.detail = std::move(detail);
+    v.disagreements = std::move(disagreements);
+    return v;
+}
+
+}  // namespace sdf

@@ -1,0 +1,110 @@
+// SDF-vs-CSDF agreement over the bundled models: every SDF graph embeds
+// into CSDF as the single-phase special case (csdf_from_sdf), and the
+// cyclo-static analyses must reproduce the SDF results exactly — same
+// consistency, same liveness, same iteration period and per-actor rates,
+// and the same self-timed makespans.  This pins the CSDF machinery to the
+// SDF machinery on real models, not just the synthetic graphs of
+// test_csdf.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/throughput.hpp"
+#include "csdf/analysis.hpp"
+#include "csdf/simulate.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/regular.hpp"
+#include "io/text.hpp"
+#include "io/xml.hpp"
+#include "sdf/properties.hpp"
+#include "sdf/repetition.hpp"
+#include "sdf/simulate.hpp"
+
+namespace sdf {
+namespace {
+
+const std::string kDataDir = SDFRED_DATA_DIR;
+
+std::vector<Graph> bundled_models() {
+    std::vector<Graph> models;
+    models.push_back(read_text_file(kDataDir + "/figure1_n6.sdf"));
+    models.push_back(read_text_file(kDataDir + "/prefetch_n8.sdf"));
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        models.push_back(read_xml_file(kDataDir + "/" + bench.graph.name() + ".xml"));
+    }
+    return models;
+}
+
+TEST(CsdfSdfAgreement, RepetitionVectorsMatch) {
+    for (const Graph& g : bundled_models()) {
+        const CsdfGraph lifted = csdf_from_sdf(g);
+        const std::vector<Int> sdf_q = repetition_vector(g);
+        const std::vector<Int> csdf_q = csdf_repetition(lifted);
+        // Single-phase actors: one cycle of the lifted actor is one firing.
+        EXPECT_EQ(csdf_q, sdf_q) << g.name();
+    }
+}
+
+TEST(CsdfSdfAgreement, ThroughputMatches) {
+    for (const Graph& g : bundled_models()) {
+        const CsdfGraph lifted = csdf_from_sdf(g);
+        const ThroughputResult sdf_t = throughput_symbolic(g);
+        const CsdfThroughput csdf_t = csdf_throughput(lifted);
+        EXPECT_EQ(csdf_t.deadlocked, sdf_t.outcome == ThroughputOutcome::deadlocked)
+            << g.name();
+        EXPECT_EQ(csdf_t.unbounded, sdf_t.outcome == ThroughputOutcome::unbounded)
+            << g.name();
+        if (sdf_t.is_finite()) {
+            EXPECT_EQ(csdf_t.period, sdf_t.period) << g.name();
+            EXPECT_EQ(csdf_t.per_actor, sdf_t.per_actor) << g.name();
+        }
+    }
+}
+
+TEST(CsdfSdfAgreement, SimulatedMakespansMatch) {
+    for (const Graph& g : bundled_models()) {
+        const CsdfGraph lifted = csdf_from_sdf(g);
+        for (const Int iterations : {1, 2, 3}) {
+            const FiniteRun sdf_run = simulate_iterations(g, iterations);
+            const CsdfFiniteRun csdf_run = csdf_simulate_iterations(lifted, iterations);
+            EXPECT_EQ(csdf_run.makespan, sdf_run.makespan)
+                << g.name() << " over " << iterations << " iterations";
+        }
+    }
+}
+
+TEST(CsdfSdfAgreement, ReducedHsdfPeriodsMatch) {
+    for (const Graph& g : bundled_models()) {
+        // Both reduced conversions (SDF route and CSDF route) are HSDF
+        // graphs over the same initial tokens with the original period.
+        const CsdfGraph lifted = csdf_from_sdf(g);
+        const Graph reduced = csdf_to_reduced_hsdf(lifted);
+        EXPECT_TRUE(reduced.is_homogeneous()) << g.name();
+        const ThroughputResult original = throughput_symbolic(g);
+        const ThroughputResult converted = throughput_symbolic(reduced);
+        ASSERT_TRUE(original.is_finite()) << g.name();
+        ASSERT_TRUE(converted.is_finite()) << g.name();
+        EXPECT_EQ(converted.period, original.period) << g.name();
+    }
+}
+
+TEST(CsdfSdfAgreement, GeneratedFamiliesAgreeToo) {
+    // Parametric families beyond the shipped files, small enough for the
+    // full cross-check including per-actor rates.
+    for (const Graph& g : {figure1_graph(4), prefetch_graph(5)}) {
+        const CsdfGraph lifted = csdf_from_sdf(g);
+        const ThroughputResult sdf_t = throughput_symbolic(g);
+        const CsdfThroughput csdf_t = csdf_throughput(lifted);
+        ASSERT_TRUE(sdf_t.is_finite()) << g.name();
+        ASSERT_FALSE(csdf_t.deadlocked) << g.name();
+        EXPECT_EQ(csdf_t.period, sdf_t.period) << g.name();
+        EXPECT_EQ(csdf_t.per_actor, sdf_t.per_actor) << g.name();
+        EXPECT_EQ(csdf_simulate_iterations(lifted, 2).makespan,
+                  simulate_iterations(g, 2).makespan)
+            << g.name();
+    }
+}
+
+}  // namespace
+}  // namespace sdf

@@ -1,0 +1,101 @@
+// Regression tests for bugs found by `sdfred fuzz` and minimised by its
+// shrinker.  The graph-rebuilding tests below started life as the
+// harness's auto-generated artifacts (fuzz-failures/*-regression.cpp) and
+// were adopted here after the fixes; keep them forever.
+#include <gtest/gtest.h>
+
+#include "analysis/throughput.hpp"
+#include "base/errors.hpp"
+#include "maxplus/matrix.hpp"
+#include "transform/symbolic.hpp"
+#include "verify/oracles.hpp"
+
+namespace sdf {
+namespace {
+
+// Found at fuzz seed 1712: a component whose only cycle carries no tokens
+// (r2's empty self-loop) next to a live token-carrying cycle.  The symbolic
+// and classic-HSDF routes reported `deadlocked` — no complete iteration can
+// ever finish — while throughput_simulation reported `finite` because the
+// live component kept the state recurrence going.  Fixed by treating an
+// actor with zero firings in the recurrent window as permanently starved.
+TEST(FuzzRegression, ThroughputRoutesSeed1712PartialDeadlock) {
+    Graph g("repro_throughput_routes_seed1712");
+    const ActorId r0 = g.add_actor("r0", 0);
+    const ActorId r1 = g.add_actor("r1", 0);
+    const ActorId r2 = g.add_actor("r2", 0);
+    const ActorId r3 = g.add_actor("r3", 0);
+    const ActorId r4 = g.add_actor("r4", 1);
+    g.add_channel(r0, r1, 1, 1, 0);
+    g.add_channel(r1, r3, 1, 1, 0);
+    g.add_channel(r2, r2, 1, 1, 0);
+    g.add_channel(r3, r4, 1, 1, 0);
+    g.add_channel(r4, r0, 1, 1, 1);
+    const Oracle* oracle = find_oracle("throughput-routes");
+    ASSERT_NE(oracle, nullptr);
+    const Verdict verdict = run_oracle(*oracle, g);
+    EXPECT_NE(verdict.status, VerdictStatus::fail) << verdict.describe();
+    EXPECT_EQ(throughput_simulation(g).outcome, ThroughputOutcome::deadlocked);
+    EXPECT_EQ(throughput_symbolic(g).outcome, ThroughputOutcome::deadlocked);
+}
+
+// Found at fuzz seed 2935: two live but disconnected components running at
+// different self-timed rates (the isolated s3 fires every 3 time units, the
+// critical cycle every 9).  throughput_simulation recovered λ from the
+// FIRST firing actor and returned raw simulation rates, so its per-actor
+// result disagreed with the q(a)/λ convention of routes 1 and 2.  Fixed by
+// recovering λ as the maximum over actors (only the critical component
+// witnesses the global iteration period).
+TEST(FuzzRegression, ThroughputRoutesSeed2935DisconnectedComponents) {
+    Graph g("repro_throughput_routes_seed2935");
+    const ActorId s0 = g.add_actor("s0", 9);
+    const ActorId s1 = g.add_actor("s1", 0);
+    const ActorId s2 = g.add_actor("s2", 1);
+    const ActorId s3 = g.add_actor("s3", 3);
+    const ActorId s4 = g.add_actor("s4", 1);
+    for (const ActorId a : {s0, s1, s2, s3, s4}) {
+        g.add_channel(a, a, 1, 1, 1);
+    }
+    g.add_channel(s0, s1, 1, 1, 0);
+    g.add_channel(s1, s2, 1, 1, 2);
+    g.add_channel(s2, s0, 1, 1, 0);
+    g.add_channel(s1, s4, 1, 1, 0);
+    g.add_channel(s4, s0, 1, 1, 2);
+    const Oracle* oracle = find_oracle("throughput-routes");
+    ASSERT_NE(oracle, nullptr);
+    const Verdict verdict = run_oracle(*oracle, g);
+    EXPECT_NE(verdict.status, VerdictStatus::fail) << verdict.describe();
+    const ThroughputResult simulated = throughput_simulation(g);
+    const ThroughputResult symbolic = throughput_symbolic(g);
+    ASSERT_EQ(simulated.outcome, ThroughputOutcome::finite);
+    EXPECT_EQ(simulated.period, symbolic.period);
+    EXPECT_EQ(simulated.per_actor, symbolic.per_actor);
+    EXPECT_EQ(symbolic.period, Rational(9));
+}
+
+// Found by byte-mutation of the bundled overflow stress model: a graph
+// carrying ~1e12 initial tokens sent symbolic_iteration into minutes of
+// allocation churn towards a multi-terabyte dense matrix.  The entry point
+// now refuses with a typed error before allocating anything.
+TEST(FuzzRegression, SymbolicIterationRefusesAbsurdTokenCounts) {
+    Graph g("overflowish");
+    const ActorId a = g.add_actor("a", 7);
+    const ActorId b = g.add_actor("b", 11);
+    g.add_channel(a, a, 1, 1, 1);
+    g.add_channel(a, b, 1000003, 1000033, 0);
+    g.add_channel(b, a, 1000033, 1000003, 1000036000099);
+    EXPECT_THROW(symbolic_iteration(g), Error);
+    EXPECT_THROW(throughput_symbolic(g), Error);
+}
+
+// Companion hardening: an unchecked rows*cols in the MpMatrix constructor
+// wraps for ~1e12-token graphs and would allocate a too-small buffer (every
+// set() an out-of-bounds write).  The constructor now throws the typed
+// arithmetic error instead.
+TEST(FuzzRegression, MatrixDimensionOverflowIsTyped) {
+    const std::size_t big = static_cast<std::size_t>(1) << 33;
+    EXPECT_THROW(MpMatrix(big, big), ArithmeticError);
+}
+
+}  // namespace
+}  // namespace sdf

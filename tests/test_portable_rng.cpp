@@ -1,0 +1,100 @@
+// Tests for base/portable_rng.hpp — the cross-platform deterministic draw
+// helpers behind gen::random_sdf and the fuzzing harness.  The golden
+// values pin the exact raw-output consumption order: any change to how the
+// helpers consume mt19937 outputs silently re-maps every fuzz seed and
+// invalidates the saved corpus, so it must show up here.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "base/portable_rng.hpp"
+#include "gen/random_sdf.hpp"
+#include "io/text.hpp"
+
+namespace sdf {
+namespace {
+
+TEST(PortableRng, DrawU64IsHighWordFirst) {
+    std::mt19937 rng(42);
+    std::mt19937 twin(42);
+    const std::uint64_t high = twin();
+    const std::uint64_t low = twin();
+    EXPECT_EQ(draw_u64(rng), (high << 32) | low);
+}
+
+TEST(PortableRng, GoldenSequenceIsPinned) {
+    // mt19937's raw outputs are fully specified by the standard; these
+    // values must match on every platform and standard library.
+    std::mt19937 rng(2026);
+    EXPECT_EQ(draw_int(rng, 0, 99), 54);
+    EXPECT_EQ(draw_int(rng, 1, 6), 3);
+    EXPECT_EQ(draw_int(rng, -10, 10), -2);
+    std::mt19937 again(2026);
+    EXPECT_EQ(draw_int(again, 0, 99), 54);
+}
+
+TEST(PortableRng, DrawBelowStaysInRangeAndCoversIt) {
+    std::mt19937 rng(7);
+    std::map<std::uint64_t, int> histogram;
+    for (int i = 0; i < 3000; ++i) {
+        const std::uint64_t x = draw_below(rng, 7);
+        ASSERT_LT(x, 7u);
+        ++histogram[x];
+    }
+    EXPECT_EQ(histogram.size(), 7u);  // every value reached
+}
+
+TEST(PortableRng, DrawIntHandlesFullAndDegenerateRanges) {
+    std::mt19937 rng(3);
+    EXPECT_EQ(draw_int(rng, 5, 5), 5);  // single-point range consumes draws but is fixed
+    for (int i = 0; i < 200; ++i) {
+        const Int x = draw_int(rng, -3, 3);
+        ASSERT_GE(x, -3);
+        ASSERT_LE(x, 3);
+    }
+    EXPECT_THROW(draw_int(rng, 2, 1), ArithmeticError);
+    EXPECT_THROW(draw_below(rng, 0), ArithmeticError);
+}
+
+TEST(PortableRng, DrawChanceIsClampedAndDeterministic) {
+    std::mt19937 rng(11);
+    int heads = 0;
+    for (int i = 0; i < 2000; ++i) {
+        heads += draw_chance(rng, 0.25) ? 1 : 0;
+    }
+    EXPECT_GT(heads, 350);
+    EXPECT_LT(heads, 650);
+    std::mt19937 always(1);
+    EXPECT_TRUE(draw_chance(always, 1.0));
+    std::mt19937 never(1);
+    EXPECT_FALSE(draw_chance(never, 0.0));
+}
+
+TEST(PortableRng, RandomSdfIsSeedDeterministic) {
+    // The generator must produce the identical graph for the same seed —
+    // this is what makes a fuzz seed a portable bug report.
+    std::mt19937 a(12345);
+    std::mt19937 b(12345);
+    const Graph first = random_sdf(a);
+    const Graph second = random_sdf(b);
+    EXPECT_EQ(write_text_string(first), write_text_string(second));
+}
+
+TEST(PortableRng, RandomSdfGoldenModel) {
+    // Golden serialisation of seed 1: fails if either the raw engine, the
+    // bounded-draw mapping, or the generator's draw ORDER changes — all
+    // three would re-map every recorded fuzz seed.
+    std::mt19937 rng(1);
+    const Graph g = random_sdf(rng);
+    const std::string text = write_text_string(g);
+    std::mt19937 twin(1);
+    EXPECT_EQ(text, write_text_string(random_sdf(twin)));
+    EXPECT_GT(g.actor_count(), 0u);
+    // The exact shape for seed 1 with the current draw order.
+    EXPECT_EQ(g.actor_count(), 7u);
+    EXPECT_EQ(g.channel_count(), 31u);
+}
+
+}  // namespace
+}  // namespace sdf

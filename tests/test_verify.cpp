@@ -1,0 +1,230 @@
+// Tests for the verify subsystem's building blocks: the oracle registry and
+// its graceful-degradation contract, the semantic mutator, and the
+// delta-debugging shrinker.  The end-to-end harness is covered by
+// tests/test_fuzz.cpp.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "base/errors.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/structured.hpp"
+#include "io/text.hpp"
+#include "verify/mutate.hpp"
+#include "verify/oracles.hpp"
+#include "verify/shrink.hpp"
+
+namespace sdf {
+namespace {
+
+Graph two_actor_live() {
+    Graph g("live");
+    const ActorId a = g.add_actor("a", 2);
+    const ActorId b = g.add_actor("b", 3);
+    g.add_channel(a, b, 1, 1, 0);
+    g.add_channel(b, a, 1, 1, 1);
+    return g;
+}
+
+Graph inconsistent() {
+    Graph g("inconsistent");
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 2, 1, 0);
+    g.add_channel(b, a, 2, 1, 2);  // needs q(a)·2 == q(b) and q(b)·2 == q(a)
+    return g;
+}
+
+Graph deadlocked() {
+    Graph g("deadlocked");
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 1, 1, 0);
+    g.add_channel(b, a, 1, 1, 0);  // no tokens on the cycle
+    return g;
+}
+
+TEST(Oracles, RegistryIsPopulatedAndFindable) {
+    const auto& registry = oracle_registry();
+    ASSERT_GE(registry.size(), 8u);
+    for (const Oracle& oracle : registry) {
+        EXPECT_FALSE(oracle.id.empty());
+        EXPECT_FALSE(oracle.invariant.empty());
+        EXPECT_NE(oracle.run, nullptr);
+        EXPECT_EQ(find_oracle(oracle.id), &oracle);
+    }
+    EXPECT_EQ(find_oracle("no-such-oracle"), nullptr);
+    EXPECT_NE(find_oracle(self_test_oracle().id), nullptr);
+}
+
+TEST(Oracles, EveryOraclePassesOnLiveGraphs) {
+    for (const Graph& g : {two_actor_live(), ring_graph(3, 2, 1), mp3_decoder_granule()}) {
+        for (const Oracle& oracle : oracle_registry()) {
+            const Verdict v = run_oracle(oracle, g);
+            EXPECT_NE(v.status, VerdictStatus::fail)
+                << oracle.id << " on " << g.name() << ": " << v.describe();
+        }
+    }
+}
+
+TEST(Oracles, InconsistentGraphsNeverFail) {
+    for (const Oracle& oracle : oracle_registry()) {
+        const Verdict v = run_oracle(oracle, inconsistent());
+        EXPECT_NE(v.status, VerdictStatus::fail) << oracle.id << ": " << v.describe();
+    }
+}
+
+TEST(Oracles, DeadlockedGraphsNeverFail) {
+    for (const Oracle& oracle : oracle_registry()) {
+        const Verdict v = run_oracle(oracle, deadlocked());
+        EXPECT_NE(v.status, VerdictStatus::fail) << oracle.id << ": " << v.describe();
+    }
+}
+
+TEST(Oracles, EmptyAndSingleActorGraphsResolve) {
+    Graph empty("empty");
+    Graph lonely("lonely");
+    lonely.add_actor("a", 1);
+    for (const Oracle& oracle : oracle_registry()) {
+        EXPECT_NE(run_oracle(oracle, empty).status, VerdictStatus::fail) << oracle.id;
+        EXPECT_NE(run_oracle(oracle, lonely).status, VerdictStatus::fail) << oracle.id;
+    }
+}
+
+TEST(Oracles, SizeLimitsTurnIntoSkips) {
+    OracleLimits tiny;
+    tiny.max_actors = 1;
+    const Graph g = two_actor_live();
+    int skips = 0;
+    for (const Oracle& oracle : oracle_registry()) {
+        if (run_oracle(oracle, g, tiny).status == VerdictStatus::skip) {
+            ++skips;
+        }
+    }
+    EXPECT_GT(skips, 0);
+}
+
+TEST(Oracles, SelfTestOracleFailsOnFinitePeriodGraphs) {
+    const Verdict v = run_oracle(self_test_oracle(), two_actor_live());
+    EXPECT_EQ(v.status, VerdictStatus::fail);
+    ASSERT_FALSE(v.disagreements.empty());
+    EXPECT_EQ(v.disagreements[0].quantity, "iteration period");
+}
+
+TEST(Oracles, UntypedExceptionBecomesCrashFailure) {
+    Oracle broken;
+    broken.id = "throws-runtime-error";
+    broken.run = [](const Graph&, const OracleLimits&) -> Verdict {
+        throw std::runtime_error("not a typed sdf error");
+    };
+    const Verdict v = run_oracle(broken, two_actor_live());
+    EXPECT_EQ(v.status, VerdictStatus::fail);
+    EXPECT_NE(v.detail.find("crash"), std::string::npos);
+}
+
+TEST(Oracles, TypedErrorBecomesReject) {
+    Oracle refusing;
+    refusing.id = "throws-typed";
+    refusing.run = [](const Graph&, const OracleLimits&) -> Verdict {
+        throw InconsistentGraphError("outside the domain");
+    };
+    const Verdict v = run_oracle(refusing, two_actor_live());
+    EXPECT_EQ(v.status, VerdictStatus::reject);
+    EXPECT_NE(v.detail.find("outside the domain"), std::string::npos);
+}
+
+TEST(Mutate, IsDeterministicInTheSeed) {
+    const Graph base = ring_graph(4, 3, 2);
+    std::mt19937 a(99);
+    std::mt19937 b(99);
+    const Graph first = mutate_graph(base, a, 5);
+    const Graph second = mutate_graph(base, b, 5);
+    EXPECT_EQ(write_text_string(first), write_text_string(second));
+}
+
+TEST(Mutate, ProducesValidGraphsAndRecordsTrace) {
+    const Graph base = chain_graph({1, 2, 3}, 2);
+    for (unsigned seed = 0; seed < 50; ++seed) {
+        std::mt19937 rng(seed);
+        std::vector<std::string> trace;
+        const Graph mutant = mutate_graph(base, rng, 3, &trace);
+        // Rebuilding through Graph's validating constructor is the check:
+        // rates positive, tokens non-negative, endpoints in range.
+        EXPECT_GT(mutant.actor_count(), 0u);
+        for (const Channel& ch : mutant.channels()) {
+            EXPECT_GE(ch.production, 1);
+            EXPECT_GE(ch.consumption, 1);
+            EXPECT_GE(ch.initial_tokens, 0);
+            EXPECT_LT(ch.src, mutant.actor_count());
+            EXPECT_LT(ch.dst, mutant.actor_count());
+        }
+        EXPECT_LE(trace.size(), 3u);
+    }
+}
+
+TEST(Mutate, ZeroCountIsIdentity) {
+    const Graph base = two_actor_live();
+    std::mt19937 rng(5);
+    EXPECT_EQ(write_text_string(mutate_graph(base, rng, 0)),
+              write_text_string(base));
+}
+
+TEST(Shrink, RemovesIrrelevantActors) {
+    // Failure predicate: "some channel has production rate >= 4".  Only one
+    // channel matters; everything else must shrink away.
+    Graph g("padded");
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 2);
+    const ActorId c = g.add_actor("c", 3);
+    const ActorId d = g.add_actor("d", 4);
+    g.add_channel(a, b, 4, 2, 1);
+    g.add_channel(b, c, 1, 1, 5);
+    g.add_channel(c, d, 2, 3, 2);
+    g.add_channel(d, a, 1, 1, 7);
+    const auto has_big_rate = [](const Graph& candidate) {
+        for (const Channel& ch : candidate.channels()) {
+            if (ch.production >= 4) {
+                return true;
+            }
+        }
+        return false;
+    };
+    ASSERT_TRUE(has_big_rate(g));
+    const ShrinkOutcome outcome = shrink_failure(g, has_big_rate);
+    EXPECT_TRUE(has_big_rate(outcome.graph));
+    EXPECT_LE(outcome.graph.actor_count(), 2u);
+    EXPECT_EQ(outcome.graph.channel_count(), 1u);
+    // Attribute pulling: consumption and tokens reach their neutral values,
+    // production stays at the smallest still-failing value.
+    const Channel& ch = outcome.graph.channel(0);
+    EXPECT_EQ(ch.production, 4);
+    EXPECT_EQ(ch.consumption, 1);
+    EXPECT_EQ(ch.initial_tokens, 0);
+}
+
+TEST(Shrink, RespectsAttemptBudget) {
+    Graph g = ring_graph(6, 5, 3);
+    ShrinkOptions options;
+    options.max_attempts = 3;
+    const ShrinkOutcome outcome =
+        shrink_failure(g, [](const Graph&) { return true; }, options);
+    EXPECT_LE(outcome.attempts, 3u);
+}
+
+TEST(Shrink, ThrowingPredicateCountsAsNotFailing) {
+    const Graph g = two_actor_live();
+    // Predicate throws on anything smaller than the original: the shrinker
+    // must survive and return the original graph.
+    const std::size_t original_actors = g.actor_count();
+    const ShrinkOutcome outcome = shrink_failure(g, [&](const Graph& candidate) {
+        if (candidate.actor_count() < original_actors) {
+            throw std::runtime_error("boom");
+        }
+        return true;
+    });
+    EXPECT_EQ(outcome.graph.actor_count(), original_actors);
+}
+
+}  // namespace
+}  // namespace sdf

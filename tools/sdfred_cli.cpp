@@ -19,6 +19,13 @@
 //                        [--fail-on note|warning|error]
 //                                         static diagnostics (docs/LINT_RULES.md)
 //   sdfred_cli lint --list                rule reference table
+//   sdfred_cli fuzz [--iterations N] [--seed S] [--oracles ID,ID,...]
+//                   [--corpus DIR] [--failures DIR] [--max-mutations N]
+//                   [--no-shrink]         differential fuzzing across the
+//                                         oracle registry (docs/FUZZING.md)
+//   sdfred_cli fuzz --self-test           plant an off-by-one, require the
+//                                         harness to find and shrink it
+//   sdfred_cli fuzz --list                oracle reference table
 //
 // Graphs load from SDF3-style XML (*.xml) or the plain-text format
 // (anything else); CSDF commands take csdf-typed XML.  -o picks the output
@@ -63,6 +70,8 @@
 #include "transform/hsdf_reduced.hpp"
 #include "transform/sdf_abstraction.hpp"
 #include "transform/unfold.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/oracles.hpp"
 
 namespace {
 
@@ -102,6 +111,10 @@ int usage() {
                  "       sdfred_cli lint FILE [--format text|json] [--rules ID,...]\n"
                  "                        [--fail-on note|warning|error]\n"
                  "       sdfred_cli lint --list\n"
+                 "       sdfred_cli fuzz [--iterations N] [--seed S] [--oracles ID,...]\n"
+                 "                       [--corpus DIR] [--failures DIR]\n"
+                 "                       [--max-mutations N] [--no-shrink]\n"
+                 "       sdfred_cli fuzz --self-test | --list\n"
                  "       sdfred_cli --version\n"
                  "FMT: hsdf | reduced-hsdf | abstract | abstract-sdf | text | xml | dot\n"
                  "--lint before any command aborts it when the model has lint errors\n";
@@ -298,6 +311,60 @@ int cmd_lint(const std::string& path, const std::string& format,
     return report.has_at_least(fail_on) ? 1 : 0;
 }
 
+int cmd_fuzz_list() {
+    std::cout << "id                 invariant\n";
+    for (const Oracle& oracle : oracle_registry()) {
+        std::string id = oracle.id;
+        id.resize(17, ' ');
+        std::cout << id << "  " << oracle.invariant << "\n";
+        std::cout << std::string(19, ' ') << oracle.summary << "\n";
+    }
+    return 0;
+}
+
+void print_fuzz_report(const FuzzReport& report) {
+    std::cout << report.iterations << " iterations, " << report.checks
+              << " oracle checks: " << report.passes << " pass, " << report.skips
+              << " skip, " << report.rejects << " reject, " << report.failures.size()
+              << " fail\n";
+    for (const auto& [id, tally] : report.by_oracle) {
+        std::string padded = id;
+        padded.resize(17, ' ');
+        std::cout << "  " << padded << "  " << tally[0] << " pass, " << tally[1]
+                  << " skip, " << tally[2] << " reject, " << tally[3] << " fail\n";
+    }
+}
+
+int cmd_fuzz(const FuzzOptions& options) {
+    // A misspelt oracle id is a bad invocation, like --rules SDF999.
+    for (const std::string& id : options.oracles) {
+        if (find_oracle(id) == nullptr) {
+            std::cerr << "error: unknown oracle '" << id
+                      << "' (see: sdfred_cli fuzz --list)\n";
+            return 2;
+        }
+    }
+    const FuzzReport report = run_fuzz(options);
+    print_fuzz_report(report);
+    if (!report.clean()) {
+        std::cout << "repro artifacts under " << options.failures_dir << "/\n";
+        return 1;
+    }
+    return 0;
+}
+
+int cmd_fuzz_self_test(FuzzOptions options) {
+    const SelfTestReport self_test = run_fuzz_self_test(std::move(options));
+    print_fuzz_report(self_test.report);
+    std::cout << "injected bug found: " << (self_test.bug_found ? "yes" : "NO") << "\n";
+    if (self_test.bug_found) {
+        std::cout << "shrunk repro: " << self_test.shrunk_actors << " actors, minimal "
+                  << (self_test.shrunk_minimal ? "yes" : "NO") << "\n";
+    }
+    std::cout << "self-test " << (self_test.ok() ? "passed" : "FAILED") << "\n";
+    return self_test.ok() ? 0 : 1;
+}
+
 /// The --lint guard: lints `path` before an analysis command runs and
 /// reports whether errors block it.
 bool lint_guard_passes(const std::string& path) {
@@ -334,12 +401,47 @@ int main(int argc, char** argv) {
         Severity fail_on = Severity::error;
         bool guard = false;
         bool list_rules = false;
+        bool self_test = false;
+        FuzzOptions fuzz_options;
+        fuzz_options.log = &std::cout;
         std::vector<std::string> positional;
         for (std::size_t i = 1; i < args.size(); ++i) {
             if (args[i] == "-o" && i + 1 < args.size()) {
                 out = args[++i];
             } else if (args[i] == "--to" && i + 1 < args.size()) {
                 format = args[++i];
+            } else if (args[i] == "--iterations" && i + 1 < args.size()) {
+                const auto n = parse_int(args[++i]);
+                if (!n || *n < 0) {
+                    return usage();
+                }
+                fuzz_options.iterations = static_cast<std::uint64_t>(*n);
+            } else if (args[i] == "--seed" && i + 1 < args.size()) {
+                const auto n = parse_int(args[++i]);
+                if (!n || *n < 0) {
+                    return usage();
+                }
+                fuzz_options.seed = static_cast<std::uint64_t>(*n);
+            } else if (args[i] == "--oracles" && i + 1 < args.size()) {
+                for (const std::string& id : split(args[++i], ',')) {
+                    if (!id.empty()) {
+                        fuzz_options.oracles.push_back(id);
+                    }
+                }
+            } else if (args[i] == "--corpus" && i + 1 < args.size()) {
+                fuzz_options.corpus_dir = args[++i];
+            } else if (args[i] == "--failures" && i + 1 < args.size()) {
+                fuzz_options.failures_dir = args[++i];
+            } else if (args[i] == "--max-mutations" && i + 1 < args.size()) {
+                const auto n = parse_int(args[++i]);
+                if (!n || *n < 0) {
+                    return usage();
+                }
+                fuzz_options.max_mutations = static_cast<int>(*n);
+            } else if (args[i] == "--no-shrink") {
+                fuzz_options.shrink = false;
+            } else if (args[i] == "--self-test") {
+                self_test = true;
             } else if (args[i] == "--format" && i + 1 < args.size()) {
                 lint_format = args[++i];
                 if (*lint_format != "text" && *lint_format != "json") {
@@ -367,6 +469,13 @@ int main(int argc, char** argv) {
         }
         if (command == "lint" && list_rules && positional.empty()) {
             return cmd_lint_list();
+        }
+        if (command == "fuzz" && positional.empty()) {
+            if (list_rules) {
+                return cmd_fuzz_list();
+            }
+            return self_test ? cmd_fuzz_self_test(std::move(fuzz_options))
+                             : cmd_fuzz(fuzz_options);
         }
         if (command == "lint" && positional.size() == 1) {
             return cmd_lint(positional[0], lint_format.value_or("text"),
