@@ -1,0 +1,199 @@
+// bench_degradation — cost and conservatism of the anytime degradation
+// ladder (analysis/governed) against the exact symbolic route, on the
+// Table 1 benchmark applications.
+//
+// Two questions the robustness milestone cares about:
+//  * how much faster is a degraded answer than the exact one (the time a
+//    blown budget buys back), and
+//  * how loose is the certified bound (the conservatism gap: the ratio of
+//    the exact throughput to the bound, >= 1, 1 = tight).
+//
+// The ladder is forced to degrade with max_steps=1, so the measurement is
+// "starved exact rung + whichever bound rung answers".  The rung-3
+// sequential bound is additionally reported analytically (period sum q.t)
+// so both rungs' gaps appear even for models where rung 2 answers first.
+//
+// Flags (see docs/PERFORMANCE.md):
+//   --json FILE   write a BENCH_degradation.json report and skip the
+//                 google-benchmark run
+//   --reps N      repetitions per measurement (default 5)
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/governed.hpp"
+#include "analysis/throughput.hpp"
+#include "base/thread_pool.hpp"
+#include "bench_json.hpp"
+#include "gen/benchmarks.hpp"
+#include "sdf/repetition.hpp"
+
+namespace {
+
+using namespace sdf;
+
+/// exact_period / bound_period: >= 1 when the bound is sound, 1 = tight.
+double gap_ratio(const Rational& exact_period, const Rational& bound_period) {
+    const double exact = exact_period.to_double();
+    const double bound = bound_period.to_double();
+    return exact > 0 ? bound / exact : 0.0;
+}
+
+struct DegradationReport {
+    std::string name;
+    std::size_t actors = 0;
+    std::size_t channels = 0;
+    std::string method;  // which rung answered under starvation
+    std::string exact_period;
+    std::string bound_period;
+    std::string sequential_period;
+    double gap_ladder = 0;      // ladder bound period / exact period
+    double gap_sequential = 0;  // rung-3 period / exact period
+    sdfbench::Stats exact;      // throughput_symbolic
+    sdfbench::Stats degraded;   // governed ladder under max_steps=1
+    double speedup = 0;         // exact median / degraded median
+};
+
+GovernOptions starved_options() {
+    GovernOptions options;
+    options.budget.max_steps = 1;
+    return options;
+}
+
+DegradationReport measure(const BenchmarkCase& bench, int reps) {
+    DegradationReport r;
+    r.name = bench.label;
+    r.actors = bench.graph.actor_count();
+    r.channels = bench.graph.channel_count();
+
+    const ThroughputResult exact = throughput_symbolic(bench.graph);
+    const Governed<ThroughputResult> degraded =
+        governed_throughput(bench.graph, starved_options());
+    r.method = degraded.ok() ? degraded.method : "aborted";
+    if (exact.outcome == ThroughputOutcome::finite) {
+        r.exact_period = exact.period.to_string();
+    }
+    if (degraded.ok() && degraded.value->outcome == ThroughputOutcome::finite) {
+        r.bound_period = degraded.value->period.to_string();
+        if (exact.outcome == ThroughputOutcome::finite) {
+            r.gap_ladder = gap_ratio(exact.period, degraded.value->period);
+        }
+    }
+    // Rung 3 analytically: one sequential iteration takes sum_a q(a)·t(a).
+    const std::vector<Int> q = repetition_vector(bench.graph);
+    Int sequential = 0;
+    for (ActorId a = 0; a < bench.graph.actor_count(); ++a) {
+        sequential += q[a] * bench.graph.actor(a).execution_time;
+    }
+    r.sequential_period = Rational(sequential).to_string();
+    if (exact.outcome == ThroughputOutcome::finite && sequential > 0) {
+        r.gap_sequential = gap_ratio(exact.period, Rational(sequential));
+    }
+
+    r.exact = sdfbench::measure_ms(reps, [&] {
+        benchmark::DoNotOptimize(throughput_symbolic(bench.graph));
+    });
+    r.degraded = sdfbench::measure_ms(reps, [&] {
+        benchmark::DoNotOptimize(governed_throughput(bench.graph, starved_options()));
+    });
+    r.speedup = r.degraded.median_ms > 0 ? r.exact.median_ms / r.degraded.median_ms : 0;
+    return r;
+}
+
+void print_table(const std::vector<DegradationReport>& reports) {
+    std::printf("Degradation ladder vs exact symbolic route (gap = bound period / "
+                "exact period, 1 = tight)\n");
+    std::printf("%-26s %-18s %10s %10s %10s %9s\n", "test case", "rung",
+                "gap", "seq. gap", "exact ms", "degr. ms");
+    for (const DegradationReport& r : reports) {
+        std::printf("%-26s %-18s %10.3f %10.3f %10.3f %9.3f\n", r.name.c_str(),
+                    r.method.c_str(), r.gap_ladder, r.gap_sequential,
+                    r.exact.median_ms, r.degraded.median_ms);
+    }
+    std::printf("\n");
+}
+
+void write_json(const std::string& path, const std::vector<DegradationReport>& reports,
+                int reps) {
+    std::ofstream out(path);
+    out << "{\n";
+    out << "  \"bench\": \"bench_degradation\",\n";
+    out << "  \"threads\": " << global_thread_pool().size() << ",\n";
+    out << "  \"reps\": " << reps << ",\n";
+    out << "  \"models\": [\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const DegradationReport& r = reports[i];
+        out << "    {\n";
+        out << "      \"name\": \"" << sdfbench::json_escape(r.name) << "\",\n";
+        out << "      \"actors\": " << r.actors << ",\n";
+        out << "      \"channels\": " << r.channels << ",\n";
+        out << "      \"degraded_method\": \"" << sdfbench::json_escape(r.method)
+            << "\",\n";
+        out << "      \"exact_period\": \"" << sdfbench::json_escape(r.exact_period)
+            << "\",\n";
+        out << "      \"bound_period\": \"" << sdfbench::json_escape(r.bound_period)
+            << "\",\n";
+        out << "      \"sequential_period\": \""
+            << sdfbench::json_escape(r.sequential_period) << "\",\n";
+        out << "      \"gap_ladder\": " << sdfbench::json_num(r.gap_ladder) << ",\n";
+        out << "      \"gap_sequential\": " << sdfbench::json_num(r.gap_sequential)
+            << ",\n";
+        out << "      \"baseline_exact\": " << sdfbench::stats_json(r.exact) << ",\n";
+        out << "      \"optimized_degraded\": " << sdfbench::stats_json(r.degraded)
+            << ",\n";
+        out << "      \"speedup_degraded_vs_exact\": " << sdfbench::json_num(r.speedup)
+            << "\n";
+        out << "    }" << (i + 1 < reports.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n";
+    out << "}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+void BM_ExactThroughput(benchmark::State& state) {
+    const auto cases = table1_benchmarks();
+    const BenchmarkCase& bench = cases[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(throughput_symbolic(bench.graph));
+    }
+    state.SetLabel(bench.label);
+}
+
+void BM_DegradedLadder(benchmark::State& state) {
+    const auto cases = table1_benchmarks();
+    const BenchmarkCase& bench = cases[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(governed_throughput(bench.graph, starved_options()));
+    }
+    state.SetLabel(bench.label);
+}
+
+BENCHMARK(BM_ExactThroughput)->DenseRange(0, 7);
+BENCHMARK(BM_DegradedLadder)->DenseRange(0, 7);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string json_path = sdfbench::consume_flag(argc, argv, "--json", "");
+    const int reps = std::max(1, std::atoi(
+        sdfbench::consume_flag(argc, argv, "--reps", "5").c_str()));
+
+    std::vector<DegradationReport> reports;
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        reports.push_back(measure(bench, reps));
+    }
+    print_table(reports);
+
+    if (!json_path.empty()) {
+        write_json(json_path, reports, reps);
+        return 0;
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

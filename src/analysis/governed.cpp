@@ -1,0 +1,202 @@
+#include "analysis/governed.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <new>
+
+#include "base/errors.hpp"
+#include "sdf/repetition.hpp"
+#include "sdf/schedule.hpp"
+#include "transform/sdf_abstraction.hpp"
+
+namespace sdf {
+
+namespace {
+
+/// Rung 2 requires a classical expansion; only attempt it when the
+/// expansion is genuinely small, otherwise the rung would just re-blow the
+/// budget that rung 1 already exhausted.
+constexpr Int kAbstractionRungMaxCopies = 2048;
+
+/// Step ceiling for the bound rungs.  Deliberately NOT derived from the
+/// caller's step budget: a caller asking for max_steps=1 wants the exact
+/// route cut off immediately, but the ladder must still be allowed to
+/// produce the cheap certified bound — that is the entire point of
+/// degradation.  The ceiling is a safety net against the bound rungs
+/// themselves running away (e.g. a graph with sum(q) in the billions).
+constexpr std::uint64_t kBoundRungStepCeiling = std::uint64_t{1} << 22;
+
+/// Budget slice for a fallback rung: half the original deadline (fresh
+/// clock), the fixed step ceiling, and the caller's memory limit (fresh
+/// counter — the failed rung's allocations were unwound).  Two fallback
+/// rungs therefore keep total wall-clock within ~2x the caller's deadline.
+ExecutionBudget bound_rung_slice(const ExecutionBudget& full) {
+    ExecutionBudget slice;
+    if (full.deadline) {
+        slice.deadline = std::max(std::chrono::milliseconds(1), *full.deadline / 2);
+    }
+    slice.max_steps = kBoundRungStepCeiling;
+    slice.max_bytes = full.max_bytes;
+    return slice;
+}
+
+void add_usage(ResourceUsage& total, const Governor& governor) {
+    const ResourceUsage used = governor.usage();
+    total.steps += used.steps;
+    total.accounted_bytes += used.accounted_bytes;
+}
+
+/// Rung 2: Theorem 1 bound through the SDF abstraction.  Returns nullopt
+/// when the bound degenerates to all-zero (deadlocked or unbounded
+/// abstract graph) — rung 3 then decides deadlock exactly instead of
+/// reporting a vacuous bound.
+std::optional<ThroughputResult> abstraction_bound(const Graph& graph) {
+    const SdfAbstraction abstraction = abstract_sdf(graph);
+    const std::vector<Rational> bound = conservative_throughput_bound(graph, abstraction);
+    if (bound.empty() || bound[0].is_zero()) {
+        return std::nullopt;
+    }
+    ThroughputResult result;
+    result.outcome = ThroughputOutcome::finite;
+    result.per_actor = bound;
+    // bound[a] = q(a)/(N·lambda_abs) uniformly, so any actor recovers the
+    // implied period bound N·lambda_abs >= lambda.
+    const std::vector<Int> repetition = repetition_vector(graph);
+    result.period = Rational(repetition[0]) / bound[0];
+    return result;
+}
+
+/// Rung 3: the sequential-schedule bound.  sequential_schedule() doubles
+/// as the liveness witness — it throws DeadlockError exactly when the
+/// graph deadlocks, in which case zero throughput is the *exact* answer.
+ThroughputResult sequential_bound(const Graph& graph) {
+    try {
+        sequential_schedule(graph);
+    } catch (const DeadlockError&) {
+        ThroughputResult result;
+        result.outcome = ThroughputOutcome::deadlocked;
+        result.per_actor.assign(graph.actor_count(), Rational(0));
+        return result;
+    }
+    const std::vector<Int> repetition = repetition_vector(graph);
+    Int total_time = 0;
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        total_time = checked_add(total_time,
+                                 checked_mul(repetition[a], graph.actor(a).execution_time));
+    }
+    ThroughputResult result;
+    if (total_time == 0) {
+        // All execution times are zero, so every cycle mean is zero and the
+        // exact analysis reports unbounded throughput as well.
+        result.outcome = ThroughputOutcome::unbounded;
+        return result;
+    }
+    result.outcome = ThroughputOutcome::finite;
+    result.period = Rational(total_time);
+    result.per_actor.reserve(repetition.size());
+    for (const Int q : repetition) {
+        result.per_actor.push_back(Rational(q) / result.period);
+    }
+    return result;
+}
+
+}  // namespace
+
+Governed<ThroughputResult> governed_throughput(const Graph& graph,
+                                               const GovernOptions& options) {
+    const auto started = std::chrono::steady_clock::now();
+    Governed<ThroughputResult> out;
+    const auto finish = [&](Governed<ThroughputResult>& result) -> Governed<ThroughputResult>& {
+        result.used.wall_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - started)
+                                  .count();
+        return result;
+    };
+    const auto record_trip = [&](BudgetCause cause, const std::string& what) {
+        // The first (exact-rung) failure names the cause the caller acts
+        // on; later rungs only refine it if the exact rung never tripped.
+        if (out.cause == BudgetCause::none) {
+            out.cause = cause;
+            out.detail = what;
+        }
+    };
+
+    // ---- Rung 1: exact, under the caller's full budget. -----------------
+    {
+        Governor governor(options.budget, options.token);
+        try {
+            const GovernorScope scope(governor);
+            ThroughputResult exact = throughput_symbolic(graph);
+            add_usage(out.used, governor);
+            out.status = GovernedStatus::exact;
+            out.method = "symbolic-exact";
+            out.value = std::move(exact);
+            return finish(out);
+        } catch (const BudgetExceeded& e) {
+            record_trip(e.cause(), e.what());
+        } catch (const ResourceLimitError& e) {
+            record_trip(BudgetCause::capacity, e.what());
+        } catch (const std::bad_alloc&) {
+            record_trip(BudgetCause::memory, "allocation failed (std::bad_alloc)");
+        }
+        add_usage(out.used, governor);
+    }
+
+    if (options.degrade == DegradeMode::never) {
+        out.status = GovernedStatus::aborted;
+        return finish(out);
+    }
+
+    // ---- Rung 2: Theorem 1 abstraction bound (small expansions only). ---
+    {
+        Governor governor(bound_rung_slice(options.budget), options.token);
+        try {
+            const GovernorScope scope(governor);
+            if (iteration_length(graph) <= kAbstractionRungMaxCopies) {
+                std::optional<ThroughputResult> bound = abstraction_bound(graph);
+                if (bound) {
+                    add_usage(out.used, governor);
+                    out.status = GovernedStatus::degraded;
+                    out.method = "abstraction-bound";
+                    out.value = std::move(*bound);
+                    return finish(out);
+                }
+            }
+        } catch (const BudgetExceeded& e) {
+            record_trip(e.cause(), e.what());
+        } catch (const ResourceLimitError& e) {
+            record_trip(BudgetCause::capacity, e.what());
+        } catch (const std::bad_alloc&) {
+            record_trip(BudgetCause::memory, "allocation failed (std::bad_alloc)");
+        }
+        add_usage(out.used, governor);
+    }
+
+    // ---- Rung 3: sequential-schedule bound (always affordable). ---------
+    {
+        Governor governor(bound_rung_slice(options.budget), options.token);
+        try {
+            const GovernorScope scope(governor);
+            ThroughputResult bound = sequential_bound(graph);
+            add_usage(out.used, governor);
+            out.status = bound.outcome == ThroughputOutcome::deadlocked
+                             ? GovernedStatus::exact  // deadlock detection is exact
+                             : GovernedStatus::degraded;
+            out.method = "sequential-bound";
+            out.value = std::move(bound);
+            return finish(out);
+        } catch (const BudgetExceeded& e) {
+            record_trip(e.cause(), e.what());
+        } catch (const ResourceLimitError& e) {
+            record_trip(BudgetCause::capacity, e.what());
+        } catch (const std::bad_alloc&) {
+            record_trip(BudgetCause::memory, "allocation failed (std::bad_alloc)");
+        }
+        add_usage(out.used, governor);
+    }
+
+    out.status = GovernedStatus::aborted;
+    return finish(out);
+}
+
+}  // namespace sdf

@@ -4,6 +4,7 @@
 
 #include "base/errors.hpp"
 #include "maxplus/mcm.hpp"
+#include "robust/budget.hpp"
 #include "sdf/properties.hpp"
 #include "sdf/repetition.hpp"
 #include "sdf/schedule.hpp"
@@ -78,6 +79,15 @@ ThroughputResult throughput_via_classic_hsdf(const Graph& graph) {
 }
 
 ThroughputResult throughput_simulation(const Graph& graph, std::size_t max_events) {
+    // Under a step budget the event cap derives from it: firing more events
+    // than the remaining step allowance could only end in a checkpoint trip
+    // anyway, and the derived cap reports the same typed BudgetExceeded a
+    // few states earlier (before the recurrent-state map grows further).
+    if (const Governor* governor = current_governor()) {
+        if (const auto budget_steps = governor->budget().max_steps) {
+            max_events = std::min(max_events, static_cast<std::size_t>(*budget_steps));
+        }
+    }
     const ThroughputRun run = simulate_throughput(graph, max_events);
     if (run.deadlocked) {
         return deadlocked_result(graph);

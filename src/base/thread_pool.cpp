@@ -15,6 +15,12 @@ namespace {
 /// parallel_for calls run inline instead of waiting on the busy pool.
 thread_local bool t_inside_loop = false;
 
+/// Context hooks, written once (set_parallel_context_hooks) before the
+/// first governed loop; `ready` is the release/acquire gate that makes the
+/// plain function pointers safe to read from workers.
+ParallelContextHooks g_context_hooks;
+std::atomic<bool> g_context_hooks_ready{false};
+
 std::size_t pool_size_from_env() {
     if (const char* env = std::getenv("SDFRED_THREADS")) {
         char* end = nullptr;
@@ -36,6 +42,7 @@ struct ThreadPool::Loop {
     std::size_t end = 0;
     std::size_t grain = 1;
     const std::function<void(std::size_t)>* body = nullptr;
+    void* context = nullptr;  // caller context captured via the hooks
     std::size_t active = 0;  // guarded by the pool mutex
     std::exception_ptr error;  // first failure, guarded by the pool mutex
 };
@@ -98,11 +105,19 @@ void ThreadPool::worker_main() {
         }
         ++loop->active;
         lock.unlock();
+        const bool with_context =
+            loop->context != nullptr && g_context_hooks_ready.load(std::memory_order_acquire);
+        if (with_context) {
+            g_context_hooks.install(loop->context);
+        }
         std::exception_ptr error;
         try {
             run_chunks(*loop);
         } catch (...) {
             error = std::current_exception();
+        }
+        if (with_context) {
+            g_context_hooks.uninstall(loop->context);
         }
         lock.lock();
         if (error && !loop->error) {
@@ -145,6 +160,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
     loop->end = end;
     loop->grain = grain;
     loop->body = &body;
+    if (g_context_hooks_ready.load(std::memory_order_acquire)) {
+        loop->context = g_context_hooks.capture();
+    }
 
     std::unique_lock<std::mutex> lock(mutex_);
     // One loop at a time; concurrent callers queue here.
@@ -187,6 +205,11 @@ ThreadPool& global_thread_pool() {
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const std::function<void(std::size_t)>& body) {
     global_thread_pool().parallel_for(begin, end, grain, body);
+}
+
+void set_parallel_context_hooks(const ParallelContextHooks& hooks) {
+    g_context_hooks = hooks;
+    g_context_hooks_ready.store(true, std::memory_order_release);
 }
 
 }  // namespace sdf

@@ -72,4 +72,22 @@ ThreadPool& global_thread_pool();
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const std::function<void(std::size_t)>& body);
 
+/// Propagation of a caller-side thread-local context into pool workers.
+/// `capture` runs on the calling thread when a loop is submitted; workers
+/// run `install(context)` before executing chunks of that loop and
+/// `uninstall(context)` after (also on the error path).  The pool itself
+/// knows nothing about the context's meaning — the robust layer uses this
+/// to extend its per-thread Governor over parallel loops without the base
+/// library depending on it.  All three hooks must be set together.
+struct ParallelContextHooks {
+    void* (*capture)() = nullptr;
+    void (*install)(void* context) = nullptr;
+    void (*uninstall)(void* context) = nullptr;
+};
+
+/// Registers the process-wide context hooks.  Call at most once, before or
+/// during the first governed computation; loops submitted afterwards carry
+/// the captured context.
+void set_parallel_context_hooks(const ParallelContextHooks& hooks);
+
 }  // namespace sdf

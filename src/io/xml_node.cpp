@@ -44,6 +44,12 @@ std::vector<const XmlNode*> XmlNode::children_named(const std::string& tag) cons
 
 namespace {
 
+/// Recursive-descent depth cap: real SDF3 documents nest a handful of
+/// levels; anything deeper is hostile input and is refused with a typed
+/// error before the per-level recursion can exhaust the stack (which is
+/// much shallower under sanitizers).
+constexpr int kMaxElementDepth = 256;
+
 class Parser {
 public:
     explicit Parser(const std::string& text) : text_(text) {}
@@ -173,6 +179,12 @@ private:
     }
 
     XmlNode parse_element() {
+        if (depth_ >= kMaxElementDepth) {
+            fail("element nesting deeper than " + std::to_string(kMaxElementDepth) +
+                 " levels");
+        }
+        ++depth_;
+        const DepthGuard guard{depth_};
         if (eof() || peek() != '<') {
             fail("expected '<'");
         }
@@ -237,8 +249,14 @@ private:
         }
     }
 
+    struct DepthGuard {
+        int& depth;
+        ~DepthGuard() { --depth; }
+    };
+
     const std::string& text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
     // Memoised newline scan for location_at().
     std::size_t scanned_to_ = 0;
     std::size_t scanned_line_ = 1;

@@ -7,6 +7,7 @@
 
 #include "base/errors.hpp"
 #include "base/thread_pool.hpp"
+#include "robust/budget.hpp"
 
 namespace sdf {
 
@@ -15,6 +16,9 @@ std::size_t MpMatrix::checked_entry_count(std::size_t rows, std::size_t cols) {
         throw ArithmeticError("matrix size overflow: " + std::to_string(rows) + " x " +
                               std::to_string(cols) + " entries");
     }
+    // Runs in the member initialiser, i.e. before the entry vector
+    // allocates — a governed memory budget refuses the matrix up front.
+    robust_account_bytes(rows * cols * sizeof(MpValue));
     return rows * cols;
 }
 
@@ -137,6 +141,7 @@ MpMatrix MpMatrix::multiply(const MpMatrix& other) const {
     const BlockedSupport b = build_blocked_support(other);
 
     const auto compute_row = [&](std::size_t i) {
+        SDFRED_CHECKPOINT();
         // Gather row i's finite support once; every block pass replays it.
         const MpValue* arow = &entries_[i * cols_];
         std::vector<std::pair<std::uint32_t, Int>> asup;
@@ -178,6 +183,7 @@ MpMatrix MpMatrix::multiply_naive(const MpMatrix& other) const {
     }
     MpMatrix result(rows_, other.cols_);
     for (std::size_t i = 0; i < rows_; ++i) {
+        SDFRED_CHECKPOINT();
         for (std::size_t j = 0; j < cols_; ++j) {
             const MpValue a = at(i, j);
             if (!a.is_finite()) {

@@ -6,6 +6,7 @@
 
 #include "base/errors.hpp"
 #include "base/thread_pool.hpp"
+#include "robust/budget.hpp"
 
 namespace sdf {
 
@@ -44,10 +45,16 @@ Rational karp_on_scc(const SccView& scc) {
     // D[k][v] = maximum weight of a walk with exactly k edges from the
     // source (local node 0) to v; -inf encoded via a separate validity flag.
     const Int kMinusInf = std::numeric_limits<Int>::min();
+    robust_account_bytes((n + 1) * n * sizeof(Int));
     std::vector<std::vector<Int>> dist(n + 1, std::vector<Int>(n, kMinusInf));
     dist[0][0] = 0;
+    std::size_t relaxations = 0;
     for (std::size_t k = 1; k <= n; ++k) {
+        SDFRED_CHECKPOINT();
         for (const auto& e : scc.edges) {
+            if ((++relaxations & 0xfff) == 0) {
+                SDFRED_CHECKPOINT();
+            }
             if (dist[k - 1][e.from] == kMinusInf) {
                 continue;
             }
@@ -150,9 +157,14 @@ bool has_positive_cycle(const Digraph& graph, Int num, Int den) {
     // strictly positive cycle under the reweighting den*w - num*d.
     const std::size_t n = graph.node_count();
     std::vector<Int> dist(n, 0);
+    std::size_t relaxations = 0;
     for (std::size_t round = 0; round <= n; ++round) {
+        SDFRED_CHECKPOINT();
         bool changed = false;
         for (const auto& e : graph.edges()) {
+            if ((++relaxations & 0xfff) == 0) {
+                SDFRED_CHECKPOINT();
+            }
             const Int w = checked_sub(checked_mul(den, e.weight), checked_mul(num, e.tokens));
             const Int candidate = checked_add(dist[e.from], w);
             if (candidate > dist[e.to]) {
@@ -174,6 +186,7 @@ bool has_zero_cycle(const Digraph& graph, Int num, Int den) {
     std::vector<Int> dist(n, 0);
     bool converged = false;
     for (std::size_t round = 0; round <= n && !converged; ++round) {
+        SDFRED_CHECKPOINT();
         converged = true;
         for (const auto& e : graph.edges()) {
             const Int w = checked_sub(checked_mul(den, e.weight), checked_mul(num, e.tokens));
@@ -248,6 +261,7 @@ CycleMetric max_cycle_ratio_exact(const Digraph& graph) {
     Fraction r{checked_add(total_weight, 1), 1};
 
     while (true) {
+        SDFRED_CHECKPOINT();
         // lambda* == r exactly when the reweighted graph at r has a zero
         // cycle (it cannot have a positive one by the invariant).
         if (has_zero_cycle(graph, r.num, r.den)) {
@@ -329,6 +343,7 @@ double howard_on_scc(const Digraph& graph) {
     bool improved = true;
     std::size_t guard = 0;
     while (improved) {
+        SDFRED_CHECKPOINT();
         if (++guard > 10000) {
             throw ArithmeticError("Howard policy iteration failed to converge");
         }

@@ -4,6 +4,7 @@
 
 #include "base/errors.hpp"
 #include "maxplus/mcm.hpp"
+#include "robust/budget.hpp"
 
 namespace sdf {
 
@@ -12,6 +13,7 @@ namespace {
 /// True when b == a with every finite entry shifted by `shift` (and the
 /// same −∞ pattern).
 bool shifted_equal(const MpMatrix& a, const MpMatrix& b, Int shift) {
+    SDFRED_CHECKPOINT();
     for (std::size_t i = 0; i < a.rows(); ++i) {
         for (std::size_t j = 0; j < a.cols(); ++j) {
             const MpValue va = a.at(i, j);
@@ -47,6 +49,7 @@ std::optional<TransientAnalysis> transient_analysis(const MpMatrix& matrix,
     std::vector<MpMatrix> powers;
     powers.push_back(MpMatrix::identity(matrix.rows()));  // G^0
     for (Int k = 1; k <= max_power; ++k) {
+        SDFRED_CHECKPOINT();
         powers.push_back(powers.back().multiply(matrix));
     }
     for (Int k0 = 0; k0 <= max_power; ++k0) {

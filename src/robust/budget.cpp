@@ -1,0 +1,164 @@
+#include "robust/budget.hpp"
+
+#include <mutex>
+
+#include "base/thread_pool.hpp"
+#include "robust/fault.hpp"
+
+namespace sdf {
+
+namespace {
+
+thread_local Governor* t_governor = nullptr;
+
+/// Deadline/cancellation polls happen every 64 steps: a steady_clock read
+/// costs tens of nanoseconds, and checkpoint sites charge thousands of loop
+/// iterations per tick, so the poll is noise while keeping overrun small.
+constexpr std::uint64_t kSlowCheckMask = 63;
+
+/// Registers the pool context hooks exactly once, the first time any
+/// GovernorScope is created.  Until then the pool carries no context and
+/// governed code has never run, so nothing is missed.
+void ensure_pool_hooks() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        ParallelContextHooks hooks;
+        hooks.capture = [] { return static_cast<void*>(t_governor); };
+        hooks.install = [](void* context) { t_governor = static_cast<Governor*>(context); };
+        hooks.uninstall = [](void*) { t_governor = nullptr; };
+        set_parallel_context_hooks(hooks);
+    });
+}
+
+}  // namespace
+
+const char* budget_cause_name(BudgetCause cause) {
+    switch (cause) {
+        case BudgetCause::none: return "none";
+        case BudgetCause::deadline: return "deadline";
+        case BudgetCause::steps: return "steps";
+        case BudgetCause::memory: return "memory";
+        case BudgetCause::cancelled: return "cancelled";
+        case BudgetCause::capacity: return "capacity";
+    }
+    return "unknown";
+}
+
+Governor::Governor(const ExecutionBudget& budget, CancellationToken token)
+    : budget_(budget),
+      token_(std::move(token)),
+      start_(std::chrono::steady_clock::now()),
+      deadline_at_(budget.deadline ? start_ + *budget.deadline
+                                   : std::chrono::steady_clock::time_point::max()),
+      max_steps_(budget.max_steps.value_or(0)),
+      max_bytes_(budget.max_bytes.value_or(0)) {}
+
+void Governor::trip(BudgetCause cause, const std::string& what) {
+    int expected = -1;
+    tripped_.compare_exchange_strong(expected, static_cast<int>(cause),
+                                     std::memory_order_relaxed);
+    // Re-read: whoever won the race defines the cause every thread reports.
+    const auto actual = static_cast<BudgetCause>(tripped_.load(std::memory_order_relaxed));
+    throw BudgetExceeded(actual, actual == cause
+                                     ? what
+                                     : std::string("budget exhausted: ") +
+                                           budget_cause_name(actual));
+}
+
+void Governor::slow_check() {
+    if (token_.cancelled()) {
+        trip(BudgetCause::cancelled, "analysis cancelled");
+    }
+    if (std::chrono::steady_clock::now() >= deadline_at_) {
+        trip(BudgetCause::deadline,
+             "wall-clock deadline of " +
+                 std::to_string(budget_.deadline->count()) + " ms exceeded");
+    }
+}
+
+void Governor::tick() {
+    const std::uint64_t n = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const int earlier = tripped_.load(std::memory_order_relaxed);
+    if (earlier >= 0) {
+        // Another thread (or an earlier checkpoint on this one whose
+        // exception was swallowed) already exhausted the budget.
+        throw BudgetExceeded(static_cast<BudgetCause>(earlier),
+                             std::string("budget exhausted: ") +
+                                 budget_cause_name(static_cast<BudgetCause>(earlier)));
+    }
+    if (fault_injection_armed()) {
+        switch (detail::fault_consume_checkpoint()) {
+            case 1:
+                trip(BudgetCause::steps, "fault injection: step budget tripped");
+            case 2:
+                trip(BudgetCause::deadline, "fault injection: deadline tripped");
+            default:
+                break;
+        }
+    }
+    if (max_steps_ != 0 && n > max_steps_) {
+        trip(BudgetCause::steps,
+             "step budget of " + std::to_string(max_steps_) + " exhausted");
+    }
+    // The very first tick also runs the slow check, so a cancellation
+    // requested (or a deadline already blown) before the analysis started
+    // is observed promptly even on runs far shorter than 64 steps.
+    if ((n & kSlowCheckMask) == 0 || n == 1) {
+        slow_check();
+    }
+}
+
+void Governor::account_bytes(std::uint64_t bytes) {
+    const std::uint64_t total = bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    const int earlier = tripped_.load(std::memory_order_relaxed);
+    if (earlier >= 0) {
+        throw BudgetExceeded(static_cast<BudgetCause>(earlier),
+                             std::string("budget exhausted: ") +
+                                 budget_cause_name(static_cast<BudgetCause>(earlier)));
+    }
+    if (fault_injection_armed() && detail::fault_consume_alloc()) {
+        throw std::bad_alloc();
+    }
+    if (max_bytes_ != 0 && total > max_bytes_) {
+        trip(BudgetCause::memory,
+             "memory budget of " + std::to_string(max_bytes_) + " bytes exceeded (" +
+                 std::to_string(total) + " accounted)");
+    }
+}
+
+ResourceUsage Governor::usage() const {
+    ResourceUsage usage;
+    usage.steps = steps_.load(std::memory_order_relaxed);
+    usage.accounted_bytes = bytes_.load(std::memory_order_relaxed);
+    usage.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    return usage;
+}
+
+Governor* current_governor() noexcept {
+    return t_governor;
+}
+
+GovernorScope::GovernorScope(Governor& governor) : previous_(t_governor) {
+    ensure_pool_hooks();
+    t_governor = &governor;
+}
+
+GovernorScope::~GovernorScope() {
+    t_governor = previous_;
+}
+
+void robust_checkpoint() {
+    if (Governor* governor = t_governor) {
+        governor->tick();
+    }
+}
+
+void robust_account_bytes(std::uint64_t bytes) {
+    if (Governor* governor = t_governor) {
+        governor->account_bytes(bytes);
+    }
+}
+
+}  // namespace sdf

@@ -1,0 +1,124 @@
+#include "robust/fault.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+namespace {
+
+// -1 = disarmed; k >= 0 counts *remaining* events before the fault fires
+// (alloc:1 fires on the very first accounted allocation).  fetch_sub makes
+// each armed countdown fire exactly once even under concurrent governed
+// threads.
+std::atomic<std::int64_t> g_alloc_countdown{-1};
+std::atomic<std::int64_t> g_step_countdown{-1};
+std::atomic<std::int64_t> g_deadline_countdown{-1};
+std::atomic<bool> g_armed{false};
+
+void refresh_armed() {
+    g_armed.store(g_alloc_countdown.load(std::memory_order_relaxed) >= 0 ||
+                      g_step_countdown.load(std::memory_order_relaxed) >= 0 ||
+                      g_deadline_countdown.load(std::memory_order_relaxed) >= 0,
+                  std::memory_order_release);
+}
+
+/// True when `countdown` just reached zero for this event.
+bool consume(std::atomic<std::int64_t>& countdown) noexcept {
+    if (countdown.load(std::memory_order_relaxed) < 0) {
+        return false;
+    }
+    // 1 -> fire now; anything smaller was already consumed.
+    return countdown.fetch_sub(1, std::memory_order_relaxed) == 1;
+}
+
+}  // namespace
+
+void set_fault_injection(const std::string& spec) {
+    std::int64_t alloc = -1;
+    std::int64_t step = -1;
+    std::int64_t deadline = -1;
+    std::string clause;
+    const auto flush = [&] {
+        if (clause.empty()) {
+            return;
+        }
+        const std::size_t colon = clause.find(':');
+        if (colon == std::string::npos) {
+            throw Error("fault injection clause '" + clause + "' is not kind:N");
+        }
+        const std::string kind = clause.substr(0, colon);
+        const std::string count = clause.substr(colon + 1);
+        char* end = nullptr;
+        const long long n = std::strtoll(count.c_str(), &end, 10);
+        if (end == count.c_str() || *end != '\0' || n < 1) {
+            throw Error("fault injection count '" + count + "' is not a positive integer");
+        }
+        if (kind == "alloc") {
+            alloc = n;
+        } else if (kind == "step") {
+            step = n;
+        } else if (kind == "deadline") {
+            deadline = n;
+        } else {
+            throw Error("unknown fault injection kind '" + kind +
+                        "' (expected alloc, step or deadline)");
+        }
+        clause.clear();
+    };
+    for (const char c : spec) {
+        if (c == '|' || c == ',') {
+            flush();
+        } else if (c != ' ') {
+            clause += c;
+        }
+    }
+    flush();
+    g_alloc_countdown.store(alloc, std::memory_order_relaxed);
+    g_step_countdown.store(step, std::memory_order_relaxed);
+    g_deadline_countdown.store(deadline, std::memory_order_relaxed);
+    refresh_armed();
+}
+
+void clear_fault_injection() {
+    g_alloc_countdown.store(-1, std::memory_order_relaxed);
+    g_step_countdown.store(-1, std::memory_order_relaxed);
+    g_deadline_countdown.store(-1, std::memory_order_relaxed);
+    refresh_armed();
+}
+
+bool fault_injection_armed() noexcept {
+    return g_armed.load(std::memory_order_acquire);
+}
+
+std::optional<std::string> install_fault_injection_from_env() {
+    const char* env = std::getenv("SDFRED_FAULT_INJECT");
+    if (env == nullptr || *env == '\0') {
+        return std::nullopt;
+    }
+    set_fault_injection(env);
+    return std::string(env);
+}
+
+namespace detail {
+
+bool fault_consume_alloc() noexcept {
+    return consume(g_alloc_countdown);
+}
+
+int fault_consume_checkpoint() noexcept {
+    if (consume(g_step_countdown)) {
+        return 1;
+    }
+    if (consume(g_deadline_countdown)) {
+        return 2;
+    }
+    return 0;
+}
+
+}  // namespace detail
+
+}  // namespace sdf

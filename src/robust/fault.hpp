@@ -1,0 +1,62 @@
+// fault.hpp — deterministic fault injection for exception-safety testing.
+//
+// A fault plan arms up to three countdowns:
+//
+//   alloc:N     the Nth robust_account_bytes call throws std::bad_alloc
+//   step:N      the Nth checkpoint trips the budget with cause `steps`
+//   deadline:N  the Nth checkpoint trips the budget with cause `deadline`
+//
+// Several clauses combine with '|' or ',' (SDFRED_FAULT_INJECT="alloc:3|step:7").
+// Counters are process-global and fire only on governed threads (a Governor
+// must be installed): ungoverned code paths never see injected faults, so a
+// stray environment variable cannot destabilise plain library use.
+//
+// The injector exists to prove two properties the robustness tests sweep:
+// an injected bad_alloc never leaks (ASan) or corrupts state (identical
+// results on retry), and a budget trip at *any* checkpoint still yields a
+// conservative degraded result through the ladder.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace sdf {
+
+/// Arms the fault plan described by `spec` (see file comment for grammar).
+/// Replaces any previously armed plan.  Throws sdf::Error on a malformed
+/// spec.  An empty spec disarms everything.
+void set_fault_injection(const std::string& spec);
+
+/// Disarms all fault countdowns.
+void clear_fault_injection();
+
+/// True when at least one countdown is armed (checked by the hot paths
+/// before touching any countdown).
+[[nodiscard]] bool fault_injection_armed() noexcept;
+
+/// Arms from the SDFRED_FAULT_INJECT environment variable, if set.  Called
+/// by the CLI at startup; returns the spec it armed, if any.
+std::optional<std::string> install_fault_injection_from_env();
+
+/// RAII plan for tests: arms on construction, disarms on destruction even
+/// when the governed computation under test throws.
+class FaultInjectionScope {
+public:
+    explicit FaultInjectionScope(const std::string& spec) { set_fault_injection(spec); }
+    ~FaultInjectionScope() { clear_fault_injection(); }
+    FaultInjectionScope(const FaultInjectionScope&) = delete;
+    FaultInjectionScope& operator=(const FaultInjectionScope&) = delete;
+};
+
+namespace detail {
+
+/// Consumes one unit of the alloc countdown; true = throw bad_alloc now.
+bool fault_consume_alloc() noexcept;
+
+/// Consumes one unit of the step/deadline countdowns; 0 = nothing fired,
+/// 1 = trip cause `steps`, 2 = trip cause `deadline`.
+int fault_consume_checkpoint() noexcept;
+
+}  // namespace detail
+
+}  // namespace sdf

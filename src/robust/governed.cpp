@@ -1,0 +1,14 @@
+#include "robust/governed.hpp"
+
+namespace sdf {
+
+const char* governed_status_name(GovernedStatus status) {
+    switch (status) {
+        case GovernedStatus::exact: return "exact";
+        case GovernedStatus::degraded: return "degraded";
+        case GovernedStatus::aborted: return "aborted";
+    }
+    return "unknown";
+}
+
+}  // namespace sdf

@@ -1,0 +1,57 @@
+// governed.hpp — the anytime result wrapper for budgeted analyses.
+//
+// A governed entry point never hangs and never returns silently wrong data:
+// it answers exactly when the budget allows, answers with a *certified
+// conservative bound* when it does not (status `degraded`), and only when
+// even the cheap bound is unaffordable — or degradation is disabled —
+// reports `aborted` with the cause.  The paper's Theorem 1 is what makes
+// the middle outcome sound: abstraction can only under-estimate throughput,
+// so a degraded answer is still a safe number to provision against.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "robust/budget.hpp"
+
+namespace sdf {
+
+/// Fidelity of a governed result.
+enum class GovernedStatus {
+    exact,     ///< the full analysis completed within budget
+    degraded,  ///< a conservative lower bound certified by Theorem 1 (or the
+               ///< sequential-schedule argument); never an over-estimate
+    aborted,   ///< no result: budget exhausted before even the cheap bound
+};
+
+/// Stable lower-case name ("exact", "degraded", "aborted").
+const char* governed_status_name(GovernedStatus status);
+
+/// Whether a governed analysis may fall back to conservative bounds.
+enum class DegradeMode {
+    never,  ///< budget blow aborts instead of degrading
+    auto_,  ///< descend the degradation ladder (default)
+};
+
+/// Budget + policy for one governed call.
+struct GovernOptions {
+    ExecutionBudget budget;
+    CancellationToken token;
+    DegradeMode degrade = DegradeMode::auto_;
+};
+
+/// Outcome of a governed analysis: the value (absent when aborted) plus
+/// fidelity, the cause of any degradation, and the resources consumed.
+template <typename T>
+struct Governed {
+    GovernedStatus status = GovernedStatus::exact;
+    BudgetCause cause = BudgetCause::none;  ///< why the exact route stopped
+    std::string detail;                     ///< human-readable trip message
+    std::string method;                     ///< rung that produced the value
+    std::optional<T> value;
+    ResourceUsage used;
+
+    [[nodiscard]] bool ok() const { return value.has_value(); }
+};
+
+}  // namespace sdf

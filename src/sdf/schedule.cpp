@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "base/errors.hpp"
+#include "robust/budget.hpp"
 #include "sdf/repetition.hpp"
 
 namespace sdf {
@@ -48,6 +49,7 @@ std::vector<ActorId> compute_sequential_schedule(const Graph& graph) {
     }
 
     std::vector<ActorId> schedule;
+    robust_account_bytes(static_cast<std::size_t>(total_remaining) * sizeof(ActorId));
     schedule.reserve(static_cast<std::size_t>(total_remaining));
 
     // Worklist of actors to re-examine; an actor can only become enabled
@@ -64,6 +66,7 @@ std::vector<ActorId> compute_sequential_schedule(const Graph& graph) {
         worklist.pop_front();
         queued[a] = false;
         while (remaining[a] > 0 && enabled(graph, inputs, tokens, a)) {
+            SDFRED_CHECKPOINT();
             for (const ChannelId ci : inputs[a]) {
                 tokens[ci] -= graph.channel(ci).consumption;
             }

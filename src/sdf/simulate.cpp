@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "base/errors.hpp"
+#include "robust/budget.hpp"
 #include "sdf/properties.hpp"
 #include "sdf/repetition.hpp"
 
@@ -74,9 +75,13 @@ public:
                     if (quota_[a] > 0) {
                         --quota_[a];
                     }
+                    SDFRED_CHECKPOINT();
                     if (++started_ > max_events_) {
-                        throw Error("self-timed simulation exceeded event budget; "
-                                    "is every actor on a cycle?");
+                        throw BudgetExceeded(
+                            BudgetCause::steps,
+                            "self-timed simulation exceeded its event budget of " +
+                                std::to_string(max_events_) +
+                                " firings; is every actor on a cycle?");
                     }
                     progress = true;
                 }
@@ -90,6 +95,7 @@ public:
         if (in_flight_.empty()) {
             return false;
         }
+        SDFRED_CHECKPOINT();
         now_ = in_flight_.top().first;
         while (!in_flight_.empty() && in_flight_.top().first == now_) {
             const ActorId a = in_flight_.top().second;
@@ -291,6 +297,9 @@ ThroughputRun simulate_throughput(const Graph& graph, std::size_t max_events) {
             run.max_space = engine.max_space();
             return run;
         }
+        // The recurrent-state map is the memory hog of this route: every
+        // explored state stores its key plus a firing-count snapshot.
+        robust_account_bytes(key.size() + n * sizeof(Int) + sizeof(Snapshot));
         seen.emplace(key, Snapshot{engine.now(), engine.firings()});
         if (!engine.advance()) {
             // Nothing in flight and nothing enabled: deadlock.

@@ -4,9 +4,41 @@
 #include <utility>
 
 #include "base/errors.hpp"
+#include "robust/budget.hpp"
 #include "sdf/repetition.hpp"
 
 namespace sdf {
+
+namespace {
+
+/// Ceilings for the classical expansion, checked *before* any copy is
+/// allocated: the expansion materialises sum(q) actor copies and walks
+/// q(dst)·consumption tokens per channel, both of which explode on scaled
+/// rates (a single channel with rates in the billions would loop for hours).
+/// The paper's largest traditional expansion (satellite, 4515 actors) sits
+/// three orders of magnitude below these limits.
+constexpr Int kMaxClassicCopies = Int{1} << 22;
+constexpr Int kMaxClassicTokenWork = Int{1} << 26;
+
+/// Total tokens the per-channel loops enumerate, refusing instead of
+/// overflowing: factors are pre-bounded so the products stay far below the
+/// Int range.
+Int classic_token_work(const Graph& graph, const std::vector<Int>& repetition) {
+    Int total = 0;
+    for (const Channel& ch : graph.channels()) {
+        const Int qb = repetition[ch.dst];
+        if (qb > kMaxClassicTokenWork / ch.consumption) {
+            return kMaxClassicTokenWork + 1;
+        }
+        total = checked_add(total, checked_mul(qb, ch.consumption));
+        if (total > kMaxClassicTokenWork) {
+            return total;
+        }
+    }
+    return total;
+}
+
+}  // namespace
 
 std::string classic_copy_name(const std::string& name, Int k) {
     return name + "#" + std::to_string(k);
@@ -14,6 +46,22 @@ std::string classic_copy_name(const std::string& name, Int k) {
 
 ClassicHsdf to_hsdf_classic(const Graph& graph) {
     const std::vector<Int> repetition = repetition_vector(graph);
+    const Int copies = iteration_length(graph);
+    if (copies > kMaxClassicCopies) {
+        throw ResourceLimitError(
+            "classical expansion of graph '" + graph.name() + "' needs " +
+            std::to_string(copies) + " actor copies; refusing above " +
+            std::to_string(kMaxClassicCopies) +
+            " (use the reduced conversion or an abstraction instead)");
+    }
+    const Int token_work = classic_token_work(graph, repetition);
+    if (token_work > kMaxClassicTokenWork) {
+        throw ResourceLimitError(
+            "classical expansion of graph '" + graph.name() + "' would enumerate over " +
+            std::to_string(kMaxClassicTokenWork) +
+            " channel tokens; refusing (use the reduced conversion or an abstraction)");
+    }
+    robust_account_bytes(static_cast<std::size_t>(copies) * sizeof(Actor));
 
     ClassicHsdf result;
     result.graph.set_name(graph.name() + "_hsdf");
@@ -34,9 +82,13 @@ ClassicHsdf to_hsdf_classic(const Graph& graph) {
         // channel with a larger delay is a weaker constraint and is dropped.
         std::map<std::pair<ActorId, ActorId>, Int> min_delay;
         for (Int k = 1; k <= qb; ++k) {
+            SDFRED_CHECKPOINT();
             const ActorId dst_copy = result.copy_of[ch.dst][static_cast<std::size_t>(k - 1)];
             for (Int t = checked_add(checked_mul(k - 1, ch.consumption), 1);
                  t <= checked_mul(k, ch.consumption); ++t) {
+                if ((t & 0xfff) == 0) {
+                    SDFRED_CHECKPOINT();
+                }
                 // Token t of the channel; initial tokens occupy 1..d.
                 const Int f = ceil_div(checked_sub(t, ch.initial_tokens), ch.production);
                 const Int f0 = checked_sub(f, 1);

@@ -4,6 +4,7 @@
 
 #include "base/errors.hpp"
 #include "maxplus/stamp.hpp"
+#include "robust/budget.hpp"
 #include "sdf/schedule.hpp"
 
 namespace sdf {
@@ -44,6 +45,7 @@ MpMatrix run_sparse(const Graph& graph, const std::vector<ActorId>& schedule,
     const Adjacency adj = build_adjacency(graph);
     std::vector<MpStamp> consumed;  // reused across firings
     for (const ActorId a : schedule) {
+        SDFRED_CHECKPOINT();
         consumed.clear();
         for (const ChannelId ci : adj.inputs[a]) {
             const Int need = graph.channel(ci).consumption;
@@ -85,6 +87,8 @@ MpMatrix run_sparse(const Graph& graph, const std::vector<ActorId>& schedule,
 /// as the differential-testing baseline for the sparse path above.
 MpMatrix run_dense(const Graph& graph, const std::vector<ActorId>& schedule,
                    std::size_t n) {
+    // Each of the n in-flight tokens carries a full n-length vector.
+    robust_account_bytes(n * n * sizeof(MpValue));
     std::vector<std::deque<MpVector>> fifo(graph.channel_count());
     {
         std::size_t global = 0;
@@ -96,6 +100,7 @@ MpMatrix run_dense(const Graph& graph, const std::vector<ActorId>& schedule,
     }
     const Adjacency adj = build_adjacency(graph);
     for (const ActorId a : schedule) {
+        SDFRED_CHECKPOINT();
         // Start time: element-wise max over all consumed stamps.  A firing
         // that consumes nothing starts unconstrained (all −∞).
         MpVector start(n);
@@ -147,7 +152,8 @@ SymbolicIteration symbolic_iteration(const Graph& graph, SymbolicEngine engine) 
     constexpr Int kMaxSymbolicTokens = 16384;
     const Int token_count = graph.total_initial_tokens();
     if (token_count > kMaxSymbolicTokens) {
-        throw Error("symbolic iteration needs a dense " + std::to_string(token_count) +
+        throw ResourceLimitError(
+            "symbolic iteration needs a dense " + std::to_string(token_count) +
                     "^2 max-plus matrix over the initial tokens; refusing above " +
                     std::to_string(kMaxSymbolicTokens) +
                     " tokens (model large token counts as scaled rates instead)");

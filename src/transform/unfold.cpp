@@ -1,8 +1,20 @@
 #include "transform/unfold.hpp"
 
 #include "base/errors.hpp"
+#include "robust/budget.hpp"
+#include "sdf/graph.hpp"
 
 namespace sdf {
+
+namespace {
+
+/// Ceiling on the actors/channels an N-fold unfolding may materialise.
+/// Far above every practical model (Table 1 tops out near 5k actors) yet
+/// small enough that the copy loops below stay sub-second; larger requests
+/// are refused *before* any allocation instead of grinding towards OOM.
+constexpr Int kMaxUnfoldedElements = Int{1} << 22;
+
+}  // namespace
 
 std::string unfolded_actor_name(const std::string& name, Int i) {
     return name + "@" + std::to_string(i);
@@ -10,10 +22,21 @@ std::string unfolded_actor_name(const std::string& name, Int i) {
 
 Graph unfold(const Graph& graph, Int n) {
     require(n > 0, "unfolding factor must be positive");
+    const Int actor_copies = checked_mul(static_cast<Int>(graph.actor_count()), n);
+    const Int channel_copies = checked_mul(static_cast<Int>(graph.channel_count()), n);
+    if (actor_copies > kMaxUnfoldedElements || channel_copies > kMaxUnfoldedElements) {
+        throw ResourceLimitError(
+            "unfold(" + std::to_string(n) + ") of graph '" + graph.name() + "' needs " +
+            std::to_string(actor_copies) + " actor and " + std::to_string(channel_copies) +
+            " channel copies; refusing above " + std::to_string(kMaxUnfoldedElements));
+    }
+    robust_account_bytes(static_cast<std::size_t>(actor_copies) * sizeof(Actor) +
+                         static_cast<std::size_t>(channel_copies) * sizeof(Channel));
     Graph result(graph.name() + "_unf" + std::to_string(n));
     // Copy i of actor a gets id a*n + i.
     for (const Actor& a : graph.actors()) {
         for (Int i = 0; i < n; ++i) {
+            SDFRED_CHECKPOINT();
             result.add_actor(unfolded_actor_name(a.name, i), a.execution_time);
         }
     }
@@ -22,6 +45,7 @@ Graph unfold(const Graph& graph, Int n) {
     };
     for (const Channel& ch : graph.channels()) {
         for (Int i = 0; i < n; ++i) {
+            SDFRED_CHECKPOINT();
             const Int j = floor_mod(checked_add(i, ch.initial_tokens), n);
             const Int wrap = (j < i) ? 1 : 0;
             const Int delay = checked_add(ch.initial_tokens / n, wrap);

@@ -1,11 +1,15 @@
 #include "verify/oracles.hpp"
 
+#include <new>
+#include <optional>
 #include <typeinfo>
 
 #include "analysis/deadlock.hpp"
+#include "analysis/governed.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/throughput.hpp"
 #include "base/errors.hpp"
+#include "robust/fault.hpp"
 #include "csdf/analysis.hpp"
 #include "csdf/simulate.hpp"
 #include "maxplus/mcm.hpp"
@@ -539,7 +543,8 @@ Verdict run_self_test(const Graph& graph, const OracleLimits& limits) {
         return Verdict::skip(kId, "needs a positive finite period");
     }
     // The deliberate bug: this copied route believes every period is one
-    // time unit longer than it is.
+    // time unit longer than it is.  (See run_self_test's caller for why
+    // this oracle lives outside the registry.)
     const Rational buggy_period = symbolic.period + Rational(1);
     std::vector<Disagreement> disagreements;
     if (buggy_period != symbolic.period) {
@@ -548,6 +553,123 @@ Verdict run_self_test(const Graph& graph, const OracleLimits& limits) {
                                          "copied oracle (injected off-by-one)",
                                          buggy_period.to_string()));
     }
+    return settle(kId, disagreements);
+}
+
+// ---- governed-bound ---------------------------------------------------
+
+/// Flags any way `bound` over-claims against the exact result: a degraded
+/// answer may only ever under-estimate throughput (Theorem 1 / the
+/// sequential-schedule argument), so anything above the exact value is a
+/// soundness bug in the degradation ladder.
+void check_conservative(const Graph& graph, const ThroughputResult& exact,
+                        const std::string& bound_route, const ThroughputResult& bound,
+                        std::vector<Disagreement>& out) {
+    if (exact.outcome == ThroughputOutcome::unbounded) {
+        return;  // every claim is below +infinity
+    }
+    if (bound.outcome == ThroughputOutcome::unbounded) {
+        out.push_back(disagree("throughput outcome", "exact route",
+                               outcome_name(exact.outcome), bound_route,
+                               "unbounded (over-claims a bounded graph)"));
+        return;
+    }
+    if (exact.outcome == ThroughputOutcome::deadlocked) {
+        // Exact throughput is zero everywhere; only a zero bound is sound.
+        for (ActorId a = 0; a < graph.actor_count() && a < bound.per_actor.size(); ++a) {
+            if (!bound.per_actor[a].is_zero()) {
+                out.push_back(disagree(
+                    "throughput of actor '" + graph.actor(a).name + "'", "exact route",
+                    "0 (deadlocked)", bound_route, bound.per_actor[a].to_string()));
+            }
+        }
+        return;
+    }
+    // Finite exact result: the bound must sit at or below it per actor, and
+    // a finite implied period must sit at or above the exact one.
+    if (bound.outcome == ThroughputOutcome::finite) {
+        if (bound.period < exact.period) {
+            out.push_back(disagree("iteration period bound", "exact route",
+                                   exact.period.to_string(), bound_route,
+                                   bound.period.to_string() + " (below exact)"));
+        }
+        for (ActorId a = 0; a < graph.actor_count() && a < bound.per_actor.size() &&
+                            a < exact.per_actor.size();
+             ++a) {
+            if (bound.per_actor[a] > exact.per_actor[a]) {
+                out.push_back(disagree("throughput of actor '" + graph.actor(a).name + "'",
+                                       "exact route", exact.per_actor[a].to_string(),
+                                       bound_route,
+                                       bound.per_actor[a].to_string() + " (over-claim)"));
+            }
+        }
+    }
+    // A deadlocked bound against a finite exact result is vacuous but
+    // sound (zero is below everything), so it passes.
+}
+
+Verdict run_governed_bound(const Graph& graph, const OracleLimits& limits) {
+    constexpr const char* kId = "governed-bound";
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    if (graph.actor_count() > limits.max_actors) {
+        return Verdict::skip(kId, "actor count above limit");
+    }
+    if (graph.total_initial_tokens() > limits.max_tokens) {
+        return Verdict::skip(kId, "token count above limit");
+    }
+    if (iteration_length(graph) > limits.max_iteration_length) {
+        return Verdict::skip(kId, "iteration length above expansion limit");
+    }
+    const ThroughputResult exact = throughput_symbolic(graph);
+    std::vector<Disagreement> disagreements;
+
+    // Leg 1: a one-step budget starves the exact rung at its very first
+    // checkpoint; the ladder must still deliver a conservative answer.
+    GovernOptions starved;
+    starved.budget.max_steps = 1;
+    const Governed<ThroughputResult> degraded = governed_throughput(graph, starved);
+    if (!degraded.ok()) {
+        disagreements.push_back(disagree(
+            "governed availability", "exact route", outcome_name(exact.outcome),
+            "ladder under max_steps=1",
+            std::string("aborted: ") + budget_cause_name(degraded.cause)));
+    } else if (degraded.status == GovernedStatus::exact) {
+        compare_throughput("exact route", exact, "ladder (exact status)", *degraded.value,
+                           graph, disagreements);
+    } else {
+        check_conservative(graph, exact, "ladder:" + degraded.method, *degraded.value,
+                           disagreements);
+    }
+
+    // Leg 2: deterministic fault sweep.  Each spec arms one fault that
+    // fires inside the governed run; whatever comes out must still be
+    // conservative, and the library state must survive unharmed.
+    for (const char* spec : {"alloc:1", "alloc:3", "step:4", "deadline:2"}) {
+        const FaultInjectionScope fault(spec);
+        const Governed<ThroughputResult> result = governed_throughput(graph, {});
+        if (!result.ok()) {
+            disagreements.push_back(
+                disagree("governed availability", "exact route",
+                         outcome_name(exact.outcome), std::string("ladder under ") + spec,
+                         std::string("aborted: ") + budget_cause_name(result.cause)));
+        } else if (result.status == GovernedStatus::exact) {
+            compare_throughput("exact route", exact,
+                               std::string("ladder under ") + spec + " (exact status)",
+                               *result.value, graph, disagreements);
+        } else {
+            check_conservative(graph, exact,
+                               std::string("ladder under ") + spec + ":" + result.method,
+                               *result.value, disagreements);
+        }
+    }
+
+    // Leg 3: the faults above must not have corrupted any shared state —
+    // the exact route re-run fault-free must reproduce itself bit for bit.
+    const ThroughputResult retry = throughput_symbolic(graph);
+    compare_throughput("exact route (before fault sweep)", exact,
+                       "exact route (after fault sweep)", retry, graph, disagreements);
     return settle(kId, disagreements);
 }
 
@@ -592,6 +714,11 @@ const std::vector<Oracle>& oracle_registry() {
          "both stamp engines produce bit-identical matrices; blocked multiply and "
          "pooled Karp match their serial baselines",
          &run_symbolic_engines},
+        {"governed-bound", "anytime ladder bounds never exceed the exact throughput",
+         "governed_throughput under starvation and injected faults always returns a "
+         "conservative per-actor lower bound (period upper bound), exact status means "
+         "exact values, and injected faults never corrupt later exact runs",
+         &run_governed_bound},
     };
     return registry;
 }
@@ -609,10 +736,28 @@ const Oracle* find_oracle(const std::string& id) {
 }
 
 Verdict run_oracle(const Oracle& oracle, const Graph& graph, const OracleLimits& limits) {
+    // A budget in the limits puts the whole oracle run under governance, so
+    // hostile graphs that slip past the size guards hit a checkpoint instead
+    // of stalling the fuzzing loop.
+    std::optional<Governor> governor;
+    std::optional<GovernorScope> scope;
+    if (!limits.budget.unlimited()) {
+        governor.emplace(limits.budget);
+        scope.emplace(*governor);
+    }
     try {
         Verdict verdict = oracle.run(graph, limits);
         verdict.oracle = oracle.id;
         return verdict;
+    } catch (const BudgetExceeded& e) {
+        return Verdict::reject(oracle.id, std::string("BudgetExceeded(") +
+                                              budget_cause_name(e.cause()) + "): " + e.what());
+    } catch (const ResourceLimitError& e) {
+        return Verdict::reject(oracle.id, std::string("ResourceLimitError: ") + e.what());
+    } catch (const std::bad_alloc&) {
+        // Graceful degradation: refusing an unaffordable allocation is a
+        // typed outcome, not a crash.
+        return Verdict::reject(oracle.id, "bad_alloc: allocation refused or failed");
     } catch (const InconsistentGraphError& e) {
         return Verdict::reject(oracle.id, std::string("InconsistentGraphError: ") + e.what());
     } catch (const DeadlockError& e) {

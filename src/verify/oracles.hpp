@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "robust/budget.hpp"
 #include "sdf/graph.hpp"
 #include "verify/verdict.hpp"
 
@@ -35,6 +36,10 @@ struct OracleLimits {
     Int max_tokens = 128;               ///< symbolic matrix dimension
     std::size_t max_actors = 64;        ///< blanket actor-count guard
     std::size_t sim_max_events = 1u << 20;  ///< event budget per simulation
+    /// When any limit is set, run_oracle installs a Governor for the
+    /// oracle's duration, so a hostile graph that slips past the size
+    /// guards is cut off by a checkpoint instead of stalling the fuzzer.
+    ExecutionBudget budget;
 };
 
 /// One differential oracle: an independent way to compute and cross-check

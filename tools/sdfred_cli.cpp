@@ -33,9 +33,20 @@
 // text format.  --lint runs the linter as a guard before any other
 // command and aborts on errors; --version prints the build id.
 //
+// Resource governance (docs/ROBUSTNESS.md): --timeout-ms N, --max-steps N
+// and --max-memory-mb N put the command under an ExecutionBudget.  analyze
+// degrades to a certified throughput lower bound when the exact route
+// blows the budget (--degrade never disables that); convert and fuzz are
+// cut off with exit code 4 / a typed reject respectively.  The environment
+// variable SDFRED_FAULT_INJECT=alloc:N|step:N|deadline:N arms one-shot
+// deterministic faults for robustness testing.
+//
 // Exit codes: 0 success (for lint: nothing at/above --fail-on), 1 analysis
-// failure or lint findings, 2 bad invocation, 3 unparseable input file.
+// failure or lint findings, 2 bad invocation, 3 unparseable input file,
+// 4 aborted by resource budget.
+#include <chrono>
 #include <iostream>
+#include <new>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,6 +56,7 @@
 #endif
 
 #include "analysis/deadlock.hpp"
+#include "analysis/governed.hpp"
 #include "analysis/latency.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/pareto.hpp"
@@ -63,6 +75,8 @@
 #include "lint/lint.hpp"
 #include "lint/registry.hpp"
 #include "lint/render.hpp"
+#include "robust/budget.hpp"
+#include "robust/fault.hpp"
 #include "sdf/properties.hpp"
 #include "sdf/repetition.hpp"
 #include "transform/abstraction.hpp"
@@ -117,7 +131,11 @@ int usage() {
                  "       sdfred_cli fuzz --self-test | --list\n"
                  "       sdfred_cli --version\n"
                  "FMT: hsdf | reduced-hsdf | abstract | abstract-sdf | text | xml | dot\n"
-                 "--lint before any command aborts it when the model has lint errors\n";
+                 "--lint before any command aborts it when the model has lint errors\n"
+                 "--timeout-ms N | --max-steps N | --max-memory-mb N put analyze,\n"
+                 "convert and fuzz under a resource budget; --degrade {auto|never}\n"
+                 "picks between a certified throughput lower bound and exit code 4\n"
+                 "when analyze blows it (docs/ROBUSTNESS.md)\n";
     return 2;
 }
 
@@ -226,6 +244,60 @@ int cmd_analyze(const Graph& g) {
                   << "\n";
     }
     std::cout << "iteration makespan: " << iteration_makespan(g) << "\n";
+    return 0;
+}
+
+/// `analyze` under a resource budget: exact when it fits, a certified
+/// lower bound when degraded, exit code 4 when aborted.
+int cmd_analyze_governed(const Graph& g, const GovernOptions& options) {
+    const std::vector<Int> q = repetition_vector(g);
+    std::cout << "repetition vector:\n";
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        std::cout << "  " << g.actor(a).name << ": " << q[a] << "\n";
+    }
+    const Governed<ThroughputResult> governed = governed_throughput(g, options);
+    std::cout << "analysis status: " << governed_status_name(governed.status);
+    if (governed.ok()) {
+        std::cout << " (method: " << governed.method << ")";
+    }
+    std::cout << "\n";
+    if (governed.cause != BudgetCause::none) {
+        std::cout << "budget trip: " << budget_cause_name(governed.cause);
+        if (!governed.detail.empty()) {
+            std::cout << " — " << governed.detail;
+        }
+        std::cout << "\n";
+    }
+    std::cout << "resources: " << governed.used.steps << " steps, "
+              << governed.used.accounted_bytes << " accounted bytes, "
+              << governed.used.wall_ms << " ms\n";
+    if (!governed.ok()) {
+        std::cout << "no result obtainable within the budget\n";
+        return 4;
+    }
+    const ThroughputResult& t = *governed.value;
+    const bool bound = governed.status == GovernedStatus::degraded;
+    switch (t.outcome) {
+        case ThroughputOutcome::deadlocked:
+            std::cout << "throughput: graph deadlocks (0)\n";
+            return 0;
+        case ThroughputOutcome::unbounded:
+            std::cout << "throughput: unbounded (no constraining cycle)\n";
+            return 0;
+        case ThroughputOutcome::finite:
+            break;
+    }
+    std::cout << (bound ? "iteration period upper bound: " : "iteration period: ")
+              << t.period.to_string() << "\n";
+    std::cout << (bound ? "throughput lower bound per actor (firings/time):\n"
+                        : "throughput per actor (firings/time):\n");
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        std::cout << "  " << g.actor(a).name << ": " << t.per_actor[a].to_string()
+                  << "\n";
+    }
+    if (!bound) {
+        std::cout << "iteration makespan: " << iteration_makespan(g) << "\n";
+    }
     return 0;
 }
 
@@ -392,6 +464,9 @@ int main(int argc, char** argv) {
         return 0;
     }
     try {
+        // SDFRED_FAULT_INJECT=alloc:N|step:N|deadline:N arms deterministic
+        // one-shot faults inside governed code (robustness testing).
+        install_fault_injection_from_env();
         const std::string& command = args[0];
         // Gather positional arguments and options.
         std::optional<std::string> out;
@@ -402,6 +477,8 @@ int main(int argc, char** argv) {
         bool guard = false;
         bool list_rules = false;
         bool self_test = false;
+        GovernOptions govern_options;
+        bool governed = false;  // any budget flag seen
         FuzzOptions fuzz_options;
         fuzz_options.log = &std::cout;
         std::vector<std::string> positional;
@@ -438,6 +515,38 @@ int main(int argc, char** argv) {
                     return usage();
                 }
                 fuzz_options.max_mutations = static_cast<int>(*n);
+            } else if (args[i] == "--timeout-ms" && i + 1 < args.size()) {
+                const auto n = parse_int(args[++i]);
+                if (!n || *n <= 0) {
+                    return usage();
+                }
+                govern_options.budget.deadline = std::chrono::milliseconds(*n);
+                governed = true;
+            } else if (args[i] == "--max-steps" && i + 1 < args.size()) {
+                const auto n = parse_int(args[++i]);
+                if (!n || *n <= 0) {
+                    return usage();
+                }
+                govern_options.budget.max_steps = static_cast<std::uint64_t>(*n);
+                governed = true;
+            } else if (args[i] == "--max-memory-mb" && i + 1 < args.size()) {
+                const auto n = parse_int(args[++i]);
+                if (!n || *n <= 0) {
+                    return usage();
+                }
+                govern_options.budget.max_bytes =
+                    static_cast<std::uint64_t>(*n) * 1024 * 1024;
+                governed = true;
+            } else if (args[i] == "--degrade" && i + 1 < args.size()) {
+                const std::string& mode = args[++i];
+                if (mode == "never") {
+                    govern_options.degrade = DegradeMode::never;
+                } else if (mode == "auto") {
+                    govern_options.degrade = DegradeMode::auto_;
+                } else {
+                    return usage();
+                }
+                governed = true;
             } else if (args[i] == "--no-shrink") {
                 fuzz_options.shrink = false;
             } else if (args[i] == "--self-test") {
@@ -474,6 +583,11 @@ int main(int argc, char** argv) {
             if (list_rules) {
                 return cmd_fuzz_list();
             }
+            if (governed) {
+                // Each oracle run is governed; a tripped budget surfaces as
+                // a typed reject verdict, not a lost fuzzing campaign.
+                fuzz_options.limits.budget = govern_options.budget;
+            }
             return self_test ? cmd_fuzz_self_test(std::move(fuzz_options))
                              : cmd_fuzz(fuzz_options);
         }
@@ -491,7 +605,8 @@ int main(int argc, char** argv) {
             return cmd_info(load(positional[0]));
         }
         if (command == "analyze" && positional.size() == 1) {
-            return cmd_analyze(load(positional[0]));
+            const Graph g = load(positional[0]);
+            return governed ? cmd_analyze_governed(g, govern_options) : cmd_analyze(g);
         }
         if (command == "deadlock" && positional.size() == 1) {
             return cmd_deadlock(load(positional[0]));
@@ -500,7 +615,16 @@ int main(int argc, char** argv) {
             return cmd_schedule(load(positional[0]));
         }
         if (command == "convert" && positional.size() == 1 && format) {
-            return cmd_convert(load(positional[0]), *format, out);
+            const Graph g = load(positional[0]);
+            // Conversions have no bound to degrade to: the budget either
+            // fits or the command aborts with exit code 4.
+            std::optional<Governor> governor;
+            std::optional<GovernorScope> scope;
+            if (governed) {
+                governor.emplace(govern_options.budget, govern_options.token);
+                scope.emplace(*governor);
+            }
+            return cmd_convert(g, *format, out);
         }
         if (command == "pareto" && positional.size() == 1) {
             return cmd_pareto(load(positional[0]));
@@ -535,8 +659,15 @@ int main(int argc, char** argv) {
         // analysis (1) so scripts and CI can triage without text matching.
         std::cerr << "parse error: " << e.what() << "\n";
         return 3;
+    } catch (const BudgetExceeded& e) {
+        std::cerr << "aborted by resource budget (" << budget_cause_name(e.cause())
+                  << "): " << e.what() << "\n";
+        return 4;
     } catch (const Error& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
+    } catch (const std::bad_alloc&) {
+        std::cerr << "aborted by resource budget (memory): allocation failed\n";
+        return 4;
     }
 }
