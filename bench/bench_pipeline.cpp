@@ -1,0 +1,179 @@
+// bench_pipeline — executor overhead of the pass pipeline against the same
+// transforms called directly, on the Table 1 benchmark applications.
+//
+// The pass-manager milestone's acceptance gate: running
+// "selfloops,prune,hsdf-reduced" through the PipelineExecutor must cost
+// within a few percent of the bare chain
+//
+//     to_hsdf_reduced(prune_redundant_channels(add_self_loops(g, 1)))
+//
+// because everything the executor adds per pass — report assembly, the
+// pre-pass graph copy (a cheap COW handle), budget-slice bookkeeping — is
+// O(1) or O(graph), never O(analysis).  The report records both routes'
+// wall-time distributions and the median overhead ratio per model; the CI
+// bench-smoke job archives the JSON next to the other BENCH_*.json files.
+//
+// Flags (see docs/PERFORMANCE.md):
+//   --json FILE   write a BENCH_pipeline.json report and skip the
+//                 google-benchmark run
+//   --reps N      repetitions per measurement (default 5)
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/throughput.hpp"
+#include "base/thread_pool.hpp"
+#include "bench_json.hpp"
+#include "gen/benchmarks.hpp"
+#include "pass/executor.hpp"
+#include "pass/pipeline.hpp"
+#include "transform/hsdf_reduced.hpp"
+#include "transform/prune.hpp"
+#include "transform/selfloops.hpp"
+
+namespace {
+
+using namespace sdf;
+
+constexpr const char* kSpec = "selfloops,prune,hsdf-reduced";
+
+Graph direct_route(const Graph& graph) {
+    return to_hsdf_reduced(prune_redundant_channels(add_self_loops(graph, 1)));
+}
+
+struct PipelineReport {
+    std::string name;
+    std::size_t actors = 0;
+    std::size_t channels = 0;
+    std::size_t result_actors = 0;
+    std::string period;       // of the pipeline result (equal on both routes)
+    bool routes_agree = false;
+    sdfbench::Stats direct;   // bare chained calls
+    sdfbench::Stats executor; // PipelineExecutor over the same spec
+    double overhead = 0;      // executor median / direct median - 1
+};
+
+PipelineReport measure(const BenchmarkCase& bench, int reps) {
+    PipelineReport r;
+    r.name = bench.label;
+    r.actors = bench.graph.actor_count();
+    r.channels = bench.graph.channel_count();
+
+    const Pipeline pipeline = parse_pipeline(kSpec);
+    const PipelineExecutor executor;
+
+    const Graph via_direct = direct_route(bench.graph);
+    const Graph via_executor = executor.run(pipeline, bench.graph).graph;
+    r.result_actors = via_executor.actor_count();
+    const ThroughputResult direct_t = throughput_symbolic(via_direct);
+    const ThroughputResult executor_t = throughput_symbolic(via_executor);
+    r.routes_agree = direct_t.outcome == executor_t.outcome &&
+                     (!direct_t.is_finite() || direct_t.period == executor_t.period);
+    if (executor_t.is_finite()) {
+        r.period = executor_t.period.to_string();
+    }
+
+    r.direct = sdfbench::measure_ms(reps, [&bench] {
+        benchmark::DoNotOptimize(direct_route(bench.graph));
+    });
+    r.executor = sdfbench::measure_ms(reps, [&bench, &pipeline, &executor] {
+        benchmark::DoNotOptimize(executor.run(pipeline, bench.graph));
+    });
+    r.overhead = r.direct.median_ms > 0
+                     ? r.executor.median_ms / r.direct.median_ms - 1.0
+                     : 0.0;
+    return r;
+}
+
+void print_table(const std::vector<PipelineReport>& reports) {
+    std::printf("%-22s %8s %10s %12s %12s %9s\n", "model", "actors", "result",
+                "direct ms", "executor ms", "overhead");
+    for (const PipelineReport& r : reports) {
+        std::printf("%-22s %8zu %10zu %12.3f %12.3f %8.1f%%%s\n", r.name.c_str(),
+                    r.actors, r.result_actors, r.direct.median_ms,
+                    r.executor.median_ms, 100.0 * r.overhead,
+                    r.routes_agree ? "" : "  ROUTES DISAGREE");
+    }
+}
+
+void write_json(const std::string& path, const std::vector<PipelineReport>& reports,
+                int reps) {
+    std::ofstream out(path);
+    out << "{\n";
+    out << "  \"bench\": \"bench_pipeline\",\n";
+    out << "  \"spec\": \"" << sdfbench::json_escape(kSpec) << "\",\n";
+    out << "  \"threads\": " << global_thread_pool().size() << ",\n";
+    out << "  \"reps\": " << reps << ",\n";
+    out << "  \"models\": [\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const PipelineReport& r = reports[i];
+        out << "    {\n";
+        out << "      \"name\": \"" << sdfbench::json_escape(r.name) << "\",\n";
+        out << "      \"actors\": " << r.actors << ",\n";
+        out << "      \"channels\": " << r.channels << ",\n";
+        out << "      \"result_actors\": " << r.result_actors << ",\n";
+        out << "      \"period\": \"" << sdfbench::json_escape(r.period) << "\",\n";
+        out << "      \"routes_agree\": " << (r.routes_agree ? "true" : "false")
+            << ",\n";
+        out << "      \"baseline_direct\": " << sdfbench::stats_json(r.direct)
+            << ",\n";
+        out << "      \"optimized_executor\": " << sdfbench::stats_json(r.executor)
+            << ",\n";
+        out << "      \"executor_overhead\": " << sdfbench::json_num(r.overhead)
+            << "\n";
+        out << "    }" << (i + 1 < reports.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n";
+    out << "}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+void BM_DirectRoute(benchmark::State& state) {
+    const auto cases = table1_benchmarks();
+    const BenchmarkCase& bench = cases[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(direct_route(bench.graph));
+    }
+    state.SetLabel(bench.label);
+}
+
+void BM_ExecutorRoute(benchmark::State& state) {
+    const auto cases = table1_benchmarks();
+    const BenchmarkCase& bench = cases[static_cast<std::size_t>(state.range(0))];
+    const Pipeline pipeline = parse_pipeline(kSpec);
+    const PipelineExecutor executor;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(executor.run(pipeline, bench.graph));
+    }
+    state.SetLabel(bench.label);
+}
+
+BENCHMARK(BM_DirectRoute)->DenseRange(0, 7);
+BENCHMARK(BM_ExecutorRoute)->DenseRange(0, 7);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string json_path = sdfbench::consume_flag(argc, argv, "--json", "");
+    const int reps = std::max(1, std::atoi(
+        sdfbench::consume_flag(argc, argv, "--reps", "5").c_str()));
+
+    std::vector<PipelineReport> reports;
+    for (const BenchmarkCase& bench : table1_benchmarks()) {
+        reports.push_back(measure(bench, reps));
+    }
+    print_table(reports);
+
+    if (!json_path.empty()) {
+        write_json(json_path, reports, reps);
+        return 0;
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -205,4 +205,8 @@ SelfTimedThroughput throughput_self_timed(const Graph& graph) {
     return result;
 }
 
+std::shared_ptr<const ThroughputResult> cached_throughput(const Graph& graph) {
+    return graph.analyses()->get<ThroughputAnalysis>(graph);
+}
+
 }  // namespace sdf

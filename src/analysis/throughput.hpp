@@ -25,6 +25,7 @@
 // (reported, not computed); deadlocked graphs have throughput zero.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -54,6 +55,22 @@ struct ThroughputResult {
 
 /// Route 1: symbolic iteration matrix + Karp (exact, recommended).
 ThroughputResult throughput_symbolic(const Graph& graph);
+
+/// AnalysisManager slot for route 1 (see sdf/analysis_manager.hpp): the
+/// pass pipeline and the verify-each hooks query throughput after every
+/// step, so the exact result is cached per graph and dropped whenever an
+/// execution time changes (time-sensitive, unlike the structural slots).
+struct ThroughputAnalysis {
+    using Result = ThroughputResult;
+    static constexpr const char* kName = "throughput";
+    static constexpr bool kTimeSensitive = true;
+    static Result compute(const Graph& graph) { return throughput_symbolic(graph); }
+};
+
+/// throughput_symbolic through the graph's AnalysisManager: computes on
+/// first use, serves the cache afterwards.  Throws what the direct route
+/// throws (inconsistency), which is never cached.
+std::shared_ptr<const ThroughputResult> cached_throughput(const Graph& graph);
 
 /// Route 2: classical HSDF conversion + exact maximum cycle ratio.
 ThroughputResult throughput_via_classic_hsdf(const Graph& graph);

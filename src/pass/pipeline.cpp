@@ -1,0 +1,296 @@
+#include "pass/pipeline.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "base/string_util.hpp"
+
+namespace sdf {
+
+namespace {
+
+bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '_';
+}
+
+/// Character-level cursor over the spec with position-carrying errors.
+struct Cursor {
+    const std::string& spec;
+    std::size_t i = 0;
+
+    [[nodiscard]] bool done() const { return i >= spec.size(); }
+    [[nodiscard]] char peek() const { return spec[i]; }
+
+    void skip_ws() {
+        while (!done() && std::isspace(static_cast<unsigned char>(peek())) != 0) {
+            ++i;
+        }
+    }
+
+    std::string read_name() {
+        const std::size_t start = i;
+        while (!done() && is_name_char(peek())) {
+            ++i;
+        }
+        return spec.substr(start, i - start);
+    }
+
+    /// A raw argument token: everything up to the next ',', ')' or '=',
+    /// trimmed of surrounding whitespace.
+    std::string read_token() {
+        const std::size_t start = i;
+        while (!done() && peek() != ',' && peek() != ')' && peek() != '=') {
+            ++i;
+        }
+        std::size_t end = i;
+        std::size_t begin = start;
+        while (begin < end &&
+               std::isspace(static_cast<unsigned char>(spec[begin])) != 0) {
+            ++begin;
+        }
+        while (end > begin &&
+               std::isspace(static_cast<unsigned char>(spec[end - 1])) != 0) {
+            --end;
+        }
+        return spec.substr(begin, end - begin);
+    }
+};
+
+[[noreturn]] void fail(PipelineErrorKind kind, std::size_t position,
+                       const std::string& message) {
+    throw PipelineParseError(kind, position,
+                             message + " (at position " + std::to_string(position) +
+                                 ")");
+}
+
+std::string known_pass_names(const PassRegistry& registry) {
+    std::string names;
+    for (const Pass* pass : registry.list()) {
+        if (!names.empty()) {
+            names += ", ";
+        }
+        names += pass->name();
+    }
+    return names;
+}
+
+const PassParamSpec* find_spec(const std::vector<PassParamSpec>& specs,
+                               const std::string& name) {
+    for (const PassParamSpec& spec : specs) {
+        if (spec.name == name) {
+            return &spec;
+        }
+    }
+    return nullptr;
+}
+
+void bind(const Pass& pass, const PassParamSpec& spec, const std::string& raw,
+          std::size_t position, PassParams& params,
+          std::vector<std::string>& bound) {
+    if (std::find(bound.begin(), bound.end(), spec.name) != bound.end()) {
+        fail(PipelineErrorKind::duplicate_parameter, position,
+             "parameter '" + spec.name + "' of pass '" + pass.name() +
+                 "' bound twice");
+    }
+    const std::optional<Int> value = parse_int(raw);
+    if (!value) {
+        fail(PipelineErrorKind::malformed_parameter, position,
+             "parameter '" + spec.name + "' of pass '" + pass.name() +
+                 "' expects an integer, got '" + raw + "'");
+    }
+    if (spec.minimum && *value < *spec.minimum) {
+        fail(PipelineErrorKind::malformed_parameter, position,
+             "parameter '" + spec.name + "' of pass '" + pass.name() +
+                 "' must be >= " + std::to_string(*spec.minimum) + ", got " +
+                 std::to_string(*value));
+    }
+    params.set(spec.name, *value);
+    bound.push_back(spec.name);
+}
+
+/// Parses the argument list after '(' up to and including ')'.
+void parse_args(Cursor& cursor, const Pass& pass, PassParams& params,
+                std::vector<std::string>& bound) {
+    const std::vector<PassParamSpec> specs = pass.params();
+    std::size_t next_positional = 0;
+    bool saw_keyword = false;
+    cursor.skip_ws();
+    if (!cursor.done() && cursor.peek() == ')') {
+        ++cursor.i;
+        return;
+    }
+    while (true) {
+        cursor.skip_ws();
+        const std::size_t arg_start = cursor.i;
+        const std::string token = cursor.read_token();
+        if (cursor.done()) {
+            fail(PipelineErrorKind::syntax, arg_start,
+                 "unterminated argument list of pass '" + pass.name() +
+                     "': expected ')'");
+        }
+        if (cursor.peek() == '=') {
+            ++cursor.i;  // consume '='
+            if (token.empty()) {
+                fail(PipelineErrorKind::syntax, arg_start,
+                     "expected a parameter name before '='");
+            }
+            const PassParamSpec* spec = find_spec(specs, token);
+            if (spec == nullptr) {
+                fail(PipelineErrorKind::malformed_parameter, arg_start,
+                     "pass '" + pass.name() + "' has no parameter '" + token + "'");
+            }
+            cursor.skip_ws();
+            const std::size_t value_start = cursor.i;
+            const std::string value = cursor.read_token();
+            if (cursor.done() || cursor.peek() == '=') {
+                fail(PipelineErrorKind::syntax, value_start,
+                     "malformed value for parameter '" + token + "'");
+            }
+            bind(pass, *spec, value, value_start, params, bound);
+            saw_keyword = true;
+        } else {
+            if (saw_keyword) {
+                fail(PipelineErrorKind::malformed_parameter, arg_start,
+                     "positional argument of pass '" + pass.name() +
+                         "' after a keyword argument");
+            }
+            if (token.empty()) {
+                fail(PipelineErrorKind::syntax, arg_start,
+                     "expected an argument of pass '" + pass.name() + "'");
+            }
+            if (next_positional >= specs.size()) {
+                fail(PipelineErrorKind::malformed_parameter, arg_start,
+                     "pass '" + pass.name() + "' takes " +
+                         std::to_string(specs.size()) + " parameter(s), got more");
+            }
+            bind(pass, specs[next_positional], token, arg_start, params, bound);
+            ++next_positional;
+        }
+        cursor.skip_ws();
+        if (cursor.done()) {
+            fail(PipelineErrorKind::syntax, cursor.i,
+                 "unterminated argument list of pass '" + pass.name() +
+                     "': expected ')'");
+        }
+        if (cursor.peek() == ')') {
+            ++cursor.i;
+            return;
+        }
+        if (cursor.peek() != ',') {
+            fail(PipelineErrorKind::syntax, cursor.i,
+                 std::string("expected ',' or ')' in argument list, got '") +
+                     cursor.peek() + "'");
+        }
+        ++cursor.i;  // consume ','
+    }
+}
+
+}  // namespace
+
+const char* pipeline_error_kind_name(PipelineErrorKind kind) {
+    switch (kind) {
+        case PipelineErrorKind::empty: return "empty";
+        case PipelineErrorKind::syntax: return "syntax";
+        case PipelineErrorKind::unknown_pass: return "unknown-pass";
+        case PipelineErrorKind::malformed_parameter: return "malformed-parameter";
+        case PipelineErrorKind::duplicate_parameter: return "duplicate-parameter";
+    }
+    return "unknown";
+}
+
+Pipeline parse_pipeline(const std::string& spec, const PassRegistry& registry) {
+    Cursor cursor{spec};
+    cursor.skip_ws();
+    if (cursor.done()) {
+        fail(PipelineErrorKind::empty, 0, "empty pipeline: expected at least one pass");
+    }
+    Pipeline pipeline;
+    while (true) {
+        cursor.skip_ws();
+        const std::size_t name_start = cursor.i;
+        const std::string name = cursor.read_name();
+        if (name.empty()) {
+            fail(PipelineErrorKind::syntax, name_start,
+                 cursor.done() ? std::string("expected a pass name after ','")
+                               : "expected a pass name, got '" +
+                                     std::string(1, cursor.peek()) + "'");
+        }
+        const Pass* pass = registry.find(name);
+        if (pass == nullptr) {
+            fail(PipelineErrorKind::unknown_pass, name_start,
+                 "unknown pass '" + name + "' (known: " + known_pass_names(registry) +
+                     ")");
+        }
+        PassInvocation invocation;
+        invocation.pass = pass;
+        std::vector<std::string> bound;
+        cursor.skip_ws();
+        if (!cursor.done() && cursor.peek() == '(') {
+            ++cursor.i;
+            parse_args(cursor, *pass, invocation.params, bound);
+        }
+        // Fill defaults; a missing required parameter is the user's error.
+        for (const PassParamSpec& param : pass->params()) {
+            if (std::find(bound.begin(), bound.end(), param.name) != bound.end()) {
+                continue;
+            }
+            if (!param.default_value) {
+                fail(PipelineErrorKind::malformed_parameter, name_start,
+                     "pass '" + pass->name() + "' requires parameter '" + param.name +
+                         "'");
+            }
+            invocation.params.set(param.name, *param.default_value);
+        }
+        pipeline.steps.push_back(std::move(invocation));
+        cursor.skip_ws();
+        if (cursor.done()) {
+            return pipeline;
+        }
+        if (cursor.peek() != ',') {
+            fail(PipelineErrorKind::syntax, cursor.i,
+                 std::string("expected ',' between passes, got '") + cursor.peek() +
+                     "'");
+        }
+        ++cursor.i;  // consume ','
+    }
+}
+
+std::string PassInvocation::to_string() const {
+    // Canonical form: defaulted parameters are omitted; one shown parameter
+    // prints positionally, several print as sorted "k=v".
+    std::vector<std::pair<std::string, Int>> shown;
+    for (const PassParamSpec& spec : pass->params()) {
+        const Int value = params.at(spec.name);
+        if (!spec.default_value || *spec.default_value != value) {
+            shown.emplace_back(spec.name, value);
+        }
+    }
+    if (shown.empty()) {
+        return pass->name();
+    }
+    if (shown.size() == 1) {
+        return pass->name() + "(" + std::to_string(shown.front().second) + ")";
+    }
+    std::sort(shown.begin(), shown.end());
+    std::string rendered = pass->name() + "(";
+    for (std::size_t k = 0; k < shown.size(); ++k) {
+        if (k > 0) {
+            rendered += ",";
+        }
+        rendered += shown[k].first + "=" + std::to_string(shown[k].second);
+    }
+    return rendered + ")";
+}
+
+std::string Pipeline::to_string() const {
+    std::string rendered;
+    for (const PassInvocation& step : steps) {
+        if (!rendered.empty()) {
+            rendered += ",";
+        }
+        rendered += step.to_string();
+    }
+    return rendered;
+}
+
+}  // namespace sdf

@@ -1,0 +1,87 @@
+// pipeline.hpp — textual pipeline specifications.
+//
+// A pipeline spec is a comma-separated list of pass invocations:
+//
+//     spec  := pass (',' pass)*
+//     pass  := NAME [ '(' args ')' ]
+//     args  := ε | arg (',' arg)*
+//     arg   := INT | NAME '=' INT
+//
+// e.g.  "selfloops,prune,unfold(2),hsdf-reduced"
+//       "selfloops(tokens=2), prune"
+//
+// Positional arguments bind to the pass's declared parameters in order;
+// keyword arguments may follow positionals but not precede them.  Every
+// declared parameter without a default is required.  Whitespace around
+// names, commas and parentheses is ignored.
+//
+// Parse failures raise PipelineParseError carrying a typed kind and the
+// character position, so the CLI can point at the offending token and
+// tests can assert the failure class, not a message substring.
+//
+// to_string() renders the CANONICAL form: passes joined by ',', defaulted
+// parameters omitted, a single shown parameter positional ("unfold(2)"),
+// several shown parameters as "k=v" sorted by name.  parse(to_string(p))
+// round-trips for every valid pipeline.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/errors.hpp"
+#include "pass/registry.hpp"
+
+namespace sdf {
+
+/// What class of mistake a pipeline spec contains.
+enum class PipelineErrorKind {
+    empty,                ///< no passes at all
+    syntax,               ///< malformed structure (unbalanced '(', stray ',')
+    unknown_pass,         ///< a name the registry does not resolve
+    malformed_parameter,  ///< non-integer value, unknown key, arity/bounds
+    duplicate_parameter,  ///< the same parameter bound twice
+};
+
+/// Stable lower-case name ("unknown-pass", ...) for messages and tests.
+const char* pipeline_error_kind_name(PipelineErrorKind kind);
+
+/// Typed parse failure; position is a 0-based character offset into the
+/// spec string (the start of the offending token).
+class PipelineParseError : public Error {
+public:
+    PipelineParseError(PipelineErrorKind kind, std::size_t position,
+                       const std::string& what)
+        : Error(what), kind_(kind), position_(position) {}
+    [[nodiscard]] PipelineErrorKind kind() const { return kind_; }
+    [[nodiscard]] std::size_t position() const { return position_; }
+
+private:
+    PipelineErrorKind kind_;
+    std::size_t position_;
+};
+
+/// One resolved pass invocation: the pass plus a full parameter set
+/// (defaults filled in).
+struct PassInvocation {
+    const Pass* pass = nullptr;
+    PassParams params;
+
+    /// Canonical rendering, e.g. "unfold(2)" or "selfloops" (defaults
+    /// omitted).
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// A parsed pipeline.
+struct Pipeline {
+    std::vector<PassInvocation> steps;
+
+    /// Canonical spec; parse(to_string()) reproduces the pipeline.
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses `spec` against `registry`; throws PipelineParseError.
+Pipeline parse_pipeline(const std::string& spec,
+                        const PassRegistry& registry = PassRegistry::instance());
+
+}  // namespace sdf

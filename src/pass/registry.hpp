@@ -1,0 +1,44 @@
+// registry.hpp — the pass registry.
+//
+// All built-in passes register here at first use (no static-initialiser
+// magic: the singleton's constructor calls register_builtin_passes()
+// directly, so nothing depends on link order or object inclusion).  The
+// pipeline parser resolves names against a registry, which makes the test
+// suite able to run against a private registry with planted passes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pass/pass.hpp"
+
+namespace sdf {
+
+class PassRegistry {
+public:
+    /// The process-wide registry with every built-in pass registered.
+    static const PassRegistry& instance();
+
+    /// An empty registry (for tests that plant their own passes).
+    PassRegistry() = default;
+
+    /// Registers a pass; throws Error on a duplicate name.
+    void add(std::unique_ptr<Pass> pass);
+
+    /// The pass with this name (hidden included), or nullptr.
+    [[nodiscard]] const Pass* find(const std::string& name) const;
+
+    /// All passes sorted by name; hidden ones only when asked.
+    [[nodiscard]] std::vector<const Pass*> list(bool include_hidden = false) const;
+
+private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// Registers the built-in pass set (selfloops, prune, retiming, the HSDF
+/// constructions, abstractions, unfold, scenario-envelope and the hidden
+/// selftest-unsound pass) into `registry`.  Defined in passes.cpp.
+void register_builtin_passes(PassRegistry& registry);
+
+}  // namespace sdf

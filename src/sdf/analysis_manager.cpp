@@ -1,0 +1,90 @@
+#include "sdf/analysis_manager.hpp"
+
+#include <algorithm>
+
+namespace sdf {
+
+bool AnalysisManager::has(const std::string& analysis) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, slot] : slots_) {
+        if (slot.value && analysis == slot.name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void AnalysisManager::adopt_matching(const AnalysisManager& from,
+                                     const std::vector<std::string>* filter,
+                                     bool untimed_only) {
+    // Lock ordering: `from` is always the retired manager of a graph the
+    // caller just replaced, never the adopting one, so the two locks
+    // nest without a cycle.  Self-adoption is a no-op.
+    if (&from == this) {
+        return;
+    }
+    const std::lock_guard<std::mutex> source_lock(from.mutex_);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, source] : from.slots_) {
+        if (!source.value) {
+            continue;
+        }
+        if (untimed_only && source.timed) {
+            continue;
+        }
+        if (filter != nullptr &&
+            std::find(filter->begin(), filter->end(), source.name) == filter->end()) {
+            continue;
+        }
+        Slot& slot = slots_[key];
+        if (slot.value) {
+            continue;  // a fresher result already exists; keep it
+        }
+        slot.name = source.name;
+        slot.timed = source.timed;
+        slot.value = source.value;
+        ++slot.adopted;
+    }
+}
+
+void AnalysisManager::adopt(const AnalysisManager& from,
+                            const std::vector<std::string>& analyses) {
+    adopt_matching(from, &analyses, false);
+}
+
+void AnalysisManager::adopt_all(const AnalysisManager& from) {
+    adopt_matching(from, nullptr, false);
+}
+
+void AnalysisManager::adopt_untimed(const AnalysisManager& from) {
+    adopt_matching(from, nullptr, true);
+}
+
+void AnalysisManager::invalidate() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, slot] : slots_) {
+        slot.value.reset();
+    }
+}
+
+std::vector<AnalysisSlotStats> AnalysisManager::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<AnalysisSlotStats> result;
+    result.reserve(slots_.size());
+    for (const auto& [key, slot] : slots_) {
+        AnalysisSlotStats s;
+        s.analysis = slot.name;
+        s.hits = slot.hits;
+        s.misses = slot.misses;
+        s.adopted = slot.adopted;
+        s.cached = slot.value != nullptr;
+        result.push_back(std::move(s));
+    }
+    std::sort(result.begin(), result.end(),
+              [](const AnalysisSlotStats& a, const AnalysisSlotStats& b) {
+                  return a.analysis < b.analysis;
+              });
+    return result;
+}
+
+}  // namespace sdf

@@ -1,0 +1,160 @@
+// analysis_manager.hpp — typed, lazily-computed, mutation-invalidated
+// analysis slots shared by everything that asks questions about one graph.
+//
+// An *analysis* is a cheap traits struct
+//
+//     struct RepetitionVectorAnalysis {
+//         using Result = std::vector<Int>;
+//         static constexpr const char* kName = "repetition";
+//         static constexpr bool kTimeSensitive = false;
+//         static Result compute(const Graph&);
+//     };
+//
+// kTimeSensitive marks results that depend on execution times (throughput)
+// rather than only on rates and tokens (repetition, schedule, liveness):
+// set_execution_time keeps the untimed slots — the DSE-style "retune,
+// reanalyse" loop — and drops only the timed ones.
+//
+// declared next to its compute function (src/sdf for the structural
+// analyses, src/analysis for throughput), so the manager itself depends on
+// nothing above the graph model and any layer can add slots without
+// touching this file.  AnalysisManager::get<A>() returns the cached result
+// or computes, caches and returns it; failures (inconsistency, deadlock)
+// propagate as the usual typed errors and cache nothing, so they re-throw
+// on every query exactly like the direct call would.
+//
+// Every Graph owns a manager (Graph::analyses()).  Copies of a graph share
+// it until either copy mutates; mutation swaps in a fresh manager so
+// results cached for the old structure stay with the old graph — the
+// copy-on-invalidate semantics the old two-slot GraphMemo had, now for any
+// number of typed slots.  The pass pipeline (src/pass) additionally moves
+// slots *across* a transformation when the pass declares them preserved
+// (adopt()), which is what lets a repetition vector computed once survive
+// an entire selfloops,prune,retiming chain.
+//
+// Slots are filled under the mutex, but compute() runs OUTSIDE it: analyses
+// call back into the manager (throughput consults the repetition and
+// schedule slots), and a held lock would self-deadlock.  Concurrent readers
+// may race to compute the same slot; the first result wins and the loser's
+// work is discarded — the same benign race the old memo allowed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace sdf {
+
+class Graph;
+
+/// Cache counters of one slot, for --time-passes style reporting and the
+/// preservation tests.
+struct AnalysisSlotStats {
+    std::string analysis;        ///< the traits' kName
+    std::uint64_t hits = 0;      ///< queries served from the cache
+    std::uint64_t misses = 0;    ///< queries that had to compute
+    std::uint64_t adopted = 0;   ///< results inherited from a previous graph
+    bool cached = false;         ///< a result is currently stored
+};
+
+/// See the file comment.
+class AnalysisManager {
+public:
+    AnalysisManager() = default;
+    AnalysisManager(const AnalysisManager&) = delete;
+    AnalysisManager& operator=(const AnalysisManager&) = delete;
+
+    /// The result of analysis A on `graph`, computed on the first call and
+    /// served from the cache afterwards.  Whatever A::compute throws
+    /// propagates unchanged and leaves the slot empty.
+    template <typename A>
+    std::shared_ptr<const typename A::Result> get(const Graph& graph) {
+        const std::type_index key(typeid(A));
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = slots_.find(key);
+            if (it != slots_.end() && it->second.value) {
+                ++it->second.hits;
+                return std::static_pointer_cast<const typename A::Result>(
+                    it->second.value);
+            }
+        }
+        std::shared_ptr<const typename A::Result> computed =
+            std::make_shared<typename A::Result>(A::compute(graph));
+        const std::lock_guard<std::mutex> lock(mutex_);
+        Slot& slot = slots_[key];
+        slot.name = A::kName;
+        slot.timed = A::kTimeSensitive;
+        if (!slot.value) {
+            slot.value = computed;
+            ++slot.misses;
+        } else {
+            // Lost a compute race; keep the first result so every caller
+            // sees one consistent object.
+            ++slot.hits;
+            computed = std::static_pointer_cast<const typename A::Result>(slot.value);
+        }
+        return computed;
+    }
+
+    /// The cached result of A, or nullptr — never computes.
+    template <typename A>
+    [[nodiscard]] std::shared_ptr<const typename A::Result> cached() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = slots_.find(std::type_index(typeid(A)));
+        if (it == slots_.end()) {
+            return nullptr;
+        }
+        return std::static_pointer_cast<const typename A::Result>(it->second.value);
+    }
+
+    /// True when a result for A is currently cached.
+    template <typename A>
+    [[nodiscard]] bool is_cached() const {
+        return cached<A>() != nullptr;
+    }
+
+    /// True when a slot with this kName holds a result.
+    [[nodiscard]] bool has(const std::string& analysis) const;
+
+    /// Copies the cached results whose kName appears in `analyses` from
+    /// another manager (typically the one of the graph a pass just
+    /// replaced).  Only fills empty slots; counts as `adopted` in stats().
+    void adopt(const AnalysisManager& from, const std::vector<std::string>& analyses);
+
+    /// adopt() for every slot `from` holds.
+    void adopt_all(const AnalysisManager& from);
+
+    /// adopt() for every slot whose analysis is not time-sensitive; what
+    /// Graph::set_execution_time uses to keep the structural results.
+    void adopt_untimed(const AnalysisManager& from);
+
+    /// Drops every cached result (counters survive).
+    void invalidate();
+
+    /// Per-slot cache counters, sorted by analysis name.
+    [[nodiscard]] std::vector<AnalysisSlotStats> stats() const;
+
+private:
+    struct Slot {
+        const char* name = "";
+        bool timed = false;
+        std::shared_ptr<const void> value;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t adopted = 0;
+    };
+
+    void adopt_matching(const AnalysisManager& from,
+                        const std::vector<std::string>* filter, bool untimed_only);
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::type_index, Slot> slots_;
+};
+
+}  // namespace sdf

@@ -12,7 +12,7 @@ ActorId Graph::add_actor(const std::string& name, Int execution_time) {
     const ActorId id = actors_.size();
     actors_.push_back(Actor{name, execution_time});
     actor_by_name_.emplace(name, id);
-    invalidate_memo();
+    invalidate_analyses();
     return id;
 }
 
@@ -24,7 +24,7 @@ ChannelId Graph::add_channel(ActorId src, ActorId dst, Int production, Int consu
     require(initial_tokens >= 0, "channel initial tokens must be non-negative");
     const ChannelId id = channels_.size();
     channels_.push_back(Channel{src, dst, production, consumption, initial_tokens});
-    invalidate_memo();
+    invalidate_analyses();
     return id;
 }
 
@@ -32,6 +32,13 @@ void Graph::set_execution_time(ActorId id, Int execution_time) {
     require(id < actors_.size(), "actor id out of range");
     require(execution_time >= 0, "negative execution time");
     actors_[id].execution_time = execution_time;
+    // Untimed analyses (repetition, schedule, liveness) survive a retuned
+    // execution time; timed ones (throughput) must not.  Swap in a fresh
+    // manager carrying only the untimed slots so copies sharing the old
+    // manager keep their complete cache.
+    auto fresh = std::make_shared<AnalysisManager>();
+    fresh->adopt_untimed(*analyses_);
+    analyses_ = fresh;
 }
 
 void Graph::set_initial_tokens(ChannelId id, Int initial_tokens) {
@@ -40,7 +47,7 @@ void Graph::set_initial_tokens(ChannelId id, Int initial_tokens) {
     channels_[id].initial_tokens = initial_tokens;
     // The repetition vector only depends on rates, but the schedule (and
     // its existence — deadlock) depends on the token distribution.
-    invalidate_memo();
+    invalidate_analyses();
 }
 
 std::optional<ActorId> Graph::find_actor(const std::string& name) const {

@@ -13,34 +13,18 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "base/checked.hpp"
+#include "sdf/analysis_manager.hpp"
 
 namespace sdf {
 
 using ActorId = std::size_t;
 using ChannelId = std::size_t;
-
-/// Lazily filled, mutation-invalidated cache of the untimed structural
-/// analyses that nearly every query recomputes on the same graph: the
-/// repetition vector and one admissible sequential schedule.  throughput,
-/// deadlock, lint and the symbolic conversion all funnel through
-/// repetition_vector() / sequential_schedule(), which consult this memo.
-///
-/// Both cached results depend only on rates and (for the schedule) initial
-/// tokens — never on execution times — so set_execution_time keeps the
-/// memo, while structural mutations and set_initial_tokens replace it.
-/// Slots are filled under the mutex; concurrent const readers are safe.
-struct GraphMemo {
-    std::mutex mutex;
-    std::optional<std::vector<Int>> repetition;
-    std::optional<std::vector<ActorId>> schedule;
-};
 
 /// One actor of a timed SDF graph.
 struct Actor {
@@ -64,9 +48,9 @@ struct Channel {
 /// positive, delays non-negative, names unique and endpoints valid.
 class Graph {
 public:
-    Graph() : memo_(std::make_shared<GraphMemo>()) {}
+    Graph() : analyses_(std::make_shared<AnalysisManager>()) {}
     explicit Graph(std::string name)
-        : name_(std::move(name)), memo_(std::make_shared<GraphMemo>()) {}
+        : name_(std::move(name)), analyses_(std::make_shared<AnalysisManager>()) {}
 
     [[nodiscard]] const std::string& name() const { return name_; }
     void set_name(std::string name) { name_ = std::move(name); }
@@ -113,20 +97,23 @@ public:
     /// (the graph is a homogeneous SDF graph).
     [[nodiscard]] bool is_homogeneous() const;
 
-    /// The structural-analysis memo (see GraphMemo).  Copies of a graph
-    /// share the memo until either copy mutates; mutation swaps in a fresh
-    /// one so results cached for the old structure stay with the old graph.
-    [[nodiscard]] const std::shared_ptr<GraphMemo>& analysis_memo() const { return memo_; }
+    /// This graph's analysis cache (see sdf/analysis_manager.hpp).  Copies
+    /// of a graph share the manager until either copy mutates; mutation
+    /// swaps in a fresh one so results cached for the old structure stay
+    /// with the old graph.
+    [[nodiscard]] const std::shared_ptr<AnalysisManager>& analyses() const {
+        return analyses_;
+    }
 
 private:
-    /// Called by mutators that change what the memoised analyses see.
-    void invalidate_memo() { memo_ = std::make_shared<GraphMemo>(); }
+    /// Called by mutators that change what the cached analyses see.
+    void invalidate_analyses() { analyses_ = std::make_shared<AnalysisManager>(); }
 
     std::string name_;
     std::vector<Actor> actors_;
     std::vector<Channel> channels_;
     std::unordered_map<std::string, ActorId> actor_by_name_;
-    std::shared_ptr<GraphMemo> memo_ = std::make_shared<GraphMemo>();
+    std::shared_ptr<AnalysisManager> analyses_ = std::make_shared<AnalysisManager>();
 };
 
 }  // namespace sdf

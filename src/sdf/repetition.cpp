@@ -91,32 +91,29 @@ std::vector<Int> compute_repetition_vector(const Graph& graph) {
 
 }  // namespace
 
-std::vector<Int> repetition_vector(const Graph& graph) {
-    // Memoised per graph: throughput, deadlock, lint and the conversions
-    // all ask for this vector, often several times on the same structure.
-    // Failures (inconsistency) are not cached and re-throw each call.
-    const std::shared_ptr<GraphMemo> memo = graph.analysis_memo();
-    {
-        const std::lock_guard<std::mutex> lock(memo->mutex);
-        if (memo->repetition) {
-            return *memo->repetition;
-        }
-    }
-    std::vector<Int> result = compute_repetition_vector(graph);
-    const std::lock_guard<std::mutex> lock(memo->mutex);
-    if (!memo->repetition) {
-        memo->repetition = result;
-    }
-    return result;
+std::vector<Int> RepetitionVectorAnalysis::compute(const Graph& graph) {
+    return compute_repetition_vector(graph);
 }
 
-bool is_consistent(const Graph& graph) {
+bool ConsistencyAnalysis::compute(const Graph& graph) {
     try {
         repetition_vector(graph);
         return true;
     } catch (const InconsistentGraphError&) {
         return false;
     }
+}
+
+std::vector<Int> repetition_vector(const Graph& graph) {
+    // Cached per graph in the AnalysisManager: throughput, deadlock, lint
+    // and the conversions all ask for this vector, often several times on
+    // the same structure.  Failures (inconsistency) are not cached and
+    // re-throw each call.
+    return *graph.analyses()->get<RepetitionVectorAnalysis>(graph);
+}
+
+bool is_consistent(const Graph& graph) {
+    return *graph.analyses()->get<ConsistencyAnalysis>(graph);
 }
 
 Int iteration_length(const Graph& graph) {

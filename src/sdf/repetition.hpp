@@ -25,6 +25,23 @@ std::vector<Int> repetition_vector(const Graph& graph);
 /// True when the balance equations are solvable.
 bool is_consistent(const Graph& graph);
 
+/// AnalysisManager slot behind repetition_vector() (see
+/// sdf/analysis_manager.hpp for the traits contract).
+struct RepetitionVectorAnalysis {
+    using Result = std::vector<Int>;
+    static constexpr const char* kName = "repetition";
+    static constexpr bool kTimeSensitive = false;
+    static Result compute(const Graph& graph);
+};
+
+/// AnalysisManager slot behind is_consistent().
+struct ConsistencyAnalysis {
+    using Result = bool;
+    static constexpr const char* kName = "consistency";
+    static constexpr bool kTimeSensitive = false;
+    static Result compute(const Graph& graph);
+};
+
 /// Sum of the repetition vector: the number of firings in one iteration.
 Int iteration_length(const Graph& graph);
 

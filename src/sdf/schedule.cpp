@@ -95,26 +95,11 @@ std::vector<ActorId> compute_sequential_schedule(const Graph& graph) {
 
 }  // namespace
 
-std::vector<ActorId> sequential_schedule(const Graph& graph) {
-    // Memoised per graph: the symbolic conversion, deadlock checks and the
-    // mapping heuristics each need one admissible order for the same
-    // structure.  Failures (deadlock, inconsistency) re-throw each call.
-    const std::shared_ptr<GraphMemo> memo = graph.analysis_memo();
-    {
-        const std::lock_guard<std::mutex> lock(memo->mutex);
-        if (memo->schedule) {
-            return *memo->schedule;
-        }
-    }
-    std::vector<ActorId> schedule = compute_sequential_schedule(graph);
-    const std::lock_guard<std::mutex> lock(memo->mutex);
-    if (!memo->schedule) {
-        memo->schedule = schedule;
-    }
-    return schedule;
+std::vector<ActorId> SequentialScheduleAnalysis::compute(const Graph& graph) {
+    return compute_sequential_schedule(graph);
 }
 
-bool is_deadlock_free(const Graph& graph) {
+bool LivenessAnalysis::compute(const Graph& graph) {
     try {
         sequential_schedule(graph);
         return true;
@@ -123,6 +108,18 @@ bool is_deadlock_free(const Graph& graph) {
     } catch (const InconsistentGraphError&) {
         return false;
     }
+}
+
+std::vector<ActorId> sequential_schedule(const Graph& graph) {
+    // Cached per graph in the AnalysisManager: the symbolic conversion,
+    // deadlock checks and the mapping heuristics each need one admissible
+    // order for the same structure.  Failures (deadlock, inconsistency)
+    // re-throw each call.
+    return *graph.analyses()->get<SequentialScheduleAnalysis>(graph);
+}
+
+bool is_deadlock_free(const Graph& graph) {
+    return *graph.analyses()->get<LivenessAnalysis>(graph);
 }
 
 }  // namespace sdf

@@ -23,4 +23,22 @@ std::vector<ActorId> sequential_schedule(const Graph& graph);
 /// from the initial token distribution (no deadlock).
 bool is_deadlock_free(const Graph& graph);
 
+/// AnalysisManager slot behind sequential_schedule() (see
+/// sdf/analysis_manager.hpp for the traits contract).
+struct SequentialScheduleAnalysis {
+    using Result = std::vector<ActorId>;
+    static constexpr const char* kName = "schedule";
+    static constexpr bool kTimeSensitive = false;
+    static Result compute(const Graph& graph);
+};
+
+/// AnalysisManager slot behind is_deadlock_free() / is_live(): liveness is
+/// schedulability of one iteration, an untimed property.
+struct LivenessAnalysis {
+    using Result = bool;
+    static constexpr const char* kName = "liveness";
+    static constexpr bool kTimeSensitive = false;
+    static Result compute(const Graph& graph);
+};
+
 }  // namespace sdf

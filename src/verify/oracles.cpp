@@ -13,12 +13,15 @@
 #include "csdf/analysis.hpp"
 #include "csdf/simulate.hpp"
 #include "maxplus/mcm.hpp"
+#include "pass/executor.hpp"
+#include "pass/pipeline.hpp"
 #include "sdf/properties.hpp"
 #include "sdf/repetition.hpp"
 #include "sdf/simulate.hpp"
 #include "transform/hsdf_classic.hpp"
 #include "transform/hsdf_reduced.hpp"
 #include "transform/sdf_abstraction.hpp"
+#include "transform/selfloops.hpp"
 #include "transform/symbolic.hpp"
 #include "transform/unfold.hpp"
 
@@ -608,6 +611,54 @@ void check_conservative(const Graph& graph, const ThroughputResult& exact,
     // sound (zero is below everything), so it passes.
 }
 
+// ---- pipeline-routes --------------------------------------------------
+
+/// The pass pipeline "selfloops,prune,hsdf-reduced" through the
+/// PipelineExecutor (analysis adoption, budget slicing and all) against the
+/// direct function route: close the graph with add_self_loops and take the
+/// symbolic period.  Both must report the same outcome and exact period —
+/// prune and the Figure 4 construction preserve λ, so any disagreement is
+/// a bug in the executor's analysis threading or in a pass wrapper.
+Verdict run_pipeline_routes(const Graph& graph, const OracleLimits& limits) {
+    constexpr const char* kId = "pipeline-routes";
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    if (graph.actor_count() > limits.max_actors) {
+        return Verdict::skip(kId, "actor count above limit");
+    }
+    // Closing adds one token per open actor; the symbolic matrix dimension
+    // is the closed graph's token count.
+    if (graph.total_initial_tokens() + static_cast<Int>(graph.actor_count()) >
+        limits.max_tokens) {
+        return Verdict::skip(kId, "token count above matrix limit");
+    }
+    const Graph closed = add_self_loops(graph, 1);
+    const ThroughputResult direct = throughput_symbolic(closed);
+    if (direct.outcome == ThroughputOutcome::deadlocked) {
+        // The pipeline's hsdf-reduced step needs an iteration matrix.
+        return Verdict::skip(kId, "closed graph deadlocks: no iteration matrix");
+    }
+    const PipelineRun run = PipelineExecutor().run(
+        parse_pipeline("selfloops,prune,hsdf-reduced"), graph);
+    const ThroughputResult via = throughput_symbolic(run.graph);
+    std::vector<Disagreement> disagreements;
+    if (via.outcome != direct.outcome) {
+        disagreements.push_back(disagree("throughput outcome",
+                                         "symbolic on closed graph",
+                                         outcome_name(direct.outcome),
+                                         "pipeline selfloops,prune,hsdf-reduced",
+                                         outcome_name(via.outcome)));
+    } else if (direct.is_finite() && via.period != direct.period) {
+        disagreements.push_back(disagree("iteration period",
+                                         "symbolic on closed graph",
+                                         direct.period.to_string(),
+                                         "pipeline selfloops,prune,hsdf-reduced",
+                                         via.period.to_string()));
+    }
+    return settle(kId, disagreements);
+}
+
 Verdict run_governed_bound(const Graph& graph, const OracleLimits& limits) {
     constexpr const char* kId = "governed-bound";
     if (graph.actor_count() == 0) {
@@ -719,6 +770,10 @@ const std::vector<Oracle>& oracle_registry() {
          "conservative per-actor lower bound (period upper bound), exact status means "
          "exact values, and injected faults never corrupt later exact runs",
          &run_governed_bound},
+        {"pipeline-routes", "the pass pipeline matches the direct function route",
+         "executor run of selfloops,prune,hsdf-reduced reports the same outcome and "
+         "exact period as the symbolic route on the self-loop-closed graph",
+         &run_pipeline_routes},
     };
     return registry;
 }

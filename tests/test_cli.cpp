@@ -254,6 +254,78 @@ TEST_F(CliTest, LintListEnumeratesRules) {
     EXPECT_NE(r.output.find("SDF012"), std::string::npos);
 }
 
+TEST_F(CliTest, ConvertWithoutFormatIsATargetedInvocationError) {
+    const CliResult r = run_cli("convert " + dir_ + "/h263.sdf");
+    EXPECT_EQ(r.exit_code, 2);
+    // Not the generic usage dump: a diagnostic naming the missing flag.
+    EXPECT_NE(r.output.find("--to"), std::string::npos);
+    EXPECT_NE(r.output.find("requires an output format"), std::string::npos);
+}
+
+TEST_F(CliTest, PipelineRunsAndReportsPerPass) {
+    const CliResult r = run_cli("pipeline " + dir_ + "/h263.sdf --passes " +
+                                "\"selfloops,prune,hsdf-reduced\" --time-passes");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("selfloops"), std::string::npos);
+    EXPECT_NE(r.output.find("hsdf-reduced"), std::string::npos);
+    EXPECT_NE(r.output.find("iteration period:"), std::string::npos);
+    EXPECT_NE(r.output.find("ms"), std::string::npos);  // --time-passes
+}
+
+TEST_F(CliTest, PipelineMatchesAnalyzeOfTheClosedGraph) {
+    // The pipeline route and the direct route agree exactly: selfloops
+    // closes the graph, so compare against analyze of the closed model.
+    const std::string closed = dir_ + "/closed.sdf";
+    ASSERT_EQ(run_cli("pipeline " + dir_ + "/h263.sdf --passes selfloops -o " +
+                      closed)
+                  .exit_code,
+              0);
+    const CliResult direct = run_cli("analyze " + closed);
+    const CliResult via = run_cli("pipeline " + dir_ + "/h263.sdf --passes " +
+                                  "\"selfloops,prune,hsdf-reduced\"");
+    ASSERT_EQ(direct.exit_code, 0);
+    ASSERT_EQ(via.exit_code, 0);
+    const auto period_of = [](const std::string& output) {
+        const std::size_t at = output.find("iteration period: ");
+        EXPECT_NE(at, std::string::npos);
+        return output.substr(at, output.find('\n', at) - at);
+    };
+    EXPECT_EQ(period_of(via.output), period_of(direct.output));
+}
+
+TEST_F(CliTest, PipelineSpecErrorsAreInvocationErrors) {
+    const CliResult unknown = run_cli("pipeline " + dir_ + "/h263.sdf --passes bogus");
+    EXPECT_EQ(unknown.exit_code, 2);
+    EXPECT_NE(unknown.output.find("unknown-pass"), std::string::npos);
+    const CliResult malformed =
+        run_cli("pipeline " + dir_ + "/h263.sdf --passes \"unfold(x)\"");
+    EXPECT_EQ(malformed.exit_code, 2);
+    EXPECT_NE(malformed.output.find("malformed-parameter"), std::string::npos);
+    // --passes itself is required.
+    EXPECT_EQ(run_cli("pipeline " + dir_ + "/h263.sdf").exit_code, 2);
+}
+
+TEST_F(CliTest, PipelineVerifyEachCatchesTheUnsoundPass) {
+    const CliResult r = run_cli("pipeline " + dir_ + "/h263.sdf --verify-each " +
+                                "--passes selftest-unsound");
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.output.find("violated its declaration"), std::string::npos);
+    // Without --verify-each the same pipeline runs to completion.
+    EXPECT_EQ(run_cli("pipeline " + dir_ + "/h263.sdf --passes selftest-unsound")
+                  .exit_code,
+              0);
+}
+
+TEST_F(CliTest, PipelineListShowsTheCatalogue) {
+    const CliResult r = run_cli("pipeline --list");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("selfloops"), std::string::npos);
+    EXPECT_NE(r.output.find("unfold"), std::string::npos);
+    EXPECT_NE(r.output.find("preserves"), std::string::npos);
+    // The unsound self-test pass stays out of the public catalogue.
+    EXPECT_EQ(r.output.find("selftest-unsound"), std::string::npos);
+}
+
 TEST_F(CliTest, LintGuardBlocksBrokenInputs) {
     const std::string path = std::string(SDFRED_DATA_DIR) + "/bad/deadlocked.sdf";
     const CliResult guarded = run_cli("analyze --lint " + path);

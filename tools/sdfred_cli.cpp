@@ -8,6 +8,13 @@
 //   sdfred_cli convert --to FMT FILE [-o OUT]
 //                                         FMT: hsdf | reduced-hsdf | abstract |
 //                                              abstract-sdf | text | xml | dot
+//                                         (--format is accepted as an alias)
+//   sdfred_cli pipeline FILE --passes "SPEC" [-o OUT] [--time-passes]
+//                       [--verify-each] [--dump-after PASS]
+//                                         composable pass pipeline, e.g.
+//                                         --passes "selfloops,prune,hsdf-reduced"
+//                                         (docs/PIPELINE.md)
+//   sdfred_cli pipeline --list            pass catalogue
 //   sdfred_cli unfold N   FILE [-o OUT]   Definition 5 unfolding
 //   sdfred_cli sensitivity FILE           critical actors and slack
 //   sdfred_cli storage     FILE           self-timed channel storage marks
@@ -44,6 +51,7 @@
 // Exit codes: 0 success (for lint: nothing at/above --fail-on), 1 analysis
 // failure or lint findings, 2 bad invocation, 3 unparseable input file,
 // 4 aborted by resource budget.
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <new>
@@ -75,15 +83,13 @@
 #include "lint/lint.hpp"
 #include "lint/registry.hpp"
 #include "lint/render.hpp"
+#include "pass/executor.hpp"
+#include "pass/pipeline.hpp"
+#include "pass/registry.hpp"
 #include "robust/budget.hpp"
 #include "robust/fault.hpp"
 #include "sdf/properties.hpp"
 #include "sdf/repetition.hpp"
-#include "transform/abstraction.hpp"
-#include "transform/hsdf_classic.hpp"
-#include "transform/hsdf_reduced.hpp"
-#include "transform/sdf_abstraction.hpp"
-#include "transform/unfold.hpp"
 #include "verify/fuzz.hpp"
 #include "verify/oracles.hpp"
 
@@ -94,6 +100,17 @@ using namespace sdf;
 bool has_suffix(const std::string& text, const std::string& suffix) {
     return text.size() >= suffix.size() &&
            text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+    std::string joined;
+    for (const std::string& part : parts) {
+        if (!joined.empty()) {
+            joined += sep;
+        }
+        joined += part;
+    }
+    return joined;
 }
 
 Graph load(const std::string& path, SourceMap* locations = nullptr) {
@@ -119,6 +136,9 @@ void save(const Graph& graph, const std::optional<std::string>& out) {
 int usage() {
     std::cerr << "usage: sdfred_cli {info|analyze|deadlock|schedule} FILE\n"
                  "       sdfred_cli convert --to FMT FILE [-o OUT]\n"
+                 "       sdfred_cli pipeline FILE --passes \"SPEC\" [-o OUT]\n"
+                 "                  [--time-passes] [--verify-each] [--dump-after PASS]\n"
+                 "       sdfred_cli pipeline --list\n"
                  "       sdfred_cli unfold N FILE [-o OUT]\n"
                  "       sdfred_cli csdf-analyze FILE.xml\n"
                  "       sdfred_cli csdf-reduce FILE.xml [-o OUT]\n"
@@ -226,7 +246,10 @@ int cmd_analyze(const Graph& g) {
     for (ActorId a = 0; a < g.actor_count(); ++a) {
         std::cout << "  " << g.actor(a).name << ": " << q[a] << "\n";
     }
-    const ThroughputResult t = throughput_symbolic(g);
+    // Served from the graph's AnalysisManager: a preceding consumer of the
+    // symbolic route (the --lint guard, a wrapping tool) pays nothing twice.
+    const auto cached = cached_throughput(g);
+    const ThroughputResult& t = *cached;
     switch (t.outcome) {
         case ThroughputOutcome::deadlocked:
             std::cout << "throughput: graph deadlocks (0)\n";
@@ -318,16 +341,29 @@ int cmd_schedule(const Graph& g) {
 }
 
 int cmd_convert(const Graph& g, const std::string& format,
-                const std::optional<std::string>& out) {
+                const std::optional<std::string>& out,
+                const ExecutionBudget& budget) {
+    // The graph-rewriting formats are one-pass pipelines: convert rides the
+    // same executor as `pipeline`, so budget slicing and analysis adoption
+    // behave identically on both entry points.
+    std::string spec;
     if (format == "hsdf") {
-        save(to_hsdf_classic(g).graph, out);
+        spec = "hsdf-classic";
     } else if (format == "reduced-hsdf") {
-        save(to_hsdf_reduced(g), out);
+        spec = "hsdf-reduced";
     } else if (format == "abstract") {
-        save(abstract_graph(g, abstraction_by_name_suffix(g)), out);
+        spec = "abstraction";
     } else if (format == "abstract-sdf") {
-        save(abstract_sdf(g).abstract, out);
-    } else if (format == "text" || format == "xml" || format == "dot") {
+        spec = "sdf-abstraction";
+    }
+    if (!spec.empty()) {
+        ExecutorOptions options;
+        options.budget = budget;
+        save(PipelineExecutor(std::move(options)).run(parse_pipeline(spec), g).graph,
+             out);
+        return 0;
+    }
+    if (format == "text" || format == "xml" || format == "dot") {
         if (!out) {
             if (format == "xml") {
                 std::cout << write_xml_string(g);
@@ -341,6 +377,146 @@ int cmd_convert(const Graph& g, const std::string& format,
         }
     } else {
         return usage();
+    }
+    return 0;
+}
+
+int cmd_pipeline_list() {
+    std::cout << "pass                     contract     preserves            summary\n";
+    for (const Pass* pass : PassRegistry::instance().list()) {
+        std::string name = pass->name();
+        const std::vector<PassParamSpec> params = pass->params();
+        if (!params.empty()) {
+            name += "(";
+            for (std::size_t i = 0; i < params.size(); ++i) {
+                name += (i > 0 ? "," : "") + params[i].name;
+                if (params[i].default_value) {
+                    name += "=" + std::to_string(*params[i].default_value);
+                }
+            }
+            name += ")";
+        }
+        name.resize(std::max<std::size_t>(name.size(), 23), ' ');
+        // Contracts and preservation sets may be parameter-dependent;
+        // the catalogue shows them for the default parameter values.
+        PassParams defaults;
+        for (const PassParamSpec& param : params) {
+            defaults.set(param.name, param.default_value.value_or(param.minimum.value_or(1)));
+        }
+        std::string contract = period_contract_name(pass->period_contract(defaults));
+        contract.resize(11, ' ');
+        const Preservation preserved = pass->preserved(defaults);
+        std::string kept = preserved.all ? "all" : join(preserved.analyses, ",");
+        if (kept.empty()) {
+            kept = "-";
+        }
+        kept.resize(std::max<std::size_t>(kept.size(), 19), ' ');
+        std::cout << name << "  " << contract << "  " << kept << "  "
+                  << pass->summary() << "\n";
+    }
+    std::cout << "\nspec grammar: NAME[(ARG,...)] joined by ','; ARG is INT or "
+                 "name=INT\nexample: --passes \"selfloops,prune,unfold(2),"
+                 "hsdf-reduced\"  (docs/PIPELINE.md)\n";
+    return 0;
+}
+
+int cmd_pipeline(const std::string& path, const std::string& spec, bool verify_each,
+                 bool time_passes, const std::optional<std::string>& dump_after,
+                 const std::optional<std::string>& out,
+                 const ExecutionBudget& budget) {
+    Pipeline pipeline;
+    try {
+        pipeline = parse_pipeline(spec);
+    } catch (const PipelineParseError& e) {
+        std::cerr << "pipeline spec error [" << pipeline_error_kind_name(e.kind())
+                  << "]: " << e.what() << "\n"
+                  << "see: sdfred_cli pipeline --list\n";
+        return 2;
+    }
+    const Graph input = load(path);
+    ExecutorOptions options;
+    options.budget = budget;
+    options.verify_each = verify_each;
+    if (dump_after) {
+        options.after_pass = [&dump_after](const Graph& graph,
+                                           const PassReport& report) {
+            const std::string name =
+                report.invocation.substr(0, report.invocation.find('('));
+            if (name == *dump_after) {
+                std::cout << "--- after " << report.invocation << " ---\n";
+                write_text(std::cout, graph);
+                std::cout << "--- end ---\n";
+            }
+        };
+    }
+    if (verify_each) {
+        // Beyond the executor's built-in contract/preservation checks, put
+        // the intermediate graph of every step through the full differential
+        // oracle registry; a failing verdict aborts the pipeline loudly.
+        options.verify_hook = [](const Graph& graph, const PassReport& report) {
+            for (const Oracle& oracle : oracle_registry()) {
+                const Verdict verdict = run_oracle(oracle, graph);
+                if (verdict.failed()) {
+                    throw PipelineVerificationError(
+                        "oracle '" + oracle.id + "' failed after pass '" +
+                        report.invocation + "':\n" + verdict.describe());
+                }
+            }
+        };
+    }
+    const PipelineRun run = PipelineExecutor(std::move(options)).run(pipeline, input);
+    std::cout << "pipeline: " << pipeline.to_string() << "\n";
+    for (const PassReport& report : run.reports) {
+        std::cout << "  " << report.invocation << ": "
+                  << (report.changed ? "changed" : "no change");
+        for (const auto& [key, value] : report.stats) {
+            std::cout << ", " << key << "=" << value;
+        }
+        std::cout << " -> " << report.actors << " actors, " << report.channels
+                  << " channels";
+        if (!report.carried.empty()) {
+            std::cout << "  [carried: " << join(report.carried, ", ") << "]";
+        }
+        if (report.verified) {
+            std::cout << "  [verified]";
+        }
+        if (time_passes) {
+            std::cout << "  (" << report.used.wall_ms << " ms";
+            if (report.used.steps > 0) {
+                std::cout << ", " << report.used.steps << " steps";
+            }
+            if (report.used.accounted_bytes > 0) {
+                std::cout << ", " << report.used.accounted_bytes << " bytes";
+            }
+            std::cout << ")";
+        }
+        std::cout << "\n";
+    }
+    if (time_passes) {
+        std::cout << "total: " << run.total.wall_ms << " ms, " << run.total.steps
+                  << " steps, " << run.total.accounted_bytes << " accounted bytes\n";
+    }
+    std::cout << "final graph: " << run.graph.actor_count() << " actors, "
+              << run.graph.channel_count() << " channels\n";
+    if (!is_consistent(run.graph)) {
+        std::cout << "final graph is inconsistent: no throughput\n";
+        return 1;
+    }
+    const auto throughput = cached_throughput(run.graph);
+    switch (throughput->outcome) {
+        case ThroughputOutcome::deadlocked:
+            std::cout << "throughput: graph deadlocks (0)\n";
+            break;
+        case ThroughputOutcome::unbounded:
+            std::cout << "throughput: unbounded (no constraining cycle)\n";
+            break;
+        case ThroughputOutcome::finite:
+            std::cout << "iteration period: " << throughput->period.to_string()
+                      << "\n";
+            break;
+    }
+    if (out) {
+        save(run.graph, out);
     }
     return 0;
 }
@@ -481,6 +657,10 @@ int main(int argc, char** argv) {
         bool governed = false;  // any budget flag seen
         FuzzOptions fuzz_options;
         fuzz_options.log = &std::cout;
+        std::optional<std::string> passes_spec;
+        std::optional<std::string> dump_after;
+        bool time_passes = false;
+        bool verify_each = false;
         std::vector<std::string> positional;
         for (std::size_t i = 1; i < args.size(); ++i) {
             if (args[i] == "-o" && i + 1 < args.size()) {
@@ -547,13 +727,28 @@ int main(int argc, char** argv) {
                     return usage();
                 }
                 governed = true;
+            } else if (args[i] == "--passes" && i + 1 < args.size()) {
+                passes_spec = args[++i];
+            } else if (args[i].rfind("--passes=", 0) == 0) {
+                passes_spec = args[i].substr(9);
+            } else if (args[i] == "--dump-after" && i + 1 < args.size()) {
+                dump_after = args[++i];
+            } else if (args[i].rfind("--dump-after=", 0) == 0) {
+                dump_after = args[i].substr(13);
+            } else if (args[i] == "--time-passes") {
+                time_passes = true;
+            } else if (args[i] == "--verify-each") {
+                verify_each = true;
             } else if (args[i] == "--no-shrink") {
                 fuzz_options.shrink = false;
             } else if (args[i] == "--self-test") {
                 self_test = true;
             } else if (args[i] == "--format" && i + 1 < args.size()) {
+                // For lint this picks the report format; for convert it is
+                // an alias of --to (a format of the output graph).
                 lint_format = args[++i];
-                if (*lint_format != "text" && *lint_format != "json") {
+                if (command == "lint" && *lint_format != "text" &&
+                    *lint_format != "json") {
                     return usage();
                 }
             } else if (args[i] == "--rules" && i + 1 < args.size()) {
@@ -614,17 +809,36 @@ int main(int argc, char** argv) {
         if (command == "schedule" && positional.size() == 1) {
             return cmd_schedule(load(positional[0]));
         }
-        if (command == "convert" && positional.size() == 1 && format) {
-            const Graph g = load(positional[0]);
-            // Conversions have no bound to degrade to: the budget either
-            // fits or the command aborts with exit code 4.
-            std::optional<Governor> governor;
-            std::optional<GovernorScope> scope;
-            if (governed) {
-                governor.emplace(govern_options.budget, govern_options.token);
-                scope.emplace(*governor);
+        if (command == "pipeline" && list_rules && positional.empty()) {
+            return cmd_pipeline_list();
+        }
+        if (command == "pipeline" && positional.size() == 1) {
+            if (!passes_spec) {
+                std::cerr << "error: pipeline requires --passes \"SPEC\", e.g. "
+                             "--passes \"selfloops,prune,hsdf-reduced\"\n"
+                             "see: sdfred_cli pipeline --list\n";
+                return 2;
             }
-            return cmd_convert(g, *format, out);
+            // Conversions have no bound to degrade to: the budget either
+            // fits or the pipeline aborts with exit code 4.
+            return cmd_pipeline(positional[0], *passes_spec, verify_each, time_passes,
+                                dump_after, out, govern_options.budget);
+        }
+        if (command == "convert" && positional.size() == 1) {
+            if (!format) {
+                // --format doubles as the lint report format, so it lands in
+                // lint_format; accept it as the conversion target here.
+                format = lint_format;
+            }
+            if (!format) {
+                std::cerr << "error: convert requires an output format\n"
+                             "  add --to FMT (alias: --format FMT) with FMT one of:\n"
+                             "  hsdf | reduced-hsdf | abstract | abstract-sdf | "
+                             "text | xml | dot\n";
+                return 2;
+            }
+            return cmd_convert(load(positional[0]), *format, out,
+                               govern_options.budget);
         }
         if (command == "pareto" && positional.size() == 1) {
             return cmd_pareto(load(positional[0]));
@@ -650,7 +864,15 @@ int main(int argc, char** argv) {
             if (guard && !lint_guard_passes(positional[1])) {
                 return 1;
             }
-            save(unfold(load(positional[1]), *n), out);
+            // Unfolding is the unfold(n) pass: ride the executor so budget
+            // flags govern it like every other transformation.
+            ExecutorOptions options;
+            options.budget = govern_options.budget;
+            save(PipelineExecutor(std::move(options))
+                     .run(parse_pipeline("unfold(" + std::to_string(*n) + ")"),
+                          load(positional[1]))
+                     .graph,
+                 out);
             return 0;
         }
         return usage();
