@@ -1,0 +1,226 @@
+// bench_absint — cost and precision of the abstract-interpretation layer
+// (src/absint) on the structured workload families.
+//
+// Two questions the static-analysis milestone cares about:
+//  * how the interval solver scales with graph size (chain(N) and
+//    fork_join(N) sweeps: solver wall time and abstract transfer count),
+//  * how tight the certified buffer bounds are against observed reality
+//    (gap = certified bound / simulated peak occupancy, >= 1, 1 = exact).
+//
+// The "simulated peak" is a deterministic round-robin admissible execution
+// long enough to cycle the graph several iterations — a lower bound on the
+// true worst case, so the reported gap is an upper bound on the real gap.
+//
+// Flags (see docs/PERFORMANCE.md):
+//   --json FILE   write a BENCH_absint.json report and skip the
+//                 google-benchmark run
+//   --reps N      repetitions per measurement (default 5)
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "absint/certificate.hpp"
+#include "absint/token_intervals.hpp"
+#include "base/thread_pool.hpp"
+#include "bench_json.hpp"
+#include "gen/structured.hpp"
+
+namespace {
+
+using namespace sdf;
+
+/// Deterministic admissible execution: round-robin over the actors, firing
+/// each enabled one once per sweep, for `sweeps` sweeps.  Returns the peak
+/// token count observed per channel (initial state included).
+std::vector<Int> simulated_peaks(const Graph& g, int sweeps) {
+    std::vector<Int> tokens(g.channel_count());
+    std::vector<Int> peak(g.channel_count());
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        tokens[c] = g.channel(c).initial_tokens;
+        peak[c] = tokens[c];
+    }
+    for (int s = 0; s < sweeps; ++s) {
+        for (ActorId a = 0; a < g.actor_count(); ++a) {
+            bool enabled = true;
+            for (ChannelId c = 0; c < g.channel_count() && enabled; ++c) {
+                enabled = g.channel(c).dst != a ||
+                          tokens[c] >= g.channel(c).consumption;
+            }
+            if (!enabled) {
+                continue;
+            }
+            for (ChannelId c = 0; c < g.channel_count(); ++c) {
+                if (g.channel(c).dst == a) {
+                    tokens[c] -= g.channel(c).consumption;
+                }
+                if (g.channel(c).src == a) {
+                    tokens[c] += g.channel(c).production;
+                }
+                peak[c] = std::max(peak[c], tokens[c]);
+            }
+        }
+    }
+    return peak;
+}
+
+struct AbsintReport {
+    std::string name;
+    std::size_t actors = 0;
+    std::size_t channels = 0;
+    std::uint64_t solver_steps = 0;
+    std::size_t bounded_channels = 0;   // channels with a finite certified bound
+    std::size_t exact_channels = 0;     // certified bound == simulated peak
+    double mean_gap = 0;                // mean bound/peak over bounded channels
+    double max_gap = 0;
+    bool certificate_verified = false;
+    sdfbench::Stats solve;              // token_intervals
+    sdfbench::Stats certify;            // certify + independent verify
+};
+
+AbsintReport measure(const std::string& name, const Graph& g, int reps) {
+    AbsintReport r;
+    r.name = name;
+    r.actors = g.actor_count();
+    r.channels = g.channel_count();
+
+    const absint::TokenIntervals ti = absint::token_intervals(g);
+    r.solver_steps = ti.solver_steps;
+    const absint::CertifiedBounds certified = absint::certify_buffer_bounds(g, ti);
+    r.certificate_verified = absint::verify_certificate(g, certified).ok;
+
+    const std::vector<Int> peaks = simulated_peaks(g, 16);
+    double gap_sum = 0;
+    for (const absint::BoundCertificate& cert : certified.certificates) {
+        if (!cert.bound.has_value() || peaks[cert.channel] <= 0) {
+            continue;
+        }
+        r.bounded_channels += 1;
+        const double gap = static_cast<double>(*cert.bound) /
+                           static_cast<double>(peaks[cert.channel]);
+        r.exact_channels += *cert.bound == peaks[cert.channel] ? 1 : 0;
+        gap_sum += gap;
+        r.max_gap = std::max(r.max_gap, gap);
+    }
+    r.mean_gap = r.bounded_channels > 0
+                     ? gap_sum / static_cast<double>(r.bounded_channels)
+                     : 0.0;
+
+    r.solve = sdfbench::measure_ms(reps, [&] {
+        benchmark::DoNotOptimize(absint::token_intervals(g));
+    });
+    r.certify = sdfbench::measure_ms(reps, [&] {
+        const absint::CertifiedBounds bounds = absint::certify_buffer_bounds(g, ti);
+        benchmark::DoNotOptimize(absint::verify_certificate(g, bounds));
+    });
+    return r;
+}
+
+std::vector<std::pair<std::string, Graph>> workloads() {
+    std::vector<std::pair<std::string, Graph>> cases;
+    for (const Int n : {4, 8, 16, 32, 64}) {
+        cases.emplace_back("chain(" + std::to_string(n) + ")",
+                           chain_graph(std::vector<Int>(static_cast<std::size_t>(n), 1),
+                                       2));
+    }
+    for (const Int w : {2, 4, 8, 16, 32}) {
+        cases.emplace_back("fork_join(" + std::to_string(w) + ")",
+                           fork_join_graph(w, 1, 2));
+    }
+    return cases;
+}
+
+void print_table(const std::vector<AbsintReport>& reports) {
+    std::printf("Interval solver scaling and certified-bound tightness "
+                "(gap = bound / simulated peak, 1 = exact)\n");
+    std::printf("%-16s %7s %9s %11s %9s %9s %9s %10s\n", "model", "actors",
+                "channels", "steps", "mean gap", "max gap", "exact", "solve ms");
+    for (const AbsintReport& r : reports) {
+        std::printf("%-16s %7zu %9zu %11llu %9.3f %9.3f %6zu/%-3zu %10.3f\n",
+                    r.name.c_str(), r.actors, r.channels,
+                    static_cast<unsigned long long>(r.solver_steps), r.mean_gap,
+                    r.max_gap, r.exact_channels, r.bounded_channels,
+                    r.solve.median_ms);
+    }
+    std::printf("\n");
+}
+
+void write_json(const std::string& path, const std::vector<AbsintReport>& reports,
+                int reps) {
+    std::ofstream out(path);
+    out << "{\n";
+    out << "  \"bench\": \"bench_absint\",\n";
+    out << "  \"threads\": " << global_thread_pool().size() << ",\n";
+    out << "  \"reps\": " << reps << ",\n";
+    out << "  \"models\": [\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const AbsintReport& r = reports[i];
+        out << "    {\n";
+        out << "      \"name\": \"" << sdfbench::json_escape(r.name) << "\",\n";
+        out << "      \"actors\": " << r.actors << ",\n";
+        out << "      \"channels\": " << r.channels << ",\n";
+        out << "      \"solver_steps\": " << r.solver_steps << ",\n";
+        out << "      \"bounded_channels\": " << r.bounded_channels << ",\n";
+        out << "      \"exact_channels\": " << r.exact_channels << ",\n";
+        out << "      \"mean_gap\": " << sdfbench::json_num(r.mean_gap) << ",\n";
+        out << "      \"max_gap\": " << sdfbench::json_num(r.max_gap) << ",\n";
+        out << "      \"certificate_verified\": "
+            << (r.certificate_verified ? "true" : "false") << ",\n";
+        out << "      \"baseline_solve\": " << sdfbench::stats_json(r.solve) << ",\n";
+        out << "      \"optimized_certify\": " << sdfbench::stats_json(r.certify)
+            << "\n";
+        out << "    }" << (i + 1 < reports.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n";
+    out << "}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+void BM_IntervalSolve(benchmark::State& state) {
+    const auto cases = workloads();
+    const auto& [name, g] = cases[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(absint::token_intervals(g));
+    }
+    state.SetLabel(name);
+}
+
+void BM_CertifyAndVerify(benchmark::State& state) {
+    const auto cases = workloads();
+    const auto& [name, g] = cases[static_cast<std::size_t>(state.range(0))];
+    const absint::TokenIntervals ti = absint::token_intervals(g);
+    for (auto _ : state) {
+        const absint::CertifiedBounds bounds = absint::certify_buffer_bounds(g, ti);
+        benchmark::DoNotOptimize(absint::verify_certificate(g, bounds));
+    }
+    state.SetLabel(name);
+}
+
+BENCHMARK(BM_IntervalSolve)->DenseRange(0, 9);
+BENCHMARK(BM_CertifyAndVerify)->DenseRange(0, 9);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string json_path = sdfbench::consume_flag(argc, argv, "--json", "");
+    const int reps = std::max(1, std::atoi(
+        sdfbench::consume_flag(argc, argv, "--reps", "5").c_str()));
+
+    std::vector<AbsintReport> reports;
+    for (const auto& [name, g] : workloads()) {
+        reports.push_back(measure(name, g, reps));
+    }
+    print_table(reports);
+
+    if (!json_path.empty()) {
+        write_json(json_path, reports, reps);
+        return 0;
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,198 @@
+#include "absint/certificate.hpp"
+
+#include <map>
+
+#include "robust/budget.hpp"
+
+namespace sdf::absint {
+
+CertifiedBounds certify_buffer_bounds(const Graph& graph, const TokenIntervals& intervals) {
+    CertifiedBounds result;
+    result.intervals = intervals.channels;
+    result.caps = intervals.caps;
+    result.invariants = intervals.invariants;
+    result.certificates.reserve(graph.channel_count());
+    for (ChannelId id = 0; id < graph.channel_count(); ++id) {
+        result.certificates.push_back({id, intervals.channels[id].hi});
+    }
+    return result;
+}
+
+namespace {
+
+CertificateCheck fail(std::string reason) { return {false, std::move(reason)}; }
+
+/// Obligation 1: the invariant is self-proving (see header).  Returns the
+/// failure, or std::nullopt when the invariant holds.
+std::optional<CertificateCheck> check_invariant(const Graph& graph,
+                                                const CycleInvariant& invariant,
+                                                std::size_t index) {
+    const std::string tag = "invariant #" + std::to_string(index);
+    if (invariant.channels.empty() ||
+        invariant.channels.size() != invariant.weights.size()) {
+        return fail(tag + ": malformed channel/weight lists");
+    }
+    std::vector<char> used(graph.channel_count(), 0);
+    Rational constant(0);
+    std::map<ActorId, Rational> net_flow;
+    for (std::size_t i = 0; i < invariant.channels.size(); ++i) {
+        const ChannelId id = invariant.channels[i];
+        if (id >= graph.channel_count()) {
+            return fail(tag + ": channel id out of range");
+        }
+        if (used[id]) {
+            return fail(tag + ": duplicate channel");
+        }
+        used[id] = 1;
+        const Rational& weight = invariant.weights[i];
+        if (!(weight > Rational(0))) {
+            return fail(tag + ": non-positive weight");
+        }
+        const Channel& ch = graph.channel(id);
+        constant += weight * Rational(ch.initial_tokens);
+        net_flow[ch.src] += weight * Rational(ch.production);
+        net_flow[ch.dst] -= weight * Rational(ch.consumption);
+    }
+    if (constant != invariant.constant) {
+        return fail(tag + ": constant does not match weighted initial tokens");
+    }
+    for (const auto& [actor, net] : net_flow) {
+        if (!net.is_zero()) {
+            return fail(tag + ": weighted flow does not cancel at actor '" +
+                        graph.actor(actor).name + "'");
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+CertificateCheck verify_certificate(const Graph& graph, const CertifiedBounds& certified) {
+    try {
+        const std::size_t channel_count = graph.channel_count();
+        const std::size_t actor_count = graph.actor_count();
+        if (certified.intervals.size() != channel_count ||
+            certified.caps.size() != channel_count ||
+            certified.certificates.size() != channel_count) {
+            return fail("certificate does not cover every channel");
+        }
+
+        // Well-formed intervals containing the initial state.
+        for (ChannelId id = 0; id < channel_count; ++id) {
+            const Interval& iv = certified.intervals[id];
+            if (iv.lo < 0 || !upper_le(UpperBound{iv.lo}, iv.hi)) {
+                return fail("channel " + std::to_string(id) + ": malformed interval " +
+                            iv.to_string());
+            }
+            if (!iv.contains(graph.channel(id).initial_tokens)) {
+                return fail("channel " + std::to_string(id) + ": initial tokens " +
+                            std::to_string(graph.channel(id).initial_tokens) +
+                            " outside invariant " + iv.to_string());
+            }
+        }
+
+        // Obligation 1: every cycle invariant is self-proving.
+        for (std::size_t i = 0; i < certified.invariants.size(); ++i) {
+            SDFRED_CHECKPOINT();
+            if (auto failed = check_invariant(graph, certified.invariants[i], i)) {
+                return *failed;
+            }
+        }
+
+        // Obligation 2: every cap is dominated by a proven per-channel bound.
+        std::vector<std::optional<Int>> proven(channel_count, std::nullopt);
+        for (const CycleInvariant& invariant : certified.invariants) {
+            for (std::size_t i = 0; i < invariant.channels.size(); ++i) {
+                const ChannelId id = invariant.channels[i];
+                const Int bound = (invariant.constant / invariant.weights[i]).floor();
+                if (!proven[id].has_value() || bound < *proven[id]) {
+                    proven[id] = bound;
+                }
+            }
+        }
+        for (ChannelId id = 0; id < channel_count; ++id) {
+            if (!certified.caps[id].has_value()) {
+                continue;
+            }
+            if (!proven[id].has_value() || *certified.caps[id] < *proven[id]) {
+                return fail("channel " + std::to_string(id) + ": cap " +
+                            std::to_string(*certified.caps[id]) +
+                            " is not justified by any invariant");
+            }
+        }
+
+        // Obligation 3: the interval set is inductive under abstract firing.
+        std::vector<std::vector<ChannelId>> in(actor_count);
+        std::vector<std::vector<ChannelId>> out(actor_count);
+        for (ChannelId id = 0; id < channel_count; ++id) {
+            in[graph.channel(id).dst].push_back(id);
+            out[graph.channel(id).src].push_back(id);
+        }
+        std::vector<Interval> post(channel_count);
+        std::vector<char> touched(channel_count, 0);
+        for (ActorId actor = 0; actor < actor_count; ++actor) {
+            SDFRED_CHECKPOINT();
+            bool enabled = true;
+            for (const ChannelId id : in[actor]) {
+                if (!upper_le(UpperBound{graph.channel(id).consumption},
+                              certified.intervals[id].hi)) {
+                    enabled = false;
+                    break;
+                }
+            }
+            if (!enabled) {
+                continue;
+            }
+            for (const ChannelId id : in[actor]) {
+                post[id] = shift_consume(certified.intervals[id],
+                                         graph.channel(id).consumption);
+                touched[id] = 1;
+            }
+            for (const ChannelId id : out[actor]) {
+                const Interval& base = touched[id] ? post[id] : certified.intervals[id];
+                post[id] = shift_produce(base, graph.channel(id).production);
+                touched[id] = 1;
+            }
+            auto check_contained = [&](ChannelId id) -> bool {
+                if (!touched[id]) {
+                    return true;
+                }
+                touched[id] = 0;
+                Interval effective = post[id];
+                if (certified.caps[id].has_value()) {
+                    effective = meet_cap(effective, *certified.caps[id]);
+                }
+                return effective.inside(certified.intervals[id]);
+            };
+            for (const ChannelId id : in[actor]) {
+                if (!check_contained(id)) {
+                    return fail("firing '" + graph.actor(actor).name +
+                                "' escapes the invariant on channel " + std::to_string(id));
+                }
+            }
+            for (const ChannelId id : out[actor]) {
+                if (!check_contained(id)) {
+                    return fail("firing '" + graph.actor(actor).name +
+                                "' escapes the invariant on channel " + std::to_string(id));
+                }
+            }
+        }
+
+        // Obligation 4: certified bounds dominate the interval upper bounds.
+        for (ChannelId id = 0; id < channel_count; ++id) {
+            const BoundCertificate& cert = certified.certificates[id];
+            if (cert.channel != id) {
+                return fail("certificate list is not in channel order");
+            }
+            if (!upper_le(certified.intervals[id].hi, cert.bound)) {
+                return fail("channel " + std::to_string(id) + ": claimed bound is below " +
+                            "the proven interval " + certified.intervals[id].to_string());
+            }
+        }
+        return {};
+    } catch (const ArithmeticError& error) {
+        return fail(std::string("arithmetic overflow while checking: ") + error.what());
+    }
+}
+
+}  // namespace sdf::absint

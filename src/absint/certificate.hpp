@@ -1,0 +1,81 @@
+// certificate.hpp — machine-checkable buffer-bound certificates.
+//
+// certify_buffer_bounds() packages the token-interval fixpoint as a
+// proof-carrying claim: per channel a capacity bound together with the
+// evidence needed to re-establish it WITHOUT re-running (or trusting) the
+// solver.  verify_certificate() is that independent checker.  It accepts a
+// certificate exactly when
+//
+//   1. the cycle invariants are self-proving: every weight is positive,
+//      the claimed constant equals the weighted initial-token sum, and the
+//      weighted production/consumption flows cancel at every actor — so
+//      the weighted token sum is preserved by EVERY firing (induction) and
+//      each member channel obeys tokens <= floor(constant / weight)
+//      because all other terms are non-negative;
+//   2. every structural cap is dominated by a bound those invariants prove;
+//   3. the interval set is inductive: it contains the initial state, and
+//      the abstract post-state of every abstractly enabled actor (met with
+//      the caps) stays inside it;
+//   4. each certified bound dominates its channel's interval upper bound.
+//
+// Together 1–4 prove that every admissible execution keeps every channel
+// inside its interval, hence below its certified bound.  The checker never
+// reads the repetition vector, the solver, or any other analysis — the
+// balance equations enter only through the flow-cancellation check, which
+// is verified arithmetic, not an assumption.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "absint/token_intervals.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf::absint {
+
+/// The per-channel claim: token count never exceeds `bound` (nullopt = no
+/// finite bound certified).
+struct BoundCertificate {
+    ChannelId channel = 0;
+    std::optional<Int> bound;
+
+    friend bool operator==(const BoundCertificate&, const BoundCertificate&) = default;
+};
+
+/// A full certificate: claims plus inlined inductive evidence.
+struct CertifiedBounds {
+    std::vector<BoundCertificate> certificates;  ///< one per channel, in id order
+    std::vector<Interval> intervals;             ///< the inductive invariant set
+    std::vector<std::optional<Int>> caps;        ///< structural caps used by the meet
+    std::vector<CycleInvariant> invariants;      ///< proofs behind the caps
+
+    friend bool operator==(const CertifiedBounds&, const CertifiedBounds&) = default;
+};
+
+/// Packages a token-interval fixpoint as a certificate (bound = interval
+/// upper bound per channel).
+CertifiedBounds certify_buffer_bounds(const Graph& graph, const TokenIntervals& intervals);
+
+struct CertificateCheck {
+    bool ok = true;
+    std::string reason;  ///< first failed obligation, empty when ok
+};
+
+/// The independent checker (see file comment).  Never throws on a malformed
+/// certificate — malformedness is just a failed check.
+CertificateCheck verify_certificate(const Graph& graph, const CertifiedBounds& certified);
+
+/// AnalysisManager slot: certified bounds derived from the cached
+/// token-interval fixpoint.  Channel-indexed, like TokenIntervalsAnalysis.
+struct BufferBoundsAnalysis {
+    using Result = CertifiedBounds;
+    static constexpr const char* kName = "buffer-bounds";
+    static constexpr bool kTimeSensitive = false;
+    static Result compute(const Graph& graph) {
+        return certify_buffer_bounds(graph,
+                                     *graph.analyses()->get<TokenIntervalsAnalysis>(graph));
+    }
+};
+
+}  // namespace sdf::absint

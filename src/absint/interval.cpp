@@ -1,0 +1,12 @@
+#include "absint/interval.hpp"
+
+namespace sdf::absint {
+
+std::string Interval::to_string() const {
+    std::string out = "[" + std::to_string(lo) + ", ";
+    out += hi.has_value() ? std::to_string(*hi) : std::string("inf");
+    out += hi.has_value() ? "]" : ")";
+    return out;
+}
+
+}  // namespace sdf::absint

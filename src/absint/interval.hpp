@@ -1,0 +1,128 @@
+// interval.hpp — the token-count interval lattice.
+//
+// The abstract domain for channel occupancy: a pair [lo, hi] with
+// 0 <= lo <= hi and hi possibly +inf (represented as an empty optional).
+// Token counts are never negative, so the lattice bottoms out at [0, 0] per
+// bound and tops out at [0, +inf).  All bound arithmetic goes through the
+// checked-int64 helpers; overflow of an *upper* bound saturates to +inf and
+// overflow of a *lower* bound saturates to INT64_MAX — both directions keep
+// the interval a sound over-approximation of the concrete count.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "base/checked.hpp"
+
+namespace sdf::absint {
+
+/// An upper bound on a token count: a finite value or +inf (nullopt).
+using UpperBound = std::optional<Int>;
+
+/// True when a <= b, treating nullopt as +inf.
+inline bool upper_le(const UpperBound& a, const UpperBound& b) {
+    if (!b.has_value()) {
+        return true;
+    }
+    return a.has_value() && *a <= *b;
+}
+
+/// min(a, b) with nullopt as +inf.
+inline UpperBound upper_min(const UpperBound& a, const UpperBound& b) {
+    return upper_le(a, b) ? a : b;
+}
+
+/// max(a, b) with nullopt as +inf.
+inline UpperBound upper_max(const UpperBound& a, const UpperBound& b) {
+    return upper_le(a, b) ? b : a;
+}
+
+/// A token-count invariant [lo, hi]; hi == nullopt means unbounded above.
+struct Interval {
+    Int lo = 0;
+    UpperBound hi = Int{0};
+
+    [[nodiscard]] static Interval exact(Int value) { return {value, value}; }
+    [[nodiscard]] static Interval top() { return {0, std::nullopt}; }
+
+    [[nodiscard]] bool is_bounded() const { return hi.has_value(); }
+    [[nodiscard]] bool contains(Int value) const {
+        return value >= lo && upper_le(UpperBound{value}, hi);
+    }
+    /// Containment in the lattice order: *this inside `other`.
+    [[nodiscard]] bool inside(const Interval& other) const {
+        return lo >= other.lo && upper_le(hi, other.hi);
+    }
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Least upper bound (interval hull).
+inline Interval join(const Interval& a, const Interval& b) {
+    return {a.lo < b.lo ? a.lo : b.lo, upper_max(a.hi, b.hi)};
+}
+
+/// Meet with the structural cap [0, cap]: clamps both bounds to cap.  Used
+/// to fold cycle-invariant capacity proofs into the solver state; with a
+/// sound cap the clamp of lo never actually fires (lo <= d <= cap), but
+/// clamping keeps the interval well-formed even against an unsound caller.
+inline Interval meet_cap(const Interval& a, Int cap) {
+    return {a.lo < cap ? a.lo : cap, upper_min(a.hi, UpperBound{cap})};
+}
+
+/// Classic interval widening: any bound that moved jumps straight to the
+/// lattice extreme (lo to 0, hi to +inf).  The solver re-applies the
+/// structural caps afterwards, so widened channels on cycles land on their
+/// proven capacity instead of +inf.
+inline Interval widen(const Interval& old_iv, const Interval& new_iv) {
+    Interval result = new_iv;
+    if (new_iv.lo < old_iv.lo) {
+        result.lo = 0;
+    }
+    if (!upper_le(new_iv.hi, old_iv.hi)) {
+        result.hi = std::nullopt;
+    }
+    return result;
+}
+
+/// Abstract production: tokens += p.  Overflow saturates soundly (see file
+/// comment).
+inline Interval shift_produce(const Interval& iv, Int production) {
+    Interval result;
+    try {
+        result.lo = checked_add(iv.lo, production);
+    } catch (const ArithmeticError&) {
+        result.lo = std::numeric_limits<Int>::max();
+    }
+    if (iv.hi.has_value()) {
+        try {
+            result.hi = checked_add(*iv.hi, production);
+        } catch (const ArithmeticError&) {
+            result.hi = std::nullopt;
+        }
+    } else {
+        result.hi = std::nullopt;
+    }
+    return result;
+}
+
+/// Abstract consumption: tokens -= c, guarded by tokens >= c.  The lower
+/// bound is first raised to c (the firing requires that many tokens), so
+/// the result never dips below zero.  Rates and counts are non-negative,
+/// hence the subtractions cannot overflow.
+inline Interval shift_consume(const Interval& iv, Int consumption) {
+    Interval result;
+    const Int guarded_lo = iv.lo > consumption ? iv.lo : consumption;
+    result.lo = guarded_lo - consumption;
+    if (iv.hi.has_value()) {
+        result.hi = *iv.hi - consumption;
+    } else {
+        result.hi = std::nullopt;
+    }
+    return result;
+}
+
+}  // namespace sdf::absint

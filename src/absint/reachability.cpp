@@ -1,0 +1,117 @@
+#include "absint/reachability.hpp"
+
+#include "robust/budget.hpp"
+
+namespace sdf::absint {
+
+namespace {
+
+/// Round cap for the descending phase: a descending iteration is sound
+/// wherever it stops, and contraction ratios p/c close to 1 can make exact
+/// convergence dawdle — 64 rounds pins every practically relevant bound.
+constexpr std::uint64_t kMaxRounds = 64;
+
+/// Ascending can-ever-fire fixpoint (least fixpoint, exact over its
+/// abstraction): actor a can fire iff every input channel either already
+/// holds enough tokens (d >= c) or is fed by an actor that can fire — a
+/// producer that fires at all can be fired again and again in an admissible
+/// prefix, so its channel supplies unboundedly many tokens.  Computed
+/// first, because the descending phase alone converges to the GREATEST
+/// fixpoint and would leave a zero-token cycle mutually justified at +inf.
+std::vector<char> can_ever_fire(const Graph& graph,
+                                const std::vector<std::vector<ChannelId>>& in) {
+    const std::size_t actor_count = graph.actor_count();
+    std::vector<char> fires(actor_count, 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (ActorId actor = 0; actor < actor_count; ++actor) {
+            if (fires[actor]) {
+                continue;
+            }
+            SDFRED_CHECKPOINT();
+            bool enabled = true;
+            for (const ChannelId id : in[actor]) {
+                const Channel& ch = graph.channel(id);
+                if (!fires[ch.src] && ch.initial_tokens < ch.consumption) {
+                    enabled = false;
+                    break;
+                }
+            }
+            if (enabled) {
+                fires[actor] = 1;
+                changed = true;
+            }
+        }
+    }
+    return fires;
+}
+
+/// floor((d + p·n) / c) with +inf (nullopt) propagation; overflow of the
+/// exact value is reported as +inf, which is always a sound upper bound.
+std::optional<Int> supply_bound(const Channel& ch, const std::optional<Int>& src_firings) {
+    if (!src_firings.has_value()) {
+        return std::nullopt;
+    }
+    try {
+        const Int available = checked_add(ch.initial_tokens,
+                                          checked_mul(ch.production, *src_firings));
+        return floor_div(available, ch.consumption);
+    } catch (const ArithmeticError&) {
+        return std::nullopt;
+    }
+}
+
+bool lt(const std::optional<Int>& a, const std::optional<Int>& b) {
+    if (!b.has_value()) {
+        return a.has_value();
+    }
+    return a.has_value() && *a < *b;
+}
+
+}  // namespace
+
+Reachability compute_reachability(const Graph& graph) {
+    const std::size_t actor_count = graph.actor_count();
+    Reachability result;
+    result.max_firings.assign(actor_count, std::nullopt);
+
+    std::vector<std::vector<ChannelId>> in(actor_count);
+    for (ChannelId id = 0; id < graph.channel_count(); ++id) {
+        in[graph.channel(id).dst].push_back(id);
+    }
+
+    // Phase 1 (ascending): pin provably dead actors at exactly 0 firings.
+    const std::vector<char> fires = can_ever_fire(graph, in);
+    for (ActorId actor = 0; actor < actor_count; ++actor) {
+        if (!fires[actor]) {
+            result.max_firings[actor] = 0;
+        }
+    }
+
+    // Phase 2 (descending): propagate the cumulative-token firing bounds.
+    // Every candidate is >= 0, so the pinned zeros can only stay put.
+    bool changed = true;
+    while (changed && result.rounds < kMaxRounds) {
+        changed = false;
+        ++result.rounds;
+        for (ActorId actor = 0; actor < actor_count; ++actor) {
+            SDFRED_CHECKPOINT();
+            std::optional<Int> bound;  // +inf
+            for (const ChannelId id : in[actor]) {
+                const Channel& ch = graph.channel(id);
+                const std::optional<Int> via = supply_bound(ch, result.max_firings[ch.src]);
+                if (lt(via, bound)) {
+                    bound = via;
+                }
+            }
+            if (lt(bound, result.max_firings[actor])) {
+                result.max_firings[actor] = bound;
+                changed = true;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace sdf::absint

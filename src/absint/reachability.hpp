@@ -1,0 +1,59 @@
+// reachability.hpp — which actors can ever fire, and how often.
+//
+// A descending abstract iteration computing a sound UPPER bound on the
+// total number of firings each actor can perform across any admissible
+// execution (finite or not; nullopt = unbounded).  The bound transfer is
+// the cumulative-token inequality: if actor a fires N(a) times, every input
+// channel (s, a, p, c, d) must have supplied the consumed tokens,
+//
+//     N(a) · c  <=  d + p · N(s)      =>      N(a) <= floor((d + p·N(s)) / c)
+//
+// Starting every actor at +inf and iterating the min over its inputs is a
+// descending Kleene sequence; EVERY prefix of a descending iteration is
+// already sound, so the solver may stop after a fixed number of rounds
+// (geometric convergence can dawdle when p/c is close to 1) without risking
+// unsoundness — only precision.
+//
+// An actor with bound 0 provably never fires: that is the dead-actor fact
+// behind lint rule SDF018, and `max_firings[a] < q(a)` proves the graph
+// cannot complete one iteration — guaranteed deadlock (SDF021).
+//
+// Unlike the token-interval result this is actor-indexed and insensitive to
+// channel renumbering, and redundant parallel channels (prune's target) are
+// never the binding constraint — so `prune` and `selfloops` declare it
+// preserved (see pass/passes.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace sdf::absint {
+
+struct Reachability {
+    /// Upper bound on lifetime firings per actor; nullopt = unbounded.
+    std::vector<std::optional<Int>> max_firings;
+    /// Relaxation rounds the solver performed.
+    std::uint64_t rounds = 0;
+
+    /// True when the actor provably never fires in any admissible execution.
+    [[nodiscard]] bool never_fires(ActorId actor) const {
+        return max_firings[actor] == Int{0};
+    }
+
+    friend bool operator==(const Reachability&, const Reachability&) = default;
+};
+
+Reachability compute_reachability(const Graph& graph);
+
+/// AnalysisManager slot behind compute_reachability().
+struct ReachabilityAnalysis {
+    using Result = Reachability;
+    static constexpr const char* kName = "reachability";
+    static constexpr bool kTimeSensitive = false;
+    static Result compute(const Graph& graph) { return compute_reachability(graph); }
+};
+
+}  // namespace sdf::absint

@@ -1,0 +1,240 @@
+#include "absint/token_intervals.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "robust/budget.hpp"
+#include "sdf/repetition.hpp"
+
+namespace sdf::absint {
+
+namespace {
+
+/// Weight of a channel in the cycle invariant: 1 / (q(src) · p).
+Rational invariant_weight(const Graph& graph, const std::vector<Int>& repetition,
+                          ChannelId id) {
+    const Channel& ch = graph.channel(id);
+    return Rational(1, checked_mul(repetition[ch.src], ch.production));
+}
+
+/// Builds the invariant over `cycle` (channel ids forming a directed cycle)
+/// and folds its per-channel caps into `caps`.  Throws ArithmeticError when
+/// the exact weights overflow; the caller skips the cycle (sound: skipping
+/// a cap only loses precision).
+CycleInvariant fold_cycle_caps(const Graph& graph, const std::vector<Int>& repetition,
+                               const std::vector<ChannelId>& cycle,
+                               std::vector<std::optional<Int>>& caps) {
+    CycleInvariant invariant;
+    invariant.channels = cycle;
+    invariant.weights.reserve(cycle.size());
+    Rational constant(0);
+    for (const ChannelId id : cycle) {
+        const Rational weight = invariant_weight(graph, repetition, id);
+        invariant.weights.push_back(weight);
+        constant += weight * Rational(graph.channel(id).initial_tokens);
+    }
+    invariant.constant = constant;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const Int cap = (constant / invariant.weights[i]).floor();
+        const ChannelId id = cycle[i];
+        if (!caps[id].has_value() || cap < *caps[id]) {
+            caps[id] = cap;
+        }
+    }
+    return invariant;
+}
+
+/// For every channel, finds one shortest directed cycle through it (BFS from
+/// its dst back to its src) and registers the resulting linear invariant.
+/// Cycles found through different channels frequently coincide; they are
+/// deduplicated on their sorted channel-id set.
+void structural_caps(const Graph& graph, const std::vector<Int>& repetition,
+                     std::vector<std::optional<Int>>& caps,
+                     std::vector<CycleInvariant>& invariants) {
+    const std::size_t actor_count = graph.actor_count();
+    std::vector<std::vector<ChannelId>> out(actor_count);
+    for (ChannelId id = 0; id < graph.channel_count(); ++id) {
+        out[graph.channel(id).src].push_back(id);
+    }
+    std::set<std::vector<ChannelId>> seen;
+    std::vector<ChannelId> parent_channel(actor_count);
+    std::vector<char> visited(actor_count);
+    for (ChannelId id = 0; id < graph.channel_count(); ++id) {
+        SDFRED_CHECKPOINT();
+        const Channel& ch = graph.channel(id);
+        std::vector<ChannelId> cycle;
+        if (ch.is_self_loop()) {
+            cycle = {id};
+        } else {
+            // BFS dst -> src over forward channels; the path plus `id`
+            // closes a simple cycle.
+            std::fill(visited.begin(), visited.end(), 0);
+            visited[ch.dst] = 1;
+            std::deque<ActorId> queue = {ch.dst};
+            while (!queue.empty() && !visited[ch.src]) {
+                const ActorId actor = queue.front();
+                queue.pop_front();
+                for (const ChannelId edge : out[actor]) {
+                    const ActorId next = graph.channel(edge).dst;
+                    if (!visited[next]) {
+                        visited[next] = 1;
+                        parent_channel[next] = edge;
+                        queue.push_back(next);
+                    }
+                }
+            }
+            if (!visited[ch.src]) {
+                continue;  // no cycle through this channel
+            }
+            for (ActorId actor = ch.src; actor != ch.dst;
+                 actor = graph.channel(parent_channel[actor]).src) {
+                cycle.push_back(parent_channel[actor]);
+            }
+            cycle.push_back(id);
+        }
+        std::vector<ChannelId> key = cycle;
+        std::sort(key.begin(), key.end());
+        if (!seen.insert(std::move(key)).second) {
+            continue;
+        }
+        try {
+            invariants.push_back(fold_cycle_caps(graph, repetition, cycle, caps));
+        } catch (const ArithmeticError&) {
+            // Exact weights overflowed int64; drop this cycle's cap.  The
+            // analysis stays sound, merely less precise.
+        }
+    }
+}
+
+/// True when `actor` could fire in some state of the abstract `state`:
+/// every input channel's upper bound covers its consumption rate.
+bool abstractly_enabled(const Graph& graph, const std::vector<std::vector<ChannelId>>& in,
+                        const std::vector<Interval>& state, ActorId actor) {
+    for (const ChannelId id : in[actor]) {
+        if (!upper_le(UpperBound{graph.channel(id).consumption}, state[id].hi)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+TokenIntervals token_intervals(const Graph& graph, const TokenIntervalOptions& options) {
+    const std::size_t actor_count = graph.actor_count();
+    const std::size_t channel_count = graph.channel_count();
+
+    TokenIntervals result;
+    result.channels.reserve(channel_count);
+    for (ChannelId id = 0; id < channel_count; ++id) {
+        result.channels.push_back(Interval::exact(graph.channel(id).initial_tokens));
+    }
+    result.possibly_enabled.assign(actor_count, false);
+    result.caps.assign(channel_count, std::nullopt);
+
+    if (options.structural_caps && channel_count > 0 && is_consistent(graph)) {
+        structural_caps(graph, repetition_vector(graph), result.caps, result.invariants);
+    }
+
+    std::vector<std::vector<ChannelId>> in(actor_count);
+    std::vector<std::vector<ChannelId>> out(actor_count);
+    for (ChannelId id = 0; id < channel_count; ++id) {
+        in[graph.channel(id).dst].push_back(id);
+        out[graph.channel(id).src].push_back(id);
+    }
+
+    std::vector<Interval>& state = result.channels;
+    std::vector<int> hi_moves(channel_count, 0);
+    std::vector<int> lo_moves(channel_count, 0);
+    std::vector<char> dirty(actor_count, 1);
+    std::vector<Interval> post(channel_count);
+    std::vector<char> touched(channel_count, 0);
+
+    bool any_dirty = actor_count > 0;
+    while (any_dirty) {
+        any_dirty = false;
+        // Deterministic round-robin over actor ids; join order never
+        // affects the fixpoint, only the trace, but determinism keeps the
+        // solver_steps counter and the verify-each recompute stable.
+        for (ActorId actor = 0; actor < actor_count; ++actor) {
+            if (!dirty[actor]) {
+                continue;
+            }
+            dirty[actor] = 0;
+            SDFRED_CHECKPOINT();
+            ++result.solver_steps;
+            if (!abstractly_enabled(graph, in, state, actor)) {
+                continue;
+            }
+            // Abstract firing: consume on inputs, produce on outputs.  A
+            // self-loop is both, and sees consumption first — exactly the
+            // concrete firing rule (consume at start, produce at end).
+            for (const ChannelId id : in[actor]) {
+                post[id] = shift_consume(state[id], graph.channel(id).consumption);
+                touched[id] = 1;
+            }
+            for (const ChannelId id : out[actor]) {
+                const Interval& base = touched[id] ? post[id] : state[id];
+                post[id] = shift_produce(base, graph.channel(id).production);
+                touched[id] = 1;
+            }
+            auto absorb = [&](ChannelId id) {
+                if (!touched[id]) {
+                    return;  // self-loop already absorbed via the input list
+                }
+                touched[id] = 0;
+                Interval next = join(state[id], post[id]);
+                if (next == state[id]) {
+                    return;
+                }
+                if (!upper_le(next.hi, state[id].hi) && ++hi_moves[id] > options.widen_after) {
+                    next.hi = std::nullopt;
+                }
+                if (next.lo < state[id].lo && ++lo_moves[id] > options.widen_after) {
+                    next.lo = 0;
+                }
+                if (result.caps[id].has_value()) {
+                    next = meet_cap(next, *result.caps[id]);
+                }
+                if (next == state[id]) {
+                    return;
+                }
+                state[id] = next;
+                dirty[graph.channel(id).src] = 1;
+                dirty[graph.channel(id).dst] = 1;
+                any_dirty = true;
+            };
+            for (const ChannelId id : in[actor]) {
+                absorb(id);
+            }
+            for (const ChannelId id : out[actor]) {
+                absorb(id);
+            }
+        }
+    }
+
+    // Enabledness is monotone in the state, so the fixpoint verdict is the
+    // union over the whole run; recompute it once for a canonical result.
+    for (ActorId actor = 0; actor < actor_count; ++actor) {
+        result.possibly_enabled[actor] = abstractly_enabled(graph, in, state, actor);
+    }
+
+    if (options.selftest_narrow) {
+        // Deliberate unsoundness for the harness self-test: pinch every
+        // non-constant interval by one token at each movable end.
+        for (Interval& iv : state) {
+            if (iv.hi.has_value() && *iv.hi > iv.lo) {
+                iv.hi = *iv.hi - 1;
+            }
+            if (iv.lo < std::numeric_limits<Int>::max() &&
+                (!iv.hi.has_value() || iv.lo + 1 <= *iv.hi)) {
+                iv.lo += 1;
+            }
+        }
+    }
+
+    return result;
+}
+
+}  // namespace sdf::absint

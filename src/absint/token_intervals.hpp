@@ -1,0 +1,97 @@
+// token_intervals.hpp — abstract interpretation of SDF token counts.
+//
+// A monotone dataflow analysis over the channel-occupancy state of an SDF
+// graph.  The abstract state maps every channel to an Interval [lo, hi]
+// containing its token count in EVERY admissible execution (any interleaved
+// firing sequence in which an actor only fires when all its input channels
+// hold enough tokens — the untimed reachable state space).  The solver is a
+// deterministic worklist fixpoint:
+//
+//   state[ch] := [d_ch, d_ch]                        (initial tokens)
+//   repeat: for every abstractly enabled actor, join the post-state of an
+//           abstract firing into the state; widen a bound after it has
+//           moved `widen_after` times; meet with the structural caps.
+//
+// Widening alone would send every growing bound to +inf.  The structural
+// caps recover precision: for any directed cycle C of a consistent graph,
+// the weighted token sum  Σ_{e∈C} tokens(e) / (q(src(e))·p(e))  is invariant
+// under every firing (the balance equations make each actor's contribution
+// cancel), so tokens(e) <= floor(K / w_e) with K the weighted sum of the
+// initial tokens.  Those per-cycle linear invariants are kept in the result
+// — they are the machine-checkable proof behind every finite bound (see
+// absint/certificate.hpp).
+//
+// Soundness is fuzz-enforced: the `absint-soundness` oracle replays random
+// admissible firing sequences and fails if any observed count escapes its
+// interval (see verify/oracles.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "absint/interval.hpp"
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+
+namespace sdf::absint {
+
+/// One linear token invariant along a directed cycle: for every reachable
+/// state, Σ_i weights[i] · tokens(channels[i]) == constant.  Weights are
+/// strictly positive, so each member channel inherits the capacity bound
+/// tokens(channels[i]) <= floor(constant / weights[i]).
+struct CycleInvariant {
+    std::vector<ChannelId> channels;
+    std::vector<Rational> weights;
+    Rational constant;
+
+    friend bool operator==(const CycleInvariant&, const CycleInvariant&) = default;
+};
+
+struct TokenIntervalOptions {
+    /// Number of times a bound may move before it is widened to the lattice
+    /// extreme (then recovered by the structural caps where they exist).
+    int widen_after = 4;
+    /// Derive per-channel caps from cycle invariants (needs a consistent
+    /// graph; silently skipped otherwise).
+    bool structural_caps = true;
+    /// Deliberately narrow every non-constant interval after solving.  The
+    /// result is UNSOUND by construction — this exists only so the fuzzing
+    /// harness can prove it would catch a broken solver (see the hidden
+    /// `selftest-absint-unsound` oracle).
+    bool selftest_narrow = false;
+};
+
+/// The fixpoint result.
+struct TokenIntervals {
+    /// Per-channel occupancy invariant, indexed by ChannelId.
+    std::vector<Interval> channels;
+    /// Per-actor: abstractly possibly enabled at the fixpoint.  An actor
+    /// with `false` here provably never fires in any admissible execution.
+    std::vector<bool> possibly_enabled;
+    /// Structural capacity caps folded into the fixpoint (nullopt = none).
+    std::vector<std::optional<Int>> caps;
+    /// The cycle invariants proving the caps, deduplicated.
+    std::vector<CycleInvariant> invariants;
+    /// Abstract transfer applications performed by the solver.
+    std::uint64_t solver_steps = 0;
+
+    friend bool operator==(const TokenIntervals&, const TokenIntervals&) = default;
+};
+
+/// Runs the solver.  Accepts ANY structurally valid graph (inconsistent and
+/// deadlocked ones included); checkpoints the active Governor every
+/// transfer, so a budget cuts long solves off with BudgetExceeded.
+TokenIntervals token_intervals(const Graph& graph, const TokenIntervalOptions& options = {});
+
+/// AnalysisManager slot behind token_intervals() (see
+/// sdf/analysis_manager.hpp for the traits contract).  Channel-indexed:
+/// passes that renumber or resize channels must not declare it preserved.
+struct TokenIntervalsAnalysis {
+    using Result = TokenIntervals;
+    static constexpr const char* kName = "token-intervals";
+    static constexpr bool kTimeSensitive = false;
+    static Result compute(const Graph& graph) { return token_intervals(graph); }
+};
+
+}  // namespace sdf::absint

@@ -59,11 +59,20 @@ LintReport lint_graph(const Graph& graph, const SourceMap* locations,
                 SourceLoc{}, ""});
         }
     }
-    // File order; graph-level findings (unknown location, line 0) first.
-    // Stable, so rules keep registry order within one line.
+    // Deterministic order for golden tests and CI diffs: by rule id first
+    // (ids are zero-padded, so lexicographic == numeric), then by source
+    // location; graph-level findings (unknown location, line 0) lead their
+    // rule's block.  Stable, so a rule emitting several findings on one
+    // line keeps its own emission order.
     std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
                      [](const Diagnostic& a, const Diagnostic& b) {
-                         return a.location.line < b.location.line;
+                         if (a.rule != b.rule) {
+                             return a.rule < b.rule;
+                         }
+                         if (a.location.line != b.location.line) {
+                             return a.location.line < b.location.line;
+                         }
+                         return a.location.column < b.location.column;
                      });
     return report;
 }

@@ -67,6 +67,30 @@ const std::vector<RuleEntry>& rule_entries() {
           "a cycle of channels without initial tokens can never fire; the graph "
           "deadlocks immediately"},
          check_zero_delay_cycle},
+        {{"SDF017", "unbounded-channel", Severity::warning,
+          "the token-interval analysis certifies no finite occupancy bound; the "
+          "channel needs unbounded memory in the worst case"},
+         check_unbounded_channel},
+        {{"SDF018", "dead-actor", Severity::error,
+          "the reachability analysis proves the actor can never fire in any "
+          "admissible execution"},
+         check_dead_actor},
+        {{"SDF019", "dead-channel", Severity::note,
+          "the token-interval analysis proves the channel never carries a token; "
+          "it constrains nothing"},
+         check_dead_channel},
+        {{"SDF020", "buffer-capacity-mismatch", Severity::warning,
+          "a reverse channel declares a buffer capacity, but the certified "
+          "occupancy bound exceeds it: the rates do not implement back-pressure"},
+         check_buffer_capacity_mismatch},
+        {{"SDF021", "certified-deadlock", Severity::error,
+          "the certified firing bound of an actor is below its repetition count; "
+          "no admissible execution completes one iteration"},
+         check_certified_deadlock},
+        {{"SDF022", "self-loop-token-deficit", Severity::error,
+          "the certified occupancy invariant of a self-loop stays below its "
+          "consumption rate; the actor is provably stuck"},
+         check_self_loop_deficit},
     };
     return entries;
 }

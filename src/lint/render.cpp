@@ -72,6 +72,13 @@ std::string render_json(const LintReport& report, const std::string& file,
         out << "}";
     }
     out << (report.diagnostics.empty() ? "],\n" : "\n  ],\n");
+    const auto worst = report.worst();
+    out << "  \"summary\": {\"total\": " << report.diagnostics.size()
+        << ", \"worst\": \""
+        << (worst.has_value() ? severity_name(*worst) : "clean")
+        << "\", \"error\": " << report.count(Severity::error) << ", \"warning\": "
+        << report.count(Severity::warning) << ", \"note\": "
+        << report.count(Severity::note) << "},\n";
     out << "  \"counts\": {\"error\": " << report.count(Severity::error)
         << ", \"warning\": " << report.count(Severity::warning) << ", \"note\": "
         << report.count(Severity::note) << "}\n";

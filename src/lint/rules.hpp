@@ -68,5 +68,12 @@ void check_zero_delay_cycle(const LintContext&, std::vector<Diagnostic>&);   // 
 void check_auto_concurrency(const LintContext&, std::vector<Diagnostic>&);     // SDF011
 void check_invalid_abstraction(const LintContext&, std::vector<Diagnostic>&);  // SDF014
 void check_redundant_channel(const LintContext&, std::vector<Diagnostic>&);    // SDF015
+// rules_absint.cpp (proof-carrying, backed by src/absint):
+void check_unbounded_channel(const LintContext&, std::vector<Diagnostic>&);         // SDF017
+void check_dead_actor(const LintContext&, std::vector<Diagnostic>&);                // SDF018
+void check_dead_channel(const LintContext&, std::vector<Diagnostic>&);              // SDF019
+void check_buffer_capacity_mismatch(const LintContext&, std::vector<Diagnostic>&);  // SDF020
+void check_certified_deadlock(const LintContext&, std::vector<Diagnostic>&);        // SDF021
+void check_self_loop_deficit(const LintContext&, std::vector<Diagnostic>&);         // SDF022
 
 }  // namespace sdf::lint_internal

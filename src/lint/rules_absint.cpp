@@ -1,0 +1,213 @@
+// rules_absint.cpp — proof-carrying rules backed by the abstract
+// interpreter (src/absint): SDF017 unbounded-channel, SDF018 dead-actor,
+// SDF019 dead-channel, SDF020 buffer-capacity-mismatch, SDF021
+// certified-deadlock, SDF022 self-loop-token-deficit.
+//
+// Unlike the structural rules these cite a COMPUTED invariant in the
+// diagnostic text: the token-interval fixpoint or the reachability firing
+// bound that proves the finding.  The analyses are AnalysisManager slots,
+// so six rules on one graph cost one solver run.
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "absint/certificate.hpp"
+#include "absint/reachability.hpp"
+#include "absint/token_intervals.hpp"
+#include "lint/rules.hpp"
+
+namespace sdf::lint_internal {
+
+namespace {
+
+using absint::Interval;
+using absint::Reachability;
+using absint::TokenIntervals;
+using absint::TokenIntervalsAnalysis;
+
+std::string channel_label(const Graph& g, ChannelId id) {
+    const Channel& ch = g.channel(id);
+    return g.actor(ch.src).name + " -> " + g.actor(ch.dst).name;
+}
+
+const TokenIntervals& intervals_of(const LintContext& ctx) {
+    return *ctx.graph.analyses()->get<TokenIntervalsAnalysis>(ctx.graph);
+}
+
+const Reachability& reachability_of(const LintContext& ctx) {
+    return *ctx.graph.analyses()->get<absint::ReachabilityAnalysis>(ctx.graph);
+}
+
+}  // namespace
+
+void check_unbounded_channel(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    if (g.channel_count() == 0) {
+        return;
+    }
+    const TokenIntervals& ti = intervals_of(ctx);
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        const Interval& iv = ti.channels[c];
+        if (iv.is_bounded()) {
+            continue;
+        }
+        emit(out, "SDF017",
+             "channel " + channel_label(g, c) + " has no finite token bound: the "
+             "interval analysis reaches " + iv.to_string() +
+             " (no directed cycle caps its occupancy)",
+             ctx.channel_loc(c),
+             "route a cycle through the channel (e.g. a credit/back-pressure "
+             "channel dst -> src) to certify a finite buffer");
+    }
+}
+
+void check_dead_actor(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    if (g.actor_count() == 0) {
+        return;  // SDF001's report
+    }
+    const Reachability& reach = reachability_of(ctx);
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        if (!reach.never_fires(a)) {
+            continue;
+        }
+        // Cite a witness: an input that no admissible execution can satisfy.
+        std::string witness;
+        for (const ChannelId c : g.in_channels(a)) {
+            const Channel& ch = g.channel(c);
+            if (reach.max_firings[ch.src] == Int{0} &&
+                ch.initial_tokens < ch.consumption) {
+                witness = "; witness: channel " + channel_label(g, c) + " holds " +
+                          std::to_string(ch.initial_tokens) + " tokens, each firing "
+                          "needs " + std::to_string(ch.consumption) +
+                          ", and its producer never fires either";
+                break;
+            }
+        }
+        emit(out, "SDF018",
+             "actor '" + g.actor(a).name + "' can never fire: the reachability "
+             "analysis proves an upper bound of 0 lifetime firings" + witness,
+             ctx.actor_loc(a),
+             "add initial tokens on the starved input cycle or fix the rates "
+             "feeding it");
+    }
+}
+
+void check_dead_channel(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    if (g.channel_count() == 0) {
+        return;
+    }
+    const TokenIntervals& ti = intervals_of(ctx);
+    const Reachability& reach = reachability_of(ctx);
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        const Interval& iv = ti.channels[c];
+        if (iv != Interval::exact(0)) {
+            continue;
+        }
+        const Channel& ch = g.channel(c);
+        if (reach.never_fires(ch.src) && reach.never_fires(ch.dst)) {
+            continue;  // both endpoints are SDF018's (stronger) report
+        }
+        emit(out, "SDF019",
+             "channel " + channel_label(g, c) + " never carries a token: the "
+             "interval analysis proves the invariant [0, 0]",
+             ctx.channel_loc(c),
+             "the channel constrains nothing and can be removed, or its producer "
+             "is dead and the real bug is upstream");
+    }
+}
+
+void check_buffer_capacity_mismatch(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    if (ctx.repetition == nullptr) {
+        return;  // without consistency no finite caps exist; SDF002 reports
+    }
+    const TokenIntervals& ti = intervals_of(ctx);
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        const Channel& ch = g.channel(c);
+        if (ch.is_self_loop()) {
+            continue;
+        }
+        // A reverse channel dst -> src is the standard capacity-modelling
+        // idiom: forward tokens + reverse credits = capacity.  The declared
+        // capacity is the largest such budget.
+        std::optional<Int> declared;
+        for (ChannelId r = 0; r < g.channel_count(); ++r) {
+            const Channel& rev = g.channel(r);
+            if (rev.src != ch.dst || rev.dst != ch.src) {
+                continue;
+            }
+            const Int budget = checked_add(ch.initial_tokens, rev.initial_tokens);
+            if (!declared.has_value() || budget > *declared) {
+                declared = budget;
+            }
+        }
+        if (!declared.has_value()) {
+            continue;
+        }
+        const Interval& iv = ti.channels[c];
+        if (absint::upper_le(iv.hi, absint::UpperBound{*declared})) {
+            continue;  // the certified bound honours the declared capacity
+        }
+        emit(out, "SDF020",
+             "channel " + channel_label(g, c) + " has a reverse channel declaring "
+             "a buffer capacity of " + std::to_string(*declared) +
+             " tokens, but the certified occupancy bound is " +
+             (iv.is_bounded() ? std::to_string(*iv.hi) : std::string("unbounded")) +
+             "; the reverse rates do not implement back-pressure",
+             ctx.channel_loc(c),
+             "a capacity-B model of (a, b, p, c, d) needs the reverse channel "
+             "(b, a, c, p, B - d): swapped rates, complementary tokens");
+    }
+}
+
+void check_certified_deadlock(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    if (ctx.repetition == nullptr) {
+        return;  // one-iteration talk needs the repetition vector
+    }
+    const Reachability& reach = reachability_of(ctx);
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        const std::optional<Int>& bound = reach.max_firings[a];
+        if (!bound.has_value() || *bound == 0 || *bound >= (*ctx.repetition)[a]) {
+            continue;  // 0 is SDF018's (stronger) report
+        }
+        emit(out, "SDF021",
+             "guaranteed deadlock: actor '" + g.actor(a).name + "' fires at most " +
+                 std::to_string(*bound) + " times in ANY admissible execution, but "
+                 "one iteration needs q = " + std::to_string((*ctx.repetition)[a]) +
+                 " firings",
+             ctx.actor_loc(a),
+             "the certified firing bound comes from cumulative token supply; add "
+             "initial tokens upstream until every actor can complete an iteration");
+    }
+}
+
+void check_self_loop_deficit(const LintContext& ctx, std::vector<Diagnostic>& out) {
+    const Graph& g = ctx.graph;
+    if (g.channel_count() == 0) {
+        return;
+    }
+    const TokenIntervals& ti = intervals_of(ctx);
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        const Channel& ch = g.channel(c);
+        if (!ch.is_self_loop()) {
+            continue;
+        }
+        const Interval& iv = ti.channels[c];
+        if (absint::upper_le(absint::UpperBound{ch.consumption}, iv.hi)) {
+            continue;
+        }
+        emit(out, "SDF022",
+             "self-loop on actor '" + g.actor(ch.src).name + "' is provably stuck: "
+             "the interval analysis certifies the occupancy invariant " +
+                 iv.to_string() + ", below the consumption rate " +
+                 std::to_string(ch.consumption),
+             ctx.channel_loc(c),
+             "no firing of any actor can raise a self-loop's token count above "
+             "its start value; give it at least `consumption` initial tokens");
+    }
+}
+
+}  // namespace sdf::lint_internal

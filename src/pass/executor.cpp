@@ -3,6 +3,9 @@
 #include <chrono>
 #include <optional>
 
+#include "absint/certificate.hpp"
+#include "absint/reachability.hpp"
+#include "absint/token_intervals.hpp"
 #include "analysis/throughput.hpp"
 #include "sdf/repetition.hpp"
 #include "sdf/schedule.hpp"
@@ -187,6 +190,36 @@ bool check_preserved_slot(const std::string& name, const Graph& before,
             cached->period != recomputed->period ||
             cached->per_actor != recomputed->per_actor) {
             violation(invocation, "preserved analysis 'throughput' changed");
+        }
+        return true;
+    }
+    if (name == absint::TokenIntervalsAnalysis::kName) {
+        const auto cached = cache.cached<absint::TokenIntervalsAnalysis>();
+        if (!cached) {
+            return false;
+        }
+        if (*cached != *after.analyses()->get<absint::TokenIntervalsAnalysis>(after)) {
+            violation(invocation, "preserved analysis 'token-intervals' changed");
+        }
+        return true;
+    }
+    if (name == absint::ReachabilityAnalysis::kName) {
+        const auto cached = cache.cached<absint::ReachabilityAnalysis>();
+        if (!cached) {
+            return false;
+        }
+        if (*cached != *after.analyses()->get<absint::ReachabilityAnalysis>(after)) {
+            violation(invocation, "preserved analysis 'reachability' changed");
+        }
+        return true;
+    }
+    if (name == absint::BufferBoundsAnalysis::kName) {
+        const auto cached = cache.cached<absint::BufferBoundsAnalysis>();
+        if (!cached) {
+            return false;
+        }
+        if (*cached != *after.analyses()->get<absint::BufferBoundsAnalysis>(after)) {
+            violation(invocation, "preserved analysis 'buffer-bounds' changed");
         }
         return true;
     }

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "absint/reachability.hpp"
+#include "absint/token_intervals.hpp"
 #include "analysis/throughput.hpp"
 #include "pass/registry.hpp"
 #include "sdf/repetition.hpp"
@@ -58,10 +60,15 @@ public:
         // equations (and with them the repetition vector and consistency)
         // are untouched.  With tokens >= 1 (enforced by the parameter
         // minimum) each firing returns its token, so an admissible schedule
-        // still exists: liveness survives.  The period generally GROWS
-        // (serialised firings), so nothing timed is claimed.
+        // still exists: liveness survives.  The added loops are (a, a, 1, 1,
+        // t >= 1): their can-fire constraint t >= 1 always holds and their
+        // firing bound t + N(a) never binds, so the actor-indexed
+        // reachability fixpoint is bit-identical.  The period generally
+        // GROWS (serialised firings), so nothing timed is claimed.  The
+        // channel-indexed absint slots gain entries and are NOT preserved.
         return Preservation::of({RepetitionVectorAnalysis::kName,
-                                 ConsistencyAnalysis::kName, LivenessAnalysis::kName});
+                                 ConsistencyAnalysis::kName, LivenessAnalysis::kName,
+                                 absint::ReachabilityAnalysis::kName});
     }
     PeriodContract period_contract(const PassParams&) const override {
         return PeriodContract::not_faster;
@@ -88,10 +95,19 @@ public:
     Preservation preserved(const PassParams&) const override {
         // A pruned channel is redundant by construction: every execution
         // admissible before is admissible after and vice versa.  Actor ids,
-        // rates and times are untouched, so every analysis — including the
-        // greedy schedule (enabledness is pointwise identical) and the
-        // timed throughput result — recomputes to the same value.
-        return Preservation::everything();
+        // rates and times are untouched, so every actor-level analysis —
+        // including the greedy schedule (enabledness is pointwise identical)
+        // and the timed throughput result — recomputes to the same value.
+        // Reachability too: a redundant channel (same src/dst/p/c, more
+        // tokens) contributes constraints implied by its tighter twin, so
+        // the fixpoint never moves when it goes.  NOT everything(), though:
+        // the channel-INDEXED absint slots (token-intervals, buffer-bounds)
+        // see the surviving channels renumbered and do not carry over.
+        return Preservation::of({RepetitionVectorAnalysis::kName,
+                                 ConsistencyAnalysis::kName,
+                                 SequentialScheduleAnalysis::kName,
+                                 LivenessAnalysis::kName, ThroughputAnalysis::kName,
+                                 absint::ReachabilityAnalysis::kName});
     }
     PeriodContract period_contract(const PassParams&) const override {
         return PeriodContract::preserves;
@@ -289,6 +305,32 @@ public:
     }
 };
 
+/// selftest-unsound-absint — hidden pass that nudges one channel's initial
+/// tokens while CLAIMING to preserve the token-interval fixpoint.  The
+/// abstract initial state moves, so --verify-each must flag the claim; the
+/// pass exists purely to prove that the executor checks absint contracts
+/// instead of trusting them (see SelfTestUnsoundPass above for the timed
+/// twin).
+class SelfTestUnsoundAbsintPass final : public Pass {
+public:
+    std::string name() const override { return "selftest-unsound-absint"; }
+    std::string summary() const override {
+        return "deliberately broken pass: moves tokens, claims intervals preserved";
+    }
+    bool hidden() const override { return true; }
+    Preservation preserved(const PassParams&) const override {
+        return Preservation::of({absint::TokenIntervalsAnalysis::kName});
+    }
+    PassResult run(Graph& graph, const PassParams&, AnalysisManager&) const override {
+        if (graph.channel_count() == 0) {
+            return {false, {}};
+        }
+        const Int tokens = graph.channel(0).initial_tokens;
+        graph.set_initial_tokens(0, checked_add(tokens, 1));
+        return {true, {{"bumped", 1}}};
+    }
+};
+
 }  // namespace
 
 void register_builtin_passes(PassRegistry& registry) {
@@ -302,6 +344,7 @@ void register_builtin_passes(PassRegistry& registry) {
     registry.add(std::make_unique<UnfoldPass>());
     registry.add(std::make_unique<ScenarioEnvelopePass>());
     registry.add(std::make_unique<SelfTestUnsoundPass>());
+    registry.add(std::make_unique<SelfTestUnsoundAbsintPass>());
 }
 
 }  // namespace sdf

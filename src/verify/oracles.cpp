@@ -4,11 +4,16 @@
 #include <optional>
 #include <typeinfo>
 
+#include "absint/certificate.hpp"
+#include "absint/reachability.hpp"
+#include "absint/token_intervals.hpp"
+#include "analysis/buffers.hpp"
 #include "analysis/deadlock.hpp"
 #include "analysis/governed.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/throughput.hpp"
 #include "base/errors.hpp"
+#include "base/portable_rng.hpp"
 #include "robust/fault.hpp"
 #include "csdf/analysis.hpp"
 #include "csdf/simulate.hpp"
@@ -724,6 +729,223 @@ Verdict run_governed_bound(const Graph& graph, const OracleLimits& limits) {
     return settle(kId, disagreements);
 }
 
+// ---- absint-soundness -------------------------------------------------
+
+std::string channel_route_label(const Graph& graph, ChannelId c) {
+    const Channel& ch = graph.channel(c);
+    return "channel #" + std::to_string(c) + " (" + graph.actor(ch.src).name +
+           " -> " + graph.actor(ch.dst).name + ")";
+}
+
+std::string bound_to_string(const std::optional<Int>& bound) {
+    return bound.has_value() ? std::to_string(*bound) : "unbounded";
+}
+
+/// Shared body of the production soundness oracle and its hidden unsound
+/// twin.  The abstract results claim to over-approximate EVERY admissible
+/// execution; this replays one deterministic pseudo-random admissible
+/// firing sequence (seeded from the graph shape, so repro needs only the
+/// graph) and holds each intermediate state against those claims, then
+/// cross-checks the reachability verdicts against the exact liveness
+/// analysis and the certified bounds against the buffer-capacity model.
+Verdict run_absint_soundness_impl(const char* kId, const Graph& graph,
+                                  const OracleLimits& limits, bool narrow) {
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    if (graph.actor_count() > limits.max_actors) {
+        return Verdict::skip(kId, "actor count above limit");
+    }
+    if (graph.total_initial_tokens() > limits.max_tokens) {
+        return Verdict::skip(kId, "token count above limit");
+    }
+    absint::TokenIntervalOptions options;
+    options.selftest_narrow = narrow;
+    const absint::TokenIntervals ti = absint::token_intervals(graph, options);
+    const absint::Reachability reach = absint::compute_reachability(graph);
+    const absint::CertifiedBounds certified = absint::certify_buffer_bounds(graph, ti);
+    std::vector<Disagreement> disagreements;
+
+    // Leg 1: the certificate must convince its independent checker — the
+    // checker trusts nothing but the graph and verified arithmetic, so a
+    // rejection here means the solver's fixpoint is not actually inductive.
+    const absint::CertificateCheck check = absint::verify_certificate(graph, certified);
+    if (!check.ok) {
+        disagreements.push_back(disagree("certificate validity", "verify_certificate",
+                                         "rejected: " + check.reason,
+                                         "certify_buffer_bounds", "claims inductive"));
+    }
+
+    // Leg 2: replay a random admissible firing sequence.  Seed from the
+    // graph shape so the trace is a pure function of the input graph.
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+    const auto mix = [&seed](std::uint64_t v) {
+        seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+    };
+    mix(graph.actor_count());
+    mix(graph.channel_count());
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        const Channel& ch = graph.channel(c);
+        mix(static_cast<std::uint64_t>(ch.src));
+        mix(static_cast<std::uint64_t>(ch.dst));
+        mix(static_cast<std::uint64_t>(ch.production));
+        mix(static_cast<std::uint64_t>(ch.consumption));
+        mix(static_cast<std::uint64_t>(ch.initial_tokens));
+    }
+    std::mt19937 rng(static_cast<std::uint32_t>(seed ^ (seed >> 32)));
+
+    std::vector<Int> tokens(graph.channel_count());
+    std::vector<Int> max_seen(graph.channel_count());
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        tokens[c] = graph.channel(c).initial_tokens;
+        max_seen[c] = tokens[c];
+    }
+    std::vector<Int> fired(graph.actor_count(), 0);
+    const auto check_containment = [&](const char* when) {
+        for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+            if (!ti.channels[c].contains(tokens[c])) {
+                disagreements.push_back(disagree(
+                    "token count of " + channel_route_label(graph, c),
+                    std::string("admissible replay (") + when + ")",
+                    std::to_string(tokens[c]), "interval fixpoint",
+                    ti.channels[c].to_string()));
+                return false;
+            }
+        }
+        return true;
+    };
+    bool contained = check_containment("initial state");
+    const Int max_steps = checked_mul(limits.max_iteration_length, Int{4});
+    for (Int step = 0; contained && step < max_steps; ++step) {
+        std::vector<ActorId> enabled;
+        for (ActorId a = 0; a < graph.actor_count(); ++a) {
+            bool ok = true;
+            for (ChannelId c = 0; c < graph.channel_count() && ok; ++c) {
+                const Channel& ch = graph.channel(c);
+                ok = ch.dst != a || tokens[c] >= ch.consumption;
+            }
+            if (ok) {
+                enabled.push_back(a);
+            }
+        }
+        if (enabled.empty()) {
+            break;
+        }
+        const ActorId a = enabled[draw_index(rng, enabled.size())];
+        // Fire a: consume on inputs, produce on outputs (self-loops both).
+        // Compute the next state off to the side so an overflowing product
+        // aborts the replay without committing a half-applied firing.
+        std::vector<Int> next = tokens;
+        bool overflowed = false;
+        try {
+            for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+                const Channel& ch = graph.channel(c);
+                if (ch.dst == a) {
+                    next[c] = checked_sub(next[c], ch.consumption);
+                }
+                if (ch.src == a) {
+                    next[c] = checked_add(next[c], ch.production);
+                }
+            }
+        } catch (const ArithmeticError&) {
+            overflowed = true;  // out of the modelled range; the interval
+        }                       // side saturates, so stopping here is sound
+        if (overflowed) {
+            break;
+        }
+        tokens = std::move(next);
+        fired[a] += 1;
+        for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+            max_seen[c] = max_seen[c] > tokens[c] ? max_seen[c] : tokens[c];
+        }
+        contained = check_containment("after a firing");
+    }
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        if (fired[a] > 0 && !ti.possibly_enabled[a]) {
+            disagreements.push_back(disagree(
+                "enabledness of actor '" + graph.actor(a).name + "'",
+                "admissible replay", "fired " + std::to_string(fired[a]) + " times",
+                "interval fixpoint", "claims never enabled"));
+        }
+        if (reach.max_firings[a].has_value() && fired[a] > *reach.max_firings[a]) {
+            disagreements.push_back(disagree(
+                "firing count of actor '" + graph.actor(a).name + "'",
+                "admissible replay", std::to_string(fired[a]),
+                "reachability bound", std::to_string(*reach.max_firings[a])));
+        }
+    }
+    for (const absint::BoundCertificate& cert : certified.certificates) {
+        if (cert.bound.has_value() && max_seen[cert.channel] > *cert.bound) {
+            disagreements.push_back(disagree(
+                "peak occupancy of " + channel_route_label(graph, cert.channel),
+                "admissible replay", std::to_string(max_seen[cert.channel]),
+                "certified bound", std::to_string(*cert.bound)));
+        }
+    }
+
+    // Leg 3: hold the abstract verdicts against the exact liveness
+    // characterisation where the exact route is affordable.
+    if (is_consistent(graph) && iteration_length(graph) <= limits.max_iteration_length) {
+        const std::vector<Int> q = repetition_vector(graph);
+        const bool live = is_live(graph);
+        for (ActorId a = 0; a < graph.actor_count(); ++a) {
+            // A live graph completes iterations forever: every actor fires
+            // unboundedly often, so any finite firing bound — in particular
+            // a dead-actor (0) or certified-deadlock (< q) verdict — and
+            // any never-enabled claim contradicts it.
+            if (live && reach.max_firings[a].has_value()) {
+                disagreements.push_back(disagree(
+                    "lifetime firings of actor '" + graph.actor(a).name + "'",
+                    "is_live", "unbounded (graph is live)", "reachability bound",
+                    bound_to_string(reach.max_firings[a])));
+            }
+            if (live && !ti.possibly_enabled[a]) {
+                disagreements.push_back(disagree(
+                    "enabledness of actor '" + graph.actor(a).name + "'",
+                    "is_live", "fires in every iteration", "interval fixpoint",
+                    "claims never enabled"));
+            }
+        }
+        // Leg 4: a certified occupancy bound imposed as a physical buffer
+        // capacity can never strangle a live graph — every admissible
+        // execution already respects it, so back-pressure at that capacity
+        // never binds.
+        if (live && graph.channel_count() <= 16) {
+            for (const absint::BoundCertificate& cert : certified.certificates) {
+                const Channel& ch = graph.channel(cert.channel);
+                if (!cert.bound.has_value() || ch.is_self_loop()) {
+                    continue;
+                }
+                if (*cert.bound < ch.initial_tokens) {
+                    // Below the initial occupancy: unsound on its face, and
+                    // with_buffer_capacity would (rightly) refuse it.
+                    disagreements.push_back(disagree(
+                        "certified bound of " + channel_route_label(graph, cert.channel),
+                        "initial tokens", std::to_string(ch.initial_tokens),
+                        "certified bound", std::to_string(*cert.bound)));
+                    continue;
+                }
+                if (!is_live(with_buffer_capacity(graph, cert.channel, *cert.bound))) {
+                    disagreements.push_back(disagree(
+                        "liveness under certified capacity of " +
+                            channel_route_label(graph, cert.channel),
+                        "is_live on bounded graph", "deadlocks", "certified bound",
+                        std::to_string(*cert.bound) + " (claims every execution fits)"));
+                }
+            }
+        }
+    }
+    return settle(kId, disagreements);
+}
+
+Verdict run_absint_soundness(const Graph& graph, const OracleLimits& limits) {
+    return run_absint_soundness_impl("absint-soundness", graph, limits, false);
+}
+
+Verdict run_absint_self_test(const Graph& graph, const OracleLimits& limits) {
+    return run_absint_soundness_impl("selftest-absint-unsound", graph, limits, true);
+}
+
 }  // namespace
 
 const std::vector<Oracle>& oracle_registry() {
@@ -774,6 +996,14 @@ const std::vector<Oracle>& oracle_registry() {
          "executor run of selfloops,prune,hsdf-reduced reports the same outcome and "
          "exact period as the symbolic route on the self-loop-closed graph",
          &run_pipeline_routes},
+        {"absint-soundness",
+         "abstract token intervals contain every admissible execution",
+         "a replayed random admissible firing sequence stays inside the interval "
+         "fixpoint, below the certified buffer bounds and the reachability firing "
+         "bounds; the bound certificate passes its independent checker; on live "
+         "graphs no actor carries a finite firing bound and every certified "
+         "capacity keeps the bounded graph live",
+         &run_absint_soundness},
     };
     return registry;
 }
@@ -786,6 +1016,9 @@ const Oracle* find_oracle(const std::string& id) {
     }
     if (self_test_oracle().id == id) {
         return &self_test_oracle();
+    }
+    if (absint_self_test_oracle().id == id) {
+        return &absint_self_test_oracle();
     }
     return nullptr;
 }
@@ -842,6 +1075,17 @@ const Oracle& self_test_oracle() {
         "intentionally broken: believes every finite period is one unit longer; the "
         "harness must find and shrink this",
         &run_self_test};
+    return oracle;
+}
+
+const Oracle& absint_self_test_oracle() {
+    static const Oracle oracle = {
+        "selftest-absint-unsound",
+        "token-interval analysis with deliberately pinched intervals",
+        "intentionally broken: every non-constant interval is narrowed by one on "
+        "each side after solving, so the inductive check and the admissible "
+        "replay must both catch the escape; the harness has to find this",
+        &run_absint_self_test};
     return oracle;
 }
 

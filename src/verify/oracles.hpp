@@ -72,4 +72,11 @@ Verdict run_oracle(const Oracle& oracle, const Graph& graph,
 /// the bug is found and shrunk to a minimal repro.
 const Oracle& self_test_oracle();
 
+/// The abstract-interpretation twin of the self-test: the soundness oracle
+/// run against deliberately pinched (hence unsound) token intervals.  Fails
+/// on any graph whose intervals are not all constant — the harness must
+/// catch it via the certificate checker or the admissible replay.  Not part
+/// of oracle_registry(); resolvable by id through find_oracle().
+const Oracle& absint_self_test_oracle();
+
 }  // namespace sdf

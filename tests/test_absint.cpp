@@ -1,0 +1,370 @@
+// test_absint.cpp — the abstract-interpretation framework: interval
+// lattice algebra, the token-interval solver, reachability bounds,
+// machine-checkable buffer-bound certificates, the AnalysisManager slots,
+// and the fuzz-enforced soundness contract (docs/ABSINT.md).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <optional>
+#include <random>
+
+#include "absint/certificate.hpp"
+#include "absint/interval.hpp"
+#include "absint/reachability.hpp"
+#include "absint/token_intervals.hpp"
+#include "analysis/buffers.hpp"
+#include "analysis/liveness.hpp"
+#include "base/checked.hpp"
+#include "gen/random_sdf.hpp"
+#include "pass/executor.hpp"
+#include "pass/pipeline.hpp"
+#include "sdf/graph.hpp"
+#include "sdf/properties.hpp"
+#include "sdf/repetition.hpp"
+#include "verify/fuzz.hpp"
+#include "verify/oracles.hpp"
+
+namespace sdf {
+namespace {
+
+using absint::Interval;
+
+constexpr Int kIntMax = std::numeric_limits<Int>::max();
+
+// A homogeneous ring of `n` actors with one token on the closing channel.
+Graph ring(std::size_t n, Int time = 1) {
+    Graph g("ring" + std::to_string(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        g.add_actor("a" + std::to_string(i), time);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        g.add_channel(static_cast<ActorId>(i), static_cast<ActorId>((i + 1) % n), 1,
+                      1, i == 0 ? 1 : 0);
+    }
+    return g;
+}
+
+// The paper's running two-actor multirate example: a fires 1x, b fires 2x.
+Graph multirate() {
+    Graph g("multirate");
+    const ActorId a = g.add_actor("a", 2);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 2, 1, 0);
+    g.add_channel(b, a, 1, 2, 4);
+    return g;
+}
+
+// ---- interval lattice --------------------------------------------------
+
+TEST(IntervalLattice, OrderJoinAndMeetBehave) {
+    const Interval a{1, Int{3}};
+    const Interval b{0, Int{5}};
+    EXPECT_TRUE(a.inside(b));
+    EXPECT_FALSE(b.inside(a));
+    EXPECT_EQ(join(a, b), b);
+    EXPECT_EQ(join(a, Interval::top()), Interval::top());
+    EXPECT_TRUE(a.contains(2));
+    EXPECT_FALSE(a.contains(0));
+    EXPECT_TRUE(Interval::top().contains(kIntMax));
+    EXPECT_EQ(meet_cap(b, 2), (Interval{0, Int{2}}));
+    EXPECT_EQ(meet_cap(Interval::top(), 7), (Interval{0, Int{7}}));
+}
+
+TEST(IntervalLattice, WideningJumpsMovedBoundsToTheExtremes) {
+    const Interval old_iv{2, Int{4}};
+    EXPECT_EQ(widen(old_iv, Interval{2, Int{9}}), (Interval{2, std::nullopt}));
+    EXPECT_EQ(widen(old_iv, Interval{1, Int{4}}), (Interval{0, Int{4}}));
+    // A non-moving bound survives widening untouched.
+    EXPECT_EQ(widen(old_iv, old_iv), old_iv);
+}
+
+TEST(IntervalLattice, TransfersGuardAndShift) {
+    const Interval iv{1, Int{5}};
+    EXPECT_EQ(shift_produce(iv, 3), (Interval{4, Int{8}}));
+    // Consumption raises lo to the firing guard before subtracting.
+    EXPECT_EQ(shift_consume(iv, 3), (Interval{0, Int{2}}));
+    EXPECT_EQ(shift_consume(Interval::top(), 2), Interval::top());
+}
+
+// Satellite regression: bound arithmetic near INT64_MAX must saturate
+// soundly (lo to INT64_MAX, hi to +inf), never wrap or throw.
+TEST(IntervalLattice, OverflowSaturatesSoundly) {
+    const Interval huge{kIntMax - 1, Int{kIntMax - 1}};
+    const Interval shifted = shift_produce(huge, 2);
+    EXPECT_EQ(shifted.lo, kIntMax);
+    EXPECT_FALSE(shifted.hi.has_value());  // +inf: still an over-approximation
+    // The unbounded upper stays unbounded through any production.
+    EXPECT_EQ(shift_produce(Interval{0, std::nullopt}, kIntMax).hi, std::nullopt);
+}
+
+// ---- token-interval solver ---------------------------------------------
+
+TEST(TokenIntervals, RingChannelsAreCappedAtTheCirculatingToken) {
+    const Graph g = ring(4);
+    const absint::TokenIntervals ti = absint::token_intervals(g);
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        EXPECT_EQ(ti.channels[c], (Interval{0, Int{1}})) << "channel " << c;
+        ASSERT_TRUE(ti.caps[c].has_value());
+        EXPECT_EQ(*ti.caps[c], 1);
+    }
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        EXPECT_TRUE(ti.possibly_enabled[a]);
+    }
+    EXPECT_FALSE(ti.invariants.empty());
+    EXPECT_GT(ti.solver_steps, 0u);
+}
+
+TEST(TokenIntervals, MultirateCycleConservesItsWeightedTokens) {
+    const Graph g = multirate();
+    const absint::TokenIntervals ti = absint::token_intervals(g);
+    // Initial state is always contained.
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        EXPECT_TRUE(ti.channels[c].contains(g.channel(c).initial_tokens));
+    }
+    // The 2-cycle invariant caps both channels: 4 tokens circulate at
+    // weight parity, so neither channel can ever exceed 4.
+    ASSERT_TRUE(ti.channels[0].hi.has_value());
+    ASSERT_TRUE(ti.channels[1].hi.has_value());
+    EXPECT_LE(*ti.channels[0].hi, 4);
+    EXPECT_LE(*ti.channels[1].hi, 4);
+}
+
+TEST(TokenIntervals, AcyclicChannelIsUnboundedAboveButNeverNegative) {
+    Graph g("acyclic");
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, a, 1, 1, 1);  // self-loop so `a` can keep firing
+    const ChannelId open = g.add_channel(a, b, 1, 1, 0);
+    const absint::TokenIntervals ti = absint::token_intervals(g);
+    EXPECT_EQ(ti.channels[open].lo, 0);
+    EXPECT_FALSE(ti.channels[open].hi.has_value());
+    EXPECT_FALSE(ti.caps[open].has_value());
+}
+
+TEST(TokenIntervals, ZeroDelayCycleStaysAtTheInitialState) {
+    Graph g("dead");
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, b, 1, 1, 0);
+    g.add_channel(b, a, 1, 1, 0);
+    const absint::TokenIntervals ti = absint::token_intervals(g);
+    EXPECT_EQ(ti.channels[0], Interval::exact(0));
+    EXPECT_EQ(ti.channels[1], Interval::exact(0));
+    EXPECT_FALSE(ti.possibly_enabled[a]);
+    EXPECT_FALSE(ti.possibly_enabled[b]);
+}
+
+// Satellite regression: a consistent graph with near-INT64_MAX rates and
+// token counts must solve without throwing, and keep sound (possibly
+// infinite) bounds.
+TEST(TokenIntervals, NearInt64MaxRatesSolveWithoutOverflow) {
+    const Int big = kIntMax / 4;
+    Graph g("huge");
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, a, 1, 1, 1);
+    g.add_channel(a, b, big, big, big);
+    g.add_channel(b, a, big, big, big);
+    const absint::TokenIntervals ti = absint::token_intervals(g);
+    for (ChannelId c = 0; c < g.channel_count(); ++c) {
+        EXPECT_TRUE(ti.channels[c].contains(g.channel(c).initial_tokens));
+    }
+    // The certificate path (Rational arithmetic over the huge values) must
+    // also survive; precision loss is allowed, unsoundness is not.
+    const absint::CertifiedBounds certified = absint::certify_buffer_bounds(g, ti);
+    EXPECT_TRUE(absint::verify_certificate(g, certified).ok);
+}
+
+// ---- reachability ------------------------------------------------------
+
+TEST(Reachability, LiveRingIsUnboundedDeadCycleIsZero) {
+    const absint::Reachability live = absint::compute_reachability(ring(3));
+    for (ActorId a = 0; a < 3; ++a) {
+        EXPECT_FALSE(live.max_firings[a].has_value());
+        EXPECT_FALSE(live.never_fires(a));
+    }
+    Graph dead("dead");
+    const ActorId a = dead.add_actor("a", 1);
+    const ActorId b = dead.add_actor("b", 1);
+    dead.add_channel(a, b, 1, 1, 0);
+    dead.add_channel(b, a, 1, 1, 0);
+    const absint::Reachability bounds = absint::compute_reachability(dead);
+    EXPECT_TRUE(bounds.never_fires(a));
+    EXPECT_TRUE(bounds.never_fires(b));
+}
+
+TEST(Reachability, FiniteTokenSupplyBoundsADownstreamActor) {
+    // `a` is dead (empty self-loop), so the channel a->b is fed only by its
+    // 5 initial tokens; b consumes 2 per firing: at most 2 firings ever,
+    // though b itself is not dead.
+    Graph g("starved");
+    const ActorId a = g.add_actor("a", 1);
+    const ActorId b = g.add_actor("b", 1);
+    g.add_channel(a, a, 1, 1, 0);
+    g.add_channel(a, b, 1, 2, 5);
+    g.add_channel(b, b, 1, 1, 1);
+    const absint::Reachability bounds = absint::compute_reachability(g);
+    EXPECT_TRUE(bounds.never_fires(a));
+    ASSERT_TRUE(bounds.max_firings[b].has_value());
+    EXPECT_EQ(*bounds.max_firings[b], 2);
+}
+
+// ---- certificates ------------------------------------------------------
+
+TEST(Certificates, SolverFixpointAlwaysVerifies) {
+    for (const Graph& g : {ring(5), multirate()}) {
+        const absint::TokenIntervals ti = absint::token_intervals(g);
+        const absint::CertifiedBounds certified = absint::certify_buffer_bounds(g, ti);
+        const absint::CertificateCheck check = absint::verify_certificate(g, certified);
+        EXPECT_TRUE(check.ok) << g.name() << ": " << check.reason;
+        ASSERT_EQ(certified.certificates.size(), g.channel_count());
+        for (ChannelId c = 0; c < g.channel_count(); ++c) {
+            EXPECT_EQ(certified.certificates[c].bound, ti.channels[c].hi);
+        }
+    }
+}
+
+TEST(Certificates, TamperedCertificatesAreRejected) {
+    const Graph g = ring(4);
+    const absint::CertifiedBounds honest =
+        absint::certify_buffer_bounds(g, absint::token_intervals(g));
+    ASSERT_TRUE(absint::verify_certificate(g, honest).ok);
+
+    // A bound below the interval's own upper bound is an unsound claim.
+    absint::CertifiedBounds low_bound = honest;
+    low_bound.certificates[0].bound = 0;
+    EXPECT_FALSE(absint::verify_certificate(g, low_bound).ok);
+
+    // Pinching an interval breaks inductiveness (initial state escapes or
+    // a post-state escapes).
+    absint::CertifiedBounds pinched = honest;
+    pinched.intervals[0].hi = 0;
+    pinched.certificates[0].bound = 0;
+    EXPECT_FALSE(absint::verify_certificate(g, pinched).ok);
+
+    // A doctored invariant constant no longer matches the initial tokens.
+    absint::CertifiedBounds doctored = honest;
+    ASSERT_FALSE(doctored.invariants.empty());
+    doctored.invariants[0].constant =
+        doctored.invariants[0].constant + Rational(1);
+    EXPECT_FALSE(absint::verify_certificate(g, doctored).ok);
+
+    // A cap with no proving invariant is an unjustified assumption.
+    absint::CertifiedBounds capped = honest;
+    capped.invariants.clear();
+    EXPECT_FALSE(absint::verify_certificate(g, capped).ok);
+
+    // Wrong shapes are malformedness, not crashes.
+    absint::CertifiedBounds truncated = honest;
+    truncated.intervals.pop_back();
+    EXPECT_FALSE(absint::verify_certificate(g, truncated).ok);
+}
+
+TEST(Certificates, CertifiedBoundsKeepLiveGraphsLive) {
+    // minimum_live_capacity searches for the smallest live capacity; every
+    // certified bound must be at least that (a certified bound never
+    // strangles the graph).
+    const Graph g = ring(4);
+    const absint::CertifiedBounds certified =
+        absint::certify_buffer_bounds(g, absint::token_intervals(g));
+    for (const absint::BoundCertificate& cert : certified.certificates) {
+        ASSERT_TRUE(cert.bound.has_value());
+        EXPECT_TRUE(is_live(with_buffer_capacity(g, cert.channel, *cert.bound)));
+        EXPECT_LE(minimum_live_capacity(g, cert.channel, *cert.bound), *cert.bound);
+    }
+}
+
+// ---- AnalysisManager slots ---------------------------------------------
+
+TEST(AbsintAnalyses, SlotsAreCachedAndNamed) {
+    const Graph g = multirate();
+    const auto first = g.analyses()->get<absint::TokenIntervalsAnalysis>(g);
+    const auto second = g.analyses()->get<absint::TokenIntervalsAnalysis>(g);
+    EXPECT_EQ(first.get(), second.get());  // served from cache, not recomputed
+    EXPECT_EQ(*first, absint::token_intervals(g));
+    const auto reach = g.analyses()->get<absint::ReachabilityAnalysis>(g);
+    EXPECT_EQ(*reach, absint::compute_reachability(g));
+    const auto bounds = g.analyses()->get<absint::BufferBoundsAnalysis>(g);
+    EXPECT_TRUE(absint::verify_certificate(g, *bounds).ok);
+}
+
+TEST(AbsintAnalyses, PruneAndSelfloopsPreserveReachabilityUnderVerifyEach) {
+    Graph g = multirate();
+    // Parallel redundant channel so prune has something to remove.
+    g.add_channel(0, 1, 2, 1, 3);
+    (void)g.analyses()->get<absint::ReachabilityAnalysis>(g);  // warm the cache
+    ExecutorOptions options;
+    options.verify_each = true;
+    const PipelineRun run =
+        PipelineExecutor(std::move(options)).run(parse_pipeline("selfloops,prune"), g);
+    EXPECT_EQ(run.graph.channel_count(), 4u);  // +2 self-loops, -1 redundant
+    // The adopted cached result must equal a fresh computation.
+    const auto adopted = run.graph.analyses()->get<absint::ReachabilityAnalysis>(run.graph);
+    EXPECT_EQ(*adopted, absint::compute_reachability(run.graph));
+}
+
+TEST(AbsintAnalyses, VerifyEachCatchesTheUnsoundAbsintPass) {
+    Graph g = ring(3, 2);
+    // The hidden pass claims token-intervals preserved while adding a
+    // token; with the slot warm, --verify-each must detect the lie.
+    (void)g.analyses()->get<absint::TokenIntervalsAnalysis>(g);
+    ExecutorOptions options;
+    options.verify_each = true;
+    EXPECT_THROW((void)PipelineExecutor(std::move(options))
+                     .run(parse_pipeline("selftest-unsound-absint"), g),
+                 PipelineVerificationError);
+    // Without verification the same pipeline slips through.
+    const PipelineRun run =
+        PipelineExecutor().run(parse_pipeline("selftest-unsound-absint"), ring(3, 2));
+    EXPECT_TRUE(run.reports[0].changed);
+}
+
+// ---- soundness: the fuzz-enforced contract -----------------------------
+
+TEST(AbsintSoundness, OracleHoldsOverFiveHundredRandomGraphs) {
+    const Oracle* oracle = find_oracle("absint-soundness");
+    ASSERT_NE(oracle, nullptr);
+    std::mt19937 rng(20260808);
+    RandomSdfOptions options;
+    std::size_t passes = 0;
+    for (int i = 0; i < 500; ++i) {
+        // Alternate the generator knobs so degenerate shapes take part.
+        options.self_loops = i % 3 != 0;
+        options.strongly_connect = i % 4 != 0;
+        const Graph g = random_sdf(rng, options);
+        const Verdict verdict = run_oracle(*oracle, g);
+        EXPECT_FALSE(verdict.failed()) << verdict.describe();
+        passes += verdict.status == VerdictStatus::pass ? 1 : 0;
+    }
+    // The sweep must actually exercise the oracle, not skip its way out.
+    EXPECT_GE(passes, 400u);
+}
+
+TEST(AbsintSoundness, HarnessFindsThePlantedUnsoundAnalysis) {
+    const Oracle* planted = find_oracle("selftest-absint-unsound");
+    ASSERT_NE(planted, nullptr);
+    // Direct: the pinched intervals fail on a graph with real traffic.
+    EXPECT_TRUE(run_oracle(*planted, ring(4)).failed());
+    // End to end: the fuzzing harness converges on the planted bug.
+    FuzzOptions options;
+    options.iterations = 60;
+    options.seed = 11;
+    options.oracles = {"selftest-absint-unsound"};
+    options.write_failures = false;
+    options.shrink = false;
+    const FuzzReport report = run_fuzz(options);
+    ASSERT_FALSE(report.failures.empty());
+    EXPECT_EQ(report.failures.front().oracle, "selftest-absint-unsound");
+}
+
+TEST(AbsintSoundness, ProductionOracleIsRegisteredTheSelfTestIsNot) {
+    bool registered = false;
+    for (const Oracle& oracle : oracle_registry()) {
+        registered = registered || oracle.id == "absint-soundness";
+        EXPECT_NE(oracle.id, "selftest-absint-unsound");
+    }
+    EXPECT_TRUE(registered);
+}
+
+}  // namespace
+}  // namespace sdf

@@ -231,6 +231,51 @@ TEST_F(CliTest, LintJsonFormatIsStable) {
     EXPECT_NE(r.output.find("\"rule\": \"SDF002\""), std::string::npos);
     EXPECT_NE(r.output.find("\"graph\": \"inconsistent\""), std::string::npos);
     EXPECT_NE(r.output.find("\"counts\": "), std::string::npos);
+    // The summary object carries per-severity counts and the worst severity.
+    EXPECT_NE(r.output.find("\"summary\": {\"total\": "), std::string::npos);
+    EXPECT_NE(r.output.find("\"worst\": \"error\""), std::string::npos);
+    // Deterministic ordering: two runs render byte-identical reports.
+    EXPECT_EQ(r.output, run_cli("lint " + path + " --format json").output);
+}
+
+TEST_F(CliTest, AnalyzeCertifyReportsIntervalsAndVerifiedCertificate) {
+    const CliResult r = run_cli("analyze " + dir_ + "/h263.sdf --certify");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("token intervals"), std::string::npos);
+    EXPECT_NE(r.output.find("certified buffer bounds:"), std::string::npos);
+    EXPECT_NE(r.output.find("certificate: VERIFIED"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeCertifyJsonIsMachineReadable) {
+    const CliResult r = run_cli("analyze " + dir_ + "/h263.sdf --certify --json");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("\"certificate\": {\"verified\": true"), std::string::npos);
+    EXPECT_NE(r.output.find("\"verdicts\": {\"dead_actor\": false"), std::string::npos);
+    EXPECT_NE(r.output.find("\"certified_bound\": "), std::string::npos);
+    // Deterministic: identical runs render byte-identical JSON.
+    EXPECT_EQ(r.output,
+              run_cli("analyze " + dir_ + "/h263.sdf --certify --json").output);
+}
+
+TEST_F(CliTest, AnalyzeCertifyFlagsProvenlyBrokenModels) {
+    const std::string bad = std::string(SDFRED_DATA_DIR) + "/bad";
+    const CliResult dead = run_cli("analyze " + bad + "/deadlocked.sdf --certify");
+    EXPECT_EQ(dead.exit_code, 1);
+    EXPECT_NE(dead.output.find("provably never fires"), std::string::npos);
+    const CliResult starved =
+        run_cli("analyze " + bad + "/starved_selfloop.sdf --certify");
+    EXPECT_EQ(starved.exit_code, 1);
+    const CliResult inconsistent =
+        run_cli("analyze " + bad + "/inconsistent.xml --certify");
+    EXPECT_EQ(inconsistent.exit_code, 1);
+    EXPECT_NE(inconsistent.output.find("inconsistent"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeCertifyUnderAStarvedBudgetExitsFour) {
+    const CliResult r =
+        run_cli("analyze " + dir_ + "/h263.sdf --certify --max-steps 2");
+    EXPECT_EQ(r.exit_code, 4);
+    EXPECT_NE(r.output.find("aborted by resource budget"), std::string::npos);
 }
 
 TEST_F(CliTest, LintRuleSelectionAndFailOn) {

@@ -151,6 +151,63 @@ TEST(PipelineParser, ErrorsCarryThePosition) {
     }
 }
 
+TEST(PipelineParser, NestedAndUnbalancedParentheses) {
+    // '(' is not special inside an argument, so nesting lands in the value
+    // token and fails the integer parse, never the tokenizer.
+    EXPECT_EQ(kind_of("unfold((2))"), PipelineErrorKind::malformed_parameter);
+    EXPECT_EQ(kind_of("unfold((n=2)"), PipelineErrorKind::malformed_parameter);
+    // A stray closing paren after a complete call is a missing separator.
+    EXPECT_EQ(kind_of("unfold(2))"), PipelineErrorKind::syntax);
+}
+
+TEST(PipelineParser, TrailingCommaVariants) {
+    EXPECT_EQ(kind_of("prune,"), PipelineErrorKind::syntax);
+    EXPECT_EQ(kind_of("selfloops,prune,  "), PipelineErrorKind::syntax);
+    EXPECT_EQ(kind_of("unfold(2,)"), PipelineErrorKind::syntax);
+}
+
+TEST(PipelineParser, EmptyAndDoubledParameterValues) {
+    // "n=" reads an empty value token; that is a malformed parameter (the
+    // message names the parameter), not a tokenizer crash.
+    EXPECT_EQ(kind_of("unfold(n=)"), PipelineErrorKind::malformed_parameter);
+    EXPECT_EQ(kind_of("unfold(n=2=3)"), PipelineErrorKind::syntax);
+}
+
+TEST(PipelineParser, EveryRegisteredPassRoundTripsWithNonDefaultParams) {
+    // For every pass (hidden ones included): build a keyword-form spec with
+    // every parameter set off its default, and require parse -> to_string
+    // to be a fixpoint that preserves the chosen values.
+    for (const Pass* pass : PassRegistry::instance().list(/*include_hidden=*/true)) {
+        std::string spec = pass->name();
+        std::vector<std::pair<std::string, Int>> chosen;
+        const std::vector<PassParamSpec> params = pass->params();
+        if (!params.empty()) {
+            spec += "(";
+            for (std::size_t i = 0; i < params.size(); ++i) {
+                const PassParamSpec& p = params[i];
+                Int value = p.default_value.value_or(p.minimum.value_or(0)) + 1;
+                if (p.minimum && value < *p.minimum) {
+                    value = *p.minimum + 1;
+                }
+                chosen.emplace_back(p.name, value);
+                spec += (i == 0 ? "" : ",") + p.name + "=" + std::to_string(value);
+            }
+            spec += ")";
+        }
+        const Pipeline parsed = parse_pipeline(spec);
+        ASSERT_EQ(parsed.steps.size(), 1u) << spec;
+        for (const auto& [name, value] : chosen) {
+            EXPECT_EQ(parsed.steps[0].params.at(name), value) << spec;
+        }
+        const std::string canonical = parsed.to_string();
+        EXPECT_EQ(parse_pipeline(canonical).to_string(), canonical) << spec;
+        for (const auto& [name, value] : chosen) {
+            EXPECT_EQ(parse_pipeline(canonical).steps[0].params.at(name), value)
+                << canonical;
+        }
+    }
+}
+
 // ---- executor: analysis threading -------------------------------------
 
 TEST(PipelineExecutor, AdoptsDeclaredPreservedAnalyses) {

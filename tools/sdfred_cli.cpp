@@ -3,6 +3,11 @@
 //   sdfred_cli info       FILE            structure, consistency, liveness
 //   sdfred_cli analyze    FILE            repetition vector, period, throughput,
 //                                         makespan, response latencies
+//   sdfred_cli analyze    FILE --certify [--json]
+//                                         abstract interpretation: token
+//                                         intervals, reachability bounds and
+//                                         machine-checked buffer-bound
+//                                         certificates (docs/ABSINT.md)
 //   sdfred_cli deadlock   FILE            deadlock diagnosis with witness
 //   sdfred_cli schedule   FILE            rate-optimal static periodic schedule
 //   sdfred_cli convert --to FMT FILE [-o OUT]
@@ -63,6 +68,9 @@
 #define SDFRED_VERSION "unknown"
 #endif
 
+#include "absint/certificate.hpp"
+#include "absint/reachability.hpp"
+#include "absint/token_intervals.hpp"
 #include "analysis/deadlock.hpp"
 #include "analysis/governed.hpp"
 #include "analysis/latency.hpp"
@@ -135,6 +143,7 @@ void save(const Graph& graph, const std::optional<std::string>& out) {
 
 int usage() {
     std::cerr << "usage: sdfred_cli {info|analyze|deadlock|schedule} FILE\n"
+                 "       sdfred_cli analyze FILE --certify [--json]\n"
                  "       sdfred_cli convert --to FMT FILE [-o OUT]\n"
                  "       sdfred_cli pipeline FILE --passes \"SPEC\" [-o OUT]\n"
                  "                  [--time-passes] [--verify-each] [--dump-after PASS]\n"
@@ -322,6 +331,159 @@ int cmd_analyze_governed(const Graph& g, const GovernOptions& options) {
         std::cout << "iteration makespan: " << iteration_makespan(g) << "\n";
     }
     return 0;
+}
+
+// ---- analyze --certify / --json: the abstract-interpretation report ----
+
+std::string json_quote(const std::string& text) {
+    std::string out = "\"";
+    for (const char c : text) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+    return out + "\"";
+}
+
+std::string json_opt_int(const std::optional<Int>& value) {
+    return value.has_value() ? std::to_string(*value) : "null";
+}
+
+/// `analyze --certify [--json]`: token intervals, reachability firing
+/// bounds and machine-checked buffer-bound certificates.  Budget flags
+/// govern the solver through its per-transfer checkpoints, so exhaustion
+/// surfaces as BudgetExceeded and exit code 4 via the outer handler.
+/// Exit 1 when the certificate fails its independent checker or the
+/// analysis proves the graph broken (inconsistent rates, a dead actor, or
+/// a firing bound below the repetition count — guaranteed deadlock).
+int cmd_analyze_absint(const Graph& g, bool json, bool certify,
+                       const ExecutionBudget& budget) {
+    std::optional<Governor> governor;
+    std::optional<GovernorScope> scope;
+    if (!budget.unlimited()) {
+        governor.emplace(budget);
+        scope.emplace(*governor);
+    }
+    const absint::TokenIntervals ti = absint::token_intervals(g);
+    const absint::Reachability reach = absint::compute_reachability(g);
+    std::optional<absint::CertifiedBounds> certified;
+    absint::CertificateCheck check;
+    if (certify) {
+        certified = absint::certify_buffer_bounds(g, ti);
+        check = absint::verify_certificate(g, *certified);
+    }
+    std::optional<std::vector<Int>> q;
+    std::string inconsistency;
+    if (g.actor_count() > 0) {
+        try {
+            q = repetition_vector(g);
+        } catch (const Error& e) {
+            inconsistency = e.what();
+        }
+    }
+    bool dead_actor = false;
+    bool guaranteed_deadlock = false;
+    for (ActorId a = 0; a < g.actor_count(); ++a) {
+        dead_actor = dead_actor || reach.never_fires(a);
+        guaranteed_deadlock =
+            guaranteed_deadlock ||
+            (q && reach.max_firings[a].has_value() && *reach.max_firings[a] < (*q)[a]);
+    }
+    if (json) {
+        std::cout << "{\n";
+        std::cout << "  \"graph\": " << json_quote(g.name()) << ",\n";
+        std::cout << "  \"consistent\": " << (inconsistency.empty() ? "true" : "false")
+                  << ",\n";
+        std::cout << "  \"solver_steps\": " << ti.solver_steps << ",\n";
+        std::cout << "  \"channels\": [";
+        for (ChannelId c = 0; c < g.channel_count(); ++c) {
+            const Channel& ch = g.channel(c);
+            std::cout << (c == 0 ? "\n" : ",\n");
+            std::cout << "    {\"id\": " << c << ", \"src\": "
+                      << json_quote(g.actor(ch.src).name) << ", \"dst\": "
+                      << json_quote(g.actor(ch.dst).name) << ", \"lo\": "
+                      << ti.channels[c].lo << ", \"hi\": "
+                      << json_opt_int(ti.channels[c].hi) << ", \"cap\": "
+                      << json_opt_int(ti.caps[c]);
+            if (certified) {
+                std::cout << ", \"certified_bound\": "
+                          << json_opt_int(certified->certificates[c].bound);
+            }
+            std::cout << "}";
+        }
+        std::cout << (g.channel_count() == 0 ? "],\n" : "\n  ],\n");
+        std::cout << "  \"actors\": [";
+        for (ActorId a = 0; a < g.actor_count(); ++a) {
+            std::cout << (a == 0 ? "\n" : ",\n");
+            std::cout << "    {\"name\": " << json_quote(g.actor(a).name)
+                      << ", \"possibly_enabled\": "
+                      << (ti.possibly_enabled[a] ? "true" : "false")
+                      << ", \"max_firings\": " << json_opt_int(reach.max_firings[a])
+                      << "}";
+        }
+        std::cout << (g.actor_count() == 0 ? "],\n" : "\n  ],\n");
+        std::cout << "  \"invariants\": " << ti.invariants.size() << ",\n";
+        if (certified) {
+            std::cout << "  \"certificate\": {\"verified\": "
+                      << (check.ok ? "true" : "false") << ", \"reason\": "
+                      << json_quote(check.reason) << "},\n";
+        }
+        std::cout << "  \"verdicts\": {\"dead_actor\": "
+                  << (dead_actor ? "true" : "false") << ", \"guaranteed_deadlock\": "
+                  << (guaranteed_deadlock ? "true" : "false") << "}\n";
+        std::cout << "}\n";
+    } else {
+        std::cout << "token intervals (per channel, over every admissible execution):\n";
+        for (ChannelId c = 0; c < g.channel_count(); ++c) {
+            const Channel& ch = g.channel(c);
+            std::cout << "  #" << c << " " << g.actor(ch.src).name << " -> "
+                      << g.actor(ch.dst).name << ": " << ti.channels[c].to_string();
+            if (ti.caps[c].has_value()) {
+                std::cout << "  (structural cap " << *ti.caps[c] << ")";
+            }
+            std::cout << "\n";
+        }
+        std::cout << "cycle invariants proving the caps: " << ti.invariants.size()
+                  << " (solver steps: " << ti.solver_steps << ")\n";
+        std::cout << "reachability (firing bounds over any admissible execution):\n";
+        for (ActorId a = 0; a < g.actor_count(); ++a) {
+            std::cout << "  " << g.actor(a).name << ": ";
+            if (!reach.max_firings[a].has_value()) {
+                std::cout << "unbounded\n";
+            } else {
+                std::cout << "at most " << *reach.max_firings[a]
+                          << (reach.never_fires(a) ? " (dead)" : "") << "\n";
+            }
+        }
+        if (certified) {
+            std::cout << "certified buffer bounds:\n";
+            for (const absint::BoundCertificate& cert : certified->certificates) {
+                const Channel& ch = g.channel(cert.channel);
+                std::cout << "  #" << cert.channel << " " << g.actor(ch.src).name
+                          << " -> " << g.actor(ch.dst).name << ": "
+                          << (cert.bound ? std::to_string(*cert.bound) : "unbounded")
+                          << "\n";
+            }
+            std::cout << "certificate: "
+                      << (check.ok ? "VERIFIED (independent checker accepts)"
+                                   : "REJECTED: " + check.reason)
+                      << "\n";
+        }
+        if (!inconsistency.empty()) {
+            std::cout << "consistency: inconsistent — " << inconsistency << "\n";
+        }
+        if (dead_actor) {
+            std::cout << "verdict: at least one actor provably never fires\n";
+        }
+        if (guaranteed_deadlock) {
+            std::cout << "verdict: a firing bound is below the repetition count — "
+                         "no iteration can complete\n";
+        }
+    }
+    const bool broken = (certify && !check.ok) || !inconsistency.empty() ||
+                        dead_actor || guaranteed_deadlock;
+    return broken ? 1 : 0;
 }
 
 int cmd_deadlock(const Graph& g) {
@@ -661,6 +823,8 @@ int main(int argc, char** argv) {
         std::optional<std::string> dump_after;
         bool time_passes = false;
         bool verify_each = false;
+        bool absint_json = false;
+        bool certify = false;
         std::vector<std::string> positional;
         for (std::size_t i = 1; i < args.size(); ++i) {
             if (args[i] == "-o" && i + 1 < args.size()) {
@@ -739,6 +903,10 @@ int main(int argc, char** argv) {
                 time_passes = true;
             } else if (args[i] == "--verify-each") {
                 verify_each = true;
+            } else if (args[i] == "--json") {
+                absint_json = true;
+            } else if (args[i] == "--certify") {
+                certify = true;
             } else if (args[i] == "--no-shrink") {
                 fuzz_options.shrink = false;
             } else if (args[i] == "--self-test") {
@@ -801,6 +969,10 @@ int main(int argc, char** argv) {
         }
         if (command == "analyze" && positional.size() == 1) {
             const Graph g = load(positional[0]);
+            if (certify || absint_json) {
+                return cmd_analyze_absint(g, absint_json, certify,
+                                          govern_options.budget);
+            }
             return governed ? cmd_analyze_governed(g, govern_options) : cmd_analyze(g);
         }
         if (command == "deadlock" && positional.size() == 1) {
