@@ -17,8 +17,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "base/cpudispatch.hpp"
+#include "base/thread_pool.hpp"
 
 namespace sdfbench {
 
@@ -101,6 +106,50 @@ inline std::string stats_json(const Stats& s) {
         out += json_num(s.samples_ms[i]);
     }
     out += "]}";
+    return out;
+}
+
+/// The CPU model string from /proc/cpuinfo ("unknown" off Linux) — a perf
+/// number without the machine it ran on is not comparable to anything.
+inline std::string cpu_model_name() {
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        const std::string key = "model name";
+        if (line.compare(0, key.size(), key) == 0) {
+            const std::size_t colon = line.find(':');
+            if (colon != std::string::npos) {
+                std::size_t begin = colon + 1;
+                while (begin < line.size() && line[begin] == ' ') {
+                    ++begin;
+                }
+                return line.substr(begin);
+            }
+        }
+    }
+    return "unknown";
+}
+
+/// Provenance block every BENCH_*.json carries: the CPU, the kernel ISA
+/// tier actually dispatched (after any SDFRED_ISA override), the pool size
+/// actually constructed (after any SDFRED_THREADS override, which is also
+/// echoed back raw), and the source revision the binary was built from.
+inline std::string machine_json() {
+    std::string out = "{";
+    out += "\"cpu\": \"" + json_escape(cpu_model_name()) + "\"";
+    out += ", \"isa\": \"";
+    out += sdf::isa_tier_name(sdf::active_isa_tier());
+    out += "\"";
+    out += ", \"threads\": " + std::to_string(sdf::global_thread_pool().size());
+    const char* threads_env = std::getenv("SDFRED_THREADS");
+    out += ", \"threads_env\": ";
+    out += threads_env != nullptr ? "\"" + json_escape(threads_env) + "\"" : "null";
+#if defined(SDFRED_GIT_SHA)
+    out += ", \"git_sha\": \"" + json_escape(SDFRED_GIT_SHA) + "\"";
+#else
+    out += ", \"git_sha\": \"unknown\"";
+#endif
+    out += "}";
     return out;
 }
 

@@ -116,6 +116,7 @@ void write_json(const std::string& path, const std::vector<McmReport>& reports,
     std::ofstream out(path);
     out << "{\n";
     out << "  \"bench\": \"bench_mcm_algorithms\",\n";
+    out << "  \"machine\": " << sdfbench::machine_json() << ",\n";
     out << "  \"threads\": " << global_thread_pool().size() << ",\n";
     out << "  \"reps\": " << reps << ",\n";
     out << "  \"models\": [\n";

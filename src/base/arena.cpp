@@ -1,0 +1,115 @@
+#include "base/arena.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+namespace sdf {
+
+namespace {
+
+/// Past this size, blocks stop doubling: a kernel asking for more gets a
+/// dedicated block of exactly the requested size instead.
+constexpr std::size_t kMaxBlockBytes = std::size_t{8} << 20;
+
+/// Byte-accounting hook (robust installs robust_account_bytes here; see
+/// set_arena_account_hook).  Read with acquire so a worker thread that
+/// observes the pointer also observes the pointee's initialisation.
+std::atomic<ArenaAccountHook> g_account_hook{nullptr};
+
+/// The offset >= `used` at which an allocation in `block` is aligned to
+/// `alignment` *as an address* — make_unique<char[]> storage is only
+/// max_align_t-aligned, so offsets alone cannot express wider alignments.
+std::size_t aligned_offset(const char* base, std::size_t used, std::size_t alignment) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(base) + used;
+    const std::uintptr_t aligned = (addr + alignment - 1) & ~(std::uintptr_t{alignment} - 1);
+    return used + static_cast<std::size_t>(aligned - addr);
+}
+
+}  // namespace
+
+void set_arena_account_hook(ArenaAccountHook hook) {
+    g_account_hook.store(hook, std::memory_order_release);
+}
+
+Arena::Arena(std::size_t first_block_bytes)
+    : next_block_bytes_(first_block_bytes == 0 ? 1 : first_block_bytes) {}
+
+void Arena::grow(std::size_t at_least) {
+    std::size_t bytes = next_block_bytes_;
+    while (bytes < at_least) {
+        bytes *= 2;
+    }
+    // Charge the governed budget (and the alloc fault injector) before
+    // allocating, and push the bookkeeping entry only after the allocation
+    // succeeded: on any throw the arena is exactly as it was.
+    if (const ArenaAccountHook hook = g_account_hook.load(std::memory_order_acquire)) {
+        hook(bytes);
+    }
+    Block block;
+    block.data = std::make_unique<char[]>(bytes);
+    block.size = bytes;
+    const bool was_empty = blocks_.empty();
+    blocks_.push_back(std::move(block));
+    current_ = was_empty ? 0 : blocks_.size() - 1;
+    if (next_block_bytes_ < kMaxBlockBytes) {
+        next_block_bytes_ *= 2;
+    }
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
+    if (bytes == 0) {
+        bytes = 1;  // distinct non-null results keep callers simple
+    }
+    // Walk forward through retained blocks looking for room; blocks are
+    // only appended, so Position{block, offset} marks stay valid.
+    while (current_ < blocks_.size()) {
+        Block& block = blocks_[current_];
+        const std::size_t aligned = aligned_offset(block.data.get(), block.used, alignment);
+        if (aligned <= block.size && bytes <= block.size - aligned) {
+            block.used = aligned + bytes;
+            return block.data.get() + aligned;
+        }
+        if (current_ + 1 >= blocks_.size()) {
+            break;
+        }
+        ++current_;
+    }
+    // `alignment` headroom: make_unique<char[]> storage is only guaranteed
+    // max_align_t-aligned, so over-sized alignments need slack in the block.
+    grow(bytes + (alignment > alignof(std::max_align_t) ? alignment : 0));
+    Block& block = blocks_[current_];
+    const std::size_t aligned = aligned_offset(block.data.get(), block.used, alignment);
+    block.used = aligned + bytes;
+    return block.data.get() + aligned;
+}
+
+void Arena::rewind(Position pos) {
+    if (blocks_.empty()) {
+        return;
+    }
+    for (std::size_t b = pos.block + 1; b < blocks_.size(); ++b) {
+        blocks_[b].used = 0;
+    }
+    current_ = pos.block < blocks_.size() ? pos.block : blocks_.size() - 1;
+    blocks_[current_].used = pos.offset;
+}
+
+void Arena::release() {
+    blocks_.clear();
+    current_ = 0;
+}
+
+std::size_t Arena::capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& block : blocks_) {
+        total += block.size;
+    }
+    return total;
+}
+
+Arena& scratch_arena() {
+    thread_local Arena arena;
+    return arena;
+}
+
+}  // namespace sdf

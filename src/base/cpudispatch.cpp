@@ -1,0 +1,117 @@
+#include "base/cpudispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "base/errors.hpp"
+
+namespace sdf {
+
+const char* isa_tier_name(IsaTier tier) {
+    switch (tier) {
+        case IsaTier::scalar: return "scalar";
+        case IsaTier::avx2: return "avx2";
+        case IsaTier::avx512: return "avx512";
+    }
+    return "unknown";
+}
+
+IsaTier parse_isa_tier(const std::string& name) {
+    if (name == "scalar") {
+        return IsaTier::scalar;
+    }
+    if (name == "avx2") {
+        return IsaTier::avx2;
+    }
+    if (name == "avx512") {
+        return IsaTier::avx512;
+    }
+    throw Error("unknown ISA tier '" + name + "' (expected scalar, avx2 or avx512)");
+}
+
+namespace {
+
+/// CPUID probe, independent of the env override.  __builtin_cpu_supports
+/// is a GCC/clang builtin (the project already relies on the overflow
+/// builtins); on non-x86 targets the AVX TUs are not compiled and the
+/// probe short-circuits to scalar.
+IsaTier probe_isa_tier() {
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+#if defined(SDFRED_KERNELS_AVX512)
+    if (__builtin_cpu_supports("avx512f")) {
+        return IsaTier::avx512;
+    }
+#endif
+#if defined(SDFRED_KERNELS_AVX2)
+    if (__builtin_cpu_supports("avx2")) {
+        return IsaTier::avx2;
+    }
+#endif
+#endif
+    return IsaTier::scalar;
+}
+
+/// -1 = not yet resolved, otherwise int(IsaTier).  Relaxed atomics: the
+/// resolution is idempotent, so a rare double-resolve is harmless.
+std::atomic<int> g_active{-1};
+
+IsaTier resolve_from_env() {
+    if (const char* env = std::getenv("SDFRED_ISA")) {
+        if (*env != '\0') {
+            const IsaTier requested = parse_isa_tier(env);
+            if (!isa_tier_supported(requested)) {
+                throw Error(std::string("SDFRED_ISA=") + env +
+                            " is not available on this build/machine (best tier: " +
+                            isa_tier_name(detected_isa_tier()) + ")");
+            }
+            return requested;
+        }
+    }
+    return detected_isa_tier();
+}
+
+}  // namespace
+
+IsaTier detected_isa_tier() {
+    static const IsaTier tier = probe_isa_tier();
+    return tier;
+}
+
+const std::vector<IsaTier>& supported_isa_tiers() {
+    static const std::vector<IsaTier> tiers = [] {
+        std::vector<IsaTier> out{IsaTier::scalar};
+        if (detected_isa_tier() >= IsaTier::avx2) {
+            out.push_back(IsaTier::avx2);
+        }
+        if (detected_isa_tier() >= IsaTier::avx512) {
+            out.push_back(IsaTier::avx512);
+        }
+        return out;
+    }();
+    return tiers;
+}
+
+bool isa_tier_supported(IsaTier tier) {
+    return tier <= detected_isa_tier();
+}
+
+IsaTier active_isa_tier() {
+    const int cached = g_active.load(std::memory_order_relaxed);
+    if (cached >= 0) {
+        return static_cast<IsaTier>(cached);
+    }
+    const IsaTier resolved = resolve_from_env();
+    g_active.store(static_cast<int>(resolved), std::memory_order_relaxed);
+    return resolved;
+}
+
+void set_active_isa_tier(IsaTier tier) {
+    if (!isa_tier_supported(tier)) {
+        throw Error(std::string("ISA tier ") + isa_tier_name(tier) +
+                    " is not available on this build/machine (best tier: " +
+                    isa_tier_name(detected_isa_tier()) + ")");
+    }
+    g_active.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+}  // namespace sdf

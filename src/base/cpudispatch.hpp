@@ -1,0 +1,56 @@
+// cpudispatch.hpp — runtime ISA tier selection for the SIMD kernels.
+//
+// The max-plus kernels (maxplus/kernels.hpp) come in up to three variants:
+// portable scalar, AVX2 (64-bit max emulated with compare+blend) and
+// AVX-512 (native `vpmaxsq`).  Which variant runs is decided once, at the
+// first kernel use, from two independent facts:
+//
+//   * what this *build* contains — the AVX TUs are only compiled when the
+//     compiler accepts the target flags (CMake probes them and defines
+//     SDFRED_KERNELS_AVX2 / SDFRED_KERNELS_AVX512 for the whole tree);
+//   * what this *machine* executes — probed with __builtin_cpu_supports,
+//     so a binary built with AVX-512 kernels still runs correctly on an
+//     AVX2-only host.
+//
+// The environment variable SDFRED_ISA=scalar|avx2|avx512 overrides the
+// detection (differential tests and the CI forced-scalar job use it); a
+// tier that is not available on this build+machine is a typed sdf::Error,
+// never a silent downgrade — a test asking for avx512 must not quietly
+// measure scalar.  Tests switch tiers at runtime via set_active_isa_tier.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sdf {
+
+/// Instruction-set tiers of the max-plus kernels, in ascending width.
+enum class IsaTier { scalar = 0, avx2 = 1, avx512 = 2 };
+
+/// Stable lower-case name ("scalar", "avx2", "avx512") for reports and env.
+const char* isa_tier_name(IsaTier tier);
+
+/// Parses an SDFRED_ISA value; throws sdf::Error on anything else.
+IsaTier parse_isa_tier(const std::string& name);
+
+/// The best tier this build can run on this machine (CPUID-probed once;
+/// always at least scalar).
+IsaTier detected_isa_tier();
+
+/// Every tier this build can run on this machine, ascending.  Always
+/// contains scalar; the differential tests sweep exactly this list.
+const std::vector<IsaTier>& supported_isa_tiers();
+
+/// True when `tier` is compiled into this build and executable on this CPU.
+bool isa_tier_supported(IsaTier tier);
+
+/// The tier the kernels actually use: the SDFRED_ISA override when set
+/// (sdf::Error if unknown or unsupported), otherwise detected_isa_tier().
+/// Resolved once and cached; set_active_isa_tier replaces it.
+IsaTier active_isa_tier();
+
+/// Overrides the active tier (tests, benches, the fuzz oracle sweep).
+/// Throws sdf::Error when `tier` is not supported on this build+machine.
+void set_active_isa_tier(IsaTier tier);
+
+}  // namespace sdf

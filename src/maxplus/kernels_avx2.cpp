@@ -1,0 +1,68 @@
+// kernels_avx2.cpp — AVX2 tier of the raw max-plus kernels.
+//
+// Compiled with -mavx2 (only when the compiler supports it; otherwise this
+// TU degrades to the null-table stub below and the dispatcher never offers
+// the tier).  AVX2 has 64-bit adds and 64-bit signed compares but no
+// vpmaxsq, so the signed max is emulated as cmpgt + byte blend; the −∞
+// sentinel is handled with an equality compare against INT64_MIN feeding a
+// second blend.  Four lanes per vector, unaligned loads/stores throughout
+// (matrix rows are not 32-byte aligned by construction).
+#include "maxplus/kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace sdf {
+
+namespace {
+
+void axpy_max_avx2(Int* out, const Int* row, Int a, std::size_t n) {
+    const __m256i va = _mm256_set1_epi64x(a);
+    const __m256i sentinel = _mm256_set1_epi64x(kMpRawMinusInf);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+        // Wrapping add is fine even on sentinel lanes: the result there is
+        // discarded by the blend before it can win the max.
+        __m256i sum = _mm256_add_epi64(b, va);
+        const __m256i is_inf = _mm256_cmpeq_epi64(b, sentinel);
+        sum = _mm256_blendv_epi8(sum, sentinel, is_inf);
+        const __m256i o = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out + i));
+        const __m256i gt = _mm256_cmpgt_epi64(sum, o);  // emulated vpmaxsq
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            _mm256_blendv_epi8(o, sum, gt));
+    }
+    for (; i < n; ++i) {
+        const Int b = row[i];
+        if (b == kMpRawMinusInf) {
+            continue;
+        }
+        const Int sum = b + a;
+        if (sum > out[i]) {
+            out[i] = sum;
+        }
+    }
+}
+
+constexpr MpKernels kAvx2Kernels{IsaTier::avx2, &axpy_max_avx2};
+
+}  // namespace
+
+const MpKernels* mp_kernels_avx2() {
+    return &kAvx2Kernels;
+}
+
+}  // namespace sdf
+
+#else  // !__AVX2__
+
+namespace sdf {
+
+const MpKernels* mp_kernels_avx2() {
+    return nullptr;
+}
+
+}  // namespace sdf
+
+#endif

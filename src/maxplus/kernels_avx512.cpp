@@ -1,0 +1,71 @@
+// kernels_avx512.cpp — AVX-512 tier of the raw max-plus kernels.
+//
+// Compiled with -mavx512f (only when the compiler supports it; otherwise
+// the null-table stub below).  AVX-512F gives the native 64-bit signed max
+// (vpmaxsq) and mask registers, so the −∞ sentinel costs one compare mask
+// and a masked add: sentinel lanes keep −∞, every other lane takes b + a,
+// and one vpmaxsq folds the result into the output.  Eight lanes per
+// vector, unaligned loads/stores.
+#include "maxplus/kernels.hpp"
+
+#if defined(__AVX512F__)
+
+// GCC's _mm512_max_epi64 expands through _mm512_undefined_epi32 (an
+// intentionally uninitialised vector the mask variant never reads), which
+// -Wmaybe-uninitialized flags when inlined here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+namespace sdf {
+
+namespace {
+
+void axpy_max_avx512(Int* out, const Int* row, Int a, std::size_t n) {
+    const __m512i va = _mm512_set1_epi64(a);
+    const __m512i sentinel = _mm512_set1_epi64(kMpRawMinusInf);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i b = _mm512_loadu_si512(row + i);
+        const __mmask8 finite = _mm512_cmpneq_epi64_mask(b, sentinel);
+        // Masked add: lanes outside `finite` take the first operand
+        // (the sentinel vector), i.e. stay −∞.
+        const __m512i sum = _mm512_mask_add_epi64(sentinel, finite, b, va);
+        const __m512i o = _mm512_loadu_si512(out + i);
+        _mm512_storeu_si512(out + i, _mm512_max_epi64(o, sum));  // vpmaxsq
+    }
+    for (; i < n; ++i) {
+        const Int b = row[i];
+        if (b == kMpRawMinusInf) {
+            continue;
+        }
+        const Int sum = b + a;
+        if (sum > out[i]) {
+            out[i] = sum;
+        }
+    }
+}
+
+constexpr MpKernels kAvx512Kernels{IsaTier::avx512, &axpy_max_avx512};
+
+}  // namespace
+
+const MpKernels* mp_kernels_avx512() {
+    return &kAvx512Kernels;
+}
+
+}  // namespace sdf
+
+#else  // !__AVX512F__
+
+namespace sdf {
+
+const MpKernels* mp_kernels_avx512() {
+    return nullptr;
+}
+
+}  // namespace sdf
+
+#endif

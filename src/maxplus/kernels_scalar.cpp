@@ -1,0 +1,53 @@
+// kernels_scalar.cpp — portable scalar tier plus the tier dispatcher.
+//
+// The scalar kernel is the semantic reference for the SIMD tiers: the
+// differential tests hold every compiled tier bit-identical to it, and it
+// is what SDFRED_ISA=scalar (the CI forced-scalar job) runs.  It is still
+// much faster than the pre-SoA MpValue loop — 8-byte lanes, no exception
+// machinery — because callers only enter it under the proven no-overflow
+// bound (see kernels.hpp).
+#include "maxplus/kernels.hpp"
+
+namespace sdf {
+
+namespace {
+
+void axpy_max_scalar(Int* out, const Int* row, Int a, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const Int b = row[i];
+        if (b == kMpRawMinusInf) {
+            continue;
+        }
+        const Int sum = b + a;  // no overflow: kernel contract
+        if (sum > out[i]) {
+            out[i] = sum;
+        }
+    }
+}
+
+constexpr MpKernels kScalarKernels{IsaTier::scalar, &axpy_max_scalar};
+
+}  // namespace
+
+const MpKernels* mp_kernels_scalar() {
+    return &kScalarKernels;
+}
+
+const MpKernels* mp_kernels_for(IsaTier tier) {
+    switch (tier) {
+        case IsaTier::scalar: return mp_kernels_scalar();
+        case IsaTier::avx2: return mp_kernels_avx2();
+        case IsaTier::avx512: return mp_kernels_avx512();
+    }
+    return nullptr;
+}
+
+const MpKernels& mp_kernels() {
+    // cpudispatch guarantees the active tier is supported, and CMake only
+    // reports a tier as compiled in when its TU really carries the kernels,
+    // so the fallback arm is belt-and-braces, not a silent downgrade path.
+    const MpKernels* table = mp_kernels_for(active_isa_tier());
+    return table != nullptr ? *table : *mp_kernels_scalar();
+}
+
+}  // namespace sdf

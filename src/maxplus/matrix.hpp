@@ -6,9 +6,19 @@
 // linear map t' = Gᵀ ⊗ t, and the iteration period of the graph — hence its
 // throughput — is the max-plus eigenvalue of G, i.e. the maximum cycle mean
 // of G's precedence graph (see mcm.hpp).
+//
+// Storage is structure-of-arrays: a row is one contiguous int64_t lane
+// array with kMpRawMinusInf (INT64_MIN) encoding −∞, not an array of
+// 16-byte MpValue structs.  That halves the footprint and lets the dense
+// inner loops run the runtime-dispatched SIMD kernels of kernels.hpp
+// directly over raw rows.  The MpValue accessors convert at the edge; the
+// one semantic consequence is that the finite value INT64_MIN is reserved
+// for the sentinel and set() rejects it (it is unreachable from SDF inputs,
+// whose times are naturals, and from checked arithmetic over them).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -28,7 +38,8 @@ public:
     /// entry count overflows size_t (an unchecked rows*cols would wrap and
     /// allocate a too-small buffer, turning every set() into UB).
     MpMatrix(std::size_t rows, std::size_t cols)
-        : rows_(rows), cols_(cols), entries_(checked_entry_count(rows, cols)) {}
+        : rows_(rows), cols_(cols),
+          entries_(checked_entry_count(rows, cols), kMpRawMinusInf) {}
 
     /// The max-plus identity: 0 on the diagonal, −∞ elsewhere.
     static MpMatrix identity(std::size_t size);
@@ -37,11 +48,19 @@ public:
     [[nodiscard]] std::size_t cols() const { return cols_; }
 
     [[nodiscard]] MpValue at(std::size_t row, std::size_t col) const {
-        return entries_[row * cols_ + col];
+        const Int raw = entries_[row * cols_ + col];
+        return raw == kMpRawMinusInf ? MpValue::minus_infinity() : MpValue(raw);
     }
     void set(std::size_t row, std::size_t col, MpValue value) {
-        entries_[row * cols_ + col] = value;
+        entries_[row * cols_ + col] = checked_raw(value);
     }
+
+    /// Row `row` as a raw sentinel-encoded lane array of cols() entries
+    /// (see the file comment); the storage the SIMD kernels run over.
+    [[nodiscard]] const Int* raw_row(std::size_t row) const {
+        return entries_.data() + row * cols_;
+    }
+    [[nodiscard]] Int* raw_row(std::size_t row) { return entries_.data() + row * cols_; }
 
     /// Installs max-plus vector `stamp` as column `col` (the stamp of the
     /// col-th new token).
@@ -57,16 +76,32 @@ public:
     [[nodiscard]] double density() const;
 
     /// Max-plus matrix product (A ⊗ B)(i,k) = max_j A(i,j) + B(j,k);
-    /// composing two iterations of the graph.  Sparsity-aware: B is indexed
-    /// by per-row finite supports (−∞ rows and columns cost nothing), the
-    /// inner loops run over raw entry pointers in column blocks sized for
-    /// L1, and independent row blocks are dispatched on the global thread
-    /// pool.  Produces exactly the same matrix as multiply_naive.
+    /// composing two iterations of the graph.  Sparsity-aware and blocked
+    /// for L1 as before, with a two-speed overflow strategy: when
+    /// max_abs_finite(A) + max_abs_finite(B) fits int64 no product entry
+    /// can overflow, so the inner loops run unchecked — dense B rows
+    /// through the runtime-dispatched SIMD kernels (kernels.hpp), sparse
+    /// rows through an unchecked scalar CSR loop.  Otherwise every addition
+    /// goes through multiply_checked.  Independent row blocks run on the
+    /// global thread pool; temporaries live in per-thread arenas.  Produces
+    /// exactly the same matrix (or the same ArithmeticError) as
+    /// multiply_naive.
     [[nodiscard]] MpMatrix multiply(const MpMatrix& other) const;
 
-    /// The reference O(rows·cols·cols) triple loop the optimized kernel is
-    /// differentially tested against.
+    /// The pre-SIMD blocked kernel: sparsity-aware column-blocked loops
+    /// with overflow-checked additions.  It is the fallback multiply takes
+    /// when the safe-magnitude bound fails, and the baseline the bench
+    /// gate measures the SIMD path against.
+    [[nodiscard]] MpMatrix multiply_checked(const MpMatrix& other) const;
+
+    /// The reference O(rows·cols·cols) triple loop the optimized kernels
+    /// are differentially tested against.
     [[nodiscard]] MpMatrix multiply_naive(const MpMatrix& other) const;
+
+    /// Largest |value| over the finite entries (0 when there are none).
+    /// multiply's safe-magnitude bound: a ⊗-product of two matrices cannot
+    /// overflow when the two maxima sum below INT64_MAX.
+    [[nodiscard]] std::uint64_t max_abs_finite() const;
 
     /// Max-plus matrix power by repeated squaring; `exponent` >= 0; the
     /// matrix must be square.  Power 0 is the identity, power 1 a copy —
@@ -89,9 +124,15 @@ public:
 private:
     static std::size_t checked_entry_count(std::size_t rows, std::size_t cols);
 
+    /// The raw lane for `value`; rejects finite INT64_MIN, which would
+    /// alias the −∞ sentinel (see the file comment).
+    static Int checked_raw(MpValue value);
+
+    void multiply_into(const MpMatrix& other, MpMatrix& result, bool checked) const;
+
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<MpValue> entries_;
+    std::vector<Int> entries_;  ///< row-major raw lanes; kMpRawMinusInf = −∞
 };
 
 std::ostream& operator<<(std::ostream& os, const MpMatrix& m);

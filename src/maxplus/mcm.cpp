@@ -1,11 +1,14 @@
 #include "maxplus/mcm.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "base/arena.hpp"
 #include "base/errors.hpp"
 #include "base/thread_pool.hpp"
+#include "maxplus/kernels.hpp"
 #include "robust/budget.hpp"
 
 namespace sdf {
@@ -39,42 +42,107 @@ std::vector<SccView> split_into_sccs(const Digraph& graph) {
     return views;
 }
 
-/// Karp's algorithm on one SCC that is known to contain at least one edge.
-Rational karp_on_scc(const SccView& scc) {
-    const std::size_t n = scc.nodes.size();
-    // D[k][v] = maximum weight of a walk with exactly k edges from the
-    // source (local node 0) to v; -inf encoded via a separate validity flag.
-    const Int kMinusInf = std::numeric_limits<Int>::min();
-    robust_account_bytes((n + 1) * n * sizeof(Int));
-    std::vector<std::vector<Int>> dist(n + 1, std::vector<Int>(n, kMinusInf));
-    dist[0][0] = 0;
-    std::size_t relaxations = 0;
-    for (std::size_t k = 1; k <= n; ++k) {
-        SDFRED_CHECKPOINT();
-        for (const auto& e : scc.edges) {
-            if ((++relaxations & 0xfff) == 0) {
-                SDFRED_CHECKPOINT();
-            }
-            if (dist[k - 1][e.from] == kMinusInf) {
-                continue;
-            }
-            const Int candidate = checked_add(dist[k - 1][e.from], e.weight);
-            dist[k][e.to] = std::max(dist[k][e.to], candidate);
+/// Largest |weight| over the SCC's edges, in uint64 so INT64_MIN is safe.
+std::uint64_t max_abs_weight(const SccView& scc) {
+    std::uint64_t best = 0;
+    for (const auto& e : scc.edges) {
+        const auto raw = static_cast<std::uint64_t>(e.weight);
+        const std::uint64_t mag = e.weight < 0 ? ~raw + 1 : raw;
+        if (mag > best) {
+            best = mag;
         }
     }
+    return best;
+}
+
+/// Karp's algorithm on one SCC that is known to contain at least one edge.
+///
+/// D[k][v] = maximum weight of a walk with exactly k edges from the source
+/// (local node 0) to v, stored as one flat (n+1)×n raw lane table in the
+/// calling thread's scratch arena with kMpRawMinusInf for "unreachable" —
+/// the same encoding the SIMD kernels understand.  Every entry of D is a
+/// walk of at most n edges, so when (n+1)·max|w| fits int64 no relaxation
+/// can overflow (or alias the sentinel) and the inner loops run unchecked;
+/// on dense SCCs (edges·8 ≥ n²) the per-k relaxation additionally collapses
+/// into one axpy_max per reachable node over a dense adjacency built in the
+/// arena.  Past the bound, the original checked edge loop runs unchanged.
+Rational karp_on_scc(const SccView& scc) {
+    const std::size_t n = scc.nodes.size();
+    robust_account_bytes((n + 1) * n * sizeof(Int));
+    Arena& arena = scratch_arena();
+    const Arena::Scope scope(arena);
+    Int* dist = arena.alloc_array<Int>((n + 1) * n);
+    std::fill(dist, dist + (n + 1) * n, kMpRawMinusInf);
+    dist[0] = 0;  // D[0][source]
+
+    const std::uint64_t maxw = max_abs_weight(scc);
+    const bool safe =
+        maxw == 0 ||
+        static_cast<std::uint64_t>(n) + 1 <=
+            static_cast<std::uint64_t>(std::numeric_limits<Int>::max()) / maxw;
+    const bool dense = safe && n >= 8 && scc.edges.size() * 8 >= n * n;
+
+    if (dense) {
+        // Dense adjacency: adj[u][v] = max weight over parallel u->v edges.
+        robust_account_bytes(n * n * sizeof(Int));
+        Int* adj = arena.alloc_array<Int>(n * n);
+        std::fill(adj, adj + n * n, kMpRawMinusInf);
+        for (const auto& e : scc.edges) {
+            // `safe` excludes weight INT64_MIN (its magnitude alone exceeds
+            // the bound), so plain < is the max-over-parallel-edges fold.
+            Int& slot = adj[e.from * n + e.to];
+            if (slot < e.weight) {
+                slot = e.weight;
+            }
+        }
+        const auto axpy = mp_kernels().axpy_max;
+        for (std::size_t k = 1; k <= n; ++k) {
+            SDFRED_CHECKPOINT();
+            const Int* prev = dist + (k - 1) * n;
+            Int* cur = dist + k * n;
+            for (std::size_t u = 0; u < n; ++u) {
+                if (prev[u] == kMpRawMinusInf) {
+                    continue;
+                }
+                axpy(cur, adj + u * n, prev[u], n);
+            }
+        }
+    } else {
+        std::size_t relaxations = 0;
+        for (std::size_t k = 1; k <= n; ++k) {
+            SDFRED_CHECKPOINT();
+            const Int* prev = dist + (k - 1) * n;
+            Int* cur = dist + k * n;
+            for (const auto& e : scc.edges) {
+                if ((++relaxations & 0xfff) == 0) {
+                    SDFRED_CHECKPOINT();
+                }
+                if (prev[e.from] == kMpRawMinusInf) {
+                    continue;
+                }
+                const Int candidate =
+                    safe ? prev[e.from] + e.weight : checked_add(prev[e.from], e.weight);
+                if (cur[e.to] < candidate) {
+                    cur[e.to] = candidate;
+                }
+            }
+        }
+    }
+
     // lambda = max_v min_{k < n} (D[n][v] - D[k][v]) / (n - k); the SCC is
     // strongly connected with >= 1 edge, so some D[n][v] is finite.
     std::optional<Rational> best;
+    const Int* last = dist + n * n;
     for (std::size_t v = 0; v < n; ++v) {
-        if (dist[n][v] == kMinusInf) {
+        if (last[v] == kMpRawMinusInf) {
             continue;
         }
         std::optional<Rational> inner;
         for (std::size_t k = 0; k < n; ++k) {
-            if (dist[k][v] == kMinusInf) {
+            if (dist[k * n + v] == kMpRawMinusInf) {
                 continue;
             }
-            const Rational candidate(checked_sub(dist[n][v], dist[k][v]),
+            const Rational candidate(checked_sub(last[v], dist[k * n + v]),
                                      static_cast<Int>(n - k));
             if (!inner || candidate < *inner) {
                 inner = candidate;

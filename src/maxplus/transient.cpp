@@ -11,17 +11,19 @@ namespace sdf {
 namespace {
 
 /// True when b == a with every finite entry shifted by `shift` (and the
-/// same −∞ pattern).
+/// same −∞ pattern).  Scans the raw sentinel-encoded lanes directly — the
+/// power-ladder comparison is quadratic in matrix size and runs once per
+/// (k0, c) candidate, so decoding MpValues here showed up in profiles.
 bool shifted_equal(const MpMatrix& a, const MpMatrix& b, Int shift) {
     SDFRED_CHECKPOINT();
     for (std::size_t i = 0; i < a.rows(); ++i) {
+        const Int* ra = a.raw_row(i);
+        const Int* rb = b.raw_row(i);
         for (std::size_t j = 0; j < a.cols(); ++j) {
-            const MpValue va = a.at(i, j);
-            const MpValue vb = b.at(i, j);
-            if (va.is_finite() != vb.is_finite()) {
+            if ((ra[j] == kMpRawMinusInf) != (rb[j] == kMpRawMinusInf)) {
                 return false;
             }
-            if (va.is_finite() && checked_add(va.value(), shift) != vb.value()) {
+            if (ra[j] != kMpRawMinusInf && checked_add(ra[j], shift) != rb[j]) {
                 return false;
             }
         }

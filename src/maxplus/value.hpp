@@ -9,11 +9,19 @@
 
 #include <compare>
 #include <iosfwd>
+#include <limits>
 #include <string>
 
 #include "base/checked.hpp"
 
 namespace sdf {
+
+/// Raw structure-of-arrays encoding of a max-plus scalar: one int64_t lane
+/// with INT64_MIN standing in for −∞ (it is the neutral element of signed
+/// max, so plain integer max implements ⊕ on raw lanes).  The finite value
+/// INT64_MIN itself is reserved — MpMatrix::set rejects it — which the
+/// SIMD kernels (maxplus/kernels.hpp) rely on.
+inline constexpr Int kMpRawMinusInf = std::numeric_limits<Int>::min();
 
 /// A max-plus scalar: either a finite 64-bit integer or minus infinity.
 class MpValue {

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "base/arena.hpp"
 #include "base/thread_pool.hpp"
 #include "robust/fault.hpp"
 
@@ -16,8 +17,9 @@ thread_local Governor* t_governor = nullptr;
 /// iterations per tick, so the poll is noise while keeping overrun small.
 constexpr std::uint64_t kSlowCheckMask = 63;
 
-/// Registers the pool context hooks exactly once, the first time any
-/// GovernorScope is created.  Until then the pool carries no context and
+/// Registers the pool context hooks and the arena accounting hook exactly
+/// once, the first time any GovernorScope is created.  Until then the pool
+/// carries no context, arena growth has no governed budget to charge, and
 /// governed code has never run, so nothing is missed.
 void ensure_pool_hooks() {
     static std::once_flag once;
@@ -27,6 +29,7 @@ void ensure_pool_hooks() {
         hooks.install = [](void* context) { t_governor = static_cast<Governor*>(context); };
         hooks.uninstall = [](void*) { t_governor = nullptr; };
         set_parallel_context_hooks(hooks);
+        set_arena_account_hook(&robust_account_bytes);
     });
 }
 

@@ -12,6 +12,7 @@
 #include "analysis/governed.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/throughput.hpp"
+#include "base/cpudispatch.hpp"
 #include "base/errors.hpp"
 #include "base/portable_rng.hpp"
 #include "robust/fault.hpp"
@@ -519,12 +520,26 @@ Verdict run_symbolic_engines(const Graph& graph, const OracleLimits& limits) {
                                          "matrix differs", "dense vectors",
                                          "matrix differs"));
     }
-    const MpMatrix blocked = sparse.matrix.multiply(sparse.matrix);
+    // Kernel sweep: the checked blocked kernel and, per supported ISA tier,
+    // the dispatched SIMD multiply must all reproduce the naive reference on
+    // every mutated graph — this is the fuzzer's eye on the unchecked SIMD
+    // fast path and its safe-magnitude routing.
     const MpMatrix naive = sparse.matrix.multiply_naive(sparse.matrix);
-    if (!(blocked == naive)) {
-        disagreements.push_back(disagree("G*G", "blocked multiply", "matrix differs",
-                                         "naive multiply", "matrix differs"));
+    if (!(sparse.matrix.multiply_checked(sparse.matrix) == naive)) {
+        disagreements.push_back(disagree("G*G", "checked blocked multiply",
+                                         "matrix differs", "naive multiply",
+                                         "matrix differs"));
     }
+    const IsaTier entry_tier = active_isa_tier();
+    for (const IsaTier tier : supported_isa_tiers()) {
+        set_active_isa_tier(tier);
+        if (!(sparse.matrix.multiply(sparse.matrix) == naive)) {
+            disagreements.push_back(disagree(
+                "G*G", std::string("simd multiply (") + isa_tier_name(tier) + ")",
+                "matrix differs", "naive multiply", "matrix differs"));
+        }
+    }
+    set_active_isa_tier(entry_tier);
     const Digraph precedence = sparse.matrix.precedence_graph();
     const CycleMetric pooled = max_cycle_mean_karp(precedence);
     const CycleMetric serial = max_cycle_mean_karp_serial(precedence);
@@ -983,9 +998,10 @@ const std::vector<Oracle>& oracle_registry() {
          "makespan of k iterations == max entry of G^k when every actor's completion "
          "lands in a token",
          &run_makespan},
-        {"symbolic-engines", "sparse == dense stamps; blocked == naive kernels",
-         "both stamp engines produce bit-identical matrices; blocked multiply and "
-         "pooled Karp match their serial baselines",
+        {"symbolic-engines", "sparse == dense stamps; all ISA kernels == naive",
+         "both stamp engines produce bit-identical matrices; the checked blocked "
+         "kernel and every supported SIMD tier reproduce naive multiply, and pooled "
+         "Karp matches its serial baseline",
          &run_symbolic_engines},
         {"governed-bound", "anytime ladder bounds never exceed the exact throughput",
          "governed_throughput under starvation and injected faults always returns a "

@@ -24,10 +24,10 @@ struct CliResult {
     std::string output;  // stdout + stderr
 };
 
-CliResult run_cli(const std::string& arguments) {
+CliResult run_cli(const std::string& arguments, const std::string& env_prefix = {}) {
     const std::string log = ::testing::TempDir() + "/cli_out.txt";
     const std::string command =
-        std::string(SDFRED_CLI_PATH) + " " + arguments + " > " + log + " 2>&1";
+        env_prefix + std::string(SDFRED_CLI_PATH) + " " + arguments + " > " + log + " 2>&1";
     const int status = std::system(command.c_str());
     CliResult result;
     result.exit_code = WEXITSTATUS(status);
@@ -52,6 +52,16 @@ TEST_F(CliTest, NoArgumentsPrintsUsage) {
     const CliResult r = run_cli("");
     EXPECT_EQ(r.exit_code, 2);
     EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, SdfredIsaOverrideIsValidatedAtStartup) {
+    // A typo'd tier must be a fast bad-invocation failure (exit 2), even on
+    // commands that never reach a SIMD kernel — not a silent no-op.
+    const CliResult bad = run_cli("info " + dir_ + "/h263.sdf", "SDFRED_ISA=sse2 ");
+    EXPECT_EQ(bad.exit_code, 2);
+    EXPECT_NE(bad.output.find("unknown ISA tier"), std::string::npos);
+    const CliResult good = run_cli("info " + dir_ + "/h263.sdf", "SDFRED_ISA=scalar ");
+    EXPECT_EQ(good.exit_code, 0);
 }
 
 TEST_F(CliTest, InfoOnTextFile) {

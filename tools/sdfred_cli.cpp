@@ -80,6 +80,7 @@
 #include "analysis/static_schedule.hpp"
 #include "analysis/storage.hpp"
 #include "analysis/throughput.hpp"
+#include "base/cpudispatch.hpp"
 #include "base/errors.hpp"
 #include "base/string_util.hpp"
 #include "csdf/analysis.hpp"
@@ -805,6 +806,15 @@ int main(int argc, char** argv) {
         // SDFRED_FAULT_INJECT=alloc:N|step:N|deadline:N arms deterministic
         // one-shot faults inside governed code (robustness testing).
         install_fault_injection_from_env();
+        // Resolve the SDFRED_ISA kernel-dispatch override up front: a typo'd
+        // tier must fail fast as a bad invocation, not silently no-op on
+        // invocations that never reach a SIMD kernel.
+        try {
+            active_isa_tier();
+        } catch (const Error& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 2;
+        }
         const std::string& command = args[0];
         // Gather positional arguments and options.
         std::optional<std::string> out;
