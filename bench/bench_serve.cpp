@@ -1,0 +1,325 @@
+// bench_serve — load generator for the `sdfred serve` daemon stack.
+//
+// Two questions, both answered in one BENCH_serve.json:
+//
+//   * What does the content-addressed result cache buy?  Per model, the
+//     COLD route (fresh ServeCore, so the request pays JSON parse + model
+//     parse + throughput analysis) is timed against the HOT route (same
+//     core, identical resubmission: JSON parse + raw-text memo + cached
+//     result replay).  The CI serve-smoke job gates on hot p50 being at
+//     least 5x faster than cold p50 — the cache is the point of the
+//     daemon, so a regression there is a build breaker.
+//   * What does the daemon sustain under concurrent clients?  A load
+//     phase drives C client threads x R requests through Server::submit
+//     over a warmed store and reports requests/s plus the p50/p99
+//     response latency including queueing.
+//
+// Requests go through ServeCore::handle_line / Server::submit directly —
+// the same path every transport uses — so the numbers measure the daemon,
+// not socket syscalls.
+//
+// Flags (see docs/PERFORMANCE.md):
+//   --json FILE   write a BENCH_serve.json report and skip google-benchmark
+//   --reps N      cold-route repetitions per model (default 5)
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/thread_pool.hpp"
+#include "bench_json.hpp"
+#include "gen/structured.hpp"
+#include "io/text.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace sdf;
+
+/// One benchmark model and its ready-to-send request line.
+struct ServeModel {
+    std::string name;
+    Graph graph;
+    std::string line;
+};
+
+std::string request_line(const Graph& graph) {
+    serve::Json request = serve::Json::object();
+    request.set("id", serve::Json::integer(1));
+    request.set("op", serve::Json::string("throughput"));
+    request.set("model", serve::Json::string(write_text_string(graph)));
+    return request.dump();
+}
+
+std::vector<ServeModel> serve_models() {
+    std::vector<ServeModel> models;
+    const auto add = [&models](std::string name, Graph graph) {
+        std::string line = request_line(graph);
+        models.push_back({std::move(name), std::move(graph), std::move(line)});
+    };
+    add("ring_64", ring_graph(64, 3));
+    add("fork_join_256", fork_join_graph(256, 3));
+    add("fork_join_1024", fork_join_graph(1024, 3));
+    return models;
+}
+
+double percentile(std::vector<double> sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const auto index = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// Latency distribution of individually-timed requests, in milliseconds.
+struct Latency {
+    std::vector<double> samples_ms;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    double mean_ms = 0;
+
+    void finalize() {
+        std::sort(samples_ms.begin(), samples_ms.end());
+        p50_ms = percentile(samples_ms, 0.50);
+        p99_ms = percentile(samples_ms, 0.99);
+        double sum = 0;
+        for (const double v : samples_ms) sum += v;
+        mean_ms = samples_ms.empty()
+                      ? 0.0
+                      : sum / static_cast<double>(samples_ms.size());
+    }
+};
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct ModelReport {
+    std::string name;
+    std::size_t actors = 0;
+    std::size_t channels = 0;
+    Latency cold;  ///< fresh core per request: parse + analysis every time
+    Latency hot;   ///< warmed core: raw-text memo + result-cache replay
+    double speedup_p50 = 0;
+};
+
+ModelReport measure_model(const ServeModel& model, int cold_reps, int hot_reps) {
+    ModelReport report;
+    report.name = model.name;
+    report.actors = model.graph.actor_count();
+    report.channels = model.graph.channel_count();
+
+    for (int r = 0; r < cold_reps; ++r) {
+        serve::ServeCore cold_core;
+        const auto start = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(cold_core.handle_line(model.line));
+        report.cold.samples_ms.push_back(elapsed_ms(start));
+    }
+
+    serve::ServeCore hot_core;
+    hot_core.handle_line(model.line);  // prime the caches
+    for (int r = 0; r < hot_reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(hot_core.handle_line(model.line));
+        report.hot.samples_ms.push_back(elapsed_ms(start));
+    }
+
+    report.cold.finalize();
+    report.hot.finalize();
+    report.speedup_p50 = report.hot.p50_ms > 0
+                             ? report.cold.p50_ms / report.hot.p50_ms
+                             : 0.0;
+    return report;
+}
+
+struct LoadReport {
+    int clients = 0;
+    int requests = 0;
+    double wall_ms = 0;
+    double requests_per_s = 0;
+    Latency latency;  ///< per-request submit-to-reply, queueing included
+};
+
+LoadReport measure_load(const std::vector<ServeModel>& models, int clients,
+                        int per_client) {
+    serve::ServeCore core;
+    serve::ServerOptions options;
+    options.threads = 4;
+    options.max_queue = 100'000;  // measure service time, not shedding
+    serve::Server server(core, options);
+    for (const ServeModel& model : models) {
+        server.submit(model.line, [](std::string) {});
+    }
+    server.drain();  // warmed: the load phase measures the hot path
+
+    LoadReport report;
+    report.clients = clients;
+    report.requests = clients * per_client;
+    std::mutex latency_mutex;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(static_cast<std::size_t>(report.requests));
+
+    // Closed-loop clients: each waits for its reply before sending the
+    // next request, so latency means service time at this concurrency, not
+    // the depth of a queue the generator itself built up.
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            for (int r = 0; r < per_client; ++r) {
+                const std::string& line =
+                    models[static_cast<std::size_t>(c + r) % models.size()].line;
+                std::promise<void> done;
+                const auto start = std::chrono::steady_clock::now();
+                server.submit(line, [&latency_mutex, &latencies_ms, &done,
+                                     start](std::string) {
+                    const double ms = elapsed_ms(start);
+                    {
+                        std::lock_guard<std::mutex> hold(latency_mutex);
+                        latencies_ms.push_back(ms);
+                    }
+                    done.set_value();
+                });
+                done.get_future().wait();
+            }
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    server.drain();
+    report.wall_ms = elapsed_ms(wall_start);
+
+    report.latency.samples_ms = std::move(latencies_ms);
+    report.latency.finalize();
+    report.requests_per_s = report.wall_ms > 0
+                                ? 1000.0 * report.requests / report.wall_ms
+                                : 0.0;
+    return report;
+}
+
+std::string latency_json(const Latency& latency) {
+    std::string out = "{";
+    out += "\"samples\": " + std::to_string(latency.samples_ms.size());
+    out += ", \"p50_ms\": " + sdfbench::json_num(latency.p50_ms);
+    out += ", \"p99_ms\": " + sdfbench::json_num(latency.p99_ms);
+    out += ", \"mean_ms\": " + sdfbench::json_num(latency.mean_ms);
+    out += "}";
+    return out;
+}
+
+void print_tables(const std::vector<ModelReport>& models,
+                  const std::vector<LoadReport>& loads) {
+    std::printf("%-16s %8s %12s %12s %12s %9s\n", "model", "actors",
+                "cold p50 ms", "hot p50 ms", "hot p99 ms", "speedup");
+    for (const ModelReport& r : models) {
+        std::printf("%-16s %8zu %12.3f %12.4f %12.4f %8.1fx\n", r.name.c_str(),
+                    r.actors, r.cold.p50_ms, r.hot.p50_ms, r.hot.p99_ms,
+                    r.speedup_p50);
+    }
+    std::printf("\n%-8s %10s %10s %12s %12s %12s\n", "clients", "requests",
+                "wall ms", "req/s", "p50 ms", "p99 ms");
+    for (const LoadReport& r : loads) {
+        std::printf("%-8d %10d %10.1f %12.0f %12.4f %12.4f\n", r.clients,
+                    r.requests, r.wall_ms, r.requests_per_s, r.latency.p50_ms,
+                    r.latency.p99_ms);
+    }
+}
+
+void write_json(const std::string& path, const std::vector<ModelReport>& models,
+                const std::vector<LoadReport>& loads, int reps) {
+    std::ofstream out(path);
+    out << "{\n";
+    out << "  \"bench\": \"bench_serve\",\n";
+    out << "  \"machine\": " << sdfbench::machine_json() << ",\n";
+    out << "  \"reps\": " << reps << ",\n";
+    out << "  \"models\": [\n";
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        const ModelReport& r = models[i];
+        out << "    {\n";
+        out << "      \"name\": \"" << sdfbench::json_escape(r.name) << "\",\n";
+        out << "      \"actors\": " << r.actors << ",\n";
+        out << "      \"channels\": " << r.channels << ",\n";
+        out << "      \"baseline_cold\": " << latency_json(r.cold) << ",\n";
+        out << "      \"optimized_hot\": " << latency_json(r.hot) << ",\n";
+        out << "      \"speedup_p50\": " << sdfbench::json_num(r.speedup_p50)
+            << "\n";
+        out << "    }" << (i + 1 < models.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n";
+    out << "  \"load\": [\n";
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const LoadReport& r = loads[i];
+        out << "    {\n";
+        out << "      \"clients\": " << r.clients << ",\n";
+        out << "      \"requests\": " << r.requests << ",\n";
+        out << "      \"wall_ms\": " << sdfbench::json_num(r.wall_ms) << ",\n";
+        out << "      \"requests_per_s\": "
+            << sdfbench::json_num(r.requests_per_s) << ",\n";
+        out << "      \"latency\": " << latency_json(r.latency) << "\n";
+        out << "    }" << (i + 1 < loads.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n";
+    out << "}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
+void BM_ColdRequest(benchmark::State& state) {
+    const auto models = serve_models();
+    const ServeModel& model = models[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        serve::ServeCore core;
+        benchmark::DoNotOptimize(core.handle_line(model.line));
+    }
+    state.SetLabel(model.name);
+}
+
+void BM_HotRequest(benchmark::State& state) {
+    const auto models = serve_models();
+    const ServeModel& model = models[static_cast<std::size_t>(state.range(0))];
+    serve::ServeCore core;
+    core.handle_line(model.line);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core.handle_line(model.line));
+    }
+    state.SetLabel(model.name);
+}
+
+BENCHMARK(BM_ColdRequest)->DenseRange(0, 2);
+BENCHMARK(BM_HotRequest)->DenseRange(0, 2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string json_path = sdfbench::consume_flag(argc, argv, "--json", "");
+    const int reps = std::max(1, std::atoi(
+        sdfbench::consume_flag(argc, argv, "--reps", "5").c_str()));
+
+    const std::vector<ServeModel> models = serve_models();
+    std::vector<ModelReport> model_reports;
+    for (const ServeModel& model : models) {
+        model_reports.push_back(measure_model(model, reps, 200 * reps));
+    }
+    std::vector<LoadReport> load_reports;
+    for (const int clients : {1, 4, 8}) {
+        load_reports.push_back(measure_load(models, clients, 500));
+    }
+    print_tables(model_reports, load_reports);
+
+    if (!json_path.empty()) {
+        write_json(json_path, model_reports, load_reports, reps);
+        return 0;
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

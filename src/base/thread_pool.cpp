@@ -92,15 +92,38 @@ void ThreadPool::run_chunks(Loop& loop) {
 void ThreadPool::worker_main() {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        wake_.wait(lock, [this] { return shutdown_ || current_ != nullptr; });
+        wake_.wait(lock, [this] {
+            return shutdown_ || current_ != nullptr || !tasks_.empty();
+        });
+        // One-shot tasks first: a queued request must not starve behind a
+        // long parallel loop the workers are merely *helping* with (the
+        // loop's caller participates, so the loop always progresses).
+        if (!tasks_.empty()) {
+            std::function<void()> task = std::move(tasks_.front());
+            tasks_.pop_front();
+            ++running_tasks_;
+            lock.unlock();
+            task();  // escaping exceptions terminate, like std::thread
+            lock.lock();
+            --running_tasks_;
+            if (tasks_.empty() && running_tasks_ == 0) {
+                finished_.notify_all();
+            }
+            continue;
+        }
         if (shutdown_) {
+            // The task branch above ran first, so queued tasks drain before
+            // workers retire: destruction completes submitted work.
             return;
         }
         const std::shared_ptr<Loop> loop = current_;
         if (loop->next.load() >= loop->end) {
             // Drained but not yet retired by its caller; sleep until the
-            // caller clears current_ (notified below) or a new loop starts.
-            wake_.wait(lock, [this, &loop] { return shutdown_ || current_ != loop; });
+            // caller clears current_ (notified below), a new loop starts or
+            // a task arrives.
+            wake_.wait(lock, [this, &loop] {
+                return shutdown_ || current_ != loop || !tasks_.empty();
+            });
             continue;
         }
         ++loop->active;
@@ -195,6 +218,30 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
     if (first) {
         std::rethrow_exception(first);
     }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    if (size_ == 1) {
+        // No workers to hand off to: run synchronously on the caller, the
+        // same degradation parallel_for applies on a single-lane pool.
+        task();
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void ThreadPool::drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    finished_.wait(lock, [this] { return tasks_.empty() && running_tasks_ == 0; });
+}
+
+std::size_t ThreadPool::pending_tasks() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.size() + running_tasks_;
 }
 
 ThreadPool& global_thread_pool() {

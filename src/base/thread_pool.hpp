@@ -7,6 +7,13 @@
 // chunks from one shared atomic cursor and every participant (workers and
 // the calling thread) pulls chunks until the range is exhausted.
 //
+// Beyond the loops, the pool also accepts detached one-shot tasks
+// (submit), which is what `sdfred serve` dispatches requests onto: a task
+// runs once on some worker, may itself call parallel_for (the nested call
+// participates like any other caller), and drain() lets an owner wait for
+// every submitted task to finish without destroying the pool — the quiesce
+// step of a clean server shutdown.
+//
 // Sizing: the global pool reads SDFRED_THREADS once at first use; unset,
 // empty, zero or unparsable values fall back to hardware_concurrency().
 // A pool of size 1 never spawns threads and runs every loop inline on the
@@ -16,6 +23,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -46,6 +54,25 @@ public:
     void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                       const std::function<void(std::size_t)>& body);
 
+    /// Enqueues a one-shot task to run on some worker thread and returns
+    /// immediately.  Tasks run concurrently with each other and with
+    /// parallel_for loops; a task may itself call parallel_for.  Tasks must
+    /// not throw (an escaping exception terminates the process, like
+    /// std::thread) and must not call drain() on their own pool.  On a
+    /// single-lane pool (size() == 1, no workers) the task runs inline,
+    /// synchronously, on the caller.
+    void submit(std::function<void()> task);
+
+    /// Blocks until every task submitted so far has finished (queue empty
+    /// and no task mid-execution).  Does not stop the pool: new work may be
+    /// submitted afterwards.  This is the quiesce step of a clean server
+    /// shutdown — wait for in-flight requests without destroying the
+    /// workers.  Must not be called from inside a task on the same pool.
+    void drain();
+
+    /// Tasks currently queued or executing; a server's queue-depth gauge.
+    [[nodiscard]] std::size_t pending_tasks() const;
+
 private:
     struct Loop;
 
@@ -55,10 +82,12 @@ private:
     std::size_t size_ = 1;
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
-    std::condition_variable wake_;      // workers wait for a loop or shutdown
-    std::condition_variable finished_;  // callers wait for their loop to drain
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;      // workers wait for a loop, a task or shutdown
+    std::condition_variable finished_;  // callers wait for loops/tasks to drain
     std::shared_ptr<Loop> current_;     // loop being executed, if any
+    std::deque<std::function<void()>> tasks_;  // submitted, not yet started
+    std::size_t running_tasks_ = 0;     // started, not yet finished
     bool shutdown_ = false;
 };
 

@@ -1,0 +1,141 @@
+#include "serve/graph_store.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "io/text.hpp"
+#include "io/xml.hpp"
+
+namespace sdf {
+namespace serve {
+
+namespace {
+
+/// Models arrive as bytes with no filename, so the format is sniffed from
+/// the content: SDF3-style XML opens with '<', the plain-text format never
+/// does.  Either way the canonical key is the TEXT form — an XML model and
+/// its text spelling intern to the same entry.
+Graph parse_model(const std::string& raw_text) {
+    for (const char c : raw_text) {
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r') continue;
+        if (c == '<') return read_xml_string(raw_text);
+        break;
+    }
+    return read_text_string(raw_text);
+}
+
+}  // namespace
+
+GraphStore::GraphStore(std::size_t max_graphs)
+    : max_graphs_(std::max<std::size_t>(max_graphs, 1)) {}
+
+std::string GraphStore::content_id(const std::string& text) {
+    std::uint64_t hash = 14695981039346656037ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    static const char* kHex = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kHex[hash & 0xf];
+        hash >>= 4;
+    }
+    return out;
+}
+
+GraphStore::Interned GraphStore::intern_text(const std::string& raw_text) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto memo = raw_memo_.find(raw_text);
+        if (memo != raw_memo_.end()) {
+            const auto it = by_key_.find(memo->second);
+            if (it != by_key_.end()) {
+                touch(it->second);
+                ++stats_.graph_hits;
+                return Interned{it->second->graph, it->second->key,
+                                it->second->id, true};
+            }
+            // The memo outlived its entry (evicted): fall through and parse.
+        }
+    }
+
+    // Parse and canonicalise outside the lock; concurrent submitters of the
+    // same new model may both parse, and the first insert wins below.
+    Graph parsed = parse_model(raw_text);
+    std::string key = write_text_string(parsed);
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (raw_memo_.size() >= 8 * max_graphs_) {
+        raw_memo_.clear();
+    }
+    raw_memo_.emplace(raw_text, key);
+    const auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+        // Same model through different bytes: keep the warm stored graph and
+        // let it adopt anything the fresh parse somehow computed.
+        it->second->graph.analyses()->adopt_all(*parsed.analyses());
+        touch(it->second);
+        ++stats_.graph_hits;
+        return Interned{it->second->graph, it->second->key, it->second->id, true};
+    }
+    ++stats_.graph_misses;
+    entries_.push_front(Entry{key, content_id(key), std::move(parsed), {}});
+    by_key_.emplace(entries_.front().key, entries_.begin());
+    evict_over_capacity();
+    return Interned{entries_.front().graph, entries_.front().key,
+                    entries_.front().id, false};
+}
+
+std::optional<std::pair<int, std::string>> GraphStore::find_result(
+    const std::string& graph_key, const std::string& op_key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_key_.find(graph_key);
+    if (it != by_key_.end()) {
+        const auto result = it->second->results.find(op_key);
+        if (result != it->second->results.end()) {
+            touch(it->second);
+            ++stats_.result_hits;
+            return result->second;
+        }
+    }
+    ++stats_.result_misses;
+    return std::nullopt;
+}
+
+void GraphStore::store_result(const std::string& graph_key,
+                              const std::string& op_key, int exit_code,
+                              const std::string& result) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_key_.find(graph_key);
+    if (it == by_key_.end()) {
+        return;
+    }
+    it->second->results[op_key] = {exit_code, result};
+}
+
+StoreStats GraphStore::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    StoreStats out = stats_;
+    out.graphs = entries_.size();
+    out.results = 0;
+    for (const Entry& entry : entries_) {
+        out.results += entry.results.size();
+    }
+    return out;
+}
+
+void GraphStore::touch(EntryList::iterator it) {
+    entries_.splice(entries_.begin(), entries_, it);
+}
+
+void GraphStore::evict_over_capacity() {
+    while (entries_.size() > max_graphs_) {
+        by_key_.erase(entries_.back().key);
+        entries_.pop_back();
+        ++stats_.graph_evictions;
+    }
+}
+
+}  // namespace serve
+}  // namespace sdf

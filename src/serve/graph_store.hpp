@@ -1,0 +1,111 @@
+// graph_store.hpp — the content-addressed graph and result cache behind
+// `sdfred serve`.
+//
+// Identity is the CANONICAL TEXT of the parsed graph (io/text.hpp
+// round-trips exactly, so write_text_string() is a canonical form): two
+// submissions that differ only in comments, whitespace or declaration
+// formatting intern to the same entry, while any semantic difference —
+// a rate, a delay, an execution time — cannot collide, because the key IS
+// the model.  The FNV-1a hash of that key is exposed as a short display id
+// in stats and logs, never used for identity.
+//
+// Interning returns a Graph that SHARES the stored entry's AnalysisManager
+// (graph copies share managers until mutation — sdf/analysis_manager.hpp),
+// so an analysis computed for one request warms the store for every later
+// request on the same model.  When a fresh parse lands on an existing key,
+// the entry's manager adopt()s whatever the incoming graph computed and
+// the warm stored graph is returned — the same cross-manager machinery the
+// pass pipeline uses.
+//
+// A raw-text memo (submitted bytes → canonical key) lets byte-identical
+// resubmissions skip the parse as well; per-operation results cached inside
+// each entry let them skip the analysis too.  Entries carry their results
+// with them, so LRU eviction of a graph drops its results atomically.
+//
+// All operations are safe to call from concurrent server workers; parsing
+// happens outside the lock.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "sdf/graph.hpp"
+
+namespace sdf {
+namespace serve {
+
+/// Cache counters, surfaced verbatim by the `stats` endpoint.
+struct StoreStats {
+    std::uint64_t graph_hits = 0;     ///< interns served from the store
+    std::uint64_t graph_misses = 0;   ///< interns that had to parse
+    std::uint64_t graph_evictions = 0;
+    std::uint64_t result_hits = 0;    ///< analyses served from a cached result
+    std::uint64_t result_misses = 0;
+    std::size_t graphs = 0;           ///< entries currently stored
+    std::size_t results = 0;          ///< cached results across all entries
+};
+
+/// See the file comment.
+class GraphStore {
+public:
+    /// `max_graphs` caps the number of interned models (LRU beyond it);
+    /// clamped to at least 1.
+    explicit GraphStore(std::size_t max_graphs = 64);
+
+    /// One interned model.
+    struct Interned {
+        Graph graph;      ///< shares the stored entry's AnalysisManager
+        std::string key;  ///< canonical text — the identity
+        std::string id;   ///< fnv1a-64 hex of `key`, for stats/logs
+        bool hit = false; ///< true when the store already held this model
+    };
+
+    /// Interns the model in `raw_text` — plain text or SDF3 XML, sniffed
+    /// from the content; parses at most once per distinct submission
+    /// (ParseError propagates to the caller).
+    Interned intern_text(const std::string& raw_text);
+
+    /// The cached result of `op_key` on the graph `graph_key`, if any.
+    /// `op_key` is the service's composite key (operation + pipeline).
+    [[nodiscard]] std::optional<std::pair<int, std::string>> find_result(
+        const std::string& graph_key, const std::string& op_key);
+
+    /// Caches `op_key` → (exit code, rendered result) on `graph_key`.
+    /// No-op when the graph was evicted in the meantime.
+    void store_result(const std::string& graph_key, const std::string& op_key,
+                      int exit_code, const std::string& result);
+
+    [[nodiscard]] StoreStats stats() const;
+
+    /// fnv1a-64 of `text`, as 16 lower-case hex digits.
+    static std::string content_id(const std::string& text);
+
+private:
+    struct Entry {
+        std::string key;
+        std::string id;
+        Graph graph;
+        std::unordered_map<std::string, std::pair<int, std::string>> results;
+    };
+    using EntryList = std::list<Entry>;
+
+    /// Moves the entry to the LRU front; callers hold the lock.
+    void touch(EntryList::iterator it);
+    void evict_over_capacity();
+
+    const std::size_t max_graphs_;
+    mutable std::mutex mutex_;
+    EntryList entries_;  ///< front = most recently used
+    std::unordered_map<std::string, EntryList::iterator> by_key_;
+    /// Submitted bytes → canonical key; cleared wholesale when oversized.
+    std::unordered_map<std::string, std::string> raw_memo_;
+    StoreStats stats_;
+};
+
+}  // namespace serve
+}  // namespace sdf

@@ -1,0 +1,330 @@
+#include "serve/oracle.hpp"
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/governed.hpp"
+#include "analysis/throughput.hpp"
+#include "io/text.hpp"
+#include "pass/executor.hpp"
+#include "pass/pipeline.hpp"
+#include "robust/fault.hpp"
+#include "serve/service.hpp"
+#include "verify/oracles.hpp"
+
+namespace sdf {
+namespace serve {
+
+namespace {
+
+constexpr const char* kId = "serve-route";
+constexpr std::uint64_t kSteps = 200'000;
+
+/// A daemon response, decoded back out of the wire format.
+struct DaemonAnswer {
+    bool ok = false;
+    int exit_code = 1;
+    std::string cache;
+    std::string status;
+    std::string method;
+    std::string outcome;
+    std::string period;
+    std::vector<std::pair<std::string, std::string>> actors;
+    std::string result_dump;  ///< the whole result member, for bit-identity
+    int error_code = 0;
+    std::string error_cause;
+    std::string error_message;
+};
+
+DaemonAnswer decode(const std::string& line) {
+    DaemonAnswer out;
+    const Json response = Json::parse(line);
+    if (const Json* member = response.find("exit")) {
+        out.exit_code = static_cast<int>(member->as_integer());
+    }
+    if (const Json* member = response.find("ok")) {
+        out.ok = member->as_boolean();
+    }
+    if (const Json* member = response.find("cache")) {
+        out.cache = member->as_string();
+    }
+    if (const Json* result = response.find("result")) {
+        out.result_dump = result->dump();
+        if (const Json* member = result->find("status")) {
+            out.status = member->as_string();
+        }
+        if (const Json* member = result->find("method")) {
+            out.method = member->as_string();
+        }
+        if (const Json* member = result->find("outcome")) {
+            out.outcome = member->as_string();
+        }
+        if (const Json* member = result->find("period")) {
+            out.period = member->as_string();
+        }
+        if (const Json* member = result->find("actors")) {
+            for (const Json& entry : member->items()) {
+                out.actors.emplace_back(entry.find("actor")->as_string(),
+                                        entry.find("throughput")->as_string());
+            }
+        }
+    }
+    if (const Json* error = response.find("error")) {
+        if (const Json* member = error->find("code")) {
+            out.error_code = static_cast<int>(member->as_integer());
+        }
+        if (const Json* member = error->find("cause")) {
+            out.error_cause = member->as_string();
+        }
+        if (const Json* member = error->find("message")) {
+            out.error_message = member->as_string();
+        }
+    }
+    return out;
+}
+
+/// Re-arms the environment's fault plan so the route about to run sees the
+/// same countdowns as the route before it.
+void rearm_faults() {
+    if (const char* spec = std::getenv("SDFRED_FAULT_INJECT")) {
+        set_fault_injection(spec);
+    }
+}
+
+Disagreement disagree(const std::string& quantity, const std::string& left,
+                      const std::string& right) {
+    Disagreement out;
+    out.quantity = quantity;
+    out.left_route = "serve daemon";
+    out.left_value = left;
+    out.right_route = "direct pipeline";
+    out.right_value = right;
+    return out;
+}
+
+/// True when this budget-trip cause is only reproducible by wall-clock
+/// (so a one-sided trip is expected noise, not a bug).
+bool nondeterministic_cause(const std::string& cause) {
+    return cause == "deadline" || cause == "cancelled";
+}
+
+Json throughput_request(std::int64_t id, const std::string& model) {
+    Json request = Json::object();
+    request.set("id", Json::integer(id));
+    request.set("op", Json::string("throughput"));
+    request.set("model", Json::string(model));
+    return request;
+}
+
+/// Compares the semantic fields of a successful daemon answer against a
+/// direct Governed result.  Appends to `disagreements`.
+void compare_governed(const DaemonAnswer& daemon,
+                      const Governed<ThroughputResult>& direct,
+                      const Graph& graph,
+                      std::vector<Disagreement>& disagreements) {
+    if (daemon.status != governed_status_name(direct.status)) {
+        disagreements.push_back(disagree("governed status", daemon.status,
+                                         governed_status_name(direct.status)));
+        return;
+    }
+    const ThroughputResult& expected = *direct.value;
+    const char* outcome = expected.outcome == ThroughputOutcome::deadlocked
+                              ? "deadlocked"
+                              : expected.outcome == ThroughputOutcome::unbounded
+                                    ? "unbounded"
+                                    : "finite";
+    if (daemon.outcome != outcome) {
+        disagreements.push_back(disagree("outcome", daemon.outcome, outcome));
+        return;
+    }
+    if (expected.outcome == ThroughputOutcome::finite &&
+        daemon.period != expected.period.to_string()) {
+        disagreements.push_back(
+            disagree("iteration period", daemon.period, expected.period.to_string()));
+    }
+    if (expected.outcome != ThroughputOutcome::unbounded) {
+        if (daemon.actors.size() != graph.actor_count()) {
+            disagreements.push_back(disagree(
+                "per-actor entries", std::to_string(daemon.actors.size()),
+                std::to_string(graph.actor_count())));
+            return;
+        }
+        for (ActorId a = 0; a < graph.actor_count(); ++a) {
+            if (daemon.actors[a].first != graph.actor(a).name ||
+                daemon.actors[a].second != expected.per_actor[a].to_string()) {
+                disagreements.push_back(disagree(
+                    "throughput of " + graph.actor(a).name,
+                    daemon.actors[a].first + "=" + daemon.actors[a].second,
+                    graph.actor(a).name + "=" + expected.per_actor[a].to_string()));
+            }
+        }
+    }
+}
+
+Verdict run_serve_route(const Graph& graph, const OracleLimits& limits) {
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph: nothing to serve");
+    }
+    if (graph.actor_count() > limits.max_actors) {
+        return Verdict::skip(kId, "actor count above oracle limit");
+    }
+    const std::string model = write_text_string(graph);
+    std::vector<Disagreement> disagreements;
+
+    ServeOptions options;
+    options.cache_graphs = 4;
+    ServeCore core(options);
+
+    // ---- budgeted route with a pipeline (steps only: deterministic) ----
+    Json budgeted = throughput_request(1, model);
+    budgeted.set("pipeline", Json::string("selfloops"));
+    Json budget = Json::object();
+    budget.set("max_steps", Json::integer(static_cast<std::int64_t>(kSteps)));
+    budgeted.set("budget", std::move(budget));
+    const std::string budgeted_line = budgeted.dump();
+
+    rearm_faults();
+    const DaemonAnswer daemon = decode(core.handle_line(budgeted_line));
+
+    rearm_faults();
+    std::optional<Governed<ThroughputResult>> direct;
+    std::optional<Graph> transformed;
+    std::string direct_trip_cause;
+    std::string direct_reject;
+    try {
+        ExecutorOptions executor_options;
+        executor_options.budget.max_steps = kSteps;
+        PipelineRun run = PipelineExecutor(std::move(executor_options))
+                              .run(parse_pipeline("selfloops"),
+                                   read_text_string(model));
+        GovernOptions govern;
+        govern.budget.max_steps =
+            run.total.steps >= kSteps ? std::uint64_t{1} : kSteps - run.total.steps;
+        transformed = run.graph;
+        direct = governed_throughput(*transformed, govern);
+        if (!direct->ok()) {
+            direct_trip_cause = budget_cause_name(direct->cause);
+        }
+    } catch (const BudgetExceeded& e) {
+        direct_trip_cause = budget_cause_name(e.cause());
+    } catch (const Error& e) {
+        direct_reject = e.what();
+    }
+
+    const bool daemon_tripped = daemon.exit_code == 4;
+    const bool direct_tripped = !direct_trip_cause.empty();
+    if (!direct_reject.empty()) {
+        // The library refused the graph (inconsistent, overflow, ...): the
+        // daemon must have refused it too, with a typed error response.
+        if (daemon.exit_code == 1) {
+            return Verdict::reject(kId, "both routes rejected: " + direct_reject);
+        }
+        return Verdict::fail(
+            kId, "daemon accepted a graph the direct route rejects",
+            {disagree("refusal", "exit " + std::to_string(daemon.exit_code),
+                      direct_reject)});
+    }
+    if (daemon_tripped && direct_tripped) {
+        return Verdict::reject(kId, "both routes budget-limited");
+    }
+    if (daemon_tripped != direct_tripped) {
+        const std::string one_sided_cause =
+            daemon_tripped ? daemon.error_cause : direct_trip_cause;
+        if (nondeterministic_cause(one_sided_cause)) {
+            return Verdict::reject(kId, "one-sided wall-clock budget trip");
+        }
+        return Verdict::fail(
+            kId, "routes disagree on budget refusal",
+            {disagree("budget trip",
+                      daemon_tripped ? "429 (" + daemon.error_cause + ")" : "none",
+                      direct_tripped ? direct_trip_cause : "none")});
+    }
+    if (!daemon.ok || daemon.exit_code != 0) {
+        return Verdict::fail(kId, "daemon failed where the direct route succeeded",
+                             {disagree("exit code",
+                                       std::to_string(daemon.exit_code), "0")});
+    }
+    compare_governed(daemon, *direct, *transformed, disagreements);
+    if (!disagreements.empty()) {
+        return Verdict::fail(kId, "daemon and direct pipeline disagree",
+                             std::move(disagreements));
+    }
+
+    // ---- cache replay: identical submission, bit-identical result ----
+    if (daemon.status == "exact" && daemon.cache == "miss") {
+        const DaemonAnswer replay = decode(core.handle_line(budgeted_line));
+        if (replay.cache != "hit") {
+            return Verdict::fail(
+                kId, "identical resubmission missed the result cache",
+                {disagree("cache state", replay.cache, "hit")});
+        }
+        if (replay.result_dump != daemon.result_dump ||
+            replay.exit_code != daemon.exit_code) {
+            return Verdict::fail(
+                kId, "cache replay is not bit-identical",
+                {disagree("replayed result", replay.result_dump,
+                          daemon.result_dump)});
+        }
+    }
+
+    // ---- unbudgeted, cache-bypassing route vs the raw symbolic engine ----
+    Json unbudgeted = throughput_request(2, model);
+    unbudgeted.set("no_cache", Json::boolean(true));
+    rearm_faults();
+    const DaemonAnswer fresh = decode(core.handle_line(unbudgeted.dump()));
+    rearm_faults();
+    try {
+        const ThroughputResult expected = throughput_symbolic(read_text_string(model));
+        if (fresh.exit_code == 4 &&
+            nondeterministic_cause(fresh.error_cause)) {
+            return Verdict::reject(kId, "one-sided wall-clock budget trip");
+        }
+        if (!fresh.ok || fresh.exit_code != 0) {
+            return Verdict::fail(
+                kId, "unbudgeted daemon route failed where symbolic succeeded",
+                {disagree("exit code", std::to_string(fresh.exit_code), "0")});
+        }
+        Governed<ThroughputResult> as_governed;
+        as_governed.status = GovernedStatus::exact;
+        as_governed.value = expected;
+        compare_governed(fresh, as_governed, read_text_string(model), disagreements);
+    } catch (const BudgetExceeded&) {
+        // An outer governor (OracleLimits) cut the direct call; accept any
+        // daemon outcome for this sub-check.
+        return Verdict::reject(kId, "outer budget cut the symbolic route");
+    } catch (const Error& e) {
+        if (fresh.exit_code != 1) {
+            return Verdict::fail(
+                kId, "unbudgeted routes disagree on refusal",
+                {disagree("refusal", "exit " + std::to_string(fresh.exit_code),
+                          e.what())});
+        }
+    }
+    if (!disagreements.empty()) {
+        return Verdict::fail(kId, "daemon and symbolic route disagree",
+                             std::move(disagreements));
+    }
+    return Verdict::pass(kId);
+}
+
+}  // namespace
+
+void register_serve_oracle() {
+    Oracle oracle;
+    oracle.id = kId;
+    oracle.summary = "the serve daemon equals the in-process pipeline";
+    oracle.invariant =
+        "a throughput request through the daemon (protocol, store, cache, "
+        "budget slices) reports the same status, outcome, period and rates as "
+        "PipelineExecutor + governed_throughput composed directly, identical "
+        "resubmissions replay bit-identically from the cache, and fault-"
+        "injected runs degrade identically on both routes";
+    oracle.run = &run_serve_route;
+    register_extra_oracle(std::move(oracle));
+}
+
+}  // namespace serve
+}  // namespace sdf

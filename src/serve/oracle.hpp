@@ -1,0 +1,34 @@
+// oracle.hpp — the serve-route differential oracle.
+//
+// The 13th entry of the verify registry, contributed at runtime through
+// register_extra_oracle() because the dependency arrow points this way:
+// sdfred_serve links sdfred_verify, never the reverse.  The oracle pits the
+// whole daemon stack — JSON protocol, content-addressed store, result
+// cache, budget slicing — against a hand-composed in-process pipeline of
+// the same primitives, on the same graph:
+//
+//   * a budgeted throughput request (steps only, so the budget is
+//     deterministic) with a `selfloops` pipeline must agree with
+//     PipelineExecutor + governed_throughput on status, outcome, period
+//     and per-actor rates — INCLUDING the degraded status when
+//     SDFRED_FAULT_INJECT is armed (the oracle re-arms the environment's
+//     plan before each route so both see identical countdowns);
+//   * an identical resubmission must be served from the result cache with
+//     a bit-identical result member;
+//   * an unbudgeted no-cache request must agree with the direct symbolic
+//     route.
+//
+// Budget trips that can only be told apart by wall-clock (an outer
+// deadline from OracleLimits) resolve to `reject`, not `fail`, keeping the
+// oracle deterministic under the fuzz harness's own governors.
+#pragma once
+
+namespace sdf {
+namespace serve {
+
+/// Adds the "serve-route" oracle to the verify registry (idempotent).
+/// Call at startup — the CLI does, and so do the serve tests.
+void register_serve_oracle();
+
+}  // namespace serve
+}  // namespace sdf

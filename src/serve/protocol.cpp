@@ -1,0 +1,183 @@
+#include "serve/protocol.hpp"
+
+#include <chrono>
+
+namespace sdf {
+namespace serve {
+
+const char* op_name(Op op) {
+    switch (op) {
+        case Op::throughput: return "throughput";
+        case Op::lint: return "lint";
+        case Op::certify: return "certify";
+        case Op::fuzz_smoke: return "fuzz-smoke";
+        case Op::stats: return "stats";
+        case Op::ping: return "ping";
+        case Op::shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+namespace {
+
+Op parse_op(const std::string& name) {
+    if (name == "throughput") {
+        return Op::throughput;
+    }
+    if (name == "lint") {
+        return Op::lint;
+    }
+    if (name == "certify") {
+        return Op::certify;
+    }
+    if (name == "fuzz-smoke") {
+        return Op::fuzz_smoke;
+    }
+    if (name == "stats") {
+        return Op::stats;
+    }
+    if (name == "ping") {
+        return Op::ping;
+    }
+    if (name == "shutdown") {
+        return Op::shutdown;
+    }
+    throw BadRequestError("unknown analysis \"" + name +
+                          "\" (valid: throughput, lint, certify, fuzz-smoke, "
+                          "stats, ping, shutdown)");
+}
+
+std::uint64_t positive_integer(const Json& value, const char* field) {
+    if (!value.is_integer() || value.as_integer() <= 0) {
+        throw BadRequestError(std::string("budget field \"") + field +
+                              "\" must be a positive integer");
+    }
+    return static_cast<std::uint64_t>(value.as_integer());
+}
+
+ExecutionBudget parse_budget(const Json& json) {
+    ExecutionBudget budget;
+    for (const auto& [key, value] : json.members()) {
+        if (key == "timeout_ms") {
+            budget.deadline =
+                std::chrono::milliseconds(positive_integer(value, "timeout_ms"));
+        } else if (key == "max_steps") {
+            budget.max_steps = positive_integer(value, "max_steps");
+        } else if (key == "max_memory_mb") {
+            budget.max_bytes = positive_integer(value, "max_memory_mb") * 1024 * 1024;
+        } else {
+            throw BadRequestError("unknown budget field \"" + key +
+                                  "\" (valid: timeout_ms, max_steps, max_memory_mb)");
+        }
+    }
+    return budget;
+}
+
+}  // namespace
+
+Request parse_request(const Json& json) {
+    if (!json.is_object()) {
+        throw BadRequestError("request must be a JSON object");
+    }
+    Request request;
+    bool saw_op = false;
+    for (const auto& [key, value] : json.members()) {
+        if (key == "id") {
+            if (!value.is_null() && !value.is_string() && !value.is_integer()) {
+                throw BadRequestError("\"id\" must be a string or an integer");
+            }
+            request.id = value;
+        } else if (key == "op") {
+            if (!value.is_string()) {
+                throw BadRequestError("\"op\" must be a string");
+            }
+            request.op = parse_op(value.as_string());
+            saw_op = true;
+        } else if (key == "model") {
+            if (!value.is_string()) {
+                throw BadRequestError("\"model\" must be a string");
+            }
+            request.model = value.as_string();
+        } else if (key == "model_path") {
+            if (!value.is_string()) {
+                throw BadRequestError("\"model_path\" must be a string");
+            }
+            request.model_path = value.as_string();
+        } else if (key == "pipeline") {
+            if (!value.is_string()) {
+                throw BadRequestError("\"pipeline\" must be a string");
+            }
+            request.pipeline = value.as_string();
+        } else if (key == "budget") {
+            if (!value.is_object()) {
+                throw BadRequestError("\"budget\" must be an object");
+            }
+            request.budget = parse_budget(value);
+            request.has_budget = !request.budget.unlimited();
+        } else if (key == "degrade") {
+            if (!value.is_string() ||
+                (value.as_string() != "auto" && value.as_string() != "never")) {
+                throw BadRequestError("\"degrade\" must be \"auto\" or \"never\"");
+            }
+            request.degrade = value.as_string() == "auto";
+        } else if (key == "no_cache") {
+            if (!value.is_boolean()) {
+                throw BadRequestError("\"no_cache\" must be a boolean");
+            }
+            request.no_cache = value.as_boolean();
+        } else {
+            throw BadRequestError("unknown request field \"" + key + "\"");
+        }
+    }
+    if (!saw_op) {
+        throw BadRequestError("request is missing \"op\"");
+    }
+    if (request.needs_model()) {
+        if (request.model.empty() && request.model_path.empty()) {
+            throw BadRequestError(std::string("op \"") + op_name(request.op) +
+                                  "\" requires \"model\" or \"model_path\"");
+        }
+        if (!request.model.empty() && !request.model_path.empty()) {
+            throw BadRequestError("\"model\" and \"model_path\" are mutually exclusive");
+        }
+    }
+    return request;
+}
+
+Json make_response(const Json& id, bool ok, Op op, int exit_code,
+                   const std::string& cache) {
+    Json response = Json::object();
+    response.set("id", id);
+    response.set("ok", Json::boolean(ok));
+    response.set("op", Json::string(op_name(op)));
+    response.set("exit", Json::integer(exit_code));
+    response.set("cache", Json::string(cache));
+    return response;
+}
+
+Json make_error(int code, const std::string& kind, const std::string& message,
+                const std::string& cause) {
+    Json error = Json::object();
+    error.set("code", Json::integer(code));
+    error.set("kind", Json::string(kind));
+    if (!cause.empty()) {
+        error.set("cause", Json::string(cause));
+    }
+    error.set("message", Json::string(message));
+    return error;
+}
+
+Json make_error_response(const Json& id, const Json& op_echo, int exit_code,
+                         const std::string& cache, Json error) {
+    Json response = Json::object();
+    response.set("id", id);
+    response.set("ok", Json::boolean(false));
+    response.set("op", op_echo);
+    response.set("exit", Json::integer(exit_code));
+    response.set("cache", Json::string(cache));
+    response.set("error", std::move(error));
+    return response;
+}
+
+}  // namespace serve
+}  // namespace sdf

@@ -1,0 +1,227 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace sdf {
+namespace serve {
+
+namespace {
+
+/// The 503-style refusal for a line shed by admission control.  The line
+/// is parsed only to echo its id and op; a malformed line is refused with
+/// null echoes (it would have been a 400 anyway — the client still sees
+/// the overload first, which is the honest answer).
+std::string overloaded_response(const std::string& line) {
+    Json id;
+    Json op_echo;
+    try {
+        const Json request = Json::parse(line);
+        if (const Json* found = request.find("id")) {
+            if (found->is_string() || found->is_integer() || found->is_null()) {
+                id = *found;
+            }
+        }
+        if (const Json* found = request.find("op")) {
+            if (found->is_string()) {
+                op_echo = *found;
+            }
+        }
+    } catch (const JsonParseError&) {
+    }
+    return make_error_response(
+               id, op_echo, 4, "none",
+               make_error(503, "overloaded",
+                          "request refused: the server's queue is full"))
+        .dump();
+}
+
+bool write_all(int fd, const std::string& data) {
+    std::size_t written = 0;
+    while (written < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+Server::Server(ServeCore& core, ServerOptions options)
+    : core_(core), options_(options),
+      pool_(options.threads == 0 ? 1 : options.threads) {
+    core_.set_queue_depth_fn([this] { return pool_.pending_tasks(); });
+}
+
+Server::~Server() {
+    drain();
+    core_.set_queue_depth_fn({});
+}
+
+std::size_t Server::queue_depth() const { return pool_.pending_tasks(); }
+
+void Server::submit(std::string line, std::function<void(std::string)> reply) {
+    if (pool_.size() > 1 && pool_.pending_tasks() >= options_.max_queue) {
+        reply(overloaded_response(line));
+        return;
+    }
+    pool_.submit([this, line = std::move(line), reply = std::move(reply)] {
+        reply(core_.handle_line(line));
+    });
+}
+
+void Server::drain() { pool_.drain(); }
+
+int Server::run_stdio(std::istream& in, std::ostream& out) {
+    std::mutex write_mutex;
+    std::string line;
+    while (!core_.shutdown_requested() && std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        submit(std::move(line), [&write_mutex, &out](std::string response) {
+            const std::lock_guard<std::mutex> lock(write_mutex);
+            out << response << "\n" << std::flush;
+        });
+        line.clear();
+    }
+    drain();
+    return 0;
+}
+
+int Server::run_unix(const std::string& path) {
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(address.sun_path)) {
+        return 2;
+    }
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return 2;
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0 ||
+        ::listen(fd, 16) < 0) {
+        ::close(fd);
+        return 2;
+    }
+    const int result = run_listener(fd);
+    ::unlink(path.c_str());
+    return result;
+}
+
+int Server::run_tcp(unsigned short port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return 2;
+    }
+    const int reuse = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0 ||
+        ::listen(fd, 16) < 0) {
+        ::close(fd);
+        return 2;
+    }
+    return run_listener(fd);
+}
+
+int Server::run_listener(int listen_fd) {
+    std::vector<std::thread> connections;
+    while (!core_.shutdown_requested()) {
+        // Poll with a timeout so a shutdown processed on a worker thread is
+        // noticed within ~50ms even when no new connection arrives.
+        pollfd poll_entry{listen_fd, POLLIN, 0};
+        const int ready = ::poll(&poll_entry, 1, 50);
+        if (ready < 0 && errno != EINTR) {
+            break;
+        }
+        if (ready <= 0 || (poll_entry.revents & POLLIN) == 0) {
+            continue;
+        }
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            continue;
+        }
+        connections.emplace_back([this, fd] { serve_connection(fd); });
+    }
+    ::close(listen_fd);
+    for (std::thread& connection : connections) {
+        connection.join();
+    }
+    drain();
+    return 0;
+}
+
+void Server::serve_connection(int fd) {
+    auto write_mutex = std::make_shared<std::mutex>();
+    std::string buffer;
+    char chunk[4096];
+    while (!core_.shutdown_requested()) {
+        pollfd poll_entry{fd, POLLIN, 0};
+        const int ready = ::poll(&poll_entry, 1, 50);
+        if (ready < 0 && errno != EINTR) {
+            break;
+        }
+        if (ready <= 0 || (poll_entry.revents & (POLLIN | POLLHUP)) == 0) {
+            continue;
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        if (n <= 0) {
+            break;  // peer closed (or error)
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t newline = buffer.find('\n', start);
+             newline != std::string::npos; newline = buffer.find('\n', start)) {
+            std::string line = buffer.substr(start, newline - start);
+            start = newline + 1;
+            if (!line.empty() && line.back() == '\r') {
+                line.pop_back();
+            }
+            if (line.empty()) {
+                continue;
+            }
+            submit(std::move(line), [write_mutex, fd](std::string response) {
+                response += '\n';
+                const std::lock_guard<std::mutex> lock(*write_mutex);
+                write_all(fd, response);
+            });
+        }
+        buffer.erase(0, start);
+    }
+    // Finish this connection's in-flight requests before closing its fd;
+    // other connections' requests drain with them (shared pool).
+    drain();
+    ::close(fd);
+}
+
+}  // namespace serve
+}  // namespace sdf

@@ -1,0 +1,93 @@
+// server.hpp — transports and dispatch for `sdfred serve`.
+//
+// The Server owns a ThreadPool and pushes request lines onto it via the
+// pool's task API (base/thread_pool.hpp): each line becomes one task that
+// runs ServeCore::handle_line and hands the response to a caller-supplied
+// reply callback.  ADMISSION CONTROL is a hard bound on the pool's pending
+// work — a line arriving while `max_queue` tasks are queued or running is
+// refused immediately with a 503-style error (exit 4), the daemon analogue
+// of the CLI's budget abort: the server sheds load instead of queueing
+// without bound.
+//
+// Three transports feed the same submit() path:
+//
+//   run_stdio(in, out)   one request per stdin line, one response per
+//                        stdout line.  With threads == 1 the pool runs
+//                        tasks inline, so responses come back in request
+//                        order — what the CI replay and scripting rely on.
+//   run_unix(path)       SOCK_STREAM Unix listener; one handler thread per
+//                        connection, newline-delimited both ways.
+//   run_tcp(port)        the same on 127.0.0.1:port (loopback only: the
+//                        protocol has no authentication).
+//
+// With more than one lane, responses are written as they finish — clients
+// match them to requests by the echoed `id`, not by order.  Every loop
+// exits when ServeCore observes a `shutdown` request, after drain()ing
+// in-flight work.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "base/thread_pool.hpp"
+#include "serve/service.hpp"
+
+namespace sdf {
+namespace serve {
+
+/// Configuration of one Server.
+struct ServerOptions {
+    /// Thread-pool lanes (caller included).  1 = synchronous: every request
+    /// handled inline in submission order.
+    std::size_t threads = 4;
+    /// Pending-request bound; submissions beyond it are refused with a
+    /// 503-style error instead of queueing.
+    std::size_t max_queue = 64;
+};
+
+/// See the file comment.
+class Server {
+public:
+    Server(ServeCore& core, ServerOptions options = {});
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Dispatches one request line.  `reply` is invoked exactly once with
+    /// the response line — inline for refusals and single-lane pools,
+    /// on a worker otherwise.  `reply` must be thread-safe across
+    /// concurrent submissions.
+    void submit(std::string line, std::function<void(std::string)> reply);
+
+    /// Blocks until every submitted request has replied.
+    void drain();
+
+    /// Requests queued or running right now.
+    [[nodiscard]] std::size_t queue_depth() const;
+
+    /// Serves newline-delimited requests from `in` to `out` until EOF or a
+    /// `shutdown` request.  Returns 0.
+    int run_stdio(std::istream& in, std::ostream& out);
+
+    /// Listens on a Unix stream socket at `path` (unlinking a stale file
+    /// first) until a `shutdown` request.  Returns 0, or 2 when the socket
+    /// cannot be created.
+    int run_unix(const std::string& path);
+
+    /// The same on TCP 127.0.0.1:`port`.
+    int run_tcp(unsigned short port);
+
+private:
+    int run_listener(int listen_fd);
+    void serve_connection(int fd);
+
+    ServeCore& core_;
+    ServerOptions options_;
+    ThreadPool pool_;
+};
+
+}  // namespace serve
+}  // namespace sdf

@@ -1,0 +1,476 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <utility>
+
+#include "absint/certificate.hpp"
+#include "absint/reachability.hpp"
+#include "absint/token_intervals.hpp"
+#include "analysis/governed.hpp"
+#include "analysis/throughput.hpp"
+#include "lint/lint.hpp"
+#include "lint/render.hpp"
+#include "pass/executor.hpp"
+#include "pass/pipeline.hpp"
+#include "sdf/repetition.hpp"
+#include "verify/oracles.hpp"
+
+namespace sdf {
+namespace serve {
+
+namespace {
+
+/// What is left of `budget` after `used` has been spent (by the pipeline
+/// stage that precedes the analysis).  Exhausted members clamp to the
+/// smallest positive amount, so the follow-on governor trips at its first
+/// checkpoint instead of running unlimited.
+ExecutionBudget remaining_after(const ExecutionBudget& budget,
+                                const ResourceUsage& used) {
+    ExecutionBudget out = budget;
+    if (out.deadline) {
+        const auto spent =
+            std::chrono::milliseconds(static_cast<std::int64_t>(used.wall_ms));
+        out.deadline = *out.deadline > spent ? *out.deadline - spent
+                                             : std::chrono::milliseconds(1);
+    }
+    if (out.max_steps) {
+        out.max_steps = *out.max_steps > used.steps ? *out.max_steps - used.steps
+                                                    : std::uint64_t{1};
+    }
+    if (out.max_bytes) {
+        out.max_bytes = *out.max_bytes > used.accounted_bytes
+                            ? *out.max_bytes - used.accounted_bytes
+                            : std::uint64_t{1};
+    }
+    return out;
+}
+
+Json json_opt_int(const std::optional<Int>& value) {
+    return value.has_value() ? Json::integer(*value) : Json::make_null();
+}
+
+std::string read_model_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw ParseError("cannot open model file: " + path);
+    }
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+const char* outcome_name(ThroughputOutcome outcome) {
+    switch (outcome) {
+        case ThroughputOutcome::deadlocked: return "deadlocked";
+        case ThroughputOutcome::unbounded: return "unbounded";
+        case ThroughputOutcome::finite: return "finite";
+    }
+    return "?";
+}
+
+}  // namespace
+
+ServeCore::ServeCore(ServeOptions options)
+    : options_(std::move(options)), store_(options_.cache_graphs) {}
+
+ServeCounters ServeCore::counters() const {
+    ServeCounters out;
+    out.requests = requests_.load(std::memory_order_relaxed);
+    out.ok = ok_.load(std::memory_order_relaxed);
+    out.errors = errors_.load(std::memory_order_relaxed);
+    return out;
+}
+
+ExecutionBudget ServeCore::effective_budget(const Request& request) const {
+    return request.has_budget ? request.budget : options_.default_budget;
+}
+
+std::string ServeCore::handle_line(const std::string& line) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const auto start = std::chrono::steady_clock::now();
+    Json response;
+    try {
+        response = handle(Json::parse(line));
+    } catch (const JsonParseError& e) {
+        response = make_error_response(
+            Json::make_null(), Json::make_null(), 2, "none",
+            make_error(400, "bad-json", e.what()));
+    }
+    const Json* exit_member = response.find("exit");
+    const std::int64_t exit_code =
+        exit_member != nullptr ? exit_member->as_integer() : 1;
+    (exit_code <= 1 ? ok_ : errors_).fetch_add(1, std::memory_order_relaxed);
+    if (options_.timings) {
+        const std::chrono::duration<double, std::milli> wall =
+            std::chrono::steady_clock::now() - start;
+        response.set("wall_ms", Json::real(wall.count()));
+    }
+    return response.dump();
+}
+
+Json ServeCore::handle(const Json& request_json) {
+    // Echo id and op even when the request later fails to validate.
+    Json id;
+    Json op_echo;
+    if (request_json.is_object()) {
+        if (const Json* found = request_json.find("id")) {
+            if (found->is_string() || found->is_integer() || found->is_null()) {
+                id = *found;
+            }
+        }
+        if (const Json* found = request_json.find("op")) {
+            if (found->is_string()) {
+                op_echo = *found;
+            }
+        }
+    }
+    try {
+        const Request request = parse_request(request_json);
+        op_echo = Json::string(op_name(request.op));
+        std::string cache_state = "none";
+        int exit_code = 0;
+        Json result;
+        switch (request.op) {
+            case Op::ping: {
+                result = Json::object();
+                result.set("pong", Json::boolean(true));
+                break;
+            }
+            case Op::stats: {
+                result = op_stats();
+                break;
+            }
+            case Op::shutdown: {
+                shutdown_.store(true, std::memory_order_relaxed);
+                result = Json::object();
+                result.set("stopping", Json::boolean(true));
+                break;
+            }
+            default: {
+                result = run_model_op(request, cache_state, exit_code);
+                break;
+            }
+        }
+        Json response =
+            make_response(id, exit_code <= 1, request.op, exit_code, cache_state);
+        response.set("result", std::move(result));
+        return response;
+    } catch (const BadRequestError& e) {
+        return make_error_response(id, op_echo, 2, "none",
+                              make_error(400, "bad-request", e.what()));
+    } catch (const PipelineParseError& e) {
+        return make_error_response(id, op_echo, 2, "none",
+                              make_error(400, "bad-pipeline", e.what()));
+    } catch (const ParseError& e) {
+        return make_error_response(id, op_echo, 3, "none",
+                              make_error(422, "parse-error", e.what()));
+    } catch (const BudgetExceeded& e) {
+        return make_error_response(
+            id, op_echo, 4, "none",
+            make_error(429, "budget-exceeded", e.what(),
+                       budget_cause_name(e.cause())));
+    } catch (const Error& e) {
+        return make_error_response(id, op_echo, 1, "none",
+                              make_error(500, "analysis-error", e.what()));
+    } catch (const std::bad_alloc&) {
+        return make_error_response(
+            id, op_echo, 4, "none",
+            make_error(429, "budget-exceeded", "allocation failed", "memory"));
+    } catch (const std::exception& e) {
+        return make_error_response(id, op_echo, 1, "none",
+                              make_error(500, "internal-error", e.what()));
+    }
+}
+
+Json ServeCore::run_model_op(const Request& request, std::string& cache_state,
+                             int& exit_code) {
+    const std::string model_text = request.model_path.empty()
+                                       ? request.model
+                                       : read_model_file(request.model_path);
+    const GraphStore::Interned interned = store_.intern_text(model_text);
+
+    std::optional<Pipeline> pipeline;
+    std::string pipeline_canonical;
+    if (!request.pipeline.empty()) {
+        pipeline = parse_pipeline(request.pipeline);
+        pipeline_canonical = pipeline->to_string();
+    }
+    const std::string op_key =
+        std::string(op_name(request.op)) + "|" + pipeline_canonical;
+
+    if (request.no_cache) {
+        cache_state = "bypass";
+    } else if (const auto cached = store_.find_result(interned.key, op_key)) {
+        cache_state = "hit";
+        exit_code = cached->first;
+        return Json::parse(cached->second);
+    } else {
+        cache_state = "miss";
+    }
+
+    Graph graph = interned.graph;
+    ResourceUsage pipeline_used;
+    if (pipeline) {
+        ExecutorOptions executor_options;
+        executor_options.budget = effective_budget(request);
+        const PipelineRun run =
+            PipelineExecutor(std::move(executor_options)).run(*pipeline, std::move(graph));
+        graph = run.graph;
+        pipeline_used = run.total;
+    }
+
+    bool cacheable = true;
+    Json result;
+    switch (request.op) {
+        case Op::throughput:
+            result = op_throughput(request, graph, pipeline_used, exit_code,
+                                   cacheable);
+            break;
+        case Op::lint:
+            result = op_lint(request, graph, exit_code, cacheable);
+            break;
+        case Op::certify:
+            result = op_certify(request, graph, exit_code);
+            break;
+        case Op::fuzz_smoke:
+            result = op_fuzz_smoke(request, graph, exit_code, cacheable);
+            break;
+        default:
+            throw BadRequestError("op does not analyse a model");
+    }
+    if (!request.no_cache && cacheable && exit_code <= 1) {
+        store_.store_result(interned.key, op_key, exit_code, result.dump());
+    }
+    return result;
+}
+
+Json ServeCore::op_throughput(const Request& request, const Graph& graph,
+                              const ResourceUsage& pipeline_used, int& exit_code,
+                              bool& cacheable) const {
+    const ExecutionBudget budget = effective_budget(request);
+    GovernedStatus status = GovernedStatus::exact;
+    std::string method = "symbolic-exact";
+    BudgetCause cause = BudgetCause::none;
+    ThroughputResult throughput;
+    if (budget.unlimited()) {
+        // The ungoverned fast path reads the graph's shared AnalysisManager,
+        // so the result computed here warms the store entry for every later
+        // request on the same model.
+        throughput = *cached_throughput(graph);
+    } else {
+        GovernOptions govern;
+        govern.budget = remaining_after(budget, pipeline_used);
+        govern.degrade =
+            request.degrade.value_or(true) ? DegradeMode::auto_ : DegradeMode::never;
+        const Governed<ThroughputResult> governed =
+            governed_throughput(graph, govern);
+        if (!governed.ok()) {
+            throw BudgetExceeded(
+                governed.cause == BudgetCause::none ? BudgetCause::steps
+                                                    : governed.cause,
+                governed.detail.empty()
+                    ? "no result obtainable within the budget"
+                    : governed.detail);
+        }
+        status = governed.status;
+        method = governed.method;
+        cause = governed.cause;
+        throughput = *governed.value;
+    }
+    // Degraded answers depend on where the budget tripped; only exact ones
+    // are replayable and therefore cacheable.
+    cacheable = status == GovernedStatus::exact;
+    exit_code = 0;
+
+    Json result = Json::object();
+    result.set("status", Json::string(governed_status_name(status)));
+    result.set("method", Json::string(method));
+    if (cause != BudgetCause::none) {
+        result.set("cause", Json::string(budget_cause_name(cause)));
+    }
+    result.set("outcome", Json::string(outcome_name(throughput.outcome)));
+    if (throughput.outcome == ThroughputOutcome::finite) {
+        result.set("period", Json::string(throughput.period.to_string()));
+    }
+    Json actors = Json::array();
+    if (throughput.outcome != ThroughputOutcome::unbounded) {
+        for (ActorId a = 0; a < graph.actor_count(); ++a) {
+            Json entry = Json::object();
+            entry.set("actor", Json::string(graph.actor(a).name));
+            entry.set("throughput", Json::string(throughput.per_actor[a].to_string()));
+            actors.push_back(std::move(entry));
+        }
+    }
+    result.set("actors", std::move(actors));
+    return result;
+}
+
+Json ServeCore::op_lint(const Request& request, const Graph& graph,
+                        int& exit_code, bool& cacheable) const {
+    const ExecutionBudget budget = effective_budget(request);
+    std::optional<Governor> governor;
+    std::optional<GovernorScope> scope;
+    if (!budget.unlimited()) {
+        governor.emplace(budget);
+        scope.emplace(*governor);
+        // A rule that trips the budget reports itself as a finding instead
+        // of throwing (the linter's exception-free contract), which makes
+        // governed lint runs budget-dependent — never cache those.
+        cacheable = false;
+    }
+    // No SourceMap and no file name: the report must be a pure function of
+    // the canonical graph so cached replays are bit-identical regardless of
+    // whether the model arrived inline or by path.
+    const LintReport report = lint_graph(graph);
+    exit_code = report.has_at_least(Severity::error) ? 1 : 0;
+    return Json::parse(render_json(report, "", graph.name()));
+}
+
+Json ServeCore::op_certify(const Request& request, const Graph& graph,
+                           int& exit_code) const {
+    const ExecutionBudget budget = effective_budget(request);
+    std::optional<Governor> governor;
+    std::optional<GovernorScope> scope;
+    if (!budget.unlimited()) {
+        governor.emplace(budget);
+        scope.emplace(*governor);
+    }
+    // Mirrors `sdfred_cli analyze --certify --json` (tools/sdfred_cli.cpp):
+    // same members, same verdicts, same exit-1 conditions.
+    const absint::TokenIntervals intervals = absint::token_intervals(graph);
+    const absint::Reachability reach = absint::compute_reachability(graph);
+    const absint::CertifiedBounds certified =
+        absint::certify_buffer_bounds(graph, intervals);
+    const absint::CertificateCheck check =
+        absint::verify_certificate(graph, certified);
+    std::optional<std::vector<Int>> q;
+    std::string inconsistency;
+    if (graph.actor_count() > 0) {
+        try {
+            q = repetition_vector(graph);
+        } catch (const Error& e) {
+            inconsistency = e.what();
+        }
+    }
+    bool dead_actor = false;
+    bool guaranteed_deadlock = false;
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        dead_actor = dead_actor || reach.never_fires(a);
+        guaranteed_deadlock =
+            guaranteed_deadlock || (q && reach.max_firings[a].has_value() &&
+                                    *reach.max_firings[a] < (*q)[a]);
+    }
+
+    Json result = Json::object();
+    result.set("graph", Json::string(graph.name()));
+    result.set("consistent", Json::boolean(inconsistency.empty()));
+    result.set("solver_steps", Json::integer(static_cast<std::int64_t>(
+                                   intervals.solver_steps)));
+    Json channels = Json::array();
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        const Channel& channel = graph.channel(c);
+        Json entry = Json::object();
+        entry.set("id", Json::integer(static_cast<std::int64_t>(c)));
+        entry.set("src", Json::string(graph.actor(channel.src).name));
+        entry.set("dst", Json::string(graph.actor(channel.dst).name));
+        entry.set("lo", Json::integer(intervals.channels[c].lo));
+        entry.set("hi", json_opt_int(intervals.channels[c].hi));
+        entry.set("cap", json_opt_int(intervals.caps[c]));
+        entry.set("certified_bound", json_opt_int(certified.certificates[c].bound));
+        channels.push_back(std::move(entry));
+    }
+    result.set("channels", std::move(channels));
+    Json actors = Json::array();
+    for (ActorId a = 0; a < graph.actor_count(); ++a) {
+        Json entry = Json::object();
+        entry.set("name", Json::string(graph.actor(a).name));
+        entry.set("possibly_enabled", Json::boolean(intervals.possibly_enabled[a]));
+        entry.set("max_firings", json_opt_int(reach.max_firings[a]));
+        actors.push_back(std::move(entry));
+    }
+    result.set("actors", std::move(actors));
+    result.set("invariants", Json::integer(static_cast<std::int64_t>(
+                                 intervals.invariants.size())));
+    Json certificate = Json::object();
+    certificate.set("verified", Json::boolean(check.ok));
+    certificate.set("reason", Json::string(check.reason));
+    result.set("certificate", std::move(certificate));
+    Json verdicts = Json::object();
+    verdicts.set("dead_actor", Json::boolean(dead_actor));
+    verdicts.set("guaranteed_deadlock", Json::boolean(guaranteed_deadlock));
+    result.set("verdicts", std::move(verdicts));
+
+    const bool broken =
+        !check.ok || !inconsistency.empty() || dead_actor || guaranteed_deadlock;
+    exit_code = broken ? 1 : 0;
+    return result;
+}
+
+Json ServeCore::op_fuzz_smoke(const Request& request, const Graph& graph,
+                              int& exit_code, bool& cacheable) const {
+    OracleLimits limits;
+    limits.budget = effective_budget(request);
+    // run_oracle converts a budget trip into a typed `reject`, so a starved
+    // fuzz-smoke degrades per oracle instead of failing wholesale — but the
+    // verdicts then depend on the budget, so such runs are not cacheable.
+    cacheable = limits.budget.unlimited();
+    Json oracles = Json::array();
+    std::int64_t failures = 0;
+    for (const Oracle& oracle : oracle_registry()) {
+        if (oracle.extra) {
+            // Extra oracles (the serve-route oracle itself) run daemon
+            // sweeps of their own; skipping them here keeps fuzz-smoke
+            // recursion-free.
+            continue;
+        }
+        const Verdict verdict = run_oracle(oracle, graph, limits);
+        failures += verdict.failed() ? 1 : 0;
+        Json entry = Json::object();
+        entry.set("id", Json::string(oracle.id));
+        entry.set("verdict", Json::string(verdict_status_name(verdict.status)));
+        if (!verdict.detail.empty()) {
+            entry.set("detail", Json::string(verdict.detail));
+        }
+        oracles.push_back(std::move(entry));
+    }
+    Json result = Json::object();
+    result.set("oracles", std::move(oracles));
+    result.set("failures", Json::integer(failures));
+    exit_code = failures > 0 ? 1 : 0;
+    return result;
+}
+
+Json ServeCore::op_stats() const {
+    const ServeCounters tallies = counters();
+    const StoreStats store = store_.stats();
+    Json result = Json::object();
+    Json requests = Json::object();
+    requests.set("total", Json::integer(static_cast<std::int64_t>(tallies.requests)));
+    requests.set("ok", Json::integer(static_cast<std::int64_t>(tallies.ok)));
+    requests.set("errors", Json::integer(static_cast<std::int64_t>(tallies.errors)));
+    result.set("requests", std::move(requests));
+    Json cache = Json::object();
+    cache.set("graphs", Json::integer(static_cast<std::int64_t>(store.graphs)));
+    cache.set("results", Json::integer(static_cast<std::int64_t>(store.results)));
+    cache.set("graph_hits",
+              Json::integer(static_cast<std::int64_t>(store.graph_hits)));
+    cache.set("graph_misses",
+              Json::integer(static_cast<std::int64_t>(store.graph_misses)));
+    cache.set("graph_evictions",
+              Json::integer(static_cast<std::int64_t>(store.graph_evictions)));
+    cache.set("result_hits",
+              Json::integer(static_cast<std::int64_t>(store.result_hits)));
+    cache.set("result_misses",
+              Json::integer(static_cast<std::int64_t>(store.result_misses)));
+    result.set("cache", std::move(cache));
+    result.set("queue_depth",
+               Json::integer(static_cast<std::int64_t>(
+                   queue_depth_ ? queue_depth_() : 0)));
+    return result;
+}
+
+}  // namespace serve
+}  // namespace sdf

@@ -1,0 +1,111 @@
+// service.hpp — ServeCore, the transport-independent heart of `sdfred serve`.
+//
+// One ServeCore owns the content-addressed GraphStore and turns request
+// lines into response lines (serve/protocol.hpp is the wire contract,
+// docs/SERVE.md the prose spec).  It is deliberately transport-free: the
+// Server (serve/server.hpp) feeds it from sockets or stdin, the golden
+// protocol tests feed it strings, and the serve-route fuzz oracle feeds it
+// graphs — all through the same handle_line().
+//
+// handle_line() never throws.  Every failure mode of the pipeline under it
+// is caught and mapped onto the structured error member:
+//
+//   BadRequestError / PipelineParseError   → code 400, exit 2
+//   ParseError (model or malformed JSON)   → code 422/400, exit 3/2
+//   BudgetExceeded / bad_alloc             → code 429, exit 4, with cause
+//   Error (semantic analysis failure)      → code 500, exit 1
+//
+// DETERMINISM is a design constraint, not an accident: a response's
+// `result` member is a pure function of (canonical model, op, canonical
+// pipeline spec) — lint runs without source locations, analysis results
+// carry no wall-clock fields (timings live in the optional `wall_ms`
+// response member, off by default), and Json::dump() is byte-stable.  That
+// is what lets the result cache replay responses bit-identically and lets
+// the stress test diff daemon answers against one-shot runs.
+//
+// Thread model: handle_line() is safe to call from any number of server
+// workers concurrently; the store has its own lock and the counters are
+// atomics.  Per-request budgets install a Governor only for the duration
+// of the governed sections, so concurrent requests never share slices.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "robust/budget.hpp"
+#include "serve/graph_store.hpp"
+#include "serve/protocol.hpp"
+
+namespace sdf {
+namespace serve {
+
+/// Configuration of one ServeCore.
+struct ServeOptions {
+    /// Graphs kept in the content-addressed store (LRU beyond this).
+    std::size_t cache_graphs = 64;
+    /// Budget applied to requests that do not carry their own.  Unlimited
+    /// by default.
+    ExecutionBudget default_budget;
+    /// Attach "wall_ms" to every response.  Off by default so responses
+    /// are byte-stable (golden tests, cache replay).
+    bool timings = false;
+};
+
+/// Request tallies, surfaced by the `stats` op.
+struct ServeCounters {
+    std::uint64_t requests = 0;  ///< lines handled, including malformed ones
+    std::uint64_t ok = 0;        ///< responses with exit 0 or 1
+    std::uint64_t errors = 0;    ///< responses with exit 2, 3 or 4
+};
+
+/// See the file comment.
+class ServeCore {
+public:
+    explicit ServeCore(ServeOptions options = {});
+
+    /// Handles one request line; returns the response line (no trailing
+    /// newline).  Never throws.
+    std::string handle_line(const std::string& line);
+
+    /// True once a `shutdown` request was accepted.
+    [[nodiscard]] bool shutdown_requested() const {
+        return shutdown_.load(std::memory_order_relaxed);
+    }
+
+    /// Lets the transport report its queue depth through the `stats` op.
+    void set_queue_depth_fn(std::function<std::size_t()> fn) {
+        queue_depth_ = std::move(fn);
+    }
+
+    [[nodiscard]] ServeCounters counters() const;
+    [[nodiscard]] StoreStats store_stats() const { return store_.stats(); }
+
+private:
+    Json handle(const Json& request_json);
+    Json run_model_op(const Request& request, std::string& cache_state,
+                      int& exit_code);
+    Json op_throughput(const Request& request, const Graph& graph,
+                       const ResourceUsage& pipeline_used, int& exit_code,
+                       bool& cacheable) const;
+    Json op_lint(const Request& request, const Graph& graph, int& exit_code,
+                 bool& cacheable) const;
+    Json op_certify(const Request& request, const Graph& graph,
+                    int& exit_code) const;
+    Json op_fuzz_smoke(const Request& request, const Graph& graph,
+                       int& exit_code, bool& cacheable) const;
+    Json op_stats() const;
+    [[nodiscard]] ExecutionBudget effective_budget(const Request& request) const;
+
+    ServeOptions options_;
+    GraphStore store_;
+    std::function<std::size_t()> queue_depth_;
+    std::atomic<bool> shutdown_{false};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> ok_{0};
+    std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace serve
+}  // namespace sdf

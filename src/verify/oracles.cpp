@@ -961,10 +961,8 @@ Verdict run_absint_self_test(const Graph& graph, const OracleLimits& limits) {
     return run_absint_soundness_impl("selftest-absint-unsound", graph, limits, true);
 }
 
-}  // namespace
-
-const std::vector<Oracle>& oracle_registry() {
-    static const std::vector<Oracle> registry = {
+std::vector<Oracle>& mutable_registry() {
+    static std::vector<Oracle> registry = {
         {"throughput-routes",
          "self-timed simulation == MCM of symbolic matrix == classic HSDF",
          "all independent throughput routes report the same outcome, period and "
@@ -1022,6 +1020,21 @@ const std::vector<Oracle>& oracle_registry() {
          &run_absint_soundness},
     };
     return registry;
+}
+
+}  // namespace
+
+const std::vector<Oracle>& oracle_registry() { return mutable_registry(); }
+
+void register_extra_oracle(Oracle oracle) {
+    oracle.extra = true;
+    for (Oracle& existing : mutable_registry()) {
+        if (existing.id == oracle.id) {
+            existing = std::move(oracle);
+            return;
+        }
+    }
+    mutable_registry().push_back(std::move(oracle));
 }
 
 const Oracle* find_oracle(const std::string& id) {

@@ -49,10 +49,24 @@ struct Oracle {
     std::string summary;    ///< one-line description
     std::string invariant;  ///< the invariant checked, in paper terms
     Verdict (*run)(const Graph&, const OracleLimits&) = nullptr;
+    /// Registered at runtime via register_extra_oracle() rather than built
+    /// in.  Extra oracles may themselves drive whole registry sweeps (the
+    /// serve-route oracle runs the daemon's fuzz-smoke op), so sweeps that
+    /// an extra oracle triggers skip other extras to stay recursion-free.
+    bool extra = false;
 };
 
-/// All production oracles, in registry order.
+/// All production oracles, in registry order: the built-in battery first,
+/// then anything added through register_extra_oracle().
 const std::vector<Oracle>& oracle_registry();
+
+/// Appends an oracle from a higher layer to the registry (marked `extra`).
+/// sdfred_verify sits below the layers that own some cross-checkable
+/// machinery — the serve daemon links verify, not the other way round — so
+/// those layers contribute their oracle at startup instead of at link time.
+/// Re-registering an id replaces the previous entry (idempotent).  Not
+/// thread-safe; call during startup, before any fuzzing or sweeps run.
+void register_extra_oracle(Oracle oracle);
 
 /// The oracle with this id (registry or self-test), or nullptr.
 const Oracle* find_oracle(const std::string& id);

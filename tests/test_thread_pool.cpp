@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -130,6 +131,113 @@ TEST(ThreadPool, LargeGrainRunsInlineOnCaller) {
     });
     ASSERT_EQ(ids.size(), 1u);
     EXPECT_EQ(*ids.begin(), caller);
+}
+
+TEST(ThreadPool, SubmittedTasksAllRun) {
+    ThreadPool pool(4);
+    constexpr std::size_t kTasks = 500;
+    std::vector<std::atomic<int>> hits(kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+        pool.submit([&hits, i] { hits[i].fetch_add(1); });
+    }
+    pool.drain();
+    for (std::size_t i = 0; i < kTasks; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+    }
+}
+
+TEST(ThreadPool, DrainWaitsForInFlightTasks) {
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            done.fetch_add(1);
+        });
+    }
+    pool.drain();
+    // drain() returning means every task finished, not merely dequeued.
+    EXPECT_EQ(done.load(), 16);
+    EXPECT_EQ(pool.pending_tasks(), 0u);
+}
+
+TEST(ThreadPool, DrainOnIdlePoolReturnsImmediately) {
+    ThreadPool pool(2);
+    pool.drain();  // nothing submitted: must not block
+    EXPECT_EQ(pool.pending_tasks(), 0u);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterDrain) {
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.submit([&calls] { calls.fetch_add(1); });
+    pool.drain();
+    pool.submit([&calls] { calls.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsTasksInline) {
+    ThreadPool pool(1);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::thread::id ran_on;
+    pool.submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+    // A 1-lane pool has no workers: submit is synchronous on the caller,
+    // so the task already ran and drain is a no-op.
+    EXPECT_EQ(ran_on, caller);
+    pool.drain();
+}
+
+TEST(ThreadPool, TasksMayRunParallelForLoops) {
+    ThreadPool pool(4);
+    constexpr std::size_t kTasks = 8;
+    constexpr std::size_t kCount = 256;
+    std::vector<std::atomic<int>> hits(kTasks * kCount);
+    for (std::size_t t = 0; t < kTasks; ++t) {
+        pool.submit([&pool, &hits, t] {
+            pool.parallel_for(0, kCount, 16, [&hits, t](std::size_t i) {
+                hits[t * kCount + i].fetch_add(1);
+            });
+        });
+    }
+    pool.drain();
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+    }
+}
+
+TEST(ThreadPool, DestructionCompletesQueuedTasks) {
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&done] { done.fetch_add(1); });
+        }
+        // No drain: the destructor must still run every queued task before
+        // retiring the workers.
+    }
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersAndDrain) {
+    ThreadPool pool(4);
+    constexpr std::size_t kSubmitters = 4;
+    constexpr std::size_t kPer = 200;
+    std::atomic<int> done{0};
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&pool, &done] {
+            for (std::size_t i = 0; i < kPer; ++i) {
+                pool.submit([&done] { done.fetch_add(1); });
+            }
+        });
+    }
+    for (std::thread& t : submitters) {
+        t.join();
+    }
+    pool.drain();
+    EXPECT_EQ(done.load(), static_cast<int>(kSubmitters * kPer));
 }
 
 TEST(ThreadPool, GlobalPoolExistsAndRuns) {

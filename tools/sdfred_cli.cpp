@@ -38,6 +38,11 @@
 //   sdfred_cli fuzz --self-test           plant an off-by-one, require the
 //                                         harness to find and shrink it
 //   sdfred_cli fuzz --list                oracle reference table
+//   sdfred_cli serve [--stdio | --socket PATH | --tcp PORT] [--threads N]
+//                    [--cache-entries N] [--max-queue N] [--timings]
+//                                         newline-delimited-JSON analysis
+//                                         daemon with a content-addressed
+//                                         result cache (docs/SERVE.md)
 //
 // Graphs load from SDF3-style XML (*.xml) or the plain-text format
 // (anything else); CSDF commands take csdf-typed XML.  -o picks the output
@@ -99,6 +104,8 @@
 #include "robust/fault.hpp"
 #include "sdf/properties.hpp"
 #include "sdf/repetition.hpp"
+#include "serve/oracle.hpp"
+#include "serve/server.hpp"
 #include "verify/fuzz.hpp"
 #include "verify/oracles.hpp"
 
@@ -159,6 +166,9 @@ int usage() {
                  "                       [--corpus DIR] [--failures DIR]\n"
                  "                       [--max-mutations N] [--no-shrink]\n"
                  "       sdfred_cli fuzz --self-test | --list\n"
+                 "       sdfred_cli serve [--stdio | --socket PATH | --tcp PORT]\n"
+                 "                        [--threads N] [--cache-entries N]\n"
+                 "                        [--max-queue N] [--timings]\n"
                  "       sdfred_cli --version\n"
                  "FMT: hsdf | reduced-hsdf | abstract | abstract-sdf | text | xml | dot\n"
                  "--lint before any command aborts it when the model has lint errors\n"
@@ -776,6 +786,39 @@ int cmd_fuzz_self_test(FuzzOptions options) {
     return self_test.ok() ? 0 : 1;
 }
 
+/// `serve`: the concurrent analysis daemon (docs/SERVE.md).  Budget flags
+/// become the default per-request budget; requests may override it.
+struct ServeCliOptions {
+    std::optional<std::string> socket;       ///< --socket PATH (Unix)
+    std::optional<unsigned short> tcp_port;  ///< --tcp PORT (127.0.0.1)
+    std::size_t threads = 4;
+    std::size_t cache_entries = 64;
+    std::size_t max_queue = 64;
+    bool timings = false;
+};
+
+int cmd_serve(const ServeCliOptions& options, const GovernOptions& govern,
+              bool governed) {
+    serve::ServeOptions core_options;
+    core_options.cache_graphs = options.cache_entries;
+    if (governed) {
+        core_options.default_budget = govern.budget;
+    }
+    core_options.timings = options.timings;
+    serve::ServeCore core(core_options);
+    serve::ServerOptions server_options;
+    server_options.threads = options.threads;
+    server_options.max_queue = options.max_queue;
+    serve::Server server(core, server_options);
+    if (options.socket) {
+        return server.run_unix(*options.socket);
+    }
+    if (options.tcp_port) {
+        return server.run_tcp(*options.tcp_port);
+    }
+    return server.run_stdio(std::cin, std::cout);
+}
+
 /// The --lint guard: lints `path` before an analysis command runs and
 /// reports whether errors block it.
 bool lint_guard_passes(const std::string& path) {
@@ -806,6 +849,9 @@ int main(int argc, char** argv) {
         // SDFRED_FAULT_INJECT=alloc:N|step:N|deadline:N arms deterministic
         // one-shot faults inside governed code (robustness testing).
         install_fault_injection_from_env();
+        // Contribute the serve-route oracle so `fuzz` sweeps the daemon
+        // stack alongside the built-in battery (src/serve/oracle.hpp).
+        serve::register_serve_oracle();
         // Resolve the SDFRED_ISA kernel-dispatch override up front: a typo'd
         // tier must fail fast as a bad invocation, not silently no-op on
         // invocations that never reach a SIMD kernel.
@@ -835,6 +881,7 @@ int main(int argc, char** argv) {
         bool verify_each = false;
         bool absint_json = false;
         bool certify = false;
+        ServeCliOptions serve_options;
         std::vector<std::string> positional;
         for (std::size_t i = 1; i < args.size(); ++i) {
             if (args[i] == "-o" && i + 1 < args.size()) {
@@ -945,9 +992,43 @@ int main(int argc, char** argv) {
                 guard = true;
             } else if (args[i] == "--list") {
                 list_rules = true;
+            } else if (args[i] == "--stdio") {
+                serve_options.socket.reset();
+                serve_options.tcp_port.reset();
+            } else if (args[i] == "--socket" && i + 1 < args.size()) {
+                serve_options.socket = args[++i];
+            } else if (args[i] == "--tcp" && i + 1 < args.size()) {
+                const auto n = parse_int(args[++i]);
+                if (!n || *n <= 0 || *n > 65535) {
+                    return usage();
+                }
+                serve_options.tcp_port = static_cast<unsigned short>(*n);
+            } else if (args[i] == "--threads" && i + 1 < args.size()) {
+                const auto n = parse_int(args[++i]);
+                if (!n || *n <= 0) {
+                    return usage();
+                }
+                serve_options.threads = static_cast<std::size_t>(*n);
+            } else if (args[i] == "--cache-entries" && i + 1 < args.size()) {
+                const auto n = parse_int(args[++i]);
+                if (!n || *n <= 0) {
+                    return usage();
+                }
+                serve_options.cache_entries = static_cast<std::size_t>(*n);
+            } else if (args[i] == "--max-queue" && i + 1 < args.size()) {
+                const auto n = parse_int(args[++i]);
+                if (!n || *n <= 0) {
+                    return usage();
+                }
+                serve_options.max_queue = static_cast<std::size_t>(*n);
+            } else if (args[i] == "--timings") {
+                serve_options.timings = true;
             } else {
                 positional.push_back(args[i]);
             }
+        }
+        if (command == "serve" && positional.empty()) {
+            return cmd_serve(serve_options, govern_options, governed);
         }
         if (command == "lint" && list_rules && positional.empty()) {
             return cmd_lint_list();
