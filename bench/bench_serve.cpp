@@ -34,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "base/thread_pool.hpp"
 #include "bench_json.hpp"
 #include "gen/structured.hpp"
@@ -142,6 +144,46 @@ ModelReport measure_model(const ServeModel& model, int cold_reps, int hot_reps) 
     return report;
 }
 
+/// Warm-restart contrast: what does the DISK cache buy a freshly started
+/// daemon?  Per model, a populated --cache-dir is re-opened by a brand-new
+/// ServeCore (load_all + re-parse + replay = the warm start) and the first
+/// request is timed — a disk hit that skips the analysis entirely — against
+/// the cold p50, which pays the full analysis.
+struct RestartReport {
+    std::string name;
+    Latency warm_start;  ///< ServeCore construction incl. cache warm-up
+    Latency disk_hit;    ///< first request on the freshly warmed core
+    double speedup_p50 = 0;  ///< cold p50 / disk-warmed first-request p50
+};
+
+RestartReport measure_restart(const ServeModel& model, const Latency& cold,
+                              int reps) {
+    RestartReport report;
+    report.name = model.name;
+    const std::string dir = "/tmp/sdfred-bench-restart-" +
+                            std::to_string(::getpid()) + "-" + model.name;
+    serve::ServeOptions options;
+    options.cache_dir = dir;
+    {
+        serve::ServeCore writer(options);
+        writer.handle_line(model.line);  // persist the entry once
+    }
+    for (int r = 0; r < reps; ++r) {
+        const auto boot = std::chrono::steady_clock::now();
+        serve::ServeCore warmed(options);
+        report.warm_start.samples_ms.push_back(elapsed_ms(boot));
+        const auto start = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(warmed.handle_line(model.line));
+        report.disk_hit.samples_ms.push_back(elapsed_ms(start));
+    }
+    report.warm_start.finalize();
+    report.disk_hit.finalize();
+    report.speedup_p50 =
+        report.disk_hit.p50_ms > 0 ? cold.p50_ms / report.disk_hit.p50_ms : 0.0;
+    std::system(("rm -rf " + dir).c_str());
+    return report;
+}
+
 struct LoadReport {
     int clients = 0;
     int requests = 0;
@@ -218,6 +260,7 @@ std::string latency_json(const Latency& latency) {
 }
 
 void print_tables(const std::vector<ModelReport>& models,
+                  const std::vector<RestartReport>& restarts,
                   const std::vector<LoadReport>& loads) {
     std::printf("%-16s %8s %12s %12s %12s %9s\n", "model", "actors",
                 "cold p50 ms", "hot p50 ms", "hot p99 ms", "speedup");
@@ -225,6 +268,12 @@ void print_tables(const std::vector<ModelReport>& models,
         std::printf("%-16s %8zu %12.3f %12.4f %12.4f %8.1fx\n", r.name.c_str(),
                     r.actors, r.cold.p50_ms, r.hot.p50_ms, r.hot.p99_ms,
                     r.speedup_p50);
+    }
+    std::printf("\n%-16s %14s %16s %9s\n", "model", "warm-start ms",
+                "disk-hit p50 ms", "speedup");
+    for (const RestartReport& r : restarts) {
+        std::printf("%-16s %14.3f %16.4f %8.1fx\n", r.name.c_str(),
+                    r.warm_start.p50_ms, r.disk_hit.p50_ms, r.speedup_p50);
     }
     std::printf("\n%-8s %10s %10s %12s %12s %12s\n", "clients", "requests",
                 "wall ms", "req/s", "p50 ms", "p99 ms");
@@ -236,6 +285,7 @@ void print_tables(const std::vector<ModelReport>& models,
 }
 
 void write_json(const std::string& path, const std::vector<ModelReport>& models,
+                const std::vector<RestartReport>& restarts,
                 const std::vector<LoadReport>& loads, int reps) {
     std::ofstream out(path);
     out << "{\n";
@@ -254,6 +304,19 @@ void write_json(const std::string& path, const std::vector<ModelReport>& models,
         out << "      \"speedup_p50\": " << sdfbench::json_num(r.speedup_p50)
             << "\n";
         out << "    }" << (i + 1 < models.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n";
+    out << "  \"restart\": [\n";
+    for (std::size_t i = 0; i < restarts.size(); ++i) {
+        const RestartReport& r = restarts[i];
+        out << "    {\n";
+        out << "      \"name\": \"" << sdfbench::json_escape(r.name) << "\",\n";
+        out << "      \"warm_start\": " << latency_json(r.warm_start) << ",\n";
+        out << "      \"disk_warmed_hit\": " << latency_json(r.disk_hit)
+            << ",\n";
+        out << "      \"speedup_p50_vs_cold\": "
+            << sdfbench::json_num(r.speedup_p50) << "\n";
+        out << "    }" << (i + 1 < restarts.size() ? ",\n" : "\n");
     }
     out << "  ],\n";
     out << "  \"load\": [\n";
@@ -306,17 +369,21 @@ int main(int argc, char** argv) {
 
     const std::vector<ServeModel> models = serve_models();
     std::vector<ModelReport> model_reports;
-    for (const ServeModel& model : models) {
-        model_reports.push_back(measure_model(model, reps, 200 * reps));
+    std::vector<RestartReport> restart_reports;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        model_reports.push_back(measure_model(models[i], reps, 200 * reps));
+        restart_reports.push_back(
+            measure_restart(models[i], model_reports[i].cold, reps));
     }
     std::vector<LoadReport> load_reports;
     for (const int clients : {1, 4, 8}) {
         load_reports.push_back(measure_load(models, clients, 500));
     }
-    print_tables(model_reports, load_reports);
+    print_tables(model_reports, restart_reports, load_reports);
 
     if (!json_path.empty()) {
-        write_json(json_path, model_reports, load_reports, reps);
+        write_json(json_path, model_reports, restart_reports, load_reports,
+                   reps);
         return 0;
     }
     benchmark::Initialize(&argc, argv);

@@ -1,0 +1,50 @@
+#include "base/crc64.hpp"
+
+#include <array>
+
+namespace sdf {
+
+namespace {
+
+// CRC-64/XZ: reflected form of polynomial 0x42F0E1EBA9EA3693.
+constexpr std::uint64_t kPolyReflected = 0xC96C5795D7870F42ull;
+
+std::array<std::uint64_t, 256> build_table() {
+    std::array<std::uint64_t, 256> table{};
+    for (std::uint64_t byte = 0; byte < 256; ++byte) {
+        std::uint64_t crc = byte;
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc >> 1) ^ ((crc & 1) != 0 ? kPolyReflected : 0);
+        }
+        table[static_cast<std::size_t>(byte)] = crc;
+    }
+    return table;
+}
+
+const std::array<std::uint64_t, 256>& table() {
+    static const std::array<std::uint64_t, 256> kTable = build_table();
+    return kTable;
+}
+
+}  // namespace
+
+std::uint64_t crc64_update(std::uint64_t crc, const void* data,
+                           std::size_t size) noexcept {
+    const auto& t = table();
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc = t[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+    }
+    return ~crc;
+}
+
+std::uint64_t crc64(const void* data, std::size_t size) noexcept {
+    return crc64_update(0, data, size);
+}
+
+std::uint64_t crc64(const std::string& data) noexcept {
+    return crc64(data.data(), data.size());
+}
+
+}  // namespace sdf

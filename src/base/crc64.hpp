@@ -1,0 +1,33 @@
+// crc64.hpp — CRC-64 checksums for the crash-safe persistence layer.
+//
+// The persistent result cache (serve/persist.hpp) guards every entry file
+// with a CRC-64 trailer so a torn write, a truncated file or a flipped bit
+// is DETECTED at load time and quarantined instead of being replayed as a
+// cached analysis result.  The parameters are the widely deployed
+// CRC-64/XZ model (reflected polynomial 0x42F0E1EBA9EA3693, initial value
+// and final xor all-ones) — the same checksum xz-utils uses — computed
+// with a 256-entry table built once at startup.
+//
+// The checksum is a pure function of the bytes: no global state, safe to
+// call from any thread, and stable across platforms (the persistence
+// format is little-endian by definition, not by host).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sdf {
+
+/// CRC-64/XZ of `size` bytes at `data`.
+[[nodiscard]] std::uint64_t crc64(const void* data, std::size_t size) noexcept;
+
+/// Convenience overload for whole strings.
+[[nodiscard]] std::uint64_t crc64(const std::string& data) noexcept;
+
+/// Continues a running checksum: crc64_update(crc64(a), b) == crc64(a + b).
+/// Feed the value returned by the previous call, starting from 0.
+[[nodiscard]] std::uint64_t crc64_update(std::uint64_t crc, const void* data,
+                                         std::size_t size) noexcept;
+
+}  // namespace sdf

@@ -1,0 +1,44 @@
+#include "base/signals.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace sdf {
+
+namespace {
+
+// Written from signal context: must be lock-free.  std::atomic<bool> is
+// guaranteed lock-free nowhere, but is on every platform this builds for;
+// sig_atomic_t semantics are preserved by using only store/load.
+std::atomic<bool> g_shutdown_requested{false};
+
+extern "C" void sdfred_shutdown_handler(int) {
+    g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_signal_handlers() {
+    struct sigaction action {};
+    action.sa_handler = &sdfred_shutdown_handler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: blocking reads must wake up
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+}
+
+bool shutdown_signal_received() noexcept {
+    return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+void simulate_shutdown_signal() noexcept {
+    g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+void reset_shutdown_signal() noexcept {
+    g_shutdown_requested.store(false, std::memory_order_relaxed);
+}
+
+void ignore_sigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+}  // namespace sdf

@@ -1,0 +1,42 @@
+// signals.hpp — async-signal-safe shutdown plumbing for long-running
+// commands (`sdfred serve`).
+//
+// A daemon that is kill-ed mid-write corrupts nothing (the persistence
+// layer is crash-only), but a daemon that is asked to stop POLITELY —
+// SIGTERM from an orchestrator, Ctrl-C on a terminal — should drain: stop
+// accepting work, finish in-flight requests, fsync the cache index, exit 0.
+//
+// The handler installed here does the only thing a signal handler may do:
+// set a flag.  Everything else (draining, fsync) happens on ordinary
+// threads that poll shutdown_signal_received() between requests.  Handlers
+// are installed WITHOUT SA_RESTART on purpose, so a blocking read()/
+// accept() returns EINTR and its loop can observe the flag instead of
+// sleeping through the shutdown.
+//
+// SIGPIPE is a separate concern with the same remedy class: a client that
+// disconnects mid-response must surface as a handled EPIPE write error on
+// one connection, never as process death.  ignore_sigpipe() sets SIG_IGN
+// once; transports additionally pass MSG_NOSIGNAL where available.
+#pragma once
+
+namespace sdf {
+
+/// Installs the flag-setting handler for SIGTERM and SIGINT (idempotent).
+/// Call once at daemon startup, before serving.
+void install_shutdown_signal_handlers();
+
+/// True once SIGTERM or SIGINT has been delivered since installation.
+/// Async-signal-safe to query; never resets.
+[[nodiscard]] bool shutdown_signal_received() noexcept;
+
+/// Test hook: raises the flag exactly as the real handler would.
+void simulate_shutdown_signal() noexcept;
+
+/// Test hook: lowers the flag so one process can run several drain tests.
+void reset_shutdown_signal() noexcept;
+
+/// Sets SIGPIPE to SIG_IGN (idempotent) so a peer closing its socket turns
+/// writes into EPIPE errors the transport handles per connection.
+void ignore_sigpipe();
+
+}  // namespace sdf

@@ -262,7 +262,8 @@ PipelineRun PipelineExecutor::run(const Pipeline& pipeline, Graph graph) const {
         std::optional<GovernorScope> scope;
         if (!options_.budget.unlimited()) {
             governor.emplace(
-                remaining_slice(options_.budget, run.total, started, report.invocation));
+                remaining_slice(options_.budget, run.total, started, report.invocation),
+                options_.token);
             scope.emplace(*governor);
         }
         const Clock::time_point pass_started = Clock::now();

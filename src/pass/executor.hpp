@@ -65,6 +65,11 @@ struct ExecutorOptions {
     /// Budget for the whole pipeline; unlimited (default) installs no
     /// governor.
     ExecutionBudget budget;
+    /// Cancellation flag checked by the per-pass governors (no-op while the
+    /// budget is unlimited, which installs no governor).  A supervisor that
+    /// cancels it stops the pipeline at the next checkpoint with
+    /// BudgetExceeded{cancelled}.
+    CancellationToken token;
     /// Check every changed pass against its declarations (see file
     /// comment); preserved analyses are recomputed, never adopted.
     bool verify_each = false;

@@ -17,12 +17,21 @@ namespace {
 std::atomic<std::int64_t> g_alloc_countdown{-1};
 std::atomic<std::int64_t> g_step_countdown{-1};
 std::atomic<std::int64_t> g_deadline_countdown{-1};
+// The I/O class (consumed by serve/persist.cpp, not by checkpoints).
+std::atomic<std::int64_t> g_io_write_countdown{-1};
+std::atomic<std::int64_t> g_io_fsync_countdown{-1};
+std::atomic<std::int64_t> g_io_read_countdown{-1};
+std::atomic<std::int64_t> g_torn_write_byte{-1};
 std::atomic<bool> g_armed{false};
 
 void refresh_armed() {
     g_armed.store(g_alloc_countdown.load(std::memory_order_relaxed) >= 0 ||
                       g_step_countdown.load(std::memory_order_relaxed) >= 0 ||
-                      g_deadline_countdown.load(std::memory_order_relaxed) >= 0,
+                      g_deadline_countdown.load(std::memory_order_relaxed) >= 0 ||
+                      g_io_write_countdown.load(std::memory_order_relaxed) >= 0 ||
+                      g_io_fsync_countdown.load(std::memory_order_relaxed) >= 0 ||
+                      g_io_read_countdown.load(std::memory_order_relaxed) >= 0 ||
+                      g_torn_write_byte.load(std::memory_order_relaxed) >= 0,
                   std::memory_order_release);
 }
 
@@ -41,6 +50,10 @@ void set_fault_injection(const std::string& spec) {
     std::int64_t alloc = -1;
     std::int64_t step = -1;
     std::int64_t deadline = -1;
+    std::int64_t io_write = -1;
+    std::int64_t io_fsync = -1;
+    std::int64_t io_read = -1;
+    std::int64_t torn_write = -1;
     std::string clause;
     const auto flush = [&] {
         if (clause.empty()) {
@@ -54,8 +67,12 @@ void set_fault_injection(const std::string& spec) {
         const std::string count = clause.substr(colon + 1);
         char* end = nullptr;
         const long long n = std::strtoll(count.c_str(), &end, 10);
-        if (end == count.c_str() || *end != '\0' || n < 1) {
-            throw Error("fault injection count '" + count + "' is not a positive integer");
+        // torn-write:B is a byte OFFSET, so zero (tear everything) is legal;
+        // the countdown kinds need at least one event to count down to.
+        const long long minimum = kind == "torn-write" ? 0 : 1;
+        if (end == count.c_str() || *end != '\0' || n < minimum) {
+            throw Error("fault injection count '" + count +
+                        "' is not a valid integer for kind '" + kind + "'");
         }
         if (kind == "alloc") {
             alloc = n;
@@ -63,9 +80,18 @@ void set_fault_injection(const std::string& spec) {
             step = n;
         } else if (kind == "deadline") {
             deadline = n;
+        } else if (kind == "io-write") {
+            io_write = n;
+        } else if (kind == "io-fsync") {
+            io_fsync = n;
+        } else if (kind == "io-read") {
+            io_read = n;
+        } else if (kind == "torn-write") {
+            torn_write = n;
         } else {
             throw Error("unknown fault injection kind '" + kind +
-                        "' (expected alloc, step or deadline)");
+                        "' (expected alloc, step, deadline, io-write, "
+                        "io-fsync, io-read or torn-write)");
         }
         clause.clear();
     };
@@ -80,6 +106,10 @@ void set_fault_injection(const std::string& spec) {
     g_alloc_countdown.store(alloc, std::memory_order_relaxed);
     g_step_countdown.store(step, std::memory_order_relaxed);
     g_deadline_countdown.store(deadline, std::memory_order_relaxed);
+    g_io_write_countdown.store(io_write, std::memory_order_relaxed);
+    g_io_fsync_countdown.store(io_fsync, std::memory_order_relaxed);
+    g_io_read_countdown.store(io_read, std::memory_order_relaxed);
+    g_torn_write_byte.store(torn_write, std::memory_order_relaxed);
     refresh_armed();
 }
 
@@ -87,6 +117,10 @@ void clear_fault_injection() {
     g_alloc_countdown.store(-1, std::memory_order_relaxed);
     g_step_countdown.store(-1, std::memory_order_relaxed);
     g_deadline_countdown.store(-1, std::memory_order_relaxed);
+    g_io_write_countdown.store(-1, std::memory_order_relaxed);
+    g_io_fsync_countdown.store(-1, std::memory_order_relaxed);
+    g_io_read_countdown.store(-1, std::memory_order_relaxed);
+    g_torn_write_byte.store(-1, std::memory_order_relaxed);
     refresh_armed();
 }
 
@@ -117,6 +151,17 @@ int fault_consume_checkpoint() noexcept {
         return 2;
     }
     return 0;
+}
+
+bool fault_consume_io_write() noexcept { return consume(g_io_write_countdown); }
+
+bool fault_consume_io_fsync() noexcept { return consume(g_io_fsync_countdown); }
+
+bool fault_consume_io_read() noexcept { return consume(g_io_read_countdown); }
+
+long long fault_consume_torn_write() noexcept {
+    // exchange() makes the tear one-shot even under concurrent writers.
+    return g_torn_write_byte.exchange(-1, std::memory_order_relaxed);
 }
 
 }  // namespace detail

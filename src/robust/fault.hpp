@@ -1,20 +1,36 @@
 // fault.hpp — deterministic fault injection for exception-safety testing.
 //
-// A fault plan arms up to three countdowns:
+// A fault plan arms countdowns in two classes.  The GOVERNED class:
 //
 //   alloc:N     the Nth robust_account_bytes call throws std::bad_alloc
 //   step:N      the Nth checkpoint trips the budget with cause `steps`
 //   deadline:N  the Nth checkpoint trips the budget with cause `deadline`
 //
-// Several clauses combine with '|' or ',' (SDFRED_FAULT_INJECT="alloc:3|step:7").
-// Counters are process-global and fire only on governed threads (a Governor
-// must be installed): ungoverned code paths never see injected faults, so a
-// stray environment variable cannot destabilise plain library use.
+// and the I/O class, consumed by the crash-safe persistence layer
+// (serve/persist.hpp):
 //
-// The injector exists to prove two properties the robustness tests sweep:
+//   io-write:N   the Nth persistence write fails as if write(2) returned EIO
+//   io-fsync:N   the Nth persistence fsync fails
+//   io-read:N    the Nth entry read at warm-start fails (entry quarantined)
+//   torn-write:B the NEXT persistence write is torn after B bytes — the
+//                file appears, the rename lands, but the tail (and with it
+//                the CRC trailer) is missing, exactly what a crash between
+//                write and flush leaves behind
+//
+// Several clauses combine with '|' or ',' (SDFRED_FAULT_INJECT="alloc:3|step:7").
+// Counters are process-global.  The governed class fires only on governed
+// threads (a Governor must be installed): ungoverned code paths never see
+// injected faults, so a stray environment variable cannot destabilise plain
+// library use.  The I/O class fires wherever the persistence layer consumes
+// it — persistence is deliberately NOT governed (a budget trip must never
+// half-write a cache entry), so its faults cannot hide behind a governor.
+//
+// The injector exists to prove three properties the robustness tests sweep:
 // an injected bad_alloc never leaks (ASan) or corrupts state (identical
-// results on retry), and a budget trip at *any* checkpoint still yields a
-// conservative degraded result through the ladder.
+// results on retry), a budget trip at *any* checkpoint still yields a
+// conservative degraded result through the ladder, and an injected I/O
+// failure at any persistence point degrades the cache to a clean miss —
+// never to a corrupt replay.
 #pragma once
 
 #include <optional>
@@ -56,6 +72,19 @@ bool fault_consume_alloc() noexcept;
 /// Consumes one unit of the step/deadline countdowns; 0 = nothing fired,
 /// 1 = trip cause `steps`, 2 = trip cause `deadline`.
 int fault_consume_checkpoint() noexcept;
+
+/// Consumes one unit of the io-write countdown; true = fail this write.
+bool fault_consume_io_write() noexcept;
+
+/// Consumes one unit of the io-fsync countdown; true = fail this fsync.
+bool fault_consume_io_fsync() noexcept;
+
+/// Consumes one unit of the io-read countdown; true = fail this read.
+bool fault_consume_io_read() noexcept;
+
+/// The armed torn-write byte offset, consumed at most once: the first call
+/// after arming returns the offset, every other call returns -1.
+long long fault_consume_torn_write() noexcept;
 
 }  // namespace detail
 

@@ -5,6 +5,7 @@
 
 #include "io/text.hpp"
 #include "io/xml.hpp"
+#include "serve/persist.hpp"
 
 namespace sdf {
 namespace serve {
@@ -28,6 +29,47 @@ Graph parse_model(const std::string& raw_text) {
 
 GraphStore::GraphStore(std::size_t max_graphs)
     : max_graphs_(std::max<std::size_t>(max_graphs, 1)) {}
+
+void GraphStore::attach_persistence(PersistentCache* persist) {
+    persist_ = persist;
+}
+
+std::size_t GraphStore::warm() {
+    if (persist_ == nullptr) {
+        return 0;
+    }
+    std::size_t replayed = 0;
+    for (PersistedEntry& disk : persist_->load_all()) {
+        try {
+            // The graph key IS the canonical model text; it must parse and
+            // canonicalise back to itself or the entry cannot be trusted.
+            Graph parsed = parse_model(disk.graph_key);
+            std::string key = write_text_string(parsed);
+            if (key != disk.graph_key) {
+                persist_->quarantine(disk.graph_key, disk.op_key);
+                continue;
+            }
+            const std::lock_guard<std::mutex> lock(mutex_);
+            auto it = by_key_.find(key);
+            if (it == by_key_.end()) {
+                entries_.push_front(
+                    Entry{key, content_id(key), std::move(parsed), {}});
+                by_key_.emplace(entries_.front().key, entries_.begin());
+                evict_over_capacity();
+                it = by_key_.find(key);
+                if (it == by_key_.end()) {
+                    continue;  // capacity 0 is clamped away, but stay safe
+                }
+            }
+            it->second->results[disk.op_key] = {disk.exit_code,
+                                                std::move(disk.result)};
+            ++replayed;
+        } catch (...) {
+            persist_->quarantine(disk.graph_key, disk.op_key);
+        }
+    }
+    return replayed;
+}
 
 std::string GraphStore::content_id(const std::string& text) {
     std::uint64_t hash = 14695981039346656037ull;
@@ -106,12 +148,19 @@ std::optional<std::pair<int, std::string>> GraphStore::find_result(
 void GraphStore::store_result(const std::string& graph_key,
                               const std::string& op_key, int exit_code,
                               const std::string& result) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = by_key_.find(graph_key);
-    if (it == by_key_.end()) {
-        return;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = by_key_.find(graph_key);
+        if (it != by_key_.end()) {
+            it->second->results[op_key] = {exit_code, result};
+        }
     }
-    it->second->results[op_key] = {exit_code, result};
+    // Write through outside the lock: disk latency (and injected disk
+    // faults) must never serialise the worker pool.  An evicted graph still
+    // gets its entry written — the disk cache outlives the LRU.
+    if (persist_ != nullptr) {
+        persist_->put(graph_key, op_key, exit_code, result);
+    }
 }
 
 StoreStats GraphStore::stats() const {

@@ -50,12 +50,25 @@ struct StoreStats {
     std::size_t results = 0;          ///< cached results across all entries
 };
 
+class PersistentCache;
+
 /// See the file comment.
 class GraphStore {
 public:
     /// `max_graphs` caps the number of interned models (LRU beyond it);
     /// clamped to at least 1.
     explicit GraphStore(std::size_t max_graphs = 64);
+
+    /// Attaches (or detaches, nullptr) the disk backing.  Not owned; the
+    /// caller keeps it alive for the store's lifetime.  store_result then
+    /// writes through, and warm() replays what an earlier process wrote.
+    void attach_persistence(PersistentCache* persist);
+
+    /// Replays every intact persisted entry: the graph key is re-PARSED
+    /// (it is the model's canonical text) and must canonicalise back to
+    /// itself — an entry whose key does not round-trip is quarantined, not
+    /// trusted.  Returns the number of results replayed into the store.
+    std::size_t warm();
 
     /// One interned model.
     struct Interned {
@@ -75,8 +88,11 @@ public:
     [[nodiscard]] std::optional<std::pair<int, std::string>> find_result(
         const std::string& graph_key, const std::string& op_key);
 
-    /// Caches `op_key` → (exit code, rendered result) on `graph_key`.
-    /// No-op when the graph was evicted in the meantime.
+    /// Caches `op_key` → (exit code, rendered result) on `graph_key`, and
+    /// writes through to the attached PersistentCache (outside the store
+    /// lock — disk latency must not serialise the workers).  No-op in
+    /// memory when the graph was evicted in the meantime; the disk entry is
+    /// still written, because persistence outlives the LRU.
     void store_result(const std::string& graph_key, const std::string& op_key,
                       int exit_code, const std::string& result);
 
@@ -99,6 +115,7 @@ private:
     void evict_over_capacity();
 
     const std::size_t max_graphs_;
+    PersistentCache* persist_ = nullptr;  ///< not owned; set before serving
     mutable std::mutex mutex_;
     EntryList entries_;  ///< front = most recently used
     std::unordered_map<std::string, EntryList::iterator> by_key_;

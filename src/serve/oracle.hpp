@@ -30,5 +30,12 @@ namespace serve {
 /// Call at startup — the CLI does, and so do the serve tests.
 void register_serve_oracle();
 
+/// Adds the "crash-restart" oracle (oracle_crash.cpp): simulated daemon
+/// kills at every persistence point of a request script, restart on the
+/// same cache directory, bit-identical replay or clean miss — corruption
+/// is the only failing verdict.  Registered alongside the serve-route
+/// oracle by the CLI and the serve tests.
+void register_crash_restart_oracle();
+
 }  // namespace serve
 }  // namespace sdf

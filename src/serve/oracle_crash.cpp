@@ -1,0 +1,302 @@
+// oracle_crash.cpp — the crash-restart equivalence oracle, entry 14 of the
+// verify registry (registered through register_extra_oracle, like the
+// serve-route oracle — sdfred_serve links sdfred_verify, never the
+// reverse).
+//
+// THE INVARIANT: kill a persisting daemon at ANY point of a request script
+// — after 0, 1, ..., all of its cache writes, including a write torn
+// mid-file — restart it on the same cache directory, and replay the same
+// script.  Every response's result member must either replay BIT-IDENTICAL
+// from disk or miss cleanly and recompute to the same bytes.  Serving a
+// corrupted result is the only failing verdict; losing cache entries to a
+// crash is expected and invisible (the recompute path is deterministic).
+//
+// The "kill" is simulated through PersistOptions::stop_after_writes and
+// the tear hooks, not a real kill(2): the persistence layer drops (or
+// tears) everything past the chosen point exactly as an unsynced process
+// death would, while the process hosting the fuzzer survives to check the
+// outcome.  The CI crash-smoke job is the end-to-end complement that does
+// send a real SIGKILL.
+#include "serve/oracle.hpp"
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/text.hpp"
+#include "serve/persist.hpp"
+#include "serve/service.hpp"
+#include "verify/oracles.hpp"
+
+namespace sdf {
+namespace serve {
+
+namespace {
+
+constexpr const char* kId = "crash-restart";
+
+/// The comparable slice of one response: the cache state is EXPECTED to
+/// differ between a cold reference run and a warm restart, everything else
+/// must not.
+struct Answer {
+    int exit_code = 1;
+    std::string result_dump;  ///< "" when the response carries an error
+    std::string error_kind;
+};
+
+Answer decode(const std::string& line) {
+    Answer out;
+    const Json response = Json::parse(line);
+    if (const Json* member = response.find("exit")) {
+        out.exit_code = static_cast<int>(member->as_integer());
+    }
+    if (const Json* member = response.find("result")) {
+        out.result_dump = member->dump();
+    }
+    if (const Json* error = response.find("error")) {
+        if (const Json* member = error->find("kind")) {
+            out.error_kind = member->as_string();
+        }
+    }
+    return out;
+}
+
+std::string request_line(std::int64_t id, const char* op,
+                         const std::string& model, const char* pipeline) {
+    Json request = Json::object();
+    request.set("id", Json::integer(id));
+    request.set("op", Json::string(op));
+    request.set("model", Json::string(model));
+    if (pipeline != nullptr) {
+        request.set("pipeline", Json::string(pipeline));
+    }
+    return request.dump();
+}
+
+/// Scratch directory that removes itself (entries, quarantine files, temp
+/// leftovers, the directory) so a long fuzz campaign does not fill /tmp.
+class TempDir {
+public:
+    TempDir() {
+        const char* base = std::getenv("TMPDIR");
+        std::string pattern = std::string(base != nullptr && *base != '\0'
+                                              ? base
+                                              : "/tmp") +
+                              "/sdfred-crash-XXXXXX";
+        std::vector<char> buffer(pattern.begin(), pattern.end());
+        buffer.push_back('\0');
+        if (::mkdtemp(buffer.data()) != nullptr) {
+            path_ = buffer.data();
+        }
+    }
+    ~TempDir() {
+        if (path_.empty()) {
+            return;
+        }
+        if (DIR* dir = ::opendir(path_.c_str())) {
+            for (const dirent* entry = ::readdir(dir); entry != nullptr;
+                 entry = ::readdir(dir)) {
+                if (std::strcmp(entry->d_name, ".") == 0 ||
+                    std::strcmp(entry->d_name, "..") == 0) {
+                    continue;
+                }
+                ::unlink((path_ + "/" + entry->d_name).c_str());
+            }
+            ::closedir(dir);
+        }
+        ::rmdir(path_.c_str());
+    }
+    TempDir(const TempDir&) = delete;
+    TempDir& operator=(const TempDir&) = delete;
+    [[nodiscard]] const std::string& path() const { return path_; }
+    [[nodiscard]] bool ok() const { return !path_.empty(); }
+
+private:
+    std::string path_;
+};
+
+Disagreement disagree(const std::string& quantity, const std::string& left,
+                      const std::string& right) {
+    Disagreement out;
+    out.quantity = quantity;
+    out.left_route = "restarted daemon";
+    out.left_value = left;
+    out.right_route = "reference run";
+    out.right_value = right;
+    return out;
+}
+
+/// Runs `script` through a fresh volatile core and returns the answers —
+/// the deterministic reference every restart is held to.
+std::vector<Answer> reference_run(const std::vector<std::string>& script) {
+    ServeOptions options;
+    options.cache_graphs = 8;
+    ServeCore core(options);
+    std::vector<Answer> answers;
+    answers.reserve(script.size());
+    for (const std::string& line : script) {
+        answers.push_back(decode(core.handle_line(line)));
+    }
+    return answers;
+}
+
+/// One crash-and-restart experiment: run the script against a cache with
+/// the given crash hooks, "die", restart on the same directory, replay, and
+/// compare against the reference.  Returns "" on success, else a fail
+/// detail; fills `disagreements`.
+std::string crash_and_restart(const std::vector<std::string>& script,
+                              const std::vector<Answer>& reference,
+                              const PersistOptions& hooks, bool expect_torn,
+                              std::vector<Disagreement>& disagreements) {
+    TempDir dir;
+    if (!dir.ok()) {
+        return "";  // cannot create scratch space: treated as skip upstream
+    }
+    // The tears and kills below are DELIBERATE; their quarantine warnings
+    // go to this sink instead of spamming the fuzz campaign's stderr.
+    std::ostringstream quiet;
+    {
+        PersistOptions options = hooks;
+        options.dir = dir.path();
+        options.fsync_writes = false;  // the tear hook IS the torn fsync
+        options.log = &quiet;
+        PersistentCache doomed(options);
+        ServeOptions serve_options;
+        serve_options.cache_graphs = 8;
+        ServeCore core(serve_options);
+        core.attach_persistence(&doomed);
+        for (const std::string& line : script) {
+            core.handle_line(line);
+        }
+        // The simulated process dies here: whatever stop_after_writes and
+        // the tear hook let reach the directory is all the restart gets.
+    }
+    PersistOptions restart_options;
+    restart_options.dir = dir.path();
+    restart_options.log = &quiet;
+    PersistentCache survivor(restart_options);
+    ServeOptions serve_options;
+    serve_options.cache_graphs = 8;
+    ServeCore core(serve_options);
+    core.attach_persistence(&survivor);
+    if (expect_torn && survivor.stats().quarantined == 0) {
+        disagreements.push_back(
+            disagree("quarantine count after torn write", "0", ">= 1"));
+        return "a torn cache entry was not quarantined at warm start";
+    }
+    for (std::size_t i = 0; i < script.size(); ++i) {
+        const Answer replayed = decode(core.handle_line(script[i]));
+        if (replayed.exit_code != reference[i].exit_code ||
+            replayed.result_dump != reference[i].result_dump) {
+            disagreements.push_back(
+                disagree("response to request " + std::to_string(i + 1),
+                         replayed.result_dump.empty()
+                             ? "error " + replayed.error_kind
+                             : replayed.result_dump,
+                         reference[i].result_dump.empty()
+                             ? "error " + reference[i].error_kind
+                             : reference[i].result_dump));
+            return "replay after simulated crash is not bit-identical";
+        }
+    }
+    return "";
+}
+
+Verdict run_crash_restart(const Graph& graph, const OracleLimits& limits) {
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph: nothing to persist");
+    }
+    if (graph.actor_count() > limits.max_actors) {
+        return Verdict::skip(kId, "actor count above oracle limit");
+    }
+    const std::string model = write_text_string(graph);
+    const std::vector<std::string> script = {
+        request_line(1, "throughput", model, nullptr),
+        request_line(2, "lint", model, nullptr),
+        request_line(3, "throughput", model, "selfloops"),
+    };
+    const std::vector<Answer> reference = reference_run(script);
+
+    // How many cache writes does this script produce when nothing crashes?
+    std::uint64_t writes = 0;
+    {
+        TempDir dir;
+        if (!dir.ok()) {
+            return Verdict::skip(kId, "no scratch directory for the cache");
+        }
+        PersistOptions options;
+        options.dir = dir.path();
+        options.fsync_writes = false;
+        PersistentCache counter(options);
+        ServeOptions serve_options;
+        serve_options.cache_graphs = 8;
+        ServeCore core(serve_options);
+        core.attach_persistence(&counter);
+        for (const std::string& line : script) {
+            core.handle_line(line);
+        }
+        writes = counter.stats().writes;
+    }
+
+    std::vector<Disagreement> disagreements;
+    // Kill after every prefix of the write sequence: 0 writes survived, 1,
+    // ..., all of them.
+    for (std::uint64_t kill_after = 0; kill_after <= writes; ++kill_after) {
+        PersistOptions hooks;
+        hooks.stop_after_writes = kill_after;
+        const std::string detail = crash_and_restart(
+            script, reference, hooks, /*expect_torn=*/false, disagreements);
+        if (!detail.empty()) {
+            return Verdict::fail(
+                kId, detail + " (killed after " + std::to_string(kill_after) +
+                         " of " + std::to_string(writes) + " writes)",
+                std::move(disagreements));
+        }
+    }
+    // Tear every write in turn: once at byte 0 (empty file) and once
+    // mid-header — both must quarantine at restart, never replay.
+    for (std::uint64_t victim = 1; victim <= writes; ++victim) {
+        for (const std::int64_t tear_at : {std::int64_t{0}, std::int64_t{16}}) {
+            PersistOptions hooks;
+            hooks.tear_write_index = victim;
+            hooks.tear_write_at_byte = tear_at;
+            const std::string detail = crash_and_restart(
+                script, reference, hooks, /*expect_torn=*/true, disagreements);
+            if (!detail.empty()) {
+                return Verdict::fail(
+                    kId, detail + " (write " + std::to_string(victim) +
+                             " torn at byte " + std::to_string(tear_at) + ")",
+                    std::move(disagreements));
+            }
+        }
+    }
+    return Verdict::pass(kId);
+}
+
+}  // namespace
+
+void register_crash_restart_oracle() {
+    Oracle oracle;
+    oracle.id = kId;
+    oracle.summary = "a crashed-and-restarted cache replays bit-identically";
+    oracle.invariant =
+        "simulating a daemon kill after every prefix of a request script's "
+        "persistence writes — including a write torn mid-file — and "
+        "restarting on the same cache directory yields responses whose "
+        "result members are bit-identical to an uninterrupted run: torn "
+        "entries are quarantined, lost entries recompute, and a corrupted "
+        "replay is the only failure";
+    oracle.run = &run_crash_restart;
+    register_extra_oracle(std::move(oracle));
+}
+
+}  // namespace serve
+}  // namespace sdf

@@ -12,6 +12,7 @@ const char* op_name(Op op) {
         case Op::certify: return "certify";
         case Op::fuzz_smoke: return "fuzz-smoke";
         case Op::stats: return "stats";
+        case Op::health: return "health";
         case Op::ping: return "ping";
         case Op::shutdown: return "shutdown";
     }
@@ -36,6 +37,9 @@ Op parse_op(const std::string& name) {
     if (name == "stats") {
         return Op::stats;
     }
+    if (name == "health") {
+        return Op::health;
+    }
     if (name == "ping") {
         return Op::ping;
     }
@@ -44,7 +48,7 @@ Op parse_op(const std::string& name) {
     }
     throw BadRequestError("unknown analysis \"" + name +
                           "\" (valid: throughput, lint, certify, fuzz-smoke, "
-                          "stats, ping, shutdown)");
+                          "stats, health, ping, shutdown)");
 }
 
 std::uint64_t positive_integer(const Json& value, const char* field) {

@@ -42,6 +42,7 @@ enum class Op {
     certify,     ///< abstract interpretation + machine-checked bounds
     fuzz_smoke,  ///< one pass of the differential oracle registry
     stats,       ///< server counters (cache, queue, request tallies)
+    health,      ///< supervision probe: queue depth, reaps, persistence state
     ping,        ///< liveness probe
     shutdown,    ///< stop accepting; drain; exit
 };

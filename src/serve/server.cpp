@@ -16,6 +16,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "base/signals.hpp"
+
 namespace sdf {
 namespace serve {
 
@@ -49,6 +51,10 @@ std::string overloaded_response(const std::string& line) {
         .dump();
 }
 
+/// EINTR-safe, SIGPIPE-proof full write: MSG_NOSIGNAL turns a vanished
+/// peer into a handled EPIPE return (false) instead of process death, and
+/// cmd_serve additionally SIG_IGNs SIGPIPE for any plain write the daemon
+/// does elsewhere.
 bool write_all(int fd, const std::string& data) {
     std::size_t written = 0;
     while (written < data.size()) {
@@ -58,11 +64,23 @@ bool write_all(int fd, const std::string& data) {
             if (errno == EINTR) {
                 continue;
             }
-            return false;
+            return false;  // EPIPE and friends: this connection only
         }
         written += static_cast<std::size_t>(n);
     }
     return true;
+}
+
+/// The in-band refusal for a connection that streamed past the line bound
+/// without a newline.  No id can be echoed — the line was never completed,
+/// let alone parsed.
+std::string oversize_response(std::size_t limit) {
+    return make_error_response(
+               Json::make_null(), Json::make_null(), 2, "none",
+               make_error(413, "payload-too-large",
+                          "request line exceeds the " + std::to_string(limit) +
+                              "-byte limit"))
+        .dump();
 }
 
 }  // namespace
@@ -95,7 +113,16 @@ void Server::drain() { pool_.drain(); }
 int Server::run_stdio(std::istream& in, std::ostream& out) {
     std::mutex write_mutex;
     std::string line;
-    while (!core_.shutdown_requested() && std::getline(in, line)) {
+    // SIGTERM/SIGINT (installed without SA_RESTART) interrupt the blocking
+    // read under getline, which fails the stream and exits the loop — the
+    // drain below is the graceful part.
+    while (!core_.shutdown_requested() && !shutdown_signal_received() &&
+           std::getline(in, line)) {
+        // CRLF clients: getline keeps the '\r'; strip it like the socket
+        // transport does so both spell the same request.
+        if (!line.empty() && line.back() == '\r') {
+            line.pop_back();
+        }
         if (line.empty()) {
             continue;
         }
@@ -106,6 +133,7 @@ int Server::run_stdio(std::istream& in, std::ostream& out) {
         line.clear();
     }
     drain();
+    core_.sync_persistence();
     return 0;
 }
 
@@ -152,7 +180,10 @@ int Server::run_tcp(unsigned short port) {
 
 int Server::run_listener(int listen_fd) {
     std::vector<std::thread> connections;
-    while (!core_.shutdown_requested()) {
+    // Both exits are graceful: an in-band `shutdown` request or SIGTERM/
+    // SIGINT.  Either way: stop accepting, join connections (which finish
+    // their in-flight requests), drain the pool, flush the cache index.
+    while (!core_.shutdown_requested() && !shutdown_signal_received()) {
         // Poll with a timeout so a shutdown processed on a worker thread is
         // noticed within ~50ms even when no new connection arrives.
         pollfd poll_entry{listen_fd, POLLIN, 0};
@@ -174,6 +205,7 @@ int Server::run_listener(int listen_fd) {
         connection.join();
     }
     drain();
+    core_.sync_persistence();
     return 0;
 }
 
@@ -181,7 +213,7 @@ void Server::serve_connection(int fd) {
     auto write_mutex = std::make_shared<std::mutex>();
     std::string buffer;
     char chunk[4096];
-    while (!core_.shutdown_requested()) {
+    while (!core_.shutdown_requested() && !shutdown_signal_received()) {
         pollfd poll_entry{fd, POLLIN, 0};
         const int ready = ::poll(&poll_entry, 1, 50);
         if (ready < 0 && errno != EINTR) {
@@ -216,6 +248,15 @@ void Server::serve_connection(int fd) {
             });
         }
         buffer.erase(0, start);
+        // Enforce the line bound INCREMENTALLY: a client streaming an
+        // endless newline-free line must not grow the buffer without limit.
+        // (Complete oversized lines are refused in-band by handle_line; this
+        // catches the ones that never complete.)
+        if (buffer.size() > core_.max_line_bytes()) {
+            const std::lock_guard<std::mutex> lock(*write_mutex);
+            write_all(fd, oversize_response(core_.max_line_bytes()) + "\n");
+            break;
+        }
     }
     // Finish this connection's in-flight requests before closing its fd;
     // other connections' requests drain with them (shared pool).

@@ -73,8 +73,104 @@ const char* outcome_name(ThroughputOutcome outcome) {
 
 }  // namespace
 
+// ---------------------------------------------------------------- Watchdog
+
+Watchdog::Watchdog() : thread_([this] { loop(); }) {}
+
+Watchdog::~Watchdog() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+std::uint64_t Watchdog::arm(CancellationToken token,
+                            std::chrono::milliseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::uint64_t handle = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        handle = next_handle_++;
+        armed_.push_back(Armed{handle, std::move(token), deadline});
+    }
+    cv_.notify_all();
+    return handle;
+}
+
+void Watchdog::disarm(std::uint64_t handle) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = armed_.begin(); it != armed_.end(); ++it) {
+        if (it->handle == handle) {
+            armed_.erase(it);
+            return;
+        }
+    }
+    // Already reaped: the worker is unwinding from the cancellation right
+    // now, and its 429 is counted by reaped_ — nothing to withdraw.
+}
+
+std::uint64_t Watchdog::reaped() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return reaped_;
+}
+
+void Watchdog::loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+        if (armed_.empty()) {
+            cv_.wait(lock, [this] { return stop_ || !armed_.empty(); });
+            continue;
+        }
+        auto earliest = armed_.front().deadline;
+        for (const Armed& entry : armed_) {
+            earliest = std::min(earliest, entry.deadline);
+        }
+        cv_.wait_until(lock, earliest);
+        const auto now = std::chrono::steady_clock::now();
+        for (auto it = armed_.begin(); it != armed_.end();) {
+            if (it->deadline <= now) {
+                it->token.request_cancel();
+                ++reaped_;
+                it = armed_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- ServeCore
+
 ServeCore::ServeCore(ServeOptions options)
-    : options_(std::move(options)), store_(options_.cache_graphs) {}
+    : options_(std::move(options)), store_(options_.cache_graphs) {
+    if (!options_.cache_dir.empty()) {
+        PersistOptions persist_options;
+        persist_options.dir = options_.cache_dir;
+        persist_options.fsync_writes = options_.persist_fsync;
+        // Throws when the directory is unusable: a daemon asked to persist
+        // must not silently run volatile.
+        owned_persist_ = std::make_unique<PersistentCache>(persist_options);
+        attach_persistence(owned_persist_.get());
+    }
+    if (options_.request_deadline) {
+        watchdog_ = std::make_unique<Watchdog>();
+    }
+}
+
+std::size_t ServeCore::attach_persistence(PersistentCache* persist) {
+    persist_ = persist;
+    store_.attach_persistence(persist);
+    warmed_ = persist != nullptr ? store_.warm() : 0;
+    return warmed_;
+}
+
+void ServeCore::sync_persistence() {
+    if (persist_ != nullptr) {
+        persist_->sync();
+    }
+}
 
 ServeCounters ServeCore::counters() const {
     ServeCounters out;
@@ -85,20 +181,55 @@ ServeCounters ServeCore::counters() const {
 }
 
 ExecutionBudget ServeCore::effective_budget(const Request& request) const {
-    return request.has_budget ? request.budget : options_.default_budget;
+    ExecutionBudget budget =
+        request.has_budget ? request.budget : options_.default_budget;
+    // The hard per-request deadline folds into every budget, so a request
+    // that would otherwise run ungoverned becomes governed — that is what
+    // gives its checkpoints something to check the watchdog's cancellation
+    // against.
+    if (options_.request_deadline) {
+        budget.deadline = budget.deadline
+                              ? std::min(*budget.deadline, *options_.request_deadline)
+                              : *options_.request_deadline;
+    }
+    return budget;
 }
 
 std::string ServeCore::handle_line(const std::string& line) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     const auto start = std::chrono::steady_clock::now();
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
     Json response;
-    try {
-        response = handle(Json::parse(line));
-    } catch (const JsonParseError& e) {
+    if (line.size() > options_.max_line_bytes) {
+        // Refused before parsing: the bound exists precisely so a hostile
+        // line cannot make the parser allocate in its own image.  No id can
+        // be echoed — extracting it would mean parsing the oversized line.
+        rejected_oversize_.fetch_add(1, std::memory_order_relaxed);
         response = make_error_response(
             Json::make_null(), Json::make_null(), 2, "none",
-            make_error(400, "bad-json", e.what()));
+            make_error(413, "payload-too-large",
+                       "request line of " + std::to_string(line.size()) +
+                           " bytes exceeds the " +
+                           std::to_string(options_.max_line_bytes) +
+                           "-byte limit"));
+    } else {
+        CancellationToken token;
+        std::uint64_t armed = 0;
+        if (watchdog_) {
+            armed = watchdog_->arm(token, *options_.request_deadline);
+        }
+        try {
+            response = handle(Json::parse(line), token);
+        } catch (const JsonParseError& e) {
+            response = make_error_response(
+                Json::make_null(), Json::make_null(), 2, "none",
+                make_error(400, "bad-json", e.what()));
+        }
+        if (watchdog_) {
+            watchdog_->disarm(armed);
+        }
     }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
     const Json* exit_member = response.find("exit");
     const std::int64_t exit_code =
         exit_member != nullptr ? exit_member->as_integer() : 1;
@@ -111,7 +242,7 @@ std::string ServeCore::handle_line(const std::string& line) {
     return response.dump();
 }
 
-Json ServeCore::handle(const Json& request_json) {
+Json ServeCore::handle(const Json& request_json, const CancellationToken& token) {
     // Echo id and op even when the request later fails to validate.
     Json id;
     Json op_echo;
@@ -143,6 +274,10 @@ Json ServeCore::handle(const Json& request_json) {
                 result = op_stats();
                 break;
             }
+            case Op::health: {
+                result = op_health();
+                break;
+            }
             case Op::shutdown: {
                 shutdown_.store(true, std::memory_order_relaxed);
                 result = Json::object();
@@ -150,7 +285,7 @@ Json ServeCore::handle(const Json& request_json) {
                 break;
             }
             default: {
-                result = run_model_op(request, cache_state, exit_code);
+                result = run_model_op(request, token, cache_state, exit_code);
                 break;
             }
         }
@@ -185,8 +320,9 @@ Json ServeCore::handle(const Json& request_json) {
     }
 }
 
-Json ServeCore::run_model_op(const Request& request, std::string& cache_state,
-                             int& exit_code) {
+Json ServeCore::run_model_op(const Request& request,
+                             const CancellationToken& token,
+                             std::string& cache_state, int& exit_code) {
     const std::string model_text = request.model_path.empty()
                                        ? request.model
                                        : read_model_file(request.model_path);
@@ -216,6 +352,7 @@ Json ServeCore::run_model_op(const Request& request, std::string& cache_state,
     if (pipeline) {
         ExecutorOptions executor_options;
         executor_options.budget = effective_budget(request);
+        executor_options.token = token;
         const PipelineRun run =
             PipelineExecutor(std::move(executor_options)).run(*pipeline, std::move(graph));
         graph = run.graph;
@@ -226,14 +363,14 @@ Json ServeCore::run_model_op(const Request& request, std::string& cache_state,
     Json result;
     switch (request.op) {
         case Op::throughput:
-            result = op_throughput(request, graph, pipeline_used, exit_code,
-                                   cacheable);
+            result = op_throughput(request, token, graph, pipeline_used,
+                                   exit_code, cacheable);
             break;
         case Op::lint:
-            result = op_lint(request, graph, exit_code, cacheable);
+            result = op_lint(request, token, graph, exit_code, cacheable);
             break;
         case Op::certify:
-            result = op_certify(request, graph, exit_code);
+            result = op_certify(request, token, graph, exit_code);
             break;
         case Op::fuzz_smoke:
             result = op_fuzz_smoke(request, graph, exit_code, cacheable);
@@ -247,7 +384,9 @@ Json ServeCore::run_model_op(const Request& request, std::string& cache_state,
     return result;
 }
 
-Json ServeCore::op_throughput(const Request& request, const Graph& graph,
+Json ServeCore::op_throughput(const Request& request,
+                              const CancellationToken& token,
+                              const Graph& graph,
                               const ResourceUsage& pipeline_used, int& exit_code,
                               bool& cacheable) const {
     const ExecutionBudget budget = effective_budget(request);
@@ -263,6 +402,7 @@ Json ServeCore::op_throughput(const Request& request, const Graph& graph,
     } else {
         GovernOptions govern;
         govern.budget = remaining_after(budget, pipeline_used);
+        govern.token = token;
         govern.degrade =
             request.degrade.value_or(true) ? DegradeMode::auto_ : DegradeMode::never;
         const Governed<ThroughputResult> governed =
@@ -308,13 +448,14 @@ Json ServeCore::op_throughput(const Request& request, const Graph& graph,
     return result;
 }
 
-Json ServeCore::op_lint(const Request& request, const Graph& graph,
-                        int& exit_code, bool& cacheable) const {
+Json ServeCore::op_lint(const Request& request, const CancellationToken& token,
+                        const Graph& graph, int& exit_code,
+                        bool& cacheable) const {
     const ExecutionBudget budget = effective_budget(request);
     std::optional<Governor> governor;
     std::optional<GovernorScope> scope;
     if (!budget.unlimited()) {
-        governor.emplace(budget);
+        governor.emplace(budget, token);
         scope.emplace(*governor);
         // A rule that trips the budget reports itself as a finding instead
         // of throwing (the linter's exception-free contract), which makes
@@ -329,13 +470,14 @@ Json ServeCore::op_lint(const Request& request, const Graph& graph,
     return Json::parse(render_json(report, "", graph.name()));
 }
 
-Json ServeCore::op_certify(const Request& request, const Graph& graph,
+Json ServeCore::op_certify(const Request& request,
+                           const CancellationToken& token, const Graph& graph,
                            int& exit_code) const {
     const ExecutionBudget budget = effective_budget(request);
     std::optional<Governor> governor;
     std::optional<GovernorScope> scope;
     if (!budget.unlimited()) {
-        governor.emplace(budget);
+        governor.emplace(budget, token);
         scope.emplace(*governor);
     }
     // Mirrors `sdfred_cli analyze --certify --json` (tools/sdfred_cli.cpp):
@@ -469,6 +611,47 @@ Json ServeCore::op_stats() const {
     result.set("queue_depth",
                Json::integer(static_cast<std::int64_t>(
                    queue_depth_ ? queue_depth_() : 0)));
+    return result;
+}
+
+Json ServeCore::op_health() const {
+    const StoreStats store = store_.stats();
+    Json result = Json::object();
+    result.set("status", Json::string("ok"));
+    result.set("queue_depth",
+               Json::integer(static_cast<std::int64_t>(
+                   queue_depth_ ? queue_depth_() : 0)));
+    // in_flight includes the health request reporting it, so it is >= 1.
+    result.set("in_flight", Json::integer(static_cast<std::int64_t>(
+                                in_flight_.load(std::memory_order_relaxed))));
+    result.set("reaped", Json::integer(static_cast<std::int64_t>(reaped())));
+    result.set("rejected_oversize",
+               Json::integer(static_cast<std::int64_t>(
+                   rejected_oversize_.load(std::memory_order_relaxed))));
+    result.set("deadline_ms",
+               options_.request_deadline
+                   ? Json::integer(options_.request_deadline->count())
+                   : Json::make_null());
+    Json cache = Json::object();
+    cache.set("graphs", Json::integer(static_cast<std::int64_t>(store.graphs)));
+    cache.set("results", Json::integer(static_cast<std::int64_t>(store.results)));
+    cache.set("result_hits",
+              Json::integer(static_cast<std::int64_t>(store.result_hits)));
+    result.set("cache", std::move(cache));
+    Json persist = Json::object();
+    persist.set("enabled", Json::boolean(persist_ != nullptr));
+    if (persist_ != nullptr) {
+        const PersistStats disk = persist_->stats();
+        persist.set("dir", Json::string(persist_->dir()));
+        persist.set("warmed", Json::integer(static_cast<std::int64_t>(warmed_)));
+        persist.set("writes", Json::integer(static_cast<std::int64_t>(disk.writes)));
+        persist.set("write_errors",
+                    Json::integer(static_cast<std::int64_t>(disk.write_errors)));
+        persist.set("quarantined",
+                    Json::integer(static_cast<std::int64_t>(disk.quarantined)));
+        persist.set("loaded", Json::integer(static_cast<std::int64_t>(disk.loaded)));
+    }
+    result.set("persist", std::move(persist));
     return result;
 }
 

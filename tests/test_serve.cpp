@@ -19,8 +19,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -32,6 +35,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "base/signals.hpp"
 #include "gen/structured.hpp"
 #include "io/text.hpp"
 #include "io/xml.hpp"
@@ -69,7 +73,8 @@ std::string read_file(const std::string& path) {
 /// as the per-case fresh cores.
 const std::vector<std::string> kGoldenCases = {
     "throughput_ok",   "lint_note",      "parse_error", "budget_rejected",
-    "unknown_op",      "malformed_json", "certify_ok",
+    "unknown_op",      "malformed_json", "certify_ok",  "nul_byte",
+    "invalid_utf8",
 };
 
 constexpr const char* kCycleModel =
@@ -361,6 +366,280 @@ TEST(ServeOracle, RegistersAsExtraAndFuzzSmokeSkipsIt) {
         if (entry.find("id")->as_string() == "serve-route") saw_serve_route = true;
     }
     EXPECT_FALSE(saw_serve_route);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial wire input and the request-line bound
+// ---------------------------------------------------------------------------
+
+TEST(ServeWire, CrlfLineEndingsAreStrippedOverStdio) {
+    // A CRLF client must get byte-identical responses to an LF client.
+    const std::string request = read_file(data_path("serve/throughput_ok.request"));
+    const std::string golden = read_file(data_path("serve/throughput_ok.golden"));
+    ServeCore core;
+    ServerOptions options;
+    options.threads = 1;
+    Server server(core, options);
+    std::istringstream in(request + "\r\n");
+    std::ostringstream out;
+    EXPECT_EQ(server.run_stdio(in, out), 0);
+    EXPECT_EQ(out.str(), golden + "\n");
+}
+
+TEST(ServeWire, OversizedLineIsRefusedInBandWithoutParsing) {
+    ServeOptions options;
+    options.max_line_bytes = 64;
+    ServeCore core(options);
+    const std::string oversized = throughput_line(1, kCycleModel);
+    ASSERT_GT(oversized.size(), core.max_line_bytes()) << "test premise";
+    const Json refused = Json::parse(core.handle_line(oversized));
+    // The line is refused UNPARSED, so not even the id is echoed.
+    EXPECT_TRUE(refused.find("id")->is_null());
+    EXPECT_FALSE(refused.find("ok")->as_boolean());
+    EXPECT_EQ(refused.find("exit")->as_integer(), 2);
+    EXPECT_EQ(refused.find("error")->find("code")->as_integer(), 413);
+    EXPECT_EQ(refused.find("error")->find("kind")->as_string(),
+              "payload-too-large");
+    // A line under the bound still works on the same core.
+    const Json pong = Json::parse(core.handle_line("{\"id\":2,\"op\":\"ping\"}"));
+    EXPECT_TRUE(pong.find("ok")->as_boolean());
+    // ...and the refusal is tallied for the health op.
+    const Json health = Json::parse(core.handle_line("{\"id\":3,\"op\":\"health\"}"));
+    EXPECT_EQ(result_of(health)->find("rejected_oversize")->as_integer(), 1);
+}
+
+/// Connects to `path`, retrying while the listener binds.
+int connect_unix(const std::string& path) {
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::snprintf(address.sun_path, sizeof(address.sun_path), "%s",
+                  path.c_str());
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                      sizeof(address)) == 0) {
+            return fd;
+        }
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return -1;
+}
+
+/// Reads from `fd` until one full line arrived; returns it without the
+/// newline ("" on EOF before a line completed).
+std::string recv_line(int fd) {
+    std::string response;
+    char buffer[4096];
+    while (response.find('\n') == std::string::npos) {
+        const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (got <= 0) {
+            return "";
+        }
+        response.append(buffer, static_cast<std::size_t>(got));
+    }
+    return response.substr(0, response.find('\n'));
+}
+
+TEST(ServeWire, EndlessLineIsCutOffAtTheBound) {
+    // A client streaming a newline-free line past the bound gets a 413 and
+    // a closed connection — the buffer must not grow without limit.
+    const std::string path =
+        "/tmp/sdfred_test_endless_" + std::to_string(::getpid()) + ".sock";
+    ServeOptions serve_options;
+    serve_options.max_line_bytes = 1024;
+    ServeCore core(serve_options);
+    ServerOptions options;
+    options.threads = 2;
+    Server server(core, options);
+    std::thread daemon([&] { server.run_unix(path); });
+
+    const int fd = connect_unix(path);
+    ASSERT_GE(fd, 0);
+    const std::string flood(4096, 'x');  // no newline anywhere
+    ASSERT_EQ(::send(fd, flood.data(), flood.size(), 0),
+              static_cast<ssize_t>(flood.size()));
+    const std::string line = recv_line(fd);
+    ASSERT_FALSE(line.empty()) << "expected an in-band 413 before the close";
+    const Json refused = Json::parse(line);
+    EXPECT_EQ(refused.find("error")->find("code")->as_integer(), 413);
+    EXPECT_EQ(refused.find("error")->find("kind")->as_string(),
+              "payload-too-large");
+    // The server hangs up on the flooding connection.
+    char drain_byte;
+    EXPECT_EQ(::recv(fd, &drain_byte, 1, 0), 0) << "connection should be closed";
+    ::close(fd);
+
+    const int control = connect_unix(path);
+    ASSERT_GE(control, 0);
+    const std::string shutdown = "{\"id\":1,\"op\":\"shutdown\"}\n";
+    ASSERT_EQ(::send(control, shutdown.data(), shutdown.size(), 0),
+              static_cast<ssize_t>(shutdown.size()));
+    daemon.join();
+    ::close(control);
+    ::unlink(path.c_str());
+}
+
+TEST(ServeWire, SlowLorisClientIsServedNotStalledOn) {
+    // A byte-dribbling client exercises the incremental line assembly; the
+    // server must answer once the newline finally arrives, and other
+    // clients must not be blocked meanwhile (threads=2 covers the slot).
+    const std::string path =
+        "/tmp/sdfred_test_loris_" + std::to_string(::getpid()) + ".sock";
+    ServeCore core;
+    ServerOptions options;
+    options.threads = 2;
+    Server server(core, options);
+    std::thread daemon([&] { server.run_unix(path); });
+
+    const int slow = connect_unix(path);
+    ASSERT_GE(slow, 0);
+    const std::string request = throughput_line(7, kCycleModel) + "\n";
+    for (std::size_t at = 0; at < request.size(); at += 16) {
+        const std::size_t len = std::min<std::size_t>(16, request.size() - at);
+        ASSERT_EQ(::send(slow, request.data() + at, len, 0),
+                  static_cast<ssize_t>(len));
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const std::string line = recv_line(slow);
+    ASSERT_FALSE(line.empty());
+    const Json response = Json::parse(line);
+    EXPECT_EQ(response.find("id")->as_integer(), 7);
+    EXPECT_TRUE(response.find("ok")->as_boolean());
+    EXPECT_EQ(result_of(response)->find("period")->as_string(), "5/2");
+
+    const std::string shutdown = "{\"id\":8,\"op\":\"shutdown\"}\n";
+    ASSERT_EQ(::send(slow, shutdown.data(), shutdown.size(), 0),
+              static_cast<ssize_t>(shutdown.size()));
+    daemon.join();
+    ::close(slow);
+    ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Supervision: health, watchdog, graceful drain
+// ---------------------------------------------------------------------------
+
+TEST(ServeHealth, ReportsSupervisionAndPersistenceState) {
+    ServeCore volatile_core;
+    const Json health =
+        Json::parse(volatile_core.handle_line("{\"id\":1,\"op\":\"health\"}"));
+    ASSERT_TRUE(health.find("ok")->as_boolean());
+    const Json* result = result_of(health);
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->find("status")->as_string(), "ok");
+    // in_flight counts the health request reporting it.
+    EXPECT_EQ(result->find("in_flight")->as_integer(), 1);
+    EXPECT_EQ(result->find("reaped")->as_integer(), 0);
+    EXPECT_TRUE(result->find("deadline_ms")->is_null());
+    EXPECT_FALSE(result->find("persist")->find("enabled")->as_boolean());
+
+    ServeOptions options;
+    options.request_deadline = std::chrono::milliseconds(2500);
+    ServeCore supervised(options);
+    const Json deadline =
+        Json::parse(supervised.handle_line("{\"id\":2,\"op\":\"health\"}"));
+    EXPECT_EQ(result_of(deadline)->find("deadline_ms")->as_integer(), 2500);
+}
+
+TEST(ServeWatchdog, ArmedTokensAreCancelledDisarmedOnesAreNot) {
+    Watchdog watchdog;
+    CancellationToken hung;
+    CancellationToken prompt;
+    const std::uint64_t hung_handle =
+        watchdog.arm(hung, std::chrono::milliseconds(5));
+    const std::uint64_t prompt_handle =
+        watchdog.arm(prompt, std::chrono::milliseconds(60'000));
+    watchdog.disarm(prompt_handle);  // "completed" long before its deadline
+    // The hung request's token fires within its deadline (plus scheduling
+    // slack); the disarmed one never does.
+    for (int i = 0; i < 1000 && !hung.cancelled(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(hung.cancelled());
+    EXPECT_FALSE(prompt.cancelled());
+    EXPECT_EQ(watchdog.reaped(), 1u);
+    watchdog.disarm(hung_handle);  // late disarm of a reaped handle: no-op
+    EXPECT_EQ(watchdog.reaped(), 1u);
+}
+
+TEST(ServeWatchdog, OverrunningRequestAnswers429) {
+    // A deliberately heavy analysis against a 1ms hard deadline: whichever
+    // observer fires first — the governor's own deadline check or the
+    // watchdog's cancellation — the client gets a 429, never a hung worker.
+    ServeOptions options;
+    options.request_deadline = std::chrono::milliseconds(1);
+    ServeCore core(options);
+    Json request = Json::parse(
+        throughput_line(1, write_text_string(fork_join_graph(192, 3))));
+    request.set("degrade", Json::string("never"));
+    const Json response = Json::parse(core.handle_line(request.dump()));
+    EXPECT_FALSE(response.find("ok")->as_boolean());
+    EXPECT_EQ(response.find("exit")->as_integer(), 4);
+    EXPECT_EQ(response.find("error")->find("code")->as_integer(), 429);
+    const std::string cause =
+        response.find("error")->find("cause")->as_string();
+    EXPECT_TRUE(cause == "deadline" || cause == "cancelled") << cause;
+}
+
+TEST(ServeWatchdog, DeadlineDoesNotChangeFastResults) {
+    // The supervision layer must be invisible to requests that finish in
+    // time: a generous deadline yields bit-identical results.
+    ServeOptions options;
+    options.request_deadline = std::chrono::milliseconds(60'000);
+    ServeCore supervised(options);
+    ServeCore plain;
+    const std::string line = throughput_line(1, kCycleModel);
+    const Json with_deadline = Json::parse(supervised.handle_line(line));
+    const Json without = Json::parse(plain.handle_line(line));
+    ASSERT_TRUE(with_deadline.find("ok")->as_boolean());
+    EXPECT_EQ(result_of(with_deadline)->dump(), result_of(without)->dump());
+    EXPECT_EQ(with_deadline.find("exit")->as_integer(),
+              without.find("exit")->as_integer());
+}
+
+TEST(ServeDrain, SimulatedSignalStopsIntakeAndSyncsTheIndex) {
+    reset_shutdown_signal();
+    const std::string dir =
+        "/tmp/sdfred_test_drain_" + std::to_string(::getpid());
+    ServeOptions serve_options;
+    serve_options.cache_dir = dir;
+    serve_options.persist_fsync = false;
+    {
+        // One normal run persists an entry.
+        ServeCore core(serve_options);
+        ServerOptions options;
+        options.threads = 1;
+        Server server(core, options);
+        std::istringstream in(throughput_line(1, kCycleModel) + "\n");
+        std::ostringstream out;
+        EXPECT_EQ(server.run_stdio(in, out), 0);
+        EXPECT_FALSE(out.str().empty());
+    }
+    {
+        // With the signal already raised, the loop takes in NOTHING more,
+        // drains, syncs the index, and still exits 0.
+        simulate_shutdown_signal();
+        ServeCore core(serve_options);
+        ServerOptions options;
+        options.threads = 1;
+        Server server(core, options);
+        std::istringstream in(throughput_line(2, kCycleModel) + "\n");
+        std::ostringstream out;
+        EXPECT_EQ(server.run_stdio(in, out), 0);
+        EXPECT_TRUE(out.str().empty()) << out.str();
+        reset_shutdown_signal();
+    }
+    std::ifstream index(dir + "/index");
+    std::string first_line;
+    std::getline(index, first_line);
+    EXPECT_EQ(first_line, "sdfred-persist-index v1");
+    // Scratch cleanup (entry file, index, directory).
+    std::string command = "rm -rf " + dir;
+    EXPECT_EQ(std::system(command.c_str()), 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -87,6 +87,7 @@
 #include "analysis/throughput.hpp"
 #include "base/cpudispatch.hpp"
 #include "base/errors.hpp"
+#include "base/signals.hpp"
 #include "base/string_util.hpp"
 #include "csdf/analysis.hpp"
 #include "io/csdf_xml.hpp"
@@ -169,6 +170,8 @@ int usage() {
                  "       sdfred_cli serve [--stdio | --socket PATH | --tcp PORT]\n"
                  "                        [--threads N] [--cache-entries N]\n"
                  "                        [--max-queue N] [--timings]\n"
+                 "                        [--cache-dir DIR] [--request-deadline-ms N]\n"
+                 "                        [--max-line-bytes N]\n"
                  "       sdfred_cli --version\n"
                  "FMT: hsdf | reduced-hsdf | abstract | abstract-sdf | text | xml | dot\n"
                  "--lint before any command aborts it when the model has lint errors\n"
@@ -795,16 +798,32 @@ struct ServeCliOptions {
     std::size_t cache_entries = 64;
     std::size_t max_queue = 64;
     bool timings = false;
+    std::string cache_dir;                   ///< --cache-dir DIR (persistent)
+    std::optional<std::uint64_t> deadline_ms;  ///< --request-deadline-ms N
+    std::optional<std::size_t> max_line_bytes;  ///< --max-line-bytes N
 };
 
 int cmd_serve(const ServeCliOptions& options, const GovernOptions& govern,
               bool governed) {
+    // Daemon-grade signal discipline before the first connection: SIGTERM/
+    // SIGINT request a graceful drain (stop accepting, finish in-flight,
+    // fsync the cache index), SIGPIPE becomes a per-connection EPIPE.
+    install_shutdown_signal_handlers();
+    ignore_sigpipe();
     serve::ServeOptions core_options;
     core_options.cache_graphs = options.cache_entries;
     if (governed) {
         core_options.default_budget = govern.budget;
     }
     core_options.timings = options.timings;
+    core_options.cache_dir = options.cache_dir;
+    if (options.deadline_ms) {
+        core_options.request_deadline =
+            std::chrono::milliseconds(*options.deadline_ms);
+    }
+    if (options.max_line_bytes) {
+        core_options.max_line_bytes = *options.max_line_bytes;
+    }
     serve::ServeCore core(core_options);
     serve::ServerOptions server_options;
     server_options.threads = options.threads;
@@ -849,9 +868,11 @@ int main(int argc, char** argv) {
         // SDFRED_FAULT_INJECT=alloc:N|step:N|deadline:N arms deterministic
         // one-shot faults inside governed code (robustness testing).
         install_fault_injection_from_env();
-        // Contribute the serve-route oracle so `fuzz` sweeps the daemon
-        // stack alongside the built-in battery (src/serve/oracle.hpp).
+        // Contribute the serve-route and crash-restart oracles so `fuzz`
+        // sweeps the daemon stack — including its crash-safe persistence —
+        // alongside the built-in battery (src/serve/oracle.hpp).
         serve::register_serve_oracle();
+        serve::register_crash_restart_oracle();
         // Resolve the SDFRED_ISA kernel-dispatch override up front: a typo'd
         // tier must fail fast as a bad invocation, not silently no-op on
         // invocations that never reach a SIMD kernel.
@@ -1023,6 +1044,20 @@ int main(int argc, char** argv) {
                 serve_options.max_queue = static_cast<std::size_t>(*n);
             } else if (args[i] == "--timings") {
                 serve_options.timings = true;
+            } else if (args[i] == "--cache-dir" && i + 1 < args.size()) {
+                serve_options.cache_dir = args[++i];
+            } else if (args[i] == "--request-deadline-ms" && i + 1 < args.size()) {
+                const auto n = parse_int(args[++i]);
+                if (!n || *n <= 0) {
+                    return usage();
+                }
+                serve_options.deadline_ms = static_cast<std::uint64_t>(*n);
+            } else if (args[i] == "--max-line-bytes" && i + 1 < args.size()) {
+                const auto n = parse_int(args[++i]);
+                if (!n || *n <= 0) {
+                    return usage();
+                }
+                serve_options.max_line_bytes = static_cast<std::size_t>(*n);
             } else {
                 positional.push_back(args[i]);
             }
