@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/incremental.hpp"
+
 #include "base/errors.hpp"
 #include "maxplus/mcm.hpp"
 #include "robust/budget.hpp"
@@ -41,6 +43,20 @@ ThroughputResult deadlocked_result(const Graph& graph) {
 }
 
 }  // namespace
+
+Refined<ThroughputResult> ThroughputAnalysis::refine(const Result& old,
+                                                     const RefineContext& ctx) {
+    using Out = Refined<Result>;
+    // Phase 2: the warm-state slot has already decided whether it could
+    // absorb the delta; its result IS a from-scratch-equal throughput.
+    if (const auto warm = ctx.target.cached<IncrementalThroughputAnalysis>()) {
+        return Out::make(warm->result);
+    }
+    if (old.outcome == ThroughputOutcome::deadlocked && ctx.log.timing_only()) {
+        return Out::keep();  // liveness is untimed, the zero vector has no times
+    }
+    return Out::drop();
+}
 
 ThroughputResult throughput_symbolic(const Graph& graph) {
     SymbolicIteration iteration;

@@ -58,13 +58,18 @@ ThroughputResult throughput_symbolic(const Graph& graph);
 
 /// AnalysisManager slot for route 1 (see sdf/analysis_manager.hpp): the
 /// pass pipeline and the verify-each hooks query throughput after every
-/// step, so the exact result is cached per graph and dropped whenever an
-/// execution time changes (time-sensitive, unlike the structural slots).
+/// step, so the exact result is cached per graph.  Delta-aware at refine
+/// phase 2: when the warm-state slot (analysis/incremental.hpp, phase 1)
+/// absorbed the edit, this slot forwards its refined result; a timing edit
+/// on a deadlocked graph keeps the zero answer outright; anything else
+/// drops for lazy recomputation.
 struct ThroughputAnalysis {
     using Result = ThroughputResult;
     static constexpr const char* kName = "throughput";
     static constexpr bool kTimeSensitive = true;
+    static constexpr int kRefinePhase = 2;
     static Result compute(const Graph& graph) { return throughput_symbolic(graph); }
+    static Refined<Result> refine(const Result& old, const RefineContext& ctx);
 };
 
 /// throughput_symbolic through the graph's AnalysisManager: computes on

@@ -42,10 +42,11 @@ std::vector<SccView> split_into_sccs(const Digraph& graph) {
     return views;
 }
 
-/// Largest |weight| over the SCC's edges, in uint64 so INT64_MIN is safe.
-std::uint64_t max_abs_weight(const SccView& scc) {
+/// Largest |weight| over the component's edges, in uint64 so INT64_MIN is
+/// safe.
+std::uint64_t max_abs_weight(const std::vector<DigraphEdge>& edges) {
     std::uint64_t best = 0;
-    for (const auto& e : scc.edges) {
+    for (const auto& e : edges) {
         const auto raw = static_cast<std::uint64_t>(e.weight);
         const std::uint64_t mag = e.weight < 0 ? ~raw + 1 : raw;
         if (mag > best) {
@@ -54,6 +55,12 @@ std::uint64_t max_abs_weight(const SccView& scc) {
     }
     return best;
 }
+
+Rational karp_on_scc(const SccView& scc) {
+    return karp_on_component(scc.edges, scc.nodes.size());
+}
+
+}  // namespace
 
 /// Karp's algorithm on one SCC that is known to contain at least one edge.
 ///
@@ -66,8 +73,7 @@ std::uint64_t max_abs_weight(const SccView& scc) {
 /// on dense SCCs (edges·8 ≥ n²) the per-k relaxation additionally collapses
 /// into one axpy_max per reachable node over a dense adjacency built in the
 /// arena.  Past the bound, the original checked edge loop runs unchanged.
-Rational karp_on_scc(const SccView& scc) {
-    const std::size_t n = scc.nodes.size();
+Rational karp_on_component(const std::vector<DigraphEdge>& edges, std::size_t n) {
     robust_account_bytes((n + 1) * n * sizeof(Int));
     Arena& arena = scratch_arena();
     const Arena::Scope scope(arena);
@@ -75,19 +81,19 @@ Rational karp_on_scc(const SccView& scc) {
     std::fill(dist, dist + (n + 1) * n, kMpRawMinusInf);
     dist[0] = 0;  // D[0][source]
 
-    const std::uint64_t maxw = max_abs_weight(scc);
+    const std::uint64_t maxw = max_abs_weight(edges);
     const bool safe =
         maxw == 0 ||
         static_cast<std::uint64_t>(n) + 1 <=
             static_cast<std::uint64_t>(std::numeric_limits<Int>::max()) / maxw;
-    const bool dense = safe && n >= 8 && scc.edges.size() * 8 >= n * n;
+    const bool dense = safe && n >= 8 && edges.size() * 8 >= n * n;
 
     if (dense) {
         // Dense adjacency: adj[u][v] = max weight over parallel u->v edges.
         robust_account_bytes(n * n * sizeof(Int));
         Int* adj = arena.alloc_array<Int>(n * n);
         std::fill(adj, adj + n * n, kMpRawMinusInf);
-        for (const auto& e : scc.edges) {
+        for (const auto& e : edges) {
             // `safe` excludes weight INT64_MIN (its magnitude alone exceeds
             // the bound), so plain < is the max-over-parallel-edges fold.
             Int& slot = adj[e.from * n + e.to];
@@ -113,7 +119,7 @@ Rational karp_on_scc(const SccView& scc) {
             SDFRED_CHECKPOINT();
             const Int* prev = dist + (k - 1) * n;
             Int* cur = dist + k * n;
-            for (const auto& e : scc.edges) {
+            for (const auto& e : edges) {
                 if ((++relaxations & 0xfff) == 0) {
                     SDFRED_CHECKPOINT();
                 }
@@ -157,6 +163,8 @@ Rational karp_on_scc(const SccView& scc) {
     }
     return *best;
 }
+
+namespace {
 
 bool scc_has_cycle(const SccView& scc) {
     if (scc.nodes.size() > 1) {

@@ -50,6 +50,13 @@ struct CycleMetricDouble {
 /// (base/thread_pool.hpp; sized by SDFRED_THREADS).
 CycleMetric max_cycle_mean_karp(const Digraph& graph);
 
+/// Karp's algorithm on ONE strongly connected component, given as local
+/// edges over `n` dense nodes with at least one edge on a cycle.  The
+/// building block behind max_cycle_mean_karp, exposed for the certificate
+/// layer (maxplus/mcm_certificate.hpp) so a dirty-SCC re-solve runs the
+/// byte-identical kernel the full solve would.
+Rational karp_on_component(const std::vector<DigraphEdge>& edges, std::size_t n);
+
 /// Single-threaded max_cycle_mean_karp: the serial baseline the benchmarks
 /// record next to the pooled version.  Identical results.
 CycleMetric max_cycle_mean_karp_serial(const Digraph& graph);

@@ -1,0 +1,284 @@
+#include "maxplus/mcm_certificate.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/errors.hpp"
+#include "base/thread_pool.hpp"
+#include "robust/budget.hpp"
+
+namespace sdf {
+
+namespace {
+
+/// q·w − p, overflow-checked: the Karp reweighting that turns "mean vs p/q"
+/// into "sign of a cycle sum".
+Int reweight(Int weight, Int p, Int q) {
+    return checked_sub(checked_mul(q, weight), p);
+}
+
+/// One directed cycle among the tight edges (π(u) + w′ = π(v)), as local
+/// edge indices in traversal order; empty when none exists.  Iterative DFS
+/// — certificate SCCs can be as deep as the precedence graph is long.
+std::vector<std::size_t> find_tight_cycle(std::size_t n,
+                                          const std::vector<DigraphEdge>& edges,
+                                          const std::vector<std::size_t>& tight) {
+    std::vector<std::vector<std::size_t>> adj(n);
+    for (const std::size_t l : tight) {
+        adj[edges[l].from].push_back(l);
+    }
+    std::vector<int> state(n, 0);  // 0 white, 1 on stack, 2 done
+    std::vector<std::pair<std::size_t, std::size_t>> stack;  // (node, adj cursor)
+    std::vector<std::size_t> path;  // path[j]: edge from stack[j] to stack[j+1]
+    for (std::size_t start = 0; start < n; ++start) {
+        if (state[start] != 0) {
+            continue;
+        }
+        stack.clear();
+        path.clear();
+        stack.emplace_back(start, 0);
+        state[start] = 1;
+        while (!stack.empty()) {
+            SDFRED_CHECKPOINT();
+            const std::size_t v = stack.back().first;
+            std::size_t& cursor = stack.back().second;
+            if (cursor == adj[v].size()) {
+                state[v] = 2;
+                stack.pop_back();
+                if (!path.empty()) {
+                    path.pop_back();
+                }
+                continue;
+            }
+            const std::size_t l = adj[v][cursor++];
+            const std::size_t to = edges[l].to;
+            if (state[to] == 1) {
+                std::size_t i = 0;
+                while (stack[i].first != to) {
+                    ++i;
+                }
+                std::vector<std::size_t> cycle(path.begin() + static_cast<std::ptrdiff_t>(i),
+                                               path.end());
+                cycle.push_back(l);
+                return cycle;
+            }
+            if (state[to] == 0) {
+                state[to] = 1;
+                path.push_back(l);
+                stack.emplace_back(to, 0);
+            }
+        }
+    }
+    return {};
+}
+
+/// Fills lambda/potential/critical/certified of a cert whose
+/// nodes/edges/edge_ids/cyclic are already set.  Runs Karp, then tries to
+/// build the witnesses; any checked-arithmetic overflow or a failed
+/// convergence downgrades to certified=false (λ stays exact).
+void solve_and_certify(McmSccCert& cert) {
+    const std::size_t n = cert.nodes.size();
+    cert.potential.clear();
+    cert.critical.clear();
+    cert.certified = false;
+    if (!cert.cyclic) {
+        cert.lambda = Rational();
+        cert.certified = true;  // no cycles: nothing to witness, nothing to re-solve
+        return;
+    }
+    cert.lambda = karp_on_component(cert.edges, n);
+    const Int p = cert.lambda.num();
+    const Int q = cert.lambda.den();
+    try {
+        // Longest-path potentials under w′ = q·w − p from an implicit
+        // super-source (all-zero start).  No strictly positive cycle exists
+        // (λ is the maximum mean), so the iteration converges within n
+        // rounds; a round still changing afterwards can only mean overflow
+        // territory — bail to the uncertified fallback.
+        std::vector<Int> dist(n, 0);
+        bool converged = false;
+        for (std::size_t round = 0; round <= n && !converged; ++round) {
+            SDFRED_CHECKPOINT();
+            converged = true;
+            for (const DigraphEdge& e : cert.edges) {
+                const Int candidate = checked_add(dist[e.from], reweight(e.weight, p, q));
+                if (candidate > dist[e.to]) {
+                    dist[e.to] = candidate;
+                    converged = false;
+                }
+            }
+        }
+        if (!converged) {
+            return;
+        }
+        std::vector<std::size_t> tight;
+        for (std::size_t l = 0; l < cert.edges.size(); ++l) {
+            const DigraphEdge& e = cert.edges[l];
+            if (checked_add(dist[e.from], reweight(e.weight, p, q)) == dist[e.to]) {
+                tight.push_back(l);
+            }
+        }
+        std::vector<std::size_t> cycle = find_tight_cycle(n, cert.edges, tight);
+        if (cycle.empty()) {
+            return;  // λ not witnessed by a tight cycle: numerically impossible,
+                     // but an uncertified cert is always safe
+        }
+        cert.potential = std::move(dist);
+        cert.critical = std::move(cycle);
+        cert.certified = true;
+    } catch (const ArithmeticError&) {
+        // leave certified=false
+    }
+}
+
+bool component_has_cycle(const McmSccCert& cert) {
+    if (cert.nodes.size() > 1) {
+        return !cert.edges.empty();
+    }
+    return std::any_of(cert.edges.begin(), cert.edges.end(),
+                       [](const DigraphEdge& e) { return e.from == e.to; });
+}
+
+/// metric = max λ over cyclic SCCs — the same fold max_cycle_mean_karp
+/// performs, so the two entry points agree bit-for-bit.
+CycleMetric fold_metric(const std::vector<std::shared_ptr<const McmSccCert>>& sccs) {
+    CycleMetric metric;
+    for (const auto& cert : sccs) {
+        if (!cert->cyclic) {
+            continue;
+        }
+        if (metric.outcome != CycleOutcome::finite || cert->lambda > metric.value) {
+            metric.outcome = CycleOutcome::finite;
+            metric.value = cert->lambda;
+        }
+    }
+    return metric;
+}
+
+}  // namespace
+
+McmCertificate max_cycle_mean_certified(const Digraph& graph) {
+    std::size_t component_count = 0;
+    const std::vector<std::size_t> component =
+        graph.strongly_connected_components(&component_count);
+
+    std::vector<std::shared_ptr<McmSccCert>> building(component_count);
+    for (std::size_t c = 0; c < component_count; ++c) {
+        building[c] = std::make_shared<McmSccCert>();
+    }
+    std::vector<std::size_t> local_index(graph.node_count(), 0);
+    for (std::size_t v = 0; v < graph.node_count(); ++v) {
+        McmSccCert& cert = *building[component[v]];
+        local_index[v] = cert.nodes.size();
+        cert.nodes.push_back(v);
+    }
+
+    McmCertificate result;
+    result.edge_home.resize(graph.edge_count());
+    for (std::size_t g = 0; g < graph.edge_count(); ++g) {
+        const DigraphEdge& e = graph.edge(g);
+        if (component[e.from] != component[e.to]) {
+            continue;  // edge_home stays kCross
+        }
+        McmSccCert& cert = *building[component[e.from]];
+        result.edge_home[g] = McmCertificate::EdgeHome{
+            static_cast<std::uint32_t>(component[e.from]),
+            static_cast<std::uint32_t>(cert.edges.size())};
+        cert.edges.push_back(
+            DigraphEdge{local_index[e.from], local_index[e.to], e.weight, e.tokens});
+        cert.edge_ids.push_back(g);
+    }
+
+    // Independent per-SCC solves on the global pool, mirroring
+    // max_cycle_mean_karp's dispatch (each solve owns its Bellman table).
+    parallel_for(0, component_count, 1, [&](std::size_t c) {
+        building[c]->cyclic = component_has_cycle(*building[c]);
+        solve_and_certify(*building[c]);
+    });
+
+    result.sccs.assign(building.begin(), building.end());
+    result.metric = fold_metric(result.sccs);
+    return result;
+}
+
+McmCertificate refine_cycle_mean(const McmCertificate& cert,
+                                 const std::vector<EdgeWeightDelta>& deltas,
+                                 std::size_t* rescored) {
+    McmCertificate out;
+    out.sccs = cert.sccs;  // clean SCCs share their certificate
+    out.edge_home = cert.edge_home;
+    std::size_t resolved = 0;
+
+    // Group the deltas by home SCC; cross-SCC edges lie on no cycle and are
+    // absorbed without any work.
+    std::vector<std::vector<std::pair<std::uint32_t, Int>>> dirty(cert.sccs.size());
+    for (const EdgeWeightDelta& d : deltas) {
+        const McmCertificate::EdgeHome home = cert.edge_home.at(d.edge);
+        if (home.scc == McmCertificate::kCross) {
+            continue;
+        }
+        dirty[home.scc].emplace_back(home.local, d.weight);
+    }
+
+    for (std::size_t c = 0; c < dirty.size(); ++c) {
+        if (dirty[c].empty()) {
+            continue;
+        }
+        const McmSccCert& old = *cert.sccs[c];
+        auto next = std::make_shared<McmSccCert>(old);
+        for (const auto& [local, weight] : dirty[c]) {
+            next->edges.at(local).weight = weight;
+        }
+        if (!old.cyclic) {
+            out.sccs[c] = std::move(next);  // acyclic: weights are unconstrained
+            continue;
+        }
+        bool witnesses_hold = old.certified;
+        if (witnesses_hold) {
+            const Int p = old.lambda.num();
+            const Int q = old.lambda.den();
+            try {
+                // (1) Optimality: every changed edge must still have
+                // non-positive reweighted slack under the OLD potentials —
+                // unchanged edges kept theirs, so summing around any cycle
+                // still bounds its mean by λ.
+                for (const auto& [local, weight] : dirty[c]) {
+                    const DigraphEdge& e = next->edges[local];
+                    const Int slack = checked_sub(
+                        checked_add(old.potential[e.from], reweight(weight, p, q)),
+                        old.potential[e.to]);
+                    if (slack > 0) {
+                        witnesses_hold = false;
+                        break;
+                    }
+                }
+                // (2) Achievement: the stored critical cycle must still sum
+                // to zero with the NEW weights.
+                if (witnesses_hold) {
+                    Int sum = 0;
+                    for (const std::size_t l : old.critical) {
+                        sum = checked_add(sum, reweight(next->edges[l].weight, p, q));
+                    }
+                    witnesses_hold = sum == 0;
+                }
+            } catch (const ArithmeticError&) {
+                witnesses_hold = false;
+            }
+        }
+        if (!witnesses_hold) {
+            // λ may have moved: re-run the byte-identical Karp kernel on
+            // this one component and rebuild its witnesses.
+            solve_and_certify(*next);
+            ++resolved;
+        }
+        out.sccs[c] = std::move(next);
+    }
+
+    out.metric = fold_metric(out.sccs);
+    if (rescored != nullptr) {
+        *rescored = resolved;
+    }
+    return out;
+}
+
+}  // namespace sdf

@@ -1,6 +1,7 @@
 #include "sdf/analysis_manager.hpp"
 
 #include <algorithm>
+#include <string_view>
 
 namespace sdf {
 
@@ -42,6 +43,8 @@ void AnalysisManager::adopt_matching(const AnalysisManager& from,
         }
         slot.name = source.name;
         slot.timed = source.timed;
+        slot.refine_fn = source.refine_fn;
+        slot.phase = source.phase;
         slot.value = source.value;
         ++slot.adopted;
     }
@@ -58,6 +61,78 @@ void AnalysisManager::adopt_all(const AnalysisManager& from) {
 
 void AnalysisManager::adopt_untimed(const AnalysisManager& from) {
     adopt_matching(from, nullptr, true);
+}
+
+void AnalysisManager::refine_from(const AnalysisManager& from, const Graph& graph,
+                                  const MutationLog& log) {
+    if (&from == this || log.empty()) {
+        return;
+    }
+    // Snapshot the source slots so the hooks run without any lock held:
+    // refinement may consult sibling caches of either manager, and a held
+    // lock would self-deadlock exactly like it would for compute().
+    struct Pending {
+        std::type_index key;
+        Slot slot;  // metadata + value copy; counters irrelevant here
+    };
+    std::vector<Pending> pending;
+    {
+        const std::lock_guard<std::mutex> source_lock(from.mutex_);
+        pending.reserve(from.slots_.size());
+        for (const auto& [key, source] : from.slots_) {
+            if (source.value) {
+                pending.push_back(Pending{key, source});
+            }
+        }
+    }
+    // Phase order lets derived slots (throughput) read base slots
+    // (repetition, incremental max-plus state) the earlier phases already
+    // installed; ties break on the slot name for determinism.
+    std::sort(pending.begin(), pending.end(), [](const Pending& a, const Pending& b) {
+        if (a.slot.phase != b.slot.phase) {
+            return a.slot.phase < b.slot.phase;
+        }
+        return std::string_view(a.slot.name) < std::string_view(b.slot.name);
+    });
+
+    const RefineContext ctx{graph, log, from, *this};
+    for (const Pending& p : pending) {
+        ErasedOutcome outcome;
+        if (p.slot.refine_fn != nullptr) {
+            try {
+                outcome = p.slot.refine_fn(p.slot.value, ctx);
+            } catch (...) {
+                // A refinement failure (budget trip, injected fault, local
+                // re-solve discovering the result is gone) only costs the
+                // cache entry: the mutation itself must never fail, and a
+                // later query recomputes from scratch.
+                outcome.action = 0;
+            }
+        } else if (!p.slot.timed && log.timing_only()) {
+            // Default rule: untimed results survive pure timing edits —
+            // the contract set_execution_time has always offered.
+            outcome.action = 1;
+        }
+        if (outcome.action == 0) {
+            continue;
+        }
+        const std::lock_guard<std::mutex> lock(mutex_);
+        Slot& slot = slots_[p.key];
+        slot.name = p.slot.name;
+        slot.timed = p.slot.timed;
+        slot.refine_fn = p.slot.refine_fn;
+        slot.phase = p.slot.phase;
+        if (slot.value) {
+            continue;  // a concurrent first result wins, as everywhere
+        }
+        if (outcome.action == 1) {
+            slot.value = p.slot.value;
+            ++slot.kept;
+        } else {
+            slot.value = std::move(outcome.value);
+            ++slot.refined;
+        }
+    }
 }
 
 void AnalysisManager::invalidate() {
@@ -77,6 +152,8 @@ std::vector<AnalysisSlotStats> AnalysisManager::stats() const {
         s.hits = slot.hits;
         s.misses = slot.misses;
         s.adopted = slot.adopted;
+        s.kept = slot.kept;
+        s.refined = slot.refined;
         s.cached = slot.value != nullptr;
         result.push_back(std::move(s));
     }

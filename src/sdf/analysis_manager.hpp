@@ -1,5 +1,5 @@
-// analysis_manager.hpp — typed, lazily-computed, mutation-invalidated
-// analysis slots shared by everything that asks questions about one graph.
+// analysis_manager.hpp — typed, lazily-computed, mutation-REFINED analysis
+// slots shared by everything that asks questions about one graph.
 //
 // An *analysis* is a cheap traits struct
 //
@@ -8,29 +8,52 @@
 //         static constexpr const char* kName = "repetition";
 //         static constexpr bool kTimeSensitive = false;
 //         static Result compute(const Graph&);
+//         // optional: delta-aware survival under a MutationLog
+//         static Refined<Result> refine(const Result&, const RefineContext&);
+//         // optional: refinement ordering (lower phases run first)
+//         static constexpr int kRefinePhase = 0;
 //     };
 //
 // kTimeSensitive marks results that depend on execution times (throughput)
-// rather than only on rates and tokens (repetition, schedule, liveness):
-// set_execution_time keeps the untimed slots — the DSE-style "retune,
-// reanalyse" loop — and drops only the timed ones.
+// rather than only on rates and tokens (repetition, schedule, liveness).
 //
-// declared next to its compute function (src/sdf for the structural
-// analyses, src/analysis for throughput), so the manager itself depends on
-// nothing above the graph model and any layer can add slots without
-// touching this file.  AnalysisManager::get<A>() returns the cached result
-// or computes, caches and returns it; failures (inconsistency, deadlock)
-// propagate as the usual typed errors and cache nothing, so they re-throw
-// on every query exactly like the direct call would.
+// Traits are declared next to their compute function (src/sdf for the
+// structural analyses, src/analysis for throughput), so the manager itself
+// depends on nothing above the graph model and any layer can add slots
+// without touching this file.  AnalysisManager::get<A>() returns the cached
+// result or computes, caches and returns it; failures (inconsistency,
+// deadlock) propagate as the usual typed errors and cache nothing, so they
+// re-throw on every query exactly like the direct call would.
 //
 // Every Graph owns a manager (Graph::analyses()).  Copies of a graph share
-// it until either copy mutates; mutation swaps in a fresh manager so
-// results cached for the old structure stay with the old graph — the
-// copy-on-invalidate semantics the old two-slot GraphMemo had, now for any
-// number of typed slots.  The pass pipeline (src/pass) additionally moves
-// slots *across* a transformation when the pass declares them preserved
-// (adopt()), which is what lets a repetition vector computed once survive
-// an entire selfloops,prune,retiming chain.
+// it until either copy mutates; mutation swaps in a fresh manager so results
+// cached for the old structure stay with the old graph.  The swap is no
+// longer a blanket invalidation: the mutator records a MutationEvent
+// (sdf/mutation.hpp) and the fresh manager REFINES from the old one —
+// per slot, the delta either
+//
+//   * KEEPS the cached value (a pure timing edit cannot move any untimed
+//     result; counted in `kept`),
+//   * REFINES it through the trait's optional refine() hook (repetition
+//     re-solved only on the weakly connected component a rate edit touched,
+//     throughput re-certified from the incremental max-plus state; counted
+//     in `refined`), or
+//   * DROPS it for lazy recomputation (the conservative default).
+//
+// A slot without a refine() hook follows the default rule: kept when the
+// analysis is untimed and the log contains only execution-time edits —
+// exactly the contract set_execution_time has always offered — dropped
+// otherwise.  refine() hooks run OUTSIDE every manager lock in ascending
+// kRefinePhase order, so a phase-1 hook may consult phase-0 results already
+// installed in the target manager (RefineContext::target).  A hook that
+// throws only drops its own slot: mutation never fails because refinement
+// did, and an injected fault mid-refine degrades to a cache miss, never to
+// a wrong cached value.
+//
+// The pass pipeline (src/pass) additionally moves slots *across* a
+// transformation when the pass declares them preserved (adopt()), or
+// refines them across a whole-graph rewrite when the pass emits a
+// MutationLog delta (pass.hpp `PassResult::delta`).
 //
 // Slots are filled under the mutex, but compute() runs OUTSIDE it: analyses
 // call back into the manager (throughput consults the repetition and
@@ -44,13 +67,46 @@
 #include <mutex>
 #include <string>
 #include <typeindex>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "sdf/mutation.hpp"
+
 namespace sdf {
 
 class Graph;
+class AnalysisManager;
+
+/// Everything a refine() hook may look at: the post-mutation graph, the
+/// delta, the pre-mutation manager (for sibling results computed against
+/// the OLD graph) and the manager being filled (for sibling results already
+/// kept/refined in an earlier phase).  Hooks must not call target.get<>()
+/// — refinement may consult caches, never trigger recomputation.
+struct RefineContext {
+    const Graph& graph;            ///< the graph AFTER the mutation
+    const MutationLog& log;        ///< what changed
+    const AnalysisManager& source; ///< manager of the pre-mutation graph
+    AnalysisManager& target;       ///< manager being refined into
+};
+
+/// What a refine() hook decided for one slot.
+template <typename R>
+struct Refined {
+    enum class Action { kept, refined, dropped };
+    Action action = Action::dropped;
+    std::shared_ptr<const R> value;  ///< set when action == refined
+
+    static Refined keep() { return {Action::kept, nullptr}; }
+    static Refined drop() { return {Action::dropped, nullptr}; }
+    static Refined make(R refined_value) {
+        return {Action::refined, std::make_shared<const R>(std::move(refined_value))};
+    }
+    static Refined share(std::shared_ptr<const R> refined_value) {
+        return {Action::refined, std::move(refined_value)};
+    }
+};
 
 /// Cache counters of one slot, for --time-passes style reporting and the
 /// preservation tests.
@@ -59,8 +115,33 @@ struct AnalysisSlotStats {
     std::uint64_t hits = 0;      ///< queries served from the cache
     std::uint64_t misses = 0;    ///< queries that had to compute
     std::uint64_t adopted = 0;   ///< results inherited from a previous graph
+    std::uint64_t kept = 0;      ///< results that survived a delta unchanged
+    std::uint64_t refined = 0;   ///< results updated in place under a delta
     bool cached = false;         ///< a result is currently stored
 };
+
+namespace detail {
+
+/// Detects the optional `static Refined<Result> refine(const Result&,
+/// const RefineContext&)` hook on an analysis trait.
+template <typename A, typename = void>
+struct has_refine_hook : std::false_type {};
+template <typename A>
+struct has_refine_hook<A, std::void_t<decltype(A::refine(
+                              std::declval<const typename A::Result&>(),
+                              std::declval<const RefineContext&>()))>> : std::true_type {};
+
+/// Detects the optional `static constexpr int kRefinePhase` member.
+template <typename A, typename = void>
+struct refine_phase {
+    static constexpr int value = 0;
+};
+template <typename A>
+struct refine_phase<A, std::void_t<decltype(A::kRefinePhase)>> {
+    static constexpr int value = A::kRefinePhase;
+};
+
+}  // namespace detail
 
 /// See the file comment.
 class AnalysisManager {
@@ -88,8 +169,7 @@ public:
             std::make_shared<typename A::Result>(A::compute(graph));
         const std::lock_guard<std::mutex> lock(mutex_);
         Slot& slot = slots_[key];
-        slot.name = A::kName;
-        slot.timed = A::kTimeSensitive;
+        describe_slot<A>(slot);
         if (!slot.value) {
             slot.value = computed;
             ++slot.misses;
@@ -119,6 +199,29 @@ public:
         return cached<A>() != nullptr;
     }
 
+    /// Installs a result for A computed elsewhere (the refinement hooks use
+    /// this to hand derived state to later phases).  Only fills an empty
+    /// slot — a concurrently computed first result wins, as everywhere —
+    /// and counts as `refined` when `as_refined`, as `adopted` otherwise.
+    template <typename A>
+    void install(std::shared_ptr<const typename A::Result> value, bool as_refined) {
+        if (!value) {
+            return;
+        }
+        const std::lock_guard<std::mutex> lock(mutex_);
+        Slot& slot = slots_[std::type_index(typeid(A))];
+        describe_slot<A>(slot);
+        if (slot.value) {
+            return;
+        }
+        slot.value = std::move(value);
+        if (as_refined) {
+            ++slot.refined;
+        } else {
+            ++slot.adopted;
+        }
+    }
+
     /// True when a slot with this kName holds a result.
     [[nodiscard]] bool has(const std::string& analysis) const;
 
@@ -131,8 +234,16 @@ public:
     void adopt_all(const AnalysisManager& from);
 
     /// adopt() for every slot whose analysis is not time-sensitive; what
-    /// Graph::set_execution_time uses to keep the structural results.
+    /// the timing-only refinement default reduces to.
     void adopt_untimed(const AnalysisManager& from);
+
+    /// Refines every cached result of `from` through the mutation delta
+    /// `log` into this manager (see the file comment for the per-slot
+    /// kept/refined/dropped contract).  `graph` is the POST-mutation graph.
+    /// Hooks run outside all manager locks, in ascending refine phase; a
+    /// throwing hook drops its slot and nothing else.  Never throws.
+    void refine_from(const AnalysisManager& from, const Graph& graph,
+                     const MutationLog& log);
 
     /// Drops every cached result (counters survive).
     void invalidate();
@@ -141,14 +252,56 @@ public:
     [[nodiscard]] std::vector<AnalysisSlotStats> stats() const;
 
 private:
+    /// Type-erased refine hook: old value in, kept/refined/dropped out.
+    struct ErasedOutcome {
+        int action = 0;  ///< 0 dropped, 1 kept, 2 refined
+        std::shared_ptr<const void> value;
+    };
+    using RefineFn = ErasedOutcome (*)(const std::shared_ptr<const void>&,
+                                       const RefineContext&);
+
     struct Slot {
         const char* name = "";
         bool timed = false;
+        RefineFn refine_fn = nullptr;  ///< null: default untimed/timing rule
+        int phase = 0;
         std::shared_ptr<const void> value;
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t adopted = 0;
+        std::uint64_t kept = 0;
+        std::uint64_t refined = 0;
     };
+
+    /// Stamps the static trait metadata onto a slot (idempotent).
+    template <typename A>
+    static void describe_slot(Slot& slot) {
+        slot.name = A::kName;
+        slot.timed = A::kTimeSensitive;
+        slot.phase = detail::refine_phase<A>::value;
+        if constexpr (detail::has_refine_hook<A>::value) {
+            slot.refine_fn = [](const std::shared_ptr<const void>& old_value,
+                                const RefineContext& ctx) -> ErasedOutcome {
+                const auto& old =
+                    *std::static_pointer_cast<const typename A::Result>(old_value);
+                Refined<typename A::Result> out = A::refine(old, ctx);
+                ErasedOutcome erased;
+                switch (out.action) {
+                    case Refined<typename A::Result>::Action::kept:
+                        erased.action = 1;
+                        break;
+                    case Refined<typename A::Result>::Action::refined:
+                        erased.action = out.value ? 2 : 0;
+                        erased.value = std::move(out.value);
+                        break;
+                    case Refined<typename A::Result>::Action::dropped:
+                        erased.action = 0;
+                        break;
+                }
+                return erased;
+            };
+        }
+    }
 
     void adopt_matching(const AnalysisManager& from,
                         const std::vector<std::string>* filter, bool untimed_only);

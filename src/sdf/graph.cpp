@@ -4,6 +4,19 @@
 
 namespace sdf {
 
+void Graph::record_mutation(const MutationEvent& event) {
+    // The retired manager keeps serving copies that still share it; the
+    // fresh one starts from whatever the single-event delta lets survive.
+    // refine_from never throws (a failing hook only drops its slot), so a
+    // mutator can never leave the graph holding stale cached analyses.
+    auto fresh = std::make_shared<AnalysisManager>();
+    MutationLog delta;
+    delta.push(event);
+    fresh->refine_from(*analyses_, *this, delta);
+    analyses_ = fresh;
+    mutations_.push(event);
+}
+
 ActorId Graph::add_actor(const std::string& name, Int execution_time) {
     require(!name.empty(), "actor name must be non-empty");
     require(execution_time >= 0, "actor '" + name + "' has negative execution time");
@@ -12,7 +25,11 @@ ActorId Graph::add_actor(const std::string& name, Int execution_time) {
     const ActorId id = actors_.size();
     actors_.push_back(Actor{name, execution_time});
     actor_by_name_.emplace(name, id);
-    invalidate_analyses();
+    MutationEvent event;
+    event.kind = MutationKind::actor_added;
+    event.id = id;
+    event.new_a = execution_time;
+    record_mutation(event);
     return id;
 }
 
@@ -24,30 +41,102 @@ ChannelId Graph::add_channel(ActorId src, ActorId dst, Int production, Int consu
     require(initial_tokens >= 0, "channel initial tokens must be non-negative");
     const ChannelId id = channels_.size();
     channels_.push_back(Channel{src, dst, production, consumption, initial_tokens});
-    invalidate_analyses();
+    MutationEvent event;
+    event.kind = MutationKind::channel_added;
+    event.id = id;
+    event.new_a = production;
+    event.new_b = consumption;
+    record_mutation(event);
     return id;
 }
 
 void Graph::set_execution_time(ActorId id, Int execution_time) {
     require(id < actors_.size(), "actor id out of range");
     require(execution_time >= 0, "negative execution time");
+    if (actors_[id].execution_time == execution_time) {
+        return;  // no-op edit: nothing changed, the whole cache stands
+    }
+    MutationEvent event;
+    event.kind = MutationKind::execution_time;
+    event.id = id;
+    event.old_a = actors_[id].execution_time;
+    event.new_a = execution_time;
     actors_[id].execution_time = execution_time;
-    // Untimed analyses (repetition, schedule, liveness) survive a retuned
-    // execution time; timed ones (throughput) must not.  Swap in a fresh
-    // manager carrying only the untimed slots so copies sharing the old
-    // manager keep their complete cache.
-    auto fresh = std::make_shared<AnalysisManager>();
-    fresh->adopt_untimed(*analyses_);
-    analyses_ = fresh;
+    record_mutation(event);
 }
 
 void Graph::set_initial_tokens(ChannelId id, Int initial_tokens) {
     require(id < channels_.size(), "channel id out of range");
     require(initial_tokens >= 0, "negative initial tokens");
+    if (channels_[id].initial_tokens == initial_tokens) {
+        return;  // no-op edit
+    }
+    MutationEvent event;
+    event.kind = MutationKind::initial_tokens;
+    event.id = id;
+    event.old_a = channels_[id].initial_tokens;
+    event.new_a = initial_tokens;
     channels_[id].initial_tokens = initial_tokens;
-    // The repetition vector only depends on rates, but the schedule (and
-    // its existence — deadlock) depends on the token distribution.
-    invalidate_analyses();
+    record_mutation(event);
+}
+
+void Graph::set_rates(ChannelId id, Int production, Int consumption) {
+    require(id < channels_.size(), "channel id out of range");
+    require(production > 0, "channel production rate must be positive");
+    require(consumption > 0, "channel consumption rate must be positive");
+    Channel& channel = channels_[id];
+    if (channel.production == production && channel.consumption == consumption) {
+        return;  // no-op edit
+    }
+    MutationEvent event;
+    event.kind = MutationKind::rates;
+    event.id = id;
+    event.old_a = channel.production;
+    event.new_a = production;
+    event.old_b = channel.consumption;
+    event.new_b = consumption;
+    channel.production = production;
+    channel.consumption = consumption;
+    record_mutation(event);
+}
+
+void Graph::remove_channel(ChannelId id) {
+    require(id < channels_.size(), "channel id out of range");
+    MutationEvent event;
+    event.kind = MutationKind::channel_removed;
+    event.id = id;
+    event.old_a = channels_[id].production;
+    event.old_b = channels_[id].consumption;
+    channels_.erase(channels_.begin() + static_cast<std::ptrdiff_t>(id));
+    record_mutation(event);
+}
+
+void Graph::remove_actor(ActorId id) {
+    require(id < actors_.size(), "actor id out of range");
+    for (const Channel& c : channels_) {
+        require(c.src != id && c.dst != id,
+                "actor '" + actors_[id].name + "' still has channels; remove them first");
+    }
+    MutationEvent event;
+    event.kind = MutationKind::actor_removed;
+    event.id = id;
+    event.old_a = actors_[id].execution_time;
+    actor_by_name_.erase(actors_[id].name);
+    actors_.erase(actors_.begin() + static_cast<std::ptrdiff_t>(id));
+    for (Channel& c : channels_) {
+        if (c.src > id) {
+            --c.src;
+        }
+        if (c.dst > id) {
+            --c.dst;
+        }
+    }
+    for (auto& [name, actor] : actor_by_name_) {
+        if (actor > id) {
+            --actor;
+        }
+    }
+    record_mutation(event);
 }
 
 std::optional<ActorId> Graph::find_actor(const std::string& name) const {

@@ -20,11 +20,9 @@
 
 #include "base/checked.hpp"
 #include "sdf/analysis_manager.hpp"
+#include "sdf/mutation.hpp"
 
 namespace sdf {
-
-using ActorId = std::size_t;
-using ChannelId = std::size_t;
 
 /// One actor of a timed SDF graph.
 struct Actor {
@@ -78,10 +76,25 @@ public:
     [[nodiscard]] const std::vector<Channel>& channels() const { return channels_; }
 
     /// Updates an actor's execution time (used by abstraction & generators).
+    /// A no-op edit (same value) records nothing and keeps the cache whole.
     void set_execution_time(ActorId id, Int execution_time);
 
     /// Replaces a channel's initial-token count (used by buffer modelling).
+    /// A no-op edit records nothing and keeps the cache whole.
     void set_initial_tokens(ChannelId id, Int initial_tokens);
+
+    /// Replaces a channel's production/consumption rates (both positive).
+    /// A no-op edit records nothing and keeps the cache whole.
+    void set_rates(ChannelId id, Int production, Int consumption);
+
+    /// Removes a channel.  Channel ids above `id` shift down by one (dense
+    /// indices), which the recorded MutationEvent documents for consumers.
+    void remove_channel(ChannelId id);
+
+    /// Removes an actor, which must have no incident channels (remove those
+    /// first).  Actor ids above `id` shift down by one and channel
+    /// endpoints are renumbered accordingly.
+    void remove_actor(ActorId id);
 
     /// Id of the actor with this exact name, if any.
     [[nodiscard]] std::optional<ActorId> find_actor(const std::string& name) const;
@@ -99,20 +112,29 @@ public:
 
     /// This graph's analysis cache (see sdf/analysis_manager.hpp).  Copies
     /// of a graph share the manager until either copy mutates; mutation
-    /// swaps in a fresh one so results cached for the old structure stay
-    /// with the old graph.
+    /// swaps in a fresh one — refined through the recorded delta, not
+    /// emptied — so results cached for the old structure stay with the old
+    /// graph and everything the delta cannot move stays with this one.
     [[nodiscard]] const std::shared_ptr<AnalysisManager>& analyses() const {
         return analyses_;
     }
 
+    /// Every mutation recorded on THIS object since its construction or
+    /// copy (graph assignment replaces the log with the source's).  Passes
+    /// slice this to report a delta for a whole rewrite.
+    [[nodiscard]] const MutationLog& mutations() const { return mutations_; }
+
 private:
-    /// Called by mutators that change what the cached analyses see.
-    void invalidate_analyses() { analyses_ = std::make_shared<AnalysisManager>(); }
+    /// Called by mutators AFTER applying a change: swaps in a fresh manager
+    /// refined from the old one through the single-event delta and appends
+    /// the event to the accumulated log.  Never throws.
+    void record_mutation(const MutationEvent& event);
 
     std::string name_;
     std::vector<Actor> actors_;
     std::vector<Channel> channels_;
     std::unordered_map<std::string, ActorId> actor_by_name_;
+    MutationLog mutations_;
     std::shared_ptr<AnalysisManager> analyses_ = std::make_shared<AnalysisManager>();
 };
 

@@ -1,0 +1,142 @@
+// mutation.hpp — the typed mutation-delta protocol of the graph model.
+//
+// Every Graph mutator records WHAT changed as a MutationEvent instead of
+// blanketly discarding the analysis cache: the manager swap that used to be
+// `invalidate_analyses()` becomes `refine_from(old, graph, log)`, which asks
+// every cached analysis slot how it survives the delta — kept unchanged,
+// refined in place, or dropped for lazy recomputation (see
+// sdf/analysis_manager.hpp for the per-slot contract and
+// docs/INCREMENTAL.md for the full protocol).
+//
+// Events are value records of the pre- and post-edit scalars, so refinement
+// hooks can reason about the *direction* of a change (a token increase can
+// never introduce a deadlock; a pure execution-time edit cannot touch any
+// untimed result).  A MutationLog is an ordered batch of events: mutators
+// emit singleton logs, passes may emit one log for a whole rewrite
+// (pass/pass.hpp `PassResult::delta`), and the serve `edit` op replays a
+// client-provided script as one log per edit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "base/checked.hpp"
+
+namespace sdf {
+
+using ActorId = std::size_t;
+using ChannelId = std::size_t;
+
+/// What one mutation did to the graph.
+enum class MutationKind : std::uint8_t {
+    actor_added,      ///< add_actor; `id` is the new ActorId
+    actor_removed,    ///< remove_actor; ids above `id` shifted down by one
+    channel_added,    ///< add_channel; `id` is the new ChannelId
+    channel_removed,  ///< remove_channel; ids above `id` shifted down by one
+    execution_time,   ///< set_execution_time; old_a -> new_a on actor `id`
+    rates,            ///< set_rates; (old_a, old_b) -> (new_a, new_b) = (p, c)
+    initial_tokens,   ///< set_initial_tokens; old_a -> new_a on channel `id`
+};
+
+/// One recorded mutation.  The scalar pairs are meaningful per kind (see
+/// MutationKind); unused pairs stay zero.
+struct MutationEvent {
+    MutationKind kind = MutationKind::execution_time;
+    std::size_t id = 0;  ///< actor or channel id, per kind
+    Int old_a = 0;       ///< execution time / production / initial tokens
+    Int new_a = 0;
+    Int old_b = 0;       ///< consumption (rates only)
+    Int new_b = 0;
+
+    friend bool operator==(const MutationEvent&, const MutationEvent&) = default;
+};
+
+/// An ordered batch of mutations, with the classification predicates the
+/// refinement hooks branch on.
+class MutationLog {
+public:
+    MutationLog() = default;
+
+    void push(const MutationEvent& event) { events_.push_back(event); }
+    void append(const MutationLog& other) {
+        events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+    }
+    void clear() { events_.clear(); }
+
+    [[nodiscard]] bool empty() const { return events_.empty(); }
+    [[nodiscard]] std::size_t size() const { return events_.size(); }
+    [[nodiscard]] const std::vector<MutationEvent>& events() const { return events_; }
+
+    /// True when every event's kind is in `kinds` (an empty log trivially
+    /// qualifies) — the generic subset predicate behind the named ones.
+    [[nodiscard]] bool only(std::initializer_list<MutationKind> kinds) const {
+        return all_of_kinds(kinds);
+    }
+
+    /// True when at least one event has this kind.
+    [[nodiscard]] bool has(MutationKind kind) const {
+        for (const MutationEvent& e : events_) {
+            if (e.kind == kind) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /// Only execution-time edits: no untimed result can change.
+    [[nodiscard]] bool timing_only() const {
+        return all_of_kinds({MutationKind::execution_time});
+    }
+
+    /// Only execution-time and/or initial-token edits: rates, and with them
+    /// the repetition vector and consistency, are untouched.
+    [[nodiscard]] bool timing_or_tokens_only() const {
+        return all_of_kinds({MutationKind::execution_time, MutationKind::initial_tokens});
+    }
+
+    /// Only rate / timing / token edits on EXISTING elements: the actor and
+    /// channel index spaces are stable, so positional results can be
+    /// refined entry-wise.
+    [[nodiscard]] bool structure_preserving() const {
+        return all_of_kinds({MutationKind::execution_time, MutationKind::rates,
+                             MutationKind::initial_tokens});
+    }
+
+    /// True when every token edit in the log moves in the given direction
+    /// (increase when `increase`, decrease otherwise).  Non-token events are
+    /// ignored; an empty log is trivially monotone.
+    [[nodiscard]] bool tokens_monotone(bool increase) const {
+        for (const MutationEvent& e : events_) {
+            if (e.kind != MutationKind::initial_tokens) {
+                continue;
+            }
+            if (increase ? e.new_a < e.old_a : e.new_a > e.old_a) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+private:
+    [[nodiscard]] bool all_of_kinds(std::initializer_list<MutationKind> kinds) const {
+        for (const MutationEvent& e : events_) {
+            bool found = false;
+            for (const MutationKind k : kinds) {
+                if (e.kind == k) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    std::vector<MutationEvent> events_;
+};
+
+}  // namespace sdf

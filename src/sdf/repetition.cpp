@@ -89,10 +89,127 @@ std::vector<Int> compute_repetition_vector(const Graph& graph) {
     return result;
 }
 
+/// Re-solves the balance equations on every weakly connected component that
+/// contains a seed actor, writing each component's normalised local
+/// solution into `result` (entries of untouched components stay as they
+/// are).  Components normalise independently in compute_repetition_vector
+/// too, so splicing a local re-solve into a stale global vector is exact.
+/// Throws InconsistentGraphError exactly like the full solve.
+void resolve_components_of(const Graph& graph, const std::vector<ActorId>& seeds,
+                           std::vector<Int>& result) {
+    const std::size_t n = graph.actor_count();
+    std::vector<std::vector<ChannelId>> adjacent(n);
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        adjacent[graph.channel(c).src].push_back(c);
+        adjacent[graph.channel(c).dst].push_back(c);
+    }
+    std::vector<Rational> rate(n, Rational(0));
+    std::vector<bool> visited(n, false);
+    for (const ActorId seed : seeds) {
+        if (seed >= n || visited[seed]) {
+            continue;
+        }
+        std::vector<ActorId> component;
+        std::vector<ActorId> stack{seed};
+        visited[seed] = true;
+        rate[seed] = Rational(1);
+        while (!stack.empty()) {
+            const ActorId a = stack.back();
+            stack.pop_back();
+            component.push_back(a);
+            for (const ChannelId ci : adjacent[a]) {
+                const Channel& ch = graph.channel(ci);
+                const ActorId other = (ch.src == a) ? ch.dst : ch.src;
+                const Rational implied = (ch.src == a)
+                    ? rate[a] * Rational(ch.production, ch.consumption)
+                    : rate[a] * Rational(ch.consumption, ch.production);
+                if (!visited[other]) {
+                    visited[other] = true;
+                    rate[other] = implied;
+                    stack.push_back(other);
+                } else if (rate[other] != implied) {
+                    throw InconsistentGraphError(
+                        "balance equations unsolvable at channel " +
+                        graph.actor(ch.src).name + " -> " + graph.actor(ch.dst).name);
+                }
+            }
+        }
+        Int den_lcm = 1;
+        for (const ActorId a : component) {
+            den_lcm = checked_lcm(den_lcm, rate[a].den());
+        }
+        Int num_gcd = 0;
+        for (const ActorId a : component) {
+            const Int scaled = checked_mul(rate[a].num(), den_lcm / rate[a].den());
+            num_gcd = gcd(num_gcd, scaled);
+        }
+        for (const ActorId a : component) {
+            const Int scaled = checked_mul(rate[a].num(), den_lcm / rate[a].den());
+            result[a] = scaled / num_gcd;
+        }
+    }
+    // The DFS checks every channel from at least one side except self-loops
+    // with p != c; verify every channel inside the re-solved region.
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        const Channel& ch = graph.channel(c);
+        if (!visited[ch.src] && !visited[ch.dst]) {
+            continue;
+        }
+        if (checked_mul(result[ch.src], ch.production) !=
+            checked_mul(result[ch.dst], ch.consumption)) {
+            throw InconsistentGraphError(
+                "balance equation violated at channel " + graph.actor(ch.src).name +
+                " -> " + graph.actor(ch.dst).name);
+        }
+    }
+}
+
+/// Endpoints of every rate-edited channel: the seeds of the dirty weakly
+/// connected components a structure-preserving delta can touch.
+std::vector<ActorId> rate_dirty_actors(const Graph& graph, const MutationLog& log) {
+    std::vector<ActorId> dirty;
+    for (const MutationEvent& e : log.events()) {
+        if (e.kind != MutationKind::rates || e.id >= graph.channel_count()) {
+            continue;
+        }
+        dirty.push_back(graph.channel(e.id).src);
+        dirty.push_back(graph.channel(e.id).dst);
+    }
+    return dirty;
+}
+
 }  // namespace
 
 std::vector<Int> RepetitionVectorAnalysis::compute(const Graph& graph) {
     return compute_repetition_vector(graph);
+}
+
+Refined<std::vector<Int>> RepetitionVectorAnalysis::refine(const Result& old,
+                                                           const RefineContext& ctx) {
+    using Out = Refined<Result>;
+    if (ctx.log.timing_or_tokens_only()) {
+        return Out::keep();  // rates untouched, the vector cannot move
+    }
+    if (ctx.log.structure_preserving() && old.size() == ctx.graph.actor_count()) {
+        // Rate edits: re-solve only the dirty weakly connected components.
+        Result updated = old;
+        resolve_components_of(ctx.graph, rate_dirty_actors(ctx.graph, ctx.log), updated);
+        return Out::make(std::move(updated));
+    }
+    if (ctx.log.only({MutationKind::actor_added, MutationKind::execution_time,
+                      MutationKind::initial_tokens})) {
+        // A just-added actor has no channels yet: its own component, q = 1.
+        Result updated = old;
+        for (const MutationEvent& e : ctx.log.events()) {
+            if (e.kind == MutationKind::actor_added) {
+                updated.push_back(1);
+            }
+        }
+        if (updated.size() == ctx.graph.actor_count()) {
+            return Out::make(std::move(updated));
+        }
+    }
+    return Out::drop();
 }
 
 bool ConsistencyAnalysis::compute(const Graph& graph) {
@@ -102,6 +219,37 @@ bool ConsistencyAnalysis::compute(const Graph& graph) {
     } catch (const InconsistentGraphError&) {
         return false;
     }
+}
+
+Refined<bool> ConsistencyAnalysis::refine(const Result& old, const RefineContext& ctx) {
+    using Out = Refined<Result>;
+    if (ctx.log.timing_or_tokens_only()) {
+        return Out::keep();
+    }
+    if (ctx.log.only({MutationKind::actor_added, MutationKind::execution_time,
+                      MutationKind::initial_tokens})) {
+        return Out::keep();  // an isolated new actor is trivially balanced
+    }
+    if (old && ctx.log.structure_preserving()) {
+        // The untouched components kept their solutions; only the dirty
+        // ones can have become unsolvable.
+        std::vector<Int> scratch(ctx.graph.actor_count(), 0);
+        try {
+            resolve_components_of(ctx.graph, rate_dirty_actors(ctx.graph, ctx.log),
+                                  scratch);
+        } catch (const InconsistentGraphError&) {
+            return Out::make(false);
+        }
+        return Out::keep();
+    }
+    if (!old && ctx.log.only({MutationKind::channel_added, MutationKind::actor_added,
+                              MutationKind::execution_time,
+                              MutationKind::initial_tokens})) {
+        // Adding channels only adds balance constraints: an unsolvable
+        // system stays unsolvable.
+        return Out::keep();
+    }
+    return Out::drop();
 }
 
 std::vector<Int> repetition_vector(const Graph& graph) {

@@ -26,20 +26,31 @@ std::vector<Int> repetition_vector(const Graph& graph);
 bool is_consistent(const Graph& graph);
 
 /// AnalysisManager slot behind repetition_vector() (see
-/// sdf/analysis_manager.hpp for the traits contract).
+/// sdf/analysis_manager.hpp for the traits contract).  Delta-aware: timing
+/// and token edits keep the vector untouched (it depends on rates only), a
+/// rate edit re-solves ONLY the weakly connected component the edited
+/// channel lives in and splices the local solution into the old vector
+/// (components are normalised independently, so the splice is exact), and
+/// a freshly added actor — necessarily isolated — appends a 1.
 struct RepetitionVectorAnalysis {
     using Result = std::vector<Int>;
     static constexpr const char* kName = "repetition";
     static constexpr bool kTimeSensitive = false;
     static Result compute(const Graph& graph);
+    static Refined<Result> refine(const Result& old, const RefineContext& ctx);
 };
 
-/// AnalysisManager slot behind is_consistent().
+/// AnalysisManager slot behind is_consistent().  Delta-aware: invariant
+/// under timing/token edits; under rate edits a consistent graph re-checks
+/// only the dirty component (the others kept their solutions); adding a
+/// channel to an inconsistent graph can only add constraints, so `false`
+/// survives it.
 struct ConsistencyAnalysis {
     using Result = bool;
     static constexpr const char* kName = "consistency";
     static constexpr bool kTimeSensitive = false;
     static Result compute(const Graph& graph);
+    static Refined<Result> refine(const Result& old, const RefineContext& ctx);
 };
 
 /// Sum of the repetition vector: the number of firings in one iteration.

@@ -95,8 +95,88 @@ std::vector<ActorId> compute_sequential_schedule(const Graph& graph) {
 
 }  // namespace
 
+bool validate_schedule(const Graph& graph, const std::vector<ActorId>& schedule) {
+    const std::size_t n = graph.actor_count();
+    std::vector<std::vector<ChannelId>> inputs(n);
+    std::vector<std::vector<ChannelId>> outputs(n);
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        inputs[graph.channel(c).dst].push_back(c);
+        outputs[graph.channel(c).src].push_back(c);
+    }
+    std::vector<Int> tokens;
+    tokens.reserve(graph.channel_count());
+    for (const Channel& c : graph.channels()) {
+        tokens.push_back(c.initial_tokens);
+    }
+    std::vector<Int> fired(n, 0);
+    for (const ActorId a : schedule) {
+        if (a >= n) {
+            return false;
+        }
+        for (const ChannelId ci : inputs[a]) {
+            if (tokens[ci] < graph.channel(ci).consumption) {
+                return false;  // underflow: the order is no longer admissible
+            }
+            tokens[ci] -= graph.channel(ci).consumption;
+        }
+        for (const ChannelId ci : outputs[a]) {
+            tokens[ci] = checked_add(tokens[ci], graph.channel(ci).production);
+        }
+        ++fired[a];
+    }
+    // One full iteration returns every channel to its initial count and
+    // fires each actor its repetition-vector count; checking the former
+    // (plus every actor fired at least once when it appears) certifies the
+    // latter without recomputing the vector.
+    for (ChannelId c = 0; c < graph.channel_count(); ++c) {
+        if (tokens[c] != graph.channel(c).initial_tokens) {
+            return false;
+        }
+    }
+    for (ActorId a = 0; a < n; ++a) {
+        if (fired[a] == 0 && schedule.size() >= n) {
+            return false;
+        }
+    }
+    return !schedule.empty() || n == 0;
+}
+
 std::vector<ActorId> SequentialScheduleAnalysis::compute(const Graph& graph) {
     return compute_sequential_schedule(graph);
+}
+
+Refined<std::vector<ActorId>> SequentialScheduleAnalysis::refine(
+    const Result& old, const RefineContext& ctx) {
+    using Out = Refined<Result>;
+    if (ctx.log.timing_only()) {
+        return Out::keep();
+    }
+    if (!ctx.log.only({MutationKind::execution_time, MutationKind::initial_tokens,
+                       MutationKind::actor_added})) {
+        return Out::drop();  // rate or structural edits reshape the iteration
+    }
+    // Validation cost is O(firings); past this the certificate check would
+    // rival recomputation, so fall back to the lazy path.
+    constexpr std::size_t kMaxValidatedFirings = std::size_t{1} << 16;
+    if (old.size() > kMaxValidatedFirings) {
+        return Out::drop();
+    }
+    const bool appends = ctx.log.has(MutationKind::actor_added);
+    if (!appends && ctx.log.tokens_monotone(/*increase=*/true)) {
+        return Out::keep();  // more tokens never disable a firing
+    }
+    Result candidate = old;
+    if (appends) {
+        for (const MutationEvent& e : ctx.log.events()) {
+            if (e.kind == MutationKind::actor_added) {
+                candidate.push_back(e.id);  // isolated actor: fires once, last
+            }
+        }
+    }
+    if (!validate_schedule(ctx.graph, candidate)) {
+        return Out::drop();
+    }
+    return appends ? Out::make(std::move(candidate)) : Out::keep();
 }
 
 bool LivenessAnalysis::compute(const Graph& graph) {
@@ -108,6 +188,41 @@ bool LivenessAnalysis::compute(const Graph& graph) {
     } catch (const InconsistentGraphError&) {
         return false;
     }
+}
+
+Refined<bool> LivenessAnalysis::refine(const Result& old, const RefineContext& ctx) {
+    using Out = Refined<Result>;
+    if (ctx.log.only({MutationKind::execution_time, MutationKind::actor_added})) {
+        return Out::keep();  // timing is invisible; an isolated actor fires freely
+    }
+    if (ctx.log.only({MutationKind::execution_time, MutationKind::actor_added,
+                      MutationKind::initial_tokens})) {
+        if (old && ctx.log.tokens_monotone(/*increase=*/true)) {
+            return Out::keep();  // more tokens cannot introduce a deadlock
+        }
+        if (!old && ctx.log.tokens_monotone(/*increase=*/false)) {
+            return Out::keep();  // fewer tokens cannot revive a dead graph
+        }
+        // Phase 1: a schedule the earlier phase kept or refined for the new
+        // token distribution is a liveness witness.
+        if (ctx.target.cached<SequentialScheduleAnalysis>() != nullptr) {
+            return old ? Out::keep() : Out::make(true);
+        }
+        return Out::drop();
+    }
+    if (!old && ctx.log.only({MutationKind::channel_added, MutationKind::actor_added,
+                              MutationKind::execution_time,
+                              MutationKind::initial_tokens})) {
+        // Extra channels only add constraints: neither an unsolvable
+        // balance system nor a deadlock can be repaired by them.  (Token
+        // edits alongside are already covered above when monotone; here we
+        // only rely on the channel making things strictly harder, so the
+        // token direction must still be non-reviving.)
+        if (ctx.log.tokens_monotone(/*increase=*/false)) {
+            return Out::keep();
+        }
+    }
+    return Out::drop();
 }
 
 std::vector<ActorId> sequential_schedule(const Graph& graph) {

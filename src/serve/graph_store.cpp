@@ -129,6 +129,41 @@ GraphStore::Interned GraphStore::intern_text(const std::string& raw_text) {
                     entries_.front().id, false};
 }
 
+GraphStore::Interned GraphStore::intern_graph(Graph graph) {
+    // Canonicalise outside the lock, exactly like intern_text's parse.
+    std::string key = write_text_string(graph);
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+        // The model is already stored (an edit script landed on a known
+        // graph): keep the warm entry and let it adopt everything the
+        // incoming graph's manager carries — refined slots included.
+        it->second->graph.analyses()->adopt_all(*graph.analyses());
+        touch(it->second);
+        ++stats_.graph_hits;
+        return Interned{it->second->graph, it->second->key, it->second->id, true};
+    }
+    ++stats_.graph_misses;
+    entries_.push_front(Entry{key, content_id(key), std::move(graph), {}});
+    by_key_.emplace(entries_.front().key, entries_.begin());
+    evict_over_capacity();
+    return Interned{entries_.front().graph, entries_.front().key,
+                    entries_.front().id, false};
+}
+
+std::optional<GraphStore::Interned> GraphStore::find_by_id(const std::string& id) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->id == id) {
+            touch(it);
+            ++stats_.graph_hits;
+            return Interned{it->graph, it->key, it->id, true};
+        }
+    }
+    return std::nullopt;
+}
+
 std::optional<std::pair<int, std::string>> GraphStore::find_result(
     const std::string& graph_key, const std::string& op_key) {
     const std::lock_guard<std::mutex> lock(mutex_);

@@ -83,6 +83,19 @@ public:
     /// (ParseError propagates to the caller).
     Interned intern_text(const std::string& raw_text);
 
+    /// Interns an already-parsed graph (the `edit` op's derived children),
+    /// keyed by its canonical text like every other entry.  When the key is
+    /// already stored, the warm entry adopts the incoming graph's analyses
+    /// — which for an edited child are the slots REFINED from its parent —
+    /// and the stored graph is returned.
+    Interned intern_graph(Graph graph);
+
+    /// The interned entry whose display id (fnv1a-64 hex of the key) is
+    /// `id`, if any.  Display ids are what stats, logs and `edit` responses
+    /// expose, so this is how an edit request names its parent without
+    /// resubmitting the model text.
+    [[nodiscard]] std::optional<Interned> find_by_id(const std::string& id);
+
     /// The cached result of `op_key` on the graph `graph_key`, if any.
     /// `op_key` is the service's composite key (operation + pipeline).
     [[nodiscard]] std::optional<std::pair<int, std::string>> find_result(

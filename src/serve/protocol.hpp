@@ -20,7 +20,9 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "base/checked.hpp"
 #include "robust/budget.hpp"
 #include "serve/json.hpp"
 
@@ -41,6 +43,7 @@ enum class Op {
     lint,        ///< diagnostic rules over the parsed graph
     certify,     ///< abstract interpretation + machine-checked bounds
     fuzz_smoke,  ///< one pass of the differential oracle registry
+    edit,        ///< derive a child graph from a parent by an edit script
     stats,       ///< server counters (cache, queue, request tallies)
     health,      ///< supervision probe: queue depth, reaps, persistence state
     ping,        ///< liveness probe
@@ -49,6 +52,36 @@ enum class Op {
 
 /// Stable wire name ("throughput", "fuzz-smoke", ...).
 const char* op_name(Op op);
+
+/// One step of an `edit` request's script.  The wire shape is one object
+/// per step, discriminated by "set":
+///
+///   {"set":"execution-time","actor":"w3","time":4}
+///   {"set":"initial-tokens","channel":2,"tokens":1}
+///   {"set":"rates","channel":2,"production":2,"consumption":3}
+///
+/// Steps apply in order through the Graph mutators, so every step records a
+/// MutationEvent and the derived graph's analyses are REFINED from the
+/// parent's instead of recomputed (sdf/mutation.hpp has the protocol).
+struct EditStep {
+    enum class Kind { execution_time, initial_tokens, rates };
+    Kind kind = Kind::execution_time;
+    std::string actor;          ///< execution-time: target actor name
+    std::uint64_t channel = 0;  ///< initial-tokens / rates: channel index
+    Int value = 0;              ///< new execution time / token count
+    Int production = 0;         ///< rates only
+    Int consumption = 0;        ///< rates only
+};
+
+/// Parses the "edits" member (an array of step objects, shape above).
+/// Throws BadRequestError on any structural or range violation.
+std::vector<EditStep> parse_edits(const Json& json);
+
+/// The canonical JSON spelling of an edit script: fixed member order and
+/// names, independent of how the client spelt the request.  Json::dump of
+/// this array is the script's identity in result-cache keys and persisted
+/// lineage records.
+Json edits_json(const std::vector<EditStep>& steps);
 
 /// One parsed request line.
 struct Request {
@@ -61,6 +94,10 @@ struct Request {
     bool has_budget = false;
     std::optional<bool> degrade;   ///< throughput ladder: auto (true) / never
     bool no_cache = false;         ///< bypass the result cache for this request
+    std::string parent;            ///< edit: display id of the parent graph
+    std::vector<EditStep> edits;   ///< edit: the script, in application order
+    bool has_edits = false;        ///< edit: "edits" member was present
+    std::string then_op;           ///< edit: follow-on analysis on the child
 
     [[nodiscard]] bool needs_model() const {
         return op == Op::throughput || op == Op::lint || op == Op::certify ||

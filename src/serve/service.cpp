@@ -10,6 +10,7 @@
 #include "absint/reachability.hpp"
 #include "absint/token_intervals.hpp"
 #include "analysis/governed.hpp"
+#include "analysis/incremental.hpp"
 #include "analysis/throughput.hpp"
 #include "lint/lint.hpp"
 #include "lint/render.hpp"
@@ -282,6 +283,10 @@ Json ServeCore::handle(const Json& request_json, const CancellationToken& token)
                 shutdown_.store(true, std::memory_order_relaxed);
                 result = Json::object();
                 result.set("stopping", Json::boolean(true));
+                break;
+            }
+            case Op::edit: {
+                result = op_edit(request, token, cache_state, exit_code);
                 break;
             }
             default: {
@@ -585,6 +590,174 @@ Json ServeCore::op_fuzz_smoke(const Request& request, const Graph& graph,
     return result;
 }
 
+Json ServeCore::op_edit(const Request& request, const CancellationToken& token,
+                        std::string& cache_state, int& exit_code) {
+    // Resolve the parent: by the display id of an already-interned model,
+    // or by submitting the model text alongside the script.
+    GraphStore::Interned parent;
+    if (!request.parent.empty()) {
+        std::optional<GraphStore::Interned> found = store_.find_by_id(request.parent);
+        if (!found) {
+            throw BadRequestError("unknown parent graph \"" + request.parent +
+                                  "\" (evicted or never interned; resubmit the "
+                                  "model with \"model\" or \"model_path\")");
+        }
+        parent = std::move(*found);
+    } else {
+        const std::string model_text = request.model_path.empty()
+                                           ? request.model
+                                           : read_model_file(request.model_path);
+        parent = store_.intern_text(model_text);
+    }
+
+    // The response is a pure function of (parent canonical text, canonical
+    // edit script, follow-on op), so it caches and replays like any other
+    // result — the persisted entry doubles as the child's LINEAGE record:
+    // graph_key = parent text, op_key = the script, result = child text.
+    const Json script = edits_json(request.edits);
+    const std::string op_key = std::string(op_name(Op::edit)) + "|" +
+                               script.dump() + "|" + request.then_op;
+    if (request.no_cache) {
+        cache_state = "bypass";
+    } else if (const auto cached = store_.find_result(parent.key, op_key)) {
+        cache_state = "hit";
+        exit_code = cached->first;
+        return Json::parse(cached->second);
+    } else {
+        cache_state = "miss";
+    }
+
+    const ExecutionBudget budget = effective_budget(request);
+    if (budget.unlimited()) {
+        // Prime the warm throughput state on the PARENT entry so the edits
+        // below refine it instead of seeding a cold child.  Inconsistent
+        // parents have no schedule to trace — edits still derive the child,
+        // so the failure only skips the warm-up.
+        try {
+            warm_throughput(parent.graph);
+        } catch (const Error&) {
+        }
+    }
+
+    // The copy shares the parent's AnalysisManager until the first edit;
+    // each mutator then records a MutationEvent and swaps in a manager
+    // REFINED from the previous one (sdf/mutation.hpp), so the parent's
+    // cached slots survive into the child wherever the delta allows.
+    Graph child = parent.graph;
+    std::uint64_t applied = 0;
+    std::uint64_t kept = 0;
+    std::uint64_t refined = 0;
+    for (std::size_t i = 0; i < request.edits.size(); ++i) {
+        const EditStep& step = request.edits[i];
+        const std::string at = " (edit #" + std::to_string(i) + ")";
+        const AnalysisManager* before = child.analyses().get();
+        switch (step.kind) {
+            case EditStep::Kind::execution_time: {
+                const std::optional<ActorId> actor = child.find_actor(step.actor);
+                if (!actor) {
+                    throw BadRequestError("unknown actor \"" + step.actor + "\"" + at);
+                }
+                child.set_execution_time(*actor, step.value);
+                break;
+            }
+            case EditStep::Kind::initial_tokens: {
+                if (step.channel >= child.channel_count()) {
+                    throw BadRequestError(
+                        "channel " + std::to_string(step.channel) +
+                        " out of range (graph has " +
+                        std::to_string(child.channel_count()) + ")" + at);
+                }
+                child.set_initial_tokens(step.channel, step.value);
+                break;
+            }
+            case EditStep::Kind::rates: {
+                if (step.channel >= child.channel_count()) {
+                    throw BadRequestError(
+                        "channel " + std::to_string(step.channel) +
+                        " out of range (graph has " +
+                        std::to_string(child.channel_count()) + ")" + at);
+                }
+                child.set_rates(step.channel, step.production, step.consumption);
+                break;
+            }
+        }
+        // Each applied mutation swaps in a fresh manager whose kept/refined
+        // counters describe that one refinement; no-op edits keep the old
+        // manager (and would double-count it), so they count as neither
+        // applied nor refined.
+        if (child.analyses().get() != before) {
+            ++applied;
+            for (const AnalysisSlotStats& slot : child.analyses()->stats()) {
+                kept += slot.kept;
+                refined += slot.refined;
+            }
+        }
+    }
+    slots_kept_.fetch_add(kept, std::memory_order_relaxed);
+    slots_refined_.fetch_add(refined, std::memory_order_relaxed);
+    edits_applied_.fetch_add(applied, std::memory_order_relaxed);
+
+    const GraphStore::Interned interned = store_.intern_graph(std::move(child));
+
+    Json result = Json::object();
+    result.set("parent", Json::string(parent.id));
+    result.set("graph", Json::string(interned.id));
+    // The canonical child text is the client's handle for any follow-up
+    // request (and what makes the cached lineage record self-contained).
+    result.set("model", Json::string(interned.key));
+    result.set("applied", Json::integer(static_cast<std::int64_t>(applied)));
+    result.set("actors",
+               Json::integer(static_cast<std::int64_t>(interned.graph.actor_count())));
+    result.set("channels", Json::integer(static_cast<std::int64_t>(
+                               interned.graph.channel_count())));
+
+    exit_code = 0;
+    bool cacheable = true;
+    if (!request.then_op.empty()) {
+        // Run the follow-on analysis on the child THROUGH the result cache,
+        // under the same key a direct request on the child model would use —
+        // so the inline answer here warms that future request and vice
+        // versa.
+        const std::string then_key = request.then_op + "|";
+        Json then_result;
+        int then_exit = 0;
+        bool served = false;
+        if (!request.no_cache) {
+            if (const auto cached = store_.find_result(interned.key, then_key)) {
+                then_result = Json::parse(cached->second);
+                then_exit = cached->first;
+                served = true;
+            }
+        }
+        if (!served) {
+            bool then_cacheable = true;
+            if (request.then_op == "throughput") {
+                then_result = op_throughput(request, token, interned.graph, {},
+                                            then_exit, then_cacheable);
+            } else if (request.then_op == "lint") {
+                then_result =
+                    op_lint(request, token, interned.graph, then_exit, then_cacheable);
+            } else {
+                then_result = op_certify(request, token, interned.graph, then_exit);
+            }
+            if (!request.no_cache && then_cacheable && then_exit <= 1) {
+                store_.store_result(interned.key, then_key, then_exit,
+                                    then_result.dump());
+            }
+            cacheable = then_cacheable;
+        }
+        Json then = Json::object();
+        then.set("op", Json::string(request.then_op));
+        then.set("result", std::move(then_result));
+        result.set("then", std::move(then));
+        exit_code = then_exit;
+    }
+    if (!request.no_cache && cacheable && exit_code <= 1) {
+        store_.store_result(parent.key, op_key, exit_code, result.dump());
+    }
+    return result;
+}
+
 Json ServeCore::op_stats() const {
     const ServeCounters tallies = counters();
     const StoreStats store = store_.stats();
@@ -608,6 +781,14 @@ Json ServeCore::op_stats() const {
     cache.set("result_misses",
               Json::integer(static_cast<std::int64_t>(store.result_misses)));
     result.set("cache", std::move(cache));
+    Json delta = Json::object();
+    delta.set("edits", Json::integer(static_cast<std::int64_t>(
+                           edits_applied_.load(std::memory_order_relaxed))));
+    delta.set("kept", Json::integer(static_cast<std::int64_t>(
+                          slots_kept_.load(std::memory_order_relaxed))));
+    delta.set("refined", Json::integer(static_cast<std::int64_t>(
+                             slots_refined_.load(std::memory_order_relaxed))));
+    result.set("delta", std::move(delta));
     result.set("queue_depth",
                Json::integer(static_cast<std::int64_t>(
                    queue_depth_ ? queue_depth_() : 0)));
@@ -638,6 +819,14 @@ Json ServeCore::op_health() const {
     cache.set("result_hits",
               Json::integer(static_cast<std::int64_t>(store.result_hits)));
     result.set("cache", std::move(cache));
+    Json delta = Json::object();
+    delta.set("edits", Json::integer(static_cast<std::int64_t>(
+                           edits_applied_.load(std::memory_order_relaxed))));
+    delta.set("kept", Json::integer(static_cast<std::int64_t>(
+                          slots_kept_.load(std::memory_order_relaxed))));
+    delta.set("refined", Json::integer(static_cast<std::int64_t>(
+                             slots_refined_.load(std::memory_order_relaxed))));
+    result.set("delta", std::move(delta));
     Json persist = Json::object();
     persist.set("enabled", Json::boolean(persist_ != nullptr));
     if (persist_ != nullptr) {

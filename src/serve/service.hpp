@@ -197,6 +197,8 @@ private:
                     const Graph& graph, int& exit_code) const;
     Json op_fuzz_smoke(const Request& request, const Graph& graph,
                        int& exit_code, bool& cacheable) const;
+    Json op_edit(const Request& request, const CancellationToken& token,
+                 std::string& cache_state, int& exit_code);
     Json op_stats() const;
     Json op_health() const;
     [[nodiscard]] ExecutionBudget effective_budget(const Request& request) const;
@@ -213,6 +215,12 @@ private:
     std::atomic<std::uint64_t> errors_{0};
     std::atomic<std::uint64_t> in_flight_{0};
     std::atomic<std::uint64_t> rejected_oversize_{0};
+    /// Delta-refinement tallies across every `edit` request: analysis slots
+    /// the mutation protocol KEPT or REFINED instead of recomputing
+    /// (sdf/analysis_manager.hpp).  Surfaced by `stats` and `health`.
+    std::atomic<std::uint64_t> slots_kept_{0};
+    std::atomic<std::uint64_t> slots_refined_{0};
+    std::atomic<std::uint64_t> edits_applied_{0};
     std::size_t warmed_ = 0;  ///< results replayed from disk at startup
 };
 

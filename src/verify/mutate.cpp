@@ -70,10 +70,10 @@ void note(std::vector<std::string>* trace, std::string entry) {
 
 /// Applies one mutation of `kind`; returns false when the kind does not
 /// apply to the current shape (caller re-draws).
-bool apply(EditableGraph& g, MutationKind kind, std::mt19937& rng,
+bool apply(EditableGraph& g, FuzzMutationKind kind, std::mt19937& rng,
            std::vector<std::string>* trace) {
     switch (kind) {
-        case MutationKind::rate_perturb: {
+        case FuzzMutationKind::rate_perturb: {
             if (g.channels.empty()) {
                 return false;
             }
@@ -89,7 +89,7 @@ bool apply(EditableGraph& g, MutationKind kind, std::mt19937& rng,
                             " -> " + std::to_string(rate));
             return true;
         }
-        case MutationKind::token_add: {
+        case FuzzMutationKind::token_add: {
             if (g.channels.empty()) {
                 return false;
             }
@@ -100,7 +100,7 @@ bool apply(EditableGraph& g, MutationKind kind, std::mt19937& rng,
                             g.actors[ch.dst].name + " +" + std::to_string(extra));
             return true;
         }
-        case MutationKind::token_remove: {
+        case FuzzMutationKind::token_remove: {
             std::vector<std::size_t> marked;
             for (std::size_t c = 0; c < g.channels.size(); ++c) {
                 if (g.channels[c].tokens > 0) {
@@ -117,7 +117,7 @@ bool apply(EditableGraph& g, MutationKind kind, std::mt19937& rng,
                             g.actors[ch.dst].name + " -" + std::to_string(removed));
             return true;
         }
-        case MutationKind::edge_rewire: {
+        case FuzzMutationKind::edge_rewire: {
             if (g.channels.empty() || g.actors.empty()) {
                 return false;
             }
@@ -130,7 +130,7 @@ bool apply(EditableGraph& g, MutationKind kind, std::mt19937& rng,
                             g.actors[target].name);
             return true;
         }
-        case MutationKind::actor_split: {
+        case FuzzMutationKind::actor_split: {
             if (g.actors.empty()) {
                 return false;
             }
@@ -151,7 +151,7 @@ bool apply(EditableGraph& g, MutationKind kind, std::mt19937& rng,
             note(trace, "actor_split: " + g.actors[original].name + " -> +" + clone.name);
             return true;
         }
-        case MutationKind::actor_merge: {
+        case FuzzMutationKind::actor_merge: {
             if (g.actors.size() < 2) {
                 return false;
             }
@@ -179,7 +179,7 @@ bool apply(EditableGraph& g, MutationKind kind, std::mt19937& rng,
             g.actors.erase(g.actors.begin() + static_cast<std::ptrdiff_t>(gone));
             return true;
         }
-        case MutationKind::time_jitter: {
+        case FuzzMutationKind::time_jitter: {
             if (g.actors.empty()) {
                 return false;
             }
@@ -199,15 +199,15 @@ bool apply(EditableGraph& g, MutationKind kind, std::mt19937& rng,
 
 }  // namespace
 
-const char* mutation_kind_name(MutationKind kind) {
+const char* fuzz_mutation_kind_name(FuzzMutationKind kind) {
     switch (kind) {
-        case MutationKind::rate_perturb: return "rate_perturb";
-        case MutationKind::token_add: return "token_add";
-        case MutationKind::token_remove: return "token_remove";
-        case MutationKind::edge_rewire: return "edge_rewire";
-        case MutationKind::actor_split: return "actor_split";
-        case MutationKind::actor_merge: return "actor_merge";
-        case MutationKind::time_jitter: return "time_jitter";
+        case FuzzMutationKind::rate_perturb: return "rate_perturb";
+        case FuzzMutationKind::token_add: return "token_add";
+        case FuzzMutationKind::token_remove: return "token_remove";
+        case FuzzMutationKind::edge_rewire: return "edge_rewire";
+        case FuzzMutationKind::actor_split: return "actor_split";
+        case FuzzMutationKind::actor_merge: return "actor_merge";
+        case FuzzMutationKind::time_jitter: return "time_jitter";
     }
     return "unknown";
 }
@@ -225,7 +225,7 @@ Graph mutate_graph(const Graph& graph, std::mt19937& rng, int count,
         // bounded number of times, then give up on this slot.
         for (int attempt = 0; attempt < 8 && !progressed; ++attempt) {
             const auto kind =
-                static_cast<MutationKind>(draw_index(rng, static_cast<std::size_t>(kKinds)));
+                static_cast<FuzzMutationKind>(draw_index(rng, static_cast<std::size_t>(kKinds)));
             progressed = apply(editable, kind, rng, trace);
         }
         if (!progressed) {

@@ -21,7 +21,7 @@
 namespace sdf {
 
 /// The available mutation kinds, applied with equal probability.
-enum class MutationKind {
+enum class FuzzMutationKind {
     rate_perturb,   ///< bump a channel's production or consumption by ±1
     token_add,      ///< add 1..3 initial tokens to a channel
     token_remove,   ///< remove initial tokens from a marked channel
@@ -31,7 +31,7 @@ enum class MutationKind {
     time_jitter,    ///< perturb an execution time by ±1..3
 };
 
-const char* mutation_kind_name(MutationKind kind);
+const char* fuzz_mutation_kind_name(FuzzMutationKind kind);
 
 /// Applies `count` random mutations to a copy of `graph`; deterministic in
 /// `rng` (portable draws only).  Appends a human-readable description of

@@ -10,6 +10,7 @@
 #include "analysis/buffers.hpp"
 #include "analysis/deadlock.hpp"
 #include "analysis/governed.hpp"
+#include "analysis/incremental.hpp"
 #include "analysis/liveness.hpp"
 #include "analysis/throughput.hpp"
 #include "base/cpudispatch.hpp"
@@ -23,6 +24,7 @@
 #include "pass/pipeline.hpp"
 #include "sdf/properties.hpp"
 #include "sdf/repetition.hpp"
+#include "sdf/schedule.hpp"
 #include "sdf/simulate.hpp"
 #include "transform/hsdf_classic.hpp"
 #include "transform/hsdf_reduced.hpp"
@@ -961,6 +963,295 @@ Verdict run_absint_self_test(const Graph& graph, const OracleLimits& limits) {
     return run_absint_soundness_impl("selftest-absint-unsound", graph, limits, true);
 }
 
+// ---- incremental-route ------------------------------------------------
+
+/// One step of the deterministic edit script the incremental oracle drives.
+struct ScriptEdit {
+    int kind = 0;         ///< 0 execution-time, 1 initial-tokens, 2 rates
+    std::size_t idx = 0;  ///< actor (kind 0) or channel (kinds 1, 2)
+    Int a = 0;            ///< new time / tokens / production
+    Int b = 0;            ///< new consumption (kind 2 only)
+};
+
+std::string script_to_string(const std::vector<ScriptEdit>& script) {
+    std::string out;
+    for (const ScriptEdit& e : script) {
+        if (!out.empty()) {
+            out += "; ";
+        }
+        switch (e.kind) {
+            case 0:
+                out += "time(actor " + std::to_string(e.idx) + ") <- " +
+                       std::to_string(e.a);
+                break;
+            case 1:
+                out += "tokens(channel " + std::to_string(e.idx) + ") <- " +
+                       std::to_string(e.a);
+                break;
+            default:
+                out += "rates(channel " + std::to_string(e.idx) + ") <- " +
+                       std::to_string(e.a) + ":" + std::to_string(e.b);
+                break;
+        }
+    }
+    return out.empty() ? "(empty script)" : out;
+}
+
+/// A structural clone with a FRESH AnalysisManager: the from-scratch route.
+/// (A plain Graph copy shares the manager, which is exactly what the oracle
+/// must not let the cold route do.)
+Graph rebuild_cold(const Graph& graph) {
+    Graph out(graph.name());
+    for (const Actor& actor : graph.actors()) {
+        out.add_actor(actor.name, actor.execution_time);
+    }
+    for (const Channel& channel : graph.channels()) {
+        out.add_channel(channel.src, channel.dst, channel.production,
+                        channel.consumption, channel.initial_tokens);
+    }
+    return out;
+}
+
+void apply_script_edit(Graph& graph, const ScriptEdit& e) {
+    switch (e.kind) {
+        case 0: graph.set_execution_time(e.idx, e.a); break;
+        case 1: graph.set_initial_tokens(e.idx, e.a); break;
+        default: graph.set_rates(e.idx, e.a, e.b); break;
+    }
+}
+
+/// Queries both routes on the current state and appends disagreements.  The
+/// incremental route answers through `inc`'s refined AnalysisManager; the
+/// cold route rebuilds the graph element by element so every analysis
+/// recomputes from scratch.  Schedules are compared as certificates —
+/// admissibility and length, never canonical bytes (SDF determinacy makes
+/// every admissible schedule equivalent); throughput must be bit-exact.
+void compare_incremental_state(const Graph& inc, const OracleLimits& limits,
+                               const std::string& stage,
+                               std::vector<Disagreement>& out) {
+    const Graph cold = rebuild_cold(inc);
+    const bool inc_consistent = is_consistent(inc);
+    const bool cold_consistent = is_consistent(cold);
+    if (inc_consistent != cold_consistent) {
+        out.push_back(disagree("consistency " + stage, "incremental cache",
+                               inc_consistent ? "consistent" : "inconsistent",
+                               "from-scratch rebuild",
+                               cold_consistent ? "consistent" : "inconsistent"));
+        return;
+    }
+    if (!cold_consistent) {
+        return;  // nothing else is defined on an inconsistent graph
+    }
+    const auto inc_q = inc.analyses()->get<RepetitionVectorAnalysis>(inc);
+    const auto cold_q = cold.analyses()->get<RepetitionVectorAnalysis>(cold);
+    if (*inc_q != *cold_q) {
+        out.push_back(disagree("repetition vector " + stage, "incremental cache",
+                               "refined vector", "from-scratch rebuild",
+                               "differs"));
+        return;
+    }
+    // Edits may drive the iteration length past what the timed analyses can
+    // afford on fuzzing volume; the cheap untimed comparisons above already
+    // ran, so this is a partial pass, not a reject.
+    if (iteration_length(cold) > limits.max_iteration_length) {
+        return;
+    }
+    const bool inc_live = *inc.analyses()->get<LivenessAnalysis>(inc);
+    const bool cold_live = *cold.analyses()->get<LivenessAnalysis>(cold);
+    if (inc_live != cold_live) {
+        out.push_back(disagree("liveness " + stage, "incremental cache",
+                               inc_live ? "live" : "deadlocked",
+                               "from-scratch rebuild",
+                               cold_live ? "live" : "deadlocked"));
+        return;
+    }
+    if (inc_live) {
+        const auto inc_s = inc.analyses()->get<SequentialScheduleAnalysis>(inc);
+        const auto cold_s = cold.analyses()->get<SequentialScheduleAnalysis>(cold);
+        if (inc_s->size() != cold_s->size()) {
+            out.push_back(disagree(
+                "schedule length " + stage, "incremental cache",
+                std::to_string(inc_s->size()), "from-scratch rebuild",
+                std::to_string(cold_s->size())));
+        } else if (!validate_schedule(cold, *inc_s)) {
+            out.push_back(disagree("schedule admissibility " + stage,
+                                   "incremental cache",
+                                   "refined schedule is not admissible",
+                                   "from-scratch rebuild", "admissible"));
+        }
+    }
+    compare_throughput("incremental cache " + stage, *cached_throughput(inc),
+                       "from-scratch rebuild", *cached_throughput(cold), inc, out);
+}
+
+/// Runs one edit script over a warm lineage, comparing against from-scratch
+/// rebuilds at interleaved points.  `fault_spec`, when non-null, re-arms
+/// that fault-injection plan around EVERY edit, so each refinement runs
+/// with a live countdown — a tripped hook must degrade to a dropped slot
+/// (a later cache miss), never to a wrong cached value.
+std::vector<Disagreement> run_incremental_script(
+    const Graph& base, const std::vector<ScriptEdit>& script,
+    const OracleLimits& limits, const char* fault_spec) {
+    std::vector<Disagreement> out;
+    Graph inc = rebuild_cold(base);
+    // Prime every slot so the edits below REFINE warm state: the initial
+    // comparison fills the untimed slots and the plain throughput slot, and
+    // warm_throughput seeds the incremental max-plus state the timing edits
+    // are meant to exercise.
+    compare_incremental_state(inc, limits, "before any edit", out);
+    if (!out.empty()) {
+        return out;
+    }
+    if (is_consistent(inc) &&
+        iteration_length(inc) <= limits.max_iteration_length) {
+        try {
+            warm_throughput(inc);
+        } catch (const Error&) {
+            // Deadlocked or otherwise out of the warm path's domain: edits
+            // then refine whatever the manager does hold.
+        }
+    }
+    for (std::size_t step = 0; step < script.size(); ++step) {
+        if (fault_spec != nullptr) {
+            const FaultInjectionScope fault(fault_spec);
+            apply_script_edit(inc, script[step]);
+        } else {
+            apply_script_edit(inc, script[step]);
+        }
+        // Interleave queries with edits: compare after every other edit and
+        // always after the last, so refinement chains of length > 1 run.
+        if (step + 1 == script.size() || step % 2 == 0) {
+            compare_incremental_state(
+                inc, limits, "after edit #" + std::to_string(step), out);
+            if (!out.empty()) {
+                return out;
+            }
+        }
+    }
+    return out;
+}
+
+/// Greedily drops edits whose removal keeps the divergence, to a fixed
+/// point: the classic delta-debugging reduction, cheap here because scripts
+/// are short and each trial is a handful of small-graph analyses.
+std::vector<ScriptEdit> shrink_incremental_script(const Graph& base,
+                                                  std::vector<ScriptEdit> script,
+                                                  const OracleLimits& limits) {
+    bool progress = true;
+    while (progress && script.size() > 1) {
+        progress = false;
+        for (std::size_t i = 0; i < script.size(); ++i) {
+            std::vector<ScriptEdit> candidate = script;
+            candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+            if (!run_incremental_script(base, candidate, limits, nullptr).empty()) {
+                script = std::move(candidate);
+                progress = true;
+                break;
+            }
+        }
+    }
+    return script;
+}
+
+Verdict run_incremental_route(const Graph& graph, const OracleLimits& limits) {
+    constexpr const char* kId = "incremental-route";
+    if (graph.actor_count() == 0) {
+        return Verdict::skip(kId, "empty graph");
+    }
+    if (graph.actor_count() > limits.max_actors) {
+        return Verdict::skip(kId, "actor count above limit");
+    }
+    if (graph.total_initial_tokens() > limits.max_tokens) {
+        return Verdict::skip(kId, "token count above limit");
+    }
+
+    // The script is a pure function of the graph's content, so reproducing
+    // a failure needs only the graph — the same repro contract as the
+    // absint replay.
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+    const auto mix = [&seed](std::uint64_t v) {
+        seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+    };
+    mix(graph.actor_count());
+    mix(graph.channel_count());
+    for (const Actor& actor : graph.actors()) {
+        mix(static_cast<std::uint64_t>(actor.execution_time));
+    }
+    for (const Channel& channel : graph.channels()) {
+        mix(channel.src);
+        mix(channel.dst);
+        mix(static_cast<std::uint64_t>(channel.production));
+        mix(static_cast<std::uint64_t>(channel.consumption));
+        mix(static_cast<std::uint64_t>(channel.initial_tokens));
+    }
+    const auto next = [&seed]() {
+        seed += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = seed;
+        z ^= z >> 30;
+        z *= 0xbf58476d1ce4e5b9ull;
+        z ^= z >> 27;
+        z *= 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        return z;
+    };
+
+    std::vector<ScriptEdit> script;
+    const std::size_t steps = 4 + next() % 5;
+    for (std::size_t i = 0; i < steps; ++i) {
+        ScriptEdit e;
+        const std::uint64_t pick =
+            next() % (graph.channel_count() > 0 ? 3 : 1);
+        if (pick == 0) {
+            e.kind = 0;
+            e.idx = next() % graph.actor_count();
+            e.a = static_cast<Int>(next() % 9);
+        } else if (pick == 1) {
+            e.kind = 1;
+            e.idx = next() % graph.channel_count();
+            e.a = static_cast<Int>(next() % 4);
+        } else {
+            // Rates stay small so edited graphs keep affordable iteration
+            // lengths most of the time (the compare guards the rest).
+            e.kind = 2;
+            e.idx = next() % graph.channel_count();
+            e.a = static_cast<Int>(1 + next() % 3);
+            e.b = static_cast<Int>(1 + next() % 3);
+        }
+        script.push_back(e);
+    }
+
+    std::vector<Disagreement> disagreements =
+        run_incremental_script(graph, script, limits, nullptr);
+
+    // Fault-injection leg: the same script with an allocation fault re-armed
+    // around every edit.  A refinement hook that trips mid-flight must drop
+    // its slot (refine_from's contract) — the comparisons must still agree.
+    // Skipped under an installed Governor: the armed countdown would also
+    // fire inside the governed from-scratch route and reject the whole run.
+    if (disagreements.empty() && current_governor() == nullptr) {
+        disagreements = run_incremental_script(graph, script, limits, "alloc:1");
+        if (!disagreements.empty()) {
+            return Verdict::fail(kId,
+                                 "refinement under injected allocation faults "
+                                 "published a wrong cached value; script: " +
+                                     script_to_string(script),
+                                 std::move(disagreements));
+        }
+    }
+
+    if (!disagreements.empty()) {
+        script = shrink_incremental_script(graph, std::move(script), limits);
+        disagreements = run_incremental_script(graph, script, limits, nullptr);
+        return Verdict::fail(
+            kId,
+            "incremental refinement diverges from from-scratch recomputation; "
+            "minimal script: " +
+                script_to_string(script),
+            std::move(disagreements));
+    }
+    return Verdict::pass(kId);
+}
+
 std::vector<Oracle>& mutable_registry() {
     static std::vector<Oracle> registry = {
         {"throughput-routes",
@@ -1018,6 +1309,14 @@ std::vector<Oracle>& mutable_registry() {
          "graphs no actor carries a finite firing bound and every certified "
          "capacity keeps the bounded graph live",
          &run_absint_soundness},
+        {"incremental-route",
+         "delta refinement equals from-scratch recomputation",
+         "over a deterministic interleaved edit/query script, every analysis "
+         "served from the mutation-refined cache (consistency, repetition, "
+         "liveness, an admissible schedule, bit-exact throughput) matches a "
+         "cold rebuild, with and without allocation faults injected into the "
+         "refinement hooks; divergent scripts shrink to a minimal repro",
+         &run_incremental_route},
     };
     return registry;
 }

@@ -115,9 +115,17 @@ TEST(AnalysisManager, StructuralMutationInvalidatesTheCache) {
     g.add_channel(b, b, 1);
     EXPECT_EQ(repetition_vector(g), (std::vector<Int>{1, 2}));
 
-    // Retuning a token count invalidates too (the schedule depends on it).
+    // Retuning a token count is delta-aware: the repetition vector depends
+    // on rates only and survives, and a token INCREASE keeps the cached
+    // schedule (more tokens never disable a firing).  A token decrease that
+    // breaks the order drops the schedule for lazy recomputation.
     sequential_schedule(g);
     g.set_initial_tokens(1, 2);
+    EXPECT_TRUE(g.analyses()->is_cached<RepetitionVectorAnalysis>());
+    EXPECT_TRUE(g.analyses()->is_cached<SequentialScheduleAnalysis>());
+    EXPECT_TRUE(validate_schedule(g, *g.analyses()->cached<SequentialScheduleAnalysis>()));
+    g.set_initial_tokens(0, 0);  // the self-loop token a->a: deadlocks a
+    EXPECT_TRUE(g.analyses()->is_cached<RepetitionVectorAnalysis>());
     EXPECT_FALSE(g.analyses()->is_cached<SequentialScheduleAnalysis>());
 }
 

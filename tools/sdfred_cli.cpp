@@ -653,6 +653,10 @@ int cmd_pipeline(const std::string& path, const std::string& spec, bool verify_e
         if (!report.carried.empty()) {
             std::cout << "  [carried: " << join(report.carried, ", ") << "]";
         }
+        if (report.kept > 0 || report.refined > 0) {
+            std::cout << "  [delta: " << report.kept << " kept, " << report.refined
+                      << " refined]";
+        }
         if (report.verified) {
             std::cout << "  [verified]";
         }
@@ -671,6 +675,14 @@ int cmd_pipeline(const std::string& path, const std::string& spec, bool verify_e
     if (time_passes) {
         std::cout << "total: " << run.total.wall_ms << " ms, " << run.total.steps
                   << " steps, " << run.total.accounted_bytes << " accounted bytes\n";
+        for (const AnalysisSlotStats& slot : run.graph.analyses()->stats()) {
+            if (slot.hits + slot.misses + slot.adopted + slot.kept + slot.refined == 0) {
+                continue;
+            }
+            std::cout << "cache " << slot.analysis << ": " << slot.hits << " hits, "
+                      << slot.misses << " misses, " << slot.adopted << " adopted, "
+                      << slot.kept << " kept, " << slot.refined << " refined\n";
+        }
     }
     std::cout << "final graph: " << run.graph.actor_count() << " actors, "
               << run.graph.channel_count() << " channels\n";
